@@ -1,0 +1,122 @@
+//! Monoid actions of the weight monoid `(W, +)` on multpaths and
+//! centpaths — §4.1.2 and §4.2.2.
+//!
+//! An action supplies the "multiplicative" side of a generalized
+//! matrix product when the two operand domains differ: the frontier
+//! matrix holds monoid elements (multpaths/centpaths) while the
+//! adjacency matrix holds plain edge weights.
+
+use crate::centpath::Centpath;
+use crate::multpath::Multpath;
+use crate::weight::Dist;
+
+/// An action of the monoid `(W, +)` on a set `M`:
+/// `act(act(x, w₁), w₂) == act(x, w₁ + w₂)` and `act(x, 0) == x`.
+pub trait MonoidAction: Copy + Default + Send + Sync + 'static {
+    /// The set being acted upon.
+    type Elem: Clone + Send + Sync;
+
+    /// Applies the weight `w` to `x`.
+    fn act(x: &Self::Elem, w: Dist) -> Self::Elem;
+}
+
+/// The Bellman–Ford action `f : M × W → M`,
+/// `f((w, m), e) = (w + e, m)`: extending every path in a multpath by
+/// one edge preserves the multiplicity and adds the edge weight.
+#[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
+pub struct BellmanFordAction;
+
+impl MonoidAction for BellmanFordAction {
+    type Elem = Multpath;
+
+    #[inline]
+    fn act(x: &Multpath, w: Dist) -> Multpath {
+        Multpath {
+            w: x.w + w,
+            m: x.m,
+        }
+    }
+}
+
+/// The Brandes action `g : C × W → C`,
+/// `g((w, p, c), e) = (w − e, p, c)`: walking one edge backwards along
+/// a shortest path reduces the anchoring weight and carries the
+/// centrality payload unchanged.
+#[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
+pub struct BrandesAction;
+
+impl MonoidAction for BrandesAction {
+    type Elem = Centpath;
+
+    /// Applies `g`. If the subtraction would underflow (the edge is
+    /// longer than the remaining path, so `v` cannot possibly be a
+    /// predecessor), the result is the null centpath, which the
+    /// accumulating `⊗` ignores.
+    #[inline]
+    fn act(x: &Centpath, w: Dist) -> Centpath {
+        match x.w.checked_back(w) {
+            Some(back) if back.is_finite() => Centpath {
+                w: back,
+                p: x.p,
+                c: x.c,
+            },
+            _ => Centpath::none(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bellman_ford_action_is_an_action() {
+        let x = Multpath::new(Dist::new(5), 3.0);
+        // act(x, 0) == x
+        assert_eq!(BellmanFordAction::act(&x, Dist::ZERO), x);
+        // act(act(x, a), b) == act(x, a + b)
+        let (a, b) = (Dist::new(2), Dist::new(9));
+        assert_eq!(
+            BellmanFordAction::act(&BellmanFordAction::act(&x, a), b),
+            BellmanFordAction::act(&x, a + b)
+        );
+    }
+
+    #[test]
+    fn bellman_ford_preserves_multiplicity() {
+        let x = Multpath::new(Dist::new(5), 7.0);
+        let y = BellmanFordAction::act(&x, Dist::new(4));
+        assert_eq!(y, Multpath::new(Dist::new(9), 7.0));
+    }
+
+    #[test]
+    fn bellman_ford_infinite_stays_infinite() {
+        let x = Multpath::new(Dist::INF, 1.0);
+        let y = BellmanFordAction::act(&x, Dist::new(4));
+        assert_eq!(y.w, Dist::INF);
+    }
+
+    #[test]
+    fn brandes_action_subtracts() {
+        let x = Centpath::new(Dist::new(9), 0.5, -1);
+        let y = BrandesAction::act(&x, Dist::new(4));
+        assert_eq!(y, Centpath::new(Dist::new(5), 0.5, -1));
+    }
+
+    #[test]
+    fn brandes_action_underflow_yields_none() {
+        let x = Centpath::new(Dist::new(3), 0.5, -1);
+        let y = BrandesAction::act(&x, Dist::new(4));
+        assert!(y.is_none());
+    }
+
+    #[test]
+    fn brandes_action_composition_where_defined() {
+        let x = Centpath::new(Dist::new(10), 1.0, 2);
+        let (a, b) = (Dist::new(3), Dist::new(4));
+        assert_eq!(
+            BrandesAction::act(&BrandesAction::act(&x, a), b),
+            BrandesAction::act(&x, a + b)
+        );
+    }
+}

@@ -1,0 +1,218 @@
+//! Generalized matrix-multiplication kernels `⟨⊕, f⟩` — §3.
+//!
+//! A kernel bundles the bivariate map `f : D_A × D_B → D_C` with the
+//! commutative monoid `(D_C, ⊕)` that accumulates products:
+//!
+//! ```text
+//! C(i,j) = ⊕_k f(A(i,k), B(k,j))
+//! ```
+//!
+//! This is the workspace analogue of CTF's
+//! `Kernel<W,M,M,u,f>` (§6.1 of the paper): because the kernel is a
+//! zero-sized type, every sparse matrix multiplication in
+//! `mfbc-sparse`/`mfbc-tensor` monomorphizes into a specialized loop
+//! with no function-pointer indirection.
+
+use crate::centpath::{Centpath, CentpathMonoid};
+use crate::monoid::{CommutativeMonoid, MinDist, Monoid, SumF64};
+use crate::multpath::{Multpath, MultpathMonoid};
+use crate::semiring::Semiring;
+use crate::weight::Dist;
+
+/// A `⟨⊕, f⟩` pair driving a generalized sparse matrix product.
+///
+/// `mul` returns `Option` so a kernel can *annihilate*: a `None`
+/// result contributes nothing to the accumulation, exactly as a
+/// semiring zero product would. This is how `∞`-weight combinations
+/// stay out of sparse outputs.
+pub trait SpMulKernel: Copy + Default + Send + Sync + 'static {
+    /// Element type of the left operand matrix.
+    type Left: Clone + PartialEq + Send + Sync + std::fmt::Debug;
+    /// Element type of the right operand matrix.
+    type Right: Clone + PartialEq + Send + Sync + std::fmt::Debug;
+    /// The commutative monoid `(D_C, ⊕)` accumulating products.
+    type Acc: CommutativeMonoid;
+
+    /// The map `f`; `None` means the product is annihilated.
+    fn mul(a: &Self::Left, b: &Self::Right) -> Option<<Self::Acc as Monoid>::Elem>;
+}
+
+/// Output element type of a kernel.
+pub type KernelOut<K> = <<K as SpMulKernel>::Acc as Monoid>::Elem;
+
+/// The MFBF kernel `•⟨⊕,f⟩`: multpath frontier × adjacency weights,
+/// with the Bellman–Ford action `f((w,m), e) = (w+e, m)` and the
+/// multpath monoid `⊕` (Algorithm 1, line 4).
+#[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
+pub struct BellmanFordKernel;
+
+impl SpMulKernel for BellmanFordKernel {
+    type Left = Multpath;
+    type Right = Dist;
+    type Acc = MultpathMonoid;
+
+    #[inline]
+    fn mul(a: &Multpath, b: &Dist) -> Option<Multpath> {
+        if !a.is_path() || !b.is_finite() {
+            return None;
+        }
+        Some(Multpath {
+            w: a.w + *b,
+            m: a.m,
+        })
+    }
+}
+
+/// The MFBr kernel `•⟨⊗,g⟩`: centpath frontier × transposed adjacency,
+/// with the Brandes action `g((w,p,c), e) = (w−e, p, c)` and the
+/// centpath monoid `⊗` (Algorithm 2, line 6).
+#[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
+pub struct BrandesKernel;
+
+impl SpMulKernel for BrandesKernel {
+    type Left = Centpath;
+    type Right = Dist;
+    type Acc = CentpathMonoid;
+
+    #[inline]
+    fn mul(a: &Centpath, b: &Dist) -> Option<Centpath> {
+        if a.is_none() || !b.is_finite() {
+            return None;
+        }
+        match a.w.checked_back(*b) {
+            Some(w) if w.is_finite() => Some(Centpath { w, p: a.p, c: a.c }),
+            _ => None,
+        }
+    }
+}
+
+/// A plain semiring product `C(i,j) = ⊕_k A(i,k) ⊗ B(k,j)`, expressed
+/// as a kernel. Used by baseline algorithms (tropical BFS/APSP).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SemiringKernel<S: Semiring>(std::marker::PhantomData<S>);
+
+impl<S: Semiring> Default for SemiringKernel<S> {
+    fn default() -> Self {
+        SemiringKernel(std::marker::PhantomData)
+    }
+}
+
+impl<S: Semiring> SpMulKernel for SemiringKernel<S> {
+    type Left = S::Elem;
+    type Right = S::Elem;
+    type Acc = S::Add;
+
+    #[inline]
+    fn mul(a: &S::Elem, b: &S::Elem) -> Option<S::Elem> {
+        let c = S::mul(a, b);
+        if S::Add::is_identity(&c) {
+            None
+        } else {
+            Some(c)
+        }
+    }
+}
+
+/// Tropical min-plus kernel over [`Dist`] — shorthand for
+/// `SemiringKernel<Tropical>`.
+pub type TropicalKernel = SemiringKernel<crate::semiring::Tropical>;
+
+/// BFS path-counting kernel for the CombBLAS-style baseline: a
+/// frontier of path counts (`f64`) times the (unweighted) adjacency
+/// structure, summing counts — `σ̄` propagation in batched Brandes.
+#[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
+pub struct CountKernel;
+
+impl SpMulKernel for CountKernel {
+    type Left = f64;
+    type Right = Dist;
+    type Acc = SumF64;
+
+    #[inline]
+    fn mul(a: &f64, b: &Dist) -> Option<f64> {
+        if *a == 0.0 || !b.is_finite() {
+            None
+        } else {
+            Some(*a)
+        }
+    }
+}
+
+/// Min-plus kernel where the left operand is a [`Multpath`] and the
+/// right a weight, producing plain distances. Used by test oracles to
+/// cross-check MFBF distances without multiplicities.
+#[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
+pub struct DistOfMultpathKernel;
+
+impl SpMulKernel for DistOfMultpathKernel {
+    type Left = Multpath;
+    type Right = Dist;
+    type Acc = MinDist;
+
+    #[inline]
+    fn mul(a: &Multpath, b: &Dist) -> Option<Dist> {
+        let w = a.w + *b;
+        if w.is_finite() {
+            Some(w)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bellman_ford_kernel_extends_paths() {
+        let t = Multpath::new(Dist::new(3), 4.0);
+        assert_eq!(
+            BellmanFordKernel::mul(&t, &Dist::new(2)),
+            Some(Multpath::new(Dist::new(5), 4.0))
+        );
+    }
+
+    #[test]
+    fn bellman_ford_kernel_annihilates_infinities() {
+        let t = Multpath::new(Dist::new(3), 4.0);
+        assert_eq!(BellmanFordKernel::mul(&t, &Dist::INF), None);
+        assert_eq!(
+            BellmanFordKernel::mul(&Multpath::none(), &Dist::new(2)),
+            None
+        );
+        // The paper's (∞, 1) init entries must not generate products.
+        assert_eq!(
+            BellmanFordKernel::mul(&Multpath::new(Dist::INF, 1.0), &Dist::new(2)),
+            None
+        );
+    }
+
+    #[test]
+    fn brandes_kernel_walks_backwards() {
+        let z = Centpath::new(Dist::new(7), 0.5, -1);
+        assert_eq!(
+            BrandesKernel::mul(&z, &Dist::new(3)),
+            Some(Centpath::new(Dist::new(4), 0.5, -1))
+        );
+        // An edge longer than the anchored path annihilates.
+        assert_eq!(BrandesKernel::mul(&z, &Dist::new(9)), None);
+        assert_eq!(BrandesKernel::mul(&z, &Dist::INF), None);
+    }
+
+    #[test]
+    fn tropical_kernel_is_min_plus() {
+        assert_eq!(
+            TropicalKernel::mul(&Dist::new(2), &Dist::new(3)),
+            Some(Dist::new(5))
+        );
+        assert_eq!(TropicalKernel::mul(&Dist::INF, &Dist::new(3)), None);
+    }
+
+    #[test]
+    fn count_kernel_propagates_counts() {
+        assert_eq!(CountKernel::mul(&3.0, &Dist::ONE), Some(3.0));
+        assert_eq!(CountKernel::mul(&0.0, &Dist::ONE), None);
+        assert_eq!(CountKernel::mul(&3.0, &Dist::INF), None);
+    }
+}

@@ -1,0 +1,50 @@
+//! Algebraic structures for Maximal Frontier Betweenness Centrality (MFBC).
+//!
+//! The MFBC paper (Solomonik, Besta, Vella, Hoefler — SC'17) formulates
+//! betweenness centrality as generalized sparse matrix multiplication
+//! `C = A •⟨⊕,f⟩ B`, where `⊕` is a *commutative monoid* on the output
+//! domain and `f` is an arbitrary bivariate map between (possibly
+//! different) input domains. Using monoids instead of semirings is the
+//! paper's first idea (§3): semirings force both operands into one set,
+//! while MFBC multiplies a matrix of *multpaths* (or *centpaths*) by a
+//! matrix of edge weights.
+//!
+//! This crate provides:
+//!
+//! * [`weight`] — the weight domain `W ⊂ ℝ ∪ {∞}` as a saturating
+//!   integer distance type with an explicit infinity,
+//! * [`monoid`] — [`Monoid`] /
+//!   [`CommutativeMonoid`] traits plus stock
+//!   instances (min, max, sum, ...),
+//! * [`semiring`] — the classical [`Semiring`]
+//!   abstraction and the tropical semiring, used by the BFS/baseline
+//!   algorithms and for contrast with the monoid formulation,
+//! * [`multpath`] — the multpath monoid `(M, ⊕)` of §4.1.1 carrying
+//!   (shortest-path weight, multiplicity),
+//! * [`centpath`] — the centpath monoid `(C, ⊗)` of §4.2.1 carrying
+//!   (weight, partial centrality factor, predecessor counter),
+//! * [`action`] — monoid actions of `(W, +)` on multpaths/centpaths:
+//!   the Bellman–Ford action `f` (§4.1.2) and Brandes action `g`
+//!   (§4.2.2),
+//! * [`kernel`] — [`SpMulKernel`], the `⟨⊕,f⟩`
+//!   pair that drives every generalized sparse matrix product in the
+//!   workspace (the analogue of CTF's `Kernel<W,M,M,u,f>`).
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod action;
+pub mod centpath;
+pub mod kernel;
+pub mod monoid;
+pub mod multpath;
+pub mod semiring;
+pub mod weight;
+
+pub use action::{BellmanFordAction, BrandesAction, MonoidAction};
+pub use centpath::{Centpath, CentpathMonoid};
+pub use kernel::SpMulKernel;
+pub use monoid::{CommutativeMonoid, Monoid};
+pub use multpath::{Multpath, MultpathMonoid};
+pub use semiring::{Semiring, Tropical};
+pub use weight::Dist;

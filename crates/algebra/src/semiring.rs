@@ -1,0 +1,142 @@
+//! Classical semirings, kept for the baseline algorithms and for
+//! contrast with the monoid formulation.
+//!
+//! A semiring `(T, ⊕, ⊗)` requires both operations to stay inside one
+//! carrier set `T` (§2.2). The paper's point is that MFBC *cannot* be
+//! phrased this way without padding, because its products mix multpath
+//! (or centpath) operands with plain edge weights — hence the monoid
+//! action machinery in [`crate::action`]. The semiring trait is still
+//! the natural home of the tropical structure used by BFS-style
+//! baselines (CombBLAS-style Brandes) and by the distance-only parts
+//! of test oracles.
+
+use crate::monoid::{CommutativeMonoid, MinDist, Monoid};
+use crate::weight::Dist;
+
+/// A semiring `(T, ⊕, ⊗)`: `(T, ⊕)` a commutative monoid, `(T, ⊗)` a
+/// monoid, with `⊗` distributing over `⊕` and the `⊕`-identity
+/// annihilating under `⊗`.
+pub trait Semiring: Copy + Default + Send + Sync + 'static {
+    /// The carrier set.
+    type Elem: Clone + PartialEq + Send + Sync + std::fmt::Debug;
+    /// The additive commutative monoid `(T, ⊕)`.
+    type Add: CommutativeMonoid<Elem = Self::Elem>;
+
+    /// The multiplicative operation `⊗`.
+    fn mul(a: &Self::Elem, b: &Self::Elem) -> Self::Elem;
+
+    /// The multiplicative identity.
+    fn one() -> Self::Elem;
+
+    /// The additive identity (delegates to the additive monoid).
+    #[inline]
+    fn zero() -> Self::Elem {
+        Self::Add::identity()
+    }
+
+    /// Additive combination (delegates to the additive monoid).
+    #[inline]
+    fn add(a: &Self::Elem, b: &Self::Elem) -> Self::Elem {
+        Self::Add::combine(a, b)
+    }
+}
+
+/// The tropical semiring `(W, min, +)` with `0̄ = ∞`, `1̄ = 0`.
+///
+/// This is the structure under which iterated `x ← x •⟨min,+⟩ A`
+/// computes single-source shortest distances (§2.3).
+#[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
+pub struct Tropical;
+
+impl Semiring for Tropical {
+    type Elem = Dist;
+    type Add = MinDist;
+
+    #[inline]
+    fn mul(a: &Dist, b: &Dist) -> Dist {
+        *a + *b
+    }
+
+    #[inline]
+    fn one() -> Dist {
+        Dist::ZERO
+    }
+}
+
+/// The Boolean semiring `({false, true}, ∨, ∧)`, used by reachability
+/// tests and by frontier-structure assertions in the test suite.
+#[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
+pub struct BoolSemiring;
+
+/// `(bool, ∨)` commutative monoid with identity `false`.
+#[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
+pub struct OrBool;
+
+impl Monoid for OrBool {
+    type Elem = bool;
+
+    #[inline]
+    fn combine(a: &bool, b: &bool) -> bool {
+        *a || *b
+    }
+
+    #[inline]
+    fn identity() -> bool {
+        false
+    }
+}
+
+impl CommutativeMonoid for OrBool {}
+
+impl Semiring for BoolSemiring {
+    type Elem = bool;
+    type Add = OrBool;
+
+    #[inline]
+    fn mul(a: &bool, b: &bool) -> bool {
+        *a && *b
+    }
+
+    #[inline]
+    fn one() -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tropical_identities() {
+        assert_eq!(Tropical::zero(), Dist::INF);
+        assert_eq!(Tropical::one(), Dist::ZERO);
+        let a = Dist::new(5);
+        assert_eq!(Tropical::add(&a, &Tropical::zero()), a);
+        assert_eq!(Tropical::mul(&a, &Tropical::one()), a);
+    }
+
+    #[test]
+    fn tropical_zero_annihilates() {
+        let a = Dist::new(5);
+        assert_eq!(Tropical::mul(&a, &Tropical::zero()), Dist::INF);
+        assert_eq!(Tropical::mul(&Tropical::zero(), &a), Dist::INF);
+    }
+
+    #[test]
+    fn tropical_distributes() {
+        // a + min(b, c) == min(a + b, a + c)
+        let (a, b, c) = (Dist::new(3), Dist::new(7), Dist::new(2));
+        let left = Tropical::mul(&a, &Tropical::add(&b, &c));
+        let right = Tropical::add(&Tropical::mul(&a, &b), &Tropical::mul(&a, &c));
+        assert_eq!(left, right);
+    }
+
+    #[test]
+    fn boolean_semiring() {
+        assert!(!BoolSemiring::zero());
+        assert!(BoolSemiring::one());
+        assert!(BoolSemiring::add(&true, &false));
+        assert!(!BoolSemiring::mul(&true, &false));
+    }
+}

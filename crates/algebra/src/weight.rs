@@ -1,0 +1,222 @@
+//! The weight domain `W ⊂ ℝ ∪ {∞}`.
+//!
+//! The paper works with edge weights from a set `W` that contains an
+//! absorbing infinity (`A(i,j) = ∞` for non-edges). Its experiments use
+//! integer weights drawn uniformly from `[1, 100]`, and unweighted
+//! graphs are weight-1 graphs. We therefore represent distances as
+//! unsigned 64-bit integers with a dedicated `∞` sentinel and
+//! saturating arithmetic, which keeps every monoid operation exact and
+//! `Ord`-able (no floating-point comparison pitfalls) while supporting
+//! path lengths up to `~1.8e19`.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A path/edge weight: a non-negative integer distance or `∞`.
+///
+/// `Dist` forms the commutative monoid `(W, +)` with identity
+/// [`Dist::ZERO`], where `∞` is absorbing; and the commutative monoid
+/// `(W, min)` with identity [`Dist::INF`] — together these are the
+/// tropical semiring (see [`crate::semiring::Tropical`]).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Dist(u64);
+
+impl Dist {
+    /// The additive identity (a zero-length path).
+    pub const ZERO: Dist = Dist(0);
+    /// The unit edge weight used for unweighted graphs.
+    pub const ONE: Dist = Dist(1);
+    /// Infinity: the weight of a non-existent edge/path. Absorbing
+    /// under `+`, identity under `min`.
+    pub const INF: Dist = Dist(u64::MAX);
+
+    /// Builds a finite distance from an integer.
+    ///
+    /// # Panics
+    /// Panics if `w == u64::MAX`, which is reserved for [`Dist::INF`].
+    #[inline]
+    pub fn new(w: u64) -> Dist {
+        assert!(w != u64::MAX, "u64::MAX is reserved for Dist::INF");
+        Dist(w)
+    }
+
+    /// Whether this weight is finite (i.e. an actual path exists).
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self != Dist::INF
+    }
+
+    /// The raw integer value; `u64::MAX` encodes `∞`.
+    #[inline]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the finite value or `None` for `∞`.
+    #[inline]
+    pub fn finite(self) -> Option<u64> {
+        if self.is_finite() {
+            Some(self.0)
+        } else {
+            None
+        }
+    }
+
+    /// `min` of two weights — the additive operator of the tropical
+    /// semiring.
+    #[inline]
+    pub fn min(self, other: Dist) -> Dist {
+        if self.0 <= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Saturating subtraction used by the Brandes action
+    /// `g(a, w) = (a.w − w, …)`; `∞ − w = ∞`.
+    ///
+    /// # Panics
+    /// Panics in debug builds if `other > self` for finite `self`
+    /// (the Brandes action only ever subtracts an edge from a path
+    /// containing it).
+    #[inline]
+    pub fn checked_back(self, other: Dist) -> Option<Dist> {
+        if !self.is_finite() {
+            return Some(Dist::INF);
+        }
+        if !other.is_finite() {
+            return None;
+        }
+        self.0.checked_sub(other.0).map(Dist)
+    }
+}
+
+impl Add for Dist {
+    type Output = Dist;
+
+    /// `∞`-absorbing, saturating addition: `∞ + w = w + ∞ = ∞`.
+    #[inline]
+    fn add(self, rhs: Dist) -> Dist {
+        if !self.is_finite() || !rhs.is_finite() {
+            Dist::INF
+        } else {
+            // Saturate *below* INF so overflow cannot alias a finite
+            // sum with the infinity sentinel.
+            Dist(self.0.saturating_add(rhs.0).min(u64::MAX - 1))
+        }
+    }
+}
+
+impl AddAssign for Dist {
+    #[inline]
+    fn add_assign(&mut self, rhs: Dist) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Dist {
+    type Output = Dist;
+
+    /// Backward traversal subtraction; see [`Dist::checked_back`].
+    ///
+    /// # Panics
+    /// Panics if `rhs` is `∞` while `self` is finite, or on underflow.
+    #[inline]
+    fn sub(self, rhs: Dist) -> Dist {
+        self.checked_back(rhs)
+            .expect("Dist subtraction underflow: edge longer than path")
+    }
+}
+
+impl From<u32> for Dist {
+    #[inline]
+    fn from(w: u32) -> Dist {
+        Dist(u64::from(w))
+    }
+}
+
+impl fmt::Debug for Dist {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_finite() {
+            write!(f, "{}", self.0)
+        } else {
+            write!(f, "inf")
+        }
+    }
+}
+
+impl fmt::Display for Dist {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl Default for Dist {
+    /// The default is `∞` — the "no path known" state, which is the
+    /// sparse-zero of every distance matrix in this workspace.
+    #[inline]
+    fn default() -> Dist {
+        Dist::INF
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finite_addition() {
+        assert_eq!(Dist::new(2) + Dist::new(3), Dist::new(5));
+        assert_eq!(Dist::ZERO + Dist::new(7), Dist::new(7));
+    }
+
+    #[test]
+    fn infinity_absorbs_addition() {
+        assert_eq!(Dist::INF + Dist::new(3), Dist::INF);
+        assert_eq!(Dist::new(3) + Dist::INF, Dist::INF);
+        assert_eq!(Dist::INF + Dist::INF, Dist::INF);
+    }
+
+    #[test]
+    fn addition_saturates_below_inf() {
+        let near = Dist::new(u64::MAX - 2);
+        let sum = near + near;
+        assert!(sum.is_finite());
+        assert_eq!(sum.raw(), u64::MAX - 1);
+    }
+
+    #[test]
+    fn min_is_commutative_monoid_with_inf_identity() {
+        assert_eq!(Dist::new(2).min(Dist::new(3)), Dist::new(2));
+        assert_eq!(Dist::INF.min(Dist::new(3)), Dist::new(3));
+        assert_eq!(Dist::new(3).min(Dist::INF), Dist::new(3));
+        assert_eq!(Dist::INF.min(Dist::INF), Dist::INF);
+    }
+
+    #[test]
+    fn subtraction_for_backward_traversal() {
+        assert_eq!(Dist::new(9) - Dist::new(4), Dist::new(5));
+        assert_eq!(Dist::INF - Dist::new(4), Dist::INF);
+        assert_eq!(Dist::new(4).checked_back(Dist::new(9)), None);
+        assert_eq!(Dist::new(4).checked_back(Dist::INF), None);
+    }
+
+    #[test]
+    #[should_panic]
+    fn reserved_sentinel_rejected() {
+        let _ = Dist::new(u64::MAX);
+    }
+
+    #[test]
+    fn ordering_places_inf_last() {
+        let mut v = vec![Dist::INF, Dist::new(4), Dist::ZERO, Dist::new(100)];
+        v.sort();
+        assert_eq!(v, vec![Dist::ZERO, Dist::new(4), Dist::new(100), Dist::INF]);
+    }
+
+    #[test]
+    fn default_is_inf() {
+        assert_eq!(Dist::default(), Dist::INF);
+    }
+}

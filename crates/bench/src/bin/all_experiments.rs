@@ -1,0 +1,27 @@
+//! Runs every table/figure reproduction in sequence (the full
+//! EXPERIMENTS.md regeneration). `--quick` shrinks all workloads.
+
+use mfbc_bench::experiments as e;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let t0 = std::time::Instant::now();
+    for (name, f) in [
+        ("table2", e::table2 as fn(bool) -> mfbc_bench::Table),
+        ("fig1a", e::fig1a),
+        ("fig1b", e::fig1b),
+        ("fig1c", e::fig1c),
+        ("fig2a", e::fig2a),
+        ("fig2b", e::fig2b),
+        ("table3", e::table3),
+        ("ablation_batch", e::ablation_batch),
+        ("ablation_variants", e::ablation_variants),
+        ("ablation_amortization", e::ablation_amortization),
+        ("apsp_vs_mfbc", e::apsp_vs_mfbc),
+    ] {
+        let t = std::time::Instant::now();
+        f(quick).emit();
+        eprintln!("[{name} took {:.1}s]", t.elapsed().as_secs_f64());
+    }
+    eprintln!("[all experiments took {:.1}s]", t0.elapsed().as_secs_f64());
+}

@@ -1,0 +1,7 @@
+//! Regenerates the §5.3.2 MFBC-vs-APSP memory/bandwidth comparison.
+//! `--quick` shrinks the workload for smoke runs.
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    mfbc_bench::experiments::apsp_vs_mfbc(quick).emit();
+}

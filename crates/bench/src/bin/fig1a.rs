@@ -1,0 +1,7 @@
+//! Regenerates the paper's fig1a on the simulated machine.
+//! `--quick` shrinks the workload for smoke runs.
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    mfbc_bench::experiments::fig1a(quick).emit();
+}

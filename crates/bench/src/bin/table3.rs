@@ -1,0 +1,7 @@
+//! Regenerates the paper's table3 on the simulated machine.
+//! `--quick` shrinks the workload for smoke runs.
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    mfbc_bench::experiments::table3(quick).emit();
+}

@@ -1,0 +1,24 @@
+//! Benchmark harness regenerating every table and figure of the MFBC
+//! paper's evaluation (§7) on the simulated machine.
+//!
+//! One binary per experiment (see `src/bin/`); the experiment logic
+//! lives in [`experiments`] so the integration tests can run each at
+//! a reduced scale. Results print as aligned tables and are saved as
+//! CSV under `crates/bench/results/`.
+//!
+//! Scaling: graphs are the paper's workloads shrunk by the divisors
+//! recorded in DESIGN.md/EXPERIMENTS.md, and the simulated per-node
+//! memory shrinks by the same factor so memory-gated effects (the
+//! paper's "unable to execute" points) reproduce at model scale.
+
+#![deny(missing_docs)]
+
+pub mod experiments;
+pub mod harness;
+pub mod report;
+
+pub use harness::{
+    measure_combblas, measure_combblas_best, measure_mfbc, measure_mfbc_best, BenchSpec,
+    Measurement,
+};
+pub use report::Table;

@@ -1,0 +1,151 @@
+//! Result tables: aligned console output plus CSV persistence.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// A simple rectangular results table.
+#[derive(Clone, Debug)]
+pub struct Table {
+    /// Experiment identifier (used as the CSV filename).
+    pub name: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Row-major cells, one `Vec` per row.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// An empty table.
+    pub fn new(name: &str, headers: &[&str]) -> Table {
+        Table {
+            name: name.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    /// Panics if the arity disagrees with the headers.
+    pub fn push(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(row);
+    }
+
+    /// Renders an aligned ASCII table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let line = |out: &mut String, cells: &[String]| {
+            for (w, cell) in widths.iter().zip(cells) {
+                let _ = write!(out, "{cell:>w$}  ", w = w);
+            }
+            out.push('\n');
+        };
+        line(&mut out, &self.headers);
+        let total: usize = widths.iter().map(|w| w + 2).sum();
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            line(&mut out, row);
+        }
+        out
+    }
+
+    /// CSV serialization.
+    pub fn to_csv(&self) -> String {
+        let esc = |s: &String| {
+            if s.contains(',') || s.contains('"') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.clone()
+            }
+        };
+        let mut out = String::new();
+        out.push_str(&self.headers.iter().map(esc).collect::<Vec<_>>().join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(esc).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints the table and writes `results/<name>.csv` next to the
+    /// bench crate (best-effort; printing always happens).
+    pub fn emit(&self) {
+        println!("\n== {} ==", self.name);
+        println!("{}", self.render());
+        let dir = results_dir();
+        if std::fs::create_dir_all(&dir).is_ok() {
+            let path = dir.join(format!("{}.csv", self.name));
+            match std::fs::write(&path, self.to_csv()) {
+                Ok(()) => println!("[saved {}]", path.display()),
+                Err(e) => eprintln!("[could not save {}: {e}]", path.display()),
+            }
+        }
+    }
+}
+
+fn results_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("results")
+}
+
+/// Formats an `f64` with 2 decimals.
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Formats an `f64` with 3 decimals.
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Formats bytes as mebibytes with 2 decimals.
+pub fn mib(bytes: u64) -> String {
+    format!("{:.2}", bytes as f64 / (1 << 20) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new("demo", &["graph", "MTEPS"]);
+        t.push(vec!["orkut".into(), "123.45".into()]);
+        t.push(vec!["x".into(), "1.0".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("graph"));
+        assert!(lines[2].contains("orkut"));
+    }
+
+    #[test]
+    fn csv_escapes_commas() {
+        let mut t = Table::new("demo", &["a"]);
+        t.push(vec!["x,y".into()]);
+        assert_eq!(t.to_csv(), "a\n\"x,y\"\n");
+    }
+
+    #[test]
+    #[should_panic]
+    fn arity_checked() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.push(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(f2(1.234), "1.23");
+        assert_eq!(f3(1.2345), "1.234"); // Rust rounds half-to-even on format
+        assert_eq!(mib(1 << 20), "1.00");
+    }
+}

@@ -1,0 +1,192 @@
+//! Approximate betweenness centrality by source sampling.
+//!
+//! The paper's motivation cites Bader et al.'s adaptive sampling
+//! [ref. 4]: exact BC runs Brandes from *every* source, but an
+//! unbiased estimate from `k` uniformly sampled sources often
+//! suffices — and MFBC's batched structure makes sampled execution
+//! natural (one batch of `k` sources instead of `n/n_b` batches).
+//! The estimator scales each sampled dependency by `n/k`:
+//!
+//! ```text
+//! λ̂(v) = (n/k) · Σ_{s ∈ S} δ(s, v),   S ~ Uniform(V), |S| = k
+//! ```
+//!
+//! which satisfies `E[λ̂(v)] = λ(v)`.
+
+use crate::scores::BcScores;
+use crate::seq::mfbf::mfbf_seq;
+use crate::seq::mfbr::mfbr_seq;
+use mfbc_graph::Graph;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Result of a sampled run: the estimate plus the sample that
+/// produced it (for reproducibility / incremental refinement).
+#[derive(Clone, Debug)]
+pub struct ApproxBc {
+    /// The unbiased estimate `λ̂`.
+    pub scores: BcScores,
+    /// The sampled source vertices.
+    pub sources: Vec<usize>,
+}
+
+/// Estimates betweenness centrality from `k` uniformly sampled
+/// sources (shared-memory MFBC).
+///
+/// # Panics
+/// Panics if `k == 0` or `k > n`.
+pub fn mfbc_approx(g: &Graph, k: usize, seed: u64) -> ApproxBc {
+    let n = g.n();
+    assert!(k > 0 && k <= n, "sample size {k} out of range for n={n}");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut vertices: Vec<usize> = (0..n).collect();
+    vertices.shuffle(&mut rng);
+    let sources: Vec<usize> = vertices.into_iter().take(k).collect();
+    let scores = approx_from_sources(g, &sources);
+    ApproxBc { scores, sources }
+}
+
+/// The estimator for an explicit source set (exposed so callers can
+/// do stratified or adaptive sampling).
+pub fn approx_from_sources(g: &Graph, sources: &[usize]) -> BcScores {
+    let n = g.n();
+    let mut scores = BcScores::zeros(n);
+    if sources.is_empty() {
+        return scores;
+    }
+    let fwd = mfbf_seq(g, sources);
+    let back = mfbr_seq(g, &fwd.t);
+    let scale = n as f64 / sources.len() as f64;
+    for (s, v, z) in back.z.iter() {
+        if v == sources[s] {
+            continue;
+        }
+        let sigma = fwd.t.get(s, v).expect("Z pattern ⊆ T pattern").m;
+        scores.lambda[v] += scale * z.p * sigma;
+    }
+    scores
+}
+
+/// Distributed sampled approximation: runs the batched distributed
+/// driver on `k` uniformly sampled sources and scales by `n/k`.
+/// Costs (communication, memory) accrue on `machine` exactly as an
+/// exact run's first `⌈k/n_b⌉` batches would.
+pub fn mfbc_approx_dist(
+    machine: &mfbc_machine::Machine,
+    g: &Graph,
+    k: usize,
+    seed: u64,
+    cfg: &crate::dist::MfbcConfig,
+) -> Result<ApproxBc, mfbc_machine::MachineError> {
+    let n = g.n();
+    assert!(k > 0 && k <= n, "sample size {k} out of range for n={n}");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut vertices: Vec<usize> = (0..n).collect();
+    vertices.shuffle(&mut rng);
+    let sources: Vec<usize> = vertices.into_iter().take(k).collect();
+
+    let run = crate::dist::mfbc_dist(
+        machine,
+        g,
+        &crate::dist::MfbcConfig {
+            sources: Some(sources.clone()),
+            max_batches: None,
+            ..cfg.clone()
+        },
+    )?;
+    let scale = n as f64 / k as f64;
+    let mut scores = run.scores;
+    for x in &mut scores.lambda {
+        *x *= scale;
+    }
+    Ok(ApproxBc { scores, sources })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::brandes_unweighted;
+    use mfbc_graph::gen::uniform;
+
+    #[test]
+    fn full_sample_equals_exact() {
+        let g = uniform(40, 150, false, None, 3);
+        let exact = brandes_unweighted(&g);
+        let approx = mfbc_approx(&g, g.n(), 1);
+        assert!(
+            approx.scores.approx_eq(&exact, 1e-9),
+            "k = n must be exact; diff {}",
+            approx.scores.max_abs_diff(&exact)
+        );
+        assert_eq!(approx.sources.len(), g.n());
+    }
+
+    #[test]
+    fn estimator_is_unbiased_over_disjoint_samples() {
+        // Averaging the estimators of a partition of V reproduces the
+        // exact scores (each vertex appears in exactly one part).
+        let g = uniform(30, 120, false, None, 5);
+        let exact = brandes_unweighted(&g);
+        let all: Vec<usize> = (0..g.n()).collect();
+        let mut mean = BcScores::zeros(g.n());
+        let parts: Vec<&[usize]> = all.chunks(10).collect();
+        for part in &parts {
+            let est = approx_from_sources(&g, part);
+            for (a, b) in mean.lambda.iter_mut().zip(&est.lambda) {
+                *a += b / parts.len() as f64;
+            }
+        }
+        assert!(
+            mean.approx_eq(&exact, 1e-9),
+            "partition mean must be exact; diff {}",
+            mean.max_abs_diff(&exact)
+        );
+    }
+
+    #[test]
+    fn half_sample_ranks_the_hub_first() {
+        // Star graph: any nonempty sample identifies the hub.
+        let g = Graph::unweighted(21, false, (1..21).map(|v| (0, v)));
+        let approx = mfbc_approx(&g, 10, 7);
+        assert_eq!(approx.scores.top_k(1)[0].0, 0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let g = uniform(30, 100, false, None, 9);
+        let a = mfbc_approx(&g, 8, 42);
+        let b = mfbc_approx(&g, 8, 42);
+        assert_eq!(a.sources, b.sources);
+        assert_eq!(a.scores, b.scores);
+    }
+
+    #[test]
+    fn dist_approx_matches_seq_approx() {
+        use mfbc_machine::{Machine, MachineSpec};
+        let g = uniform(36, 140, false, None, 11);
+        let seq = mfbc_approx(&g, 12, 99);
+        let machine = Machine::new(MachineSpec::test(4));
+        let dist = mfbc_approx_dist(
+            &machine,
+            &g,
+            12,
+            99,
+            &crate::dist::MfbcConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(dist.sources, seq.sources, "same seed, same sample");
+        assert!(
+            dist.scores.approx_eq(&seq.scores, 1e-9),
+            "diff {}",
+            dist.scores.max_abs_diff(&seq.scores)
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn oversized_sample_rejected() {
+        let g = uniform(10, 20, false, None, 1);
+        let _ = mfbc_approx(&g, 11, 1);
+    }
+}

@@ -1,0 +1,425 @@
+//! Distributed MFBC over the simulated machine — the paper's two
+//! parallel implementations (§6):
+//!
+//! * **CTF-MFBC** ([`PlanMode::Auto`]): every generalized matrix
+//!   multiplication is planned by the autotuner, which searches data
+//!   decompositions and 1D/2D/3D algorithm variants per operation;
+//! * **CA-MFBC** ([`PlanMode::Ca`]): the fixed 3D processor grid of
+//!   Theorem 5.1 — the adjacency matrix replicated over `c` layers
+//!   (1D variant B), each layer running the stationary-adjacency 2D
+//!   variant (AC) on a `√(p/c) × √(p/c)` grid;
+//! * [`PlanMode::Fixed`] pins one explicit plan for every product
+//!   (used by the ablation benchmarks).
+//!
+//! The driver mirrors `seq::{mfbf, mfbr, mfbc}` step for step; the
+//! frontier-rule helpers are shared so the two implementations cannot
+//! drift. Every matrix is canonically distributed; products charge
+//! their communication to the machine's critical path; elementwise
+//! steps charge local compute; per-iteration termination checks
+//! charge an allreduce.
+
+use crate::scores::BcScores;
+use crate::seq::{mfbf_keep_in_frontier, mfbr_anchor, mfbr_fire};
+use mfbc_algebra::kernel::{BellmanFordKernel, BrandesKernel};
+use mfbc_algebra::monoid::SumF64;
+use mfbc_algebra::{Centpath, CentpathMonoid, Multpath, MultpathMonoid};
+use mfbc_graph::Graph;
+use mfbc_machine::{Machine, MachineError};
+use mfbc_sparse::Coo;
+use mfbc_tensor::autotune::mm_auto_cached;
+use mfbc_tensor::cache::MmCache;
+use mfbc_tensor::ops::{
+    dmat_column_sums, dmat_combine, dmat_combine_anchored, dmat_map_filter, dmat_zip_filter,
+    nnz_sync,
+};
+use mfbc_tensor::{canonical_layout, mm_exec_cached, DistMat, MmPlan, Variant1D, Variant2D};
+
+/// How multiplication plans are chosen.
+#[derive(Clone, Debug)]
+pub enum PlanMode {
+    /// CTF-MFBC: autotune every product.
+    Auto,
+    /// CA-MFBC: the Theorem-5.1 grid with `c` adjacency replicas;
+    /// requires `p/c` to be a perfect square.
+    Ca {
+        /// Replication factor `c ∈ [1, p]`.
+        c: usize,
+    },
+    /// One fixed plan for every product.
+    Fixed(MmPlan),
+}
+
+impl PlanMode {
+    fn plan_for(&self, m: &Machine) -> Option<MmPlan> {
+        match self {
+            PlanMode::Auto => None,
+            PlanMode::Ca { c } => Some(ca_plan(m.p(), *c)),
+            PlanMode::Fixed(plan) => Some(plan.clone()),
+        }
+    }
+}
+
+/// The CA-MFBC plan: `p1 = c` layers replicating the (right-operand)
+/// adjacency, inner 2D stationary-adjacency on `√(p/c) × √(p/c)`.
+///
+/// # Panics
+/// Panics unless `c` divides `p` and `p/c` is a perfect square.
+pub fn ca_plan(p: usize, c: usize) -> MmPlan {
+    assert!(c >= 1 && p.is_multiple_of(c), "c={c} must divide p={p}");
+    let layer = p / c;
+    let r = (layer as f64).sqrt().round() as usize;
+    assert_eq!(r * r, layer, "p/c = {layer} must be a perfect square");
+    if c == 1 {
+        if r == 1 {
+            return MmPlan::OneD(Variant1D::A);
+        }
+        return MmPlan::TwoD {
+            variant: Variant2D::AC,
+            p2: r,
+            p3: r,
+        };
+    }
+    MmPlan::ThreeD {
+        split: Variant1D::B,
+        inner: Variant2D::AC,
+        p1: c,
+        p2: r,
+        p3: r,
+    }
+}
+
+/// Configuration of a distributed MFBC run.
+#[derive(Clone, Debug)]
+pub struct MfbcConfig {
+    /// Sources per batch (`n_b`); `None` chooses `min(n, 512)`, the
+    /// batch size the paper's Table 3 uses.
+    pub batch_size: Option<usize>,
+    /// Plan selection mode.
+    pub plan_mode: PlanMode,
+    /// Cap on processed batches (benchmarks measure a single batch,
+    /// as the paper's Table 3 does). `None` runs all `⌈n/n_b⌉`.
+    pub max_batches: Option<usize>,
+    /// Whether to amortize the adjacency's replication/redistribution
+    /// across iterations and batches (Theorem 5.1's derivation;
+    /// default true). `false` re-pays the preparation on every
+    /// product — the ablation baseline.
+    pub amortize_adjacency: bool,
+    /// Source vertices to process; `None` means all of `0..n` (exact
+    /// BC). An explicit subset computes the partial sums
+    /// `Σ_{s ∈ S} δ(s, ·)` — the building block of sampled
+    /// approximation (see [`crate::approx`]).
+    pub sources: Option<Vec<usize>>,
+}
+
+impl Default for MfbcConfig {
+    fn default() -> MfbcConfig {
+        MfbcConfig {
+            batch_size: None,
+            plan_mode: PlanMode::Auto,
+            max_batches: None,
+            amortize_adjacency: true,
+            sources: None,
+        }
+    }
+}
+
+/// Statistics and result of a distributed MFBC run.
+#[derive(Clone, Debug)]
+pub struct MfbcRun {
+    /// Accumulated centrality scores (exact if every batch ran).
+    pub scores: BcScores,
+    /// Batches processed.
+    pub batches: usize,
+    /// Sources actually processed (for TEPS accounting).
+    pub sources_processed: usize,
+    /// Total forward iterations.
+    pub forward_iterations: usize,
+    /// Total backward iterations.
+    pub backward_iterations: usize,
+    /// `Σ nnz(Fᵢ)` over forward frontiers.
+    pub frontier_nnz: u64,
+    /// Total kernel applications.
+    pub ops: u64,
+}
+
+/// Runs distributed MFBC on `machine`.
+///
+/// # Errors
+/// Propagates simulated out-of-memory failures.
+pub fn mfbc_dist(machine: &Machine, g: &Graph, cfg: &MfbcConfig) -> Result<MfbcRun, MachineError> {
+    let n = g.n();
+    let nb = cfg.batch_size.unwrap_or_else(|| n.min(512)).max(1);
+
+    // Adjacency and its transpose, canonically distributed and
+    // resident for the whole run.
+    let da = DistMat::from_global(canonical_layout(machine, n, n), g.adjacency());
+    let dat = DistMat::from_global(canonical_layout(machine, n, n), &g.adjacency_t());
+    da.charge_memory(machine)?;
+    dat.charge_memory(machine)?;
+
+    let plan = cfg.plan_mode.plan_for(machine);
+    // Prepared-adjacency caches: the Theorem-5.1 amortization. One
+    // cache per orientation; both released (with their simulated
+    // residency) at end of run.
+    let mut fwd_cache: MmCache<mfbc_algebra::Dist> = MmCache::new();
+    let mut back_cache: MmCache<mfbc_algebra::Dist> = MmCache::new();
+    let mut run = MfbcRun {
+        scores: BcScores::zeros(n),
+        batches: 0,
+        sources_processed: 0,
+        forward_iterations: 0,
+        backward_iterations: 0,
+        frontier_nnz: 0,
+        ops: 0,
+    };
+
+    let sources: Vec<usize> = match &cfg.sources {
+        Some(s) => {
+            for &v in s {
+                assert!(v < n, "source {v} out of range for n={n}");
+            }
+            s.clone()
+        }
+        None => (0..n).collect(),
+    };
+    for chunk in sources.chunks(nb) {
+        if let Some(max) = cfg.max_batches {
+            if run.batches >= max {
+                break;
+            }
+        }
+        let caches = if cfg.amortize_adjacency {
+            Some((&mut fwd_cache, &mut back_cache))
+        } else {
+            None
+        };
+        let r = batch(machine, g, &da, &dat, chunk, plan.as_ref(), caches, &mut run);
+        if r.is_err() {
+            fwd_cache.release_all(machine);
+            back_cache.release_all(machine);
+            da.release_memory(machine);
+            dat.release_memory(machine);
+            r?;
+        }
+        run.batches += 1;
+        run.sources_processed += chunk.len();
+    }
+
+    fwd_cache.release_all(machine);
+    back_cache.release_all(machine);
+    da.release_memory(machine);
+    dat.release_memory(machine);
+    Ok(run)
+}
+
+fn mm_step<K: mfbc_algebra::SpMulKernel>(
+    machine: &Machine,
+    plan: Option<&MmPlan>,
+    f: &DistMat<K::Left>,
+    a: &DistMat<K::Right>,
+    cache: Option<&mut MmCache<K::Right>>,
+) -> Result<mfbc_tensor::MmOut<mfbc_algebra::kernel::KernelOut<K>>, MachineError> {
+    match cache {
+        Some(cache) => match plan {
+            Some(p) => mm_exec_cached::<K>(machine, p, f, a, cache),
+            None => mm_auto_cached::<K>(machine, f, a, cache).map(|(out, _)| out),
+        },
+        // Un-amortized: every product pays its own preparation.
+        None => match plan {
+            Some(p) => mfbc_tensor::mm_exec::<K>(machine, p, f, a),
+            None => mfbc_tensor::mm_auto::<K>(machine, f, a).map(|(out, _)| out),
+        },
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn batch(
+    machine: &Machine,
+    g: &Graph,
+    da: &DistMat<mfbc_algebra::Dist>,
+    dat: &DistMat<mfbc_algebra::Dist>,
+    chunk: &[usize],
+    plan: Option<&MmPlan>,
+    mut caches: Option<(
+        &mut MmCache<mfbc_algebra::Dist>,
+        &mut MmCache<mfbc_algebra::Dist>,
+    )>,
+    run: &mut MfbcRun,
+) -> Result<(), MachineError> {
+    let n = g.n();
+    let nbatch = chunk.len();
+
+    // ---- MFBF (Algorithm 1) ----
+    // One-edge seeds form the initial frontier; the table also gets
+    // the (0, 1) diagonal — see seq::mfbf's module docs.
+    let mut init = Coo::new(nbatch, n);
+    for (s, &src) in chunk.iter().enumerate() {
+        for (v, w) in g.neighbors(src) {
+            init.push(s, v, Multpath::new(w, 1.0));
+        }
+    }
+    let mut with_diag = Coo::new(nbatch, n);
+    for (s, &src) in chunk.iter().enumerate() {
+        with_diag.push(s, src, Multpath::trivial());
+    }
+    let frontier_layout = canonical_layout(machine, nbatch, n);
+    let frontier_init =
+        DistMat::from_global(frontier_layout.clone(), &init.into_csr::<MultpathMonoid>());
+    let diag = DistMat::from_global(
+        frontier_layout.clone(),
+        &with_diag.into_csr::<MultpathMonoid>(),
+    );
+    let mut t = dmat_combine::<MultpathMonoid, _>(machine, &frontier_init, &diag);
+    t.charge_memory(machine)?;
+    let mut frontier = frontier_init;
+
+    while nnz_sync(machine, &frontier) > 0 {
+        run.forward_iterations += 1;
+        run.frontier_nnz += frontier.nnz() as u64;
+        let explored = mm_step::<BellmanFordKernel>(
+            machine,
+            plan,
+            &frontier,
+            da,
+            caches.as_mut().map(|(f, _)| &mut **f),
+        )?;
+        run.ops += explored.ops;
+        let t_new = dmat_combine::<MultpathMonoid, _>(machine, &t, &explored.c);
+        frontier =
+            dmat_zip_filter::<MultpathMonoid, _, _, _>(machine, &explored.c, &t_new, |_, _, gv, tv| {
+                mfbf_keep_in_frontier(gv, tv)
+            });
+        t.release_memory(machine);
+        t = t_new;
+        t.charge_memory(machine)?;
+    }
+
+    // ---- MFBr (Algorithm 2) ----
+    let seeds =
+        dmat_map_filter::<CentpathMonoid, _, _>(machine, &t, |_, _, mp: &Multpath| {
+            Some(Centpath::new(mp.w, 0.0, 1))
+        });
+    let counted = mm_step::<BrandesKernel>(
+        machine,
+        plan,
+        &seeds,
+        dat,
+        caches.as_mut().map(|(_, b)| &mut **b),
+    )?;
+    run.ops += counted.ops;
+    let mut z = dmat_zip_filter::<CentpathMonoid, _, _, _>(
+        machine,
+        &t,
+        &counted.c,
+        |_, _, mp, d| Some(mfbr_anchor(mp, d)),
+    );
+    z.charge_memory(machine)?;
+
+    let mut bfrontier = fire_and_pin(machine, &mut z, &t);
+    while nnz_sync(machine, &bfrontier) > 0 {
+        run.backward_iterations += 1;
+        let back = mm_step::<BrandesKernel>(
+            machine,
+            plan,
+            &bfrontier,
+            dat,
+            caches.as_mut().map(|(_, b)| &mut **b),
+        )?;
+        run.ops += back.ops;
+        z = dmat_combine_anchored::<CentpathMonoid, _>(machine, &z, &back.c);
+        bfrontier = fire_and_pin(machine, &mut z, &t);
+    }
+
+    // ---- λ accumulation (Algorithm 3, line 5) ----
+    let products = dmat_zip_filter::<SumF64, _, _, f64>(machine, &z, &t, |s, v, zv, tv| {
+        if v == chunk[s] {
+            return None; // δ(s,s) is excluded by definition
+        }
+        tv.map(|mp| zv.p * mp.m)
+    });
+    let partial = dmat_column_sums(machine, &products);
+    for (v, x) in partial.into_iter().enumerate() {
+        run.scores.lambda[v] += x;
+    }
+
+    z.release_memory(machine);
+    t.release_memory(machine);
+    Ok(())
+}
+
+/// Distributed counterpart of `seq::mfbr`'s fire-and-pin: emits the
+/// frontier of zero-counter entries (carrying `ζ + 1/σ̄`) and pins
+/// them to −1 in `Z`.
+fn fire_and_pin(
+    machine: &Machine,
+    z: &mut DistMat<Centpath>,
+    t: &DistMat<Multpath>,
+) -> DistMat<Centpath> {
+    let fired = dmat_zip_filter::<CentpathMonoid, _, _, _>(machine, z, t, |_, _, zv, tv| {
+        if zv.c != 0 {
+            return None;
+        }
+        let sigma = tv.expect("Z pattern ⊆ T pattern").m;
+        mfbr_fire(zv, sigma)
+    });
+    *z = dmat_map_filter::<CentpathMonoid, _, _>(machine, z, |_, _, zv| {
+        if zv.c == 0 {
+            Some(Centpath::new(zv.w, zv.p, -1))
+        } else {
+            Some(*zv)
+        }
+    });
+    fired
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::brandes_unweighted;
+    use mfbc_machine::MachineSpec;
+
+    #[test]
+    fn dist_matches_oracle_small() {
+        let g = Graph::unweighted(6, false, vec![(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (1, 4)]);
+        let want = brandes_unweighted(&g);
+        for p in [1usize, 4] {
+            let machine = Machine::new(MachineSpec::test(p));
+            let run = mfbc_dist(&machine, &g, &MfbcConfig::default()).unwrap();
+            assert!(
+                run.scores.approx_eq(&want, 1e-9),
+                "p={p}: {:?} vs {:?}",
+                run.scores.lambda,
+                want.lambda
+            );
+        }
+    }
+
+    #[test]
+    fn ca_plan_shapes() {
+        assert_eq!(ca_plan(1, 1), MmPlan::OneD(Variant1D::A));
+        assert_eq!(
+            ca_plan(16, 4),
+            MmPlan::ThreeD {
+                split: Variant1D::B,
+                inner: Variant2D::AC,
+                p1: 4,
+                p2: 2,
+                p3: 2
+            }
+        );
+        assert_eq!(
+            ca_plan(16, 1),
+            MmPlan::TwoD {
+                variant: Variant2D::AC,
+                p2: 4,
+                p3: 4
+            }
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn ca_plan_rejects_nonsquare_layers() {
+        let _ = ca_plan(8, 4); // p/c = 2 not a square
+    }
+}

@@ -1,0 +1,42 @@
+//! MFBC — Maximal Frontier Betweenness Centrality.
+//!
+//! The paper's primary contribution (Solomonik, Besta, Vella,
+//! Hoefler — SC'17): betweenness centrality via
+//! communication-efficient generalized sparse matrix multiplication
+//! over the multpath and centpath monoids.
+//!
+//! * [`seq`] — Algorithms 1–3 on CSR matrices (shared-memory
+//!   reference, rayon-parallel kernels);
+//! * [`dist`] — the distributed drivers over the simulated machine:
+//!   autotuned **CTF-MFBC** and fixed-grid **CA-MFBC** (§6);
+//! * [`combblas`] — the CombBLAS-style comparison baseline: batched
+//!   BFS-Brandes on a square 2D grid, unweighted only (§7);
+//! * [`approx`] — unbiased sampled-source approximation (the Bader
+//!   et al. estimator the paper's intro cites);
+//! * [`bfs`] — algebraic BFS/SSSP over the tropical semiring (§2.3's
+//!   introductory primitive, batched and distributed);
+//! * [`apsp`] — path-doubling all-pairs shortest paths, the §5.3.2
+//!   memory-hungry comparator;
+//! * [`cc`] — connected components by min-label propagation (the
+//!   extensibility claim of §8, worked);
+//! * [`oracle`] — textbook Brandes (BFS + Dijkstra) and brute-force
+//!   path enumeration, the correctness spine;
+//! * [`scores`] — score vectors and comparisons.
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod approx;
+pub mod apsp;
+pub mod bfs;
+pub mod cc;
+pub mod combblas;
+pub mod dist;
+pub mod oracle;
+pub mod scores;
+pub mod seq;
+
+pub use approx::{approx_from_sources, mfbc_approx};
+pub use dist::{mfbc_dist, MfbcConfig, MfbcRun, PlanMode};
+pub use scores::BcScores;
+pub use seq::{mfbc_seq, MfbcSeqStats};

@@ -1,0 +1,122 @@
+//! Sequential Brandes' algorithm for unweighted graphs (Brandes
+//! 2001) — the primary correctness oracle.
+
+use crate::scores::BcScores;
+use mfbc_graph::Graph;
+use std::collections::VecDeque;
+
+/// Computes exact betweenness centrality by one BFS + one backward
+/// dependency sweep per source.
+pub fn brandes_unweighted(g: &Graph) -> BcScores {
+    assert!(
+        g.is_unit_weighted(),
+        "brandes_unweighted requires unit weights; use brandes_weighted"
+    );
+    let n = g.n();
+    let mut scores = BcScores::zeros(n);
+    let mut sigma = vec![0.0f64; n];
+    let mut dist = vec![usize::MAX; n];
+    let mut delta = vec![0.0f64; n];
+    let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut order: Vec<usize> = Vec::with_capacity(n);
+    let mut queue = VecDeque::new();
+
+    for s in 0..n {
+        sigma.fill(0.0);
+        dist.fill(usize::MAX);
+        delta.fill(0.0);
+        for p in &mut preds {
+            p.clear();
+        }
+        order.clear();
+
+        sigma[s] = 1.0;
+        dist[s] = 0;
+        queue.push_back(s);
+        while let Some(v) = queue.pop_front() {
+            order.push(v);
+            for (u, _) in g.neighbors(v) {
+                if dist[u] == usize::MAX {
+                    dist[u] = dist[v] + 1;
+                    queue.push_back(u);
+                }
+                if dist[u] == dist[v] + 1 {
+                    sigma[u] += sigma[v];
+                    preds[u].push(v);
+                }
+            }
+        }
+        // Backward sweep in reverse BFS order.
+        for &w in order.iter().rev() {
+            let coeff = (1.0 + delta[w]) / sigma[w];
+            for &v in &preds[w] {
+                delta[v] += sigma[v] * coeff;
+            }
+            if w != s {
+                scores.lambda[w] += delta[w];
+            }
+        }
+    }
+    scores
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Path 0-1-2: vertex 1 lies on the (0,2) and (2,0) paths.
+    #[test]
+    fn path_graph() {
+        let g = Graph::unweighted(3, false, vec![(0, 1), (1, 2)]);
+        let s = brandes_unweighted(&g);
+        assert_eq!(s.lambda, vec![0.0, 2.0, 0.0]);
+    }
+
+    /// Star: the hub lies on all (leaf, leaf) ordered pairs.
+    #[test]
+    fn star_graph() {
+        let g = Graph::unweighted(5, false, vec![(0, 1), (0, 2), (0, 3), (0, 4)]);
+        let s = brandes_unweighted(&g);
+        assert_eq!(s.lambda[0], 12.0); // 4·3 ordered leaf pairs
+        for v in 1..5 {
+            assert_eq!(s.lambda[v], 0.0);
+        }
+    }
+
+    /// Cycle of 4: every vertex carries half of the opposite pair's
+    /// two tied shortest paths, in both directions.
+    #[test]
+    fn cycle_graph() {
+        let g = Graph::unweighted(4, false, vec![(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let s = brandes_unweighted(&g);
+        for v in 0..4 {
+            assert!((s.lambda[v] - 1.0).abs() < 1e-12, "λ({v}) = {}", s.lambda[v]);
+        }
+    }
+
+    /// Diamond 0→{1,2}→3 (directed): two tied paths; each middle
+    /// vertex gets 1/2.
+    #[test]
+    fn directed_diamond() {
+        let g = Graph::unweighted(4, true, vec![(0, 1), (0, 2), (1, 3), (2, 3)]);
+        let s = brandes_unweighted(&g);
+        assert!((s.lambda[1] - 0.5).abs() < 1e-12);
+        assert!((s.lambda[2] - 0.5).abs() < 1e-12);
+        assert_eq!(s.lambda[0], 0.0);
+        assert_eq!(s.lambda[3], 0.0);
+    }
+
+    #[test]
+    fn disconnected_components() {
+        let g = Graph::unweighted(6, false, vec![(0, 1), (1, 2), (3, 4), (4, 5)]);
+        let s = brandes_unweighted(&g);
+        assert_eq!(s.lambda, vec![0.0, 2.0, 0.0, 0.0, 2.0, 0.0]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::unweighted(3, false, Vec::<(usize, usize)>::new());
+        let s = brandes_unweighted(&g);
+        assert_eq!(s.lambda, vec![0.0; 3]);
+    }
+}

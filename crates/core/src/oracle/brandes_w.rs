@@ -1,0 +1,165 @@
+//! Sequential Brandes' algorithm for weighted graphs (Dijkstra-based
+//! forward phase, Brandes 2001 §4) — the weighted correctness oracle.
+
+use crate::scores::BcScores;
+use mfbc_algebra::Dist;
+use mfbc_graph::Graph;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Computes exact betweenness centrality on a positively-weighted
+/// graph via one Dijkstra + one decreasing-distance dependency sweep
+/// per source.
+pub fn brandes_weighted(g: &Graph) -> BcScores {
+    let n = g.n();
+    let mut scores = BcScores::zeros(n);
+    let mut sigma = vec![0.0f64; n];
+    let mut dist: Vec<Dist> = vec![Dist::INF; n];
+    let mut delta = vec![0.0f64; n];
+    let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut settled: Vec<usize> = Vec::with_capacity(n);
+    let mut done = vec![false; n];
+
+    for s in 0..n {
+        sigma.fill(0.0);
+        dist.fill(Dist::INF);
+        delta.fill(0.0);
+        done.fill(false);
+        for p in &mut preds {
+            p.clear();
+        }
+        settled.clear();
+
+        sigma[s] = 1.0;
+        dist[s] = Dist::ZERO;
+        let mut heap: BinaryHeap<Reverse<(Dist, usize)>> = BinaryHeap::new();
+        heap.push(Reverse((Dist::ZERO, s)));
+        while let Some(Reverse((d, v))) = heap.pop() {
+            if done[v] || d > dist[v] {
+                continue;
+            }
+            done[v] = true;
+            settled.push(v);
+            for (u, w) in g.neighbors(v) {
+                let cand = d + w;
+                if cand < dist[u] {
+                    dist[u] = cand;
+                    sigma[u] = sigma[v];
+                    preds[u].clear();
+                    preds[u].push(v);
+                    heap.push(Reverse((cand, u)));
+                } else if cand == dist[u] && !done[u] {
+                    sigma[u] += sigma[v];
+                    preds[u].push(v);
+                }
+            }
+        }
+        // Dependency accumulation in decreasing-distance order.
+        for &w in settled.iter().rev() {
+            let coeff = (1.0 + delta[w]) / sigma[w];
+            for &v in &preds[w] {
+                delta[v] += sigma[v] * coeff;
+            }
+            if w != s {
+                scores.lambda[w] += delta[w];
+            }
+        }
+    }
+    scores
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::brandes::brandes_unweighted;
+
+    #[test]
+    fn matches_unweighted_on_unit_graph() {
+        let g = Graph::unweighted(
+            6,
+            false,
+            vec![(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (1, 4)],
+        );
+        let a = brandes_unweighted(&g);
+        let b = brandes_weighted(&g);
+        assert!(a.approx_eq(&b, 1e-12), "{:?} vs {:?}", a.lambda, b.lambda);
+    }
+
+    /// Weighted diamond: 0→1→3 costs 2, 0→2→3 costs 3 — only vertex 1
+    /// is on the shortest path.
+    #[test]
+    fn weights_break_ties() {
+        let g = Graph::new(
+            4,
+            true,
+            vec![
+                (0, 1, Dist::new(1)),
+                (0, 2, Dist::new(1)),
+                (1, 3, Dist::new(1)),
+                (2, 3, Dist::new(2)),
+            ],
+        );
+        let s = brandes_weighted(&g);
+        assert_eq!(s.lambda[1], 1.0);
+        assert_eq!(s.lambda[2], 0.0);
+    }
+
+    /// Weighted tie: both routes cost 2 → each middle vertex ½.
+    #[test]
+    fn weighted_tie_splits_multiplicity() {
+        let g = Graph::new(
+            4,
+            true,
+            vec![
+                (0, 1, Dist::new(1)),
+                (0, 2, Dist::new(1)),
+                (1, 3, Dist::new(1)),
+                (2, 3, Dist::new(1)),
+            ],
+        );
+        let s = brandes_weighted(&g);
+        assert!((s.lambda[1] - 0.5).abs() < 1e-12);
+        assert!((s.lambda[2] - 0.5).abs() < 1e-12);
+    }
+
+    /// A heavy direct edge loses to a lighter two-hop route, putting
+    /// the middle vertex on the path.
+    #[test]
+    fn shortcut_vs_detour() {
+        let g = Graph::new(
+            3,
+            false,
+            vec![
+                (0, 2, Dist::new(10)),
+                (0, 1, Dist::new(2)),
+                (1, 2, Dist::new(3)),
+            ],
+        );
+        let s = brandes_weighted(&g);
+        assert_eq!(s.lambda[1], 2.0); // both directions
+    }
+
+    /// Multi-edge-count shortest paths in a weighted graph: paths
+    /// with different hop counts but equal weight must both count —
+    /// the case BFS-based algorithms cannot handle.
+    #[test]
+    fn equal_weight_different_hop_counts() {
+        // 0→3 direct weight 2; 0→1→2→3 weights 1,0.5,0.5 … integral
+        // weights: direct (0,3) w=4; hop route 0→1→2→3 w=1+1+2=4.
+        let g = Graph::new(
+            4,
+            true,
+            vec![
+                (0, 3, Dist::new(4)),
+                (0, 1, Dist::new(1)),
+                (1, 2, Dist::new(1)),
+                (2, 3, Dist::new(2)),
+            ],
+        );
+        let s = brandes_weighted(&g);
+        // σ̄(0,3) = 2. Vertex 1: on 0→1→2 (1) plus half the (0,3)
+        // pairs (0.5). Vertex 2: on 1→2→3 (1) plus half of (0,3).
+        assert!((s.lambda[1] - 1.5).abs() < 1e-12, "λ(1)={}", s.lambda[1]);
+        assert!((s.lambda[2] - 1.5).abs() < 1e-12, "λ(2)={}", s.lambda[2]);
+    }
+}

@@ -1,0 +1,133 @@
+//! Brute-force betweenness centrality by explicit shortest-path
+//! enumeration — an algorithm-independent oracle for tiny graphs.
+//!
+//! Distances come from Floyd–Warshall; `σ̄(s,t)` and `σ(s,t,v)` are
+//! counted by depth-first enumeration of every shortest path. Cost is
+//! exponential in the path multiplicity, so keep `n ≲ 12`.
+
+#![allow(clippy::needless_range_loop)]
+
+use crate::scores::BcScores;
+use mfbc_algebra::Dist;
+use mfbc_graph::Graph;
+
+/// Exact `λ(v) = Σ_{s,t} σ(s,t,v)/σ̄(s,t)` by path enumeration.
+pub fn bruteforce_bc(g: &Graph) -> BcScores {
+    let n = g.n();
+    // Floyd–Warshall distances.
+    let mut dist = vec![vec![Dist::INF; n]; n];
+    for v in 0..n {
+        dist[v][v] = Dist::ZERO;
+    }
+    for (i, j, w) in g.adjacency().iter() {
+        dist[i][j] = dist[i][j].min(*w);
+    }
+    for k in 0..n {
+        for i in 0..n {
+            for j in 0..n {
+                let via = dist[i][k] + dist[k][j];
+                if via < dist[i][j] {
+                    dist[i][j] = via;
+                }
+            }
+        }
+    }
+
+    let mut scores = BcScores::zeros(n);
+    for s in 0..n {
+        for t in 0..n {
+            if s == t || !dist[s][t].is_finite() {
+                continue;
+            }
+            // Enumerate shortest s→t paths, counting per-vertex
+            // pass-throughs.
+            let mut through = vec![0u64; n];
+            let mut total = 0u64;
+            let mut stack: Vec<usize> = vec![s];
+            enumerate(g, &dist, s, t, &mut stack, &mut through, &mut total);
+            assert!(total > 0, "distance finite but no path found");
+            for v in 0..n {
+                if v != s && v != t && through[v] > 0 {
+                    scores.lambda[v] += through[v] as f64 / total as f64;
+                }
+            }
+        }
+    }
+    scores
+}
+
+fn enumerate(
+    g: &Graph,
+    dist: &[Vec<Dist>],
+    cur: usize,
+    t: usize,
+    stack: &mut Vec<usize>,
+    through: &mut [u64],
+    total: &mut u64,
+) {
+    if cur == t {
+        *total += 1;
+        for &v in stack.iter() {
+            through[v] += 1;
+        }
+        return;
+    }
+    for (u, w) in g.neighbors(cur) {
+        // Edge (cur,u) lies on a shortest path to t iff it preserves
+        // the distance identity.
+        if dist[stack[0]][cur] + w + dist[u][t] == dist[stack[0]][t] {
+            stack.push(u);
+            enumerate(g, dist, u, t, stack, through, total);
+            stack.pop();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::{brandes_unweighted, brandes_weighted};
+
+    #[test]
+    fn matches_brandes_on_path() {
+        let g = Graph::unweighted(4, false, vec![(0, 1), (1, 2), (2, 3)]);
+        let bf = bruteforce_bc(&g);
+        let br = brandes_unweighted(&g);
+        assert!(bf.approx_eq(&br, 1e-12), "{:?} vs {:?}", bf.lambda, br.lambda);
+    }
+
+    #[test]
+    fn matches_brandes_on_k4() {
+        let g = Graph::unweighted(4, false, vec![(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
+        let bf = bruteforce_bc(&g);
+        let br = brandes_unweighted(&g);
+        assert!(bf.approx_eq(&br, 1e-12));
+    }
+
+    #[test]
+    fn matches_weighted_brandes() {
+        let g = Graph::new(
+            5,
+            true,
+            vec![
+                (0, 1, Dist::new(2)),
+                (1, 2, Dist::new(2)),
+                (0, 2, Dist::new(4)),
+                (2, 3, Dist::new(1)),
+                (3, 4, Dist::new(1)),
+                (2, 4, Dist::new(2)),
+            ],
+        );
+        let bf = bruteforce_bc(&g);
+        let bw = brandes_weighted(&g);
+        assert!(bf.approx_eq(&bw, 1e-12), "{:?} vs {:?}", bf.lambda, bw.lambda);
+    }
+
+    #[test]
+    fn tied_paths_split_credit() {
+        let g = Graph::unweighted(4, true, vec![(0, 1), (0, 2), (1, 3), (2, 3)]);
+        let bf = bruteforce_bc(&g);
+        assert!((bf.lambda[1] - 0.5).abs() < 1e-12);
+        assert!((bf.lambda[2] - 0.5).abs() < 1e-12);
+    }
+}

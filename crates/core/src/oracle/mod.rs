@@ -1,0 +1,13 @@
+//! Reference oracles for betweenness centrality, independent of the
+//! algebraic machinery: textbook Brandes (unweighted BFS and weighted
+//! Dijkstra variants) and a brute-force path enumerator for tiny
+//! graphs. The MFBC correctness spine (DESIGN.md §2) tests every
+//! production algorithm against these.
+
+pub mod brandes;
+pub mod brandes_w;
+pub mod bruteforce;
+
+pub use brandes::brandes_unweighted;
+pub use brandes_w::brandes_weighted;
+pub use bruteforce::bruteforce_bc;

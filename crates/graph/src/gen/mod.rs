@@ -1,0 +1,10 @@
+//! Graph generators: R-MAT, Erdős–Rényi uniform, and the Table-2
+//! real-graph stand-ins.
+
+pub mod rmat;
+pub mod snapgen;
+pub mod uniform;
+
+pub use rmat::{rmat, RmatConfig};
+pub use snapgen::{snap_standin, SnapGraph};
+pub use uniform::{uniform, uniform_density};

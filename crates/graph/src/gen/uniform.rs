@@ -1,0 +1,94 @@
+//! Erdős–Rényi uniform random graphs `G(n, m)` — the paper's
+//! weak-scaling workload (§7.3: "uniform random graphs, in which all
+//! nodes have the same expected vertex degree, and every edge exists
+//! with a uniform probability").
+
+use crate::graph::Graph;
+use mfbc_algebra::Dist;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Generates a uniform random graph with `n` vertices and about
+/// `m_target` undirected edges (duplicates and self-loops are
+/// resampled away up to a bounded number of attempts), optionally
+/// weighted uniformly in `[1, wmax]`.
+pub fn uniform(
+    n: usize,
+    m_target: usize,
+    directed: bool,
+    weights: Option<u64>,
+    seed: u64,
+) -> Graph {
+    assert!(n >= 2, "uniform graph needs at least two vertices");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut edges = Vec::with_capacity(m_target);
+    for _ in 0..m_target {
+        // Rejection-sample a non-loop; duplicates are merged by the
+        // Graph constructor (expected duplicate fraction is tiny for
+        // the sparse regimes benchmarked).
+        let mut u = rng.gen_range(0..n);
+        let mut v = rng.gen_range(0..n);
+        let mut tries = 0;
+        while u == v && tries < 32 {
+            u = rng.gen_range(0..n);
+            v = rng.gen_range(0..n);
+            tries += 1;
+        }
+        if u == v {
+            continue;
+        }
+        let w = match weights {
+            Some(wmax) => Dist::new(rng.gen_range(1..=wmax)),
+            None => Dist::ONE,
+        };
+        edges.push((u, v, w));
+    }
+    Graph::new(n, directed, edges)
+}
+
+/// Generates a uniform graph from an edge *density*: the paper's
+/// "edge percentage" `f = 100·m/n²` of Fig. 2(a). `f` is in percent.
+pub fn uniform_density(n: usize, f_percent: f64, weights: Option<u64>, seed: u64) -> Graph {
+    let m = ((f_percent / 100.0) * (n as f64) * (n as f64) / 2.0).round() as usize;
+    uniform(n, m, false, weights, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_count_near_target() {
+        let g = uniform(1000, 5000, false, None, 1);
+        let e = g.edge_count();
+        assert!(e > 4800 && e <= 5000, "edge count {e} off target");
+    }
+
+    #[test]
+    fn density_maps_to_edges() {
+        // f = 1% of n² = 0.01·n²; undirected halves it.
+        let n = 500;
+        let g = uniform_density(n, 1.0, None, 3);
+        let expect = 0.01 * (n as f64) * (n as f64) / 2.0;
+        let e = g.edge_count() as f64;
+        assert!((e - expect).abs() / expect < 0.05, "e={e}, expect≈{expect}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = uniform(100, 300, true, Some(100), 9);
+        let b = uniform(100, 300, true, Some(100), 9);
+        assert_eq!(a.adjacency(), b.adjacency());
+    }
+
+    #[test]
+    fn degrees_are_balanced() {
+        let g = uniform(2000, 20_000, false, None, 5);
+        let max_deg = (0..g.n()).map(|v| g.degree(v)).max().unwrap();
+        let avg = g.avg_degree();
+        // Uniform graphs have no heavy tail: the max degree stays
+        // within a small factor of the mean (Chernoff).
+        assert!((max_deg as f64) < 3.0 * avg, "max {max_deg}, avg {avg}");
+    }
+}

@@ -1,0 +1,203 @@
+//! The graph type: a weighted, possibly directed graph stored as a
+//! sparse adjacency matrix over the weight domain `W`.
+
+use mfbc_algebra::monoid::MinDist;
+use mfbc_algebra::Dist;
+use mfbc_sparse::{transpose::transpose, Coo, Csr};
+
+/// A labeled graph `G = (V, E, w)` with `V = 0..n`, represented by
+/// its adjacency matrix `A(i,j) = w(i,j)` (entries absent for
+/// non-edges, i.e. `A(i,j) = ∞` implicitly — §2.1).
+///
+/// For undirected graphs both orientations of every edge are stored,
+/// so `m()` counts *directed* arcs; parallel edges are merged keeping
+/// the minimum weight, and self-loops are dropped (they never lie on
+/// a shortest path under positive weights and the paper's
+/// preprocessing removes them).
+#[derive(Clone, Debug)]
+pub struct Graph {
+    directed: bool,
+    adj: Csr<Dist>,
+}
+
+impl Graph {
+    /// Builds a graph from weighted edges. Self-loops are discarded;
+    /// duplicate edges keep the minimum weight; for undirected graphs
+    /// the reverse arcs are added automatically.
+    ///
+    /// # Panics
+    /// Panics if an endpoint is out of range or a weight is zero
+    /// (shortest-path multiplicities require strictly positive
+    /// weights) or infinite.
+    pub fn new(
+        n: usize,
+        directed: bool,
+        edges: impl IntoIterator<Item = (usize, usize, Dist)>,
+    ) -> Graph {
+        let mut coo = Coo::new(n, n);
+        for (u, v, w) in edges {
+            assert!(u < n && v < n, "edge ({u},{v}) out of range for n={n}");
+            assert!(
+                w.is_finite() && w > Dist::ZERO,
+                "edge weights must be finite and positive, got {w:?}"
+            );
+            if u == v {
+                continue;
+            }
+            coo.push(u, v, w);
+            if !directed {
+                coo.push(v, u, w);
+            }
+        }
+        Graph {
+            directed,
+            adj: coo.into_csr::<MinDist>(),
+        }
+    }
+
+    /// Builds an unweighted graph (all weights 1).
+    pub fn unweighted(
+        n: usize,
+        directed: bool,
+        edges: impl IntoIterator<Item = (usize, usize)>,
+    ) -> Graph {
+        Graph::new(
+            n,
+            directed,
+            edges.into_iter().map(|(u, v)| (u, v, Dist::ONE)),
+        )
+    }
+
+    /// Wraps an adjacency matrix directly (must be square; asserts
+    /// symmetry is *not* checked — callers own the `directed` flag).
+    pub fn from_adjacency(adj: Csr<Dist>, directed: bool) -> Graph {
+        assert_eq!(adj.nrows(), adj.ncols(), "adjacency must be square");
+        Graph { directed, adj }
+    }
+
+    /// Number of vertices `n`.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.adj.nrows()
+    }
+
+    /// Number of stored (directed) arcs. For an undirected graph this
+    /// is `2·|E|`.
+    #[inline]
+    pub fn m(&self) -> usize {
+        self.adj.nnz()
+    }
+
+    /// Number of undirected edges `|E|` (arcs for directed graphs).
+    pub fn edge_count(&self) -> usize {
+        if self.directed {
+            self.m()
+        } else {
+            self.m() / 2
+        }
+    }
+
+    /// Whether the graph is directed.
+    #[inline]
+    pub fn directed(&self) -> bool {
+        self.directed
+    }
+
+    /// The adjacency matrix.
+    #[inline]
+    pub fn adjacency(&self) -> &Csr<Dist> {
+        &self.adj
+    }
+
+    /// The transposed adjacency matrix `Aᵀ` (what MFBr multiplies
+    /// by).
+    pub fn adjacency_t(&self) -> Csr<Dist> {
+        transpose(&self.adj)
+    }
+
+    /// Out-degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: usize) -> usize {
+        self.adj.row_nnz(v)
+    }
+
+    /// Whether every edge has weight 1.
+    pub fn is_unit_weighted(&self) -> bool {
+        self.adj.iter().all(|(_, _, w)| *w == Dist::ONE)
+    }
+
+    /// Out-neighbors of `v` with weights.
+    pub fn neighbors(&self, v: usize) -> impl Iterator<Item = (usize, Dist)> + '_ {
+        self.adj.row(v).map(|(u, w)| (u, *w))
+    }
+
+    /// Average degree `m/n` (arcs per vertex).
+    pub fn avg_degree(&self) -> f64 {
+        if self.n() == 0 {
+            0.0
+        } else {
+            self.m() as f64 / self.n() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn undirected_stores_both_arcs() {
+        let g = Graph::unweighted(4, false, vec![(0, 1), (1, 2)]);
+        assert_eq!(g.m(), 4);
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.adjacency().get(1, 0), Some(&Dist::ONE));
+        assert_eq!(g.adjacency().get(0, 1), Some(&Dist::ONE));
+    }
+
+    #[test]
+    fn directed_stores_one_arc() {
+        let g = Graph::unweighted(4, true, vec![(0, 1), (1, 2)]);
+        assert_eq!(g.m(), 2);
+        assert_eq!(g.adjacency().get(1, 0), None);
+    }
+
+    #[test]
+    fn self_loops_dropped_duplicates_min() {
+        let g = Graph::new(
+            3,
+            true,
+            vec![
+                (0, 0, Dist::new(5)),
+                (0, 1, Dist::new(9)),
+                (0, 1, Dist::new(4)),
+            ],
+        );
+        assert_eq!(g.m(), 1);
+        assert_eq!(g.adjacency().get(0, 1), Some(&Dist::new(4)));
+    }
+
+    #[test]
+    fn transpose_flips_direction() {
+        let g = Graph::unweighted(3, true, vec![(0, 2)]);
+        let t = g.adjacency_t();
+        assert_eq!(t.get(2, 0), Some(&Dist::ONE));
+        assert_eq!(t.get(0, 2), None);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_weight_rejected() {
+        let _ = Graph::new(2, true, vec![(0, 1, Dist::ZERO)]);
+    }
+
+    #[test]
+    fn degrees_and_unit_weights() {
+        let g = Graph::unweighted(4, false, vec![(0, 1), (0, 2), (0, 3)]);
+        assert_eq!(g.degree(0), 3);
+        assert_eq!(g.degree(1), 1);
+        assert!(g.is_unit_weighted());
+        assert_eq!(g.avg_degree(), 1.5);
+        let w = Graph::new(2, true, vec![(0, 1, Dist::new(7))]);
+        assert!(!w.is_unit_weighted());
+    }
+}

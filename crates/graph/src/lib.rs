@@ -1,0 +1,30 @@
+//! Graphs, generators, statistics, and preprocessing for MFBC.
+//!
+//! Provides the evaluation workloads of the paper's §7:
+//!
+//! * [`gen::rmat`](gen::rmat()) — R-MAT power-law graphs (Chakrabarti et al.),
+//!   used for the strong-scaling experiments of Fig. 1(c);
+//! * [`gen::uniform`](gen::uniform()) — Erdős–Rényi uniform random graphs, used for
+//!   the weak-scaling experiments of Fig. 2;
+//! * [`gen::snapgen`] — parameterized stand-ins for the SNAP
+//!   real-world graphs of Table 2 (Friendster, Orkut, LiveJournal,
+//!   Patents), scaled down; see DESIGN.md §3 for the substitution
+//!   rationale;
+//! * [`stats`] — degree distributions, BFS-sampled effective
+//!   diameter, reachability;
+//! * [`prep`] — the paper's preprocessing (isolated-vertex removal,
+//!   random relabeling for block load balance, symmetrization,
+//!   weight assignment);
+//! * [`io`] — SNAP-format edge-list reading/writing, for running on
+//!   the real datasets when available.
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod gen;
+pub mod io;
+pub mod graph;
+pub mod prep;
+pub mod stats;
+
+pub use graph::Graph;

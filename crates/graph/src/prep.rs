@@ -1,0 +1,140 @@
+//! Graph preprocessing, mirroring §7.1: isolated-vertex removal,
+//! random relabeling (the load-balance prerequisite of §5.2), and
+//! weight assignment.
+
+use crate::graph::Graph;
+use crate::stats::isolated_vertices;
+use mfbc_algebra::Dist;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Removes completely disconnected vertices and compacts labels
+/// ("Our CTF-MFBC code preprocessed all graphs to remove completely
+/// disconnected vertices", §7.1). Returns the compacted graph.
+pub fn remove_isolated(g: &Graph) -> Graph {
+    let isolated = isolated_vertices(g);
+    if isolated.is_empty() {
+        return g.clone();
+    }
+    let mut keep = vec![true; g.n()];
+    for v in isolated {
+        keep[v] = false;
+    }
+    let mut newid = vec![usize::MAX; g.n()];
+    let mut next = 0;
+    for v in 0..g.n() {
+        if keep[v] {
+            newid[v] = next;
+            next += 1;
+        }
+    }
+    let edges = directed_arcs(g)
+        .into_iter()
+        .map(|(u, v, w)| (newid[u], newid[v], w));
+    Graph::new(next, true, edges).with_directedness(g.directed())
+}
+
+/// Applies a uniformly random permutation to vertex labels. Keeps
+/// blocks of any even decomposition balanced in expectation — the
+/// balls-into-bins assumption the communication analysis rests on
+/// (§5.2).
+pub fn random_relabel(g: &Graph, seed: u64) -> Graph {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut perm: Vec<usize> = (0..g.n()).collect();
+    perm.shuffle(&mut rng);
+    let edges = directed_arcs(g)
+        .into_iter()
+        .map(|(u, v, w)| (perm[u], perm[v], w));
+    Graph::new(g.n(), true, edges).with_directedness(g.directed())
+}
+
+/// Replaces every weight with a uniform draw from `[1, wmax]`
+/// (consistent across the two arcs of an undirected edge), as the
+/// paper does for weighted R-MAT runs ("weights are selected randomly
+/// between 1 and 100").
+pub fn randomize_weights(g: &Graph, wmax: u64, seed: u64) -> Graph {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut edges = Vec::with_capacity(g.m());
+    for (u, v, _) in directed_arcs(g) {
+        if !g.directed() && u > v {
+            continue; // weight decided by the (u < v) orientation
+        }
+        edges.push((u, v, Dist::new(rng.gen_range(1..=wmax))));
+    }
+    Graph::new(g.n(), g.directed(), edges)
+}
+
+/// Strips weights (every edge becomes weight 1).
+pub fn unweighted_copy(g: &Graph) -> Graph {
+    let edges = directed_arcs(g).into_iter().map(|(u, v, _)| (u, v, Dist::ONE));
+    Graph::new(g.n(), true, edges).with_directedness(g.directed())
+}
+
+/// All stored arcs of `g` as triples.
+fn directed_arcs(g: &Graph) -> Vec<(usize, usize, Dist)> {
+    g.adjacency().iter().map(|(u, v, w)| (u, v, *w)).collect()
+}
+
+impl Graph {
+    /// Rewrites the directedness flag without touching arcs (helper
+    /// for preprocessing passes that rebuild via directed arcs).
+    fn with_directedness(self, directed: bool) -> Graph {
+        Graph::from_adjacency(self.adjacency().clone(), directed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::degree_stats;
+
+    #[test]
+    fn isolated_removal_compacts() {
+        let g = Graph::unweighted(6, false, vec![(0, 2), (2, 5)]);
+        let c = remove_isolated(&g);
+        assert_eq!(c.n(), 3);
+        assert_eq!(c.edge_count(), 2);
+        assert!(!c.directed());
+    }
+
+    #[test]
+    fn no_isolated_is_noop() {
+        let g = Graph::unweighted(3, false, vec![(0, 1), (1, 2)]);
+        let c = remove_isolated(&g);
+        assert_eq!(c.adjacency(), g.adjacency());
+    }
+
+    #[test]
+    fn relabel_preserves_structure() {
+        let g = Graph::unweighted(50, false, (0..49).map(|i| (i, i + 1)));
+        let r = random_relabel(&g, 1);
+        assert_eq!(r.n(), g.n());
+        assert_eq!(r.m(), g.m());
+        let (avg_g, max_g) = degree_stats(&g);
+        let (avg_r, max_r) = degree_stats(&r);
+        assert_eq!(avg_g, avg_r);
+        assert_eq!(max_g, max_r);
+        assert_ne!(r.adjacency(), g.adjacency(), "permutation was identity");
+    }
+
+    #[test]
+    fn weight_randomization_is_symmetric_for_undirected() {
+        let g = Graph::unweighted(10, false, vec![(0, 1), (2, 3), (4, 5)]);
+        let w = randomize_weights(&g, 100, 7);
+        for (u, v, wt) in w.adjacency().iter() {
+            assert_eq!(w.adjacency().get(v, u), Some(wt), "asymmetric at ({u},{v})");
+            assert!((1..=100).contains(&wt.raw()));
+        }
+    }
+
+    #[test]
+    fn unweighted_copy_resets_weights() {
+        let g = Graph::new(3, true, vec![(0, 1, Dist::new(42))]);
+        let u = unweighted_copy(&g);
+        assert!(u.is_unit_weighted());
+        assert!(u.directed());
+        assert_eq!(u.m(), 1);
+    }
+}

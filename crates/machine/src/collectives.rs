@@ -1,0 +1,320 @@
+//! Typed, data-moving collective operations.
+//!
+//! The tensor layer drives distributed algorithms from a "global
+//! view": a distributed object is a `Vec` with one element per group
+//! member, and a collective both *moves the data* between those
+//! slots and charges the α–β cost to every participant's critical
+//! path. Because the data movement is real, a mis-specified
+//! communication pattern produces wrong results, not merely wrong
+//! cost numbers — the property that makes this simulation a faithful
+//! substitute for MPI executions.
+//!
+//! Replicated payloads travel as `Arc<T>`: within one address space a
+//! broadcast is semantically "everyone holds the same immutable
+//! value", which `Arc` models without multiplying resident memory
+//! (the *simulated* memory meter still charges each rank separately
+//! via the tensor layer).
+
+use crate::comm::Group;
+use crate::cost::CollectiveKind;
+use crate::Machine;
+use std::sync::Arc;
+
+/// Types that know their wire size in bytes.
+pub trait Volume {
+    /// Bytes this value would occupy in a message.
+    fn comm_bytes(&self) -> u64;
+}
+
+impl Volume for () {
+    fn comm_bytes(&self) -> u64 {
+        0
+    }
+}
+
+impl<T: Volume> Volume for Arc<T> {
+    fn comm_bytes(&self) -> u64 {
+        (**self).comm_bytes()
+    }
+}
+
+impl<T: Volume> Volume for &T {
+    fn comm_bytes(&self) -> u64 {
+        (**self).comm_bytes()
+    }
+}
+
+impl<A: Volume, B: Volume> Volume for (A, B) {
+    fn comm_bytes(&self) -> u64 {
+        self.0.comm_bytes() + self.1.comm_bytes()
+    }
+}
+
+impl<T: Volume> Volume for Vec<T> {
+    fn comm_bytes(&self) -> u64 {
+        self.iter().map(Volume::comm_bytes).sum()
+    }
+}
+
+impl<T: Volume> Volume for Option<T> {
+    fn comm_bytes(&self) -> u64 {
+        self.as_ref().map_or(0, Volume::comm_bytes)
+    }
+}
+
+macro_rules! pod_volume {
+    ($($t:ty),*) => {$(
+        impl Volume for $t {
+            fn comm_bytes(&self) -> u64 {
+                std::mem::size_of::<$t>() as u64
+            }
+        }
+    )*};
+}
+
+pod_volume!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+impl<T> Volume for mfbc_sparse::Csr<T> {
+    fn comm_bytes(&self) -> u64 {
+        self.payload_bytes() as u64
+    }
+}
+
+impl<T> Volume for mfbc_sparse::Coo<T> {
+    fn comm_bytes(&self) -> u64 {
+        (self.len() * (mfbc_sparse::entry_bytes::<T>() + std::mem::size_of::<mfbc_sparse::Idx>()))
+            as u64
+    }
+}
+
+/// Broadcast: the payload at group index `root` is replicated to
+/// every member. Returns one handle per member, in group order.
+pub fn broadcast<T: Volume>(m: &Machine, g: &Group, root: usize, data: Arc<T>) -> Vec<Arc<T>> {
+    assert!(root < g.len(), "broadcast root outside group");
+    if g.len() > 1 {
+        m.charge_collective(g, CollectiveKind::Broadcast, data.comm_bytes());
+    }
+    (0..g.len()).map(|_| Arc::clone(&data)).collect()
+}
+
+/// Reduce: combines one contribution per member into a single value
+/// delivered at the root. `combine` must be associative and
+/// commutative; contributions are folded in group order so results
+/// are deterministic.
+pub fn reduce<T: Volume>(
+    m: &Machine,
+    g: &Group,
+    contribs: Vec<T>,
+    mut combine: impl FnMut(T, T) -> T,
+) -> T {
+    assert_eq!(contribs.len(), g.len(), "one contribution per member");
+    let bytes = contribs.iter().map(Volume::comm_bytes).max().unwrap_or(0);
+    if g.len() > 1 {
+        m.charge_collective(g, CollectiveKind::Reduce, bytes);
+    }
+    let mut it = contribs.into_iter();
+    let first = it.next().expect("group is non-empty");
+    it.fold(first, &mut combine)
+}
+
+/// Sparse reduce: like [`reduce`] but charged by the *result* size
+/// (§5.1: "the cost of a sparse reduction where the resulting array
+/// has x nonzeros is also O(β·x + α·log p)").
+pub fn sparse_reduce<T: Volume>(
+    m: &Machine,
+    g: &Group,
+    contribs: Vec<T>,
+    mut combine: impl FnMut(T, T) -> T,
+) -> T {
+    assert_eq!(contribs.len(), g.len(), "one contribution per member");
+    let mut it = contribs.into_iter();
+    let first = it.next().expect("group is non-empty");
+    let result = it.fold(first, &mut combine);
+    if g.len() > 1 {
+        m.charge_collective(g, CollectiveKind::SparseReduce, result.comm_bytes());
+    }
+    result
+}
+
+/// Allreduce: every member ends with the combined value.
+pub fn allreduce<T: Volume>(
+    m: &Machine,
+    g: &Group,
+    contribs: Vec<T>,
+    mut combine: impl FnMut(T, T) -> T,
+) -> Vec<Arc<T>> {
+    assert_eq!(contribs.len(), g.len(), "one contribution per member");
+    let bytes = contribs.iter().map(Volume::comm_bytes).max().unwrap_or(0);
+    if g.len() > 1 {
+        m.charge_collective(g, CollectiveKind::Allreduce, bytes);
+    }
+    let mut it = contribs.into_iter();
+    let first = it.next().expect("group is non-empty");
+    let result = Arc::new(it.fold(first, &mut combine));
+    (0..g.len()).map(|_| Arc::clone(&result)).collect()
+}
+
+/// Allgather: every member ends with all members' pieces (in group
+/// order), shared behind one `Arc`.
+pub fn allgather<T: Volume>(m: &Machine, g: &Group, parts: Vec<T>) -> Vec<Arc<Vec<T>>> {
+    assert_eq!(parts.len(), g.len(), "one piece per member");
+    let bytes = parts.comm_bytes();
+    if g.len() > 1 {
+        m.charge_collective(g, CollectiveKind::Allgather, bytes);
+    }
+    let all = Arc::new(parts);
+    (0..g.len()).map(|_| Arc::clone(&all)).collect()
+}
+
+/// Gather: all pieces end at the root, in group order.
+pub fn gather<T: Volume>(m: &Machine, g: &Group, parts: Vec<T>) -> Vec<T> {
+    assert_eq!(parts.len(), g.len(), "one piece per member");
+    let bytes = parts.comm_bytes();
+    if g.len() > 1 {
+        m.charge_collective(g, CollectiveKind::Gather, bytes);
+    }
+    parts
+}
+
+/// Scatter: the root's pieces are delivered one per member.
+pub fn scatter<T: Volume>(m: &Machine, g: &Group, parts: Vec<T>) -> Vec<T> {
+    assert_eq!(parts.len(), g.len(), "one piece per member");
+    let bytes = parts.comm_bytes();
+    if g.len() > 1 {
+        m.charge_collective(g, CollectiveKind::Scatter, bytes);
+    }
+    parts
+}
+
+/// Cyclic shift by `k` positions (Cannon-style point-to-point): the
+/// piece at group index `i` moves to index `(i + k) mod p`.
+pub fn shift<T: Volume>(m: &Machine, g: &Group, mut parts: Vec<T>, k: usize) -> Vec<T> {
+    assert_eq!(parts.len(), g.len(), "one piece per member");
+    let p = g.len();
+    if p > 1 && !k.is_multiple_of(p) {
+        let bytes = parts.iter().map(Volume::comm_bytes).max().unwrap_or(0);
+        m.charge_collective(g, CollectiveKind::PointToPoint, bytes);
+        parts.rotate_right(k % p);
+    }
+    parts
+}
+
+/// Personalized all-to-all: `send[i][j]` is the payload member `i`
+/// sends to member `j`; the result `recv[j][i]` delivers it. Charged
+/// by the largest per-member send volume.
+pub fn all_to_all<T: Volume>(m: &Machine, g: &Group, send: Vec<Vec<T>>) -> Vec<Vec<T>> {
+    let p = g.len();
+    assert_eq!(send.len(), p, "one send row per member");
+    for row in &send {
+        assert_eq!(row.len(), p, "one payload per destination");
+    }
+    if p > 1 {
+        let bytes = send.iter().map(|row| row.comm_bytes()).max().unwrap_or(0);
+        m.charge_collective(g, CollectiveKind::AllToAll, bytes);
+    }
+    // Transpose the send matrix into receive buffers.
+    let mut recv: Vec<Vec<T>> = (0..p).map(|_| Vec::with_capacity(p)).collect();
+    for row in send.into_iter() {
+        for (j, payload) in row.into_iter().enumerate() {
+            recv[j].push(payload);
+        }
+    }
+    recv
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::MachineSpec;
+
+    fn machine(p: usize) -> Machine {
+        Machine::new(MachineSpec::test(p))
+    }
+
+    #[test]
+    fn broadcast_replicates_and_charges() {
+        let m = machine(4);
+        let g = m.world();
+        let out = broadcast(&m, &g, 0, Arc::new(vec![1u64, 2, 3]));
+        assert_eq!(out.len(), 4);
+        for o in &out {
+            assert_eq!(**o, vec![1, 2, 3]);
+        }
+        let r = m.report();
+        assert_eq!(r.critical.bytes, 2 * 24);
+    }
+
+    #[test]
+    fn reduce_folds_in_group_order() {
+        let m = machine(3);
+        let g = m.world();
+        let out = reduce(&m, &g, vec![vec![1u64], vec![2], vec![3]], |mut a, b| {
+            a.extend(b);
+            a
+        });
+        assert_eq!(out, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn sparse_reduce_charges_result_size() {
+        let m = machine(4);
+        let g = m.world();
+        // Contributions of 8 bytes each, result of 8 bytes (u64 sum).
+        let _ = sparse_reduce(&m, &g, vec![1u64, 2, 3, 4], |a, b| a + b);
+        let r = m.report();
+        assert_eq!(r.critical.bytes, 8);
+    }
+
+    #[test]
+    fn allgather_shares_all_pieces() {
+        let m = machine(3);
+        let g = m.world();
+        let out = allgather(&m, &g, vec![10u64, 20, 30]);
+        assert_eq!(*out[1], vec![10, 20, 30]);
+        assert_eq!(m.report().critical.bytes, 24);
+    }
+
+    #[test]
+    fn shift_rotates() {
+        let m = machine(4);
+        let g = m.world();
+        let out = shift(&m, &g, vec![0u64, 1, 2, 3], 1);
+        assert_eq!(out, vec![3, 0, 1, 2]);
+        assert_eq!(m.report().critical.msgs, 1);
+        // k = 0 is free.
+        m.reset_meters();
+        let out = shift(&m, &g, out, 0);
+        assert_eq!(out, vec![3, 0, 1, 2]);
+        assert_eq!(m.report().critical.msgs, 0);
+    }
+
+    #[test]
+    fn all_to_all_transposes() {
+        let m = machine(2);
+        let g = m.world();
+        // payload value r*10+c encodes (sender, receiver)
+        let send = vec![vec![0u64, 1], vec![10, 11]];
+        let recv = all_to_all(&m, &g, send);
+        assert_eq!(recv, vec![vec![0, 10], vec![1, 11]]);
+    }
+
+    #[test]
+    fn singleton_group_collectives_are_free() {
+        let m = machine(1);
+        let g = m.world();
+        let _ = broadcast(&m, &g, 0, Arc::new(7u64));
+        let _ = reduce(&m, &g, vec![7u64], |a, _| a);
+        let _ = allgather(&m, &g, vec![7u64]);
+        assert_eq!(m.report().critical.msgs, 0);
+        assert_eq!(m.report().critical.bytes, 0);
+    }
+
+    #[test]
+    fn csr_volume_counts_payload() {
+        use mfbc_algebra::monoid::SumU64;
+        let c = mfbc_sparse::Coo::from_triples(2, 2, vec![(0usize, 0usize, 1u64), (1, 1, 2)])
+            .into_csr::<SumU64>();
+        // 2 entries × (8-byte value + 4-byte index)
+        assert_eq!(c.comm_bytes(), 24);
+    }
+}

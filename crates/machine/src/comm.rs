@@ -1,0 +1,96 @@
+//! Rank groups: the communicator subsets collectives run over.
+//!
+//! Distributed matrix algorithms operate on processor-grid rows,
+//! columns, and fibers; a [`Group`] names such a subset of world
+//! ranks, ordered (the i-th group member holds the i-th piece of any
+//! scattered/gathered payload).
+
+/// An ordered, duplicate-free set of rank ids.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Group {
+    ranks: Vec<usize>,
+}
+
+impl Group {
+    /// The world group `0..p`.
+    pub fn all(p: usize) -> Group {
+        Group {
+            ranks: (0..p).collect(),
+        }
+    }
+
+    /// A group from explicit rank ids.
+    ///
+    /// # Panics
+    /// Panics on duplicates or an empty list.
+    pub fn new(ranks: Vec<usize>) -> Group {
+        assert!(!ranks.is_empty(), "empty group");
+        let mut seen = ranks.clone();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), ranks.len(), "duplicate ranks in group");
+        Group { ranks }
+    }
+
+    /// Member rank ids in group order.
+    #[inline]
+    pub fn ranks(&self) -> &[usize] {
+        &self.ranks
+    }
+
+    /// Number of members.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.ranks.len()
+    }
+
+    /// Whether the group is a singleton (collectives over it are
+    /// free).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.ranks.is_empty()
+    }
+
+    /// The world rank of group member `idx`.
+    #[inline]
+    pub fn rank_at(&self, idx: usize) -> usize {
+        self.ranks[idx]
+    }
+
+    /// Position of world rank `r` within the group, if a member.
+    pub fn index_of(&self, r: usize) -> Option<usize> {
+        self.ranks.iter().position(|&x| x == r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn world_group() {
+        let g = Group::all(4);
+        assert_eq!(g.ranks(), &[0, 1, 2, 3]);
+        assert_eq!(g.len(), 4);
+    }
+
+    #[test]
+    fn membership_lookup() {
+        let g = Group::new(vec![5, 2, 9]);
+        assert_eq!(g.index_of(2), Some(1));
+        assert_eq!(g.index_of(7), None);
+        assert_eq!(g.rank_at(2), 9);
+    }
+
+    #[test]
+    #[should_panic]
+    fn duplicates_rejected() {
+        let _ = Group::new(vec![1, 2, 1]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_rejected() {
+        let _ = Group::new(vec![]);
+    }
+}

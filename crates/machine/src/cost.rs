@@ -1,0 +1,341 @@
+//! Critical-path cost accounting in the α–β–γ model.
+//!
+//! Implements the measurement methodology of the paper's §7.4: per
+//! rank, accumulate messages, bytes, communication time, and compute
+//! time; before each collective, raise every participant to the
+//! running maximum over the group ("for each collective over a set of
+//! processors, we maximize the critical path costs incurred by those
+//! processors so far"); report per-metric maxima at the end.
+
+use crate::topology::MachineSpec;
+
+/// The kind of a communication operation, determining its α–β cost.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CollectiveKind {
+    /// One-to-all replication: `2xβ + 2⌈log₂ p⌉α` (§7.4).
+    Broadcast,
+    /// All-to-one combination, same cost as broadcast.
+    Reduce,
+    /// All-to-all combination: modeled as reduce + broadcast.
+    Allreduce,
+    /// Root distributes distinct pieces: `xβ + ⌈log₂ p⌉α` (§7.4: half
+    /// the broadcast cost).
+    Scatter,
+    /// Inverse of scatter, same cost.
+    Gather,
+    /// Everyone ends with the concatenation: `xβ + ⌈log₂ p⌉α`.
+    Allgather,
+    /// Sparse reduction where the result has `x` nonzero bytes:
+    /// `O(βx + α log p)` (§5.1).
+    SparseReduce,
+    /// A single point-to-point message (Cannon-style shift):
+    /// `α + xβ` per rank.
+    PointToPoint,
+    /// Personalized all-to-all (redistribution): `xβ + ⌈log₂ p⌉α`
+    /// with `x` the per-rank payload.
+    AllToAll,
+}
+
+impl CollectiveKind {
+    /// Communication time for moving `bytes` over a group of `p`
+    /// ranks under `spec`.
+    pub fn time(self, spec: &MachineSpec, p: usize, bytes: u64) -> f64 {
+        let x = bytes as f64;
+        let lg = log2_ceil(p) as f64;
+        match self {
+            CollectiveKind::Broadcast | CollectiveKind::Reduce => {
+                2.0 * x * spec.beta + 2.0 * lg * spec.alpha
+            }
+            CollectiveKind::Allreduce => 4.0 * x * spec.beta + 4.0 * lg * spec.alpha,
+            CollectiveKind::Scatter
+            | CollectiveKind::Gather
+            | CollectiveKind::Allgather
+            | CollectiveKind::AllToAll
+            | CollectiveKind::SparseReduce => x * spec.beta + lg * spec.alpha,
+            CollectiveKind::PointToPoint => x * spec.beta + spec.alpha,
+        }
+    }
+
+    /// Message count charged to each participant's critical path.
+    pub fn msgs(self, p: usize) -> u64 {
+        let lg = log2_ceil(p);
+        match self {
+            CollectiveKind::Broadcast | CollectiveKind::Reduce => 2 * lg,
+            CollectiveKind::Allreduce => 4 * lg,
+            CollectiveKind::Scatter
+            | CollectiveKind::Gather
+            | CollectiveKind::Allgather
+            | CollectiveKind::AllToAll
+            | CollectiveKind::SparseReduce => lg.max(1),
+            CollectiveKind::PointToPoint => 1,
+        }
+    }
+
+    /// Bytes charged to each participant's critical path.
+    pub fn bytes_charged(self, bytes: u64) -> u64 {
+        match self {
+            CollectiveKind::Broadcast | CollectiveKind::Reduce => 2 * bytes,
+            CollectiveKind::Allreduce => 4 * bytes,
+            _ => bytes,
+        }
+    }
+}
+
+/// `⌈log₂ p⌉`, with `log2_ceil(1) == 0`.
+pub fn log2_ceil(p: usize) -> u64 {
+    assert!(p > 0, "group must be non-empty");
+    (usize::BITS - (p - 1).leading_zeros()) as u64
+}
+
+/// Per-rank accumulated critical-path costs.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct RankCost {
+    /// Messages along the rank's dependent sequence of operations
+    /// (`S` in Table 3).
+    pub msgs: u64,
+    /// Bytes along the dependent sequence (`W` in Table 3).
+    pub bytes: u64,
+    /// Modeled communication time in seconds.
+    pub comm_time: f64,
+    /// Modeled computation time in seconds.
+    pub comp_time: f64,
+}
+
+impl RankCost {
+    /// Elementwise maximum — the "raise to the group maximum" step of
+    /// the §7.4 methodology.
+    pub fn max(self, other: RankCost) -> RankCost {
+        RankCost {
+            msgs: self.msgs.max(other.msgs),
+            bytes: self.bytes.max(other.bytes),
+            comm_time: self.comm_time.max(other.comm_time),
+            comp_time: self.comp_time.max(other.comp_time),
+        }
+    }
+
+    /// Modeled wall-clock time of this rank (communication plus
+    /// computation; the simulation is bulk-synchronous so the two
+    /// never overlap, matching the paper's non-overlapping model).
+    pub fn total_time(&self) -> f64 {
+        self.comm_time + self.comp_time
+    }
+}
+
+/// Final cost snapshot: the per-metric critical path (maximum over
+/// ranks, each metric taken independently per §7.4) plus the summed
+/// compute operations.
+#[derive(Clone, Debug, Default)]
+pub struct CostReport {
+    /// Per-metric maxima over all ranks.
+    pub critical: RankCost,
+    /// Total elementary operations across ranks (for work/TEPS
+    /// accounting).
+    pub total_ops: u64,
+}
+
+/// The per-rank cost and memory meters.
+#[derive(Clone, Debug)]
+pub struct CostTracker {
+    ranks: Vec<RankCost>,
+    resident: Vec<u64>,
+    peak: Vec<u64>,
+    total_ops: u64,
+}
+
+impl CostTracker {
+    /// Fresh meters for `p` ranks.
+    pub fn new(p: usize) -> CostTracker {
+        assert!(p > 0, "machine needs at least one rank");
+        CostTracker {
+            ranks: vec![RankCost::default(); p],
+            resident: vec![0; p],
+            peak: vec![0; p],
+            total_ops: 0,
+        }
+    }
+
+    /// Number of ranks tracked.
+    pub fn p(&self) -> usize {
+        self.ranks.len()
+    }
+
+    /// Charges a collective of `kind` over `group` (rank ids) moving
+    /// up to `bytes` per rank: synchronizes the group's critical
+    /// paths to their maximum, then adds the collective's cost to
+    /// every participant.
+    pub fn collective(&mut self, spec: &MachineSpec, group: &[usize], kind: CollectiveKind, bytes: u64) {
+        assert!(!group.is_empty(), "collective over empty group");
+        let gsize = group.len();
+        let mut mx = RankCost::default();
+        for &r in group {
+            mx = mx.max(self.ranks[r]);
+        }
+        let dt = kind.time(spec, gsize, bytes);
+        let dm = kind.msgs(gsize);
+        let db = kind.bytes_charged(bytes);
+        for &r in group {
+            let c = &mut self.ranks[r];
+            // Raise to group max (the §7.4 synchronization), then add.
+            *c = mx;
+            c.comm_time += dt;
+            c.msgs += dm;
+            c.bytes += db;
+        }
+    }
+
+    /// Charges `ops` local operations on `rank`.
+    pub fn compute(&mut self, spec: &MachineSpec, rank: usize, ops: u64) {
+        self.ranks[rank].comp_time += ops as f64 * spec.gamma;
+        self.total_ops += ops;
+    }
+
+    /// Charges resident memory.
+    pub fn alloc(&mut self, rank: usize, bytes: u64) {
+        self.resident[rank] += bytes;
+        self.peak[rank] = self.peak[rank].max(self.resident[rank]);
+    }
+
+    /// Releases resident memory (saturating).
+    pub fn free(&mut self, rank: usize, bytes: u64) {
+        self.resident[rank] = self.resident[rank].saturating_sub(bytes);
+    }
+
+    /// Current resident bytes of `rank`.
+    pub fn resident(&self, rank: usize) -> u64 {
+        self.resident[rank]
+    }
+
+    /// Peak resident bytes of `rank`.
+    pub fn peak(&self, rank: usize) -> u64 {
+        self.peak[rank]
+    }
+
+    /// Largest peak across ranks.
+    pub fn max_peak(&self) -> u64 {
+        self.peak.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Per-rank snapshot.
+    pub fn rank(&self, r: usize) -> RankCost {
+        self.ranks[r]
+    }
+
+    /// Builds the per-metric critical-path report.
+    pub fn report(&self) -> CostReport {
+        let mut critical = RankCost::default();
+        for c in &self.ranks {
+            critical = critical.max(*c);
+        }
+        CostReport {
+            critical,
+            total_ops: self.total_ops,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(p: usize) -> MachineSpec {
+        MachineSpec::test(p)
+    }
+
+    #[test]
+    fn log2_ceil_values() {
+        assert_eq!(log2_ceil(1), 0);
+        assert_eq!(log2_ceil(2), 1);
+        assert_eq!(log2_ceil(3), 2);
+        assert_eq!(log2_ceil(4), 2);
+        assert_eq!(log2_ceil(5), 3);
+        assert_eq!(log2_ceil(1024), 10);
+    }
+
+    #[test]
+    fn broadcast_cost_formula() {
+        // §7.4: broadcast of n bytes over p ranks costs 2nβ + 2log₂(p)α.
+        let s = spec(8);
+        let t = CollectiveKind::Broadcast.time(&s, 8, 100);
+        assert_eq!(t, 2.0 * 100.0 + 2.0 * 3.0);
+        assert_eq!(CollectiveKind::Broadcast.msgs(8), 6);
+        assert_eq!(CollectiveKind::Broadcast.bytes_charged(100), 200);
+    }
+
+    #[test]
+    fn scatter_is_half_broadcast() {
+        let s = spec(16);
+        let b = CollectiveKind::Broadcast.time(&s, 16, 500);
+        let sc = CollectiveKind::Scatter.time(&s, 16, 500);
+        assert_eq!(b, 2.0 * sc);
+    }
+
+    #[test]
+    fn critical_path_synchronizes_group() {
+        // Rank 0 does heavy compute; a later collective over {0,1}
+        // must lift rank 1's path to rank 0's before adding.
+        let s = spec(2);
+        let mut t = CostTracker::new(2);
+        t.compute(&s, 0, 1000);
+        t.collective(&s, &[0, 1], CollectiveKind::Broadcast, 10);
+        let r0 = t.rank(0);
+        let r1 = t.rank(1);
+        assert_eq!(r0.comp_time, r1.comp_time);
+        assert_eq!(r0.comm_time, r1.comm_time);
+        assert_eq!(r0.comp_time, 1000.0);
+    }
+
+    #[test]
+    fn disjoint_groups_do_not_synchronize() {
+        let s = spec(4);
+        let mut t = CostTracker::new(4);
+        t.compute(&s, 0, 1000);
+        t.collective(&s, &[2, 3], CollectiveKind::Broadcast, 10);
+        assert_eq!(t.rank(2).comp_time, 0.0);
+        assert_eq!(t.rank(1), RankCost::default());
+    }
+
+    #[test]
+    fn report_takes_per_metric_maxima() {
+        let s = spec(2);
+        let mut t = CostTracker::new(2);
+        t.compute(&s, 0, 50); // rank 0: most compute
+        t.collective(&s, &[1], CollectiveKind::PointToPoint, 99); // rank 1: most comm
+        let r = t.report();
+        assert_eq!(r.critical.comp_time, 50.0);
+        assert_eq!(r.critical.bytes, 99);
+        assert_eq!(r.total_ops, 50);
+    }
+
+    #[test]
+    fn memory_meter_tracks_peak() {
+        let mut t = CostTracker::new(1);
+        t.alloc(0, 100);
+        t.alloc(0, 200);
+        t.free(0, 250);
+        t.alloc(0, 10);
+        assert_eq!(t.resident(0), 60);
+        assert_eq!(t.peak(0), 300);
+        assert_eq!(t.max_peak(), 300);
+    }
+
+    #[test]
+    fn free_saturates() {
+        let mut t = CostTracker::new(1);
+        t.alloc(0, 10);
+        t.free(0, 100);
+        assert_eq!(t.resident(0), 0);
+    }
+
+    #[test]
+    fn sequential_collectives_accumulate() {
+        let s = spec(4);
+        let mut t = CostTracker::new(4);
+        let g: Vec<usize> = (0..4).collect();
+        t.collective(&s, &g, CollectiveKind::Broadcast, 100);
+        t.collective(&s, &g, CollectiveKind::Reduce, 100);
+        let r = t.report();
+        // Two dependent collectives: costs add along the path.
+        assert_eq!(r.critical.bytes, 400);
+        assert_eq!(r.critical.msgs, 8);
+    }
+}

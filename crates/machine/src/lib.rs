@@ -1,0 +1,221 @@
+//! A simulated distributed-memory machine for MFBC.
+//!
+//! The paper evaluates on the Blue Waters Cray XE6 over MPI. This
+//! crate replaces that testbed with an in-process *bulk-synchronous
+//! simulated machine*: `p` virtual ranks, each with its own logical
+//! memory, communicating through collective operations that **really
+//! move the data** between rank-local stores while an α–β–γ cost
+//! model charges every rank for latency, bandwidth, and computation.
+//!
+//! Cost accounting follows the paper exactly:
+//!
+//! * §5.1 — a collective (scatter, gather, broadcast, reduction,
+//!   allreduction) over `p` ranks moving `x` words costs
+//!   `O(β·x + α·log p)`; broadcast/reduce are modeled at
+//!   `2xβ + 2⌈log₂ p⌉α`, scatter/allgather at half that (§7.4);
+//! * §7.4 — critical-path accumulation: before a collective, every
+//!   participant's running cost is raised to the maximum over the
+//!   group, then the collective's cost is added; the reported totals
+//!   are per-metric maxima over ranks ("the greatest amount of data
+//!   communicated along any dependent sequence of collectives").
+//!
+//! A per-rank memory meter reproduces the paper's out-of-memory
+//! behaviour (e.g. CombBLAS failing on Friendster): algorithms charge
+//! their resident sets and a [`MachineError::OutOfMemory`] surfaces
+//! where the paper reports "unable to execute".
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod collectives;
+pub mod comm;
+pub mod cost;
+pub mod topology;
+
+pub use collectives::Volume;
+pub use comm::Group;
+pub use cost::{CollectiveKind, CostReport, CostTracker, RankCost};
+pub use topology::MachineSpec;
+
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Errors surfaced by the simulated machine.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MachineError {
+    /// A rank exceeded its memory budget `M`; carries (rank, resident
+    /// bytes, budget bytes).
+    OutOfMemory {
+        /// The rank that exceeded its budget.
+        rank: usize,
+        /// Resident bytes at the moment of failure.
+        resident: u64,
+        /// The per-rank budget in bytes.
+        budget: u64,
+    },
+}
+
+impl std::fmt::Display for MachineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MachineError::OutOfMemory {
+                rank,
+                resident,
+                budget,
+            } => write!(
+                f,
+                "rank {rank} out of memory: resident {resident} B exceeds budget {budget} B"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MachineError {}
+
+/// The simulated machine: a spec plus shared cost/memory trackers.
+///
+/// Cheap to clone (trackers are shared behind an `Arc`), so a single
+/// machine can be threaded through nested algorithm layers.
+#[derive(Clone)]
+pub struct Machine {
+    spec: MachineSpec,
+    tracker: Arc<Mutex<CostTracker>>,
+}
+
+impl Machine {
+    /// Builds a machine from a spec with fresh cost meters.
+    pub fn new(spec: MachineSpec) -> Machine {
+        let tracker = CostTracker::new(spec.p);
+        Machine {
+            spec,
+            tracker: Arc::new(Mutex::new(tracker)),
+        }
+    }
+
+    /// The machine description.
+    #[inline]
+    pub fn spec(&self) -> &MachineSpec {
+        &self.spec
+    }
+
+    /// Number of ranks.
+    #[inline]
+    pub fn p(&self) -> usize {
+        self.spec.p
+    }
+
+    /// The group of all ranks.
+    pub fn world(&self) -> Group {
+        Group::all(self.spec.p)
+    }
+
+    /// Runs `f` with the cost tracker locked.
+    pub fn with_tracker<R>(&self, f: impl FnOnce(&mut CostTracker) -> R) -> R {
+        f(&mut self.tracker.lock())
+    }
+
+    /// Charges a collective over `group` moving up to `bytes` per rank.
+    pub fn charge_collective(&self, group: &Group, kind: CollectiveKind, bytes: u64) {
+        self.with_tracker(|t| t.collective(&self.spec, group.ranks(), kind, bytes));
+    }
+
+    /// Charges `ops` elementary operations of local compute on `rank`.
+    pub fn charge_compute(&self, rank: usize, ops: u64) {
+        self.with_tracker(|t| t.compute(&self.spec, rank, ops));
+    }
+
+    /// Charges `bytes` of resident memory on `rank`, failing if the
+    /// budget is exceeded.
+    pub fn charge_alloc(&self, rank: usize, bytes: u64) -> Result<(), MachineError> {
+        self.with_tracker(|t| t.alloc(rank, bytes));
+        self.check_memory(rank)
+    }
+
+    /// Releases `bytes` of resident memory on `rank`.
+    pub fn release(&self, rank: usize, bytes: u64) {
+        self.with_tracker(|t| t.free(rank, bytes));
+    }
+
+    fn check_memory(&self, rank: usize) -> Result<(), MachineError> {
+        if let Some(budget) = self.spec.mem_bytes {
+            let resident = self.with_tracker(|t| t.resident(rank));
+            if resident > budget {
+                return Err(MachineError::OutOfMemory {
+                    rank,
+                    resident,
+                    budget,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Snapshot of the per-metric critical-path costs (Table 3's
+    /// methodology).
+    pub fn report(&self) -> CostReport {
+        self.with_tracker(|t| t.report())
+    }
+
+    /// Resets all cost and memory meters (budgets unchanged).
+    pub fn reset_meters(&self) {
+        self.with_tracker(|t| *t = CostTracker::new(self.spec.p));
+    }
+}
+
+impl std::fmt::Debug for Machine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Machine(p={}, α={}, β={}, γ={})",
+            self.spec.p, self.spec.alpha, self.spec.beta, self.spec.gamma
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn machine_facade_charges_costs() {
+        let m = Machine::new(MachineSpec::test(4));
+        m.charge_collective(&m.world(), CollectiveKind::Broadcast, 1000);
+        m.charge_compute(0, 500);
+        let r = m.report();
+        assert!(r.critical.comm_time > 0.0);
+        assert!(r.critical.comp_time > 0.0);
+        assert_eq!(r.critical.msgs, 2 * 2); // 2·log2(4) messages
+    }
+
+    #[test]
+    fn memory_budget_enforced() {
+        let spec = MachineSpec {
+            mem_bytes: Some(1000),
+            ..MachineSpec::test(2)
+        };
+        let m = Machine::new(spec);
+        assert!(m.charge_alloc(0, 900).is_ok());
+        let err = m.charge_alloc(0, 200).unwrap_err();
+        match err {
+            MachineError::OutOfMemory {
+                rank,
+                resident,
+                budget,
+            } => {
+                assert_eq!(rank, 0);
+                assert_eq!(resident, 1100);
+                assert_eq!(budget, 1000);
+            }
+        }
+        m.release(0, 900);
+        assert!(m.charge_alloc(0, 100).is_ok());
+    }
+
+    #[test]
+    fn reset_clears_meters() {
+        let m = Machine::new(MachineSpec::test(2));
+        m.charge_compute(1, 100);
+        m.reset_meters();
+        assert_eq!(m.report().critical.comp_time, 0.0);
+    }
+}

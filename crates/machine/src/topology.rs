@@ -1,0 +1,103 @@
+//! Machine descriptions: rank counts and α–β–γ cost constants.
+
+/// Description of a simulated machine in the α–β model of §5.1,
+/// extended with a compute rate γ and an optional per-rank memory
+/// budget `M`.
+///
+/// Units: `alpha` seconds per message, `beta` seconds per byte,
+/// `gamma` seconds per elementary operation (one kernel `f`/`⊕`
+/// application), `mem_bytes` bytes. The paper assumes `α ≥ β`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MachineSpec {
+    /// Number of processors (MPI ranks in the paper; one rank per
+    /// node, as the paper benchmarks one MPI process per node).
+    pub p: usize,
+    /// Message latency α (s/message).
+    pub alpha: f64,
+    /// Inverse bandwidth β (s/byte).
+    pub beta: f64,
+    /// Compute rate γ (s/op).
+    pub gamma: f64,
+    /// Per-rank memory budget `M` in bytes; `None` disables the
+    /// out-of-memory simulation.
+    pub mem_bytes: Option<u64>,
+}
+
+impl MachineSpec {
+    /// A Cray-Gemini-class interconnect, mimicking the paper's Blue
+    /// Waters XE6 testbed: α = 2 µs, ~6 GB/s effective per-node
+    /// bandwidth, and a ~10 Gflop-equivalent effective rate for the
+    /// irregular sparse kernels (measured sparse codes run far below
+    /// peak). 64 GiB of memory per node, of which half is assumed
+    /// usable for matrix data.
+    pub fn gemini(p: usize) -> MachineSpec {
+        MachineSpec {
+            p,
+            alpha: 2.0e-6,
+            beta: 1.0 / 6.0e9,
+            gamma: 1.0e-9,
+            mem_bytes: Some(32 * (1 << 30)),
+        }
+    }
+
+    /// A Cray-Aries (Dragonfly) class interconnect, mimicking the
+    /// Edison/Piz Dora machines used for tuning: lower latency and
+    /// higher bandwidth than Gemini.
+    pub fn aries(p: usize) -> MachineSpec {
+        MachineSpec {
+            p,
+            alpha: 1.0e-6,
+            beta: 1.0 / 10.0e9,
+            gamma: 8.0e-10,
+            mem_bytes: Some(32 * (1 << 30)),
+        }
+    }
+
+    /// A deliberately tiny, round-number spec for unit tests:
+    /// α = 1, β = 1, γ = 1 (so costs equal message/byte/op counts)
+    /// and no memory budget.
+    pub fn test(p: usize) -> MachineSpec {
+        MachineSpec {
+            p,
+            alpha: 1.0,
+            beta: 1.0,
+            gamma: 1.0,
+            mem_bytes: None,
+        }
+    }
+
+    /// Scales the per-rank memory budget by `c` (used by benchmarks
+    /// exploring the replication/memory trade-off of Theorem 5.1).
+    pub fn with_mem_bytes(mut self, mem: Option<u64>) -> MachineSpec {
+        self.mem_bytes = mem;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_satisfy_alpha_ge_beta() {
+        for spec in [MachineSpec::gemini(16), MachineSpec::aries(16)] {
+            assert!(spec.alpha >= spec.beta, "paper assumes α ≥ β");
+            assert!(spec.gamma > 0.0);
+            assert!(spec.mem_bytes.is_some());
+        }
+    }
+
+    #[test]
+    fn test_spec_is_unit() {
+        let s = MachineSpec::test(8);
+        assert_eq!((s.alpha, s.beta, s.gamma), (1.0, 1.0, 1.0));
+        assert_eq!(s.mem_bytes, None);
+        assert_eq!(s.p, 8);
+    }
+
+    #[test]
+    fn with_mem_bytes_overrides() {
+        let s = MachineSpec::test(2).with_mem_bytes(Some(42));
+        assert_eq!(s.mem_bytes, Some(42));
+    }
+}

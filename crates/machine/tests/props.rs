@@ -1,0 +1,162 @@
+//! Property tests of the cost model's structural guarantees: the
+//! critical-path accounting of §7.4 must behave like a max-plus
+//! semiring over dependent operations.
+
+#![allow(clippy::needless_range_loop)]
+
+use mfbc_machine::cost::{log2_ceil, CollectiveKind, CostTracker};
+use mfbc_machine::{Group, Machine, MachineSpec};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+fn arb_kind() -> impl Strategy<Value = CollectiveKind> {
+    prop_oneof![
+        Just(CollectiveKind::Broadcast),
+        Just(CollectiveKind::Reduce),
+        Just(CollectiveKind::Allreduce),
+        Just(CollectiveKind::Scatter),
+        Just(CollectiveKind::Gather),
+        Just(CollectiveKind::Allgather),
+        Just(CollectiveKind::SparseReduce),
+        Just(CollectiveKind::PointToPoint),
+        Just(CollectiveKind::AllToAll),
+    ]
+}
+
+/// A random schedule of collectives over random subgroups.
+fn arb_schedule(p: usize) -> impl Strategy<Value = Vec<(Vec<usize>, CollectiveKind, u64)>> {
+    vec(
+        (
+            vec(0..p, 1..=p).prop_map(|mut v| {
+                v.sort_unstable();
+                v.dedup();
+                v
+            }),
+            arb_kind(),
+            0u64..10_000,
+        ),
+        1..20,
+    )
+}
+
+proptest! {
+    /// Critical-path costs are monotone: adding one more collective
+    /// never decreases any rank's accumulated metrics.
+    #[test]
+    fn costs_are_monotone(schedule in arb_schedule(6), extra_bytes in 0u64..1000) {
+        let spec = MachineSpec::test(6);
+        let mut t = CostTracker::new(6);
+        for (group, kind, bytes) in &schedule {
+            t.collective(&spec, group, *kind, *bytes);
+        }
+        let before: Vec<_> = (0..6).map(|r| t.rank(r)).collect();
+        t.collective(&spec, &[0, 3], CollectiveKind::Broadcast, extra_bytes);
+        for r in 0..6 {
+            let after = t.rank(r);
+            prop_assert!(after.msgs >= before[r].msgs);
+            prop_assert!(after.bytes >= before[r].bytes);
+            prop_assert!(after.comm_time >= before[r].comm_time);
+        }
+    }
+
+    /// Every participant of a collective ends with an identical
+    /// critical path (the §7.4 synchronization), and non-participants
+    /// are untouched.
+    #[test]
+    fn collectives_synchronize_participants(schedule in arb_schedule(6)) {
+        let spec = MachineSpec::test(6);
+        let mut t = CostTracker::new(6);
+        for (group, kind, bytes) in &schedule {
+            let before: Vec<_> = (0..6).map(|r| t.rank(r)).collect();
+            t.collective(&spec, group, *kind, *bytes);
+            let first = t.rank(group[0]);
+            for &r in group {
+                prop_assert_eq!(t.rank(r), first);
+            }
+            for r in 0..6 {
+                if !group.contains(&r) {
+                    prop_assert_eq!(t.rank(r), before[r]);
+                }
+            }
+        }
+    }
+
+    /// The reported critical path dominates every rank, and equals
+    /// per-metric maxima.
+    #[test]
+    fn report_is_per_metric_max(schedule in arb_schedule(5)) {
+        let spec = MachineSpec::test(5);
+        let mut t = CostTracker::new(5);
+        for (group, kind, bytes) in &schedule {
+            t.collective(&spec, group, *kind, *bytes);
+        }
+        let rep = t.report();
+        let mut max_bytes = 0;
+        let mut max_msgs = 0;
+        for r in 0..5 {
+            let c = t.rank(r);
+            prop_assert!(rep.critical.bytes >= c.bytes);
+            prop_assert!(rep.critical.msgs >= c.msgs);
+            max_bytes = max_bytes.max(c.bytes);
+            max_msgs = max_msgs.max(c.msgs);
+        }
+        prop_assert_eq!(rep.critical.bytes, max_bytes);
+        prop_assert_eq!(rep.critical.msgs, max_msgs);
+    }
+
+    /// Collective time formulas: linear in bytes, logarithmic in
+    /// group size, and never free for non-trivial groups.
+    #[test]
+    fn cost_formulas_scale_sanely(kind in arb_kind(), bytes in 1u64..1_000_000, p in 2usize..512) {
+        let spec = MachineSpec::test(p);
+        let t1 = kind.time(&spec, p, bytes);
+        let t2 = kind.time(&spec, p, 2 * bytes);
+        // Doubling bytes adds exactly the β term once more.
+        prop_assert!(t2 > t1);
+        prop_assert!((t2 - t1 - (t1 - kind.time(&spec, p, 0))).abs() < 1e-9);
+        // α term grows with log p.
+        let tp = kind.time(&spec, 2 * p, bytes);
+        prop_assert!(tp >= t1);
+        prop_assert!(t1 > 0.0);
+    }
+
+    /// Memory accounting: alloc/free are inverse, peak is monotone.
+    #[test]
+    fn memory_meter_invariants(ops in vec((0usize..4, 0u64..10_000, any::<bool>()), 1..40)) {
+        let mut t = CostTracker::new(4);
+        let mut shadow = [0u64; 4];
+        let mut peaks = [0u64; 4];
+        for (r, b, is_alloc) in ops {
+            if is_alloc {
+                t.alloc(r, b);
+                shadow[r] += b;
+            } else {
+                t.free(r, b);
+                shadow[r] = shadow[r].saturating_sub(b);
+            }
+            peaks[r] = peaks[r].max(shadow[r]);
+            prop_assert_eq!(t.resident(r), shadow[r]);
+            prop_assert_eq!(t.peak(r), peaks[r]);
+        }
+        prop_assert_eq!(t.max_peak(), peaks.iter().copied().max().unwrap());
+    }
+}
+
+#[test]
+fn machine_is_cheaply_cloneable_and_shared() {
+    let m = Machine::new(MachineSpec::test(3));
+    let m2 = m.clone();
+    m.charge_compute(1, 100);
+    // Clones share meters.
+    assert_eq!(m2.report().critical.comp_time, 100.0);
+    m2.charge_collective(&Group::all(3), CollectiveKind::Broadcast, 10);
+    assert!(m.report().critical.msgs > 0);
+}
+
+#[test]
+fn log2_ceil_matches_f64_definition() {
+    for p in 1..2000usize {
+        let expect = (p as f64).log2().ceil() as u64;
+        assert_eq!(log2_ceil(p), expect, "p={p}");
+    }
+}

@@ -1,0 +1,178 @@
+//! Elementwise monoid operations on sparse matrices.
+//!
+//! Implements the paper's `A ⊕ B` (elementwise application of a
+//! monoid operator to a pair of matrices, §2.2) plus the anchored
+//! merge MFBr needs, and `Transform`-style in-structure updates
+//! (§6.1's CTF `Transform`).
+
+use crate::csr::{Csr, Idx};
+use mfbc_algebra::monoid::Monoid;
+
+/// `C = A ⊕ B`: a sorted two-pointer merge of each row pair,
+/// combining collisions with the monoid and pruning identities.
+///
+/// # Panics
+/// Panics if the shapes disagree.
+pub fn combine<M, T>(a: &Csr<T>, b: &Csr<T>) -> Csr<T>
+where
+    M: Monoid<Elem = T>,
+    T: Clone + PartialEq + Send + Sync + std::fmt::Debug,
+{
+    assert_eq!(
+        (a.nrows(), a.ncols()),
+        (b.nrows(), b.ncols()),
+        "elementwise combine shape mismatch"
+    );
+    let mut rowptr = Vec::with_capacity(a.nrows() + 1);
+    rowptr.push(0usize);
+    let mut colind: Vec<Idx> = Vec::with_capacity(a.nnz() + b.nnz());
+    let mut vals: Vec<T> = Vec::with_capacity(a.nnz() + b.nnz());
+
+    for i in 0..a.nrows() {
+        let (ac, av) = (a.row_cols(i), a.row_vals(i));
+        let (bc, bv) = (b.row_cols(i), b.row_vals(i));
+        let (mut x, mut y) = (0usize, 0usize);
+        while x < ac.len() || y < bc.len() {
+            let take_a = y >= bc.len() || (x < ac.len() && ac[x] < bc[y]);
+            let take_b = x >= ac.len() || (y < bc.len() && bc[y] < ac[x]);
+            let (col, val) = if take_a {
+                let out = (ac[x], av[x].clone());
+                x += 1;
+                out
+            } else if take_b {
+                let out = (bc[y], bv[y].clone());
+                y += 1;
+                out
+            } else {
+                let out = (ac[x], M::combine(&av[x], &bv[y]));
+                x += 1;
+                y += 1;
+                out
+            };
+            if !M::is_identity(&val) {
+                colind.push(col);
+                vals.push(val);
+            }
+        }
+        rowptr.push(colind.len());
+    }
+    Csr::from_parts(a.nrows(), a.ncols(), rowptr, colind, vals)
+}
+
+/// Merges `update` into `base` *keeping base's sparsity pattern*: an
+/// update entry at a position absent from `base` is dropped; matching
+/// positions are combined with the monoid.
+///
+/// This is the "anchored" variant MFBr uses for `Z := Z ⊗ G̃`:
+/// back-propagated contributions may land on (source, vertex) pairs
+/// with no finite shortest path, where they are inert garbage — the
+/// anchored merge discards them instead of storing them.
+pub fn combine_anchored<M, T>(base: &Csr<T>, update: &Csr<T>) -> Csr<T>
+where
+    M: Monoid<Elem = T>,
+    T: Clone + PartialEq + Send + Sync + std::fmt::Debug,
+{
+    assert_eq!(
+        (base.nrows(), base.ncols()),
+        (update.nrows(), update.ncols()),
+        "anchored combine shape mismatch"
+    );
+    let mut patched: Vec<T> = Vec::new();
+    let mut rowptr = Vec::with_capacity(base.nrows() + 1);
+    rowptr.push(0usize);
+    let mut colind: Vec<Idx> = Vec::with_capacity(base.nnz());
+    for i in 0..base.nrows() {
+        let (bc, bv) = (base.row_cols(i), base.row_vals(i));
+        let (uc, uv) = (update.row_cols(i), update.row_vals(i));
+        let mut y = 0usize;
+        for (x, &col) in bc.iter().enumerate() {
+            while y < uc.len() && uc[y] < col {
+                y += 1; // update entry outside base pattern: dropped
+            }
+            let mut v = bv[x].clone();
+            if y < uc.len() && uc[y] == col {
+                v = M::combine(&v, &uv[y]);
+                y += 1;
+            }
+            colind.push(col);
+            patched.push(v);
+        }
+        rowptr.push(colind.len());
+    }
+    Csr::from_parts(base.nrows(), base.ncols(), rowptr, colind, patched)
+}
+
+/// In-structure value update (CTF `Transform`): applies `f` to every
+/// stored entry, then prunes entries that became identities.
+pub fn transform<M, T>(m: &Csr<T>, mut f: impl FnMut(usize, usize, &T) -> T) -> Csr<T>
+where
+    M: Monoid<Elem = T>,
+    T: Clone + PartialEq + Send + Sync + std::fmt::Debug,
+{
+    m.map(|i, j, v| f(i, j, v)).prune::<M>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::Coo;
+    use mfbc_algebra::monoid::{MinDist, SumU64};
+    use mfbc_algebra::Dist;
+
+    fn m_u64(n: usize, c: usize, t: &[(usize, usize, u64)]) -> Csr<u64> {
+        Coo::from_triples(n, c, t.iter().copied()).into_csr::<SumU64>()
+    }
+
+    #[test]
+    fn disjoint_union() {
+        let a = m_u64(2, 3, &[(0, 0, 1)]);
+        let b = m_u64(2, 3, &[(1, 2, 5)]);
+        let c = combine::<SumU64, _>(&a, &b);
+        assert_eq!(c.nnz(), 2);
+        assert_eq!(c.get(0, 0), Some(&1));
+        assert_eq!(c.get(1, 2), Some(&5));
+    }
+
+    #[test]
+    fn collisions_combined() {
+        let a = m_u64(1, 2, &[(0, 0, 1), (0, 1, 2)]);
+        let b = m_u64(1, 2, &[(0, 1, 3)]);
+        let c = combine::<SumU64, _>(&a, &b);
+        assert_eq!(c.get(0, 1), Some(&5));
+    }
+
+    #[test]
+    fn min_combine_prunes_nothing_needed() {
+        let a = Coo::from_triples(1, 2, vec![(0usize, 0usize, Dist::new(9))]).into_csr::<MinDist>();
+        let b = Coo::from_triples(1, 2, vec![(0usize, 0usize, Dist::new(4))]).into_csr::<MinDist>();
+        let c = combine::<MinDist, _>(&a, &b);
+        assert_eq!(c.get(0, 0), Some(&Dist::new(4)));
+    }
+
+    #[test]
+    fn anchored_merge_drops_foreign_positions() {
+        let base = m_u64(1, 4, &[(0, 1, 10), (0, 3, 20)]);
+        let upd = m_u64(1, 4, &[(0, 0, 5), (0, 1, 7), (0, 2, 9)]);
+        let c = combine_anchored::<SumU64, _>(&base, &upd);
+        assert_eq!(c.nnz(), 2);
+        assert_eq!(c.get(0, 1), Some(&17));
+        assert_eq!(c.get(0, 3), Some(&20));
+        assert_eq!(c.get(0, 0), None);
+        assert_eq!(c.get(0, 2), None);
+    }
+
+    #[test]
+    fn combine_is_commutative_for_commutative_monoid() {
+        let a = m_u64(2, 2, &[(0, 0, 1), (1, 1, 2)]);
+        let b = m_u64(2, 2, &[(0, 0, 3), (1, 0, 4)]);
+        assert_eq!(combine::<SumU64, _>(&a, &b), combine::<SumU64, _>(&b, &a));
+    }
+
+    #[test]
+    fn transform_prunes_new_identities() {
+        let a = m_u64(1, 3, &[(0, 0, 1), (0, 1, 2), (0, 2, 3)]);
+        let t = transform::<SumU64, _>(&a, |_, _, v| if *v == 2 { 0 } else { *v });
+        assert_eq!(t.nnz(), 2);
+        assert_eq!(t.get(0, 1), None);
+    }
+}

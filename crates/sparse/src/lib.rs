@@ -1,0 +1,40 @@
+//! Sparse matrix formats and generalized sparse matrix multiplication
+//! for MFBC.
+//!
+//! This crate is the workspace's replacement for the blockwise sparse
+//! kernels the paper obtains from Intel MKL plus CTF's fallback
+//! routines (§6.2): coordinate ([`Coo`]) and compressed-sparse-row
+//! ([`Csr`]) formats, a generalized Gustavson SpGEMM driven by an
+//! [`SpMulKernel`](mfbc_algebra::SpMulKernel) (so the same code path
+//! multiplies tropical, multpath, and centpath matrices), elementwise
+//! monoid combination, `sparsify`-style filtering, transposition, and
+//! slicing. Row-parallel variants use rayon, standing in for CTF's
+//! on-node threading.
+//!
+//! Sparse-zero convention: an entry equal to the accumulating monoid's
+//! identity is never stored; every constructor and kernel filters such
+//! entries on the way in and out.
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+// Internal SPA chunk tuples are contained within spgemm.rs.
+#![allow(clippy::type_complexity)]
+
+pub mod coo;
+pub mod csr;
+pub mod elementwise;
+pub mod slice;
+pub mod spgemm;
+pub mod transpose;
+
+pub use coo::Coo;
+pub use csr::{Csr, Idx};
+pub use spgemm::{spgemm, spgemm_serial};
+
+/// Estimated in-memory payload bytes of one stored entry of type `T`
+/// in CSR/COO form: the value plus one column index. Used by the
+/// machine layer to charge communication volume for sparse blocks.
+#[inline]
+pub const fn entry_bytes<T>() -> usize {
+    std::mem::size_of::<T>() + std::mem::size_of::<Idx>()
+}

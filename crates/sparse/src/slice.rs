@@ -1,0 +1,203 @@
+//! Sub-matrix extraction — the analogue of CTF's `Tensor::slice()`
+//! (§6.1), used to cut adjacency blocks for distribution and to pull
+//! source-vertex batches out of frontier matrices.
+
+use crate::csr::{Csr, Idx};
+use std::ops::Range;
+
+/// Extracts the sub-matrix `a[rows, cols]`, reindexed to start at
+/// `(0, 0)`.
+///
+/// # Panics
+/// Panics if a range end exceeds the matrix shape.
+pub fn slice<T: Clone>(a: &Csr<T>, rows: Range<usize>, cols: Range<usize>) -> Csr<T> {
+    assert!(rows.end <= a.nrows() && cols.end <= a.ncols(), "slice out of bounds");
+    let nrows = rows.len();
+    let ncols = cols.len();
+    let mut rowptr = Vec::with_capacity(nrows + 1);
+    rowptr.push(0usize);
+    let mut colind: Vec<Idx> = Vec::new();
+    let mut vals: Vec<T> = Vec::new();
+    for i in rows {
+        let rc = a.row_cols(i);
+        let rv = a.row_vals(i);
+        // Binary search the column window within the sorted row.
+        let lo = rc.partition_point(|&c| (c as usize) < cols.start);
+        let hi = rc.partition_point(|&c| (c as usize) < cols.end);
+        for k in lo..hi {
+            colind.push(rc[k] - cols.start as Idx);
+            vals.push(rv[k].clone());
+        }
+        rowptr.push(colind.len());
+    }
+    Csr::from_parts(nrows, ncols, rowptr, colind, vals)
+}
+
+/// Extracts full rows `rows`, reindexed to start at row 0.
+pub fn slice_rows<T: Clone>(a: &Csr<T>, rows: Range<usize>) -> Csr<T> {
+    slice(a, rows, 0..a.ncols())
+}
+
+/// Extracts full columns `cols`, reindexed to start at column 0.
+pub fn slice_cols<T: Clone>(a: &Csr<T>, cols: Range<usize>) -> Csr<T> {
+    slice(a, 0..a.nrows(), cols)
+}
+
+/// Splits `0..n` into `parts` contiguous chunks whose sizes differ by
+/// at most one — the even block decomposition every distribution in
+/// this workspace uses.
+pub fn even_ranges(n: usize, parts: usize) -> Vec<Range<usize>> {
+    assert!(parts > 0, "cannot split into zero parts");
+    let base = n / parts;
+    let extra = n % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0usize;
+    for k in 0..parts {
+        let len = base + usize::from(k < extra);
+        out.push(start..start + len);
+        start += len;
+    }
+    debug_assert_eq!(start, n);
+    out
+}
+
+/// Pastes `parts` vertically (all must share `ncols`); inverse of
+/// row-slicing along [`even_ranges`].
+pub fn vstack<T: Clone>(parts: &[Csr<T>]) -> Csr<T> {
+    assert!(!parts.is_empty(), "vstack of nothing");
+    let ncols = parts[0].ncols();
+    let nrows: usize = parts.iter().map(Csr::nrows).sum();
+    let nnz: usize = parts.iter().map(Csr::nnz).sum();
+    let mut rowptr = Vec::with_capacity(nrows + 1);
+    rowptr.push(0usize);
+    let mut colind: Vec<Idx> = Vec::with_capacity(nnz);
+    let mut vals: Vec<T> = Vec::with_capacity(nnz);
+    for p in parts {
+        assert_eq!(p.ncols(), ncols, "vstack column mismatch");
+        for i in 0..p.nrows() {
+            for (j, v) in p.row(i) {
+                colind.push(j as Idx);
+                vals.push(v.clone());
+            }
+            rowptr.push(colind.len());
+        }
+    }
+    Csr::from_parts(nrows, ncols, rowptr, colind, vals)
+}
+
+/// Pastes `parts` horizontally (all must share `nrows`); inverse of
+/// column-slicing along [`even_ranges`].
+pub fn hstack<T: Clone>(parts: &[Csr<T>]) -> Csr<T> {
+    assert!(!parts.is_empty(), "hstack of nothing");
+    let nrows = parts[0].nrows();
+    let ncols: usize = parts.iter().map(Csr::ncols).sum();
+    let nnz: usize = parts.iter().map(Csr::nnz).sum();
+    let mut rowptr = Vec::with_capacity(nrows + 1);
+    rowptr.push(0usize);
+    let mut colind: Vec<Idx> = Vec::with_capacity(nnz);
+    let mut vals: Vec<T> = Vec::with_capacity(nnz);
+    for i in 0..nrows {
+        let mut offset = 0usize;
+        for p in parts {
+            assert_eq!(p.nrows(), nrows, "hstack row mismatch");
+            for (j, v) in p.row(i) {
+                colind.push((j + offset) as Idx);
+                vals.push(v.clone());
+            }
+            offset += p.ncols();
+        }
+        rowptr.push(colind.len());
+    }
+    Csr::from_parts(nrows, ncols, rowptr, colind, vals)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::Coo;
+    use mfbc_algebra::monoid::SumU64;
+
+    fn m(n: usize, c: usize, t: &[(usize, usize, u64)]) -> Csr<u64> {
+        Coo::from_triples(n, c, t.iter().copied()).into_csr::<SumU64>()
+    }
+
+    fn sample() -> Csr<u64> {
+        m(
+            4,
+            4,
+            &[
+                (0, 0, 1),
+                (0, 3, 2),
+                (1, 1, 3),
+                (2, 0, 4),
+                (2, 2, 5),
+                (3, 3, 6),
+            ],
+        )
+    }
+
+    #[test]
+    fn slice_center_block() {
+        let s = slice(&sample(), 1..3, 1..3);
+        assert_eq!((s.nrows(), s.ncols()), (2, 2));
+        assert_eq!(s.get(0, 0), Some(&3)); // was (1,1)
+        assert_eq!(s.get(1, 1), Some(&5)); // was (2,2)
+        assert_eq!(s.nnz(), 2);
+    }
+
+    #[test]
+    fn slice_rows_and_cols() {
+        let s = slice_rows(&sample(), 2..4);
+        assert_eq!(s.nnz(), 3);
+        assert_eq!(s.get(0, 0), Some(&4));
+        let s = slice_cols(&sample(), 3..4);
+        assert_eq!(s.nnz(), 2);
+        assert_eq!(s.get(0, 0), Some(&2));
+        assert_eq!(s.get(3, 0), Some(&6));
+    }
+
+    #[test]
+    fn empty_slice() {
+        let s = slice(&sample(), 1..1, 0..4);
+        assert_eq!((s.nrows(), s.nnz()), (0, 0));
+    }
+
+    #[test]
+    fn even_ranges_cover_exactly() {
+        for n in [0usize, 1, 7, 16, 100] {
+            for p in [1usize, 2, 3, 7, 16] {
+                let rs = even_ranges(n, p);
+                assert_eq!(rs.len(), p);
+                assert_eq!(rs.iter().map(|r| r.len()).sum::<usize>(), n);
+                let mut prev = 0;
+                for r in &rs {
+                    assert_eq!(r.start, prev);
+                    prev = r.end;
+                }
+                let sizes: Vec<_> = rs.iter().map(|r| r.len()).collect();
+                let (mn, mx) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+                assert!(mx - mn <= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn vstack_inverts_row_slicing() {
+        let a = sample();
+        let parts: Vec<_> = even_ranges(a.nrows(), 3)
+            .into_iter()
+            .map(|r| slice_rows(&a, r))
+            .collect();
+        assert_eq!(vstack(&parts), a);
+    }
+
+    #[test]
+    fn hstack_inverts_col_slicing() {
+        let a = sample();
+        let parts: Vec<_> = even_ranges(a.ncols(), 3)
+            .into_iter()
+            .map(|r| slice_cols(&a, r))
+            .collect();
+        assert_eq!(hstack(&parts), a);
+    }
+}

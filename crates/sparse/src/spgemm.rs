@@ -1,0 +1,290 @@
+//! Generalized sparse × sparse matrix multiplication.
+//!
+//! Computes `C(i,j) = ⊕_k f(A(i,k), B(k,j))` for an arbitrary
+//! [`SpMulKernel`] — the `•⟨⊕,f⟩` operator of §3 of the paper — using
+//! Gustavson's row-wise algorithm with a dense sparse-accumulator
+//! (SPA). This is the open replacement for the MKL SpGEMM variants
+//! the paper's implementation calls for blockwise products (§6.2).
+//!
+//! Besides the output matrix, the multiplication reports the number
+//! of *nonzero products* formed — `ops(A, B)` in the paper's §5
+//! notation — which the cost model and the TEPS accounting both
+//! consume.
+
+use crate::csr::{Csr, Idx};
+use mfbc_algebra::kernel::KernelOut;
+use mfbc_algebra::monoid::Monoid;
+use mfbc_algebra::SpMulKernel;
+use rayon::prelude::*;
+
+/// Result of a generalized SpGEMM: the product matrix plus the
+/// `ops(A, B)` work counter.
+#[derive(Clone, Debug)]
+pub struct SpGemmOut<T> {
+    /// The product `C = A •⟨⊕,f⟩ B`, pruned of monoid identities.
+    pub mat: Csr<T>,
+    /// Number of non-annihilated elementary products `f(a, b)` formed
+    /// (`ops(A,B)` in §5.1).
+    pub ops: u64,
+}
+
+/// Dense sparse-accumulator for one output row.
+///
+/// `stamp[j] == row_tag` marks column `j` as touched in the current
+/// row; values are lazily reset by overwrite-on-first-touch, so the
+/// per-row cost is proportional to the row's flops, not to `ncols`.
+struct Spa<T> {
+    stamp: Vec<u64>,
+    vals: Vec<T>,
+    touched: Vec<Idx>,
+    tag: u64,
+}
+
+impl<T: Clone> Spa<T> {
+    fn new(ncols: usize, fill: T) -> Spa<T> {
+        Spa {
+            stamp: vec![0; ncols],
+            vals: vec![fill; ncols],
+            touched: Vec::new(),
+            tag: 0,
+        }
+    }
+
+    #[inline]
+    fn begin_row(&mut self) {
+        self.tag += 1;
+        self.touched.clear();
+    }
+
+    #[inline]
+    fn accumulate<M: Monoid<Elem = T>>(&mut self, j: usize, v: T) {
+        if self.stamp[j] == self.tag {
+            M::fold_into(&mut self.vals[j], &v);
+        } else {
+            self.stamp[j] = self.tag;
+            self.vals[j] = v;
+            self.touched.push(j as Idx);
+        }
+    }
+
+    /// Emits the touched entries in column order, skipping identities.
+    fn drain_into<M: Monoid<Elem = T>>(&mut self, colind: &mut Vec<Idx>, vals: &mut Vec<T>) {
+        self.touched.sort_unstable();
+        for &j in &self.touched {
+            let v = &self.vals[j as usize];
+            if !M::is_identity(v) {
+                colind.push(j);
+                vals.push(v.clone());
+            }
+        }
+    }
+}
+
+fn multiply_rows<K: SpMulKernel>(
+    a: &Csr<K::Left>,
+    b: &Csr<K::Right>,
+    rows: std::ops::Range<usize>,
+) -> (Vec<usize>, Vec<Idx>, Vec<KernelOut<K>>, u64) {
+    let mut spa = Spa::new(b.ncols(), <K::Acc as Monoid>::identity());
+    let mut rowlen = Vec::with_capacity(rows.len());
+    let mut colind = Vec::new();
+    let mut vals = Vec::new();
+    let mut ops = 0u64;
+    for i in rows {
+        spa.begin_row();
+        for (k, av) in a.row(i) {
+            for (j, bv) in b.row(k) {
+                if let Some(c) = K::mul(av, bv) {
+                    ops += 1;
+                    spa.accumulate::<K::Acc>(j, c);
+                }
+            }
+        }
+        let before = colind.len();
+        spa.drain_into::<K::Acc>(&mut colind, &mut vals);
+        rowlen.push(colind.len() - before);
+    }
+    (rowlen, colind, vals, ops)
+}
+
+fn assemble<K: SpMulKernel>(
+    nrows: usize,
+    ncols: usize,
+    chunks: Vec<(Vec<usize>, Vec<Idx>, Vec<KernelOut<K>>, u64)>,
+) -> SpGemmOut<KernelOut<K>> {
+    let mut rowptr = Vec::with_capacity(nrows + 1);
+    rowptr.push(0usize);
+    let nnz: usize = chunks.iter().map(|c| c.1.len()).sum();
+    let mut colind = Vec::with_capacity(nnz);
+    let mut vals = Vec::with_capacity(nnz);
+    let mut ops = 0u64;
+    for (rowlen, ci, vs, o) in chunks {
+        for len in rowlen {
+            rowptr.push(rowptr.last().unwrap() + len);
+        }
+        colind.extend(ci);
+        vals.extend(vs);
+        ops += o;
+    }
+    debug_assert_eq!(rowptr.len(), nrows + 1);
+    SpGemmOut {
+        mat: Csr::from_parts(nrows, ncols, rowptr, colind, vals),
+        ops,
+    }
+}
+
+/// Sequential generalized SpGEMM (row-wise Gustavson).
+///
+/// # Panics
+/// Panics if the inner dimensions disagree.
+pub fn spgemm_serial<K: SpMulKernel>(
+    a: &Csr<K::Left>,
+    b: &Csr<K::Right>,
+) -> SpGemmOut<KernelOut<K>> {
+    assert_eq!(
+        a.ncols(),
+        b.nrows(),
+        "spgemm inner dimension mismatch: {}x{} by {}x{}",
+        a.nrows(),
+        a.ncols(),
+        b.nrows(),
+        b.ncols()
+    );
+    let chunk = multiply_rows::<K>(a, b, 0..a.nrows());
+    assemble::<K>(a.nrows(), b.ncols(), vec![chunk])
+}
+
+/// Minimum per-chunk row count for the parallel SpGEMM; below
+/// `2 × PAR_ROW_CHUNK` rows the sequential kernel is used outright,
+/// avoiding SPA setup costs per tiny chunk.
+const PAR_ROW_CHUNK: usize = 16;
+
+/// Row-parallel generalized SpGEMM using rayon.
+///
+/// Deterministic: each output row is produced by exactly one task and
+/// every accumulation happens in ascending-`k` order within a row, so
+/// the result is identical to [`spgemm_serial`] (asserted by tests)
+/// even for non-commutative payload effects like `f64` summation
+/// order.
+pub fn spgemm<K: SpMulKernel>(a: &Csr<K::Left>, b: &Csr<K::Right>) -> SpGemmOut<KernelOut<K>> {
+    assert_eq!(
+        a.ncols(),
+        b.nrows(),
+        "spgemm inner dimension mismatch: {}x{} by {}x{}",
+        a.nrows(),
+        a.ncols(),
+        b.nrows(),
+        b.ncols()
+    );
+    let nrows = a.nrows();
+    if nrows < 2 * PAR_ROW_CHUNK {
+        return spgemm_serial::<K>(a, b);
+    }
+    let nchunks = nrows.div_ceil(PAR_ROW_CHUNK);
+    let chunks: Vec<_> = (0..nchunks)
+        .into_par_iter()
+        .map(|c| {
+            let lo = c * PAR_ROW_CHUNK;
+            let hi = ((c + 1) * PAR_ROW_CHUNK).min(nrows);
+            multiply_rows::<K>(a, b, lo..hi)
+        })
+        .collect();
+    assemble::<K>(nrows, b.ncols(), chunks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::Coo;
+    use mfbc_algebra::kernel::{BellmanFordKernel, TropicalKernel};
+    use mfbc_algebra::monoid::MinDist;
+    use mfbc_algebra::{Dist, Multpath, MultpathMonoid};
+
+    fn dist_mat(n: usize, m: usize, triples: &[(usize, usize, u64)]) -> Csr<Dist> {
+        Coo::from_triples(n, m, triples.iter().map(|&(i, j, w)| (i, j, Dist::new(w))))
+            .into_csr::<MinDist>()
+    }
+
+    #[test]
+    fn tropical_identity_multiplication() {
+        // I (0 on diagonal) times A equals A under min-plus.
+        let a = dist_mat(3, 3, &[(0, 1, 4), (1, 2, 7), (2, 0, 1)]);
+        let eye = dist_mat(3, 3, &[(0, 0, 0), (1, 1, 0), (2, 2, 0)]);
+        let c = spgemm_serial::<TropicalKernel>(&eye, &a);
+        assert_eq!(c.mat, a);
+        assert_eq!(c.ops, 3);
+    }
+
+    #[test]
+    fn tropical_two_hop_paths() {
+        // Path graph 0 -> 1 -> 2 with weights 4, 7: A² gives 0->2 = 11.
+        let a = dist_mat(3, 3, &[(0, 1, 4), (1, 2, 7)]);
+        let c = spgemm_serial::<TropicalKernel>(&a, &a).mat;
+        assert_eq!(c.nnz(), 1);
+        assert_eq!(c.get(0, 2), Some(&Dist::new(11)));
+    }
+
+    #[test]
+    fn min_accumulation_picks_shortest() {
+        // Two 2-hop routes 0->2: via 1 (3+9=12) and via 3 (5+2=7).
+        let a = dist_mat(4, 4, &[(0, 1, 3), (1, 2, 9), (0, 3, 5), (3, 2, 2)]);
+        let c = spgemm_serial::<TropicalKernel>(&a, &a).mat;
+        assert_eq!(c.get(0, 2), Some(&Dist::new(7)));
+    }
+
+    #[test]
+    fn multpath_product_sums_tied_multiplicities() {
+        // Frontier holds source 0 at vertices 1 and 3, both multpath
+        // weight 1; both reach vertex 2 with total weight 3 -> m = 2.
+        let f = Coo::from_triples(
+            1,
+            4,
+            vec![
+                (0usize, 1usize, Multpath::new(Dist::new(1), 1.0)),
+                (0, 3, Multpath::new(Dist::new(1), 1.0)),
+            ],
+        )
+        .into_csr::<MultpathMonoid>();
+        let a = dist_mat(4, 4, &[(1, 2, 2), (3, 2, 2)]);
+        let g = spgemm_serial::<BellmanFordKernel>(&f, &a);
+        assert_eq!(g.mat.get(0, 2), Some(&Multpath::new(Dist::new(3), 2.0)));
+        assert_eq!(g.ops, 2);
+    }
+
+    #[test]
+    fn empty_operands() {
+        let a = Csr::<Dist>::zero(3, 4);
+        let b = Csr::<Dist>::zero(4, 2);
+        let c = spgemm_serial::<TropicalKernel>(&a, &b);
+        assert_eq!(c.mat.nnz(), 0);
+        assert_eq!(c.ops, 0);
+        assert_eq!((c.mat.nrows(), c.mat.ncols()), (3, 2));
+    }
+
+    #[test]
+    #[should_panic]
+    fn dimension_mismatch_panics() {
+        let a = Csr::<Dist>::zero(3, 4);
+        let b = Csr::<Dist>::zero(5, 2);
+        let _ = spgemm_serial::<TropicalKernel>(&a, &b);
+    }
+
+    #[test]
+    fn parallel_matches_serial_on_larger_random() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(42);
+        let n = 200;
+        let mut coo = Coo::new(n, n);
+        for _ in 0..4000 {
+            let i = rng.gen_range(0..n);
+            let j = rng.gen_range(0..n);
+            coo.push(i, j, Dist::new(rng.gen_range(1..100)));
+        }
+        let a = coo.into_csr::<MinDist>();
+        let s = spgemm_serial::<TropicalKernel>(&a, &a);
+        let p = spgemm::<TropicalKernel>(&a, &a);
+        assert_eq!(s.mat, p.mat);
+        assert_eq!(s.ops, p.ops);
+        assert!(s.ops > 0);
+    }
+}

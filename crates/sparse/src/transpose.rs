@@ -1,0 +1,84 @@
+//! Sparse transposition.
+//!
+//! MFBr multiplies frontiers by `Aᵀ` (Algorithm 2); the distributed
+//! layer also transposes blocks during redistribution. The counting
+//! transpose below is the standard O(nnz + n) bucket pass.
+
+use crate::csr::{Csr, Idx};
+
+/// Returns `Aᵀ` with rows sorted (a structural invariant of [`Csr`]).
+pub fn transpose<T: Clone>(a: &Csr<T>) -> Csr<T> {
+    let (n, m) = (a.nrows(), a.ncols());
+    // Count entries per output row (= input column).
+    let mut counts = vec![0usize; m + 1];
+    for i in 0..n {
+        for &j in a.row_cols(i) {
+            counts[j as usize + 1] += 1;
+        }
+    }
+    for j in 0..m {
+        counts[j + 1] += counts[j];
+    }
+    let rowptr = counts.clone();
+    let nnz = a.nnz();
+    let mut colind: Vec<Idx> = vec![0; nnz];
+    let mut vals: Vec<Option<T>> = vec![None; nnz];
+    let mut cursor = counts;
+    for i in 0..n {
+        for (j, v) in a.row(i) {
+            let slot = cursor[j];
+            cursor[j] += 1;
+            colind[slot] = i as Idx;
+            vals[slot] = Some(v.clone());
+        }
+    }
+    let vals: Vec<T> = vals
+        .into_iter()
+        .map(|v| v.expect("every slot written exactly once"))
+        .collect();
+    Csr::from_parts(m, n, rowptr, colind, vals)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::Coo;
+    use mfbc_algebra::monoid::SumU64;
+
+    fn m(n: usize, c: usize, t: &[(usize, usize, u64)]) -> Csr<u64> {
+        Coo::from_triples(n, c, t.iter().copied()).into_csr::<SumU64>()
+    }
+
+    #[test]
+    fn transpose_rectangular() {
+        let a = m(2, 3, &[(0, 0, 1), (0, 2, 2), (1, 1, 3)]);
+        let t = transpose(&a);
+        assert_eq!((t.nrows(), t.ncols()), (3, 2));
+        assert_eq!(t.get(0, 0), Some(&1));
+        assert_eq!(t.get(2, 0), Some(&2));
+        assert_eq!(t.get(1, 1), Some(&3));
+        assert!(t.validate().is_ok());
+    }
+
+    #[test]
+    fn double_transpose_is_identity() {
+        let a = m(4, 5, &[(0, 4, 1), (1, 0, 2), (3, 2, 3), (3, 4, 4), (2, 2, 5)]);
+        assert_eq!(transpose(&transpose(&a)), a);
+    }
+
+    #[test]
+    fn transpose_empty() {
+        let a = Csr::<u64>::zero(3, 7);
+        let t = transpose(&a);
+        assert_eq!((t.nrows(), t.ncols(), t.nnz()), (7, 3, 0));
+    }
+
+    #[test]
+    fn transpose_dense_column() {
+        // A column vector becomes a row vector.
+        let a = m(3, 1, &[(0, 0, 1), (1, 0, 2), (2, 0, 3)]);
+        let t = transpose(&a);
+        assert_eq!((t.nrows(), t.ncols()), (1, 3));
+        assert_eq!(t.row(0).map(|(j, v)| (j, *v)).collect::<Vec<_>>(), vec![(0, 1), (1, 2), (2, 3)]);
+    }
+}

@@ -1,0 +1,192 @@
+//! Plan autotuning: the search over data decompositions and
+//! multiplication algorithms.
+//!
+//! This is the paper's headline implementation feature ("MFBC …
+//! automatically searches a space of distributed data decompositions
+//! and sparse matrix multiplication algorithms for the most
+//! advantageous configuration", §1/§6.2): for each multiplication the
+//! tuner enumerates every 1D variant, every 2D variant × grid
+//! factorization, and every 3D `(split, inner)` pairing × grid
+//! factorization, scores them with the analytic models of
+//! [`crate::costmodel`], filters out plans whose estimated per-rank
+//! memory exceeds the machine budget, and picks the cheapest.
+
+use crate::cache::MmCache;
+use crate::costmodel::{memory_per_rank, predict, MmStats};
+use crate::dist::DistMat;
+use crate::grid::factorizations;
+use crate::mm::{mm_exec, MmOut, MmPlan, Variant1D, Variant2D};
+use mfbc_algebra::kernel::KernelOut;
+use mfbc_algebra::SpMulKernel;
+use mfbc_machine::{Machine, MachineError, MachineSpec};
+use mfbc_sparse::entry_bytes;
+
+const V1: [Variant1D; 3] = [Variant1D::A, Variant1D::B, Variant1D::C];
+const V2: [Variant2D; 3] = [Variant2D::AB, Variant2D::AC, Variant2D::BC];
+
+/// Every candidate plan for `p` ranks.
+pub fn candidate_plans(p: usize) -> Vec<MmPlan> {
+    let mut plans = Vec::new();
+    for v in V1 {
+        plans.push(MmPlan::OneD(v));
+    }
+    let q = (p as f64).sqrt().round() as usize;
+    if q * q == p && q > 1 {
+        plans.push(MmPlan::Cannon { q });
+    }
+    for (p1, p2, p3) in factorizations(p) {
+        if p1 == 1 && (p2 > 1 || p3 > 1) {
+            for v in V2 {
+                plans.push(MmPlan::TwoD { variant: v, p2, p3 });
+            }
+        }
+        if p1 > 1 && p2 * p3 > 1 {
+            for s in V1 {
+                for i in V2 {
+                    plans.push(MmPlan::ThreeD {
+                        split: s,
+                        inner: i,
+                        p1,
+                        p2,
+                        p3,
+                    });
+                }
+            }
+        }
+    }
+    plans
+}
+
+/// Scores all candidates and returns `(best plan, predicted cost)`.
+///
+/// Plans whose estimated per-rank memory exceeds the spec's budget
+/// are skipped; if *every* plan exceeds it, the cheapest is returned
+/// anyway (the executor will surface the out-of-memory error, as the
+/// real run would).
+pub fn best_plan(spec: &MachineSpec, st: &MmStats) -> (MmPlan, f64) {
+    let mut best: Option<(MmPlan, f64)> = None;
+    let mut best_any: Option<(MmPlan, f64)> = None;
+    for plan in candidate_plans(spec.p) {
+        let t = predict(spec, &plan, st);
+        if best_any.as_ref().is_none_or(|(_, bt)| t < *bt) {
+            best_any = Some((plan.clone(), t));
+        }
+        if let Some(budget) = spec.mem_bytes {
+            if memory_per_rank(&plan, st, spec.p) > budget {
+                continue;
+            }
+        }
+        if best.as_ref().is_none_or(|(_, bt)| t < *bt) {
+            best = Some((plan, t));
+        }
+    }
+    best.or(best_any).expect("candidate set is never empty")
+}
+
+/// Builds [`MmStats`] for a concrete operand pair, using the measured
+/// operand counts and the uniform-model estimates for the output.
+pub fn stats_for<K: SpMulKernel>(a: &DistMat<K::Left>, b: &DistMat<K::Right>) -> MmStats {
+    MmStats::estimate(
+        a.nrows() as u64,
+        a.ncols() as u64,
+        b.ncols() as u64,
+        a.nnz() as u64,
+        b.nnz() as u64,
+        entry_bytes::<K::Left>() as u64,
+        entry_bytes::<K::Right>() as u64,
+        entry_bytes::<KernelOut<K>>() as u64,
+    )
+}
+
+/// Autotuned multiplication: pick the best plan for these operands
+/// and execute it. Returns the chosen plan alongside the product.
+pub fn mm_auto<K: SpMulKernel>(
+    m: &Machine,
+    a: &DistMat<K::Left>,
+    b: &DistMat<K::Right>,
+) -> Result<(MmOut<KernelOut<K>>, MmPlan), MachineError> {
+    let st = stats_for::<K>(a, b);
+    let (plan, _) = best_plan(m.spec(), &st);
+    let out = mm_exec::<K>(m, &plan, a, b)?;
+    Ok((out, plan))
+}
+
+/// Autotuned multiplication with right-operand caching: prepared
+/// adjacency forms persist in `cache` across calls (and across the
+/// different plans the tuner picks as the frontier evolves).
+pub fn mm_auto_cached<K: SpMulKernel>(
+    m: &Machine,
+    a: &DistMat<K::Left>,
+    b: &DistMat<K::Right>,
+    cache: &mut MmCache<K::Right>,
+) -> Result<(MmOut<KernelOut<K>>, MmPlan), MachineError> {
+    let st = stats_for::<K>(a, b);
+    let (plan, _) = best_plan(m.spec(), &st);
+    let out = crate::mm::mm_exec_cached::<K>(m, &plan, a, b, cache)?;
+    Ok((out, plan))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn candidate_space_shape() {
+        // p = 8: 1D ×3; 2D pairs (1,8),(2,4),(4,2),(8,1) ×3; 3D
+        // factorizations with p1>1 and p2·p3>1 × 9.
+        let plans = candidate_plans(8);
+        let one = plans.iter().filter(|p| matches!(p, MmPlan::OneD(_))).count();
+        let two = plans.iter().filter(|p| matches!(p, MmPlan::TwoD { .. })).count();
+        let three = plans
+            .iter()
+            .filter(|p| matches!(p, MmPlan::ThreeD { .. }))
+            .count();
+        assert_eq!(one, 3);
+        assert_eq!(two, 12);
+        // (2,1,4),(2,2,2),(2,4,1),(4,1,2),(4,2,1) → 5 grids × 9.
+        assert_eq!(three, 45);
+        // p = 8 is not square: no Cannon candidate.
+        assert!(!plans.iter().any(|p| matches!(p, MmPlan::Cannon { .. })));
+        // p = 16 is: exactly one.
+        let c16 = candidate_plans(16)
+            .into_iter()
+            .filter(|p| matches!(p, MmPlan::Cannon { .. }))
+            .count();
+        assert_eq!(c16, 1);
+    }
+
+    #[test]
+    fn p1_is_degenerate_single_plan_space() {
+        let plans = candidate_plans(1);
+        assert!(plans.iter().all(|p| matches!(p, MmPlan::OneD(_))));
+    }
+
+    #[test]
+    fn best_plan_prefers_not_replicating_the_dense_operand() {
+        let spec = MachineSpec::test(16);
+        // B is enormous compared to A.
+        let st = MmStats::estimate(512, 100_000, 100_000, 2_000, 10_000_000, 12, 12, 20);
+        let (plan, _) = best_plan(&spec, &st);
+        assert!(
+            !matches!(plan, MmPlan::OneD(Variant1D::B)),
+            "must not replicate the big operand: {plan:?}"
+        );
+    }
+
+    #[test]
+    fn memory_budget_excludes_replication_plans() {
+        // Budget below full-matrix replication but above blocked use.
+        let st = MmStats::estimate(1000, 1000, 1000, 100_000, 100_000, 12, 12, 20);
+        let mut spec = MachineSpec::test(16);
+        // Enough for blocked layouts (~1.6 MB/rank with the dense
+        // nnz(C) estimate) but not for full replication (+1.2 MB).
+        spec.mem_bytes = Some(2_000_000);
+        let (plan, _) = best_plan(&spec, &st);
+        assert!(
+            memory_per_rank(&plan, &st, 16) <= 2_000_000,
+            "plan {plan:?} violates budget"
+        );
+        // Sanity: replication really is over budget.
+        assert!(memory_per_rank(&MmPlan::OneD(Variant1D::A), &st, 16) > 2_000_000);
+    }
+}

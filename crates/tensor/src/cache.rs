@@ -1,0 +1,198 @@
+//! Right-operand caching: the amortization of Theorem 5.1.
+//!
+//! MFBC multiplies a *changing* frontier by the *same* adjacency
+//! matrix in every iteration of every batch. The theorem's cost
+//! derivation amortizes the adjacency's replication accordingly:
+//! "A's replication can be amortized over (up to d) sparse matrix
+//! multiplications and over the n²/cm batches, since A is always the
+//! same adjacency matrix" (§5.3).
+//!
+//! An [`MmCache`] keyed by (plan-layout, operand fingerprint) holds
+//! the replicated/redistributed forms of the right operand between
+//! multiplications: on a hit, neither the redistribution all-to-all
+//! nor the replication broadcast is re-charged, but the cached form
+//! *stays resident* on its ranks (memory is the price of
+//! amortization — exactly the `c`-replication trade-off). Dropping
+//! the cache without [`MmCache::release_all`] leaks simulated memory,
+//! so drivers release at end of run.
+
+use crate::dist::DistMat;
+use mfbc_machine::Machine;
+use mfbc_sparse::Csr;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A cached prepared form of a right operand.
+#[derive(Clone, Debug)]
+pub enum CachedRhs<T> {
+    /// Fully replicated global matrix (1D variant B).
+    Global(Arc<Csr<T>>),
+    /// One redistributed layout (2D variants).
+    Dist(Arc<DistMat<T>>),
+    /// Per-layer copies or slices (3D variants).
+    Layers(Arc<Vec<DistMat<T>>>),
+}
+
+/// Identity of an operand: shape plus nonzero count. Two matrices
+/// colliding on this fingerprint within one cache would alias, so a
+/// cache must be used with a single logical matrix (the drivers keep
+/// one cache per adjacency orientation); the fingerprint check turns
+/// accidental misuse into a panic instead of wrong answers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Fingerprint {
+    nrows: usize,
+    ncols: usize,
+    nnz: usize,
+}
+
+impl Fingerprint {
+    /// Fingerprint of a distributed matrix.
+    pub fn of<T: Clone + Send + Sync>(m: &DistMat<T>) -> Fingerprint {
+        Fingerprint {
+            nrows: m.nrows(),
+            ncols: m.ncols(),
+            nnz: m.nnz(),
+        }
+    }
+}
+
+struct Entry<T> {
+    form: CachedRhs<T>,
+    fingerprint: Fingerprint,
+    /// Simulated residency charged when the form was built, to be
+    /// released when the cache is dropped: (rank, bytes).
+    charges: Vec<(usize, u64)>,
+}
+
+/// Cross-multiplication cache of prepared right-operand forms.
+pub struct MmCache<T> {
+    entries: HashMap<String, Entry<T>>,
+}
+
+impl<T> Default for MmCache<T> {
+    fn default() -> Self {
+        MmCache {
+            entries: HashMap::new(),
+        }
+    }
+}
+
+impl<T> MmCache<T> {
+    /// An empty cache.
+    pub fn new() -> MmCache<T> {
+        MmCache::default()
+    }
+
+    /// Number of cached forms.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks up a prepared form.
+    ///
+    /// # Panics
+    /// Panics if the key exists but was built for a different matrix
+    /// (fingerprint mismatch) — one cache serves one logical operand.
+    pub fn get(&self, key: &str, fp: Fingerprint) -> Option<&CachedRhs<T>> {
+        self.entries.get(key).map(|e| {
+            assert_eq!(
+                e.fingerprint, fp,
+                "MmCache key {key:?} was built for a different operand"
+            );
+            &e.form
+        })
+    }
+
+    /// Stores a prepared form with the simulated residency it
+    /// charged.
+    pub fn insert(
+        &mut self,
+        key: String,
+        fp: Fingerprint,
+        form: CachedRhs<T>,
+        charges: Vec<(usize, u64)>,
+    ) {
+        self.entries.insert(
+            key,
+            Entry {
+                form,
+                fingerprint: fp,
+                charges,
+            },
+        );
+    }
+
+    /// Releases every cached form's simulated residency and clears
+    /// the cache.
+    pub fn release_all(&mut self, m: &Machine) {
+        for (_, e) in self.entries.drain() {
+            for (rank, bytes) in e.charges {
+                m.release(rank, bytes);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::Layout;
+    use mfbc_machine::MachineSpec;
+
+    fn dm(nnz_rows: usize) -> DistMat<u64> {
+        use mfbc_algebra::monoid::SumU64;
+        let coo = mfbc_sparse::Coo::from_triples(
+            4,
+            4,
+            (0..nnz_rows).map(|i| (i % 4, (i + 1) % 4, i as u64 + 1)),
+        );
+        DistMat::from_global(Layout::single(4, 4, 0), &coo.into_csr::<SumU64>())
+    }
+
+    #[test]
+    fn hit_and_miss() {
+        let a = dm(3);
+        let mut cache: MmCache<u64> = MmCache::new();
+        let fp = Fingerprint::of(&a);
+        assert!(cache.get("k", fp).is_none());
+        cache.insert("k".into(), fp, CachedRhs::Dist(Arc::new(a.clone())), vec![]);
+        assert!(cache.get("k", fp).is_some());
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn fingerprint_mismatch_panics() {
+        let a = dm(3);
+        let b = dm(4);
+        let mut cache: MmCache<u64> = MmCache::new();
+        cache.insert(
+            "k".into(),
+            Fingerprint::of(&a),
+            CachedRhs::Dist(Arc::new(a)),
+            vec![],
+        );
+        let _ = cache.get("k", Fingerprint::of(&b));
+    }
+
+    #[test]
+    fn release_all_returns_memory() {
+        let m = Machine::new(MachineSpec::test(2));
+        m.charge_alloc(1, 100).unwrap();
+        let mut cache: MmCache<u64> = MmCache::new();
+        cache.insert(
+            "k".into(),
+            Fingerprint::of(&dm(2)),
+            CachedRhs::Dist(Arc::new(dm(2))),
+            vec![(1, 100)],
+        );
+        cache.release_all(&m);
+        assert!(cache.is_empty());
+        assert_eq!(m.with_tracker(|t| t.resident(1)), 0);
+    }
+}

@@ -1,0 +1,344 @@
+//! Analytic communication-cost models for every MM variant (§5.2).
+//!
+//! The autotuner scores candidate plans with these closed-form
+//! predictions — the same role CTF's linear cost models play (§6.2:
+//! "CTF predicts the cost of communication routines, redistributions,
+//! and blockwise operations based on linear cost models"). The
+//! formulas mirror exactly what the executor charges, so a plan's
+//! predicted cost tracks its charged cost; unit tests assert this
+//! correspondence on concrete cases.
+
+use crate::grid::lcm;
+use crate::mm::{MmPlan, Variant1D, Variant2D};
+use mfbc_machine::cost::log2_ceil;
+use mfbc_machine::MachineSpec;
+
+/// Problem statistics the models consume: shapes, nonzero counts, and
+/// per-entry byte sizes of the three matrices (`C`'s count is an
+/// estimate — §5.2's uniform model `nnz(C) ≈ min(mn, ops)` with
+/// `ops ≈ nnz(A)·nnz(B)/k`).
+#[derive(Clone, Copy, Debug)]
+pub struct MmStats {
+    /// Rows of A/C.
+    pub m: u64,
+    /// Columns of A / rows of B (contraction dimension).
+    pub k: u64,
+    /// Columns of B/C.
+    pub n: u64,
+    /// Stored entries of A.
+    pub nnz_a: u64,
+    /// Stored entries of B.
+    pub nnz_b: u64,
+    /// Estimated stored entries of C.
+    pub nnz_c: u64,
+    /// Estimated elementary products.
+    pub ops: u64,
+    /// Bytes per stored entry of A.
+    pub eb_a: u64,
+    /// Bytes per stored entry of B.
+    pub eb_b: u64,
+    /// Bytes per stored entry of C.
+    pub eb_c: u64,
+}
+
+impl MmStats {
+    /// Builds stats from shapes and operand counts using the paper's
+    /// uniform-sparsity estimates for `ops` and `nnz(C)`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn estimate(
+        m: u64,
+        k: u64,
+        n: u64,
+        nnz_a: u64,
+        nnz_b: u64,
+        eb_a: u64,
+        eb_b: u64,
+        eb_c: u64,
+    ) -> MmStats {
+        let ops = if k == 0 {
+            0
+        } else {
+            ((nnz_a as f64) * (nnz_b as f64) / (k as f64)).ceil() as u64
+        };
+        let nnz_c = ops.min(m.saturating_mul(n));
+        MmStats {
+            m,
+            k,
+            n,
+            nnz_a,
+            nnz_b,
+            nnz_c,
+            ops,
+            eb_a,
+            eb_b,
+            eb_c,
+        }
+    }
+}
+
+fn lg(x: usize) -> f64 {
+    log2_ceil(x) as f64
+}
+
+/// Predicted wall-clock seconds for one redistribution all-to-all of
+/// a matrix with `bytes` total payload over `p` ranks.
+fn redist_time(spec: &MachineSpec, p: usize, bytes: f64) -> f64 {
+    if p <= 1 || bytes == 0.0 {
+        return 0.0;
+    }
+    spec.beta * bytes / p as f64 + spec.alpha * lg(p)
+}
+
+/// Predicted communication+compute time of a 2D variant on a
+/// `g1 × g2` grid with the given (possibly layer-shrunk) stats.
+fn time_2d(spec: &MachineSpec, g1: usize, g2: usize, v: Variant2D, st: &MmStats) -> f64 {
+    let p = g1 * g2;
+    let s = lcm(g1, g2) as f64;
+    let (ba, bb, bc) = (
+        (st.nnz_a * st.eb_a) as f64,
+        (st.nnz_b * st.eb_b) as f64,
+        (st.nnz_c * st.eb_c) as f64,
+    );
+    let mut t = redist_time(spec, p, ba) + redist_time(spec, p, bb);
+    if p > 1 {
+        t += match v {
+            Variant2D::AB => {
+                2.0 * spec.beta * (ba / g1 as f64 + bb / g2 as f64)
+                    + s * 2.0 * spec.alpha * (lg(g1) + lg(g2))
+            }
+            Variant2D::AC => {
+                2.0 * spec.beta * ba / g1 as f64
+                    + spec.beta * bc / g2 as f64
+                    + s * spec.alpha * (2.0 * lg(g2) + lg(g1))
+            }
+            Variant2D::BC => {
+                2.0 * spec.beta * bb / g2 as f64
+                    + spec.beta * bc / g1 as f64
+                    + s * spec.alpha * (2.0 * lg(g1) + lg(g2))
+            }
+        };
+    }
+    t + spec.gamma * (st.ops + st.nnz_c) as f64 / p as f64
+}
+
+/// Predicted time of a 1D variant over `p` ranks.
+fn time_1d(spec: &MachineSpec, p: usize, v: Variant1D, st: &MmStats) -> f64 {
+    let (ba, bb, bc) = (
+        (st.nnz_a * st.eb_a) as f64,
+        (st.nnz_b * st.eb_b) as f64,
+        (st.nnz_c * st.eb_c) as f64,
+    );
+    let comm = if p <= 1 {
+        0.0
+    } else {
+        match v {
+            Variant1D::A => spec.beta * ba + spec.alpha * lg(p) + redist_time(spec, p, bb),
+            Variant1D::B => spec.beta * bb + spec.alpha * lg(p) + redist_time(spec, p, ba),
+            Variant1D::C => {
+                redist_time(spec, p, ba)
+                    + redist_time(spec, p, bb)
+                    + spec.beta * bc
+                    + spec.alpha * lg(p)
+            }
+        }
+    };
+    comm + spec.gamma * (st.ops + st.nnz_c) as f64 / p as f64
+}
+
+/// Shrinks stats for a layer of a 3D algorithm splitting matrix `X`.
+fn layer_stats(st: &MmStats, split: Variant1D, p1: u64) -> MmStats {
+    let mut s = *st;
+    match split {
+        Variant1D::A => {
+            // B, C columns split.
+            s.n = st.n.div_ceil(p1);
+            s.nnz_b = st.nnz_b.div_ceil(p1);
+            s.nnz_c = st.nnz_c.div_ceil(p1);
+            s.ops = st.ops.div_ceil(p1);
+        }
+        Variant1D::B => {
+            // A, C rows split.
+            s.m = st.m.div_ceil(p1);
+            s.nnz_a = st.nnz_a.div_ceil(p1);
+            s.nnz_c = st.nnz_c.div_ceil(p1);
+            s.ops = st.ops.div_ceil(p1);
+        }
+        Variant1D::C => {
+            // Contraction dimension split; C stays full shape.
+            s.k = st.k.div_ceil(p1);
+            s.nnz_a = st.nnz_a.div_ceil(p1);
+            s.nnz_b = st.nnz_b.div_ceil(p1);
+            s.ops = st.ops.div_ceil(p1);
+        }
+    }
+    s
+}
+
+/// Predicted execution time (seconds) of `plan` for `stats` on
+/// `spec` — `W_MM` specialized to the plan.
+pub fn predict(spec: &MachineSpec, plan: &MmPlan, st: &MmStats) -> f64 {
+    match *plan {
+        MmPlan::OneD(v) => time_1d(spec, spec.p, v, st),
+        MmPlan::TwoD { variant, p2, p3 } => time_2d(spec, p2, p3, variant, st),
+        MmPlan::Cannon { q } => crate::cannon::predict_cannon(spec, q, st),
+        MmPlan::ThreeD {
+            split,
+            inner,
+            p1,
+            p2,
+            p3,
+        } => {
+            let ls = layer_stats(st, split, p1 as u64);
+            let inner_t = time_2d(spec, p2, p3, inner, &ls);
+            let fiber = if p1 <= 1 {
+                0.0
+            } else {
+                match split {
+                    Variant1D::A => {
+                        2.0 * spec.beta * (st.nnz_a * st.eb_a) as f64 / (p2 * p3) as f64
+                            + 2.0 * spec.alpha * lg(p1)
+                    }
+                    Variant1D::B => {
+                        2.0 * spec.beta * (st.nnz_b * st.eb_b) as f64 / (p2 * p3) as f64
+                            + 2.0 * spec.alpha * lg(p1)
+                    }
+                    Variant1D::C => {
+                        spec.beta * (st.nnz_c * st.eb_c) as f64 / (p2 * p3) as f64
+                            + spec.alpha * lg(p1)
+                    }
+                }
+            };
+            inner_t + fiber
+        }
+    }
+}
+
+/// Rough per-rank resident bytes of `plan`, for memory-feasibility
+/// filtering in the autotuner.
+pub fn memory_per_rank(plan: &MmPlan, st: &MmStats, p: usize) -> u64 {
+    let (ba, bb, bc) = (st.nnz_a * st.eb_a, st.nnz_b * st.eb_b, st.nnz_c * st.eb_c);
+    let base = (ba + bb + bc) / p as u64 + 1;
+    match *plan {
+        MmPlan::OneD(Variant1D::A) => base + ba,
+        MmPlan::OneD(Variant1D::B) => base + bb,
+        MmPlan::OneD(Variant1D::C) => base + (st.ops * st.eb_c) / p as u64,
+        MmPlan::TwoD { .. } | MmPlan::Cannon { .. } => base + ba / (p as u64) + bb / (p as u64),
+        MmPlan::ThreeD { split, p2, p3, .. } => {
+            let layer = (p2 * p3) as u64;
+            base + match split {
+                Variant1D::A => ba / layer,
+                Variant1D::B => bb / layer,
+                Variant1D::C => bc / layer,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats() -> MmStats {
+        MmStats::estimate(512, 10_000, 10_000, 5_000, 100_000, 12, 12, 20)
+    }
+
+    #[test]
+    fn estimate_computes_ops_and_nnzc() {
+        let st = stats();
+        assert_eq!(st.ops, 50_000); // 5e3 * 1e5 / 1e4
+        assert_eq!(st.nnz_c, 50_000);
+        // nnz(C) capped at m·n.
+        let tiny = MmStats::estimate(2, 10, 2, 100, 100, 8, 8, 8);
+        assert_eq!(tiny.nnz_c, 4);
+    }
+
+    #[test]
+    fn replicating_the_big_matrix_costs_more() {
+        let spec = MachineSpec::test(16);
+        let st = stats();
+        let a = predict(&spec, &MmPlan::OneD(Variant1D::A), &st);
+        let b = predict(&spec, &MmPlan::OneD(Variant1D::B), &st);
+        // B is 20x denser than A: replicating it must be pricier.
+        assert!(b > a, "replicate-B {b} should exceed replicate-A {a}");
+    }
+
+    #[test]
+    fn twod_beats_oned_replication_for_large_matrices() {
+        let spec = MachineSpec::test(16);
+        let st = stats();
+        let one = predict(&spec, &MmPlan::OneD(Variant1D::B), &st);
+        let two = predict(
+            &spec,
+            &MmPlan::TwoD {
+                variant: Variant2D::AB,
+                p2: 4,
+                p3: 4,
+            },
+            &st,
+        );
+        assert!(two < one);
+    }
+
+    #[test]
+    fn replication_reduces_bandwidth_term() {
+        // More layers (larger c) shrink per-layer operand volumes —
+        // the mechanism behind Theorem 5.1's √(c) savings.
+        let spec = MachineSpec {
+            alpha: 0.0,
+            ..MachineSpec::test(64)
+        };
+        let st = MmStats::estimate(64, 100_000, 100_000, 1_000_000, 1_000_000, 12, 12, 20);
+        let flat = predict(
+            &spec,
+            &MmPlan::TwoD {
+                variant: Variant2D::AC,
+                p2: 8,
+                p3: 8,
+            },
+            &st,
+        );
+        let replicated = predict(
+            &spec,
+            &MmPlan::ThreeD {
+                split: Variant1D::B,
+                inner: Variant2D::AC,
+                p1: 4,
+                p2: 4,
+                p3: 4,
+            },
+            &st,
+        );
+        assert!(
+            replicated < flat,
+            "3D ({replicated}) should beat 2D ({flat}) on bandwidth"
+        );
+    }
+
+    #[test]
+    fn memory_model_flags_replication() {
+        let st = stats();
+        let m1 = memory_per_rank(&MmPlan::OneD(Variant1D::B), &st, 16);
+        let m2 = memory_per_rank(
+            &MmPlan::TwoD {
+                variant: Variant2D::AB,
+                p2: 4,
+                p3: 4,
+            },
+            &st,
+            16,
+        );
+        assert!(m1 > m2);
+        assert!(m1 >= st.nnz_b * st.eb_b);
+    }
+
+    #[test]
+    fn layer_stats_shrink_correctly() {
+        let st = stats();
+        let la = layer_stats(&st, Variant1D::A, 4);
+        assert_eq!(la.nnz_b, st.nnz_b.div_ceil(4));
+        assert_eq!(la.nnz_a, st.nnz_a);
+        let lc = layer_stats(&st, Variant1D::C, 4);
+        assert_eq!(lc.nnz_a, st.nnz_a.div_ceil(4));
+        assert_eq!(lc.nnz_c, st.nnz_c);
+    }
+}

@@ -1,0 +1,227 @@
+//! Processor grids: 1D/2D/3D factorizations of the machine.
+//!
+//! CTF maps each tensor onto a processor grid and searches the space
+//! of grids per operation (§6.2). Here a [`Grid2`] names a `g1 × g2`
+//! arrangement of a rank [`Group`]; [`Grid3`] adds a replication
+//! dimension `p1` of layers, each a `Grid2`. [`factorizations`]
+//! enumerates the candidate grids the autotuner scores.
+
+use mfbc_machine::Group;
+
+/// A 2D processor grid over an ordered rank group: member
+/// `(i, j)` is group index `i * g2 + j`.
+#[derive(Clone, Debug)]
+pub struct Grid2 {
+    group: Group,
+    g1: usize,
+    g2: usize,
+}
+
+impl Grid2 {
+    /// Builds a `g1 × g2` grid over `group`.
+    ///
+    /// # Panics
+    /// Panics unless `group.len() == g1 * g2`.
+    pub fn new(group: Group, g1: usize, g2: usize) -> Grid2 {
+        assert_eq!(group.len(), g1 * g2, "grid shape mismatch");
+        assert!(g1 > 0 && g2 > 0);
+        Grid2 { group, g1, g2 }
+    }
+
+    /// Grid rows.
+    #[inline]
+    pub fn g1(&self) -> usize {
+        self.g1
+    }
+
+    /// Grid columns.
+    #[inline]
+    pub fn g2(&self) -> usize {
+        self.g2
+    }
+
+    /// The underlying group.
+    #[inline]
+    pub fn group(&self) -> &Group {
+        &self.group
+    }
+
+    /// World rank of grid position `(i, j)`.
+    #[inline]
+    pub fn rank(&self, i: usize, j: usize) -> usize {
+        debug_assert!(i < self.g1 && j < self.g2);
+        self.group.rank_at(i * self.g2 + j)
+    }
+
+    /// The row subgroup `{(i, 0), …, (i, g2−1)}`.
+    pub fn row_group(&self, i: usize) -> Group {
+        Group::new((0..self.g2).map(|j| self.rank(i, j)).collect())
+    }
+
+    /// The column subgroup `{(0, j), …, (g1−1, j)}`.
+    pub fn col_group(&self, j: usize) -> Group {
+        Group::new((0..self.g1).map(|i| self.rank(i, j)).collect())
+    }
+}
+
+/// A 3D processor grid: `p1` layers, each a `p2 × p3` [`Grid2`].
+/// World rank of `(l, i, j)` is group index `l·p2·p3 + i·p3 + j`.
+#[derive(Clone, Debug)]
+pub struct Grid3 {
+    group: Group,
+    p1: usize,
+    p2: usize,
+    p3: usize,
+}
+
+impl Grid3 {
+    /// Builds a `p1 × p2 × p3` grid over `group`.
+    ///
+    /// # Panics
+    /// Panics unless `group.len() == p1 * p2 * p3`.
+    pub fn new(group: Group, p1: usize, p2: usize, p3: usize) -> Grid3 {
+        assert_eq!(group.len(), p1 * p2 * p3, "grid shape mismatch");
+        assert!(p1 > 0 && p2 > 0 && p3 > 0);
+        Grid3 { group, p1, p2, p3 }
+    }
+
+    /// Number of layers (the 1D/replication dimension).
+    #[inline]
+    pub fn p1(&self) -> usize {
+        self.p1
+    }
+
+    /// Layer-grid rows.
+    #[inline]
+    pub fn p2(&self) -> usize {
+        self.p2
+    }
+
+    /// Layer-grid columns.
+    #[inline]
+    pub fn p3(&self) -> usize {
+        self.p3
+    }
+
+    /// The underlying group.
+    #[inline]
+    pub fn group(&self) -> &Group {
+        &self.group
+    }
+
+    /// The 2D grid of layer `l`.
+    pub fn layer(&self, l: usize) -> Grid2 {
+        assert!(l < self.p1);
+        let ranks = (0..self.p2 * self.p3)
+            .map(|k| self.group.rank_at(l * self.p2 * self.p3 + k))
+            .collect();
+        Grid2::new(Group::new(ranks), self.p2, self.p3)
+    }
+
+    /// The fiber subgroup across layers at layer-position `(i, j)`:
+    /// `{(0,i,j), …, (p1−1,i,j)}` — the groups 3D algorithms
+    /// replicate over and reduce along.
+    pub fn fiber_group(&self, i: usize, j: usize) -> Group {
+        assert!(i < self.p2 && j < self.p3);
+        Group::new(
+            (0..self.p1)
+                .map(|l| self.group.rank_at(l * self.p2 * self.p3 + i * self.p3 + j))
+                .collect(),
+        )
+    }
+}
+
+/// All ordered factorizations `(p1, p2, p3)` with `p1·p2·p3 == p` —
+/// the grid search space of the autotuner (§5.2's
+/// `min_{p1 p2 p3 = p}`).
+pub fn factorizations(p: usize) -> Vec<(usize, usize, usize)> {
+    let mut out = Vec::new();
+    let mut d1 = 1;
+    while d1 * d1 * d1 <= p * p * p {
+        if d1 > p {
+            break;
+        }
+        if p.is_multiple_of(d1) {
+            let q = p / d1;
+            let mut d2 = 1;
+            while d2 <= q {
+                if q.is_multiple_of(d2) {
+                    out.push((d1, d2, q / d2));
+                }
+                d2 += 1;
+            }
+        }
+        d1 += 1;
+    }
+    out
+}
+
+/// Least common multiple (used for SUMMA step counts).
+pub fn lcm(a: usize, b: usize) -> usize {
+    a / gcd(a, b) * b
+}
+
+/// Greatest common divisor.
+pub fn gcd(a: usize, b: usize) -> usize {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid2_rank_layout() {
+        let g = Grid2::new(Group::all(6), 2, 3);
+        assert_eq!(g.rank(0, 0), 0);
+        assert_eq!(g.rank(0, 2), 2);
+        assert_eq!(g.rank(1, 0), 3);
+        assert_eq!(g.row_group(1).ranks(), &[3, 4, 5]);
+        assert_eq!(g.col_group(1).ranks(), &[1, 4]);
+    }
+
+    #[test]
+    fn grid3_layers_and_fibers() {
+        let g = Grid3::new(Group::all(12), 3, 2, 2);
+        let l1 = g.layer(1);
+        assert_eq!(l1.rank(0, 0), 4);
+        assert_eq!(l1.rank(1, 1), 7);
+        assert_eq!(g.fiber_group(1, 0).ranks(), &[2, 6, 10]);
+    }
+
+    #[test]
+    fn factorizations_cover_p() {
+        let fs = factorizations(12);
+        assert!(fs.contains(&(1, 1, 12)));
+        assert!(fs.contains(&(2, 2, 3)));
+        assert!(fs.contains(&(12, 1, 1)));
+        for (a, b, c) in fs {
+            assert_eq!(a * b * c, 12);
+        }
+        assert_eq!(factorizations(1), vec![(1, 1, 1)]);
+    }
+
+    #[test]
+    fn factorization_count_for_prime() {
+        // p prime: (1,1,p),(1,p,1),(p,1,1) only.
+        assert_eq!(factorizations(7).len(), 3);
+    }
+
+    #[test]
+    fn lcm_gcd() {
+        assert_eq!(gcd(12, 18), 6);
+        assert_eq!(lcm(4, 6), 12);
+        assert_eq!(lcm(1, 5), 5);
+        assert_eq!(lcm(8, 8), 8);
+    }
+
+    #[test]
+    #[should_panic]
+    fn grid_shape_must_match_group() {
+        let _ = Grid2::new(Group::all(5), 2, 3);
+    }
+}

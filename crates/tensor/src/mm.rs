@@ -1,0 +1,294 @@
+//! Distributed generalized sparse matrix multiplication: plans and
+//! the execution entry point.
+//!
+//! The algorithm space matches §5.2 of the paper:
+//!
+//! * three **1D** variants (`A`, `B`, `C`) that replicate one matrix
+//!   and block the others;
+//! * three **2D** variants (`AB`, `AC`, `BC`), SUMMA-style grids
+//!   where the named matrices move (broadcasts for operands, sparse
+//!   reductions for the output);
+//! * nine **3D** variants obtained by nesting a 1D variant over `p1`
+//!   layers with a 2D variant on each layer's `p2 × p3` grid.
+//!
+//! A [`MmPlan`] pins the variant and grid; [`mm_exec`] redistributes
+//! the operands into the layouts the variant needs (charged as
+//! all-to-alls, like CTF's redistribution kernels), runs the
+//! communication schedule with *real data movement* through the
+//! machine's collectives, and returns the product in the canonical
+//! world layout.
+//!
+//! Deviation noted for reviewers: results are re-assembled into the
+//! canonical blocked layout without charging that final reshuffle.
+//! Every consumer charges its own redistribution *from* the canonical
+//! layout, which is the same Θ(nnz/p)-per-rank all-to-all it would
+//! pay from the variant's native output layout, so total charged
+//! volume is preserved; see DESIGN.md.
+
+use crate::cache::MmCache;
+use crate::dist::{DistMat, Layout};
+use crate::grid::{Grid2, Grid3};
+use crate::{mm1d, mm2d, mm3d};
+use mfbc_algebra::kernel::KernelOut;
+use mfbc_algebra::monoid::Monoid;
+use mfbc_algebra::SpMulKernel;
+use mfbc_machine::{Machine, MachineError};
+use mfbc_sparse::Coo;
+
+/// The 1D algorithm variants of §5.2.1, named by the matrix they
+/// replicate (`A`, `B`) or reduce (`C`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Variant1D {
+    /// Replicate the left operand; processors own columns of B and C.
+    A,
+    /// Replicate the right operand; processors own rows of A and C.
+    B,
+    /// Split the contraction dimension; reduce C.
+    C,
+}
+
+/// The 2D algorithm variants of §5.2.2, named by the pair of matrices
+/// that move: `AB` broadcasts both operands (stationary C), `AC`
+/// broadcasts A and reduces C (stationary B), `BC` broadcasts B and
+/// reduces C (stationary A).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Variant2D {
+    /// Stationary C: broadcast A and B.
+    AB,
+    /// Stationary B: broadcast A, reduce C.
+    AC,
+    /// Stationary A: broadcast B, reduce C.
+    BC,
+}
+
+/// A fully specified execution plan: variant plus processor grid
+/// `(p1, p2, p3)` with `p1·p2·p3 == p`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MmPlan {
+    /// Pure 1D over all `p` ranks.
+    OneD(Variant1D),
+    /// Pure 2D on a `p2 × p3` grid (`p2·p3 == p`).
+    TwoD {
+        /// The 2D variant.
+        variant: Variant2D,
+        /// Grid rows.
+        p2: usize,
+        /// Grid columns.
+        p3: usize,
+    },
+    /// Cannon's algorithm on a square `q × q` grid: point-to-point
+    /// shifts of both operands (§5.2.2), `O(α·√p)` latency.
+    Cannon {
+        /// Grid side (`q² == p`).
+        q: usize,
+    },
+    /// 3D: 1D variant `split` over `p1` layers, 2D variant `inner` on
+    /// each `p2 × p3` layer.
+    ThreeD {
+        /// Which matrix the 1D dimension handles.
+        split: Variant1D,
+        /// The per-layer 2D variant.
+        inner: Variant2D,
+        /// Layers.
+        p1: usize,
+        /// Layer-grid rows.
+        p2: usize,
+        /// Layer-grid columns.
+        p3: usize,
+    },
+}
+
+impl MmPlan {
+    /// The `(p1, p2, p3)` grid of this plan given `p` total ranks.
+    pub fn dims(&self, p: usize) -> (usize, usize, usize) {
+        match *self {
+            MmPlan::OneD(_) => (p, 1, 1),
+            MmPlan::TwoD { p2, p3, .. } => (1, p2, p3),
+            MmPlan::Cannon { q } => (1, q, q),
+            MmPlan::ThreeD { p1, p2, p3, .. } => (p1, p2, p3),
+        }
+    }
+
+    /// Validates the plan against a machine size.
+    pub fn check(&self, p: usize) {
+        let (a, b, c) = self.dims(p);
+        assert_eq!(a * b * c, p, "plan grid {a}x{b}x{c} != p={p}");
+    }
+}
+
+/// Result of a distributed multiplication.
+#[derive(Clone, Debug)]
+pub struct MmOut<T> {
+    /// The product in the canonical world layout.
+    pub c: DistMat<T>,
+    /// Total nonzero elementary products (`ops(A,B)`).
+    pub ops: u64,
+}
+
+/// The canonical world layout: the most-square 2D grid over all `p`
+/// ranks (CTF's default placement: "block dimensions owned by each
+/// processor as close to a square as possible", §6.2).
+pub fn canonical_layout(m: &Machine, nrows: usize, ncols: usize) -> Layout {
+    let p = m.p();
+    let (g1, g2) = squarest_grid(p);
+    Layout::on_grid(nrows, ncols, &Grid2::new(m.world(), g1, g2))
+}
+
+/// The factorization `p = g1·g2` minimizing `|g1 − g2|` with
+/// `g1 ≤ g2`.
+pub fn squarest_grid(p: usize) -> (usize, usize) {
+    let mut g1 = (p as f64).sqrt() as usize;
+    while g1 > 1 && !p.is_multiple_of(g1) {
+        g1 -= 1;
+    }
+    (g1.max(1), p / g1.max(1))
+}
+
+/// Assembles per-block outputs (with global offsets) into a canonical
+/// [`DistMat`]. Local bookkeeping only — not charged (see module
+/// docs).
+pub(crate) fn assemble_canonical<M, T>(
+    m: &Machine,
+    nrows: usize,
+    ncols: usize,
+    pieces: Vec<(usize, usize, usize, mfbc_sparse::Csr<T>)>,
+) -> DistMat<T>
+where
+    M: Monoid<Elem = T>,
+    T: Clone + Send + Sync + PartialEq + std::fmt::Debug,
+{
+    let layout = canonical_layout(m, nrows, ncols);
+    let mut per_block: Vec<Coo<T>> = (0..layout.br())
+        .flat_map(|bi| (0..layout.bc()).map(move |bj| (bi, bj)))
+        .map(|(bi, bj)| {
+            Coo::new(
+                layout.row_range(bi).len(),
+                layout.col_range(bj).len(),
+            )
+        })
+        .collect();
+    for (r0, c0, _pos, piece) in pieces {
+        for (i, j, v) in piece.iter() {
+            let (gi, gj) = (r0 + i, c0 + j);
+            let bi = layout.find_row_block(gi);
+            let bj = layout.find_col_block(gj);
+            per_block[bi * layout.bc() + bj].push(
+                gi - layout.row_range(bi).start,
+                gj - layout.col_range(bj).start,
+                v.clone(),
+            );
+        }
+    }
+    let blocks = per_block.into_iter().map(|c| c.into_csr::<M>()).collect();
+    DistMat::from_blocks(layout, blocks)
+}
+
+/// Executes `C = A •⟨⊕,f⟩ B` under `plan`.
+///
+/// # Errors
+/// Propagates [`MachineError::OutOfMemory`] when a rank's simulated
+/// memory budget is exceeded (e.g. 1D replication of a matrix larger
+/// than `M`).
+pub fn mm_exec<K: SpMulKernel>(
+    m: &Machine,
+    plan: &MmPlan,
+    a: &DistMat<K::Left>,
+    b: &DistMat<K::Right>,
+) -> Result<MmOut<KernelOut<K>>, MachineError> {
+    let mut cache = MmCache::new();
+    let out = mm_exec_cached::<K>(m, plan, a, b, &mut cache);
+    cache.release_all(m);
+    out
+}
+
+/// Like [`mm_exec`], but reusing prepared right-operand forms from
+/// `cache` across calls — the Theorem-5.1 amortization for the
+/// iterated frontier × adjacency products of MFBC. The cached forms
+/// stay resident (charged) until [`MmCache::release_all`].
+pub fn mm_exec_cached<K: SpMulKernel>(
+    m: &Machine,
+    plan: &MmPlan,
+    a: &DistMat<K::Left>,
+    b: &DistMat<K::Right>,
+    cache: &mut MmCache<K::Right>,
+) -> Result<MmOut<KernelOut<K>>, MachineError> {
+    assert_eq!(
+        a.ncols(),
+        b.nrows(),
+        "mm inner dimension mismatch: {}x{} by {}x{}",
+        a.nrows(),
+        a.ncols(),
+        b.nrows(),
+        b.ncols()
+    );
+    plan.check(m.p());
+    match *plan {
+        MmPlan::OneD(v) => mm1d::run::<K>(m, &m.world(), v, a, b, cache),
+        MmPlan::TwoD { variant, p2, p3 } => {
+            let grid = Grid2::new(m.world(), p2, p3);
+            mm2d::run::<K>(m, &grid, variant, a, b, cache)
+        }
+        MmPlan::Cannon { q } => {
+            let grid = Grid2::new(m.world(), q, q);
+            crate::cannon::run::<K>(m, &grid, a, b, cache)
+        }
+        MmPlan::ThreeD {
+            split,
+            inner,
+            p1,
+            p2,
+            p3,
+        } => {
+            let grid = Grid3::new(m.world(), p1, p2, p3);
+            mm3d::run::<K>(m, &grid, split, inner, a, b, cache)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn squarest_grids() {
+        assert_eq!(squarest_grid(1), (1, 1));
+        assert_eq!(squarest_grid(4), (2, 2));
+        assert_eq!(squarest_grid(12), (3, 4));
+        assert_eq!(squarest_grid(7), (1, 7));
+        assert_eq!(squarest_grid(36), (6, 6));
+    }
+
+    #[test]
+    fn plan_dims() {
+        assert_eq!(MmPlan::OneD(Variant1D::A).dims(8), (8, 1, 1));
+        assert_eq!(
+            MmPlan::TwoD {
+                variant: Variant2D::AB,
+                p2: 2,
+                p3: 4
+            }
+            .dims(8),
+            (1, 2, 4)
+        );
+        let t = MmPlan::ThreeD {
+            split: Variant1D::C,
+            inner: Variant2D::AB,
+            p1: 2,
+            p2: 2,
+            p3: 2,
+        };
+        assert_eq!(t.dims(8), (2, 2, 2));
+        t.check(8);
+    }
+
+    #[test]
+    #[should_panic]
+    fn bad_plan_rejected() {
+        MmPlan::TwoD {
+            variant: Variant2D::AB,
+            p2: 3,
+            p3: 3,
+        }
+        .check(8);
+    }
+}

@@ -1,0 +1,282 @@
+//! The 1D sparse matrix multiplication variants (§5.2.1).
+//!
+//! Each variant replicates one of the three matrices across the whole
+//! group and blocks the other two:
+//!
+//! * **A** — replicate A (allgather); each rank owns a column block
+//!   of B and computes the matching column block of C;
+//! * **B** — replicate B; each rank owns a row block of A and
+//!   computes the matching row block of C;
+//! * **C** — each rank owns a column block of A and the matching row
+//!   block of B, computes a full-shape partial product, and a sparse
+//!   reduction combines the partials.
+//!
+//! Cost: `W_X(X, p) = O(α log p + β nnz(X))` — the replicated (or
+//! reduced) matrix is the only one that moves.
+
+use crate::cache::{CachedRhs, Fingerprint, MmCache};
+use crate::dist::{DistMat, Layout};
+use crate::mm::{assemble_canonical, MmOut};
+use std::sync::Arc;
+use mfbc_algebra::kernel::KernelOut;
+use mfbc_algebra::monoid::Monoid;
+use mfbc_algebra::SpMulKernel;
+use mfbc_machine::cost::CollectiveKind;
+use mfbc_machine::{Group, Machine, MachineError};
+use mfbc_sparse::elementwise::combine;
+use mfbc_sparse::slice::even_ranges;
+use mfbc_sparse::{entry_bytes, Csr};
+
+use crate::mm::Variant1D;
+use crate::redist::redistribute;
+
+/// One output piece: `(global row offset, global col offset,
+/// grid-position index within the executing group, block)`. The
+/// position lets 3D wrappers reduce matching pieces across layers
+/// over the right fiber groups.
+pub(crate) type Piece<T> = (usize, usize, usize, Csr<T>);
+
+/// Runs a 1D variant over `group`, returning the canonical result.
+pub(crate) fn run<K: SpMulKernel>(
+    m: &Machine,
+    group: &Group,
+    variant: Variant1D,
+    a: &DistMat<K::Left>,
+    b: &DistMat<K::Right>,
+    cache: &mut MmCache<K::Right>,
+) -> Result<MmOut<KernelOut<K>>, MachineError> {
+    let (pieces, ops) = run_pieces::<K>(m, group, variant, a, b, cache)?;
+    let c = assemble_canonical::<K::Acc, _>(m, a.nrows(), b.ncols(), pieces);
+    Ok(MmOut { c, ops })
+}
+
+/// Fetches (or builds, charges, and caches) the fully replicated form
+/// of the right operand — the amortized "replicate B" of Theorem 5.1.
+fn replicated_rhs<K: SpMulKernel>(
+    m: &Machine,
+    group: &Group,
+    b: &DistMat<K::Right>,
+    cache: &mut MmCache<K::Right>,
+) -> Result<Arc<Csr<K::Right>>, MachineError> {
+    let fp = Fingerprint::of(b);
+    let key = format!("1d:B:{}:{}", group.len(), b.content_id());
+    if let Some(CachedRhs::Global(g)) = cache.get(&key, fp) {
+        return Ok(Arc::clone(g));
+    }
+    let bytes = (b.nnz() * entry_bytes::<K::Right>()) as u64;
+    if group.len() > 1 {
+        m.charge_collective(group, CollectiveKind::Allgather, bytes);
+    }
+    let mut charges = Vec::with_capacity(group.len());
+    for &r in group.ranks() {
+        m.charge_alloc(r, bytes)?;
+        charges.push((r, bytes));
+    }
+    let global = Arc::new(b.to_global::<FirstWins<K::Right>>());
+    cache.insert(key, fp, CachedRhs::Global(Arc::clone(&global)), charges);
+    Ok(global)
+}
+
+/// Layout splitting columns into `q` parts, part `k` owned by group
+/// member `k`.
+fn col_split_layout(nrows: usize, ncols: usize, group: &Group) -> Layout {
+    let q = group.len();
+    Layout::new(
+        nrows,
+        ncols,
+        vec![0..nrows],
+        even_ranges(ncols, q),
+        group.ranks().to_vec(),
+    )
+}
+
+/// Layout splitting rows into `q` parts, part `k` owned by member `k`.
+fn row_split_layout(nrows: usize, ncols: usize, group: &Group) -> Layout {
+    let q = group.len();
+    Layout::new(
+        nrows,
+        ncols,
+        even_ranges(nrows, q),
+        vec![0..ncols],
+        group.ranks().to_vec(),
+    )
+}
+
+/// Replicates a distributed matrix to every member of `group`: the
+/// allgather moves every block to every rank (charged at
+/// `β·nnz + α·log p`), and each rank's resident memory grows by the
+/// full matrix size.
+fn replicate<T, M>(
+    machine: &Machine,
+    group: &Group,
+    x: &DistMat<T>,
+) -> Result<Csr<T>, MachineError>
+where
+    M: Monoid<Elem = T>,
+    T: Clone + Send + Sync + PartialEq + std::fmt::Debug,
+{
+    let bytes = (x.nnz() * entry_bytes::<T>()) as u64;
+    if group.len() > 1 {
+        machine.charge_collective(group, CollectiveKind::Allgather, bytes);
+    }
+    for &r in group.ranks() {
+        machine.charge_alloc(r, bytes)?;
+    }
+    Ok(x.to_global::<M>())
+}
+
+/// Releases the replication charge of [`replicate`].
+fn release_replica<T>(machine: &Machine, group: &Group, global: &Csr<T>) {
+    let bytes = (global.nnz() * entry_bytes::<T>()) as u64;
+    for &r in group.ranks() {
+        machine.release(r, bytes);
+    }
+}
+
+pub(crate) fn run_pieces<K: SpMulKernel>(
+    m: &Machine,
+    group: &Group,
+    variant: Variant1D,
+    a: &DistMat<K::Left>,
+    b: &DistMat<K::Right>,
+    cache: &mut MmCache<K::Right>,
+) -> Result<(Vec<Piece<KernelOut<K>>>, u64), MachineError> {
+    // Trivial monoid shorthand used for operand redistribution: the
+    // layout cuts are disjoint, so no combining ever happens; we use
+    // a "first wins" fold via the kernel's accumulator where types
+    // match, and plain cloning otherwise. Operand matrices are
+    // assumed duplicate-free (DistMat guarantees this).
+    match variant {
+        Variant1D::A => {
+            let a_full = replicate::<_, FirstWins<K::Left>>(m, group, a)?;
+            let lb = col_split_layout(b.nrows(), b.ncols(), group);
+            let b2 = redistribute::<FirstWins<K::Right>, _>(m, b, &lb);
+            let mut pieces = Vec::with_capacity(group.len());
+            let mut ops = 0u64;
+            for k in 0..group.len() {
+                let blk = b2.block(0, k);
+                if blk.is_empty() || a_full.is_empty() {
+                    continue;
+                }
+                let out = mfbc_sparse::spgemm::<K>(&a_full, blk);
+                m.charge_compute(group.rank_at(k), out.ops + out.mat.nnz() as u64);
+                ops += out.ops;
+                pieces.push((0, lb.col_range(k).start, k, out.mat));
+            }
+            release_replica(m, group, &a_full);
+            Ok((pieces, ops))
+        }
+        Variant1D::B => {
+            let b_full = replicated_rhs::<K>(m, group, b, cache)?;
+            let la = row_split_layout(a.nrows(), a.ncols(), group);
+            let a2 = redistribute::<FirstWins<K::Left>, _>(m, a, &la);
+            let mut pieces = Vec::with_capacity(group.len());
+            let mut ops = 0u64;
+            for k in 0..group.len() {
+                let blk = a2.block(k, 0);
+                if blk.is_empty() || b_full.is_empty() {
+                    continue;
+                }
+                let out = mfbc_sparse::spgemm::<K>(blk, &b_full);
+                m.charge_compute(group.rank_at(k), out.ops + out.mat.nnz() as u64);
+                ops += out.ops;
+                pieces.push((la.row_range(k).start, 0, k, out.mat));
+            }
+            Ok((pieces, ops))
+        }
+        Variant1D::C => {
+            let la = col_split_layout(a.nrows(), a.ncols(), group);
+            let lb = row_split_layout(b.nrows(), b.ncols(), group);
+            let a2 = redistribute::<FirstWins<K::Left>, _>(m, a, &la);
+            let fp = Fingerprint::of(b);
+            let key = format!("1d:C:{}:{}", group.len(), b.content_id());
+            let b2 = if let Some(CachedRhs::Dist(d)) = cache.get(&key, fp) {
+                Arc::clone(d)
+            } else {
+                let built = Arc::new(redistribute::<FirstWins<K::Right>, _>(m, b, &lb));
+                let mut charges = Vec::new();
+                for k in 0..group.len() {
+                    let bytes = (built.block(k, 0).nnz() * entry_bytes::<K::Right>()) as u64;
+                    m.charge_alloc(group.rank_at(k), bytes)?;
+                    charges.push((group.rank_at(k), bytes));
+                }
+                cache.insert(key, fp, CachedRhs::Dist(Arc::clone(&built)), charges);
+                built
+            };
+            let mut ops = 0u64;
+            let mut partials: Vec<Csr<KernelOut<K>>> = Vec::with_capacity(group.len());
+            for k in 0..group.len() {
+                let (ab, bb) = (a2.block(0, k), b2.block(k, 0));
+                if ab.is_empty() || bb.is_empty() {
+                    partials.push(Csr::zero(a.nrows(), b.ncols()));
+                    continue;
+                }
+                let out = mfbc_sparse::spgemm::<K>(ab, bb);
+                m.charge_compute(group.rank_at(k), out.ops + out.mat.nnz() as u64);
+                m.charge_alloc(
+                    group.rank_at(k),
+                    (out.mat.nnz() * entry_bytes::<KernelOut<K>>()) as u64,
+                )?;
+                ops += out.ops;
+                partials.push(out.mat);
+            }
+            let alloc_per: Vec<u64> = partials
+                .iter()
+                .map(|p| (p.nnz() * entry_bytes::<KernelOut<K>>()) as u64)
+                .collect();
+            let total = mfbc_machine::collectives::sparse_reduce(m, group, partials, |x, y| {
+                combine::<K::Acc, _>(&x, &y)
+            });
+            for (k, bytes) in alloc_per.into_iter().enumerate() {
+                m.release(group.rank_at(k), bytes);
+            }
+            Ok((vec![(0, 0, 0, total)], ops))
+        }
+    }
+}
+
+/// A degenerate "monoid" used only to satisfy redistribution's
+/// combiner bound for operand element types that need no combining
+/// (distributed operands are duplicate-free by construction): it
+/// keeps the first value and is never actually invoked on two
+/// distinct coordinates.
+#[derive(Debug)]
+pub(crate) struct FirstWins<T>(std::marker::PhantomData<T>);
+
+impl<T> Clone for FirstWins<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<T> Copy for FirstWins<T> {}
+
+impl<T> Default for FirstWins<T> {
+    fn default() -> Self {
+        FirstWins(std::marker::PhantomData)
+    }
+}
+
+impl<T: Clone + PartialEq + Send + Sync + std::fmt::Debug + 'static> Monoid for FirstWins<T> {
+    type Elem = T;
+
+    fn combine(a: &T, _b: &T) -> T {
+        a.clone()
+    }
+
+    fn identity() -> T {
+        unreachable!("FirstWins::identity must never be materialized")
+    }
+
+    /// Nothing is the identity: nothing is ever pruned.
+    fn is_identity(_e: &T) -> bool {
+        false
+    }
+
+    fn fold_into(_acc: &mut T, _x: &T) {}
+}
+
+impl<T: Clone + PartialEq + Send + Sync + std::fmt::Debug + 'static>
+    mfbc_algebra::monoid::CommutativeMonoid for FirstWins<T>
+{
+}

@@ -1,0 +1,359 @@
+//! The 2D sparse matrix multiplication variants (§5.2.2).
+//!
+//! SUMMA-style algorithms on a `g1 × g2` grid using broadcasts and
+//! sparse reductions. `lcm(g1, g2)` steps walk the loop dimension;
+//! the autotuner prefers grids with `lcm(g1,g2) = max(g1,g2)`,
+//! mirroring CTF's grid adjustment (§5.2.2). Per variant `YZ`, the
+//! matrices named `Y` and `Z` move:
+//!
+//! * **AB** (stationary C): at step `t`, broadcast the A-chunk along
+//!   grid rows and the B-chunk along grid columns; accumulate C in
+//!   place.
+//! * **AC** (stationary B): broadcast the A-chunk along rows, form
+//!   partial products, sparse-reduce C-chunks along columns.
+//! * **BC** (stationary A): broadcast the B-chunk along columns,
+//!   sparse-reduce C-chunks along rows.
+//!
+//! Cost: `W_YZ = O(α·max(g1,g2)·log p + β·(nnz(Y)/g1 + nnz(Z)/g2))`.
+
+// Loop indices below are grid coordinates that index several aligned
+// per-position tables at once; `enumerate()` over one of them would
+// obscure the geometry.
+#![allow(clippy::needless_range_loop)]
+
+use crate::cache::{CachedRhs, Fingerprint, MmCache};
+use crate::dist::{DistMat, Layout};
+use crate::grid::{lcm, Grid2};
+use crate::mm::{assemble_canonical, MmOut, Variant2D};
+use crate::mm1d::{FirstWins, Piece};
+use crate::redist::redistribute;
+use mfbc_algebra::kernel::KernelOut;
+use mfbc_algebra::SpMulKernel;
+use mfbc_machine::collectives::broadcast;
+use mfbc_machine::{Machine, MachineError};
+use mfbc_sparse::elementwise::combine;
+use mfbc_sparse::slice::even_ranges;
+use mfbc_sparse::{entry_bytes, spgemm, Csr};
+use std::sync::Arc;
+
+/// Runs a 2D variant over `grid`, returning the canonical result.
+pub(crate) fn run<K: SpMulKernel>(
+    m: &Machine,
+    grid: &Grid2,
+    variant: Variant2D,
+    a: &DistMat<K::Left>,
+    b: &DistMat<K::Right>,
+    cache: &mut MmCache<K::Right>,
+) -> Result<MmOut<KernelOut<K>>, MachineError> {
+    let (pieces, ops) = run_pieces::<K>(m, grid, variant, a, b, cache)?;
+    let c = assemble_canonical::<K::Acc, _>(m, a.nrows(), b.ncols(), pieces);
+    Ok(MmOut { c, ops })
+}
+
+/// Fetches (or builds, charges residency, and caches) the right
+/// operand redistributed into `lb` for this grid/variant.
+fn cached_rhs_layout<K: SpMulKernel>(
+    m: &Machine,
+    variant: Variant2D,
+    grid: &Grid2,
+    b: &DistMat<K::Right>,
+    lb: &Layout,
+    cache: &mut MmCache<K::Right>,
+) -> Result<Arc<DistMat<K::Right>>, MachineError> {
+    let fp = Fingerprint::of(b);
+    let key = format!("2d:{variant:?}:{}x{}:{}", grid.g1(), grid.g2(), b.content_id());
+    if let Some(CachedRhs::Dist(d)) = cache.get(&key, fp) {
+        return Ok(Arc::clone(d));
+    }
+    let built = Arc::new(redistribute::<FirstWins<K::Right>, _>(m, b, lb));
+    let mut charges = Vec::new();
+    for bi in 0..lb.br() {
+        for bj in 0..lb.bc() {
+            let rank = lb.owner(bi, bj);
+            let bytes = (built.block(bi, bj).nnz() * entry_bytes::<K::Right>()) as u64;
+            if bytes > 0 {
+                m.charge_alloc(rank, bytes)?;
+                charges.push((rank, bytes));
+            }
+        }
+    }
+    cache.insert(key, fp, CachedRhs::Dist(Arc::clone(&built)), charges);
+    Ok(built)
+}
+
+/// Broadcasts `block` from grid position root within `group`,
+/// charging receivers' memory; returns the shared handle and the
+/// per-receiver byte charge (to release at step end).
+fn bcast_block<T: Clone + Send + Sync>(
+    m: &Machine,
+    group: &mfbc_machine::Group,
+    root_idx: usize,
+    block: &Csr<T>,
+) -> Result<(Arc<Csr<T>>, u64), MachineError> {
+    let shared = Arc::new(block.clone());
+    let handles = broadcast(m, group, root_idx, Arc::clone(&shared));
+    drop(handles); // all handles alias `shared` in-process
+    let bytes = (block.nnz() * entry_bytes::<T>()) as u64;
+    for (idx, &r) in group.ranks().iter().enumerate() {
+        if idx != root_idx {
+            m.charge_alloc(r, bytes)?;
+        }
+    }
+    Ok((shared, bytes))
+}
+
+fn release_bcast(m: &Machine, group: &mfbc_machine::Group, root_idx: usize, bytes: u64) {
+    for (idx, &r) in group.ranks().iter().enumerate() {
+        if idx != root_idx {
+            m.release(r, bytes);
+        }
+    }
+}
+
+pub(crate) fn run_pieces<K: SpMulKernel>(
+    m: &Machine,
+    grid: &Grid2,
+    variant: Variant2D,
+    a: &DistMat<K::Left>,
+    b: &DistMat<K::Right>,
+    cache: &mut MmCache<K::Right>,
+) -> Result<(Vec<Piece<KernelOut<K>>>, u64), MachineError> {
+    match variant {
+        Variant2D::AB => stationary_c::<K>(m, grid, a, b, cache),
+        Variant2D::AC => stationary_b::<K>(m, grid, a, b, cache),
+        Variant2D::BC => stationary_a::<K>(m, grid, a, b, cache),
+    }
+}
+
+/// Variant AB: C stationary on the grid; A and B chunks broadcast.
+fn stationary_c<K: SpMulKernel>(
+    m: &Machine,
+    grid: &Grid2,
+    a: &DistMat<K::Left>,
+    b: &DistMat<K::Right>,
+    cache: &mut MmCache<K::Right>,
+) -> Result<(Vec<Piece<KernelOut<K>>>, u64), MachineError> {
+    let (g1, g2) = (grid.g1(), grid.g2());
+    let s = lcm(g1, g2);
+    let (mm, kk, nn) = (a.nrows(), a.ncols(), b.ncols());
+
+    let la = Layout::new(
+        mm,
+        kk,
+        even_ranges(mm, g1),
+        even_ranges(kk, s),
+        (0..g1)
+            .flat_map(|bi| (0..s).map(move |t| (bi, t)))
+            .map(|(bi, t)| grid.rank(bi, t % g2))
+            .collect(),
+    );
+    let lb = Layout::new(
+        kk,
+        nn,
+        even_ranges(kk, s),
+        even_ranges(nn, g2),
+        (0..s)
+            .flat_map(|t| (0..g2).map(move |bj| (t, bj)))
+            .map(|(t, bj)| grid.rank(t % g1, bj))
+            .collect(),
+    );
+    let a2 = redistribute::<FirstWins<K::Left>, _>(m, a, &la);
+    let b2 = cached_rhs_layout::<K>(m, Variant2D::AB, grid, b, &lb, cache)?;
+
+    let mut acc: Vec<Csr<KernelOut<K>>> = (0..g1)
+        .flat_map(|bi| (0..g2).map(move |bj| (bi, bj)))
+        .map(|(bi, bj)| Csr::zero(la.row_range(bi).len(), lb.col_range(bj).len()))
+        .collect();
+    let mut ops = 0u64;
+
+    for t in 0..s {
+        let mut a_shared = Vec::with_capacity(g1);
+        for bi in 0..g1 {
+            let g = grid.row_group(bi);
+            let (h, bytes) = bcast_block(m, &g, t % g2, a2.block(bi, t))?;
+            a_shared.push((h, bytes));
+        }
+        let mut b_shared = Vec::with_capacity(g2);
+        for bj in 0..g2 {
+            let g = grid.col_group(bj);
+            let (h, bytes) = bcast_block(m, &g, t % g1, b2.block(t, bj))?;
+            b_shared.push((h, bytes));
+        }
+        for bi in 0..g1 {
+            for bj in 0..g2 {
+                let (ab, bb) = (&a_shared[bi].0, &b_shared[bj].0);
+                if ab.is_empty() || bb.is_empty() {
+                    continue;
+                }
+                let out = spgemm::<K>(ab, bb);
+                m.charge_compute(grid.rank(bi, bj), out.ops + out.mat.nnz() as u64);
+                ops += out.ops;
+                let slot = &mut acc[bi * g2 + bj];
+                *slot = combine::<K::Acc, _>(slot, &out.mat);
+            }
+        }
+        for (bi, (_, bytes)) in a_shared.into_iter().enumerate() {
+            release_bcast(m, &grid.row_group(bi), t % g2, bytes);
+        }
+        for (bj, (_, bytes)) in b_shared.into_iter().enumerate() {
+            release_bcast(m, &grid.col_group(bj), t % g1, bytes);
+        }
+    }
+
+    let mut pieces = Vec::with_capacity(g1 * g2);
+    for bi in 0..g1 {
+        for bj in 0..g2 {
+            let blk = std::mem::replace(&mut acc[bi * g2 + bj], Csr::zero(0, 0));
+            if !blk.is_empty() {
+                pieces.push((la.row_range(bi).start, lb.col_range(bj).start, bi * g2 + bj, blk));
+            }
+        }
+    }
+    Ok((pieces, ops))
+}
+
+/// Variant AC: B stationary; A chunks broadcast along rows, C chunks
+/// sparse-reduced along columns.
+fn stationary_b<K: SpMulKernel>(
+    m: &Machine,
+    grid: &Grid2,
+    a: &DistMat<K::Left>,
+    b: &DistMat<K::Right>,
+    cache: &mut MmCache<K::Right>,
+) -> Result<(Vec<Piece<KernelOut<K>>>, u64), MachineError> {
+    let (g1, g2) = (grid.g1(), grid.g2());
+    let s = lcm(g1, g2);
+    let (mm, kk, nn) = (a.nrows(), a.ncols(), b.ncols());
+
+    // B natural: k-rows over g1, n-cols over g2.
+    let lb = Layout::on_grid(kk, nn, grid);
+    // A: m split into s chunks, k over g1; chunk (t, bk) lives in
+    // grid row bk (so the row-group broadcast reaches all columns).
+    let la = Layout::new(
+        mm,
+        kk,
+        even_ranges(mm, s),
+        even_ranges(kk, g1),
+        (0..s)
+            .flat_map(|t| (0..g1).map(move |bk| (t, bk)))
+            .map(|(t, bk)| grid.rank(bk, t % g2))
+            .collect(),
+    );
+    let a2 = redistribute::<FirstWins<K::Left>, _>(m, a, &la);
+    let b2 = cached_rhs_layout::<K>(m, Variant2D::AC, grid, b, &lb, cache)?;
+
+    let ncols_of = |bj: usize| lb.col_range(bj).len();
+    let mut pieces = Vec::new();
+    let mut ops = 0u64;
+
+    for t in 0..s {
+        let chunk_rows = la.row_range(t).len();
+        let mut a_shared = Vec::with_capacity(g1);
+        for bk in 0..g1 {
+            let g = grid.row_group(bk);
+            let (h, bytes) = bcast_block(m, &g, t % g2, a2.block(t, bk))?;
+            a_shared.push((h, bytes));
+        }
+        for bj in 0..g2 {
+            let mut contribs: Vec<Csr<KernelOut<K>>> = Vec::with_capacity(g1);
+            for bk in 0..g1 {
+                let (ab, bb) = (&a_shared[bk].0, b2.block(bk, bj));
+                if ab.is_empty() || bb.is_empty() {
+                    contribs.push(Csr::zero(chunk_rows, ncols_of(bj)));
+                    continue;
+                }
+                let out = spgemm::<K>(ab, bb);
+                m.charge_compute(grid.rank(bk, bj), out.ops + out.mat.nnz() as u64);
+                ops += out.ops;
+                contribs.push(out.mat);
+            }
+            let cblk = mfbc_machine::collectives::sparse_reduce(
+                m,
+                &grid.col_group(bj),
+                contribs,
+                |x, y| combine::<K::Acc, _>(&x, &y),
+            );
+            if !cblk.is_empty() {
+                let pos = (t % g1) * g2 + bj;
+                pieces.push((la.row_range(t).start, lb.col_range(bj).start, pos, cblk));
+            }
+        }
+        for (bk, (_, bytes)) in a_shared.into_iter().enumerate() {
+            release_bcast(m, &grid.row_group(bk), t % g2, bytes);
+        }
+    }
+    Ok((pieces, ops))
+}
+
+/// Variant BC: A stationary; B chunks broadcast along columns, C
+/// chunks sparse-reduced along rows.
+fn stationary_a<K: SpMulKernel>(
+    m: &Machine,
+    grid: &Grid2,
+    a: &DistMat<K::Left>,
+    b: &DistMat<K::Right>,
+    cache: &mut MmCache<K::Right>,
+) -> Result<(Vec<Piece<KernelOut<K>>>, u64), MachineError> {
+    let (g1, g2) = (grid.g1(), grid.g2());
+    let s = lcm(g1, g2);
+    let (mm, kk, nn) = (a.nrows(), a.ncols(), b.ncols());
+
+    // A natural: m-rows over g1, k-cols over g2.
+    let la = Layout::on_grid(mm, kk, grid);
+    // B: k split over g2 (matching A's k cuts), n split into s
+    // chunks; block (bk, t) lives in grid column bk.
+    let lb = Layout::new(
+        kk,
+        nn,
+        even_ranges(kk, g2),
+        even_ranges(nn, s),
+        (0..g2)
+            .flat_map(|bk| (0..s).map(move |t| (bk, t)))
+            .map(|(bk, t)| grid.rank(t % g1, bk))
+            .collect(),
+    );
+    let a2 = redistribute::<FirstWins<K::Left>, _>(m, a, &la);
+    let b2 = cached_rhs_layout::<K>(m, Variant2D::BC, grid, b, &lb, cache)?;
+
+    let mut pieces = Vec::new();
+    let mut ops = 0u64;
+
+    for t in 0..s {
+        let chunk_cols = lb.col_range(t).len();
+        let mut b_shared = Vec::with_capacity(g2);
+        for bk in 0..g2 {
+            let g = grid.col_group(bk);
+            let (h, bytes) = bcast_block(m, &g, t % g1, b2.block(bk, t))?;
+            b_shared.push((h, bytes));
+        }
+        for bi in 0..g1 {
+            let rows = la.row_range(bi).len();
+            let mut contribs: Vec<Csr<KernelOut<K>>> = Vec::with_capacity(g2);
+            for bk in 0..g2 {
+                let (ab, bb) = (a2.block(bi, bk), &b_shared[bk].0);
+                if ab.is_empty() || bb.is_empty() {
+                    contribs.push(Csr::zero(rows, chunk_cols));
+                    continue;
+                }
+                let out = spgemm::<K>(ab, bb);
+                m.charge_compute(grid.rank(bi, bk), out.ops + out.mat.nnz() as u64);
+                ops += out.ops;
+                contribs.push(out.mat);
+            }
+            let cblk = mfbc_machine::collectives::sparse_reduce(
+                m,
+                &grid.row_group(bi),
+                contribs,
+                |x, y| combine::<K::Acc, _>(&x, &y),
+            );
+            if !cblk.is_empty() {
+                let pos = bi * g2 + (t % g2);
+                pieces.push((la.row_range(bi).start, lb.col_range(t).start, pos, cblk));
+            }
+        }
+        for (bk, (_, bytes)) in b_shared.into_iter().enumerate() {
+            release_bcast(m, &grid.col_group(bk), t % g1, bytes);
+        }
+    }
+    Ok((pieces, ops))
+}

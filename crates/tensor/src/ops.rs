@@ -1,0 +1,273 @@
+//! Distributed elementwise operations on [`DistMat`]s sharing a
+//! layout: monoid combination, zip-filter/map, and counting — the
+//! distributed counterparts of CTF's elementwise `Function` /
+//! `Transform` operations (§6.1). All are communication-free except
+//! [`nnz_sync`], which models the allreduce a bulk-synchronous loop
+//! uses to agree on termination.
+
+use crate::dist::DistMat;
+use mfbc_algebra::monoid::Monoid;
+use mfbc_machine::cost::CollectiveKind;
+use mfbc_machine::Machine;
+use mfbc_sparse::elementwise::{combine, combine_anchored};
+use mfbc_sparse::Coo;
+use rayon::prelude::*;
+
+/// Asserts two distributed matrices share cuts and owners.
+fn assert_aligned<T, U>(a: &DistMat<T>, b: &DistMat<U>)
+where
+    T: Clone + Send + Sync,
+    U: Clone + Send + Sync,
+{
+    assert!(
+        a.layout().same_cuts(b.layout()),
+        "distributed elementwise op requires aligned layouts"
+    );
+}
+
+/// `C = A ⊕ B` blockwise; layouts must align. Charges each owner's
+/// compute for the merge.
+pub fn dmat_combine<M, T>(m: &Machine, a: &DistMat<T>, b: &DistMat<T>) -> DistMat<T>
+where
+    M: Monoid<Elem = T>,
+    T: Clone + PartialEq + Send + Sync + std::fmt::Debug,
+{
+    assert_aligned(a, b);
+    let l = a.layout().clone();
+    // Blocks are independent: merge them in parallel on the host
+    // (compute charges are commutative per-rank sums, so charging
+    // from worker threads is safe and deterministic).
+    let blocks: Vec<_> = (0..l.br())
+        .flat_map(|bi| (0..l.bc()).map(move |bj| (bi, bj)))
+        .collect::<Vec<_>>()
+        .into_par_iter()
+        .map(|(bi, bj)| {
+            let merged = combine::<M, _>(a.block(bi, bj), b.block(bi, bj));
+            m.charge_compute(
+                l.owner(bi, bj),
+                (a.block(bi, bj).nnz() + b.block(bi, bj).nnz()) as u64,
+            );
+            merged
+        })
+        .collect();
+    DistMat::from_blocks(l, blocks)
+}
+
+/// Anchored merge `Z := Z ⊗ G` blockwise (updates outside the base
+/// pattern are dropped — see
+/// [`combine_anchored`]).
+pub fn dmat_combine_anchored<M, T>(m: &Machine, base: &DistMat<T>, upd: &DistMat<T>) -> DistMat<T>
+where
+    M: Monoid<Elem = T>,
+    T: Clone + PartialEq + Send + Sync + std::fmt::Debug,
+{
+    assert_aligned(base, upd);
+    let l = base.layout().clone();
+    let blocks: Vec<_> = (0..l.br())
+        .flat_map(|bi| (0..l.bc()).map(move |bj| (bi, bj)))
+        .collect::<Vec<_>>()
+        .into_par_iter()
+        .map(|(bi, bj)| {
+            let merged = combine_anchored::<M, _>(base.block(bi, bj), upd.block(bi, bj));
+            m.charge_compute(
+                l.owner(bi, bj),
+                (base.block(bi, bj).nnz() + upd.block(bi, bj).nnz()) as u64,
+            );
+            merged
+        })
+        .collect();
+    DistMat::from_blocks(l, blocks)
+}
+
+/// Zip of `a`'s entries against `b`'s at the same coordinates:
+/// `f(i, j, a_val, b_val_opt)` (global coordinates) returning `None`
+/// drops the entry. Output shares `a`'s layout.
+pub fn dmat_zip_filter<Mo, T, U, O>(
+    m: &Machine,
+    a: &DistMat<T>,
+    b: &DistMat<U>,
+    mut f: impl FnMut(usize, usize, &T, Option<&U>) -> Option<O>,
+) -> DistMat<O>
+where
+    Mo: Monoid<Elem = O>,
+    T: Clone + Send + Sync,
+    U: Clone + Send + Sync,
+    O: Clone + PartialEq + Send + Sync + std::fmt::Debug,
+{
+    assert_aligned(a, b);
+    let l = a.layout().clone();
+    let mut blocks = Vec::with_capacity(l.nblocks());
+    for bi in 0..l.br() {
+        let r0 = l.row_range(bi).start;
+        for bj in 0..l.bc() {
+            let c0 = l.col_range(bj).start;
+            let (ab, bb) = (a.block(bi, bj), b.block(bi, bj));
+            let mut coo = Coo::new(ab.nrows(), ab.ncols());
+            for (i, j, v) in ab.iter() {
+                if let Some(o) = f(r0 + i, c0 + j, v, bb.get(i, j)) {
+                    coo.push(i, j, o);
+                }
+            }
+            m.charge_compute(l.owner(bi, bj), ab.nnz() as u64);
+            blocks.push(coo.into_csr::<Mo>());
+        }
+    }
+    DistMat::from_blocks(l, blocks)
+}
+
+/// Blockwise map-with-filter over a single distributed matrix
+/// (global coordinates).
+pub fn dmat_map_filter<Mo, T, O>(
+    m: &Machine,
+    a: &DistMat<T>,
+    mut f: impl FnMut(usize, usize, &T) -> Option<O>,
+) -> DistMat<O>
+where
+    Mo: Monoid<Elem = O>,
+    T: Clone + Send + Sync,
+    O: Clone + PartialEq + Send + Sync + std::fmt::Debug,
+{
+    let l = a.layout().clone();
+    let mut blocks = Vec::with_capacity(l.nblocks());
+    for bi in 0..l.br() {
+        let r0 = l.row_range(bi).start;
+        for bj in 0..l.bc() {
+            let c0 = l.col_range(bj).start;
+            let ab = a.block(bi, bj);
+            let mut coo = Coo::new(ab.nrows(), ab.ncols());
+            for (i, j, v) in ab.iter() {
+                if let Some(o) = f(r0 + i, c0 + j, v) {
+                    coo.push(i, j, o);
+                }
+            }
+            m.charge_compute(l.owner(bi, bj), ab.nnz() as u64);
+            blocks.push(coo.into_csr::<Mo>());
+        }
+    }
+    DistMat::from_blocks(l, blocks)
+}
+
+/// Global nonzero count with the termination-check allreduce charged
+/// (one word per rank over the world group).
+pub fn nnz_sync<T: Clone + Send + Sync>(m: &Machine, a: &DistMat<T>) -> usize {
+    if m.p() > 1 {
+        m.charge_collective(&m.world(), CollectiveKind::Allreduce, 8);
+    }
+    a.nnz()
+}
+
+/// Column sums of an `f64`-valued distributed matrix (e.g. the
+/// per-vertex λ contributions of Algorithm 3, line 5): local partial
+/// sums plus one reduction of the result vector, charged at its
+/// per-rank share.
+pub fn dmat_column_sums(m: &Machine, a: &DistMat<f64>) -> Vec<f64> {
+    let l = a.layout();
+    let n = a.ncols();
+    let mut sums = vec![0.0f64; n];
+    for bi in 0..l.br() {
+        for bj in 0..l.bc() {
+            let c0 = l.col_range(bj).start;
+            let blk = a.block(bi, bj);
+            for (_, j, v) in blk.iter() {
+                sums[c0 + j] += *v;
+            }
+            m.charge_compute(l.owner(bi, bj), blk.nnz() as u64);
+        }
+    }
+    if m.p() > 1 {
+        let bytes = (n as u64 * 8).div_ceil(m.p() as u64);
+        m.charge_collective(&m.world(), CollectiveKind::SparseReduce, bytes);
+    }
+    sums
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::Grid2;
+    use crate::Layout;
+    use mfbc_algebra::monoid::{SumF64, SumU64};
+    use mfbc_machine::{Group, MachineSpec};
+    use mfbc_sparse::Csr;
+
+    fn machine(p: usize) -> Machine {
+        Machine::new(MachineSpec::test(p))
+    }
+
+    fn dmat(m: &Machine, g: &Csr<u64>) -> DistMat<u64> {
+        DistMat::from_global(
+            Layout::on_grid(g.nrows(), g.ncols(), &Grid2::new(Group::all(m.p()), 2, 2)),
+            g,
+        )
+    }
+
+    fn sample() -> Csr<u64> {
+        Coo::from_triples(4, 4, vec![(0usize, 0usize, 1u64), (1, 2, 3), (3, 3, 7)])
+            .into_csr::<SumU64>()
+    }
+
+    #[test]
+    fn combine_matches_sequential() {
+        let m = machine(4);
+        let a = sample();
+        let b = Coo::from_triples(4, 4, vec![(0usize, 0usize, 10u64), (2, 1, 5)])
+            .into_csr::<SumU64>();
+        let da = dmat(&m, &a);
+        let db = dmat(&m, &b);
+        let dc = dmat_combine::<SumU64, _>(&m, &da, &db);
+        assert_eq!(dc.to_global::<SumU64>(), combine::<SumU64, _>(&a, &b));
+        // Pure local work: no communication charged.
+        assert_eq!(m.report().critical.msgs, 0);
+        assert!(m.report().critical.comp_time > 0.0);
+    }
+
+    #[test]
+    fn zip_filter_looks_up_matching_coords() {
+        let m = machine(4);
+        let a = sample();
+        let b = Coo::from_triples(4, 4, vec![(0usize, 0usize, 2u64), (3, 3, 7)])
+            .into_csr::<SumU64>();
+        let da = dmat(&m, &a);
+        let db = dmat(&m, &b);
+        // Keep a-entries whose b counterpart equals them.
+        let dc = dmat_zip_filter::<SumU64, _, _, u64>(&m, &da, &db, |_, _, av, bv| {
+            (bv == Some(av)).then_some(*av)
+        });
+        let g = dc.to_global::<SumU64>();
+        assert_eq!(g.nnz(), 1);
+        assert_eq!(g.get(3, 3), Some(&7));
+    }
+
+    #[test]
+    fn map_filter_uses_global_coords() {
+        let m = machine(4);
+        let da = dmat(&m, &sample());
+        let dc = dmat_map_filter::<SumU64, _, u64>(&m, &da, |i, j, v| (i == 3 && j == 3).then_some(*v));
+        assert_eq!(dc.nnz(), 1);
+        assert_eq!(dc.to_global::<SumU64>().get(3, 3), Some(&7));
+    }
+
+    #[test]
+    fn nnz_sync_charges_allreduce() {
+        let m = machine(4);
+        let da = dmat(&m, &sample());
+        assert_eq!(nnz_sync(&m, &da), 3);
+        assert!(m.report().critical.msgs > 0);
+    }
+
+    #[test]
+    fn column_sums_match() {
+        let m = machine(4);
+        let g = Coo::from_triples(
+            4,
+            4,
+            vec![(0usize, 1usize, 2.0f64), (2, 1, 3.0), (3, 0, 1.5)],
+        )
+        .into_csr::<SumF64>();
+        let da = DistMat::from_global(
+            Layout::on_grid(4, 4, &Grid2::new(Group::all(4), 2, 2)),
+            &g,
+        );
+        assert_eq!(dmat_column_sums(&m, &da), vec![1.5, 5.0, 0.0, 0.0]);
+    }
+}

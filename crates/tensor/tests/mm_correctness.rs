@@ -1,0 +1,160 @@
+//! Every distributed multiplication plan must produce exactly the
+//! sequential generalized SpGEMM result — the central correctness
+//! property of the CTF-analogue layer. Exercised for the tropical
+//! kernel (square operands) and the Bellman–Ford multpath kernel
+//! (rectangular frontier × adjacency), across machine sizes and every
+//! candidate plan the autotuner can emit.
+
+use mfbc_algebra::kernel::{BellmanFordKernel, TropicalKernel};
+use mfbc_algebra::monoid::MinDist;
+use mfbc_algebra::{Dist, Multpath, MultpathMonoid};
+use mfbc_machine::{Machine, MachineSpec};
+use mfbc_sparse::{spgemm_serial, Coo, Csr};
+use mfbc_tensor::autotune::{candidate_plans, mm_auto};
+use mfbc_tensor::{canonical_layout, mm_exec, DistMat};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+fn random_dist_mat(rng: &mut ChaCha8Rng, nrows: usize, ncols: usize, nnz: usize) -> Csr<Dist> {
+    let mut coo = Coo::new(nrows, ncols);
+    for _ in 0..nnz {
+        coo.push(
+            rng.gen_range(0..nrows),
+            rng.gen_range(0..ncols),
+            Dist::new(rng.gen_range(1..50)),
+        );
+    }
+    coo.into_csr::<MinDist>()
+}
+
+fn random_frontier(rng: &mut ChaCha8Rng, nrows: usize, ncols: usize, nnz: usize) -> Csr<Multpath> {
+    let mut coo = Coo::new(nrows, ncols);
+    for _ in 0..nnz {
+        coo.push(
+            rng.gen_range(0..nrows),
+            rng.gen_range(0..ncols),
+            Multpath::new(Dist::new(rng.gen_range(0..40)), f64::from(rng.gen_range(1u32..4))),
+        );
+    }
+    coo.into_csr::<MultpathMonoid>()
+}
+
+#[test]
+fn every_plan_matches_serial_tropical() {
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    let n = 37; // deliberately not divisible by typical grids
+    let a = random_dist_mat(&mut rng, n, n, 140);
+    let b = random_dist_mat(&mut rng, n, n, 170);
+    let expected = spgemm_serial::<TropicalKernel>(&a, &b);
+
+    for p in [1usize, 2, 4, 6, 8, 12] {
+        let m = Machine::new(MachineSpec::test(p));
+        let da = DistMat::from_global(canonical_layout(&m, n, n), &a);
+        let db = DistMat::from_global(canonical_layout(&m, n, n), &b);
+        for plan in candidate_plans(p) {
+            let out = mm_exec::<TropicalKernel>(&m, &plan, &da, &db)
+                .unwrap_or_else(|e| panic!("p={p} plan={plan:?}: {e}"));
+            let got = out.c.to_global::<MinDist>();
+            assert_eq!(
+                got, expected.mat,
+                "mismatch for p={p}, plan={plan:?}"
+            );
+            assert_eq!(out.ops, expected.ops, "ops mismatch for p={p}, plan={plan:?}");
+        }
+    }
+}
+
+#[test]
+fn every_plan_matches_serial_multpath_rectangular() {
+    let mut rng = ChaCha8Rng::seed_from_u64(13);
+    let (nb, n) = (5, 41);
+    let f = random_frontier(&mut rng, nb, n, 60);
+    let a = random_dist_mat(&mut rng, n, n, 200);
+    let expected = spgemm_serial::<BellmanFordKernel>(&f, &a);
+
+    for p in [1usize, 4, 9] {
+        let m = Machine::new(MachineSpec::test(p));
+        let df = DistMat::from_global(canonical_layout(&m, nb, n), &f);
+        let da = DistMat::from_global(canonical_layout(&m, n, n), &a);
+        for plan in candidate_plans(p) {
+            let out = mm_exec::<BellmanFordKernel>(&m, &plan, &df, &da)
+                .unwrap_or_else(|e| panic!("p={p} plan={plan:?}: {e}"));
+            let got = out.c.to_global::<MultpathMonoid>();
+            assert_eq!(got, expected.mat, "mismatch for p={p}, plan={plan:?}");
+        }
+    }
+}
+
+#[test]
+fn autotuned_mm_matches_serial_and_charges_costs() {
+    let mut rng = ChaCha8Rng::seed_from_u64(99);
+    let n = 64;
+    let a = random_dist_mat(&mut rng, n, n, 500);
+    let b = random_dist_mat(&mut rng, n, n, 500);
+    let expected = spgemm_serial::<TropicalKernel>(&a, &b).mat;
+
+    let m = Machine::new(MachineSpec::gemini(8));
+    let da = DistMat::from_global(canonical_layout(&m, n, n), &a);
+    let db = DistMat::from_global(canonical_layout(&m, n, n), &b);
+    let (out, plan) = mm_auto::<TropicalKernel>(&m, &da, &db).unwrap();
+    assert_eq!(out.c.to_global::<MinDist>(), expected);
+    let report = m.report();
+    assert!(report.critical.comm_time > 0.0, "plan {plan:?} charged no comm");
+    assert!(report.critical.comp_time > 0.0);
+    assert!(report.total_ops > 0);
+}
+
+#[test]
+fn empty_operands_work_under_all_plans() {
+    let n = 16;
+    let a = Csr::<Dist>::zero(n, n);
+    let b = Csr::<Dist>::zero(n, n);
+    let m = Machine::new(MachineSpec::test(4));
+    let da = DistMat::from_global(canonical_layout(&m, n, n), &a);
+    let db = DistMat::from_global(canonical_layout(&m, n, n), &b);
+    for plan in candidate_plans(4) {
+        let out = mm_exec::<TropicalKernel>(&m, &plan, &da, &db).unwrap();
+        assert_eq!(out.c.nnz(), 0, "plan {plan:?}");
+        assert_eq!(out.ops, 0);
+    }
+}
+
+#[test]
+fn more_ranks_than_rows_still_correct() {
+    // Frontier with fewer rows than ranks: empty row blocks must not
+    // break any schedule.
+    let mut rng = ChaCha8Rng::seed_from_u64(3);
+    let (nb, n) = (2, 23);
+    let f = random_frontier(&mut rng, nb, n, 15);
+    let a = random_dist_mat(&mut rng, n, n, 80);
+    let expected = spgemm_serial::<BellmanFordKernel>(&f, &a).mat;
+    let m = Machine::new(MachineSpec::test(8));
+    let df = DistMat::from_global(canonical_layout(&m, nb, n), &f);
+    let da = DistMat::from_global(canonical_layout(&m, n, n), &a);
+    for plan in candidate_plans(8) {
+        let out = mm_exec::<BellmanFordKernel>(&m, &plan, &df, &da)
+            .unwrap_or_else(|e| panic!("plan={plan:?}: {e}"));
+        assert_eq!(
+            out.c.to_global::<MultpathMonoid>(),
+            expected,
+            "plan {plan:?}"
+        );
+    }
+}
+
+#[test]
+fn replication_plans_hit_memory_budget() {
+    // A machine with a tiny memory budget must fail 1D replication
+    // with OutOfMemory — the mechanism behind the paper's
+    // "unable to execute" data points.
+    use mfbc_tensor::{MmPlan, Variant1D};
+    let mut rng = ChaCha8Rng::seed_from_u64(31);
+    let n = 64;
+    let a = random_dist_mat(&mut rng, n, n, 1000);
+    let spec = MachineSpec::test(4).with_mem_bytes(Some(2000));
+    let m = Machine::new(spec);
+    let da = DistMat::from_global(canonical_layout(&m, n, n), &a);
+    let db = da.clone();
+    let err = mm_exec::<TropicalKernel>(&m, &MmPlan::OneD(Variant1D::A), &da, &db);
+    assert!(err.is_err(), "replicating 12 kB into 2 kB budget must fail");
+}

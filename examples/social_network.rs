@@ -1,0 +1,62 @@
+//! Social-network centrality at scale: run MFBC on the Orkut-like
+//! Table-2 stand-in across simulated machine sizes and watch strong
+//! scaling — the scenario of the paper's Fig. 1(a), condensed.
+//!
+//! Run with: `cargo run --release --example social_network`
+
+use mfbc::machine::CostReport;
+use mfbc::prelude::*;
+
+fn mteps_per_node(g: &Graph, sources: usize, report: &CostReport, p: usize) -> f64 {
+    // TEPS as the paper counts it: every edge is traversed once per
+    // starting vertex (§7.1).
+    let traversals = g.m() as f64 * sources as f64;
+    traversals / report.critical.total_time() / 1e6 / p as f64
+}
+
+fn main() {
+    // Orkut stand-in at 1/4096 scale: dense, low-diameter — MFBC's
+    // best case per the paper.
+    let g = snap_standin(SnapGraph::Orkut, 4096, 42);
+    let (avg_deg, max_deg) = stats::degree_stats(&g);
+    println!(
+        "orkut stand-in: n = {}, arcs = {}, avg degree = {avg_deg:.1}, max degree = {max_deg}",
+        g.n(),
+        g.m()
+    );
+
+    let batch = 64;
+    println!("\nstrong scaling, one batch of {batch} sources (autotuned CTF-MFBC):");
+    println!("{:>6} {:>14} {:>12} {:>12} {:>10}", "nodes", "MTEPS/node", "comm(ms)", "comp(ms)", "msgs");
+    let mut reference: Option<BcScores> = None;
+    for p in [1usize, 4, 16, 64] {
+        let machine = Machine::new(MachineSpec::gemini(p));
+        let cfg = MfbcConfig {
+            batch_size: Some(batch),
+            max_batches: Some(1),
+            ..Default::default()
+        };
+        let run = mfbc_dist(&machine, &g, &cfg).expect("fits in memory");
+        let report = machine.report();
+        println!(
+            "{:>6} {:>14.2} {:>12.3} {:>12.3} {:>10}",
+            p,
+            mteps_per_node(&g, run.sources_processed, &report, p),
+            report.critical.comm_time * 1e3,
+            report.critical.comp_time * 1e3,
+            report.critical.msgs
+        );
+        // Scores must be identical no matter the machine size.
+        match &reference {
+            None => reference = Some(run.scores),
+            Some(r) => assert!(run.scores.approx_eq(r, 1e-7)),
+        }
+    }
+
+    // Who brokers the network? (full run on the fastest config)
+    let (scores, _) = mfbc_seq(&g, 256);
+    println!("\ntop-5 central vertices over the full graph:");
+    for (v, s) in scores.top_k(5) {
+        println!("  vertex {v:>6}  λ = {s:.1}");
+    }
+}

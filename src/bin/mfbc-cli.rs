@@ -1,0 +1,341 @@
+//! `mfbc-cli` — command-line betweenness centrality and friends.
+//!
+//! ```text
+//! mfbc-cli bc        [--directed] [--weighted] [--batch N] [--approx K]
+//!                    [--top K] [--normalized] [--seed S] <edge-list|->
+//! mfbc-cli sssp      --source V [--directed] <edge-list|->
+//! mfbc-cli components [--directed] <edge-list|->
+//! mfbc-cli stats     [--directed] <edge-list|->
+//! mfbc-cli simulate  --nodes P [--plan auto|ca:C|combblas] [--batch N]
+//!                    [--graph rmat:S,E | uniform:N,M | FILE] [--directed]
+//! mfbc-cli generate  (rmat:S,E | uniform:N,M) [--weighted MAX] [--seed S]
+//! ```
+//!
+//! Edge lists are SNAP format (`src dst [weight]`, `#` comments);
+//! `-` reads stdin. `simulate` runs one batch on the simulated
+//! machine and prints the critical-path cost report.
+
+use mfbc::core::combblas::{combblas_bc, CombBlasConfig};
+use mfbc::prelude::*;
+use std::io::Read;
+use std::io::Write as _;
+use std::process::ExitCode;
+
+/// Prints a line to stdout, exiting quietly when the consumer closed
+/// the pipe (e.g. `mfbc-cli bc … | head`).
+macro_rules! outln {
+    ($($arg:tt)*) => {{
+        let mut out = std::io::stdout().lock();
+        if let Err(e) = writeln!(out, $($arg)*) {
+            if e.kind() == std::io::ErrorKind::BrokenPipe {
+                std::process::exit(0);
+            }
+            eprintln!("mfbc-cli: stdout: {e}");
+            std::process::exit(1);
+        }
+    }};
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("mfbc-cli: {e}");
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  mfbc-cli bc [--directed] [--weighted] [--batch N] [--approx K] [--top K] [--normalized] [--seed S] <edge-list|->
+  mfbc-cli sssp --source V [--directed] <edge-list|->
+  mfbc-cli components [--directed] <edge-list|->
+  mfbc-cli stats [--directed] <edge-list|->
+  mfbc-cli simulate --nodes P [--plan auto|ca:C|combblas] [--batch N] [--graph rmat:S,E|uniform:N,M|FILE] [--directed]
+  mfbc-cli generate (rmat:S,E | uniform:N,M) [--weighted MAX] [--seed S]";
+
+/// Minimal flag parser: `--key value` options, `--flag` booleans, one
+/// positional argument.
+struct Opts {
+    flags: Vec<(String, Option<String>)>,
+    positional: Option<String>,
+}
+
+impl Opts {
+    fn parse(args: &[String], value_flags: &[&str]) -> Result<Opts, String> {
+        let mut flags = Vec::new();
+        let mut positional = None;
+        let mut it = args.iter().peekable();
+        while let Some(a) = it.next() {
+            if let Some(name) = a.strip_prefix("--") {
+                if value_flags.contains(&name) {
+                    let v = it
+                        .next()
+                        .ok_or_else(|| format!("--{name} needs a value"))?;
+                    flags.push((name.to_string(), Some(v.clone())));
+                } else {
+                    flags.push((name.to_string(), None));
+                }
+            } else if positional.is_none() {
+                positional = Some(a.clone());
+            } else {
+                return Err(format!("unexpected argument {a:?}"));
+            }
+        }
+        Ok(Opts { flags, positional })
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.flags.iter().any(|(k, _)| k == name)
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .find(|(k, _)| k == name)
+            .and_then(|(_, v)| v.as_deref())
+    }
+
+    fn get_parsed<T: std::str::FromStr>(&self, name: &str) -> Result<Option<T>, String> {
+        match self.get(name) {
+            None => Ok(None),
+            Some(v) => v
+                .parse()
+                .map(Some)
+                .map_err(|_| format!("--{name}: cannot parse {v:?}")),
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some(cmd) = args.first() else {
+        return Err("missing command".into());
+    };
+    let rest = &args[1..];
+    match cmd.as_str() {
+        "bc" => cmd_bc(rest),
+        "sssp" => cmd_sssp(rest),
+        "components" => cmd_components(rest),
+        "stats" => cmd_stats(rest),
+        "simulate" => cmd_simulate(rest),
+        "generate" => cmd_generate(rest),
+        "help" | "--help" | "-h" => {
+            outln!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}")),
+    }
+}
+
+fn load_graph(path: Option<&str>, directed: bool) -> Result<Graph, String> {
+    let path = path.ok_or("missing edge-list path (or '-')")?;
+    let g = if path == "-" {
+        let mut buf = String::new();
+        std::io::stdin()
+            .read_to_string(&mut buf)
+            .map_err(|e| e.to_string())?;
+        io::read_edge_list(buf.as_bytes(), directed)
+    } else {
+        let file = std::fs::File::open(path).map_err(|e| format!("{path}: {e}"))?;
+        io::read_edge_list(file, directed)
+    };
+    g.map_err(|e| e.to_string())
+}
+
+/// Parses `rmat:S,E` / `uniform:N,M` specs; anything else is a path.
+fn load_workload(spec: &str, directed: bool, weighted: Option<u64>, seed: u64) -> Result<Graph, String> {
+    if let Some(params) = spec.strip_prefix("rmat:") {
+        let (s, e) = split2(params)?;
+        let cfg = RmatConfig {
+            scale: s as u32,
+            edge_factor: e as usize,
+            probs: (0.57, 0.19, 0.19),
+            directed,
+            weights: weighted,
+            seed,
+        };
+        return Ok(prep::remove_isolated(&rmat(&cfg)));
+    }
+    if let Some(params) = spec.strip_prefix("uniform:") {
+        let (n, m) = split2(params)?;
+        return Ok(uniform(n as usize, m as usize, directed, weighted, seed));
+    }
+    load_graph(Some(spec), directed)
+}
+
+fn split2(params: &str) -> Result<(u64, u64), String> {
+    let mut it = params.split(',');
+    let a = it
+        .next()
+        .and_then(|x| x.parse().ok())
+        .ok_or_else(|| format!("bad parameters {params:?}"))?;
+    let b = it
+        .next()
+        .and_then(|x| x.parse().ok())
+        .ok_or_else(|| format!("bad parameters {params:?}"))?;
+    if it.next().is_some() {
+        return Err(format!("bad parameters {params:?}"));
+    }
+    Ok((a, b))
+}
+
+fn cmd_bc(args: &[String]) -> Result<(), String> {
+    let o = Opts::parse(args, &["batch", "approx", "top", "seed"])?;
+    let g = load_graph(o.positional.as_deref(), o.has("directed"))?;
+    if o.has("weighted") && g.is_unit_weighted() {
+        eprintln!("note: --weighted given but all weights are 1");
+    }
+    let batch = o.get_parsed::<usize>("batch")?.unwrap_or(64).max(1);
+    let seed = o.get_parsed::<u64>("seed")?.unwrap_or(42);
+    let scores = match o.get_parsed::<usize>("approx")? {
+        Some(k) => {
+            let est = mfbc_approx(&g, k.min(g.n()).max(1), seed);
+            eprintln!("approximated from {} sampled sources", est.sources.len());
+            est.scores
+        }
+        None => mfbc_seq(&g, batch).0,
+    };
+    let scores = if o.has("normalized") {
+        scores.normalized()
+    } else {
+        scores
+    };
+    match o.get_parsed::<usize>("top")? {
+        Some(k) => {
+            for (v, s) in scores.top_k(k) {
+                outln!("{v}\t{s}");
+            }
+        }
+        None => {
+            for (v, s) in scores.lambda.iter().enumerate() {
+                outln!("{v}\t{s}");
+            }
+        }
+    }
+    Ok(())
+}
+
+fn cmd_sssp(args: &[String]) -> Result<(), String> {
+    let o = Opts::parse(args, &["source"])?;
+    let source: usize = o
+        .get_parsed("source")?
+        .ok_or("sssp needs --source V")?;
+    let g = load_graph(o.positional.as_deref(), o.has("directed"))?;
+    if source >= g.n() {
+        return Err(format!("source {source} out of range (n = {})", g.n()));
+    }
+    let d = sssp_seq(&g, &[source]);
+    for v in 0..g.n() {
+        match d.get(0, v) {
+            Some(w) => outln!("{v}\t{}", w.raw()),
+            None => outln!("{v}\tinf"),
+        }
+    }
+    Ok(())
+}
+
+fn cmd_components(args: &[String]) -> Result<(), String> {
+    let o = Opts::parse(args, &[])?;
+    let g = load_graph(o.positional.as_deref(), o.has("directed"))?;
+    let labels = connected_components(&g);
+    eprintln!("{} components", component_count(&g));
+    for (v, l) in labels.iter().enumerate() {
+        outln!("{v}\t{l}");
+    }
+    Ok(())
+}
+
+fn cmd_stats(args: &[String]) -> Result<(), String> {
+    let o = Opts::parse(args, &[])?;
+    let g = load_graph(o.positional.as_deref(), o.has("directed"))?;
+    let (avg, max) = stats::degree_stats(&g);
+    outln!("n\t{}", g.n());
+    outln!("arcs\t{}", g.m());
+    outln!("edges\t{}", g.edge_count());
+    outln!("directed\t{}", g.directed());
+    outln!("weighted\t{}", !g.is_unit_weighted());
+    outln!("avg_degree\t{avg:.2}");
+    outln!("max_degree\t{max}");
+    outln!("components\t{}", component_count(&g));
+    outln!(
+        "sampled_diameter\t{}",
+        stats::effective_diameter(&g, 8, 7)
+    );
+    Ok(())
+}
+
+fn cmd_simulate(args: &[String]) -> Result<(), String> {
+    let o = Opts::parse(args, &["nodes", "plan", "batch", "graph", "seed"])?;
+    let p: usize = o.get_parsed("nodes")?.ok_or("simulate needs --nodes P")?;
+    let spec_str = o.get("graph").unwrap_or("rmat:12,16");
+    let seed = o.get_parsed::<u64>("seed")?.unwrap_or(42);
+    let g = load_workload(spec_str, o.has("directed"), None, seed)?;
+    let batch = o.get_parsed::<usize>("batch")?.unwrap_or(128);
+    let machine = Machine::new(MachineSpec::gemini(p));
+
+    let plan = o.get("plan").unwrap_or("auto");
+    let (label, sources, report) = if plan == "combblas" {
+        let run = combblas_bc(
+            &machine,
+            &g,
+            &CombBlasConfig {
+                batch_size: Some(batch),
+                max_batches: Some(1),
+            },
+        )
+        .map_err(|e| e.to_string())?;
+        ("CombBLAS-style".to_string(), run.sources_processed, machine.report())
+    } else {
+        let mode = if let Some(c) = plan.strip_prefix("ca:") {
+            PlanMode::Ca {
+                c: c.parse().map_err(|_| format!("bad plan {plan:?}"))?,
+            }
+        } else if plan == "auto" {
+            PlanMode::Auto
+        } else {
+            return Err(format!("unknown plan {plan:?}"));
+        };
+        let run = mfbc_dist(
+            &machine,
+            &g,
+            &MfbcConfig {
+                batch_size: Some(batch),
+                plan_mode: mode,
+                max_batches: Some(1),
+                ..Default::default()
+            },
+        )
+        .map_err(|e| e.to_string())?;
+        (format!("CTF-MFBC ({plan})"), run.sources_processed, machine.report())
+    };
+
+    let time = report.critical.total_time();
+    outln!("algorithm\t{label}");
+    outln!("graph\t{spec_str} (n={}, arcs={})", g.n(), g.m());
+    outln!("nodes\t{p}");
+    outln!("batch\t{sources}");
+    outln!("modeled_time_s\t{time:.6}");
+    outln!("comm_s\t{:.6}", report.critical.comm_time);
+    outln!("compute_s\t{:.6}", report.critical.comp_time);
+    outln!("critical_msgs\t{}", report.critical.msgs);
+    outln!("critical_bytes\t{}", report.critical.bytes);
+    outln!(
+        "mteps_per_node\t{:.2}",
+        g.m() as f64 * sources as f64 / time / 1e6 / p as f64
+    );
+    Ok(())
+}
+
+fn cmd_generate(args: &[String]) -> Result<(), String> {
+    let o = Opts::parse(args, &["weighted", "seed"])?;
+    let spec = o.positional.as_deref().ok_or("generate needs a spec")?;
+    let weighted = o.get_parsed::<u64>("weighted")?;
+    let seed = o.get_parsed::<u64>("seed")?.unwrap_or(42);
+    if !spec.starts_with("rmat:") && !spec.starts_with("uniform:") {
+        return Err(format!("generate takes rmat:S,E or uniform:N,M, got {spec:?}"));
+    }
+    let g = load_workload(spec, o.has("directed"), weighted, seed)?;
+    io::write_edge_list(&g, std::io::stdout().lock()).map_err(|e| e.to_string())
+}

@@ -1,0 +1,168 @@
+//! End-to-end tests of the `mfbc-cli` binary: generate → stats → bc
+//! → sssp → components → simulate pipelines through real process
+//! invocations.
+
+use std::process::{Command, Stdio};
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_mfbc-cli"))
+}
+
+fn run_ok(args: &[&str], stdin: Option<&str>) -> String {
+    let mut cmd = cli();
+    cmd.args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped());
+    let mut child = cmd.spawn().expect("spawn mfbc-cli");
+    if let Some(input) = stdin {
+        use std::io::Write;
+        child
+            .stdin
+            .as_mut()
+            .unwrap()
+            .write_all(input.as_bytes())
+            .unwrap();
+    }
+    drop(child.stdin.take());
+    let out = child.wait_with_output().expect("wait");
+    assert!(
+        out.status.success(),
+        "mfbc-cli {args:?} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("utf8 stdout")
+}
+
+const PATH_GRAPH: &str = "0 1\n1 2\n2 3\n";
+
+#[test]
+fn bc_finds_the_path_brokers() {
+    let out = run_ok(&["bc", "--top", "2", "-"], Some(PATH_GRAPH));
+    let lines: Vec<&str> = out.lines().collect();
+    // Vertices 1 and 2 tie at λ = 4 on a 4-path.
+    assert_eq!(lines.len(), 2);
+    assert!(lines[0].starts_with("1\t4"));
+    assert!(lines[1].starts_with("2\t4"));
+}
+
+#[test]
+fn bc_normalized_is_bounded() {
+    let out = run_ok(&["bc", "--normalized", "-"], Some(PATH_GRAPH));
+    for line in out.lines() {
+        let score: f64 = line.split('\t').nth(1).unwrap().parse().unwrap();
+        assert!((0.0..=1.0).contains(&score), "{line}");
+    }
+}
+
+#[test]
+fn sssp_reports_distances_and_inf() {
+    let out = run_ok(
+        &["sssp", "--source", "0", "--directed", "-"],
+        Some("0 1 5\n1 2 7\n3 0 1\n"),
+    );
+    let lines: Vec<&str> = out.lines().collect();
+    assert_eq!(lines[0], "0\t0");
+    assert_eq!(lines[1], "1\t5");
+    assert_eq!(lines[2], "2\t12");
+    assert_eq!(lines[3], "3\tinf");
+}
+
+#[test]
+fn components_counts() {
+    let out = run_ok(&["components", "-"], Some("0 1\n2 3\n"));
+    let labels: Vec<u64> = out
+        .lines()
+        .map(|l| l.split('\t').nth(1).unwrap().parse().unwrap())
+        .collect();
+    assert_eq!(labels[0], labels[1]);
+    assert_eq!(labels[2], labels[3]);
+    assert_ne!(labels[0], labels[2]);
+}
+
+#[test]
+fn generate_stats_roundtrip() {
+    let graph = run_ok(&["generate", "uniform:64,200", "--seed", "5"], None);
+    let stats = run_ok(&["stats", "-"], Some(&graph));
+    let get = |key: &str| -> String {
+        stats
+            .lines()
+            .find(|l| l.starts_with(key))
+            .unwrap_or_else(|| panic!("missing {key} in {stats}"))
+            .split('\t')
+            .nth(1)
+            .unwrap()
+            .to_string()
+    };
+    assert_eq!(get("directed"), "false");
+    let n: usize = get("n").parse().unwrap();
+    assert!(n <= 64);
+    let edges: usize = get("edges").parse().unwrap();
+    assert!(edges > 150 && edges <= 200);
+}
+
+#[test]
+fn simulate_reports_costs() {
+    let out = run_ok(
+        &[
+            "simulate",
+            "--nodes",
+            "4",
+            "--graph",
+            "uniform:128,512",
+            "--batch",
+            "32",
+        ],
+        None,
+    );
+    assert!(out.contains("algorithm\tCTF-MFBC"));
+    let msgs: u64 = out
+        .lines()
+        .find(|l| l.starts_with("critical_msgs"))
+        .unwrap()
+        .split('\t')
+        .nth(1)
+        .unwrap()
+        .parse()
+        .unwrap();
+    assert!(msgs > 0);
+
+    let cb = run_ok(
+        &[
+            "simulate",
+            "--nodes",
+            "4",
+            "--plan",
+            "combblas",
+            "--graph",
+            "uniform:128,512",
+            "--batch",
+            "32",
+        ],
+        None,
+    );
+    assert!(cb.contains("algorithm\tCombBLAS-style"));
+}
+
+#[test]
+fn bad_usage_fails_cleanly() {
+    let out = cli().arg("frobnicate").output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+
+    let out = cli().args(["sssp", "-"]).output().unwrap();
+    assert!(!out.status.success());
+
+    let out = cli()
+        .args(["bc", "--top", "notanumber", "-"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+}
+
+#[test]
+fn approximate_bc_runs() {
+    let graph = run_ok(&["generate", "rmat:7,4", "--seed", "3"], None);
+    let out = run_ok(&["bc", "--approx", "16", "--top", "3", "-"], Some(&graph));
+    assert_eq!(out.lines().count(), 3);
+}

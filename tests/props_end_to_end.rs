@@ -1,0 +1,161 @@
+//! Property-based end-to-end tests: MFBC (sequential and
+//! distributed) equals the Brandes oracles on arbitrary random
+//! graphs — weighted, directed, disconnected, multi-component.
+
+#![allow(clippy::needless_range_loop)]
+
+use mfbc::prelude::*;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct GraphSpec {
+    n: usize,
+    directed: bool,
+    edges: Vec<(usize, usize, u64)>,
+}
+
+fn arb_graph(max_n: usize, weighted: bool) -> impl Strategy<Value = GraphSpec> {
+    (3..max_n).prop_flat_map(move |n| {
+        let wmax = if weighted { 8 } else { 1 };
+        (
+            Just(n),
+            any::<bool>(),
+            vec((0..n, 0..n, 1u64..=wmax), 0..3 * n),
+        )
+            .prop_map(|(n, directed, edges)| GraphSpec { n, directed, edges })
+    })
+}
+
+fn build(spec: &GraphSpec) -> Graph {
+    Graph::new(
+        spec.n,
+        spec.directed,
+        spec.edges
+            .iter()
+            .map(|&(u, v, w)| (u, v, Dist::new(w))),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn seq_mfbc_equals_oracle(spec in arb_graph(16, true), nb in 1usize..6) {
+        let g = build(&spec);
+        let want = if g.is_unit_weighted() {
+            brandes_unweighted(&g)
+        } else {
+            brandes_weighted(&g)
+        };
+        let (got, _) = mfbc_seq(&g, nb);
+        prop_assert!(
+            got.approx_eq(&want, 1e-7),
+            "diff {} on {:?}",
+            got.max_abs_diff(&want),
+            spec
+        );
+    }
+
+    #[test]
+    fn dist_mfbc_equals_oracle(spec in arb_graph(14, true), p in prop_oneof![Just(1usize), Just(2), Just(4), Just(6)]) {
+        let g = build(&spec);
+        let want = if g.is_unit_weighted() {
+            brandes_unweighted(&g)
+        } else {
+            brandes_weighted(&g)
+        };
+        let machine = Machine::new(MachineSpec::test(p));
+        let run = mfbc_dist(&machine, &g, &MfbcConfig {
+            batch_size: Some(5),
+            ..Default::default()
+        }).unwrap();
+        prop_assert!(
+            run.scores.approx_eq(&want, 1e-7),
+            "p={p}, diff {} on {:?}",
+            run.scores.max_abs_diff(&want),
+            spec
+        );
+    }
+
+    #[test]
+    fn mfbf_distances_equal_dijkstra(spec in arb_graph(14, true)) {
+        // MFBF's (τ, σ̄) against an independent Dijkstra—the Lemma 4.1
+        // property.
+        let g = build(&spec);
+        let out = mfbf_seq(&g, &[0]);
+        let hops = dijkstra_ref(&g, 0);
+        for v in 0..g.n() {
+            match (out.t.get(0, v), hops[v]) {
+                (Some(mp), Some((d, m))) => {
+                    prop_assert_eq!(mp.w.raw(), d, "distance mismatch at {}", v);
+                    prop_assert_eq!(mp.m, m as f64, "multiplicity mismatch at {}", v);
+                }
+                (None, None) => {}
+                (a, b) => prop_assert!(false, "reachability mismatch at {v}: {a:?} vs {b:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn brute_force_agreement_on_tiny(spec in arb_graph(7, true)) {
+        let g = build(&spec);
+        let bf = bruteforce_bc(&g);
+        let (mf, _) = mfbc_seq(&g, 3);
+        prop_assert!(
+            mf.approx_eq(&bf, 1e-7),
+            "diff {} on {:?}",
+            mf.max_abs_diff(&bf),
+            spec
+        );
+    }
+}
+
+/// Independent Dijkstra with path counting (no shared code with the
+/// oracles or MFBC).
+fn dijkstra_ref(g: &Graph, s: usize) -> Vec<Option<(u64, u64)>> {
+    let n = g.n();
+    let mut dist: Vec<Option<u64>> = vec![None; n];
+    let mut count = vec![0u64; n];
+    let mut done = vec![false; n];
+    dist[s] = Some(0);
+    count[s] = 1;
+    for _ in 0..n {
+        let mut best: Option<(u64, usize)> = None;
+        for v in 0..n {
+            if !done[v] {
+                if let Some(d) = dist[v] {
+                    if best.is_none_or(|(bd, _)| d < bd) {
+                        best = Some((d, v));
+                    }
+                }
+            }
+        }
+        let Some((d, v)) = best else { break };
+        done[v] = true;
+        for (u, w) in g.neighbors(v) {
+            let cand = d + w.raw();
+            match dist[u] {
+                None => {
+                    dist[u] = Some(cand);
+                    count[u] = count[v];
+                }
+                Some(du) if cand < du => {
+                    dist[u] = Some(cand);
+                    count[u] = count[v];
+                }
+                Some(du) if cand == du => count[u] += count[v],
+                _ => {}
+            }
+        }
+    }
+    (0..n)
+        .map(|v| {
+            if v == s {
+                dist[v].map(|d| (d, 1))
+            } else {
+                dist[v].map(|d| (d, count[v]))
+            }
+        })
+        .collect()
+}
