@@ -31,10 +31,7 @@ impl MonoidAction for BellmanFordAction {
 
     #[inline]
     fn act(x: &Multpath, w: Dist) -> Multpath {
-        Multpath {
-            w: x.w + w,
-            m: x.m,
-        }
+        Multpath { w: x.w + w, m: x.m }
     }
 }
 

@@ -1,10 +1,16 @@
 //! Runs every table/figure reproduction in sequence (the full
-//! EXPERIMENTS.md regeneration). `--quick` shrinks all workloads.
+//! EXPERIMENTS.md regeneration). `--quick` shrinks all workloads;
+//! `--verbose` mirrors trace events (per-experiment timings, CSV save
+//! warnings, and any collective/autotune events) to stderr.
 
 use mfbc_bench::experiments as e;
+use mfbc_trace::Level;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
+    if std::env::args().any(|a| a == "--verbose") {
+        mfbc_trace::install(std::sync::Arc::new(mfbc_trace::StderrRecorder::new()));
+    }
     let t0 = std::time::Instant::now();
     for (name, f) in [
         ("table2", e::table2 as fn(bool) -> mfbc_bench::Table),
@@ -21,7 +27,11 @@ fn main() {
     ] {
         let t = std::time::Instant::now();
         f(quick).emit();
-        eprintln!("[{name} took {:.1}s]", t.elapsed().as_secs_f64());
+        mfbc_trace::log(Level::Info, || {
+            format!("{name} took {:.1}s", t.elapsed().as_secs_f64())
+        });
     }
-    eprintln!("[all experiments took {:.1}s]", t0.elapsed().as_secs_f64());
+    mfbc_trace::log(Level::Info, || {
+        format!("all experiments took {:.1}s", t0.elapsed().as_secs_f64())
+    });
 }

@@ -206,9 +206,19 @@ pub fn fig1c(quick: bool) -> Table {
                 mem_divisor: mem_div,
             };
             let ladder = batch_ladder(quick);
-            rows[0].push(cell_best(&measure_mfbc_best(&g, &bench, &ladder, PlanMode::Auto)));
+            rows[0].push(cell_best(&measure_mfbc_best(
+                &g,
+                &bench,
+                &ladder,
+                PlanMode::Auto,
+            )));
             rows[1].push(cell_best(&measure_combblas_best(&g, &bench, &ladder)));
-            rows[2].push(cell_best(&measure_mfbc_best(&gw, &bench, &ladder, PlanMode::Auto)));
+            rows[2].push(cell_best(&measure_mfbc_best(
+                &gw,
+                &bench,
+                &ladder,
+                PlanMode::Auto,
+            )));
         }
         for row in rows {
             t.push(row);
@@ -246,7 +256,12 @@ pub fn fig2a(quick: bool) -> Table {
                 mem_divisor: 128,
             };
             let ladder = batch_ladder(quick);
-            row_m.push(cell_best(&measure_mfbc_best(&g, &bench, &ladder, PlanMode::Auto)));
+            row_m.push(cell_best(&measure_mfbc_best(
+                &g,
+                &bench,
+                &ladder,
+                PlanMode::Auto,
+            )));
             row_c.push(cell_best(&measure_combblas_best(&g, &bench, &ladder)));
         }
         t.push(row_m);
@@ -282,7 +297,12 @@ pub fn fig2b(quick: bool) -> Table {
                 mem_divisor: 128,
             };
             let ladder = batch_ladder(quick);
-            row_m.push(cell_best(&measure_mfbc_best(&g, &bench, &ladder, PlanMode::Auto)));
+            row_m.push(cell_best(&measure_mfbc_best(
+                &g,
+                &bench,
+                &ladder,
+                PlanMode::Auto,
+            )));
             row_c.push(cell_best(&measure_combblas_best(&g, &bench, &ladder)));
         }
         t.push(row_m);
@@ -298,7 +318,12 @@ pub fn table3(quick: bool) -> Table {
     let mut t = Table::new(
         "table3_critical_path",
         &[
-            "graph", "code", "W (MB)", "S (#msgs)", "comm (s)", "total (s)",
+            "graph",
+            "code",
+            "W (MB)",
+            "S (#msgs)",
+            "comm (s)",
+            "total (s)",
         ],
     );
     let p = if quick { 4 } else { 64 };
@@ -368,14 +393,14 @@ pub fn ablation_batch(quick: bool) -> Table {
                 let time = rep.critical.total_time();
                 let teps = g.m() as f64 * run.sources_processed as f64 / time / 1e6 / p as f64;
                 let peak = machine.with_tracker(|tr| tr.max_peak());
-                t.push(vec![
-                    nb.to_string(),
-                    f2(teps),
-                    f3(time),
-                    mib(peak),
-                ]);
+                t.push(vec![nb.to_string(), f2(teps), f3(time), mib(peak)]);
             }
-            Err(e) => t.push(vec![nb.to_string(), format!("OOM ({e})"), "-".into(), "-".into()]),
+            Err(e) => t.push(vec![
+                nb.to_string(),
+                format!("OOM ({e})"),
+                "-".into(),
+                "-".into(),
+            ]),
         }
     }
     t
@@ -467,8 +492,7 @@ pub fn ablation_amortization(quick: bool) -> Table {
             Ok(run) => {
                 let rep = machine.report();
                 let time = rep.critical.total_time();
-                let teps =
-                    g.m() as f64 * run.sources_processed as f64 / time / 1e6 / p as f64;
+                let teps = g.m() as f64 * run.sources_processed as f64 / time / 1e6 / p as f64;
                 t.push(vec![
                     label.to_string(),
                     f2(teps),

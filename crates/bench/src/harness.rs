@@ -47,12 +47,7 @@ pub struct Measurement {
     pub iterations: usize,
 }
 
-fn finish(
-    machine: &Machine,
-    g: &Graph,
-    sources: usize,
-    iterations: usize,
-) -> Measurement {
+fn finish(machine: &Machine, g: &Graph, sources: usize, iterations: usize) -> Measurement {
     let report = machine.report();
     let time_s = report.critical.total_time();
     let traversals = g.m() as f64 * sources as f64;
@@ -66,6 +61,49 @@ fn finish(
         sources,
         iterations,
     }
+}
+
+/// Runs `f` with a thread-scoped trace recorder and returns its
+/// result alongside everything it emitted. The captured records can
+/// be summarized ([`crate::report::trace_summary`]) or cross-checked
+/// against a [`Measurement`] ([`verify_against_trace`]).
+pub fn measure_traced<R>(f: impl FnOnce() -> R) -> (R, Vec<mfbc_trace::TraceRecord>) {
+    let rec = std::sync::Arc::new(mfbc_trace::MemoryRecorder::new());
+    let out = mfbc_trace::scoped(rec.clone(), f);
+    (out, rec.take())
+}
+
+/// Cross-checks a harness [`Measurement`] against the trace of the
+/// run that produced it.
+///
+/// The machine model synchronizes each collective's group (raising
+/// every participant to the group maximum) *before* adding the
+/// collective's cost, so the critical-path `comm_s` can never exceed
+/// the plain sum of per-event modeled times. A violation means the
+/// accounting and the instrumentation have drifted apart.
+///
+/// # Errors
+/// Returns a description of the discrepancy.
+pub fn verify_against_trace(
+    m: &Measurement,
+    records: &[mfbc_trace::TraceRecord],
+) -> Result<(), String> {
+    let total = mfbc_trace::total_modeled_comm_s(records);
+    // Tolerate f64 summation noise across orderings.
+    let slack = 1e-9 + total.abs() * 1e-9;
+    if m.comm_s > total + slack {
+        return Err(format!(
+            "critical-path comm_s {} exceeds the sum of traced collective times {} \
+             ({} collective events)",
+            m.comm_s,
+            total,
+            records
+                .iter()
+                .filter(|r| matches!(r.event, mfbc_trace::TraceEvent::Collective { .. }))
+                .count()
+        ));
+    }
+    Ok(())
 }
 
 /// Runs one MFBC batch-measurement; `Err` carries a short reason

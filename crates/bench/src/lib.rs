@@ -18,7 +18,7 @@ pub mod harness;
 pub mod report;
 
 pub use harness::{
-    measure_combblas, measure_combblas_best, measure_mfbc, measure_mfbc_best, BenchSpec,
-    Measurement,
+    measure_combblas, measure_combblas_best, measure_mfbc, measure_mfbc_best, measure_traced,
+    verify_against_trace, BenchSpec, Measurement,
 };
-pub use report::Table;
+pub use report::{trace_summary, Table};

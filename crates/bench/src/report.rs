@@ -87,10 +87,41 @@ impl Table {
             let path = dir.join(format!("{}.csv", self.name));
             match std::fs::write(&path, self.to_csv()) {
                 Ok(()) => println!("[saved {}]", path.display()),
-                Err(e) => eprintln!("[could not save {}: {e}]", path.display()),
+                Err(e) => mfbc_trace::log(mfbc_trace::Level::Warn, || {
+                    format!("could not save {}: {e}", path.display())
+                }),
             }
         }
     }
+}
+
+/// Builds a Table-3-style per-collective summary from a recorded
+/// trace: one row per [`mfbc_machine::CollectiveKind`] that fired,
+/// with invocation count, bytes moved, charged bytes, message count,
+/// and total modeled seconds (sorted by modeled time, descending).
+pub fn trace_summary(records: &[mfbc_trace::TraceRecord]) -> Table {
+    let mut t = Table::new(
+        "trace_summary",
+        &[
+            "collective",
+            "count",
+            "bytes",
+            "charged",
+            "msgs",
+            "modeled_s",
+        ],
+    );
+    for k in mfbc_trace::collective_summary(records) {
+        t.push(vec![
+            k.kind,
+            k.count.to_string(),
+            k.bytes.to_string(),
+            k.bytes_charged.to_string(),
+            k.msgs.to_string(),
+            format!("{:.6}", k.modeled_s),
+        ]);
+    }
+    t
 }
 
 fn results_dir() -> PathBuf {
@@ -140,6 +171,35 @@ mod tests {
     fn arity_checked() {
         let mut t = Table::new("demo", &["a", "b"]);
         t.push(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn trace_summary_tabulates_collectives() {
+        use mfbc_trace::{TraceEvent, TraceRecord};
+        let rec = |kind, bytes, modeled_s| TraceRecord {
+            ts_us: 0,
+            tid: 0,
+            event: TraceEvent::Collective {
+                kind,
+                group: 4,
+                bytes,
+                msgs: 2,
+                bytes_charged: bytes,
+                modeled_s,
+            },
+        };
+        let records = vec![
+            rec("allgather", 100, 0.5),
+            rec("allgather", 50, 0.25),
+            rec("broadcast", 10, 2.0),
+        ];
+        let t = trace_summary(&records);
+        assert_eq!(t.rows.len(), 2);
+        // Sorted by modeled seconds, descending.
+        assert_eq!(t.rows[0][0], "broadcast");
+        assert_eq!(t.rows[1][0], "allgather");
+        assert_eq!(t.rows[1][1], "2");
+        assert_eq!(t.rows[1][2], "150");
     }
 
     #[test]

@@ -1,0 +1,69 @@
+//! Property test tying the tracing subsystem to the harness metrics:
+//! the critical-path communication time reported by a measurement can
+//! never exceed the plain sum of modeled times over the collective
+//! events traced during that same run (§7.4 accounting takes a
+//! group-max before adding each collective's cost, so the per-event
+//! sum is an upper bound on any single rank's accumulated time).
+
+use mfbc_bench::{measure_mfbc, measure_traced, verify_against_trace, BenchSpec};
+use mfbc_core::dist::PlanMode;
+use mfbc_graph::gen::uniform;
+use mfbc_trace::TraceEvent;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn traced_comm_dominates_critical_path(
+        n in 40usize..220,
+        edge_factor in 2usize..8,
+        p in prop_oneof![Just(1usize), Just(2), Just(4), Just(9), Just(16)],
+        batch in 4usize..48,
+        seed in 0u64..1000,
+    ) {
+        let g = uniform(n, n * edge_factor, false, None, seed);
+        let bench = BenchSpec { p, mem_divisor: 1 };
+        let (result, records) = measure_traced(|| measure_mfbc(&g, &bench, batch, PlanMode::Auto));
+        let m = match result {
+            Ok(m) => m,
+            Err(e) => {
+                // OOM points are legitimate outcomes, but this spec
+                // has full memory — treat any failure as a bug.
+                prop_assert!(false, "measure_mfbc failed unexpectedly: {e}");
+                unreachable!()
+            }
+        };
+        // The run must actually have been traced.
+        let collectives = records
+            .iter()
+            .filter(|r| matches!(r.event, TraceEvent::Collective { .. }))
+            .count();
+        if p > 1 {
+            prop_assert!(collectives > 0, "no collective events traced for p={p}");
+        }
+        prop_assert!(
+            verify_against_trace(&m, &records).is_ok(),
+            "comm_s {} vs traced total {} ({} collectives)",
+            m.comm_s,
+            mfbc_trace::total_modeled_comm_s(&records),
+            collectives
+        );
+    }
+}
+
+#[test]
+fn verify_against_trace_rejects_drift() {
+    let g = uniform(120, 600, false, None, 5);
+    let bench = BenchSpec {
+        p: 4,
+        mem_divisor: 1,
+    };
+    let (result, records) = measure_traced(|| measure_mfbc(&g, &bench, 16, PlanMode::Auto));
+    let mut m = result.unwrap();
+    assert!(verify_against_trace(&m, &records).is_ok());
+    // Inflate the reported critical path past the traced sum: the
+    // cross-check must flag the discrepancy.
+    m.comm_s = mfbc_trace::total_modeled_comm_s(&records) * 2.0 + 1.0;
+    assert!(verify_against_trace(&m, &records).is_err());
+}

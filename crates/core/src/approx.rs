@@ -167,14 +167,8 @@ mod tests {
         let g = uniform(36, 140, false, None, 11);
         let seq = mfbc_approx(&g, 12, 99);
         let machine = Machine::new(MachineSpec::test(4));
-        let dist = mfbc_approx_dist(
-            &machine,
-            &g,
-            12,
-            99,
-            &crate::dist::MfbcConfig::default(),
-        )
-        .unwrap();
+        let dist =
+            mfbc_approx_dist(&machine, &g, 12, 99, &crate::dist::MfbcConfig::default()).unwrap();
         assert_eq!(dist.sources, seq.sources, "same seed, same sample");
         assert!(
             dist.scores.approx_eq(&seq.scores, 1e-9),

@@ -43,7 +43,8 @@ pub fn sssp_seq(g: &Graph, sources: &[usize]) -> Csr<Dist> {
         let explored = spgemm::<TropicalKernel>(&frontier, a).mat;
         let updated = combine::<MinDist, _>(&dist, &explored);
         // Next frontier: entries that improved the table.
-        frontier = explored.filter(|s, v, w| updated.get(s, v) == Some(w) && dist.get(s, v) != Some(w));
+        frontier =
+            explored.filter(|s, v, w| updated.get(s, v) == Some(w) && dist.get(s, v) != Some(w));
         dist = updated;
     }
     dist

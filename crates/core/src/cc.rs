@@ -84,9 +84,8 @@ pub fn connected_components(g: &Graph) -> Vec<u64> {
     while !frontier.is_empty() {
         let explored = spgemm::<LabelKernel>(&frontier, &adj).mat;
         let updated = combine::<MinLabel, _>(&labels, &explored);
-        frontier = explored.filter(|s, v, lab| {
-            updated.get(s, v) == Some(lab) && labels.get(s, v) != Some(lab)
-        });
+        frontier = explored
+            .filter(|s, v, lab| updated.get(s, v) == Some(lab) && labels.get(s, v) != Some(lab));
         labels = updated;
     }
 
@@ -147,11 +146,7 @@ mod tests {
                 let hops = bfs_hops(&g, v);
                 for u in 0..g.n() {
                     let connected = hops[u] != usize::MAX;
-                    assert_eq!(
-                        labels[u] == labels[v],
-                        connected,
-                        "seed {seed}: ({v},{u})"
-                    );
+                    assert_eq!(labels[u] == labels[v], connected, "seed {seed}: ({v},{u})");
                 }
             }
         }

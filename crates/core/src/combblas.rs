@@ -19,8 +19,8 @@ use mfbc_algebra::monoid::SumF64;
 use mfbc_graph::Graph;
 use mfbc_machine::{Machine, MachineError};
 use mfbc_sparse::Coo;
-use mfbc_tensor::ops::{dmat_column_sums, dmat_combine, dmat_zip_filter, nnz_sync};
 use mfbc_tensor::cache::MmCache;
+use mfbc_tensor::ops::{dmat_column_sums, dmat_combine, dmat_zip_filter, nnz_sync};
 use mfbc_tensor::{canonical_layout, mm_exec_cached, DistMat, MmPlan, Variant1D, Variant2D};
 
 /// Failure modes of the baseline.
@@ -186,18 +186,22 @@ fn batch(
     loop {
         let cur = fronts.last().expect("at least the seed level");
         if nnz_sync(machine, cur) == 0 {
-            if let Some(f) = fronts.pop() { f.release_memory(machine) }
+            if let Some(f) = fronts.pop() {
+                f.release_memory(machine)
+            }
             break;
         }
         let explored = mm_exec_cached::<CountKernel>(machine, plan, cur, da, fwd_cache)?;
         run.ops += explored.ops;
         // Unvisited vertices only.
-        let next = dmat_zip_filter::<SumF64, _, _, f64>(
-            machine,
-            &explored.c,
-            &sigma,
-            |_, _, x, seen| if seen.is_none() { Some(*x) } else { None },
-        );
+        let next =
+            dmat_zip_filter::<SumF64, _, _, f64>(machine, &explored.c, &sigma, |_, _, x, seen| {
+                if seen.is_none() {
+                    Some(*x)
+                } else {
+                    None
+                }
+            });
         let sigma_new = dmat_combine::<SumF64, _>(machine, &sigma, &next);
         sigma.release_memory(machine);
         sigma = sigma_new;
@@ -211,12 +215,10 @@ fn batch(
     let mut delta = DistMat::<f64>::zero(layout.clone());
     for l in (1..fronts.len()).rev() {
         // wₗ(s,v) = (1 + δ(s,v)) / σ(s,v) on level-l vertices.
-        let wl = dmat_zip_filter::<SumF64, _, _, f64>(
-            machine,
-            &fronts[l],
-            &delta,
-            |_, _, s_v, d| Some((1.0 + d.copied().unwrap_or(0.0)) / *s_v),
-        );
+        let wl =
+            dmat_zip_filter::<SumF64, _, _, f64>(machine, &fronts[l], &delta, |_, _, s_v, d| {
+                Some((1.0 + d.copied().unwrap_or(0.0)) / *s_v)
+            });
         let contrib = mm_exec_cached::<CountKernel>(machine, plan, &wl, dat, back_cache)?;
         run.ops += contrib.ops;
         // Restrict to true predecessors (level l−1) and scale by σ.
@@ -230,12 +232,14 @@ fn batch(
     }
 
     // λ(v) += Σ_s δ(s,v), excluding the sources themselves.
-    let masked = dmat_zip_filter::<SumF64, _, _, f64>(
-        machine,
-        &delta,
-        &fronts[0],
-        |_, _, d, is_source| if is_source.is_none() { Some(*d) } else { None },
-    );
+    let masked =
+        dmat_zip_filter::<SumF64, _, _, f64>(machine, &delta, &fronts[0], |_, _, d, is_source| {
+            if is_source.is_none() {
+                Some(*d)
+            } else {
+                None
+            }
+        });
     let partial = dmat_column_sums(machine, &masked);
     for (v, x) in partial.into_iter().enumerate() {
         run.scores.lambda[v] += x;
@@ -260,7 +264,16 @@ mod tests {
         let g = Graph::unweighted(
             7,
             false,
-            vec![(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 0), (1, 5)],
+            vec![
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (5, 6),
+                (6, 0),
+                (1, 5),
+            ],
         );
         let want = brandes_unweighted(&g);
         for p in [1usize, 4] {

@@ -193,7 +193,17 @@ pub fn mfbc_dist(machine: &Machine, g: &Graph, cfg: &MfbcConfig) -> Result<MfbcR
         } else {
             None
         };
-        let r = batch(machine, g, &da, &dat, chunk, plan.as_ref(), caches, &mut run);
+        let _span = mfbc_trace::span(|| format!("batch {}", run.batches));
+        let r = batch(
+            machine,
+            g,
+            &da,
+            &dat,
+            chunk,
+            plan.as_ref(),
+            caches,
+            &mut run,
+        );
         if r.is_err() {
             fwd_cache.release_all(machine);
             back_cache.release_all(machine);
@@ -273,7 +283,17 @@ fn batch(
     t.charge_memory(machine)?;
     let mut frontier = frontier_init;
 
+    let batch_idx = run.batches;
+    let mut step = 0usize;
     while nnz_sync(machine, &frontier) > 0 {
+        mfbc_trace::emit(|| mfbc_trace::TraceEvent::Superstep {
+            phase: "forward",
+            batch: batch_idx,
+            step,
+            frontier_nnz: frontier.nnz() as u64,
+            active_rows: active_rows(&frontier),
+        });
+        step += 1;
         run.forward_iterations += 1;
         run.frontier_nnz += frontier.nnz() as u64;
         let explored = mm_step::<BellmanFordKernel>(
@@ -285,20 +305,21 @@ fn batch(
         )?;
         run.ops += explored.ops;
         let t_new = dmat_combine::<MultpathMonoid, _>(machine, &t, &explored.c);
-        frontier =
-            dmat_zip_filter::<MultpathMonoid, _, _, _>(machine, &explored.c, &t_new, |_, _, gv, tv| {
-                mfbf_keep_in_frontier(gv, tv)
-            });
+        frontier = dmat_zip_filter::<MultpathMonoid, _, _, _>(
+            machine,
+            &explored.c,
+            &t_new,
+            |_, _, gv, tv| mfbf_keep_in_frontier(gv, tv),
+        );
         t.release_memory(machine);
         t = t_new;
         t.charge_memory(machine)?;
     }
 
     // ---- MFBr (Algorithm 2) ----
-    let seeds =
-        dmat_map_filter::<CentpathMonoid, _, _>(machine, &t, |_, _, mp: &Multpath| {
-            Some(Centpath::new(mp.w, 0.0, 1))
-        });
+    let seeds = dmat_map_filter::<CentpathMonoid, _, _>(machine, &t, |_, _, mp: &Multpath| {
+        Some(Centpath::new(mp.w, 0.0, 1))
+    });
     let counted = mm_step::<BrandesKernel>(
         machine,
         plan,
@@ -307,16 +328,23 @@ fn batch(
         caches.as_mut().map(|(_, b)| &mut **b),
     )?;
     run.ops += counted.ops;
-    let mut z = dmat_zip_filter::<CentpathMonoid, _, _, _>(
-        machine,
-        &t,
-        &counted.c,
-        |_, _, mp, d| Some(mfbr_anchor(mp, d)),
-    );
+    let mut z =
+        dmat_zip_filter::<CentpathMonoid, _, _, _>(machine, &t, &counted.c, |_, _, mp, d| {
+            Some(mfbr_anchor(mp, d))
+        });
     z.charge_memory(machine)?;
 
     let mut bfrontier = fire_and_pin(machine, &mut z, &t);
+    let mut step = 0usize;
     while nnz_sync(machine, &bfrontier) > 0 {
+        mfbc_trace::emit(|| mfbc_trace::TraceEvent::Superstep {
+            phase: "backward",
+            batch: batch_idx,
+            step,
+            frontier_nnz: bfrontier.nnz() as u64,
+            active_rows: active_rows(&bfrontier),
+        });
+        step += 1;
         run.backward_iterations += 1;
         let back = mm_step::<BrandesKernel>(
             machine,
@@ -345,6 +373,24 @@ fn batch(
     z.release_memory(machine);
     t.release_memory(machine);
     Ok(())
+}
+
+/// Number of distinct non-empty rows of a frontier — the batch
+/// sources still active this superstep (`nbatch − active` have
+/// converged). Only invoked from trace-event closures, so untraced
+/// runs never pay for the scan.
+fn active_rows<T: Clone + Send + Sync + PartialEq + std::fmt::Debug>(f: &DistMat<T>) -> u64 {
+    let l = f.layout();
+    let mut present = vec![false; f.nrows()];
+    for bi in 0..l.br() {
+        let r0 = l.row_range(bi).start;
+        for bj in 0..l.bc() {
+            for (i, _, _) in f.block(bi, bj).iter() {
+                present[r0 + i] = true;
+            }
+        }
+    }
+    present.iter().filter(|&&b| b).count() as u64
 }
 
 /// Distributed counterpart of `seq::mfbr`'s fire-and-pin: emits the
@@ -380,7 +426,11 @@ mod tests {
 
     #[test]
     fn dist_matches_oracle_small() {
-        let g = Graph::unweighted(6, false, vec![(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (1, 4)]);
+        let g = Graph::unweighted(
+            6,
+            false,
+            vec![(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (1, 4)],
+        );
         let want = brandes_unweighted(&g);
         for p in [1usize, 4] {
             let machine = Machine::new(MachineSpec::test(p));

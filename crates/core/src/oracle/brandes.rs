@@ -90,7 +90,11 @@ mod tests {
         let g = Graph::unweighted(4, false, vec![(0, 1), (1, 2), (2, 3), (3, 0)]);
         let s = brandes_unweighted(&g);
         for v in 0..4 {
-            assert!((s.lambda[v] - 1.0).abs() < 1e-12, "λ({v}) = {}", s.lambda[v]);
+            assert!(
+                (s.lambda[v] - 1.0).abs() < 1e-12,
+                "λ({v}) = {}",
+                s.lambda[v]
+            );
         }
     }
 

@@ -93,12 +93,21 @@ mod tests {
         let g = Graph::unweighted(4, false, vec![(0, 1), (1, 2), (2, 3)]);
         let bf = bruteforce_bc(&g);
         let br = brandes_unweighted(&g);
-        assert!(bf.approx_eq(&br, 1e-12), "{:?} vs {:?}", bf.lambda, br.lambda);
+        assert!(
+            bf.approx_eq(&br, 1e-12),
+            "{:?} vs {:?}",
+            bf.lambda,
+            br.lambda
+        );
     }
 
     #[test]
     fn matches_brandes_on_k4() {
-        let g = Graph::unweighted(4, false, vec![(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
+        let g = Graph::unweighted(
+            4,
+            false,
+            vec![(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)],
+        );
         let bf = bruteforce_bc(&g);
         let br = brandes_unweighted(&g);
         assert!(bf.approx_eq(&br, 1e-12));
@@ -120,7 +129,12 @@ mod tests {
         );
         let bf = bruteforce_bc(&g);
         let bw = brandes_weighted(&g);
-        assert!(bf.approx_eq(&bw, 1e-12), "{:?} vs {:?}", bf.lambda, bw.lambda);
+        assert!(
+            bf.approx_eq(&bw, 1e-12),
+            "{:?} vs {:?}",
+            bf.lambda,
+            bw.lambda
+        );
     }
 
     #[test]

@@ -78,7 +78,10 @@ impl BcScores {
                 .unwrap_or(std::cmp::Ordering::Equal)
                 .then(a.cmp(&b))
         });
-        idx.into_iter().take(k).map(|v| (v, self.lambda[v])).collect()
+        idx.into_iter()
+            .take(k)
+            .map(|v| (v, self.lambda[v]))
+            .collect()
     }
 }
 

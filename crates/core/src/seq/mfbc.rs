@@ -131,7 +131,12 @@ mod tests {
         );
         let (got, _) = mfbc_seq(&g, 2);
         let want = bruteforce_bc(&g);
-        assert!(got.approx_eq(&want, 1e-9), "{:?} vs {:?}", got.lambda, want.lambda);
+        assert!(
+            got.approx_eq(&want, 1e-9),
+            "{:?} vs {:?}",
+            got.lambda,
+            want.lambda
+        );
     }
 
     #[test]
@@ -139,7 +144,16 @@ mod tests {
         let g = Graph::unweighted(
             7,
             false,
-            vec![(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 0), (1, 5)],
+            vec![
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (5, 6),
+                (6, 0),
+                (1, 5),
+            ],
         );
         let (full, s_full) = mfbc_seq(&g, 7);
         assert_eq!(s_full.batches, 1);

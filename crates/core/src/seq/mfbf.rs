@@ -85,9 +85,7 @@ pub fn mfbf_seq(g: &Graph, sources: &[usize]) -> MfbfOut {
         let t_new = combine::<MultpathMonoid, _>(&t, &g_mat);
         // Line 6: the next frontier keeps explored entries whose
         // weight survived the accumulation.
-        frontier = g_mat.filter(|s, v, gv| {
-            mfbf_keep_in_frontier(gv, t_new.get(s, v)).is_some()
-        });
+        frontier = g_mat.filter(|s, v, gv| mfbf_keep_in_frontier(gv, t_new.get(s, v)).is_some());
         frontier_nnz += frontier.nnz() as u64;
         t = t_new;
     }
@@ -117,7 +115,11 @@ mod tests {
         assert_eq!(tau(&out, 0, 1), Some((1, 1.0)));
         assert_eq!(tau(&out, 0, 2), Some((2, 1.0)));
         assert_eq!(tau(&out, 0, 3), Some((3, 1.0)));
-        assert_eq!(tau(&out, 0, 0), Some((0, 1.0)), "diagonal is the trivial path");
+        assert_eq!(
+            tau(&out, 0, 0),
+            Some((0, 1.0)),
+            "diagonal is the trivial path"
+        );
     }
 
     #[test]
@@ -169,7 +171,11 @@ mod tests {
         // a diagonal entry (σ̄(s,s) stays implicit).
         let g = Graph::unweighted(3, true, vec![(0, 1), (1, 2), (2, 0)]);
         let out = mfbf_seq(&g, &[0]);
-        assert_eq!(tau(&out, 0, 0), Some((0, 1.0)), "cycle must not overwrite τ(s,s)=0");
+        assert_eq!(
+            tau(&out, 0, 0),
+            Some((0, 1.0)),
+            "cycle must not overwrite τ(s,s)=0"
+        );
         assert_eq!(tau(&out, 0, 2), Some((2, 1.0)));
     }
 
@@ -204,6 +210,10 @@ mod tests {
         // source (§5.3) — so Σ nnz(Fᵢ) ≤ n·n_b.
         let g = Graph::unweighted(8, false, (0..7).map(|i| (i, i + 1)));
         let out = mfbf_seq(&g, &[0, 4]);
-        assert!(out.frontier_nnz <= (8 * 2) as u64, "got {}", out.frontier_nnz);
+        assert!(
+            out.frontier_nnz <= (8 * 2) as u64,
+            "got {}",
+            out.frontier_nnz
+        );
     }
 }

@@ -85,10 +85,7 @@ fn fire_and_pin(z: &mut Csr<Centpath>, t: &Csr<Multpath>) -> Csr<Centpath> {
         return frontier;
     }
     let fired = frontier.map(|s, v, zv| {
-        let sigma = t
-            .get(s, v)
-            .expect("Z pattern is a subset of T's")
-            .m;
+        let sigma = t.get(s, v).expect("Z pattern is a subset of T's").m;
         mfbr_fire(zv, sigma).expect("filtered to c == 0")
     });
     *z = z.map(|_, _, zv| {
@@ -189,6 +186,9 @@ mod tests {
         // Path of 4 edges: leaves fire, then 3 more propagation
         // rounds reach the root's child.
         assert!(out.iterations <= 5, "iterations = {}", out.iterations);
-        assert!(out.frontier_nnz <= 5, "each vertex (incl. the source) fires once");
+        assert!(
+            out.frontier_nnz <= 5,
+            "each vertex (incl. the source) fires once"
+        );
     }
 }

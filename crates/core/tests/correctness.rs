@@ -48,7 +48,11 @@ fn seq_mfbc_matches_oracle_on_rmat() {
     let g = rmat(&RmatConfig::paper(7, 4, 5));
     let want = brandes_unweighted(&g);
     let (got, stats) = mfbc_seq(&g, 32);
-    assert!(got.approx_eq(&want, TOL), "max diff {}", got.max_abs_diff(&want));
+    assert!(
+        got.approx_eq(&want, TOL),
+        "max diff {}",
+        got.max_abs_diff(&want)
+    );
     assert!(stats.ops > 0);
     assert_eq!(stats.batches, g.n().div_ceil(32));
 }

@@ -7,8 +7,8 @@ use crate::graph::Graph;
 use crate::prep::random_relabel;
 use mfbc_algebra::Dist;
 use rand::Rng;
-use rand_chacha::ChaCha8Rng;
 use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
 
 /// R-MAT parameters.
 #[derive(Clone, Debug)]

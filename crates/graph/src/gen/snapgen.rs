@@ -157,11 +157,7 @@ mod tests {
 
     #[test]
     fn standins_match_directedness_and_degree() {
-        for which in [
-            SnapGraph::Orkut,
-            SnapGraph::LiveJournal,
-            SnapGraph::Patents,
-        ] {
+        for which in [SnapGraph::Orkut, SnapGraph::LiveJournal, SnapGraph::Patents] {
             let g = snap_standin(which, 2048, 1);
             assert_eq!(g.directed(), which.directed(), "{which:?}");
             let (nf, mf) = which.full_size();

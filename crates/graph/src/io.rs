@@ -80,7 +80,13 @@ pub fn read_edge_list(reader: impl Read, directed: bool) -> Result<Graph, IoErro
 /// Writes the graph as an edge list (weights included when not all
 /// 1). For undirected graphs only the `u < v` orientation is written.
 pub fn write_edge_list(g: &Graph, mut writer: impl Write) -> std::io::Result<()> {
-    writeln!(writer, "# n={} arcs={} directed={}", g.n(), g.m(), g.directed())?;
+    writeln!(
+        writer,
+        "# n={} arcs={} directed={}",
+        g.n(),
+        g.m(),
+        g.directed()
+    )?;
     let unit = g.is_unit_weighted();
     for (u, v, w) in g.adjacency().iter() {
         if !g.directed() && u > v {

@@ -22,8 +22,8 @@
 #![deny(unsafe_code)]
 
 pub mod gen;
-pub mod io;
 pub mod graph;
+pub mod io;
 pub mod prep;
 pub mod stats;
 

@@ -68,7 +68,9 @@ pub fn randomize_weights(g: &Graph, wmax: u64, seed: u64) -> Graph {
 
 /// Strips weights (every edge becomes weight 1).
 pub fn unweighted_copy(g: &Graph) -> Graph {
-    let edges = directed_arcs(g).into_iter().map(|(u, v, _)| (u, v, Dist::ONE));
+    let edges = directed_arcs(g)
+        .into_iter()
+        .map(|(u, v, _)| (u, v, Dist::ONE));
     Graph::new(g.n(), true, edges).with_directedness(g.directed())
 }
 

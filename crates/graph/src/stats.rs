@@ -58,7 +58,10 @@ pub fn effective_diameter(g: &Graph, samples: usize, seed: u64) -> usize {
 
 /// Number of vertices reachable from `src` (including itself).
 pub fn reachable_count(g: &Graph, src: usize) -> usize {
-    bfs_hops(g, src).into_iter().filter(|&d| d != usize::MAX).count()
+    bfs_hops(g, src)
+        .into_iter()
+        .filter(|&d| d != usize::MAX)
+        .count()
 }
 
 /// Vertices with no incident arcs in either direction — what the

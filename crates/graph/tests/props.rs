@@ -12,9 +12,7 @@ use proptest::collection::vec;
 use proptest::prelude::*;
 
 fn arb_edges(max_n: usize) -> impl Strategy<Value = (usize, Vec<(usize, usize, u64)>)> {
-    (2..max_n).prop_flat_map(move |n| {
-        (Just(n), vec((0..n, 0..n, 1u64..50), 0..4 * n))
-    })
+    (2..max_n).prop_flat_map(move |n| (Just(n), vec((0..n, 0..n, 1u64..50), 0..4 * n)))
 }
 
 proptest! {

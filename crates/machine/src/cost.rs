@@ -79,6 +79,21 @@ impl CollectiveKind {
             _ => bytes,
         }
     }
+
+    /// Stable lower-case name, used as the event label in traces.
+    pub fn name(self) -> &'static str {
+        match self {
+            CollectiveKind::Broadcast => "broadcast",
+            CollectiveKind::Reduce => "reduce",
+            CollectiveKind::Allreduce => "allreduce",
+            CollectiveKind::Scatter => "scatter",
+            CollectiveKind::Gather => "gather",
+            CollectiveKind::Allgather => "allgather",
+            CollectiveKind::SparseReduce => "sparse_reduce",
+            CollectiveKind::PointToPoint => "point_to_point",
+            CollectiveKind::AllToAll => "all_to_all",
+        }
+    }
 }
 
 /// `⌈log₂ p⌉`, with `log2_ceil(1) == 0`.
@@ -163,7 +178,13 @@ impl CostTracker {
     /// up to `bytes` per rank: synchronizes the group's critical
     /// paths to their maximum, then adds the collective's cost to
     /// every participant.
-    pub fn collective(&mut self, spec: &MachineSpec, group: &[usize], kind: CollectiveKind, bytes: u64) {
+    pub fn collective(
+        &mut self,
+        spec: &MachineSpec,
+        group: &[usize],
+        kind: CollectiveKind,
+        bytes: u64,
+    ) {
         assert!(!group.is_empty(), "collective over empty group");
         let gsize = group.len();
         let mut mx = RankCost::default();
@@ -324,6 +345,108 @@ mod tests {
         t.alloc(0, 10);
         t.free(0, 100);
         assert_eq!(t.resident(0), 0);
+    }
+
+    #[test]
+    fn closed_forms_non_power_of_two_group() {
+        // §7.4 closed forms at p = 6, where ⌈log₂ 6⌉ = 3 (the ceiling
+        // matters: a plain log₂ would give ~2.58). MachineSpec::test
+        // uses α = β = 1, so times read directly as x and log terms.
+        use CollectiveKind::*;
+        let s = spec(6);
+        let x = 123u64;
+        let (xf, lg) = (123.0, 3.0);
+        for k in [Broadcast, Reduce] {
+            assert_eq!(k.time(&s, 6, x), 2.0 * xf + 2.0 * lg);
+            assert_eq!(k.msgs(6), 6);
+            assert_eq!(k.bytes_charged(x), 2 * x);
+        }
+        assert_eq!(Allreduce.time(&s, 6, x), 4.0 * xf + 4.0 * lg);
+        assert_eq!(Allreduce.msgs(6), 12);
+        assert_eq!(Allreduce.bytes_charged(x), 4 * x);
+        for k in [Scatter, Gather, Allgather, AllToAll, SparseReduce] {
+            assert_eq!(k.time(&s, 6, x), xf + lg);
+            assert_eq!(k.msgs(6), 3);
+            assert_eq!(k.bytes_charged(x), x);
+        }
+        assert_eq!(PointToPoint.time(&s, 6, x), xf + 1.0);
+        assert_eq!(PointToPoint.msgs(6), 1);
+        assert_eq!(PointToPoint.bytes_charged(x), x);
+    }
+
+    #[test]
+    fn closed_forms_single_rank_group() {
+        // p = 1: the log term vanishes entirely; only bandwidth (and
+        // for point-to-point the single α) remains, and no collective
+        // charges log-many messages.
+        use CollectiveKind::*;
+        let s = spec(1);
+        assert_eq!(Broadcast.time(&s, 1, 50), 100.0);
+        assert_eq!(Allreduce.time(&s, 1, 50), 200.0);
+        assert_eq!(Allgather.time(&s, 1, 50), 50.0);
+        assert_eq!(PointToPoint.time(&s, 1, 50), 51.0);
+        assert_eq!(Broadcast.msgs(1), 0);
+        assert_eq!(Allreduce.msgs(1), 0);
+        // The one-sided collectives still charge at least one message.
+        assert_eq!(Allgather.msgs(1), 1);
+        assert_eq!(SparseReduce.msgs(1), 1);
+        assert_eq!(PointToPoint.msgs(1), 1);
+    }
+
+    #[test]
+    fn alpha_and_beta_enter_linearly() {
+        // Distinct α and β so the latency and bandwidth terms cannot
+        // compensate for each other (p = 5, ⌈log₂ 5⌉ = 3).
+        let s = MachineSpec {
+            alpha: 10.0,
+            beta: 0.25,
+            ..spec(5)
+        };
+        assert_eq!(
+            CollectiveKind::Broadcast.time(&s, 5, 8),
+            2.0 * 8.0 * 0.25 + 2.0 * 3.0 * 10.0
+        );
+        assert_eq!(
+            CollectiveKind::Allgather.time(&s, 5, 8),
+            8.0 * 0.25 + 3.0 * 10.0
+        );
+        assert_eq!(
+            CollectiveKind::PointToPoint.time(&s, 5, 8),
+            10.0 + 8.0 * 0.25
+        );
+    }
+
+    #[test]
+    fn kind_names_are_stable() {
+        use CollectiveKind::*;
+        let all = [
+            Broadcast,
+            Reduce,
+            Allreduce,
+            Scatter,
+            Gather,
+            Allgather,
+            SparseReduce,
+            PointToPoint,
+            AllToAll,
+        ];
+        let names: Vec<&str> = all.iter().map(|k| k.name()).collect();
+        assert_eq!(
+            names,
+            [
+                "broadcast",
+                "reduce",
+                "allreduce",
+                "scatter",
+                "gather",
+                "allgather",
+                "sparse_reduce",
+                "point_to_point",
+                "all_to_all"
+            ]
+        );
+        let unique: std::collections::HashSet<&&str> = names.iter().collect();
+        assert_eq!(unique.len(), all.len());
     }
 
     #[test]

@@ -115,8 +115,21 @@ impl Machine {
     }
 
     /// Charges a collective over `group` moving up to `bytes` per rank.
+    ///
+    /// Every charge is also emitted as a [`mfbc_trace::TraceEvent::Collective`]
+    /// when tracing is enabled, carrying the modeled α–β time and the
+    /// critical-path message/byte charges, so a trace reproduces the
+    /// accounting exactly.
     pub fn charge_collective(&self, group: &Group, kind: CollectiveKind, bytes: u64) {
         self.with_tracker(|t| t.collective(&self.spec, group.ranks(), kind, bytes));
+        mfbc_trace::emit(|| mfbc_trace::TraceEvent::Collective {
+            kind: kind.name(),
+            group: group.len(),
+            bytes,
+            msgs: kind.msgs(group.len()),
+            bytes_charged: kind.bytes_charged(bytes),
+            modeled_s: kind.time(&self.spec, group.len(), bytes),
+        });
     }
 
     /// Charges `ops` elementary operations of local compute on `rank`.

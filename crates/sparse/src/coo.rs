@@ -112,8 +112,7 @@ impl<T> Coo<T> {
     {
         // Sort by (row, col); a stable comparison sort keeps the cost
         // at O(nnz log nnz) without the memory blowup of bucketing.
-        self.entries
-            .sort_unstable_by_key(|a| (a.0, a.1));
+        self.entries.sort_unstable_by_key(|a| (a.0, a.1));
 
         let mut rowptr = Vec::with_capacity(self.nrows + 1);
         let mut colind: Vec<Idx> = Vec::with_capacity(self.entries.len());
@@ -187,7 +186,11 @@ mod tests {
         let coo = Coo::from_triples(
             2,
             2,
-            vec![(0, 0, Dist::new(3)), (1, 1, Dist::INF), (0, 1, Dist::new(1))],
+            vec![
+                (0, 0, Dist::new(3)),
+                (1, 1, Dist::INF),
+                (0, 1, Dist::new(1)),
+            ],
         );
         let csr = coo.into_csr::<MinDist>();
         assert_eq!(csr.nnz(), 2);
@@ -199,7 +202,11 @@ mod tests {
         let coo = Coo::from_triples(
             1,
             1,
-            vec![(0, 0, Dist::new(7)), (0, 0, Dist::new(3)), (0, 0, Dist::new(5))],
+            vec![
+                (0, 0, Dist::new(7)),
+                (0, 0, Dist::new(3)),
+                (0, 0, Dist::new(5)),
+            ],
         );
         let csr = coo.into_csr::<MinDist>();
         assert_eq!(csr.get(0, 0), Some(&Dist::new(3)));

@@ -251,7 +251,13 @@ impl<T> Csr<T> {
 
 impl<T: std::fmt::Debug> std::fmt::Debug for Csr<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "Csr<{}x{}, nnz={}>{{", self.nrows, self.ncols, self.nnz())?;
+        write!(
+            f,
+            "Csr<{}x{}, nnz={}>{{",
+            self.nrows,
+            self.ncols,
+            self.nnz()
+        )?;
         for (i, j, v) in self.iter().take(32) {
             write!(f, " ({i},{j})={v:?}")?;
         }

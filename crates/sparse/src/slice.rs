@@ -11,7 +11,10 @@ use std::ops::Range;
 /// # Panics
 /// Panics if a range end exceeds the matrix shape.
 pub fn slice<T: Clone>(a: &Csr<T>, rows: Range<usize>, cols: Range<usize>) -> Csr<T> {
-    assert!(rows.end <= a.nrows() && cols.end <= a.ncols(), "slice out of bounds");
+    assert!(
+        rows.end <= a.nrows() && cols.end <= a.ncols(),
+        "slice out of bounds"
+    );
     let nrows = rows.len();
     let ncols = cols.len();
     let mut rowptr = Vec::with_capacity(nrows + 1);

@@ -62,7 +62,11 @@ mod tests {
 
     #[test]
     fn double_transpose_is_identity() {
-        let a = m(4, 5, &[(0, 4, 1), (1, 0, 2), (3, 2, 3), (3, 4, 4), (2, 2, 5)]);
+        let a = m(
+            4,
+            5,
+            &[(0, 4, 1), (1, 0, 2), (3, 2, 3), (3, 4, 4), (2, 2, 5)],
+        );
         assert_eq!(transpose(&transpose(&a)), a);
     }
 
@@ -79,6 +83,9 @@ mod tests {
         let a = m(3, 1, &[(0, 0, 1), (1, 0, 2), (2, 0, 3)]);
         let t = transpose(&a);
         assert_eq!((t.nrows(), t.ncols()), (1, 3));
-        assert_eq!(t.row(0).map(|(j, v)| (j, *v)).collect::<Vec<_>>(), vec![(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(
+            t.row(0).map(|(j, v)| (j, *v)).collect::<Vec<_>>(),
+            vec![(0, 1), (1, 2), (2, 3)]
+        );
     }
 }

@@ -63,8 +63,11 @@ fn dense_mm<K: SpMulKernel>(
     c
 }
 
-fn assert_matches_dense<K: SpMulKernel>(sparse: &Csr<<K::Acc as Monoid>::Elem>, a: &Csr<K::Left>, b: &Csr<K::Right>)
-where
+fn assert_matches_dense<K: SpMulKernel>(
+    sparse: &Csr<<K::Acc as Monoid>::Elem>,
+    a: &Csr<K::Left>,
+    b: &Csr<K::Right>,
+) where
     <K::Acc as Monoid>::Elem: PartialEq + std::fmt::Debug + Clone,
 {
     let dense = dense_mm::<K>(a, b);

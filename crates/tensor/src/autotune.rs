@@ -66,21 +66,43 @@ pub fn candidate_plans(p: usize) -> Vec<MmPlan> {
 pub fn best_plan(spec: &MachineSpec, st: &MmStats) -> (MmPlan, f64) {
     let mut best: Option<(MmPlan, f64)> = None;
     let mut best_any: Option<(MmPlan, f64)> = None;
+    // Candidate table kept only while a trace recorder is active.
+    let mut table: Vec<mfbc_trace::PlanChoice> = Vec::new();
+    let tracing = mfbc_trace::enabled();
     for plan in candidate_plans(spec.p) {
         let t = predict(spec, &plan, st);
+        let mem = memory_per_rank(&plan, st, spec.p);
+        let feasible = spec.mem_bytes.is_none_or(|budget| mem <= budget);
+        if tracing {
+            table.push(mfbc_trace::PlanChoice {
+                plan: plan.to_string(),
+                cost_s: t,
+                mem_bytes: mem,
+                feasible,
+            });
+        }
         if best_any.as_ref().is_none_or(|(_, bt)| t < *bt) {
             best_any = Some((plan.clone(), t));
         }
-        if let Some(budget) = spec.mem_bytes {
-            if memory_per_rank(&plan, st, spec.p) > budget {
-                continue;
-            }
+        if !feasible {
+            continue;
         }
         if best.as_ref().is_none_or(|(_, bt)| t < *bt) {
             best = Some((plan, t));
         }
     }
-    best.or(best_any).expect("candidate set is never empty")
+    let (plan, cost) = best.or(best_any).expect("candidate set is never empty");
+    mfbc_trace::emit(|| mfbc_trace::TraceEvent::Autotune {
+        m: st.m,
+        k: st.k,
+        n: st.n,
+        nnz_a: st.nnz_a,
+        nnz_b: st.nnz_b,
+        candidates: table,
+        winner: plan.to_string(),
+        winner_cost_s: cost,
+    });
+    (plan, cost)
 }
 
 /// Builds [`MmStats`] for a concrete operand pair, using the measured
@@ -105,6 +127,7 @@ pub fn mm_auto<K: SpMulKernel>(
     a: &DistMat<K::Left>,
     b: &DistMat<K::Right>,
 ) -> Result<(MmOut<KernelOut<K>>, MmPlan), MachineError> {
+    let _span = mfbc_trace::span(|| "mm_auto".to_string());
     let st = stats_for::<K>(a, b);
     let (plan, _) = best_plan(m.spec(), &st);
     let out = mm_exec::<K>(m, &plan, a, b)?;
@@ -120,6 +143,7 @@ pub fn mm_auto_cached<K: SpMulKernel>(
     b: &DistMat<K::Right>,
     cache: &mut MmCache<K::Right>,
 ) -> Result<(MmOut<KernelOut<K>>, MmPlan), MachineError> {
+    let _span = mfbc_trace::span(|| "mm_auto".to_string());
     let st = stats_for::<K>(a, b);
     let (plan, _) = best_plan(m.spec(), &st);
     let out = crate::mm::mm_exec_cached::<K>(m, &plan, a, b, cache)?;
@@ -135,8 +159,14 @@ mod tests {
         // p = 8: 1D ×3; 2D pairs (1,8),(2,4),(4,2),(8,1) ×3; 3D
         // factorizations with p1>1 and p2·p3>1 × 9.
         let plans = candidate_plans(8);
-        let one = plans.iter().filter(|p| matches!(p, MmPlan::OneD(_))).count();
-        let two = plans.iter().filter(|p| matches!(p, MmPlan::TwoD { .. })).count();
+        let one = plans
+            .iter()
+            .filter(|p| matches!(p, MmPlan::OneD(_)))
+            .count();
+        let two = plans
+            .iter()
+            .filter(|p| matches!(p, MmPlan::TwoD { .. }))
+            .count();
         let three = plans
             .iter()
             .filter(|p| matches!(p, MmPlan::ThreeD { .. }))

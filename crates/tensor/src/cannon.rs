@@ -41,7 +41,11 @@ pub(crate) fn run_pieces<K: SpMulKernel>(
     _cache: &mut MmCache<K::Right>,
 ) -> Result<(Vec<Piece<KernelOut<K>>>, u64), MachineError> {
     let q = grid.g1();
-    assert_eq!(grid.g1(), grid.g2(), "Cannon's algorithm needs a square grid");
+    assert_eq!(
+        grid.g1(),
+        grid.g2(),
+        "Cannon's algorithm needs a square grid"
+    );
     let (mm, kk, nn) = (a.nrows(), a.ncols(), b.ncols());
 
     // Natural q × q layouts; k is cut identically for both operands.
@@ -67,9 +71,7 @@ pub(crate) fn run_pieces<K: SpMulKernel>(
     let mut acc: Vec<Vec<Csr<KernelOut<K>>>> = (0..q)
         .map(|i| {
             (0..q)
-                .map(|j| {
-                    Csr::zero(la.row_range(i).len(), lb.col_range(j).len())
-                })
+                .map(|j| Csr::zero(la.row_range(i).len(), lb.col_range(j).len()))
                 .collect()
         })
         .collect();
@@ -161,10 +163,7 @@ pub fn predict_cannon(
     st: &crate::costmodel::MmStats,
 ) -> f64 {
     let p = q * q;
-    let (ba, bb) = (
-        (st.nnz_a * st.eb_a) as f64,
-        (st.nnz_b * st.eb_b) as f64,
-    );
+    let (ba, bb) = ((st.nnz_a * st.eb_a) as f64, (st.nnz_b * st.eb_b) as f64);
     let comm = if p <= 1 {
         0.0
     } else {

@@ -8,10 +8,10 @@
 //! area) is established upstream by the graph generators, which
 //! randomize vertex labels.
 
+use mfbc_algebra::monoid::Monoid;
 use mfbc_machine::{Machine, MachineError};
 use mfbc_sparse::slice::{even_ranges, slice};
 use mfbc_sparse::{Coo, Csr};
-use mfbc_algebra::monoid::Monoid;
 use std::ops::Range;
 
 use crate::grid::Grid2;
@@ -37,8 +37,14 @@ impl Layout {
         owners: Vec<usize>,
     ) -> Layout {
         assert_eq!(owners.len(), row_ranges.len() * col_ranges.len());
-        assert_eq!(row_ranges.iter().map(ExactSizeIterator::len).sum::<usize>(), nrows);
-        assert_eq!(col_ranges.iter().map(ExactSizeIterator::len).sum::<usize>(), ncols);
+        assert_eq!(
+            row_ranges.iter().map(ExactSizeIterator::len).sum::<usize>(),
+            nrows
+        );
+        assert_eq!(
+            col_ranges.iter().map(ExactSizeIterator::len).sum::<usize>(),
+            ncols
+        );
         Layout {
             nrows,
             ncols,
@@ -408,13 +414,7 @@ mod tests {
     #[test]
     fn find_blocks_uneven() {
         // 7 rows over 3 blocks: 3/2/2.
-        let l = Layout::new(
-            7,
-            7,
-            even_ranges(7, 3),
-            even_ranges(7, 3),
-            vec![0; 9],
-        );
+        let l = Layout::new(7, 7, even_ranges(7, 3), even_ranges(7, 3), vec![0; 9]);
         for i in 0..7 {
             assert!(l.row_range(l.find_row_block(i)).contains(&i));
         }

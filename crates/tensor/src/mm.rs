@@ -98,6 +98,45 @@ pub enum MmPlan {
     },
 }
 
+impl std::fmt::Display for Variant1D {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Variant1D::A => write!(f, "A"),
+            Variant1D::B => write!(f, "B"),
+            Variant1D::C => write!(f, "C"),
+        }
+    }
+}
+
+impl std::fmt::Display for Variant2D {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Variant2D::AB => write!(f, "AB"),
+            Variant2D::AC => write!(f, "AC"),
+            Variant2D::BC => write!(f, "BC"),
+        }
+    }
+}
+
+impl std::fmt::Display for MmPlan {
+    /// Compact plan label used in traces and autotuner tables, e.g.
+    /// `1d(A)`, `2d(AB,4x4)`, `cannon(q=4)`, `3d(C/AB,2x2x2)`.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            MmPlan::OneD(v) => write!(f, "1d({v})"),
+            MmPlan::TwoD { variant, p2, p3 } => write!(f, "2d({variant},{p2}x{p3})"),
+            MmPlan::Cannon { q } => write!(f, "cannon(q={q})"),
+            MmPlan::ThreeD {
+                split,
+                inner,
+                p1,
+                p2,
+                p3,
+            } => write!(f, "3d({split}/{inner},{p1}x{p2}x{p3})"),
+        }
+    }
+}
+
 impl MmPlan {
     /// The `(p1, p2, p3)` grid of this plan given `p` total ranks.
     pub fn dims(&self, p: usize) -> (usize, usize, usize) {
@@ -160,12 +199,7 @@ where
     let layout = canonical_layout(m, nrows, ncols);
     let mut per_block: Vec<Coo<T>> = (0..layout.br())
         .flat_map(|bi| (0..layout.bc()).map(move |bj| (bi, bj)))
-        .map(|(bi, bj)| {
-            Coo::new(
-                layout.row_range(bi).len(),
-                layout.col_range(bj).len(),
-            )
-        })
+        .map(|(bi, bj)| Coo::new(layout.row_range(bi).len(), layout.col_range(bj).len()))
         .collect();
     for (r0, c0, _pos, piece) in pieces {
         for (i, j, v) in piece.iter() {
@@ -222,7 +256,8 @@ pub fn mm_exec_cached<K: SpMulKernel>(
         b.ncols()
     );
     plan.check(m.p());
-    match *plan {
+    let _span = mfbc_trace::span(|| format!("spgemm {plan}"));
+    let out = match *plan {
         MmPlan::OneD(v) => mm1d::run::<K>(m, &m.world(), v, a, b, cache),
         MmPlan::TwoD { variant, p2, p3 } => {
             let grid = Grid2::new(m.world(), p2, p3);
@@ -242,7 +277,20 @@ pub fn mm_exec_cached<K: SpMulKernel>(
             let grid = Grid3::new(m.world(), p1, p2, p3);
             mm3d::run::<K>(m, &grid, split, inner, a, b, cache)
         }
+    };
+    if let Ok(out) = &out {
+        mfbc_trace::emit(|| mfbc_trace::TraceEvent::Spgemm {
+            plan: plan.to_string(),
+            m: a.nrows() as u64,
+            k: a.ncols() as u64,
+            n: b.ncols() as u64,
+            nnz_a: a.nnz() as u64,
+            nnz_b: b.nnz() as u64,
+            nnz_c: out.c.nnz() as u64,
+            ops: out.ops,
+        });
     }
+    out
 }
 
 #[cfg(test)]

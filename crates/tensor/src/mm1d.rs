@@ -17,7 +17,6 @@
 use crate::cache::{CachedRhs, Fingerprint, MmCache};
 use crate::dist::{DistMat, Layout};
 use crate::mm::{assemble_canonical, MmOut};
-use std::sync::Arc;
 use mfbc_algebra::kernel::KernelOut;
 use mfbc_algebra::monoid::Monoid;
 use mfbc_algebra::SpMulKernel;
@@ -26,6 +25,7 @@ use mfbc_machine::{Group, Machine, MachineError};
 use mfbc_sparse::elementwise::combine;
 use mfbc_sparse::slice::even_ranges;
 use mfbc_sparse::{entry_bytes, Csr};
+use std::sync::Arc;
 
 use crate::mm::Variant1D;
 use crate::redist::redistribute;
@@ -106,11 +106,7 @@ fn row_split_layout(nrows: usize, ncols: usize, group: &Group) -> Layout {
 /// allgather moves every block to every rank (charged at
 /// `β·nnz + α·log p`), and each rank's resident memory grows by the
 /// full matrix size.
-fn replicate<T, M>(
-    machine: &Machine,
-    group: &Group,
-    x: &DistMat<T>,
-) -> Result<Csr<T>, MachineError>
+fn replicate<T, M>(machine: &Machine, group: &Group, x: &DistMat<T>) -> Result<Csr<T>, MachineError>
 where
     M: Monoid<Elem = T>,
     T: Clone + Send + Sync + PartialEq + std::fmt::Debug,

@@ -61,7 +61,12 @@ fn cached_rhs_layout<K: SpMulKernel>(
     cache: &mut MmCache<K::Right>,
 ) -> Result<Arc<DistMat<K::Right>>, MachineError> {
     let fp = Fingerprint::of(b);
-    let key = format!("2d:{variant:?}:{}x{}:{}", grid.g1(), grid.g2(), b.content_id());
+    let key = format!(
+        "2d:{variant:?}:{}x{}:{}",
+        grid.g1(),
+        grid.g2(),
+        b.content_id()
+    );
     if let Some(CachedRhs::Dist(d)) = cache.get(&key, fp) {
         return Ok(Arc::clone(d));
     }
@@ -205,7 +210,12 @@ fn stationary_c<K: SpMulKernel>(
         for bj in 0..g2 {
             let blk = std::mem::replace(&mut acc[bi * g2 + bj], Csr::zero(0, 0));
             if !blk.is_empty() {
-                pieces.push((la.row_range(bi).start, lb.col_range(bj).start, bi * g2 + bj, blk));
+                pieces.push((
+                    la.row_range(bi).start,
+                    lb.col_range(bj).start,
+                    bi * g2 + bj,
+                    blk,
+                ));
             }
         }
     }

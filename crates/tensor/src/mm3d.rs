@@ -93,7 +93,13 @@ fn cached_rhs_layers<K: SpMulKernel>(
     cache: &mut MmCache<K::Right>,
 ) -> Result<Arc<Vec<DistMat<K::Right>>>, MachineError> {
     let fp = Fingerprint::of(b);
-    let key = format!("3d:B:{}x{}x{}:{}", grid.p1(), grid.p2(), grid.p3(), b.content_id());
+    let key = format!(
+        "3d:B:{}x{}x{}:{}",
+        grid.p1(),
+        grid.p2(),
+        grid.p3(),
+        b.content_id()
+    );
     if let Some(CachedRhs::Layers(ls)) = cache.get(&key, fp) {
         return Ok(Arc::clone(ls));
     }
@@ -190,7 +196,13 @@ fn split_a<K: SpMulKernel>(
             (0..b.nrows(), w, lb)
         })
         .collect();
-    let key = format!("3d:A:{}x{}x{}:bslices:{}", grid.p1(), grid.p2(), grid.p3(), b.content_id());
+    let key = format!(
+        "3d:A:{}x{}x{}:bslices:{}",
+        grid.p1(),
+        grid.p2(),
+        grid.p3(),
+        b.content_id()
+    );
     let slices = cached_rhs_slices::<K>(m, key, b, &specs, cache)?;
     let mut pieces = Vec::new();
     let mut ops = 0u64;
@@ -281,7 +293,13 @@ fn split_c<K: SpMulKernel>(
             (w, 0..b.ncols(), lb)
         })
         .collect();
-    let key = format!("3d:C:{}x{}x{}:bslices:{}", grid.p1(), grid.p2(), grid.p3(), b.content_id());
+    let key = format!(
+        "3d:C:{}x{}x{}:bslices:{}",
+        grid.p1(),
+        grid.p2(),
+        grid.p3(),
+        b.content_id()
+    );
     let b_slices = cached_rhs_slices::<K>(m, key, b, &b_specs, cache)?;
     for (l, al) in a_slices.into_iter().enumerate() {
         let w = windows[l].clone();

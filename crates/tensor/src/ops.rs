@@ -210,8 +210,8 @@ mod tests {
     fn combine_matches_sequential() {
         let m = machine(4);
         let a = sample();
-        let b = Coo::from_triples(4, 4, vec![(0usize, 0usize, 10u64), (2, 1, 5)])
-            .into_csr::<SumU64>();
+        let b =
+            Coo::from_triples(4, 4, vec![(0usize, 0usize, 10u64), (2, 1, 5)]).into_csr::<SumU64>();
         let da = dmat(&m, &a);
         let db = dmat(&m, &b);
         let dc = dmat_combine::<SumU64, _>(&m, &da, &db);
@@ -225,8 +225,8 @@ mod tests {
     fn zip_filter_looks_up_matching_coords() {
         let m = machine(4);
         let a = sample();
-        let b = Coo::from_triples(4, 4, vec![(0usize, 0usize, 2u64), (3, 3, 7)])
-            .into_csr::<SumU64>();
+        let b =
+            Coo::from_triples(4, 4, vec![(0usize, 0usize, 2u64), (3, 3, 7)]).into_csr::<SumU64>();
         let da = dmat(&m, &a);
         let db = dmat(&m, &b);
         // Keep a-entries whose b counterpart equals them.
@@ -242,7 +242,8 @@ mod tests {
     fn map_filter_uses_global_coords() {
         let m = machine(4);
         let da = dmat(&m, &sample());
-        let dc = dmat_map_filter::<SumU64, _, u64>(&m, &da, |i, j, v| (i == 3 && j == 3).then_some(*v));
+        let dc =
+            dmat_map_filter::<SumU64, _, u64>(&m, &da, |i, j, v| (i == 3 && j == 3).then_some(*v));
         assert_eq!(dc.nnz(), 1);
         assert_eq!(dc.to_global::<SumU64>().get(3, 3), Some(&7));
     }
@@ -264,10 +265,7 @@ mod tests {
             vec![(0usize, 1usize, 2.0f64), (2, 1, 3.0), (3, 0, 1.5)],
         )
         .into_csr::<SumF64>();
-        let da = DistMat::from_global(
-            Layout::on_grid(4, 4, &Grid2::new(Group::all(4), 2, 2)),
-            &g,
-        );
+        let da = DistMat::from_global(Layout::on_grid(4, 4, &Grid2::new(Group::all(4), 2, 2)), &g);
         assert_eq!(dmat_column_sums(&m, &da), vec![1.5, 5.0, 0.0, 0.0]);
     }
 }

@@ -22,8 +22,16 @@ where
     M: Monoid<Elem = T>,
     T: Clone + Send + Sync + PartialEq + std::fmt::Debug,
 {
-    assert_eq!(src.nrows(), dst_layout.nrows(), "redistribute shape mismatch");
-    assert_eq!(src.ncols(), dst_layout.ncols(), "redistribute shape mismatch");
+    assert_eq!(
+        src.nrows(),
+        dst_layout.nrows(),
+        "redistribute shape mismatch"
+    );
+    assert_eq!(
+        src.ncols(),
+        dst_layout.ncols(),
+        "redistribute shape mismatch"
+    );
     if src.layout().same_as(dst_layout) {
         return src.clone();
     }
@@ -31,9 +39,7 @@ where
     let p = m.p();
     // Per destination block: COO with block-local coordinates.
     let mut dst_coo: Vec<Coo<T>> = (0..dst_layout.br())
-        .flat_map(|bi| {
-            (0..dst_layout.bc()).map(move |bj| (bi, bj))
-        })
+        .flat_map(|bi| (0..dst_layout.bc()).map(move |bj| (bi, bj)))
         .map(|(bi, bj)| {
             Coo::new(
                 dst_layout.row_range(bi).len(),
@@ -74,12 +80,14 @@ where
     // over the ranks actually involved (senders and receivers): a
     // redistribution confined to a subset of ranks — e.g. one layer
     // of a 3D algorithm — must not synchronize the others.
-    charge_alltoall(m, &traffic, collect_owners(src.layout(), dst_layout));
+    charge_alltoall(
+        m,
+        &traffic,
+        collect_owners(src.layout(), dst_layout),
+        "redistribute",
+    );
 
-    let blocks = dst_coo
-        .into_iter()
-        .map(|coo| coo.into_csr::<M>())
-        .collect();
+    let blocks = dst_coo.into_iter().map(|coo| coo.into_csr::<M>()).collect();
     DistMat::from_blocks(dst_layout.clone(), blocks)
 }
 
@@ -101,7 +109,10 @@ where
 {
     assert_eq!(rows.len(), dst_layout.nrows(), "window height mismatch");
     assert_eq!(cols.len(), dst_layout.ncols(), "window width mismatch");
-    assert!(rows.end <= src.nrows() && cols.end <= src.ncols(), "window out of bounds");
+    assert!(
+        rows.end <= src.nrows() && cols.end <= src.ncols(),
+        "window out of bounds"
+    );
 
     let p = m.p();
     let mut dst_coo: Vec<Coo<T>> = (0..dst_layout.br())
@@ -153,7 +164,12 @@ where
         // the per-sender volume into one slot.
         traffic[r][r] = b;
     }
-    charge_alltoall(m, &traffic, collect_owners(src.layout(), dst_layout));
+    charge_alltoall(
+        m,
+        &traffic,
+        collect_owners(src.layout(), dst_layout),
+        "window",
+    );
     let blocks = dst_coo.into_iter().map(|c| c.into_csr::<M>()).collect();
     DistMat::from_blocks(dst_layout.clone(), blocks)
 }
@@ -175,19 +191,32 @@ fn collect_owners(a: &Layout, b: &Layout) -> Vec<usize> {
 }
 
 /// Charges one personalized all-to-all over `participants` with the
-/// largest per-sender volume in `traffic`.
-fn charge_alltoall(m: &Machine, traffic: &[Vec<u64>], participants: Vec<usize>) {
+/// largest per-sender volume in `traffic`, and emits a
+/// [`mfbc_trace::TraceEvent::Redist`] labeled `what` with the total
+/// bytes that changed owner.
+fn charge_alltoall(
+    m: &Machine,
+    traffic: &[Vec<u64>],
+    participants: Vec<usize>,
+    what: &'static str,
+) {
     let max_send = traffic
         .iter()
         .map(|row| row.iter().sum::<u64>())
         .max()
         .unwrap_or(0);
     if max_send > 0 && participants.len() > 1 {
+        let nparticipants = participants.len();
         m.charge_collective(
             &mfbc_machine::Group::new(participants),
             CollectiveKind::AllToAll,
             max_send,
         );
+        mfbc_trace::emit(|| mfbc_trace::TraceEvent::Redist {
+            what,
+            bytes_moved: traffic.iter().map(|row| row.iter().sum::<u64>()).sum(),
+            participants: nparticipants,
+        });
     }
 }
 
@@ -260,7 +289,7 @@ where
             }
         }
     }
-    charge_alltoall(m, &traffic, participants);
+    charge_alltoall(m, &traffic, participants, "windows");
     outputs
         .into_iter()
         .zip(specs)
@@ -310,10 +339,7 @@ mod tests {
     fn redistribution_charges_traffic() {
         let m = machine(4);
         let g = sample();
-        let src = DistMat::from_global(
-            Layout::on_grid(6, 6, &Grid2::new(Group::all(4), 2, 2)),
-            &g,
-        );
+        let src = DistMat::from_global(Layout::on_grid(6, 6, &Grid2::new(Group::all(4), 2, 2)), &g);
         let dst_layout = Layout::on_grid(6, 6, &Grid2::new(Group::all(4), 1, 4));
         let _ = redistribute::<SumU64, _>(&m, &src, &dst_layout);
         assert!(m.report().critical.bytes > 0);
@@ -335,10 +361,7 @@ mod tests {
     fn extract_window_preserves_window() {
         let m = machine(4);
         let g = sample();
-        let src = DistMat::from_global(
-            Layout::on_grid(6, 6, &Grid2::new(Group::all(4), 2, 2)),
-            &g,
-        );
+        let src = DistMat::from_global(Layout::on_grid(6, 6, &Grid2::new(Group::all(4), 2, 2)), &g);
         let dst_layout = Layout::on_grid(3, 4, &Grid2::new(Group::all(4), 2, 2));
         let w = extract_window::<SumU64, _>(&m, &src, 2..5, 1..5, &dst_layout);
         let wg = w.to_global::<SumU64>();
@@ -349,10 +372,7 @@ mod tests {
     fn extract_full_window_equals_redistribute() {
         let m = machine(4);
         let g = sample();
-        let src = DistMat::from_global(
-            Layout::on_grid(6, 6, &Grid2::new(Group::all(4), 2, 2)),
-            &g,
-        );
+        let src = DistMat::from_global(Layout::on_grid(6, 6, &Grid2::new(Group::all(4), 2, 2)), &g);
         let dst_layout = Layout::on_grid(6, 6, &Grid2::new(Group::all(4), 4, 1));
         let a = extract_window::<SumU64, _>(&m, &src, 0..6, 0..6, &dst_layout);
         let b = redistribute::<SumU64, _>(&m, &src, &dst_layout);
@@ -363,10 +383,7 @@ mod tests {
     fn to_single_rank() {
         let m = machine(2);
         let g = sample();
-        let src = DistMat::from_global(
-            Layout::on_grid(6, 6, &Grid2::new(Group::all(2), 1, 2)),
-            &g,
-        );
+        let src = DistMat::from_global(Layout::on_grid(6, 6, &Grid2::new(Group::all(2), 1, 2)), &g);
         let dst = redistribute::<SumU64, _>(&m, &src, &Layout::single(6, 6, 0));
         assert_eq!(dst.block(0, 0), &g);
     }

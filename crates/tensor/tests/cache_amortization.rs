@@ -9,7 +9,9 @@ use mfbc_algebra::Dist;
 use mfbc_machine::{Machine, MachineSpec};
 use mfbc_sparse::{spgemm_serial, Coo, Csr};
 use mfbc_tensor::cache::MmCache;
-use mfbc_tensor::{canonical_layout, mm_exec, mm_exec_cached, DistMat, MmPlan, Variant1D, Variant2D};
+use mfbc_tensor::{
+    canonical_layout, mm_exec, mm_exec_cached, DistMat, MmPlan, Variant1D, Variant2D,
+};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
@@ -85,10 +87,7 @@ fn second_iteration_is_cheaper_with_cache() {
         // must save volume; plans whose B layout coincides with the
         // canonical one (e.g. square 2D AC at p=4) move nothing either
         // way, so equality is the correct outcome there.
-        let strictly_cheaper = matches!(
-            plan,
-            MmPlan::OneD(Variant1D::B) | MmPlan::ThreeD { .. }
-        );
+        let strictly_cheaper = matches!(plan, MmPlan::OneD(Variant1D::B) | MmPlan::ThreeD { .. });
         if strictly_cheaper {
             assert!(
                 cached_second < cold_second,

@@ -33,7 +33,10 @@ fn random_frontier(rng: &mut ChaCha8Rng, nrows: usize, ncols: usize, nnz: usize)
         coo.push(
             rng.gen_range(0..nrows),
             rng.gen_range(0..ncols),
-            Multpath::new(Dist::new(rng.gen_range(0..40)), f64::from(rng.gen_range(1u32..4))),
+            Multpath::new(
+                Dist::new(rng.gen_range(0..40)),
+                f64::from(rng.gen_range(1u32..4)),
+            ),
         );
     }
     coo.into_csr::<MultpathMonoid>()
@@ -55,11 +58,11 @@ fn every_plan_matches_serial_tropical() {
             let out = mm_exec::<TropicalKernel>(&m, &plan, &da, &db)
                 .unwrap_or_else(|e| panic!("p={p} plan={plan:?}: {e}"));
             let got = out.c.to_global::<MinDist>();
+            assert_eq!(got, expected.mat, "mismatch for p={p}, plan={plan:?}");
             assert_eq!(
-                got, expected.mat,
-                "mismatch for p={p}, plan={plan:?}"
+                out.ops, expected.ops,
+                "ops mismatch for p={p}, plan={plan:?}"
             );
-            assert_eq!(out.ops, expected.ops, "ops mismatch for p={p}, plan={plan:?}");
         }
     }
 }
@@ -99,7 +102,10 @@ fn autotuned_mm_matches_serial_and_charges_costs() {
     let (out, plan) = mm_auto::<TropicalKernel>(&m, &da, &db).unwrap();
     assert_eq!(out.c.to_global::<MinDist>(), expected);
     let report = m.report();
-    assert!(report.critical.comm_time > 0.0, "plan {plan:?} charged no comm");
+    assert!(
+        report.critical.comm_time > 0.0,
+        "plan {plan:?} charged no comm"
+    );
     assert!(report.critical.comp_time > 0.0);
     assert!(report.total_ops > 0);
 }

@@ -1,0 +1,216 @@
+//! Chrome `trace_event` exporter.
+//!
+//! The output opens directly in `chrome://tracing` or Perfetto
+//! (<https://ui.perfetto.dev>, "Open trace file"). Spans become
+//! nested `B`/`E` slices per thread, counters become counter tracks,
+//! and everything else becomes thread-scoped instant events with the
+//! structured payload in `args`.
+
+use crate::event::{TraceEvent, TraceRecord};
+use crate::json::{esc, num};
+use std::fmt::Write as _;
+
+fn head(out: &mut String, name: &str, cat: &str, ph: &str, rec: &TraceRecord) {
+    let _ = write!(
+        out,
+        "{{\"name\":\"{}\",\"cat\":\"{cat}\",\"ph\":\"{ph}\",\"ts\":{},\"pid\":0,\"tid\":{}",
+        esc(name),
+        rec.ts_us,
+        rec.tid
+    );
+}
+
+fn one_event(out: &mut String, rec: &TraceRecord) {
+    match &rec.event {
+        TraceEvent::SpanBegin { name } => {
+            head(out, name, "span", "B", rec);
+            out.push('}');
+        }
+        TraceEvent::SpanEnd { name } => {
+            head(out, name, "span", "E", rec);
+            out.push('}');
+        }
+        TraceEvent::Counter { name, value } => {
+            head(out, name, "counter", "C", rec);
+            let _ = write!(out, ",\"args\":{{\"{name}\":{}}}}}", num(*value));
+        }
+        TraceEvent::Collective {
+            kind,
+            group,
+            bytes,
+            msgs,
+            bytes_charged,
+            modeled_s,
+        } => {
+            head(out, kind, "collective", "i", rec);
+            let _ = write!(
+                out,
+                ",\"s\":\"t\",\"args\":{{\"group\":{group},\"bytes\":{bytes},\"msgs\":{msgs},\"bytes_charged\":{bytes_charged},\"modeled_s\":{}}}}}",
+                num(*modeled_s)
+            );
+        }
+        TraceEvent::Spgemm {
+            plan,
+            m,
+            k,
+            n,
+            nnz_a,
+            nnz_b,
+            nnz_c,
+            ops,
+        } => {
+            head(out, &format!("spgemm {plan}"), "spgemm", "i", rec);
+            let _ = write!(
+                out,
+                ",\"s\":\"t\",\"args\":{{\"plan\":\"{}\",\"m\":{m},\"k\":{k},\"n\":{n},\"nnz_a\":{nnz_a},\"nnz_b\":{nnz_b},\"nnz_c\":{nnz_c},\"ops\":{ops}}}}}",
+                esc(plan)
+            );
+        }
+        TraceEvent::Redist {
+            what,
+            bytes_moved,
+            participants,
+        } => {
+            head(out, &format!("redist {what}"), "redist", "i", rec);
+            let _ = write!(
+                out,
+                ",\"s\":\"t\",\"args\":{{\"bytes_moved\":{bytes_moved},\"participants\":{participants}}}}}"
+            );
+        }
+        TraceEvent::Autotune {
+            m,
+            k,
+            n,
+            nnz_a,
+            nnz_b,
+            candidates,
+            winner,
+            winner_cost_s,
+        } => {
+            head(out, &format!("autotune -> {winner}"), "autotune", "i", rec);
+            let _ = write!(
+                out,
+                ",\"s\":\"t\",\"args\":{{\"m\":{m},\"k\":{k},\"n\":{n},\"nnz_a\":{nnz_a},\"nnz_b\":{nnz_b},\"winner\":\"{}\",\"winner_cost_s\":{},\"candidates\":[",
+                esc(winner),
+                num(*winner_cost_s)
+            );
+            for (i, c) in candidates.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(
+                    out,
+                    "{{\"plan\":\"{}\",\"cost_s\":{},\"mem_bytes\":{},\"feasible\":{}}}",
+                    esc(&c.plan),
+                    num(c.cost_s),
+                    c.mem_bytes,
+                    c.feasible
+                );
+            }
+            out.push_str("]}}");
+        }
+        TraceEvent::Superstep {
+            phase,
+            batch,
+            step,
+            frontier_nnz,
+            active_rows,
+        } => {
+            head(out, &format!("superstep {phase}"), "superstep", "i", rec);
+            let _ = write!(
+                out,
+                ",\"s\":\"t\",\"args\":{{\"batch\":{batch},\"step\":{step},\"frontier_nnz\":{frontier_nnz},\"active_rows\":{active_rows}}}}}"
+            );
+        }
+        TraceEvent::Log { level, message } => {
+            head(out, message, "log", "i", rec);
+            let _ = write!(
+                out,
+                ",\"s\":\"t\",\"args\":{{\"level\":\"{}\"}}}}",
+                level.name()
+            );
+        }
+    }
+}
+
+/// Serializes records as a complete Chrome `trace_event` JSON
+/// document.
+pub fn to_chrome_trace(records: &[TraceRecord]) -> String {
+    let mut out = String::with_capacity(records.len() * 160 + 64);
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+    for (i, rec) in records.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        one_event(&mut out, rec);
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::PlanChoice;
+
+    fn rec(ts_us: u64, event: TraceEvent) -> TraceRecord {
+        TraceRecord {
+            ts_us,
+            tid: 0,
+            event,
+        }
+    }
+
+    #[test]
+    fn spans_emit_b_and_e_phases() {
+        let text = to_chrome_trace(&[
+            rec(1, TraceEvent::SpanBegin { name: "mm".into() }),
+            rec(9, TraceEvent::SpanEnd { name: "mm".into() }),
+        ]);
+        assert!(text.contains("\"ph\":\"B\""));
+        assert!(text.contains("\"ph\":\"E\""));
+        assert!(text.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["));
+        assert!(text.trim_end().ends_with("]}"));
+    }
+
+    #[test]
+    fn instants_carry_args() {
+        let text = to_chrome_trace(&[rec(
+            3,
+            TraceEvent::Collective {
+                kind: "bcast",
+                group: 4,
+                bytes: 64,
+                msgs: 4,
+                bytes_charged: 128,
+                modeled_s: 2e-6,
+            },
+        )]);
+        assert!(text.contains("\"ph\":\"i\""));
+        assert!(text.contains("\"bytes_charged\":128"));
+    }
+
+    #[test]
+    fn autotune_candidates_serialize_as_array() {
+        let text = to_chrome_trace(&[rec(
+            5,
+            TraceEvent::Autotune {
+                m: 2,
+                k: 2,
+                n: 2,
+                nnz_a: 3,
+                nnz_b: 3,
+                candidates: vec![PlanChoice {
+                    plan: "1d(B)".into(),
+                    cost_s: 0.5,
+                    mem_bytes: 10,
+                    feasible: false,
+                }],
+                winner: "1d(B)".into(),
+                winner_cost_s: 0.5,
+            },
+        )]);
+        assert!(text.contains("\"candidates\":[{\"plan\":\"1d(B)\""));
+        assert!(text.contains("\"feasible\":false"));
+    }
+}

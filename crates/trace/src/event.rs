@@ -1,0 +1,171 @@
+//! Typed trace events emitted by the MFBC stack.
+
+/// Severity of a [`TraceEvent::Log`] message.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Level {
+    /// Informational progress message.
+    Info,
+    /// A recoverable problem worth surfacing even without a sink.
+    Warn,
+}
+
+impl Level {
+    /// Lower-case name, as written by the exporters.
+    pub fn name(self) -> &'static str {
+        match self {
+            Level::Info => "info",
+            Level::Warn => "warn",
+        }
+    }
+}
+
+/// One autotuner candidate: a plan with its modeled cost and memory
+/// footprint, plus whether it passed the per-rank memory gate.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PlanChoice {
+    /// Compact plan label (e.g. `2d(AB,4x4)`).
+    pub plan: String,
+    /// Modeled execution time in seconds under the α–β–γ model.
+    pub cost_s: f64,
+    /// Modeled peak memory per rank in bytes.
+    pub mem_bytes: u64,
+    /// Whether the plan fit within the per-rank memory budget.
+    pub feasible: bool,
+}
+
+/// A structured event observed somewhere in the stack.
+///
+/// Events carry *modeled* quantities (α–β times, charged bytes) next
+/// to measured ones (wall-clock timestamps are stamped by the
+/// recorder), so a trace can be cross-checked against the cost
+/// accounting that produced it.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TraceEvent {
+    /// A collective communication charged to the machine model.
+    Collective {
+        /// Collective kind name (e.g. `allgather`).
+        kind: &'static str,
+        /// Number of ranks in the participating group.
+        group: usize,
+        /// Per-rank payload in bytes, as passed to the cost model.
+        bytes: u64,
+        /// Messages charged on the critical path.
+        msgs: u64,
+        /// Bytes charged on the critical path.
+        bytes_charged: u64,
+        /// Modeled time in seconds (α–β closed form).
+        modeled_s: f64,
+    },
+    /// One distributed SpGEMM kernel invocation.
+    Spgemm {
+        /// Plan label (e.g. `1d(A)`, `cannon(q=4)`).
+        plan: String,
+        /// Rows of A / C.
+        m: u64,
+        /// Inner (contraction) dimension.
+        k: u64,
+        /// Columns of B / C.
+        n: u64,
+        /// Nonzeros of A.
+        nnz_a: u64,
+        /// Nonzeros of B.
+        nnz_b: u64,
+        /// Nonzeros of the product C.
+        nnz_c: u64,
+        /// Useful multiply–add operations performed.
+        ops: u64,
+    },
+    /// A tensor redistribution between layouts.
+    Redist {
+        /// What moved (e.g. `blocks`, `window`).
+        what: &'static str,
+        /// Total bytes that changed owner.
+        bytes_moved: u64,
+        /// Ranks involved in the exchange.
+        participants: usize,
+    },
+    /// An autotuner decision with the full candidate table.
+    Autotune {
+        /// Rows of A / C.
+        m: u64,
+        /// Inner dimension.
+        k: u64,
+        /// Columns of B / C.
+        n: u64,
+        /// Nonzeros of A.
+        nnz_a: u64,
+        /// Nonzeros of B.
+        nnz_b: u64,
+        /// Every candidate plan considered, with modeled cost.
+        candidates: Vec<PlanChoice>,
+        /// Label of the winning plan.
+        winner: String,
+        /// Modeled cost of the winner in seconds.
+        winner_cost_s: f64,
+    },
+    /// One MFBC superstep (a frontier-advance iteration).
+    Superstep {
+        /// `forward` (MFBF) or `backward` (MFBr).
+        phase: &'static str,
+        /// Source-batch index within the run.
+        batch: usize,
+        /// Iteration number within the phase (0-based).
+        step: usize,
+        /// Nonzeros in the current frontier.
+        frontier_nnz: u64,
+        /// Frontier rows (batch sources) still active this step.
+        active_rows: u64,
+    },
+    /// Opens a nested wall-clock span; paired with [`TraceEvent::SpanEnd`].
+    SpanBegin {
+        /// Span name (e.g. `mm_auto`, `batch 3`).
+        name: String,
+    },
+    /// Closes the most recent span with the same name on this thread.
+    SpanEnd {
+        /// Span name; matches the corresponding `SpanBegin`.
+        name: String,
+    },
+    /// A sampled numeric value (rendered as a counter track).
+    Counter {
+        /// Counter name.
+        name: &'static str,
+        /// Sampled value.
+        value: f64,
+    },
+    /// A free-form log message routed through the trace pipeline.
+    Log {
+        /// Severity.
+        level: Level,
+        /// Message text.
+        message: String,
+    },
+}
+
+impl TraceEvent {
+    /// Short type tag used by the exporters.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            TraceEvent::Collective { .. } => "collective",
+            TraceEvent::Spgemm { .. } => "spgemm",
+            TraceEvent::Redist { .. } => "redist",
+            TraceEvent::Autotune { .. } => "autotune",
+            TraceEvent::Superstep { .. } => "superstep",
+            TraceEvent::SpanBegin { .. } => "span_begin",
+            TraceEvent::SpanEnd { .. } => "span_end",
+            TraceEvent::Counter { .. } => "counter",
+            TraceEvent::Log { .. } => "log",
+        }
+    }
+}
+
+/// An event plus the context the recorder stamped on it.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceRecord {
+    /// Microseconds since the recorder was created.
+    pub ts_us: u64,
+    /// Small dense id of the emitting thread.
+    pub tid: u64,
+    /// The event itself.
+    pub event: TraceEvent,
+}

@@ -1,0 +1,216 @@
+//! JSON-lines exporter: one self-describing JSON object per record.
+//!
+//! Machine-friendly for ad-hoc analysis (`jq`, pandas, …); see
+//! [`crate::chrome`] for the timeline-viewer format.
+
+use crate::event::{TraceEvent, TraceRecord};
+use crate::json::{esc, num};
+use std::fmt::Write as _;
+
+/// Serializes one record as a single-line JSON object (no trailing
+/// newline).
+pub fn record_to_json(rec: &TraceRecord) -> String {
+    let mut s = String::with_capacity(128);
+    let _ = write!(
+        s,
+        "{{\"ts_us\":{},\"tid\":{},\"type\":\"{}\"",
+        rec.ts_us,
+        rec.tid,
+        rec.event.tag()
+    );
+    match &rec.event {
+        TraceEvent::Collective {
+            kind,
+            group,
+            bytes,
+            msgs,
+            bytes_charged,
+            modeled_s,
+        } => {
+            let _ = write!(
+                s,
+                ",\"kind\":\"{kind}\",\"group\":{group},\"bytes\":{bytes},\"msgs\":{msgs},\"bytes_charged\":{bytes_charged},\"modeled_s\":{}",
+                num(*modeled_s)
+            );
+        }
+        TraceEvent::Spgemm {
+            plan,
+            m,
+            k,
+            n,
+            nnz_a,
+            nnz_b,
+            nnz_c,
+            ops,
+        } => {
+            let _ = write!(
+                s,
+                ",\"plan\":\"{}\",\"m\":{m},\"k\":{k},\"n\":{n},\"nnz_a\":{nnz_a},\"nnz_b\":{nnz_b},\"nnz_c\":{nnz_c},\"ops\":{ops}",
+                esc(plan)
+            );
+        }
+        TraceEvent::Redist {
+            what,
+            bytes_moved,
+            participants,
+        } => {
+            let _ = write!(
+                s,
+                ",\"what\":\"{what}\",\"bytes_moved\":{bytes_moved},\"participants\":{participants}"
+            );
+        }
+        TraceEvent::Autotune {
+            m,
+            k,
+            n,
+            nnz_a,
+            nnz_b,
+            candidates,
+            winner,
+            winner_cost_s,
+        } => {
+            let _ = write!(
+                s,
+                ",\"m\":{m},\"k\":{k},\"n\":{n},\"nnz_a\":{nnz_a},\"nnz_b\":{nnz_b},\"winner\":\"{}\",\"winner_cost_s\":{},\"candidates\":[",
+                esc(winner),
+                num(*winner_cost_s)
+            );
+            for (i, c) in candidates.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                let _ = write!(
+                    s,
+                    "{{\"plan\":\"{}\",\"cost_s\":{},\"mem_bytes\":{},\"feasible\":{}}}",
+                    esc(&c.plan),
+                    num(c.cost_s),
+                    c.mem_bytes,
+                    c.feasible
+                );
+            }
+            s.push(']');
+        }
+        TraceEvent::Superstep {
+            phase,
+            batch,
+            step,
+            frontier_nnz,
+            active_rows,
+        } => {
+            let _ = write!(
+                s,
+                ",\"phase\":\"{phase}\",\"batch\":{batch},\"step\":{step},\"frontier_nnz\":{frontier_nnz},\"active_rows\":{active_rows}"
+            );
+        }
+        TraceEvent::SpanBegin { name } | TraceEvent::SpanEnd { name } => {
+            let _ = write!(s, ",\"name\":\"{}\"", esc(name));
+        }
+        TraceEvent::Counter { name, value } => {
+            let _ = write!(s, ",\"name\":\"{name}\",\"value\":{}", num(*value));
+        }
+        TraceEvent::Log { level, message } => {
+            let _ = write!(
+                s,
+                ",\"level\":\"{}\",\"message\":\"{}\"",
+                level.name(),
+                esc(message)
+            );
+        }
+    }
+    s.push('}');
+    s
+}
+
+/// Serializes records as JSON-lines text (one object per line,
+/// trailing newline).
+pub fn to_jsonl(records: &[TraceRecord]) -> String {
+    let mut out = String::new();
+    for rec in records {
+        out.push_str(&record_to_json(rec));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Level, PlanChoice};
+
+    fn rec(event: TraceEvent) -> TraceRecord {
+        TraceRecord {
+            ts_us: 7,
+            tid: 1,
+            event,
+        }
+    }
+
+    #[test]
+    fn collective_line_is_flat_json() {
+        let line = record_to_json(&rec(TraceEvent::Collective {
+            kind: "allgather",
+            group: 8,
+            bytes: 1024,
+            msgs: 3,
+            bytes_charged: 1024,
+            modeled_s: 1.5e-6,
+        }));
+        assert!(line.starts_with("{\"ts_us\":7,\"tid\":1,\"type\":\"collective\""));
+        assert!(line.contains("\"kind\":\"allgather\""));
+        assert!(line.contains("\"modeled_s\":1.5e-6"));
+        assert!(line.ends_with('}'));
+    }
+
+    #[test]
+    fn autotune_line_includes_candidate_table() {
+        let line = record_to_json(&rec(TraceEvent::Autotune {
+            m: 4,
+            k: 4,
+            n: 4,
+            nnz_a: 9,
+            nnz_b: 9,
+            candidates: vec![
+                PlanChoice {
+                    plan: "1d(A)".into(),
+                    cost_s: 2.0,
+                    mem_bytes: 100,
+                    feasible: true,
+                },
+                PlanChoice {
+                    plan: "2d(AB,2x2)".into(),
+                    cost_s: 1.0,
+                    mem_bytes: 60,
+                    feasible: true,
+                },
+            ],
+            winner: "2d(AB,2x2)".into(),
+            winner_cost_s: 1.0,
+        }));
+        assert!(line.contains("\"candidates\":[{\"plan\":\"1d(A)\""));
+        assert!(line.contains("\"winner\":\"2d(AB,2x2)\""));
+        assert!(line.contains("\"feasible\":true"));
+    }
+
+    #[test]
+    fn log_messages_are_escaped() {
+        let line = record_to_json(&rec(TraceEvent::Log {
+            level: Level::Warn,
+            message: "path \"a\\b\"\nnext".into(),
+        }));
+        assert!(line.contains("\\\"a\\\\b\\\"\\n"));
+    }
+
+    #[test]
+    fn jsonl_one_line_per_record() {
+        let records = vec![
+            rec(TraceEvent::Counter {
+                name: "x",
+                value: 1.0,
+            }),
+            rec(TraceEvent::SpanBegin { name: "s".into() }),
+        ];
+        let text = to_jsonl(&records);
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.ends_with('\n'));
+    }
+}

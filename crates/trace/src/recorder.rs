@@ -1,0 +1,221 @@
+//! Recorder sinks: where emitted events go.
+
+use crate::event::{TraceEvent, TraceRecord};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// A sink for trace events.
+///
+/// Implementations must be cheap and non-blocking where possible:
+/// `record` is called from instrumented hot paths (though only while
+/// a recorder is installed — disabled tracing never reaches here).
+pub trait Recorder: Send + Sync {
+    /// Consumes one event.
+    fn record(&self, event: TraceEvent);
+}
+
+static NEXT_TID: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    static TID: u64 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Small dense id of the calling thread (stable for its lifetime).
+pub fn current_tid() -> u64 {
+    TID.with(|t| *t)
+}
+
+/// Counts events and discards them. Useful for overhead measurements
+/// and for asserting *that* instrumentation fired without retaining
+/// anything.
+#[derive(Debug, Default)]
+pub struct NoopRecorder {
+    count: AtomicU64,
+}
+
+impl NoopRecorder {
+    /// A fresh counter-only recorder.
+    pub fn new() -> NoopRecorder {
+        NoopRecorder::default()
+    }
+
+    /// Number of events received so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+}
+
+impl Recorder for NoopRecorder {
+    fn record(&self, _event: TraceEvent) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Thread-safe in-memory recorder stamping wall-clock microseconds
+/// and thread ids onto every event.
+#[derive(Debug)]
+pub struct MemoryRecorder {
+    start: Instant,
+    records: Mutex<Vec<TraceRecord>>,
+}
+
+impl Default for MemoryRecorder {
+    fn default() -> MemoryRecorder {
+        MemoryRecorder::new()
+    }
+}
+
+impl MemoryRecorder {
+    /// An empty recorder; timestamps count from now.
+    pub fn new() -> MemoryRecorder {
+        MemoryRecorder {
+            start: Instant::now(),
+            records: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Copies out everything recorded so far.
+    pub fn snapshot(&self) -> Vec<TraceRecord> {
+        self.records.lock().expect("trace records lock").clone()
+    }
+
+    /// Drains and returns everything recorded so far.
+    pub fn take(&self) -> Vec<TraceRecord> {
+        std::mem::take(&mut *self.records.lock().expect("trace records lock"))
+    }
+
+    /// Number of records held.
+    pub fn len(&self) -> usize {
+        self.records.lock().expect("trace records lock").len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Recorder for MemoryRecorder {
+    fn record(&self, event: TraceEvent) {
+        let rec = TraceRecord {
+            ts_us: self.start.elapsed().as_micros() as u64,
+            tid: current_tid(),
+            event,
+        };
+        self.records.lock().expect("trace records lock").push(rec);
+    }
+}
+
+/// Human-readable recorder writing one line per event to stderr.
+/// Backs `--verbose` modes; span ends and counters are kept terse.
+#[derive(Debug, Default)]
+pub struct StderrRecorder;
+
+impl StderrRecorder {
+    /// A stderr line-printer.
+    pub fn new() -> StderrRecorder {
+        StderrRecorder
+    }
+}
+
+impl Recorder for StderrRecorder {
+    fn record(&self, event: TraceEvent) {
+        match &event {
+            TraceEvent::Log { level, message } => {
+                eprintln!("[{}] {message}", level.name());
+            }
+            TraceEvent::SpanBegin { name } => eprintln!("[trace] >> {name}"),
+            TraceEvent::SpanEnd { name } => eprintln!("[trace] << {name}"),
+            TraceEvent::Collective {
+                kind,
+                group,
+                bytes,
+                modeled_s,
+                ..
+            } => eprintln!("[trace] collective {kind} p={group} bytes={bytes} t={modeled_s:.3e}s"),
+            TraceEvent::Spgemm {
+                plan,
+                m,
+                k,
+                n,
+                nnz_c,
+                ops,
+                ..
+            } => eprintln!("[trace] spgemm {plan} {m}x{k}x{n} nnz_c={nnz_c} ops={ops}"),
+            TraceEvent::Redist {
+                what,
+                bytes_moved,
+                participants,
+            } => eprintln!("[trace] redist {what} bytes={bytes_moved} p={participants}"),
+            TraceEvent::Autotune {
+                winner,
+                winner_cost_s,
+                candidates,
+                ..
+            } => eprintln!(
+                "[trace] autotune -> {winner} ({winner_cost_s:.3e}s, {} candidates)",
+                candidates.len()
+            ),
+            TraceEvent::Superstep {
+                phase,
+                batch,
+                step,
+                frontier_nnz,
+                active_rows,
+            } => eprintln!(
+                "[trace] superstep {phase} batch={batch} step={step} frontier={frontier_nnz} active={active_rows}"
+            ),
+            TraceEvent::Counter { name, value } => {
+                eprintln!("[trace] counter {name}={value}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn warn_event(message: &str) -> TraceEvent {
+        TraceEvent::Log {
+            level: crate::event::Level::Warn,
+            message: message.to_string(),
+        }
+    }
+
+    #[test]
+    fn memory_recorder_stamps_monotonic_timestamps() {
+        let rec = MemoryRecorder::new();
+        for i in 0..4 {
+            rec.record(TraceEvent::Counter {
+                name: "i",
+                value: i as f64,
+            });
+        }
+        let records = rec.snapshot();
+        assert_eq!(records.len(), 4);
+        for w in records.windows(2) {
+            assert!(w[0].ts_us <= w[1].ts_us);
+        }
+        assert_eq!(rec.take().len(), 4);
+        assert!(rec.is_empty());
+    }
+
+    #[test]
+    fn noop_recorder_counts() {
+        let rec = NoopRecorder::new();
+        rec.record(warn_event("x"));
+        rec.record(warn_event("y"));
+        assert_eq!(rec.count(), 2);
+    }
+
+    #[test]
+    fn tids_are_stable_per_thread() {
+        let a = current_tid();
+        let b = current_tid();
+        assert_eq!(a, b);
+        let other = std::thread::spawn(current_tid).join().unwrap();
+        assert_ne!(a, other);
+    }
+}

@@ -1,0 +1,149 @@
+//! Aggregation of recorded events into per-collective-kind totals,
+//! in the spirit of the paper's Table 3 communication breakdown.
+
+use crate::event::{TraceEvent, TraceRecord};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Totals for one collective kind across a recorded run.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct KindTotals {
+    /// Collective kind name.
+    pub kind: String,
+    /// Number of invocations.
+    pub count: u64,
+    /// Sum of per-rank payload bytes passed to the cost model.
+    pub bytes: u64,
+    /// Sum of critical-path bytes charged.
+    pub bytes_charged: u64,
+    /// Sum of critical-path messages charged.
+    pub msgs: u64,
+    /// Sum of modeled α–β seconds.
+    pub modeled_s: f64,
+}
+
+/// Aggregates all [`TraceEvent::Collective`] records per kind,
+/// sorted by descending modeled time.
+pub fn collective_summary(records: &[TraceRecord]) -> Vec<KindTotals> {
+    let mut by_kind: BTreeMap<&str, KindTotals> = BTreeMap::new();
+    for rec in records {
+        if let TraceEvent::Collective {
+            kind,
+            bytes,
+            msgs,
+            bytes_charged,
+            modeled_s,
+            ..
+        } = &rec.event
+        {
+            let entry = by_kind.entry(kind).or_insert_with(|| KindTotals {
+                kind: (*kind).to_string(),
+                ..KindTotals::default()
+            });
+            entry.count += 1;
+            entry.bytes += bytes;
+            entry.bytes_charged += bytes_charged;
+            entry.msgs += msgs;
+            entry.modeled_s += modeled_s;
+        }
+    }
+    let mut totals: Vec<KindTotals> = by_kind.into_values().collect();
+    totals.sort_by(|a, b| b.modeled_s.total_cmp(&a.modeled_s));
+    totals
+}
+
+/// Sum of modeled seconds over every collective event in the trace.
+///
+/// Because the machine model synchronizes groups (takes the max over
+/// ranks) before adding a collective's time, the critical-path
+/// communication time reported by a run can never exceed this sum —
+/// a cross-check harnesses assert.
+pub fn total_modeled_comm_s(records: &[TraceRecord]) -> f64 {
+    records
+        .iter()
+        .filter_map(|r| match &r.event {
+            TraceEvent::Collective { modeled_s, .. } => Some(*modeled_s),
+            _ => None,
+        })
+        .sum()
+}
+
+/// Renders the per-kind totals as an aligned text table.
+pub fn render_summary(totals: &[KindTotals]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<14} {:>8} {:>14} {:>14} {:>10} {:>12}",
+        "collective", "count", "bytes", "charged", "msgs", "modeled_s"
+    );
+    for t in totals {
+        let _ = writeln!(
+            out,
+            "{:<14} {:>8} {:>14} {:>14} {:>10} {:>12.3e}",
+            t.kind, t.count, t.bytes, t.bytes_charged, t.msgs, t.modeled_s
+        );
+    }
+    if totals.is_empty() {
+        let _ = writeln!(out, "(no collective events recorded)");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn coll(kind: &'static str, bytes: u64, modeled_s: f64) -> TraceRecord {
+        TraceRecord {
+            ts_us: 0,
+            tid: 0,
+            event: TraceEvent::Collective {
+                kind,
+                group: 4,
+                bytes,
+                msgs: 2,
+                bytes_charged: 2 * bytes,
+                modeled_s,
+            },
+        }
+    }
+
+    #[test]
+    fn summary_groups_and_sorts_by_time() {
+        let records = vec![
+            coll("bcast", 10, 1.0),
+            coll("allgather", 20, 5.0),
+            coll("bcast", 30, 2.0),
+        ];
+        let totals = collective_summary(&records);
+        assert_eq!(totals.len(), 2);
+        assert_eq!(totals[0].kind, "allgather");
+        assert_eq!(totals[1].kind, "bcast");
+        assert_eq!(totals[1].count, 2);
+        assert_eq!(totals[1].bytes, 40);
+        assert_eq!(totals[1].bytes_charged, 80);
+        assert_eq!(totals[1].msgs, 4);
+        assert!((totals[1].modeled_s - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn total_comm_ignores_non_collectives() {
+        let mut records = vec![coll("bcast", 1, 0.25)];
+        records.push(TraceRecord {
+            ts_us: 0,
+            tid: 0,
+            event: TraceEvent::Counter {
+                name: "x",
+                value: 9.0,
+            },
+        });
+        assert!((total_modeled_comm_s(&records) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn render_handles_empty() {
+        assert!(render_summary(&[]).contains("no collective events"));
+        let text = render_summary(&collective_summary(&[coll("scatter", 8, 0.5)]));
+        assert!(text.contains("scatter"));
+    }
+}

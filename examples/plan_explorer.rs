@@ -37,12 +37,7 @@ fn main() {
     let st = stats_for::<BellmanFordKernel>(&df, &da);
     println!(
         "product: frontier {}x{} (nnz {}) × adjacency {}x{} (nnz {}), p = {p}",
-        nb,
-        n,
-        st.nnz_a,
-        n,
-        n,
-        st.nnz_b
+        nb, n, st.nnz_a, n, n, st.nnz_b
     );
 
     let mut ranked: Vec<(MmPlan, f64)> = candidate_plans(p)
@@ -54,7 +49,10 @@ fn main() {
         .collect();
     ranked.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
 
-    println!("\npredicted cost ranking ({} candidate plans):", ranked.len());
+    println!(
+        "\npredicted cost ranking ({} candidate plans):",
+        ranked.len()
+    );
     for (plan, t) in ranked.iter().take(6) {
         println!("  {:<55} {:>10.3} ms", format!("{plan:?}"), t * 1e3);
     }
@@ -78,8 +76,16 @@ fn main() {
     let best_t = run(&best_plan);
     let worst_t = run(&worst_plan);
     println!("\ncharged on the simulated machine:");
-    println!("  best  {best_plan:?}: predicted {:.3} ms, charged {:.3} ms", best_pred * 1e3, best_t * 1e3);
-    println!("  worst {worst_plan:?}: predicted {:.3} ms, charged {:.3} ms", worst_pred * 1e3, worst_t * 1e3);
+    println!(
+        "  best  {best_plan:?}: predicted {:.3} ms, charged {:.3} ms",
+        best_pred * 1e3,
+        best_t * 1e3
+    );
+    println!(
+        "  worst {worst_plan:?}: predicted {:.3} ms, charged {:.3} ms",
+        worst_pred * 1e3,
+        worst_t * 1e3
+    );
     assert!(
         best_t < worst_t,
         "model ordering must hold on the machine: {best_t} vs {worst_t}"

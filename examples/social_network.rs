@@ -27,7 +27,10 @@ fn main() {
 
     let batch = 64;
     println!("\nstrong scaling, one batch of {batch} sources (autotuned CTF-MFBC):");
-    println!("{:>6} {:>14} {:>12} {:>12} {:>10}", "nodes", "MTEPS/node", "comm(ms)", "comp(ms)", "msgs");
+    println!(
+        "{:>6} {:>14} {:>12} {:>12} {:>10}",
+        "nodes", "MTEPS/node", "comm(ms)", "comp(ms)", "msgs"
+    );
     let mut reference: Option<BcScores> = None;
     for p in [1usize, 4, 16, 64] {
         let machine = Machine::new(MachineSpec::gemini(p));

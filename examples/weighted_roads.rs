@@ -23,11 +23,19 @@ fn road_network(k: usize) -> Graph {
     for r in 0..k {
         for c in 0..k {
             if c + 1 < k {
-                let w = if r == mid { 1 } else { 3 + ((r + c) % 3) as u64 };
+                let w = if r == mid {
+                    1
+                } else {
+                    3 + ((r + c) % 3) as u64
+                };
                 edges.push((idx(r, c), idx(r, c + 1), Dist::new(w)));
             }
             if r + 1 < k {
-                edges.push((idx(r, c), idx(r + 1, c), Dist::new(3 + ((r * c) % 3) as u64)));
+                edges.push((
+                    idx(r, c),
+                    idx(r + 1, c),
+                    Dist::new(3 + ((r * c) % 3) as u64),
+                ));
             }
         }
     }
@@ -59,7 +67,10 @@ fn main() {
     machine.reset_meters();
     let run = mfbc_dist(&machine, &g, &MfbcConfig::default()).expect("fits in memory");
     let oracle = brandes_weighted(&g);
-    assert!(run.scores.approx_eq(&oracle, 1e-9), "MFBC != weighted oracle");
+    assert!(
+        run.scores.approx_eq(&oracle, 1e-9),
+        "MFBC != weighted oracle"
+    );
     println!(
         "MFBC (weighted): {} forward iterations for {} batches — weights add correction rounds",
         run.forward_iterations, run.batches

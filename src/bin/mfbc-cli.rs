@@ -8,6 +8,7 @@
 //! mfbc-cli stats     [--directed] <edge-list|->
 //! mfbc-cli simulate  --nodes P [--plan auto|ca:C|combblas] [--batch N]
 //!                    [--graph rmat:S,E | uniform:N,M | FILE] [--directed]
+//!                    [--trace-out FILE] [--trace-format chrome|jsonl]
 //! mfbc-cli generate  (rmat:S,E | uniform:N,M) [--weighted MAX] [--seed S]
 //! ```
 //!
@@ -53,7 +54,7 @@ const USAGE: &str = "usage:
   mfbc-cli sssp --source V [--directed] <edge-list|->
   mfbc-cli components [--directed] <edge-list|->
   mfbc-cli stats [--directed] <edge-list|->
-  mfbc-cli simulate --nodes P [--plan auto|ca:C|combblas] [--batch N] [--graph rmat:S,E|uniform:N,M|FILE] [--directed]
+  mfbc-cli simulate --nodes P [--plan auto|ca:C|combblas] [--batch N] [--graph rmat:S,E|uniform:N,M|FILE] [--directed] [--trace-out FILE] [--trace-format chrome|jsonl]
   mfbc-cli generate (rmat:S,E | uniform:N,M) [--weighted MAX] [--seed S]";
 
 /// Minimal flag parser: `--key value` options, `--flag` booleans, one
@@ -71,9 +72,7 @@ impl Opts {
         while let Some(a) = it.next() {
             if let Some(name) = a.strip_prefix("--") {
                 if value_flags.contains(&name) {
-                    let v = it
-                        .next()
-                        .ok_or_else(|| format!("--{name} needs a value"))?;
+                    let v = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
                     flags.push((name.to_string(), Some(v.clone())));
                 } else {
                     flags.push((name.to_string(), None));
@@ -145,7 +144,12 @@ fn load_graph(path: Option<&str>, directed: bool) -> Result<Graph, String> {
 }
 
 /// Parses `rmat:S,E` / `uniform:N,M` specs; anything else is a path.
-fn load_workload(spec: &str, directed: bool, weighted: Option<u64>, seed: u64) -> Result<Graph, String> {
+fn load_workload(
+    spec: &str,
+    directed: bool,
+    weighted: Option<u64>,
+    seed: u64,
+) -> Result<Graph, String> {
     if let Some(params) = spec.strip_prefix("rmat:") {
         let (s, e) = split2(params)?;
         let cfg = RmatConfig {
@@ -219,9 +223,7 @@ fn cmd_bc(args: &[String]) -> Result<(), String> {
 
 fn cmd_sssp(args: &[String]) -> Result<(), String> {
     let o = Opts::parse(args, &["source"])?;
-    let source: usize = o
-        .get_parsed("source")?
-        .ok_or("sssp needs --source V")?;
+    let source: usize = o.get_parsed("source")?.ok_or("sssp needs --source V")?;
     let g = load_graph(o.positional.as_deref(), o.has("directed"))?;
     if source >= g.n() {
         return Err(format!("source {source} out of range (n = {})", g.n()));
@@ -259,21 +261,44 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
     outln!("avg_degree\t{avg:.2}");
     outln!("max_degree\t{max}");
     outln!("components\t{}", component_count(&g));
-    outln!(
-        "sampled_diameter\t{}",
-        stats::effective_diameter(&g, 8, 7)
-    );
+    outln!("sampled_diameter\t{}", stats::effective_diameter(&g, 8, 7));
     Ok(())
 }
 
 fn cmd_simulate(args: &[String]) -> Result<(), String> {
-    let o = Opts::parse(args, &["nodes", "plan", "batch", "graph", "seed"])?;
+    let o = Opts::parse(
+        args,
+        &[
+            "nodes",
+            "plan",
+            "batch",
+            "graph",
+            "seed",
+            "trace-out",
+            "trace-format",
+        ],
+    )?;
     let p: usize = o.get_parsed("nodes")?.ok_or("simulate needs --nodes P")?;
     let spec_str = o.get("graph").unwrap_or("rmat:12,16");
     let seed = o.get_parsed::<u64>("seed")?.unwrap_or(42);
     let g = load_workload(spec_str, o.has("directed"), None, seed)?;
     let batch = o.get_parsed::<usize>("batch")?.unwrap_or(128);
     let machine = Machine::new(MachineSpec::gemini(p));
+
+    // Structured tracing: record every collective, SpGEMM, autotune
+    // decision, and superstep; written after the run.
+    let trace_out = o.get("trace-out").map(str::to_string);
+    let trace_format = o.get("trace-format").unwrap_or("chrome").to_string();
+    if !matches!(trace_format.as_str(), "chrome" | "jsonl") {
+        return Err(format!(
+            "--trace-format must be chrome or jsonl, got {trace_format:?}"
+        ));
+    }
+    let recorder = trace_out.as_ref().map(|_| {
+        let rec = std::sync::Arc::new(mfbc_trace::MemoryRecorder::new());
+        mfbc_trace::install(rec.clone());
+        rec
+    });
 
     let plan = o.get("plan").unwrap_or("auto");
     let (label, sources, report) = if plan == "combblas" {
@@ -286,7 +311,11 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
             },
         )
         .map_err(|e| e.to_string())?;
-        ("CombBLAS-style".to_string(), run.sources_processed, machine.report())
+        (
+            "CombBLAS-style".to_string(),
+            run.sources_processed,
+            machine.report(),
+        )
     } else {
         let mode = if let Some(c) = plan.strip_prefix("ca:") {
             PlanMode::Ca {
@@ -308,8 +337,30 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
             },
         )
         .map_err(|e| e.to_string())?;
-        (format!("CTF-MFBC ({plan})"), run.sources_processed, machine.report())
+        (
+            format!("CTF-MFBC ({plan})"),
+            run.sources_processed,
+            machine.report(),
+        )
     };
+
+    if let (Some(path), Some(rec)) = (&trace_out, &recorder) {
+        mfbc_trace::uninstall_all();
+        let records = rec.take();
+        let text = match trace_format.as_str() {
+            "jsonl" => mfbc_trace::to_jsonl(&records),
+            _ => mfbc_trace::to_chrome_trace(&records),
+        };
+        std::fs::write(path, text).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!(
+            "trace: {} events -> {path} ({trace_format}); open chrome traces in chrome://tracing or ui.perfetto.dev",
+            records.len()
+        );
+        eprint!(
+            "{}",
+            mfbc_trace::render_summary(&mfbc_trace::collective_summary(&records))
+        );
+    }
 
     let time = report.critical.total_time();
     outln!("algorithm\t{label}");
@@ -334,7 +385,9 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
     let weighted = o.get_parsed::<u64>("weighted")?;
     let seed = o.get_parsed::<u64>("seed")?.unwrap_or(42);
     if !spec.starts_with("rmat:") && !spec.starts_with("uniform:") {
-        return Err(format!("generate takes rmat:S,E or uniform:N,M, got {spec:?}"));
+        return Err(format!(
+            "generate takes rmat:S,E or uniform:N,M, got {spec:?}"
+        ));
     }
     let g = load_workload(spec, o.has("directed"), weighted, seed)?;
     io::write_edge_list(&g, std::io::stdout().lock()).map_err(|e| e.to_string())

@@ -1,0 +1,188 @@
+//! Offline stand-in for `rayon`: the parallel-iterator API surface
+//! this workspace uses, executed **sequentially** on the calling
+//! thread.
+//!
+//! Bounds mirror real rayon (`Send`/`Sync` on items and closures) so
+//! code written against this stub stays drop-in compatible with the
+//! real crate; only the execution strategy differs.
+
+/// The `rayon::prelude` mirror.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelIterator};
+}
+
+/// Conversion into a (sequentially executed) parallel iterator.
+pub trait IntoParallelIterator {
+    /// Element type.
+    type Item: Send;
+    /// The iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+
+    /// Converts `self` into the iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<I> IntoParallelIterator for I
+where
+    I: IntoIterator,
+    I::Item: Send,
+{
+    type Item = I::Item;
+    type Iter = SeqParIter<I::IntoIter>;
+
+    fn into_par_iter(self) -> SeqParIter<I::IntoIter> {
+        SeqParIter(self.into_iter())
+    }
+}
+
+/// Sequentially executed stand-in for rayon's `ParallelIterator`.
+pub trait ParallelIterator: Sized {
+    /// Element type.
+    type Item: Send;
+
+    /// The underlying sequential iterator.
+    fn into_seq(self) -> impl Iterator<Item = Self::Item>;
+
+    /// Maps each element through `f`.
+    fn map<R, F>(self, f: F) -> SeqParIter<std::iter::Map<impl Iterator<Item = Self::Item>, F>>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Send + Sync,
+    {
+        SeqParIter(self.into_seq().map(f))
+    }
+
+    /// Keeps the elements `f` accepts.
+    fn filter<F>(self, f: F) -> SeqParIter<std::iter::Filter<impl Iterator<Item = Self::Item>, F>>
+    where
+        F: Fn(&Self::Item) -> bool + Send + Sync,
+    {
+        SeqParIter(self.into_seq().filter(f))
+    }
+
+    /// Flat-maps each element through `f`.
+    fn flat_map<R, F>(
+        self,
+        f: F,
+    ) -> SeqParIter<std::iter::FlatMap<impl Iterator<Item = Self::Item>, R, F>>
+    where
+        R: IntoIterator,
+        R::Item: Send,
+        F: Fn(Self::Item) -> R + Send + Sync,
+    {
+        SeqParIter(self.into_seq().flat_map(f))
+    }
+
+    /// Collects into `C`.
+    fn collect<C: FromIterator<Self::Item>>(self) -> C {
+        self.into_seq().collect()
+    }
+
+    /// Sums the elements.
+    fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<Self::Item> + Send,
+    {
+        self.into_seq().sum()
+    }
+
+    /// Counts the elements.
+    fn count(self) -> usize {
+        self.into_seq().count()
+    }
+
+    /// Folds with `identity` and the associative `op` (sequential
+    /// left fold here).
+    fn reduce<Id, Op>(self, identity: Id, op: Op) -> Self::Item
+    where
+        Id: Fn() -> Self::Item + Send + Sync,
+        Op: Fn(Self::Item, Self::Item) -> Self::Item + Send + Sync,
+    {
+        self.into_seq().fold(identity(), op)
+    }
+
+    /// Runs `f` on every element.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Send + Sync,
+    {
+        self.into_seq().for_each(f)
+    }
+
+    /// Maximum element.
+    fn max(self) -> Option<Self::Item>
+    where
+        Self::Item: Ord,
+    {
+        self.into_seq().max()
+    }
+
+    /// Minimum element.
+    fn min(self) -> Option<Self::Item>
+    where
+        Self::Item: Ord,
+    {
+        self.into_seq().min()
+    }
+}
+
+/// Wrapper turning any sequential iterator into a
+/// [`ParallelIterator`].
+pub struct SeqParIter<I>(I);
+
+impl<I> ParallelIterator for SeqParIter<I>
+where
+    I: Iterator,
+    I::Item: Send,
+{
+    type Item = I::Item;
+
+    fn into_seq(self) -> impl Iterator<Item = Self::Item> {
+        self.0
+    }
+}
+
+/// Runs both closures (sequentially) and returns their results —
+/// rayon's `join`.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    (a(), b())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_matches_sequential() {
+        let out: Vec<usize> = (0..10usize).into_par_iter().map(|x| x * x).collect();
+        assert_eq!(out, (0..10).map(|x| x * x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn vec_filter_sum() {
+        let v = vec![1u64, 2, 3, 4, 5];
+        let s: u64 = v.into_par_iter().filter(|x| x % 2 == 1).sum();
+        assert_eq!(s, 9);
+    }
+
+    #[test]
+    fn flat_map_and_reduce() {
+        let total = (0..4usize)
+            .into_par_iter()
+            .flat_map(|i| vec![i, i])
+            .reduce(|| 0, |a, b| a + b);
+        assert_eq!(total, 12);
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = super::join(|| 1, || "x");
+        assert_eq!((a, b), (1, "x"));
+    }
+}

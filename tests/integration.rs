@@ -197,9 +197,5 @@ fn prelude_exposes_the_documented_api() {
     let _ = mfbr_seq(&g, &t);
     let _: MmPlan = ca_plan(4, 1);
     let _ = (Variant1D::A, Variant2D::AB);
-    let _: (Dist, Multpath, Centpath) = (
-        Dist::ONE,
-        Multpath::trivial(),
-        Centpath::none(),
-    );
+    let _: (Dist, Multpath, Centpath) = (Dist::ONE, Multpath::trivial(), Centpath::none());
 }

@@ -31,9 +31,7 @@ fn build(spec: &GraphSpec) -> Graph {
     Graph::new(
         spec.n,
         spec.directed,
-        spec.edges
-            .iter()
-            .map(|&(u, v, w)| (u, v, Dist::new(w))),
+        spec.edges.iter().map(|&(u, v, w)| (u, v, Dist::new(w))),
     )
 }
 
