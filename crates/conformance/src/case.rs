@@ -1,0 +1,507 @@
+//! Self-contained test cases and their differential checks.
+//!
+//! A case owns *all* the data needed to run its check — explicit entry
+//! lists, dimensions, rank count, α–β — so the shrinker can produce
+//! smaller variants by deleting parts of it. Generation from a seed
+//! and checking are separate steps: replaying a seed regenerates the
+//! identical case, and a shrunk case remains checkable on its own.
+
+use crate::gen;
+use crate::rng::SplitMix64;
+use mfbc_algebra::kernel::{BellmanFordKernel, BrandesKernel, KernelOut, TropicalKernel};
+use mfbc_algebra::{Centpath, Dist, Multpath, SpMulKernel};
+use mfbc_core::oracle::{brandes_unweighted, brandes_weighted};
+use mfbc_core::{mfbc_dist, MfbcConfig, PlanMode};
+use mfbc_graph::Graph;
+use mfbc_machine::{Machine, MachineSpec};
+use mfbc_sparse::{spgemm_serial, Coo, Csr};
+use mfbc_tensor::{canonical_layout, enumerate_plans, mm_auto, mm_exec, DistMat};
+
+/// A case the suite runner can check and the shrinker can minimize.
+pub trait CaseSpec: Clone + std::fmt::Debug {
+    /// Runs the differential check; `Err` describes the divergence.
+    fn check(&self) -> Result<(), String>;
+    /// A size measure the shrinker must strictly decrease.
+    fn size(&self) -> usize;
+    /// Strictly-smaller candidate reductions, in preference order.
+    fn shrink_candidates(&self) -> Vec<Self>;
+}
+
+/// Which generalized-multiplication kernel an [`MmCase`] exercises.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MmKernelKind {
+    /// Min-plus over plain distances (both operands `Dist`).
+    Tropical,
+    /// Multpath frontier × adjacency (the MFBF product).
+    BellmanFord,
+    /// Centpath frontier × adjacency (the MFBr product).
+    Brandes,
+}
+
+/// A kernel-agnostic left-operand payload; each kernel interprets the
+/// fields it needs (`w` weight, `x` multiplicity/factor, `c` counter).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Payload {
+    /// Finite weight.
+    pub w: u64,
+    /// Integral f64 payload (multiplicity or centrality factor).
+    pub x: f64,
+    /// Child counter (Brandes only).
+    pub c: i64,
+}
+
+/// One cross-plan multiplication case: `C = A • B` computed under
+/// every enumerable plan for `p` ranks plus the autotuned plan, each
+/// compared entry-for-entry (and op-for-op) against `spgemm_serial`.
+#[derive(Clone, Debug)]
+pub struct MmCase {
+    /// The seed this case was generated from (0 for hand-built cases).
+    pub seed: u64,
+    /// Kernel under test.
+    pub kernel: MmKernelKind,
+    /// Left operand rows.
+    pub m: usize,
+    /// Inner dimension.
+    pub k: usize,
+    /// Right operand columns.
+    pub n: usize,
+    /// Rank count.
+    pub p: usize,
+    /// Machine latency constant.
+    pub alpha: f64,
+    /// Machine inverse-bandwidth constant.
+    pub beta: f64,
+    /// Left operand triples (duplicates allowed; merged by the
+    /// kernel's monoid on ingest, as production inputs are).
+    pub a: Vec<(usize, usize, Payload)>,
+    /// Right operand triples (weight entries).
+    pub b: Vec<(usize, usize, u64)>,
+}
+
+impl MmCase {
+    /// Generates a case from `seed`, drawing the kernel from
+    /// `kernels` and the rank count from `ps`.
+    pub fn generate(seed: u64, kernels: &[MmKernelKind], ps: &[usize]) -> MmCase {
+        let mut rng = SplitMix64::new(seed);
+        let kernel = *rng.pick(kernels);
+        let p = *rng.pick(ps);
+        let spec = gen::machine_spec(&mut rng, p);
+        // Deliberately not divisible by typical grids; occasionally
+        // degenerate (1) or smaller than p.
+        let dim = |r: &mut SplitMix64| {
+            if r.chance(1, 10) {
+                1 + r.below(3)
+            } else {
+                r.range(5, 34)
+            }
+        };
+        let (m, k, n) = (dim(&mut rng), dim(&mut rng), dim(&mut rng));
+        let nnz_a = rng.below(2 * (m * k).min(3 * (m + k)) + 1);
+        let nnz_b = rng.below(2 * (k * n).min(3 * (k + n)) + 1);
+        let a = gen::coords(&mut rng, m, k, nnz_a)
+            .into_iter()
+            .map(|(i, j)| {
+                let w = rng.next_u64() % 30;
+                let x = 1.0 + rng.below(3) as f64;
+                let c = rng.below(6) as i64 - 2;
+                (i, j, Payload { w, x, c })
+            })
+            .collect();
+        let b = gen::coords(&mut rng, k, n, nnz_b)
+            .into_iter()
+            .map(|(i, j)| (i, j, rng.next_u64() % 25))
+            .collect();
+        MmCase {
+            seed,
+            kernel,
+            m,
+            k,
+            n,
+            p,
+            alpha: spec.alpha,
+            beta: spec.beta,
+            a,
+            b,
+        }
+    }
+
+    fn spec(&self) -> MachineSpec {
+        MachineSpec {
+            p: self.p,
+            alpha: self.alpha,
+            beta: self.beta,
+            gamma: 1.0,
+            mem_bytes: None,
+        }
+    }
+
+    fn right_csr(&self) -> Csr<Dist> {
+        let mut coo = Coo::new(self.k, self.n);
+        for &(i, j, w) in &self.b {
+            coo.push(i, j, Dist::new(w));
+        }
+        coo.into_csr::<mfbc_algebra::monoid::MinDist>()
+    }
+
+    fn check_kernel<K>(&self, a: Csr<K::Left>, b: Csr<K::Right>) -> Result<(), String>
+    where
+        K: SpMulKernel,
+        KernelOut<K>: Clone + PartialEq + Send + Sync + std::fmt::Debug,
+    {
+        let expected = spgemm_serial::<K>(&a, &b);
+        let spec = self.spec();
+        for plan in enumerate_plans(self.p) {
+            let machine = Machine::new(spec.clone());
+            let da = DistMat::from_global(canonical_layout(&machine, self.m, self.k), &a);
+            let db = DistMat::from_global(canonical_layout(&machine, self.k, self.n), &b);
+            let out = mm_exec::<K>(&machine, &plan, &da, &db)
+                .map_err(|e| format!("plan {plan}: machine error: {e}"))?;
+            out.c
+                .validate()
+                .map_err(|e| format!("plan {plan}: invalid distributed result: {e}"))?;
+            let got = out.c.to_global::<K::Acc>();
+            if let Some(diff) = expected.mat.first_difference(&got) {
+                return Err(format!("plan {plan}: result diverges from serial: {diff}"));
+            }
+            if out.ops != expected.ops {
+                return Err(format!(
+                    "plan {plan}: ops {} != serial ops {}",
+                    out.ops, expected.ops
+                ));
+            }
+        }
+        // The autotuner's pick (whatever it is under this α–β) must
+        // agree too — this is the plan production code actually runs.
+        let machine = Machine::new(spec);
+        let da = DistMat::from_global(canonical_layout(&machine, self.m, self.k), &a);
+        let db = DistMat::from_global(canonical_layout(&machine, self.k, self.n), &b);
+        let (out, plan) =
+            mm_auto::<K>(&machine, &da, &db).map_err(|e| format!("mm_auto: machine error: {e}"))?;
+        let got = out.c.to_global::<K::Acc>();
+        if let Some(diff) = expected.mat.first_difference(&got) {
+            return Err(format!(
+                "mm_auto (chose {plan}): diverges from serial: {diff}"
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl CaseSpec for MmCase {
+    fn check(&self) -> Result<(), String> {
+        let b = self.right_csr();
+        match self.kernel {
+            MmKernelKind::Tropical => {
+                let mut coo = Coo::new(self.m, self.k);
+                for &(i, j, pl) in &self.a {
+                    coo.push(i, j, Dist::new(pl.w));
+                }
+                let a = coo.into_csr::<mfbc_algebra::monoid::MinDist>();
+                self.check_kernel::<TropicalKernel>(a, b)
+            }
+            MmKernelKind::BellmanFord => {
+                let mut coo = Coo::new(self.m, self.k);
+                for &(i, j, pl) in &self.a {
+                    coo.push(i, j, Multpath::new(Dist::new(pl.w), pl.x));
+                }
+                let a = coo.into_csr::<mfbc_algebra::MultpathMonoid>();
+                self.check_kernel::<BellmanFordKernel>(a, b)
+            }
+            MmKernelKind::Brandes => {
+                let mut coo = Coo::new(self.m, self.k);
+                for &(i, j, pl) in &self.a {
+                    coo.push(i, j, Centpath::new(Dist::new(pl.w), pl.x, pl.c));
+                }
+                let a = coo.into_csr::<mfbc_algebra::CentpathMonoid>();
+                self.check_kernel::<BrandesKernel>(a, b)
+            }
+        }
+    }
+
+    fn size(&self) -> usize {
+        self.a.len() + self.b.len() + self.m + self.k + self.n + self.p
+    }
+
+    fn shrink_candidates(&self) -> Vec<MmCase> {
+        let mut out = Vec::new();
+        // Fewer ranks first: a single-rank repro is the easiest to read.
+        for &q in gen::P_ALL.iter().filter(|&&q| q < self.p) {
+            out.push(MmCase {
+                p: q,
+                ..self.clone()
+            });
+        }
+        for keep in chunk_reductions(self.a.len()) {
+            let mut c = self.clone();
+            c.a = keep.iter().map(|&i| self.a[i]).collect();
+            out.push(c);
+        }
+        for keep in chunk_reductions(self.b.len()) {
+            let mut c = self.clone();
+            c.b = keep.iter().map(|&i| self.b[i]).collect();
+            out.push(c);
+        }
+        // Halve each dimension, dropping out-of-range entries.
+        if self.m > 1 {
+            let m = self.m / 2;
+            let mut c = self.clone();
+            c.m = m;
+            c.a.retain(|&(i, _, _)| i < m);
+            out.push(c);
+        }
+        if self.k > 1 {
+            let k = self.k / 2;
+            let mut c = self.clone();
+            c.k = k;
+            c.a.retain(|&(_, j, _)| j < k);
+            c.b.retain(|&(i, _, _)| i < k);
+            out.push(c);
+        }
+        if self.n > 1 {
+            let n = self.n / 2;
+            let mut c = self.clone();
+            c.n = n;
+            c.b.retain(|&(_, j, _)| j < n);
+            out.push(c);
+        }
+        out
+    }
+}
+
+/// Index subsets to try when reducing an entry list of length `len`:
+/// both halves and the two alternating combs, then (for short lists)
+/// every single-element deletion.
+fn chunk_reductions(len: usize) -> Vec<Vec<usize>> {
+    let mut out = Vec::new();
+    if len == 0 {
+        return out;
+    }
+    if len > 1 {
+        out.push((0..len / 2).collect());
+        out.push((len / 2..len).collect());
+        out.push((0..len).filter(|i| i % 2 == 0).collect());
+        out.push((0..len).filter(|i| i % 2 == 1).collect());
+    }
+    if len <= 8 {
+        for skip in 0..len {
+            out.push((0..len).filter(|&i| i != skip).collect());
+        }
+    }
+    out
+}
+
+/// How a [`DriverCase`] selects its multiplication plans.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DriverPlan {
+    /// Autotune every product (CTF-MFBC).
+    Auto,
+    /// Force plan `enumerate_plans(p)[idx % len]` for every product.
+    Fixed(usize),
+    /// CA-MFBC with replication factor chosen by preference index
+    /// over the valid divisors of `p`.
+    Ca(usize),
+}
+
+/// An end-to-end case: run the distributed MFBC driver on a generated
+/// graph and compare the betweenness scores against the sequential
+/// Brandes oracle.
+#[derive(Clone, Debug)]
+pub struct DriverCase {
+    /// The seed this case was generated from (0 for hand-built cases).
+    pub seed: u64,
+    /// Vertex count.
+    pub n: usize,
+    /// Whether edge weights vary (`false` pins all weights to 1 and
+    /// compares against the unweighted-BFS oracle).
+    pub weighted: bool,
+    /// Undirected edge list (duplicates and self-loops allowed —
+    /// `Graph::new`'s normalization is under test too).
+    pub edges: Vec<(usize, usize, u64)>,
+    /// Rank count.
+    pub p: usize,
+    /// Plan selection mode.
+    pub plan: DriverPlan,
+    /// Sources per batch (clamped to `1..=n`).
+    pub batch: usize,
+    /// Whether adjacency preparation is amortized across products.
+    pub amortize: bool,
+}
+
+impl DriverCase {
+    /// Generates a case from `seed`, with ranks drawn from `ps` and
+    /// the weighted flag forced by `weighted`.
+    pub fn generate(seed: u64, ps: &[usize], weighted: bool) -> DriverCase {
+        let mut rng = SplitMix64::new(seed);
+        let n = rng.range(2, 22);
+        let p = *rng.pick(ps);
+        let wmax = if weighted { 6 } else { 1 };
+        let targets = rng.below(3 * n) + 1;
+        let edges = if rng.chance(1, 3) {
+            gen::rmat(&mut rng, n, targets, wmax)
+        } else {
+            gen::erdos_renyi(&mut rng, n, targets, wmax)
+        };
+        let plan = match rng.below(4) {
+            0 => DriverPlan::Auto,
+            1 => DriverPlan::Ca(rng.below(4)),
+            _ => DriverPlan::Fixed(rng.below(128)),
+        };
+        DriverCase {
+            seed,
+            n,
+            weighted,
+            edges,
+            p,
+            plan,
+            batch: 1 + rng.below(n),
+            amortize: rng.chance(1, 2),
+        }
+    }
+
+    /// Replication factors `c` for which `ca_plan(p, c)` is
+    /// well-formed: `c | p` with `p/c` a perfect square. Non-empty for
+    /// every `p` (`c = p` always qualifies).
+    pub fn valid_ca_factors(p: usize) -> Vec<usize> {
+        (1..=p)
+            .filter(|c| {
+                if !p.is_multiple_of(*c) {
+                    return false;
+                }
+                let r = p / c;
+                let q = (r as f64).sqrt().round() as usize;
+                q * q == r
+            })
+            .collect()
+    }
+
+    fn config(&self) -> MfbcConfig {
+        let plan_mode = match self.plan {
+            DriverPlan::Auto => PlanMode::Auto,
+            DriverPlan::Fixed(idx) => {
+                let plans = enumerate_plans(self.p);
+                PlanMode::Fixed(plans[idx % plans.len()].clone())
+            }
+            DriverPlan::Ca(pref) => {
+                let cs = Self::valid_ca_factors(self.p);
+                PlanMode::Ca {
+                    c: cs[pref % cs.len()],
+                }
+            }
+        };
+        MfbcConfig {
+            batch_size: Some(self.batch.clamp(1, self.n)),
+            plan_mode,
+            max_batches: None,
+            amortize_adjacency: self.amortize,
+            sources: None,
+        }
+    }
+
+    fn graph(&self) -> Graph {
+        Graph::new(
+            self.n,
+            false,
+            self.edges.iter().map(|&(u, v, w)| (u, v, Dist::new(w))),
+        )
+    }
+}
+
+impl CaseSpec for DriverCase {
+    fn check(&self) -> Result<(), String> {
+        let g = self.graph();
+        let oracle = if self.weighted {
+            brandes_weighted(&g)
+        } else {
+            brandes_unweighted(&g)
+        };
+        let machine = Machine::new(MachineSpec::test(self.p));
+        let cfg = self.config();
+        let run = mfbc_dist(&machine, &g, &cfg)
+            .map_err(|e| format!("driver ({:?}): machine error: {e}", cfg.plan_mode))?;
+        if run.scores.n() != oracle.n() {
+            return Err(format!(
+                "driver returned {} scores for an n={} graph",
+                run.scores.n(),
+                oracle.n()
+            ));
+        }
+        if !run.scores.approx_eq(&oracle, 1e-9) {
+            return Err(format!(
+                "driver ({:?}) diverges from Brandes: max |Δλ| = {:.3e}",
+                cfg.plan_mode,
+                run.scores.max_abs_diff(&oracle)
+            ));
+        }
+        Ok(())
+    }
+
+    fn size(&self) -> usize {
+        self.edges.len() + self.n + self.p
+    }
+
+    fn shrink_candidates(&self) -> Vec<DriverCase> {
+        let mut out = Vec::new();
+        for &q in gen::P_ALL.iter().filter(|&&q| q < self.p) {
+            out.push(DriverCase {
+                p: q,
+                ..self.clone()
+            });
+        }
+        for keep in chunk_reductions(self.edges.len()) {
+            let mut c = self.clone();
+            c.edges = keep.iter().map(|&i| self.edges[i]).collect();
+            out.push(c);
+        }
+        if self.n > 2 {
+            let n = (self.n / 2).max(2);
+            let mut c = self.clone();
+            c.n = n;
+            c.edges.retain(|&(u, v, _)| u < n && v < n);
+            out.push(c);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = MmCase::generate(42, &[MmKernelKind::Tropical], &[4]);
+        let b = MmCase::generate(42, &[MmKernelKind::Tropical], &[4]);
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        let d1 = DriverCase::generate(7, &gen::P_ALL, true);
+        let d2 = DriverCase::generate(7, &gen::P_ALL, true);
+        assert_eq!(format!("{d1:?}"), format!("{d2:?}"));
+    }
+
+    #[test]
+    fn shrink_candidates_strictly_smaller_exist() {
+        let c = MmCase::generate(3, &[MmKernelKind::BellmanFord], &[8]);
+        assert!(c
+            .shrink_candidates()
+            .iter()
+            .any(|cand| cand.size() < c.size()));
+    }
+
+    #[test]
+    fn ca_factors_are_always_available() {
+        for p in gen::P_ALL {
+            let cs = DriverCase::valid_ca_factors(p);
+            assert!(cs.contains(&p), "c = p must qualify for p={p}");
+            for c in cs {
+                let r = p / c;
+                let q = (r as f64).sqrt() as usize;
+                assert_eq!(q * q, r);
+            }
+        }
+    }
+
+    #[test]
+    fn small_tropical_case_passes() {
+        let c = MmCase::generate(11, &[MmKernelKind::Tropical], &[2]);
+        c.check().unwrap();
+    }
+}

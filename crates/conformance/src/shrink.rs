@@ -1,0 +1,141 @@
+//! Greedy delta-debugging shrinker.
+//!
+//! Given a failing case, repeatedly try the case's own reduction
+//! candidates and commit to the first strictly-smaller one that still
+//! fails, until no reduction fails (a local minimum) or the step
+//! budget runs out. Everything is deterministic: the same failing case
+//! always shrinks to the same minimal case, so replaying a printed
+//! seed reproduces not just the failure but the exact shrunk repro.
+
+use crate::case::CaseSpec;
+
+/// Outcome of shrinking a failing case.
+#[derive(Clone, Debug)]
+pub struct Shrunk<C> {
+    /// The locally minimal failing case.
+    pub case: C,
+    /// Its failure message.
+    pub error: String,
+    /// Number of committed reduction steps.
+    pub steps: usize,
+}
+
+/// Upper bound on committed reductions — far above what any real
+/// shrink needs; guards against a pathological candidate space.
+const MAX_STEPS: usize = 400;
+
+/// Runs `case.check()`, converting a panic into a failure message so
+/// the shrinker can keep minimizing cases that crash rather than
+/// diverge.
+pub fn run_check<C: CaseSpec>(case: &C) -> Result<(), String> {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| case.check())) {
+        Ok(r) => r,
+        Err(payload) => Err(format!("panicked: {}", panic_message(&*payload))),
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Minimizes `case` (known to fail with `error`). Greedy first-fail
+/// descent over [`CaseSpec::shrink_candidates`].
+pub fn shrink<C: CaseSpec>(case: &C, error: &str) -> Shrunk<C> {
+    let mut cur = case.clone();
+    let mut cur_err = error.to_string();
+    let mut steps = 0;
+    'descend: while steps < MAX_STEPS {
+        for cand in cur.shrink_candidates() {
+            if cand.size() >= cur.size() {
+                continue;
+            }
+            if let Err(e) = run_check(&cand) {
+                cur = cand;
+                cur_err = e;
+                steps += 1;
+                continue 'descend;
+            }
+        }
+        break;
+    }
+    Shrunk {
+        case: cur,
+        error: cur_err,
+        steps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A toy case: a list of numbers that "fails" when it contains
+    /// both a multiple of 3 and a multiple of 5.
+    #[derive(Clone, Debug)]
+    struct Toy(Vec<u64>);
+
+    impl CaseSpec for Toy {
+        fn check(&self) -> Result<(), String> {
+            let three = self.0.iter().any(|x| x % 3 == 0);
+            let five = self.0.iter().any(|x| x % 5 == 0);
+            if three && five {
+                Err(format!("conflict in {:?}", self.0))
+            } else {
+                Ok(())
+            }
+        }
+        fn size(&self) -> usize {
+            self.0.len()
+        }
+        fn shrink_candidates(&self) -> Vec<Toy> {
+            (0..self.0.len())
+                .map(|skip| {
+                    Toy(self
+                        .0
+                        .iter()
+                        .enumerate()
+                        .filter(|&(i, _)| i != skip)
+                        .map(|(_, &x)| x)
+                        .collect())
+                })
+                .collect()
+        }
+    }
+
+    #[test]
+    fn shrinks_to_minimal_conflict() {
+        let case = Toy(vec![1, 2, 3, 4, 5, 6, 7, 10, 11]);
+        let err = case.check().unwrap_err();
+        let s = shrink(&case, &err);
+        assert_eq!(s.case.0.len(), 2, "minimal case is one pair: {:?}", s.case);
+        assert!(s.case.check().is_err());
+        // Deterministic: same input shrinks identically.
+        let s2 = shrink(&case, &err);
+        assert_eq!(s.case.0, s2.case.0);
+    }
+
+    #[test]
+    fn panics_are_captured_as_failures() {
+        #[derive(Clone, Debug)]
+        struct Bomb;
+        impl CaseSpec for Bomb {
+            fn check(&self) -> Result<(), String> {
+                panic!("boom");
+            }
+            fn size(&self) -> usize {
+                1
+            }
+            fn shrink_candidates(&self) -> Vec<Bomb> {
+                Vec::new()
+            }
+        }
+        let e = run_check(&Bomb).unwrap_err();
+        assert!(e.contains("boom"), "{e}");
+    }
+}

@@ -1,0 +1,25 @@
+//! End-to-end differential suites: the distributed MFBC driver —
+//! under autotuned, forced-fixed, and CA plan modes, across batch
+//! sizes and rank counts — must reproduce the sequential Brandes
+//! oracle's betweenness scores on generated Erdős–Rényi and R-MAT
+//! graphs, weighted and unweighted.
+
+use mfbc_conformance::case::DriverCase;
+use mfbc_conformance::gen::P_ALL;
+use mfbc_conformance::suite::run_suite_or_panic;
+
+const SMOKE: usize = 200;
+
+#[test]
+fn driver_unweighted_vs_brandes() {
+    run_suite_or_panic("driver_unweighted_vs_brandes", SMOKE, |seed| {
+        DriverCase::generate(seed, &P_ALL, false)
+    });
+}
+
+#[test]
+fn driver_weighted_vs_brandes() {
+    run_suite_or_panic("driver_weighted_vs_brandes", SMOKE, |seed| {
+        DriverCase::generate(seed, &P_ALL, true)
+    });
+}

@@ -1,0 +1,97 @@
+//! Meta-test of the acceptance criterion: deliberately breaking one
+//! 3D multiplication variant must make the harness (a) catch it,
+//! (b) shrink the failing case, and (c) print a one-line replayable
+//! repro — and disarming the fault must restore a green suite,
+//! proving the failure was the injected one.
+
+use mfbc_conformance::case::{CaseSpec, MmCase, MmKernelKind};
+use mfbc_conformance::suite::run_suite;
+use mfbc_tensor::mm::fault;
+
+const KERNELS: [MmKernelKind; 3] = [
+    MmKernelKind::Tropical,
+    MmKernelKind::BellmanFord,
+    MmKernelKind::Brandes,
+];
+
+/// Cases pinned to p = 8 so the plan space always contains the
+/// sabotaged 3D family.
+fn gen(seed: u64) -> MmCase {
+    MmCase::generate(seed, &KERNELS, &[8])
+}
+
+#[test]
+fn injected_3d_fault_yields_shrunk_replayable_repro() {
+    // Sanity: the suite is green before arming the fault.
+    run_suite("fault_baseline", 10, gen).unwrap_or_else(|f| panic!("{f}"));
+
+    // Arm: corrupt the output of every C-split/AB-inner 3D plan.
+    let guard = fault::arm("3d(C/AB");
+    let failure =
+        run_suite("fault_injected", 10, gen).expect_err("sabotaged variant must be caught");
+    drop(guard);
+
+    // The very first case exercises the broken family (every case
+    // sweeps the whole plan space).
+    assert_eq!(failure.index, 0, "fault must surface on the first case");
+    assert!(
+        failure.original_error.contains("3d(C/AB"),
+        "failure must implicate the sabotaged family: {}",
+        failure.original_error
+    );
+    assert!(
+        failure.shrunk_error.contains("3d(C/AB"),
+        "shrinking must preserve the failing family: {}",
+        failure.shrunk_error
+    );
+    // Shrinking must have made real progress: p = 8 can drop to 4
+    // (the smallest rank count with 3D plans), so strictly smaller.
+    assert!(
+        failure.shrunk_size < failure.original_size,
+        "shrunk {} !< original {}",
+        failure.shrunk_size,
+        failure.original_size
+    );
+    assert!(
+        failure.shrunk_case.contains("p: 4"),
+        "minimal 3D repro should sit at p = 4: {}",
+        failure.shrunk_case
+    );
+
+    // The one-line repro: the exact env-var + cargo invocation.
+    assert_eq!(
+        failure.repro,
+        format!(
+            "MFBC_CONFORMANCE_SEED={:#x} cargo test -p mfbc-conformance fault_injected",
+            failure.seed
+        )
+    );
+
+    // Replayability, part 1: the printed seed regenerates a case that
+    // still fails while the fault is armed...
+    let replayed = gen(failure.seed);
+    let guard = fault::arm("3d(C/AB");
+    assert!(replayed.check().is_err(), "replayed case must still fail");
+    drop(guard);
+
+    // ...and part 2: with the fault disarmed the same case passes, so
+    // the harness blamed the injected bug and nothing else.
+    replayed
+        .check()
+        .unwrap_or_else(|e| panic!("case must pass once the fault is disarmed: {e}"));
+    run_suite("fault_injected", 10, gen).unwrap_or_else(|f| panic!("{f}"));
+}
+
+#[test]
+fn fault_guard_is_scoped_to_its_thread() {
+    // Arming on another thread must not perturb checks on this one —
+    // the property that lets the faulted test above coexist with the
+    // rest of the suite in one test binary.
+    let case = gen(1);
+    case.check().unwrap();
+    std::thread::spawn(|| {
+        let _guard = fault::arm("3d(C/AB");
+        std::thread::sleep(std::time::Duration::from_millis(30));
+    });
+    case.check().unwrap();
+}

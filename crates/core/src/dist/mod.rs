@@ -123,6 +123,33 @@ impl Default for MfbcConfig {
     }
 }
 
+impl MfbcConfig {
+    /// A config that pins every product to one explicit `plan` —
+    /// the conformance harness's way of forcing a specific variant
+    /// through the whole driver instead of going through autotune.
+    pub fn fixed(plan: mfbc_tensor::MmPlan) -> MfbcConfig {
+        MfbcConfig {
+            plan_mode: PlanMode::Fixed(plan),
+            ..MfbcConfig::default()
+        }
+    }
+
+    /// A config using the CA-MFBC fixed 3D grid with replication `c`.
+    pub fn ca(c: usize) -> MfbcConfig {
+        MfbcConfig {
+            plan_mode: PlanMode::Ca { c },
+            ..MfbcConfig::default()
+        }
+    }
+
+    /// Sets the per-batch source count, returning `self` for chaining.
+    #[must_use]
+    pub fn with_batch_size(mut self, nb: usize) -> MfbcConfig {
+        self.batch_size = Some(nb);
+        self
+    }
+}
+
 /// Statistics and result of a distributed MFBC run.
 #[derive(Clone, Debug)]
 pub struct MfbcRun {

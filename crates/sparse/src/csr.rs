@@ -247,6 +247,46 @@ impl<T> Csr<T> {
         }
         out
     }
+
+    /// Describes the first coordinate at which `self` and `other`
+    /// disagree — shape, structure, or value — or `None` if equal.
+    /// Differential-test helper: a full `assert_eq!` dump of two large
+    /// matrices is unreadable; this pinpoints the divergence.
+    pub fn first_difference(&self, other: &Csr<T>) -> Option<String>
+    where
+        T: PartialEq + std::fmt::Debug,
+    {
+        if (self.nrows, self.ncols) != (other.nrows, other.ncols) {
+            return Some(format!(
+                "shape {}x{} vs {}x{}",
+                self.nrows, self.ncols, other.nrows, other.ncols
+            ));
+        }
+        for i in 0..self.nrows {
+            let (lc, rc) = (self.row_cols(i), other.row_cols(i));
+            let (lv, rv) = (self.row_vals(i), other.row_vals(i));
+            for k in 0..lc.len().max(rc.len()) {
+                match (lc.get(k), rc.get(k)) {
+                    (Some(&a), Some(&b)) if a != b => {
+                        return Some(format!("row {i}: column {a} vs {b} at slot {k}"));
+                    }
+                    (Some(&a), Some(_)) => {
+                        if lv[k] != rv[k] {
+                            return Some(format!("entry ({i},{a}): {:?} vs {:?}", lv[k], rv[k]));
+                        }
+                    }
+                    (Some(&a), None) => {
+                        return Some(format!("entry ({i},{a})={:?} only on left", lv[k]));
+                    }
+                    (None, Some(&b)) => {
+                        return Some(format!("entry ({i},{b})={:?} only on right", rv[k]));
+                    }
+                    (None, None) => unreachable!(),
+                }
+            }
+        }
+        None
+    }
 }
 
 impl<T: std::fmt::Debug> std::fmt::Debug for Csr<T> {

@@ -14,48 +14,16 @@
 use crate::cache::MmCache;
 use crate::costmodel::{memory_per_rank, predict, MmStats};
 use crate::dist::DistMat;
-use crate::grid::factorizations;
-use crate::mm::{mm_exec, MmOut, MmPlan, Variant1D, Variant2D};
+use crate::mm::{mm_exec, MmOut, MmPlan};
 use mfbc_algebra::kernel::KernelOut;
 use mfbc_algebra::SpMulKernel;
 use mfbc_machine::{Machine, MachineError, MachineSpec};
 use mfbc_sparse::entry_bytes;
 
-const V1: [Variant1D; 3] = [Variant1D::A, Variant1D::B, Variant1D::C];
-const V2: [Variant2D; 3] = [Variant2D::AB, Variant2D::AC, Variant2D::BC];
-
-/// Every candidate plan for `p` ranks.
-pub fn candidate_plans(p: usize) -> Vec<MmPlan> {
-    let mut plans = Vec::new();
-    for v in V1 {
-        plans.push(MmPlan::OneD(v));
-    }
-    let q = (p as f64).sqrt().round() as usize;
-    if q * q == p && q > 1 {
-        plans.push(MmPlan::Cannon { q });
-    }
-    for (p1, p2, p3) in factorizations(p) {
-        if p1 == 1 && (p2 > 1 || p3 > 1) {
-            for v in V2 {
-                plans.push(MmPlan::TwoD { variant: v, p2, p3 });
-            }
-        }
-        if p1 > 1 && p2 * p3 > 1 {
-            for s in V1 {
-                for i in V2 {
-                    plans.push(MmPlan::ThreeD {
-                        split: s,
-                        inner: i,
-                        p1,
-                        p2,
-                        p3,
-                    });
-                }
-            }
-        }
-    }
-    plans
-}
+/// Every candidate plan for `p` ranks — the tuner's search space is
+/// exactly the enumerable plan space of [`crate::mm::enumerate_plans`]
+/// (re-exported here under its historical name).
+pub use crate::mm::enumerate_plans as candidate_plans;
 
 /// Scores all candidates and returns `(best plan, predicted cost)`.
 ///
@@ -153,6 +121,7 @@ pub fn mm_auto_cached<K: SpMulKernel>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::mm::Variant1D;
 
     #[test]
     fn candidate_space_shape() {

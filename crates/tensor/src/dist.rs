@@ -343,6 +343,37 @@ impl<T: Clone + Send + Sync> DistMat<T> {
         }
     }
 
+    /// Checks every structural invariant of the distributed matrix:
+    /// each block satisfies the CSR invariants ([`Csr::validate`])
+    /// and has exactly the shape its layout cell prescribes. Returns
+    /// a description of the first violation.
+    ///
+    /// Used by the conformance harness after every kernel execution
+    /// (and by `mm_exec` itself under `debug_assertions`), so a
+    /// corrupted communication schedule fails loudly at the operation
+    /// that produced it instead of as a distant wrong answer.
+    pub fn validate(&self) -> Result<(), String> {
+        for bi in 0..self.layout.br() {
+            for bj in 0..self.layout.bc() {
+                let b = self.block(bi, bj);
+                if b.nrows() != self.layout.row_range(bi).len()
+                    || b.ncols() != self.layout.col_range(bj).len()
+                {
+                    return Err(format!(
+                        "block ({bi},{bj}) shape {}x{} != layout cell {}x{}",
+                        b.nrows(),
+                        b.ncols(),
+                        self.layout.row_range(bi).len(),
+                        self.layout.col_range(bj).len()
+                    ));
+                }
+                b.validate()
+                    .map_err(|e| format!("block ({bi},{bj}): {e}"))?;
+            }
+        }
+        Ok(())
+    }
+
     /// Reassembles the global matrix (gather for verification/output;
     /// combines with `M` since block cuts are disjoint this is pure
     /// concatenation, but duplicate tolerance makes testing easier).

@@ -43,5 +43,8 @@ pub use cache::MmCache;
 pub use costmodel::MmStats;
 pub use dist::{DistMat, Layout};
 pub use grid::{Grid2, Grid3};
-pub use mm::{canonical_layout, mm_exec, mm_exec_cached, MmOut, MmPlan, Variant1D, Variant2D};
+pub use mm::{
+    canonical_layout, enumerate_plans, mm_exec, mm_exec_cached, MmOut, MmPlan, Variant1D,
+    Variant2D, VARIANTS_1D, VARIANTS_2D,
+};
 pub use redist::redistribute;

@@ -138,6 +138,21 @@ impl std::fmt::Display for MmPlan {
 }
 
 impl MmPlan {
+    /// The plan's variant *family* — the label without grid dims
+    /// (`1d(A)`, `2d(AC)`, `cannon`, `3d(C/AB)`). The sixteen
+    /// families `1D×3 + 2D×3 + 3D×9 + cannon` partition the
+    /// enumerable plan space; the conformance harness buckets its
+    /// coverage counters by family and the fault-injection hook
+    /// matches on family prefixes.
+    pub fn family(&self) -> String {
+        match *self {
+            MmPlan::OneD(v) => format!("1d({v})"),
+            MmPlan::TwoD { variant, .. } => format!("2d({variant})"),
+            MmPlan::Cannon { .. } => "cannon".to_string(),
+            MmPlan::ThreeD { split, inner, .. } => format!("3d({split}/{inner})"),
+        }
+    }
+
     /// The `(p1, p2, p3)` grid of this plan given `p` total ranks.
     pub fn dims(&self, p: usize) -> (usize, usize, usize) {
         match *self {
@@ -153,6 +168,120 @@ impl MmPlan {
         let (a, b, c) = self.dims(p);
         assert_eq!(a * b * c, p, "plan grid {a}x{b}x{c} != p={p}");
     }
+}
+
+/// The three 1D variants, in enumeration order.
+pub const VARIANTS_1D: [Variant1D; 3] = [Variant1D::A, Variant1D::B, Variant1D::C];
+
+/// The three 2D variants, in enumeration order.
+pub const VARIANTS_2D: [Variant2D; 3] = [Variant2D::AB, Variant2D::AC, Variant2D::BC];
+
+/// Every executable plan for `p` ranks: all three 1D variants, every
+/// 2D variant × grid factorization, Cannon when `p` is a perfect
+/// square, and all nine 3D `(split, inner)` nestings × factorization.
+///
+/// This is the seam the conformance harness uses to *force* each
+/// variant individually (instead of going through the autotuner,
+/// which would only ever execute its predicted winner); the autotuner
+/// scores exactly this same list, so harness coverage and tuner
+/// search space cannot drift apart.
+pub fn enumerate_plans(p: usize) -> Vec<MmPlan> {
+    let mut plans = Vec::new();
+    for v in VARIANTS_1D {
+        plans.push(MmPlan::OneD(v));
+    }
+    let q = (p as f64).sqrt().round() as usize;
+    if q * q == p && q > 1 {
+        plans.push(MmPlan::Cannon { q });
+    }
+    for (p1, p2, p3) in crate::grid::factorizations(p) {
+        if p1 == 1 && (p2 > 1 || p3 > 1) {
+            for v in VARIANTS_2D {
+                plans.push(MmPlan::TwoD { variant: v, p2, p3 });
+            }
+        }
+        if p1 > 1 && p2 * p3 > 1 {
+            for s in VARIANTS_1D {
+                for i in VARIANTS_2D {
+                    plans.push(MmPlan::ThreeD {
+                        split: s,
+                        inner: i,
+                        p1,
+                        p2,
+                        p3,
+                    });
+                }
+            }
+        }
+    }
+    plans
+}
+
+/// Test-only fault injection: lets the conformance harness verify
+/// that a deliberately broken variant is caught, localized, and
+/// shrunk to a minimal repro. Not part of the public API surface.
+///
+/// While a fault is armed (thread-local), any [`mm_exec`] whose plan
+/// label starts with the armed prefix has its result corrupted: one
+/// stored output entry is dropped, or — when the output is empty —
+/// the `ops` counter is perturbed. Disarm by dropping the
+/// [`fault::FaultGuard`].
+#[doc(hidden)]
+pub mod fault {
+    use std::cell::RefCell;
+
+    thread_local! {
+        static ARMED: RefCell<Option<String>> = const { RefCell::new(None) };
+    }
+
+    /// Arms corruption for plans whose `Display` label starts with
+    /// `prefix` (a family label like `3d(C/AB` matches every grid).
+    /// Returns a guard that disarms when dropped, panic-safe.
+    pub fn arm(prefix: &str) -> FaultGuard {
+        ARMED.with(|a| *a.borrow_mut() = Some(prefix.to_string()));
+        FaultGuard { _private: () }
+    }
+
+    pub(crate) fn armed_for(label: &str) -> bool {
+        ARMED.with(|a| {
+            a.borrow()
+                .as_deref()
+                .is_some_and(|prefix| label.starts_with(prefix))
+        })
+    }
+
+    /// Disarms the thread's fault on drop.
+    pub struct FaultGuard {
+        _private: (),
+    }
+
+    impl Drop for FaultGuard {
+        fn drop(&mut self) {
+            ARMED.with(|a| *a.borrow_mut() = None);
+        }
+    }
+}
+
+/// Applies the armed corruption to a finished result (see [`fault`]).
+fn apply_fault<T>(out: &mut MmOut<T>)
+where
+    T: Clone + Send + Sync + PartialEq + std::fmt::Debug,
+{
+    let l = out.c.layout().clone();
+    for bi in 0..l.br() {
+        for bj in 0..l.bc() {
+            if out.c.block(bi, bj).nnz() > 0 {
+                let mut first = true;
+                let b = out
+                    .c
+                    .block(bi, bj)
+                    .filter(|_, _, _| !std::mem::take(&mut first));
+                out.c.set_block(bi, bj, b);
+                return;
+            }
+        }
+    }
+    out.ops = out.ops.wrapping_add(1);
 }
 
 /// Result of a distributed multiplication.
@@ -277,6 +406,20 @@ pub fn mm_exec_cached<K: SpMulKernel>(
             let grid = Grid3::new(m.world(), p1, p2, p3);
             mm3d::run::<K>(m, &grid, split, inner, a, b, cache)
         }
+    };
+    let out = match out {
+        Ok(mut out) => {
+            if fault::armed_for(&plan.to_string()) {
+                apply_fault(&mut out);
+            }
+            debug_assert!(
+                out.c.validate().is_ok(),
+                "mm_exec produced an invalid result: {:?}",
+                out.c.validate()
+            );
+            Ok(out)
+        }
+        err => err,
     };
     if let Ok(out) = &out {
         mfbc_trace::emit(|| mfbc_trace::TraceEvent::Spgemm {
