@@ -386,6 +386,7 @@ pub fn ablation_batch(quick: bool) -> Table {
             max_batches: Some(1),
             amortize_adjacency: true,
             sources: None,
+            threads: None,
         };
         match mfbc_core::dist::mfbc_dist(&machine, &g, &cfg) {
             Ok(run) => {
@@ -487,6 +488,7 @@ pub fn ablation_amortization(quick: bool) -> Table {
             max_batches: Some(1),
             amortize_adjacency: amortize,
             sources: None,
+            threads: None,
         };
         match mfbc_core::dist::mfbc_dist(&machine, &g, &cfg) {
             Ok(run) => {
@@ -544,6 +546,7 @@ pub fn apsp_vs_mfbc(quick: bool) -> Table {
             max_batches: None, // full BC: every source
             amortize_adjacency: true,
             sources: None,
+            threads: None,
         };
         let run = mfbc_core::dist::mfbc_dist(&machine, &g, &cfg).expect("MFBC fits");
         assert_eq!(run.sources_processed, g.n());

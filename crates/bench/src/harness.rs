@@ -121,6 +121,7 @@ pub fn measure_mfbc(
         max_batches: Some(1),
         amortize_adjacency: true,
         sources: None,
+        threads: None,
     };
     match mfbc_dist(&machine, g, &cfg) {
         Ok(run) => Ok(finish(

@@ -325,6 +325,9 @@ pub struct DriverCase {
     pub batch: usize,
     /// Whether adjacency preparation is amortized across products.
     pub amortize: bool,
+    /// Shared-memory pool size the driver runs under (drawn from
+    /// [`gen::THREAD_COUNTS`]; the scores must not depend on it).
+    pub threads: usize,
 }
 
 impl DriverCase {
@@ -355,6 +358,7 @@ impl DriverCase {
             plan,
             batch: 1 + rng.below(n),
             amortize: rng.chance(1, 2),
+            threads: gen::THREAD_COUNTS[rng.below(gen::THREAD_COUNTS.len())],
         }
     }
 
@@ -394,6 +398,7 @@ impl DriverCase {
             max_batches: None,
             amortize_adjacency: self.amortize,
             sources: None,
+            threads: Some(self.threads),
         }
     }
 
@@ -436,7 +441,7 @@ impl CaseSpec for DriverCase {
     }
 
     fn size(&self) -> usize {
-        self.edges.len() + self.n + self.p
+        self.edges.len() + self.n + self.p + self.threads
     }
 
     fn shrink_candidates(&self) -> Vec<DriverCase> {
@@ -444,6 +449,13 @@ impl CaseSpec for DriverCase {
         for &q in gen::P_ALL.iter().filter(|&&q| q < self.p) {
             out.push(DriverCase {
                 p: q,
+                ..self.clone()
+            });
+        }
+        // Fewer pool workers next: a serial repro is easiest to debug.
+        for &t in gen::THREAD_COUNTS.iter().filter(|&&t| t < self.threads) {
+            out.push(DriverCase {
+                threads: t,
                 ..self.clone()
             });
         }

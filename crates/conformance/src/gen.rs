@@ -22,6 +22,11 @@ pub const P_ALL: [usize; 7] = [1, 2, 3, 4, 7, 8, 16];
 /// Rank counts with degenerate/adversarial structure only.
 pub const P_DEGENERATE: [usize; 4] = [1, 2, 3, 7];
 
+/// Shared-memory pool sizes the harness exercises: the degenerate
+/// serial pool, the smallest real pool, and two oversubscribed sizes.
+/// Results must be bit-identical across all of them.
+pub const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
 /// α menus for generated machines (round binary values, so cost
 /// arithmetic in assertions stays exact).
 pub const ALPHAS: [f64; 3] = [0.5, 1.0, 4.0];

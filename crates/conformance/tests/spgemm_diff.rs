@@ -1,9 +1,10 @@
-//! Differential pin: the rayon-parallel `spgemm` must agree with
+//! Differential pin: the pool-parallel `spgemm` must agree with
 //! `spgemm_serial` bit-for-bit (structure, values, and op counts) —
 //! on seeded random operands biased into the parallel row-chunking
-//! regime, and on the adversarial shapes where chunked index
-//! arithmetic goes wrong first: empty rows/columns, duplicate-
-//! coordinate COO ingest, fully dense blocks, and 0×n / n×0 shapes.
+//! regime, at every thread count in {1, 2, 4, 8}, and on the
+//! adversarial shapes where chunked index arithmetic goes wrong
+//! first: empty rows/columns, duplicate-coordinate COO ingest, fully
+//! dense blocks, and 0×n / n×0 shapes.
 
 use mfbc_algebra::kernel::{BellmanFordKernel, KernelOut, TropicalKernel};
 use mfbc_algebra::monoid::MinDist;
@@ -40,15 +41,23 @@ where
     Ok(())
 }
 
+/// Thread counts every differential case is exercised at: the serial
+/// degenerate pool, the smallest real pool, and two oversubscribed
+/// sizes (the container may have fewer cores; determinism must hold
+/// regardless).
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
 /// A seeded case pitting `spgemm` against `spgemm_serial` on tropical
 /// operands whose row counts are biased above the parallel-path
-/// threshold (the serial fallback below it is also exercised).
+/// threshold (the serial fallback below it is also exercised), run
+/// under a pool of `threads` workers.
 #[derive(Clone, Debug)]
 struct DiffCase {
     // Read only through the derived Debug impl, which is what puts the
     // seed into the shrunk-case printout.
     #[allow(dead_code)]
     seed: u64,
+    threads: usize,
     m: usize,
     k: usize,
     n: usize,
@@ -59,7 +68,8 @@ struct DiffCase {
 impl DiffCase {
     fn generate(seed: u64) -> DiffCase {
         let mut rng = SplitMix64::new(seed);
-        // Mostly ≥ 32 rows (the rayon row-chunking regime, including
+        let threads = THREAD_COUNTS[rng.below(THREAD_COUNTS.len())];
+        // Mostly ≥ 32 rows (the pool row-chunking regime, including
         // ragged final chunks at 33, 47, …), sometimes small.
         let m = if rng.chance(3, 4) {
             rng.range(32, 70)
@@ -81,6 +91,7 @@ impl DiffCase {
             .collect();
         DiffCase {
             seed,
+            threads,
             m,
             k,
             n,
@@ -102,15 +113,24 @@ impl CaseSpec for DiffCase {
     fn check(&self) -> Result<(), String> {
         let a = Self::csr((self.m, self.k), &self.a);
         let b = Self::csr((self.k, self.n), &self.b);
-        assert_par_matches_serial::<TropicalKernel>(&a, &b)
+        mfbc_parallel::with_threads(self.threads, || {
+            assert_par_matches_serial::<TropicalKernel>(&a, &b)
+        })
     }
 
     fn size(&self) -> usize {
-        self.a.len() + self.b.len() + self.m + self.k + self.n
+        self.a.len() + self.b.len() + self.m + self.k + self.n + self.threads
     }
 
     fn shrink_candidates(&self) -> Vec<DiffCase> {
         let mut out = Vec::new();
+        // Fewer threads first: a failure that survives at 2 workers is
+        // easier to debug than the same failure at 8.
+        for &t in THREAD_COUNTS.iter().filter(|&&t| t < self.threads) {
+            let mut c = self.clone();
+            c.threads = t;
+            out.push(c);
+        }
         for (field, len) in [(0, self.a.len()), (1, self.b.len())] {
             if len > 1 {
                 for half in 0..2 {
@@ -162,6 +182,39 @@ fn spgemm_parallel_vs_serial_seeded() {
     run_suite_or_panic("spgemm_parallel_vs_serial_seeded", 300, DiffCase::generate);
 }
 
+/// Runs `f` once under each pool size in [`THREAD_COUNTS`].
+fn for_each_thread_count(f: impl Fn()) {
+    for &t in &THREAD_COUNTS {
+        mfbc_parallel::with_threads(t, &f);
+    }
+}
+
+#[test]
+fn spgemm_bit_identical_across_thread_counts() {
+    // The same product computed under every pool size must agree with
+    // the 1-thread result bit-for-bit: entries, structure, AND op
+    // counts. This is the cross-thread determinism pin, independent of
+    // the serial reference implementation.
+    for seed in [1u64, 0xC0FFEE, 0x5EED] {
+        let case = DiffCase::generate(seed);
+        let a = DiffCase::csr((case.m, case.k), &case.a);
+        let b = DiffCase::csr((case.k, case.n), &case.b);
+        let reference = mfbc_parallel::with_threads(1, || spgemm::<TropicalKernel>(&a, &b));
+        for &t in &THREAD_COUNTS[1..] {
+            let out = mfbc_parallel::with_threads(t, || spgemm::<TropicalKernel>(&a, &b));
+            assert_eq!(
+                reference.mat.first_difference(&out.mat),
+                None,
+                "seed {seed:#x}: {t}-thread product diverges from 1-thread"
+            );
+            assert_eq!(
+                reference.ops, out.ops,
+                "seed {seed:#x}: {t}-thread op count diverges from 1-thread"
+            );
+        }
+    }
+}
+
 #[test]
 fn zero_by_n_and_n_by_zero_shapes() {
     // Degenerate shapes: every combination of a zero dimension.
@@ -191,11 +244,13 @@ fn empty_rows_and_columns() {
     }
     let a = ca.into_csr::<MinDist>();
     let b = cb.into_csr::<MinDist>();
-    assert_par_matches_serial::<TropicalKernel>(&a, &b).unwrap();
-    let out = spgemm::<TropicalKernel>(&a, &b);
-    // Exactly one output entry: (17, 23) = min_j (j + j).
-    assert_eq!(out.mat.nnz(), 1);
-    assert_eq!(out.mat.get(17, 23), Some(&Dist::new(0)));
+    for_each_thread_count(|| {
+        assert_par_matches_serial::<TropicalKernel>(&a, &b).unwrap();
+        let out = spgemm::<TropicalKernel>(&a, &b);
+        // Exactly one output entry: (17, 23) = min_j (j + j).
+        assert_eq!(out.mat.nnz(), 1);
+        assert_eq!(out.mat.get(17, 23), Some(&Dist::new(0)));
+    });
 }
 
 #[test]
@@ -219,7 +274,7 @@ fn duplicate_coordinate_coo_ingest() {
     assert_eq!(a.nnz(), 33);
     assert_eq!(a.get(0, 0), Some(&Dist::new(10)));
     assert_eq!(b.get(2, 4), Some(&Dist::new(5)));
-    assert_par_matches_serial::<TropicalKernel>(&a, &b).unwrap();
+    for_each_thread_count(|| assert_par_matches_serial::<TropicalKernel>(&a, &b).unwrap());
 }
 
 #[test]
@@ -237,10 +292,12 @@ fn fully_dense_blocks() {
     }
     let a = ca.into_csr::<MinDist>();
     let b = cb.into_csr::<MinDist>();
-    assert_par_matches_serial::<TropicalKernel>(&a, &b).unwrap();
-    let out = spgemm::<TropicalKernel>(&a, &b);
-    assert_eq!(out.mat.nnz(), 1600);
-    assert_eq!(out.ops, 40 * 40 * 40);
+    for_each_thread_count(|| {
+        assert_par_matches_serial::<TropicalKernel>(&a, &b).unwrap();
+        let out = spgemm::<TropicalKernel>(&a, &b);
+        assert_eq!(out.mat.nnz(), 1600);
+        assert_eq!(out.ops, 40 * 40 * 40);
+    });
 }
 
 #[test]
@@ -263,5 +320,5 @@ fn multpath_kernel_parallel_vs_serial() {
     }
     let f = cf.into_csr::<MultpathMonoid>();
     let a = ca.into_csr::<MinDist>();
-    assert_par_matches_serial::<BellmanFordKernel>(&f, &a).unwrap();
+    for_each_thread_count(|| assert_par_matches_serial::<BellmanFordKernel>(&f, &a).unwrap());
 }

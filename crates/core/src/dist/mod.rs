@@ -109,6 +109,11 @@ pub struct MfbcConfig {
     /// `Σ_{s ∈ S} δ(s, ·)` — the building block of sampled
     /// approximation (see [`crate::approx`]).
     pub sources: Option<Vec<usize>>,
+    /// Shared-memory threads for the local kernels (`mfbc-parallel`
+    /// pool size). `None` uses the process default (`MFBC_THREADS`
+    /// env, else available parallelism). Results are bit-identical at
+    /// any value.
+    pub threads: Option<usize>,
 }
 
 impl Default for MfbcConfig {
@@ -119,6 +124,7 @@ impl Default for MfbcConfig {
             max_batches: None,
             amortize_adjacency: true,
             sources: None,
+            threads: None,
         }
     }
 }
@@ -148,6 +154,14 @@ impl MfbcConfig {
         self.batch_size = Some(nb);
         self
     }
+
+    /// Sets the shared-memory thread count for the local kernels,
+    /// returning `self` for chaining.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> MfbcConfig {
+        self.threads = Some(threads);
+        self
+    }
 }
 
 /// Statistics and result of a distributed MFBC run.
@@ -171,9 +185,24 @@ pub struct MfbcRun {
 
 /// Runs distributed MFBC on `machine`.
 ///
+/// When [`MfbcConfig::threads`] is set, the whole run executes under
+/// an `mfbc_parallel::with_threads` override, sizing every local
+/// kernel's pool; results are bit-identical at any thread count.
+///
 /// # Errors
 /// Propagates simulated out-of-memory failures.
 pub fn mfbc_dist(machine: &Machine, g: &Graph, cfg: &MfbcConfig) -> Result<MfbcRun, MachineError> {
+    match cfg.threads {
+        Some(t) => mfbc_parallel::with_threads(t, || mfbc_dist_inner(machine, g, cfg)),
+        None => mfbc_dist_inner(machine, g, cfg),
+    }
+}
+
+fn mfbc_dist_inner(
+    machine: &Machine,
+    g: &Graph,
+    cfg: &MfbcConfig,
+) -> Result<MfbcRun, MachineError> {
     let n = g.n();
     let nb = cfg.batch_size.unwrap_or_else(|| n.min(512)).max(1);
 

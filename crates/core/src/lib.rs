@@ -6,7 +6,7 @@
 //! over the multpath and centpath monoids.
 //!
 //! * [`seq`] — Algorithms 1–3 on CSR matrices (shared-memory
-//!   reference, rayon-parallel kernels);
+//!   reference, `mfbc-parallel` pooled kernels);
 //! * [`dist`] — the distributed drivers over the simulated machine:
 //!   autotuned **CTF-MFBC** and fixed-grid **CA-MFBC** (§6);
 //! * [`combblas`] — the CombBLAS-style comparison baseline: batched

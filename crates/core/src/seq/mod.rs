@@ -2,7 +2,7 @@
 //! 1–3 executed directly on CSR matrices with the generalized-SpGEMM
 //! kernels. This is both the `p = 1` reference the distributed driver
 //! is tested against and a usable shared-memory BC implementation in
-//! its own right (the local SpGEMM is rayon-parallel).
+//! its own right (the local SpGEMM runs on the `mfbc-parallel` pool).
 
 pub mod mfbc;
 pub mod mfbf;

@@ -158,6 +158,7 @@ fn fixed_plan_modes_match_oracle() {
                 max_batches: None,
                 amortize_adjacency: true,
                 sources: None,
+                threads: None,
             },
         )
         .unwrap();

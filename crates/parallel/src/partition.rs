@@ -1,0 +1,134 @@
+//! Weight-balanced contiguous partitioning.
+//!
+//! The parallel SpGEMM splits output rows into ranges of roughly
+//! equal *flops* (Σ over rows of the row's elementary products), not
+//! equal row counts — power-law graphs concentrate most flops in a
+//! few heavy rows, so fixed-size chunking starves all but one worker.
+
+use std::ops::Range;
+
+/// Splits `0..weights.len()` into at most `nparts` contiguous,
+/// non-empty ranges whose weight sums are as balanced as a greedy
+/// prefix walk allows. Deterministic in its inputs; the concatenation
+/// of the ranges is always exactly `0..weights.len()`, in order.
+///
+/// Items with weight 0 still advance the walk, so all-zero inputs
+/// degrade to an even split by count.
+pub fn balanced_ranges(weights: &[u64], nparts: usize) -> Vec<Range<usize>> {
+    let n = weights.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let nparts = nparts.clamp(1, n);
+    if nparts == 1 {
+        return std::iter::once(0..n).collect();
+    }
+    let total: u128 = weights.iter().map(|&w| w as u128).sum();
+    if total == 0 {
+        // Even split by item count.
+        return (0..nparts)
+            .map(|p| (p * n / nparts)..((p + 1) * n / nparts))
+            .filter(|r| !r.is_empty())
+            .collect();
+    }
+    let mut cuts: Vec<usize> = Vec::with_capacity(nparts + 1);
+    cuts.push(0);
+    let mut prefix: u128 = 0;
+    let mut next_part: u128 = 1;
+    for (i, &w) in weights.iter().enumerate() {
+        prefix += w as u128;
+        // Close every part whose weight share the prefix has reached;
+        // a single huge item may close several at once (the duplicate
+        // cuts are filtered below).
+        while next_part < nparts as u128 && prefix * nparts as u128 >= total * next_part {
+            cuts.push(i + 1);
+            next_part += 1;
+        }
+    }
+    cuts.push(n);
+    let mut out = Vec::with_capacity(cuts.len() - 1);
+    for pair in cuts.windows(2) {
+        if pair[0] < pair[1] {
+            out.push(pair[0]..pair[1]);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_cover(ranges: &[Range<usize>], n: usize) {
+        let mut at = 0;
+        for r in ranges {
+            assert_eq!(r.start, at, "ranges must tile in order");
+            assert!(r.end > r.start, "empty range");
+            at = r.end;
+        }
+        assert_eq!(at, n);
+    }
+
+    #[test]
+    fn covers_and_orders() {
+        let w = vec![1u64; 100];
+        let r = balanced_ranges(&w, 7);
+        check_cover(&r, 100);
+        assert_eq!(r.len(), 7);
+    }
+
+    #[test]
+    fn balances_skewed_weights() {
+        // One heavy item at the front, long light tail.
+        let mut w = vec![1u64; 64];
+        w[0] = 1000;
+        let r = balanced_ranges(&w, 4);
+        check_cover(&r, 64);
+        // The heavy item gets a range of its own.
+        assert_eq!(r[0], 0..1);
+    }
+
+    #[test]
+    fn huge_item_mid_stream() {
+        let w = vec![1, 1, 10_000, 1, 1];
+        let r = balanced_ranges(&w, 4);
+        check_cover(&r, 5);
+        // The huge item closes several parts at once; duplicates are
+        // filtered, so ranges stay non-empty.
+        assert!(r.iter().all(|x| !x.is_empty()));
+    }
+
+    #[test]
+    fn all_zero_weights_split_evenly() {
+        let r = balanced_ranges(&[0; 10], 3);
+        check_cover(&r, 10);
+        assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    fn more_parts_than_items() {
+        let r = balanced_ranges(&[5, 5], 8);
+        check_cover(&r, 2);
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        assert!(balanced_ranges(&[], 4).is_empty());
+        assert_eq!(balanced_ranges(&[9], 4), vec![0..1]);
+        assert_eq!(balanced_ranges(&[1, 2, 3], 1), vec![0..3]);
+    }
+
+    #[test]
+    fn weights_within_two_targets() {
+        // No part (except ones forced by a single heavy item) should
+        // exceed ~2x the ideal share.
+        let w: Vec<u64> = (0..200).map(|i| (i % 17) as u64 + 1).collect();
+        let total: u64 = w.iter().sum();
+        let parts = 8u64;
+        for r in balanced_ranges(&w, parts as usize) {
+            let s: u64 = w[r].iter().sum();
+            assert!(s <= 2 * total / parts + 17, "part weight {s} too large");
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! Disjoint-index shared writes.
+//!
+//! The parallel counting transpose pre-computes, per task, the exact
+//! output slots the task will fill (a cursor per output row), so
+//! tasks write to provably disjoint index sets of one shared buffer.
+//! [`ScatterVec`] is the minimal unsafe cell making those writes
+//! expressible; the safety obligation (disjointness + completion
+//! before reads) is discharged by the caller's partitioning.
+
+use std::cell::UnsafeCell;
+
+/// A fixed-length buffer allowing unsynchronized writes to *disjoint*
+/// indices from multiple threads.
+pub struct ScatterVec<T> {
+    data: Vec<UnsafeCell<T>>,
+}
+
+// SAFETY: `ScatterVec` hands out no references, only the unsafe
+// `write` below whose contract forbids two threads touching the same
+// index; `T: Send` makes moving values in from any thread sound.
+unsafe impl<T: Send> Sync for ScatterVec<T> {}
+
+impl<T> ScatterVec<T> {
+    /// Wraps `v`, taking ownership of its storage without copying.
+    pub fn from_vec(v: Vec<T>) -> ScatterVec<T> {
+        let mut v = std::mem::ManuallyDrop::new(v);
+        let (ptr, len, cap) = (v.as_mut_ptr(), v.len(), v.capacity());
+        // SAFETY: `UnsafeCell<T>` is `#[repr(transparent)]` over `T`,
+        // so the allocation layout is identical.
+        let data = unsafe { Vec::from_raw_parts(ptr as *mut UnsafeCell<T>, len, cap) };
+        ScatterVec { data }
+    }
+
+    /// Buffer length.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Overwrites slot `i` with `v`, dropping the previous value.
+    ///
+    /// # Safety
+    /// * `i < self.len()`;
+    /// * no other thread reads or writes index `i` concurrently —
+    ///   each index must be owned by exactly one task;
+    /// * all writes must complete (synchronize) before
+    ///   [`ScatterVec::into_vec`] is called. A pool fan-out provides
+    ///   this: the caller blocks on batch completion, which
+    ///   synchronizes-with every job.
+    #[inline]
+    pub unsafe fn write(&self, i: usize, v: T) {
+        debug_assert!(i < self.data.len());
+        unsafe { *self.data[i].get() = v };
+    }
+
+    /// Unwraps into the underlying vector.
+    pub fn into_vec(self) -> Vec<T> {
+        let mut data = std::mem::ManuallyDrop::new(self.data);
+        let (ptr, len, cap) = (data.as_mut_ptr(), data.len(), data.capacity());
+        // SAFETY: inverse of `from_vec`; same transparent layout.
+        unsafe { Vec::from_raw_parts(ptr as *mut T, len, cap) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_preserves_values() {
+        let sv = ScatterVec::from_vec(vec![0u64; 8]);
+        for i in 0..8 {
+            // SAFETY: single thread, distinct indices.
+            unsafe { sv.write(i, (i * i) as u64) };
+        }
+        assert_eq!(sv.len(), 8);
+        assert_eq!(sv.into_vec(), vec![0, 1, 4, 9, 16, 25, 36, 49]);
+    }
+
+    #[test]
+    fn drops_previous_values_exactly_once() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        struct D(#[allow(dead_code)] u8);
+        impl Drop for D {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        DROPS.store(0, Ordering::SeqCst);
+        {
+            let sv = ScatterVec::from_vec(vec![D(0), D(1)]);
+            // SAFETY: single thread, index in bounds.
+            unsafe { sv.write(0, D(9)) };
+            let _v = sv.into_vec();
+        }
+        // 3 values ever constructed (2 initial + 1 written), all
+        // dropped: the overwritten one at write time, the rest at
+        // scope exit.
+        assert_eq!(DROPS.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn option_fill_pattern() {
+        let sv = ScatterVec::from_vec(vec![None::<String>; 3]);
+        unsafe {
+            sv.write(1, Some("x".to_string()));
+            sv.write(0, Some("y".to_string()));
+            sv.write(2, Some("z".to_string()));
+        }
+        let v: Vec<String> = sv.into_vec().into_iter().map(|o| o.unwrap()).collect();
+        assert_eq!(v, vec!["y", "x", "z"]);
+    }
+}

@@ -3,34 +3,69 @@
 //! Implements the paper's `A ⊕ B` (elementwise application of a
 //! monoid operator to a pair of matrices, §2.2) plus the anchored
 //! merge MFBr needs, and `Transform`-style in-structure updates
-//! (§6.1's CTF `Transform`).
+//! (§6.1's CTF `Transform`). The merges are row-parallel on the
+//! [`mfbc_parallel::current`] pool: rows are split into nnz-balanced
+//! contiguous ranges, each range merged by one task, and the chunks
+//! concatenated in row order — bit-identical to the serial merge at
+//! any thread count.
 
 use crate::csr::{Csr, Idx};
 use mfbc_algebra::monoid::Monoid;
+use mfbc_parallel::balanced_ranges;
 
-/// `C = A ⊕ B`: a sorted two-pointer merge of each row pair,
-/// combining collisions with the monoid and pruning identities.
-///
-/// # Panics
-/// Panics if the shapes disagree.
-pub fn combine<M, T>(a: &Csr<T>, b: &Csr<T>) -> Csr<T>
+/// Below this total nnz the serial merge wins outright.
+const PAR_MIN_NNZ: usize = 1 << 12;
+
+/// Tasks created per pool participant (see `spgemm`).
+const TASKS_PER_THREAD: usize = 4;
+
+/// Concatenates per-range `(row lengths, colind, vals)` chunks, in
+/// range order, into a CSR.
+fn assemble_rows<T>(
+    nrows: usize,
+    ncols: usize,
+    chunks: Vec<(Vec<usize>, Vec<Idx>, Vec<T>)>,
+) -> Csr<T> {
+    let mut rowptr = Vec::with_capacity(nrows + 1);
+    rowptr.push(0usize);
+    let nnz: usize = chunks.iter().map(|c| c.1.len()).sum();
+    let mut colind = Vec::with_capacity(nnz);
+    let mut vals = Vec::with_capacity(nnz);
+    for (rowlen, ci, vs) in chunks {
+        for len in rowlen {
+            rowptr.push(rowptr.last().unwrap() + len);
+        }
+        colind.extend(ci);
+        vals.extend(vs);
+    }
+    debug_assert_eq!(rowptr.len(), nrows + 1);
+    Csr::from_parts(nrows, ncols, rowptr, colind, vals)
+}
+
+/// nnz-balanced row ranges for a two-operand row merge.
+fn merge_ranges<A, B>(a: &Csr<A>, b: &Csr<B>, nparts: usize) -> Vec<std::ops::Range<usize>> {
+    let weights: Vec<u64> = (0..a.nrows())
+        .map(|i| 1 + (a.row_nnz(i) + b.row_nnz(i)) as u64)
+        .collect();
+    balanced_ranges(&weights, nparts)
+}
+
+fn combine_rows<M, T>(
+    a: &Csr<T>,
+    b: &Csr<T>,
+    rows: std::ops::Range<usize>,
+) -> (Vec<usize>, Vec<Idx>, Vec<T>)
 where
     M: Monoid<Elem = T>,
     T: Clone + PartialEq + Send + Sync + std::fmt::Debug,
 {
-    assert_eq!(
-        (a.nrows(), a.ncols()),
-        (b.nrows(), b.ncols()),
-        "elementwise combine shape mismatch"
-    );
-    let mut rowptr = Vec::with_capacity(a.nrows() + 1);
-    rowptr.push(0usize);
-    let mut colind: Vec<Idx> = Vec::with_capacity(a.nnz() + b.nnz());
-    let mut vals: Vec<T> = Vec::with_capacity(a.nnz() + b.nnz());
-
-    for i in 0..a.nrows() {
+    let mut rowlen = Vec::with_capacity(rows.len());
+    let mut colind: Vec<Idx> = Vec::new();
+    let mut vals: Vec<T> = Vec::new();
+    for i in rows {
         let (ac, av) = (a.row_cols(i), a.row_vals(i));
         let (bc, bv) = (b.row_cols(i), b.row_vals(i));
+        let before = colind.len();
         let (mut x, mut y) = (0usize, 0usize);
         while x < ac.len() || y < bc.len() {
             let take_a = y >= bc.len() || (x < ac.len() && ac[x] < bc[y]);
@@ -54,9 +89,70 @@ where
                 vals.push(val);
             }
         }
-        rowptr.push(colind.len());
+        rowlen.push(colind.len() - before);
     }
-    Csr::from_parts(a.nrows(), a.ncols(), rowptr, colind, vals)
+    (rowlen, colind, vals)
+}
+
+/// `C = A ⊕ B`: a sorted two-pointer merge of each row pair,
+/// combining collisions with the monoid and pruning identities.
+///
+/// # Panics
+/// Panics if the shapes disagree.
+pub fn combine<M, T>(a: &Csr<T>, b: &Csr<T>) -> Csr<T>
+where
+    M: Monoid<Elem = T>,
+    T: Clone + PartialEq + Send + Sync + std::fmt::Debug,
+{
+    assert_eq!(
+        (a.nrows(), a.ncols()),
+        (b.nrows(), b.ncols()),
+        "elementwise combine shape mismatch"
+    );
+    let pool = mfbc_parallel::current();
+    if pool.threads() == 1 || a.nnz() + b.nnz() < PAR_MIN_NNZ {
+        let chunk = combine_rows::<M, T>(a, b, 0..a.nrows());
+        return assemble_rows(a.nrows(), a.ncols(), vec![chunk]);
+    }
+    let ranges = merge_ranges(a, b, pool.threads() * TASKS_PER_THREAD);
+    let chunks = pool.par_map_collect(ranges.len(), |t| {
+        combine_rows::<M, T>(a, b, ranges[t].clone())
+    });
+    assemble_rows(a.nrows(), a.ncols(), chunks)
+}
+
+fn combine_anchored_rows<M, T>(
+    base: &Csr<T>,
+    update: &Csr<T>,
+    rows: std::ops::Range<usize>,
+) -> (Vec<usize>, Vec<Idx>, Vec<T>)
+where
+    M: Monoid<Elem = T>,
+    T: Clone + PartialEq + Send + Sync + std::fmt::Debug,
+{
+    let mut rowlen = Vec::with_capacity(rows.len());
+    let mut colind: Vec<Idx> = Vec::new();
+    let mut patched: Vec<T> = Vec::new();
+    for i in rows {
+        let (bc, bv) = (base.row_cols(i), base.row_vals(i));
+        let (uc, uv) = (update.row_cols(i), update.row_vals(i));
+        let before = colind.len();
+        let mut y = 0usize;
+        for (x, &col) in bc.iter().enumerate() {
+            while y < uc.len() && uc[y] < col {
+                y += 1; // update entry outside base pattern: dropped
+            }
+            let mut v = bv[x].clone();
+            if y < uc.len() && uc[y] == col {
+                v = M::combine(&v, &uv[y]);
+                y += 1;
+            }
+            colind.push(col);
+            patched.push(v);
+        }
+        rowlen.push(colind.len() - before);
+    }
+    (rowlen, colind, patched)
 }
 
 /// Merges `update` into `base` *keeping base's sparsity pattern*: an
@@ -77,33 +173,23 @@ where
         (update.nrows(), update.ncols()),
         "anchored combine shape mismatch"
     );
-    let mut patched: Vec<T> = Vec::new();
-    let mut rowptr = Vec::with_capacity(base.nrows() + 1);
-    rowptr.push(0usize);
-    let mut colind: Vec<Idx> = Vec::with_capacity(base.nnz());
-    for i in 0..base.nrows() {
-        let (bc, bv) = (base.row_cols(i), base.row_vals(i));
-        let (uc, uv) = (update.row_cols(i), update.row_vals(i));
-        let mut y = 0usize;
-        for (x, &col) in bc.iter().enumerate() {
-            while y < uc.len() && uc[y] < col {
-                y += 1; // update entry outside base pattern: dropped
-            }
-            let mut v = bv[x].clone();
-            if y < uc.len() && uc[y] == col {
-                v = M::combine(&v, &uv[y]);
-                y += 1;
-            }
-            colind.push(col);
-            patched.push(v);
-        }
-        rowptr.push(colind.len());
+    let pool = mfbc_parallel::current();
+    if pool.threads() == 1 || base.nnz() + update.nnz() < PAR_MIN_NNZ {
+        let chunk = combine_anchored_rows::<M, T>(base, update, 0..base.nrows());
+        return assemble_rows(base.nrows(), base.ncols(), vec![chunk]);
     }
-    Csr::from_parts(base.nrows(), base.ncols(), rowptr, colind, patched)
+    let ranges = merge_ranges(base, update, pool.threads() * TASKS_PER_THREAD);
+    let chunks = pool.par_map_collect(ranges.len(), |t| {
+        combine_anchored_rows::<M, T>(base, update, ranges[t].clone())
+    });
+    assemble_rows(base.nrows(), base.ncols(), chunks)
 }
 
 /// In-structure value update (CTF `Transform`): applies `f` to every
 /// stored entry, then prunes entries that became identities.
+///
+/// Serial by contract: `f` is `FnMut` (callers thread state through
+/// it), so entries are visited in storage order on one thread.
 pub fn transform<M, T>(m: &Csr<T>, mut f: impl FnMut(usize, usize, &T) -> T) -> Csr<T>
 where
     M: Monoid<Elem = T>,
@@ -174,5 +260,38 @@ mod tests {
         let t = transform::<SumU64, _>(&a, |_, _, v| if *v == 2 { 0 } else { *v });
         assert_eq!(t.nnz(), 2);
         assert_eq!(t.get(0, 1), None);
+    }
+
+    fn random_mat(seed: u64, n: usize, c: usize, nnz: usize) -> Csr<u64> {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let mut coo = Coo::new(n, c);
+        for _ in 0..nnz {
+            coo.push(
+                rng.gen_range(0..n),
+                rng.gen_range(0..c),
+                rng.gen_range(1..99u64),
+            );
+        }
+        coo.into_csr::<SumU64>()
+    }
+
+    #[test]
+    fn parallel_combine_matches_serial_across_threads() {
+        let a = random_mat(3, 220, 180, 3000);
+        let b = random_mat(4, 220, 180, 3000);
+        assert!(a.nnz() + b.nnz() >= PAR_MIN_NNZ);
+        let reference = mfbc_parallel::with_threads(1, || combine::<SumU64, _>(&a, &b));
+        let anchored_ref = mfbc_parallel::with_threads(1, || combine_anchored::<SumU64, _>(&a, &b));
+        for threads in [2, 4, 8] {
+            let (c, ca) = mfbc_parallel::with_threads(threads, || {
+                (
+                    combine::<SumU64, _>(&a, &b),
+                    combine_anchored::<SumU64, _>(&a, &b),
+                )
+            });
+            assert_eq!(reference, c, "combine differs at {threads} threads");
+            assert_eq!(anchored_ref, ca, "anchored differs at {threads} threads");
+        }
     }
 }

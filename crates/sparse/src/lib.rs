@@ -8,14 +8,20 @@
 //! [`SpMulKernel`](mfbc_algebra::SpMulKernel) (so the same code path
 //! multiplies tropical, multpath, and centpath matrices), elementwise
 //! monoid combination, `sparsify`-style filtering, transposition, and
-//! slicing. Row-parallel variants use rayon, standing in for CTF's
-//! on-node threading.
+//! slicing. Row-parallel variants run on the `mfbc-parallel` thread
+//! pool (sized by `MFBC_THREADS`), standing in for CTF's on-node
+//! threading: rows are split into flops-balanced contiguous ranges,
+//! each output row is produced by exactly one task, and chunks are
+//! assembled in row order — so parallel results are bit-identical to
+//! the serial kernels at any thread count.
 //!
 //! Sparse-zero convention: an entry equal to the accumulating monoid's
 //! identity is never stored; every constructor and kernel filters such
 //! entries on the way in and out.
 
 #![deny(missing_docs)]
+// `unsafe` is denied except for the documented disjoint-scatter
+// writes in `transpose`, which carry their own SAFETY argument.
 #![deny(unsafe_code)]
 // Internal SPA chunk tuples are contained within spgemm.rs.
 #![allow(clippy::type_complexity)]

@@ -15,7 +15,7 @@ use crate::csr::{Csr, Idx};
 use mfbc_algebra::kernel::KernelOut;
 use mfbc_algebra::monoid::Monoid;
 use mfbc_algebra::SpMulKernel;
-use rayon::prelude::*;
+use mfbc_parallel::balanced_ranges;
 
 /// Result of a generalized SpGEMM: the product matrix plus the
 /// `ops(A, B)` work counter.
@@ -84,8 +84,8 @@ fn multiply_rows<K: SpMulKernel>(
     a: &Csr<K::Left>,
     b: &Csr<K::Right>,
     rows: std::ops::Range<usize>,
+    spa: &mut Spa<KernelOut<K>>,
 ) -> (Vec<usize>, Vec<Idx>, Vec<KernelOut<K>>, u64) {
-    let mut spa = Spa::new(b.ncols(), <K::Acc as Monoid>::identity());
     let mut rowlen = Vec::with_capacity(rows.len());
     let mut colind = Vec::new();
     let mut vals = Vec::new();
@@ -150,22 +150,46 @@ pub fn spgemm_serial<K: SpMulKernel>(
         b.nrows(),
         b.ncols()
     );
-    let chunk = multiply_rows::<K>(a, b, 0..a.nrows());
+    let mut spa = Spa::new(b.ncols(), <K::Acc as Monoid>::identity());
+    let chunk = multiply_rows::<K>(a, b, 0..a.nrows(), &mut spa);
     assemble::<K>(a.nrows(), b.ncols(), vec![chunk])
 }
 
-/// Minimum per-chunk row count for the parallel SpGEMM; below
-/// `2 × PAR_ROW_CHUNK` rows the sequential kernel is used outright,
-/// avoiding SPA setup costs per tiny chunk.
-const PAR_ROW_CHUNK: usize = 16;
+/// Minimum row count before the parallel SpGEMM fans out; below this
+/// the sequential kernel is used outright, avoiding pool latency on
+/// tiny products.
+const PAR_MIN_ROWS: usize = 32;
 
-/// Row-parallel generalized SpGEMM using rayon.
+/// Tasks created per pool participant. Oversubscription lets the
+/// work-stealing cursor absorb the error between the flops *estimate*
+/// (every elementary product counted) and the true per-row cost.
+const TASKS_PER_THREAD: usize = 4;
+
+/// Per-row flops upper bound: `1 + Σ_{k ∈ A.row(i)} nnz(B.row(k))`.
+/// The constant keeps empty rows from collapsing a range to zero
+/// weight, so partitions stay contiguous and non-degenerate.
+fn flops_weights<L, R>(a: &Csr<L>, b: &Csr<R>) -> Vec<u64> {
+    (0..a.nrows())
+        .map(|i| {
+            1 + a
+                .row_cols(i)
+                .iter()
+                .map(|&k| b.row_nnz(k as usize) as u64)
+                .sum::<u64>()
+        })
+        .collect()
+}
+
+/// Row-parallel generalized SpGEMM on the `mfbc-parallel` pool
+/// ([`mfbc_parallel::current`]), with flops-balanced row partitioning
+/// and one reusable SPA per pool participant.
 ///
-/// Deterministic: each output row is produced by exactly one task and
-/// every accumulation happens in ascending-`k` order within a row, so
-/// the result is identical to [`spgemm_serial`] (asserted by tests)
-/// even for non-commutative payload effects like `f64` summation
-/// order.
+/// Deterministic: each output row is produced by exactly one task,
+/// chunks are assembled in row order, and every accumulation happens
+/// in ascending-`k` order within a row — so the result (entries *and*
+/// the `ops` counter) is bit-identical to [`spgemm_serial`] at any
+/// thread count, even for non-commutative payload effects like `f64`
+/// summation order.
 pub fn spgemm<K: SpMulKernel>(a: &Csr<K::Left>, b: &Csr<K::Right>) -> SpGemmOut<KernelOut<K>> {
     assert_eq!(
         a.ncols(),
@@ -177,19 +201,39 @@ pub fn spgemm<K: SpMulKernel>(a: &Csr<K::Left>, b: &Csr<K::Right>) -> SpGemmOut<
         b.ncols()
     );
     let nrows = a.nrows();
-    if nrows < 2 * PAR_ROW_CHUNK {
+    let pool = mfbc_parallel::current();
+    if pool.threads() == 1 || nrows < PAR_MIN_ROWS {
         return spgemm_serial::<K>(a, b);
     }
-    let nchunks = nrows.div_ceil(PAR_ROW_CHUNK);
-    let chunks: Vec<_> = (0..nchunks)
-        .into_par_iter()
-        .map(|c| {
-            let lo = c * PAR_ROW_CHUNK;
-            let hi = ((c + 1) * PAR_ROW_CHUNK).min(nrows);
-            multiply_rows::<K>(a, b, lo..hi)
-        })
-        .collect();
+    let weights = flops_weights(a, b);
+    let ranges = balanced_ranges(&weights, pool.threads() * TASKS_PER_THREAD);
+    let (chunks, stats) = pool.par_ranges_scratch(
+        &ranges,
+        || Spa::new(b.ncols(), <K::Acc as Monoid>::identity()),
+        |spa, rows| multiply_rows::<K>(a, b, rows, spa),
+    );
+    mfbc_trace::emit(|| mfbc_trace::TraceEvent::Pool {
+        kernel: "spgemm",
+        threads: stats.threads,
+        tasks: stats.tasks,
+        busy_us: stats.busy.iter().map(|d| d.as_micros() as u64).collect(),
+        chunk_hist: chunk_histogram(ranges.iter().map(|r| r.len())),
+    });
     assemble::<K>(nrows, b.ncols(), chunks)
+}
+
+/// Log2-bucketed size histogram: slot `b` counts chunks whose size
+/// lies in `[2^b, 2^{b+1})`.
+pub(crate) fn chunk_histogram(sizes: impl Iterator<Item = usize>) -> Vec<u64> {
+    let mut hist: Vec<u64> = Vec::new();
+    for size in sizes {
+        let bucket = usize::BITS as usize - 1 - size.max(1).leading_zeros() as usize;
+        if hist.len() <= bucket {
+            hist.resize(bucket + 1, 0);
+        }
+        hist[bucket] += 1;
+    }
+    hist
 }
 
 #[cfg(test)]
@@ -286,5 +330,41 @@ mod tests {
         assert_eq!(s.mat, p.mat);
         assert_eq!(s.ops, p.ops);
         assert!(s.ops > 0);
+    }
+
+    #[test]
+    fn parallel_bit_identical_across_thread_counts() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+        let n = 150;
+        let mut coo = Coo::new(n, n);
+        for _ in 0..3000 {
+            let i = rng.gen_range(0..n);
+            let j = rng.gen_range(0..n);
+            coo.push(i, j, Dist::new(rng.gen_range(1..50)));
+        }
+        let a = coo.into_csr::<MinDist>();
+        let reference = spgemm_serial::<TropicalKernel>(&a, &a);
+        for threads in [1, 2, 4, 8] {
+            let p = mfbc_parallel::with_threads(threads, || spgemm::<TropicalKernel>(&a, &a));
+            assert_eq!(reference.mat, p.mat, "entries differ at {threads} threads");
+            assert_eq!(reference.ops, p.ops, "ops differ at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn flops_weights_count_elementary_products() {
+        // A row's weight is 1 + the number of products it forms.
+        let a = dist_mat(3, 3, &[(0, 1, 4), (0, 2, 1), (1, 2, 7)]);
+        let w = flops_weights(&a, &a);
+        // Row 0 hits rows 1 (nnz 1) and 2 (nnz 0); row 1 hits row 2.
+        assert_eq!(w, vec![2, 1, 1]);
+    }
+
+    #[test]
+    fn chunk_histogram_buckets_by_log2() {
+        let h = chunk_histogram([1usize, 1, 2, 3, 4, 9].into_iter());
+        assert_eq!(h, vec![2, 2, 1, 1]);
+        assert!(chunk_histogram(std::iter::empty()).is_empty());
     }
 }

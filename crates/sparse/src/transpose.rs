@@ -2,12 +2,21 @@
 //!
 //! MFBr multiplies frontiers by `Aᵀ` (Algorithm 2); the distributed
 //! layer also transposes blocks during redistribution. The counting
-//! transpose below is the standard O(nnz + n) bucket pass.
+//! transpose below is the standard O(nnz + n) bucket pass; the
+//! parallel variant splits the *input* rows into nnz-balanced ranges,
+//! counts per-task, prefix-sums the per-task counts into disjoint
+//! output cursors, and scatters concurrently — task ranges land in
+//! ascending-row order inside every output row, so the result is
+//! bit-identical to the serial pass.
 
 use crate::csr::{Csr, Idx};
+use mfbc_parallel::{balanced_ranges, ScatterVec};
 
-/// Returns `Aᵀ` with rows sorted (a structural invariant of [`Csr`]).
-pub fn transpose<T: Clone>(a: &Csr<T>) -> Csr<T> {
+/// Below this nnz the serial transpose wins outright; the parallel
+/// path pays two passes plus an O(threads × ncols) cursor table.
+const PAR_MIN_NNZ: usize = 1 << 12;
+
+fn transpose_serial<T: Clone>(a: &Csr<T>) -> Csr<T> {
     let (n, m) = (a.nrows(), a.ncols());
     // Count entries per output row (= input column).
     let mut counts = vec![0usize; m + 1];
@@ -37,6 +46,83 @@ pub fn transpose<T: Clone>(a: &Csr<T>) -> Csr<T> {
         .map(|v| v.expect("every slot written exactly once"))
         .collect();
     Csr::from_parts(m, n, rowptr, colind, vals)
+}
+
+/// Returns `Aᵀ` with rows sorted (a structural invariant of [`Csr`]),
+/// in parallel on the [`mfbc_parallel::current`] pool for large
+/// inputs. Deterministic: identical to the serial pass at any thread
+/// count.
+#[allow(unsafe_code)] // disjoint scatter writes via ScatterVec; see SAFETY below
+pub fn transpose<T: Clone + Send + Sync>(a: &Csr<T>) -> Csr<T> {
+    let pool = mfbc_parallel::current();
+    if pool.threads() == 1 || a.nnz() < PAR_MIN_NNZ {
+        return transpose_serial(a);
+    }
+    let (n, m) = (a.nrows(), a.ncols());
+    let weights: Vec<u64> = (0..n).map(|i| 1 + a.row_nnz(i) as u64).collect();
+    let ranges = balanced_ranges(&weights, pool.threads());
+
+    // Pass 1 (parallel): per-task counts per output row.
+    let task_counts: Vec<Vec<usize>> = pool.par_map_collect(ranges.len(), |t| {
+        let mut counts = vec![0usize; m];
+        for i in ranges[t].clone() {
+            for &j in a.row_cols(i) {
+                counts[j as usize] += 1;
+            }
+        }
+        counts
+    });
+
+    // Serial: global rowptr, then one start-cursor table per task so
+    // task `t`'s slots in output row `j` sit directly after task
+    // `t-1`'s — disjoint by construction, ascending by source row.
+    let mut rowptr = vec![0usize; m + 1];
+    for counts in &task_counts {
+        for (j, c) in counts.iter().enumerate() {
+            rowptr[j + 1] += c;
+        }
+    }
+    for j in 0..m {
+        rowptr[j + 1] += rowptr[j];
+    }
+    let mut starts: Vec<Vec<usize>> = Vec::with_capacity(task_counts.len());
+    let mut cursor = rowptr[..m].to_vec();
+    for counts in &task_counts {
+        starts.push(cursor.clone());
+        for (j, c) in counts.iter().enumerate() {
+            cursor[j] += c;
+        }
+    }
+
+    // Pass 2 (parallel): scatter into disjoint slots.
+    let nnz = a.nnz();
+    let colind: ScatterVec<Idx> = ScatterVec::from_vec(vec![0; nnz]);
+    let vals: ScatterVec<Option<T>> = ScatterVec::from_vec(vec![None; nnz]);
+    pool.par_map_collect(ranges.len(), |t| {
+        let mut cur = starts[t].clone();
+        for i in ranges[t].clone() {
+            for (j, v) in a.row(i) {
+                let slot = cur[j];
+                cur[j] += 1;
+                // SAFETY: task `t` writes exactly the slots
+                // `starts[t][j] .. starts[t][j] + task_counts[t][j]`
+                // per output row `j`; consecutive tasks' intervals
+                // abut without overlap, every slot is written exactly
+                // once, and the pool call below blocks until all
+                // writes completed before `into_vec` reads them.
+                unsafe {
+                    colind.write(slot, i as Idx);
+                    vals.write(slot, Some(v.clone()));
+                }
+            }
+        }
+    });
+    let vals: Vec<T> = vals
+        .into_vec()
+        .into_iter()
+        .map(|v| v.expect("every slot written exactly once"))
+        .collect();
+    Csr::from_parts(m, n, rowptr, colind.into_vec(), vals)
 }
 
 #[cfg(test)]
@@ -87,5 +173,31 @@ mod tests {
             t.row(0).map(|(j, v)| (j, *v)).collect::<Vec<_>>(),
             vec![(0, 1), (1, 2), (2, 3)]
         );
+    }
+
+    #[test]
+    fn parallel_matches_serial_above_threshold() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(11);
+        let (n, c) = (300, 170);
+        let mut coo = Coo::new(n, c);
+        for _ in 0..(PAR_MIN_NNZ + 500) {
+            coo.push(
+                rng.gen_range(0..n),
+                rng.gen_range(0..c),
+                rng.gen_range(1..9u64),
+            );
+        }
+        let a = coo.into_csr::<SumU64>();
+        assert!(
+            a.nnz() >= PAR_MIN_NNZ,
+            "test must exercise the parallel path"
+        );
+        let reference = transpose_serial(&a);
+        for threads in [1, 2, 4, 8] {
+            let t = mfbc_parallel::with_threads(threads, || transpose(&a));
+            assert_eq!(reference, t, "transpose differs at {threads} threads");
+            assert!(t.validate().is_ok());
+        }
     }
 }

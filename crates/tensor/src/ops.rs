@@ -4,6 +4,12 @@
 //! `Transform` operations (§6.1). All are communication-free except
 //! [`nnz_sync`], which models the allreduce a bulk-synchronous loop
 //! uses to agree on termination.
+//!
+//! Blocks are independent, so the block loop fans out on the
+//! `mfbc-parallel` pool. Cost-model charges are applied *serially in
+//! block order after* the parallel compute: `Machine::charge_compute`
+//! accumulates an `f64` per rank, and floating-point addition order
+//! must not depend on scheduling for runs to stay bit-reproducible.
 
 use crate::dist::DistMat;
 use mfbc_algebra::monoid::Monoid;
@@ -11,7 +17,6 @@ use mfbc_machine::cost::CollectiveKind;
 use mfbc_machine::Machine;
 use mfbc_sparse::elementwise::{combine, combine_anchored};
 use mfbc_sparse::Coo;
-use rayon::prelude::*;
 
 /// Asserts two distributed matrices share cuts and owners.
 fn assert_aligned<T, U>(a: &DistMat<T>, b: &DistMat<U>)
@@ -25,6 +30,17 @@ where
     );
 }
 
+/// Emits a pool-observability event for one blockwise fan-out.
+fn emit_pool(kernel: &'static str, stats: &mfbc_parallel::ExecStats) {
+    mfbc_trace::emit(|| mfbc_trace::TraceEvent::Pool {
+        kernel,
+        threads: stats.threads,
+        tasks: stats.tasks,
+        busy_us: stats.busy.iter().map(|d| d.as_micros() as u64).collect(),
+        chunk_hist: Vec::new(),
+    });
+}
+
 /// `C = A ⊕ B` blockwise; layouts must align. Charges each owner's
 /// compute for the merge.
 pub fn dmat_combine<M, T>(m: &Machine, a: &DistMat<T>, b: &DistMat<T>) -> DistMat<T>
@@ -34,22 +50,20 @@ where
 {
     assert_aligned(a, b);
     let l = a.layout().clone();
-    // Blocks are independent: merge them in parallel on the host
-    // (compute charges are commutative per-rank sums, so charging
-    // from worker threads is safe and deterministic).
-    let blocks: Vec<_> = (0..l.br())
+    let coords: Vec<(usize, usize)> = (0..l.br())
         .flat_map(|bi| (0..l.bc()).map(move |bj| (bi, bj)))
-        .collect::<Vec<_>>()
-        .into_par_iter()
-        .map(|(bi, bj)| {
-            let merged = combine::<M, _>(a.block(bi, bj), b.block(bi, bj));
-            m.charge_compute(
-                l.owner(bi, bj),
-                (a.block(bi, bj).nnz() + b.block(bi, bj).nnz()) as u64,
-            );
-            merged
-        })
         .collect();
+    let (blocks, stats) = mfbc_parallel::current().par_map_collect_stats(coords.len(), |t| {
+        let (bi, bj) = coords[t];
+        combine::<M, _>(a.block(bi, bj), b.block(bi, bj))
+    });
+    emit_pool("dmat_combine", &stats);
+    for &(bi, bj) in &coords {
+        m.charge_compute(
+            l.owner(bi, bj),
+            (a.block(bi, bj).nnz() + b.block(bi, bj).nnz()) as u64,
+        );
+    }
     DistMat::from_blocks(l, blocks)
 }
 
@@ -63,30 +77,32 @@ where
 {
     assert_aligned(base, upd);
     let l = base.layout().clone();
-    let blocks: Vec<_> = (0..l.br())
+    let coords: Vec<(usize, usize)> = (0..l.br())
         .flat_map(|bi| (0..l.bc()).map(move |bj| (bi, bj)))
-        .collect::<Vec<_>>()
-        .into_par_iter()
-        .map(|(bi, bj)| {
-            let merged = combine_anchored::<M, _>(base.block(bi, bj), upd.block(bi, bj));
-            m.charge_compute(
-                l.owner(bi, bj),
-                (base.block(bi, bj).nnz() + upd.block(bi, bj).nnz()) as u64,
-            );
-            merged
-        })
         .collect();
+    let (blocks, stats) = mfbc_parallel::current().par_map_collect_stats(coords.len(), |t| {
+        let (bi, bj) = coords[t];
+        combine_anchored::<M, _>(base.block(bi, bj), upd.block(bi, bj))
+    });
+    emit_pool("dmat_anchored", &stats);
+    for &(bi, bj) in &coords {
+        m.charge_compute(
+            l.owner(bi, bj),
+            (base.block(bi, bj).nnz() + upd.block(bi, bj).nnz()) as u64,
+        );
+    }
     DistMat::from_blocks(l, blocks)
 }
 
 /// Zip of `a`'s entries against `b`'s at the same coordinates:
 /// `f(i, j, a_val, b_val_opt)` (global coordinates) returning `None`
-/// drops the entry. Output shares `a`'s layout.
+/// drops the entry. Output shares `a`'s layout. `f` must be pure
+/// (`Fn + Sync`): blocks are processed in parallel.
 pub fn dmat_zip_filter<Mo, T, U, O>(
     m: &Machine,
     a: &DistMat<T>,
     b: &DistMat<U>,
-    mut f: impl FnMut(usize, usize, &T, Option<&U>) -> Option<O>,
+    f: impl Fn(usize, usize, &T, Option<&U>) -> Option<O> + Sync,
 ) -> DistMat<O>
 where
     Mo: Monoid<Elem = O>,
@@ -96,31 +112,35 @@ where
 {
     assert_aligned(a, b);
     let l = a.layout().clone();
-    let mut blocks = Vec::with_capacity(l.nblocks());
-    for bi in 0..l.br() {
-        let r0 = l.row_range(bi).start;
-        for bj in 0..l.bc() {
-            let c0 = l.col_range(bj).start;
-            let (ab, bb) = (a.block(bi, bj), b.block(bi, bj));
-            let mut coo = Coo::new(ab.nrows(), ab.ncols());
-            for (i, j, v) in ab.iter() {
-                if let Some(o) = f(r0 + i, c0 + j, v, bb.get(i, j)) {
-                    coo.push(i, j, o);
-                }
+    let coords: Vec<(usize, usize)> = (0..l.br())
+        .flat_map(|bi| (0..l.bc()).map(move |bj| (bi, bj)))
+        .collect();
+    let (blocks, stats) = mfbc_parallel::current().par_map_collect_stats(coords.len(), |t| {
+        let (bi, bj) = coords[t];
+        let (r0, c0) = (l.row_range(bi).start, l.col_range(bj).start);
+        let (ab, bb) = (a.block(bi, bj), b.block(bi, bj));
+        let mut coo = Coo::new(ab.nrows(), ab.ncols());
+        for (i, j, v) in ab.iter() {
+            if let Some(o) = f(r0 + i, c0 + j, v, bb.get(i, j)) {
+                coo.push(i, j, o);
             }
-            m.charge_compute(l.owner(bi, bj), ab.nnz() as u64);
-            blocks.push(coo.into_csr::<Mo>());
         }
+        coo.into_csr::<Mo>()
+    });
+    emit_pool("dmat_zip", &stats);
+    for &(bi, bj) in &coords {
+        m.charge_compute(l.owner(bi, bj), a.block(bi, bj).nnz() as u64);
     }
     DistMat::from_blocks(l, blocks)
 }
 
 /// Blockwise map-with-filter over a single distributed matrix
-/// (global coordinates).
+/// (global coordinates). `f` must be pure (`Fn + Sync`): blocks are
+/// processed in parallel.
 pub fn dmat_map_filter<Mo, T, O>(
     m: &Machine,
     a: &DistMat<T>,
-    mut f: impl FnMut(usize, usize, &T) -> Option<O>,
+    f: impl Fn(usize, usize, &T) -> Option<O> + Sync,
 ) -> DistMat<O>
 where
     Mo: Monoid<Elem = O>,
@@ -128,21 +148,24 @@ where
     O: Clone + PartialEq + Send + Sync + std::fmt::Debug,
 {
     let l = a.layout().clone();
-    let mut blocks = Vec::with_capacity(l.nblocks());
-    for bi in 0..l.br() {
-        let r0 = l.row_range(bi).start;
-        for bj in 0..l.bc() {
-            let c0 = l.col_range(bj).start;
-            let ab = a.block(bi, bj);
-            let mut coo = Coo::new(ab.nrows(), ab.ncols());
-            for (i, j, v) in ab.iter() {
-                if let Some(o) = f(r0 + i, c0 + j, v) {
-                    coo.push(i, j, o);
-                }
+    let coords: Vec<(usize, usize)> = (0..l.br())
+        .flat_map(|bi| (0..l.bc()).map(move |bj| (bi, bj)))
+        .collect();
+    let (blocks, stats) = mfbc_parallel::current().par_map_collect_stats(coords.len(), |t| {
+        let (bi, bj) = coords[t];
+        let (r0, c0) = (l.row_range(bi).start, l.col_range(bj).start);
+        let ab = a.block(bi, bj);
+        let mut coo = Coo::new(ab.nrows(), ab.ncols());
+        for (i, j, v) in ab.iter() {
+            if let Some(o) = f(r0 + i, c0 + j, v) {
+                coo.push(i, j, o);
             }
-            m.charge_compute(l.owner(bi, bj), ab.nnz() as u64);
-            blocks.push(coo.into_csr::<Mo>());
         }
+        coo.into_csr::<Mo>()
+    });
+    emit_pool("dmat_map", &stats);
+    for &(bi, bj) in &coords {
+        m.charge_compute(l.owner(bi, bj), a.block(bi, bj).nnz() as u64);
     }
     DistMat::from_blocks(l, blocks)
 }
@@ -160,18 +183,35 @@ pub fn nnz_sync<T: Clone + Send + Sync>(m: &Machine, a: &DistMat<T>) -> usize {
 /// per-vertex λ contributions of Algorithm 3, line 5): local partial
 /// sums plus one reduction of the result vector, charged at its
 /// per-rank share.
+///
+/// Parallelized over *block-columns*: each task owns a disjoint
+/// output range and walks its blocks in ascending `bi`, so every
+/// column's `f64` additions happen in exactly the serial order.
 pub fn dmat_column_sums(m: &Machine, a: &DistMat<f64>) -> Vec<f64> {
     let l = a.layout();
     let n = a.ncols();
-    let mut sums = vec![0.0f64; n];
-    for bi in 0..l.br() {
-        for bj in 0..l.bc() {
-            let c0 = l.col_range(bj).start;
+    let (partials, stats) = mfbc_parallel::current().par_map_collect_stats(l.bc(), |bj| {
+        let cols = l.col_range(bj);
+        let c0 = cols.start;
+        let mut local = vec![0.0f64; cols.len()];
+        for bi in 0..l.br() {
             let blk = a.block(bi, bj);
             for (_, j, v) in blk.iter() {
-                sums[c0 + j] += *v;
+                local[j] += *v;
             }
-            m.charge_compute(l.owner(bi, bj), blk.nnz() as u64);
+        }
+        (c0, local)
+    });
+    emit_pool("dmat_colsum", &stats);
+    let mut sums = vec![0.0f64; n];
+    for (c0, local) in partials {
+        sums[c0..c0 + local.len()].copy_from_slice(&local);
+    }
+    // Charge in the serial (bi-outer, bj-inner) order the cost model
+    // accumulated before parallelization.
+    for bi in 0..l.br() {
+        for bj in 0..l.bc() {
+            m.charge_compute(l.owner(bi, bj), a.block(bi, bj).nnz() as u64);
         }
     }
     if m.p() > 1 {
@@ -267,5 +307,49 @@ mod tests {
         .into_csr::<SumF64>();
         let da = DistMat::from_global(Layout::on_grid(4, 4, &Grid2::new(Group::all(4), 2, 2)), &g);
         assert_eq!(dmat_column_sums(&m, &da), vec![1.5, 5.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn ops_bit_identical_across_thread_counts() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(5);
+        let n = 64;
+        let mut ca = Coo::new(n, n);
+        let mut cb = Coo::new(n, n);
+        for _ in 0..800 {
+            ca.push(rng.gen_range(0..n), rng.gen_range(0..n), rng.gen::<f64>());
+            cb.push(rng.gen_range(0..n), rng.gen_range(0..n), rng.gen::<f64>());
+        }
+        let (ga, gb) = (ca.into_csr::<SumF64>(), cb.into_csr::<SumF64>());
+        let reference = mfbc_parallel::with_threads(1, || {
+            let m = machine(4);
+            let layout = Layout::on_grid(n, n, &Grid2::new(Group::all(4), 2, 2));
+            let da = DistMat::from_global(layout.clone(), &ga);
+            let db = DistMat::from_global(layout, &gb);
+            let c = dmat_combine::<SumF64, _>(&m, &da, &db);
+            let sums = dmat_column_sums(&m, &c);
+            (c.to_global::<SumF64>(), sums, m.report().critical.comp_time)
+        });
+        for threads in [2, 4, 8] {
+            let got = mfbc_parallel::with_threads(threads, || {
+                let m = machine(4);
+                let layout = Layout::on_grid(n, n, &Grid2::new(Group::all(4), 2, 2));
+                let da = DistMat::from_global(layout.clone(), &ga);
+                let db = DistMat::from_global(layout, &gb);
+                let c = dmat_combine::<SumF64, _>(&m, &da, &db);
+                let sums = dmat_column_sums(&m, &c);
+                (c.to_global::<SumF64>(), sums, m.report().critical.comp_time)
+            });
+            assert_eq!(reference.0, got.0, "combine differs at {threads} threads");
+            assert_eq!(
+                reference.1, got.1,
+                "column sums differ at {threads} threads"
+            );
+            assert_eq!(
+                reference.2.to_bits(),
+                got.2.to_bits(),
+                "modeled comp_time differs at {threads} threads"
+            );
+        }
     }
 }

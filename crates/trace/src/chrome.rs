@@ -122,6 +122,33 @@ fn one_event(out: &mut String, rec: &TraceRecord) {
                 ",\"s\":\"t\",\"args\":{{\"batch\":{batch},\"step\":{step},\"frontier_nnz\":{frontier_nnz},\"active_rows\":{active_rows}}}}}"
             );
         }
+        TraceEvent::Pool {
+            kernel,
+            threads,
+            tasks,
+            busy_us,
+            chunk_hist,
+        } => {
+            head(out, &format!("pool {kernel}"), "pool", "i", rec);
+            let _ = write!(
+                out,
+                ",\"s\":\"t\",\"args\":{{\"threads\":{threads},\"tasks\":{tasks},\"busy_us\":["
+            );
+            for (i, b) in busy_us.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{b}");
+            }
+            out.push_str("],\"chunk_hist\":[");
+            for (i, c) in chunk_hist.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{c}");
+            }
+            out.push_str("]}}");
+        }
         TraceEvent::Log { level, message } => {
             head(out, message, "log", "i", rec);
             let _ = write!(

@@ -116,6 +116,21 @@ pub enum TraceEvent {
         /// Frontier rows (batch sources) still active this step.
         active_rows: u64,
     },
+    /// One shared-memory pool fan-out executed by a local kernel
+    /// (`mfbc-parallel`).
+    Pool {
+        /// Kernel that fanned out (e.g. `spgemm`, `transpose`).
+        kernel: &'static str,
+        /// Participants the pool ran with (workers + calling thread).
+        threads: usize,
+        /// Jobs (chunks) executed by the call.
+        tasks: u64,
+        /// Busy microseconds per participant (index 0 is the caller).
+        busy_us: Vec<u64>,
+        /// Chunk-size histogram: `chunk_hist[b]` counts chunks whose
+        /// item count lies in `[2^b, 2^{b+1})`.
+        chunk_hist: Vec<u64>,
+    },
     /// Opens a nested wall-clock span; paired with [`TraceEvent::SpanEnd`].
     SpanBegin {
         /// Span name (e.g. `mm_auto`, `batch 3`).
@@ -151,6 +166,7 @@ impl TraceEvent {
             TraceEvent::Redist { .. } => "redist",
             TraceEvent::Autotune { .. } => "autotune",
             TraceEvent::Superstep { .. } => "superstep",
+            TraceEvent::Pool { .. } => "pool",
             TraceEvent::SpanBegin { .. } => "span_begin",
             TraceEvent::SpanEnd { .. } => "span_end",
             TraceEvent::Counter { .. } => "counter",

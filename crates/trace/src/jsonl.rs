@@ -102,6 +102,32 @@ pub fn record_to_json(rec: &TraceRecord) -> String {
                 ",\"phase\":\"{phase}\",\"batch\":{batch},\"step\":{step},\"frontier_nnz\":{frontier_nnz},\"active_rows\":{active_rows}"
             );
         }
+        TraceEvent::Pool {
+            kernel,
+            threads,
+            tasks,
+            busy_us,
+            chunk_hist,
+        } => {
+            let _ = write!(
+                s,
+                ",\"kernel\":\"{kernel}\",\"threads\":{threads},\"tasks\":{tasks},\"busy_us\":["
+            );
+            for (i, b) in busy_us.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                let _ = write!(s, "{b}");
+            }
+            s.push_str("],\"chunk_hist\":[");
+            for (i, c) in chunk_hist.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                let _ = write!(s, "{c}");
+            }
+            s.push(']');
+        }
         TraceEvent::SpanBegin { name } | TraceEvent::SpanEnd { name } => {
             let _ = write!(s, ",\"name\":\"{}\"", esc(name));
         }

@@ -27,7 +27,10 @@ pub use chrome::to_chrome_trace;
 pub use event::{Level, PlanChoice, TraceEvent, TraceRecord};
 pub use jsonl::{record_to_json, to_jsonl};
 pub use recorder::{current_tid, MemoryRecorder, NoopRecorder, Recorder, StderrRecorder};
-pub use summary::{collective_summary, render_summary, total_modeled_comm_s, KindTotals};
+pub use summary::{
+    collective_summary, pool_summary, render_pool_summary, render_summary, total_modeled_comm_s,
+    KindTotals, PoolTotals,
+};
 
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicUsize, Ordering};

@@ -166,6 +166,16 @@ impl Recorder for StderrRecorder {
             } => eprintln!(
                 "[trace] superstep {phase} batch={batch} step={step} frontier={frontier_nnz} active={active_rows}"
             ),
+            TraceEvent::Pool {
+                kernel,
+                threads,
+                tasks,
+                busy_us,
+                ..
+            } => eprintln!(
+                "[trace] pool {kernel} threads={threads} tasks={tasks} busy_us={}",
+                busy_us.iter().sum::<u64>()
+            ),
             TraceEvent::Counter { name, value } => {
                 eprintln!("[trace] counter {name}={value}")
             }

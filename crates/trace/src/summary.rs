@@ -89,6 +89,92 @@ pub fn render_summary(totals: &[KindTotals]) -> String {
     out
 }
 
+/// Totals for one shared-memory pool kernel across a recorded run.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct PoolTotals {
+    /// Kernel name (e.g. `spgemm`).
+    pub kernel: String,
+    /// Number of fan-out calls.
+    pub calls: u64,
+    /// Total jobs (chunks) executed.
+    pub tasks: u64,
+    /// Total busy microseconds summed over every participant.
+    pub busy_us: u64,
+    /// Largest participant count observed for the kernel.
+    pub max_threads: usize,
+    /// Merged chunk-size histogram (`[b]` counts chunks of size in
+    /// `[2^b, 2^{b+1})`).
+    pub chunk_hist: Vec<u64>,
+}
+
+/// Aggregates all [`TraceEvent::Pool`] records per kernel, sorted by
+/// descending total busy time.
+pub fn pool_summary(records: &[TraceRecord]) -> Vec<PoolTotals> {
+    let mut by_kernel: BTreeMap<&str, PoolTotals> = BTreeMap::new();
+    for rec in records {
+        if let TraceEvent::Pool {
+            kernel,
+            threads,
+            tasks,
+            busy_us,
+            chunk_hist,
+        } = &rec.event
+        {
+            let entry = by_kernel.entry(kernel).or_insert_with(|| PoolTotals {
+                kernel: (*kernel).to_string(),
+                ..PoolTotals::default()
+            });
+            entry.calls += 1;
+            entry.tasks += tasks;
+            entry.busy_us += busy_us.iter().sum::<u64>();
+            entry.max_threads = entry.max_threads.max(*threads);
+            if entry.chunk_hist.len() < chunk_hist.len() {
+                entry.chunk_hist.resize(chunk_hist.len(), 0);
+            }
+            for (slot, c) in entry.chunk_hist.iter_mut().zip(chunk_hist) {
+                *slot += c;
+            }
+        }
+    }
+    let mut totals: Vec<PoolTotals> = by_kernel.into_values().collect();
+    totals.sort_by(|a, b| b.busy_us.cmp(&a.busy_us).then(a.kernel.cmp(&b.kernel)));
+    totals
+}
+
+/// Renders the per-kernel pool totals as an aligned text table. The
+/// `chunks` column shows the histogram as `2^b:count` pairs.
+pub fn render_pool_summary(totals: &[PoolTotals]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<14} {:>8} {:>10} {:>8} {:>12}  chunk sizes",
+        "pool kernel", "calls", "tasks", "threads", "busy_us"
+    );
+    for t in totals {
+        let mut hist = String::new();
+        for (b, &c) in t.chunk_hist.iter().enumerate() {
+            if c > 0 {
+                if !hist.is_empty() {
+                    hist.push(' ');
+                }
+                let _ = write!(hist, "2^{b}:{c}");
+            }
+        }
+        if hist.is_empty() {
+            hist.push('-');
+        }
+        let _ = writeln!(
+            out,
+            "{:<14} {:>8} {:>10} {:>8} {:>12}  {}",
+            t.kernel, t.calls, t.tasks, t.max_threads, t.busy_us, hist
+        );
+    }
+    if totals.is_empty() {
+        let _ = writeln!(out, "(no pool events recorded)");
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -145,5 +231,45 @@ mod tests {
         assert!(render_summary(&[]).contains("no collective events"));
         let text = render_summary(&collective_summary(&[coll("scatter", 8, 0.5)]));
         assert!(text.contains("scatter"));
+    }
+
+    fn pool(kernel: &'static str, threads: usize, tasks: u64, hist: Vec<u64>) -> TraceRecord {
+        TraceRecord {
+            ts_us: 0,
+            tid: 0,
+            event: TraceEvent::Pool {
+                kernel,
+                threads,
+                tasks,
+                busy_us: vec![10; threads],
+                chunk_hist: hist,
+            },
+        }
+    }
+
+    #[test]
+    fn pool_summary_merges_histograms() {
+        let records = vec![
+            pool("spgemm", 4, 8, vec![0, 2, 6]),
+            pool("spgemm", 2, 4, vec![1, 3]),
+            pool("transpose", 4, 4, vec![4]),
+        ];
+        let totals = pool_summary(&records);
+        assert_eq!(totals.len(), 2);
+        let sp = totals.iter().find(|t| t.kernel == "spgemm").unwrap();
+        assert_eq!(sp.calls, 2);
+        assert_eq!(sp.tasks, 12);
+        assert_eq!(sp.max_threads, 4);
+        assert_eq!(sp.busy_us, 4 * 10 + 2 * 10);
+        assert_eq!(sp.chunk_hist, vec![1, 5, 6]);
+    }
+
+    #[test]
+    fn pool_render_shows_buckets_and_empty() {
+        assert!(render_pool_summary(&[]).contains("no pool events"));
+        let text = render_pool_summary(&pool_summary(&[pool("spgemm", 4, 8, vec![0, 2])]));
+        assert!(text.contains("spgemm"));
+        assert!(text.contains("2^1:2"));
+        assert!(!text.contains("2^0:"));
     }
 }

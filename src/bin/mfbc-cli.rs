@@ -2,12 +2,14 @@
 //!
 //! ```text
 //! mfbc-cli bc        [--directed] [--weighted] [--batch N] [--approx K]
-//!                    [--top K] [--normalized] [--seed S] <edge-list|->
+//!                    [--top K] [--normalized] [--seed S] [--threads T]
+//!                    <edge-list|->
 //! mfbc-cli sssp      --source V [--directed] <edge-list|->
 //! mfbc-cli components [--directed] <edge-list|->
 //! mfbc-cli stats     [--directed] <edge-list|->
 //! mfbc-cli simulate  --nodes P [--plan auto|ca:C|combblas] [--batch N]
 //!                    [--graph rmat:S,E | uniform:N,M | FILE] [--directed]
+//!                    [--threads T]
 //!                    [--trace-out FILE] [--trace-format chrome|jsonl]
 //! mfbc-cli generate  (rmat:S,E | uniform:N,M) [--weighted MAX] [--seed S]
 //! ```
@@ -50,11 +52,11 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str = "usage:
-  mfbc-cli bc [--directed] [--weighted] [--batch N] [--approx K] [--top K] [--normalized] [--seed S] <edge-list|->
+  mfbc-cli bc [--directed] [--weighted] [--batch N] [--approx K] [--top K] [--normalized] [--seed S] [--threads T] <edge-list|->
   mfbc-cli sssp --source V [--directed] <edge-list|->
   mfbc-cli components [--directed] <edge-list|->
   mfbc-cli stats [--directed] <edge-list|->
-  mfbc-cli simulate --nodes P [--plan auto|ca:C|combblas] [--batch N] [--graph rmat:S,E|uniform:N,M|FILE] [--directed] [--trace-out FILE] [--trace-format chrome|jsonl]
+  mfbc-cli simulate --nodes P [--plan auto|ca:C|combblas] [--batch N] [--graph rmat:S,E|uniform:N,M|FILE] [--directed] [--threads T] [--trace-out FILE] [--trace-format chrome|jsonl]
   mfbc-cli generate (rmat:S,E | uniform:N,M) [--weighted MAX] [--seed S]";
 
 /// Minimal flag parser: `--key value` options, `--flag` booleans, one
@@ -185,21 +187,36 @@ fn split2(params: &str) -> Result<(u64, u64), String> {
     Ok((a, b))
 }
 
+/// Parses `--threads T`, rejecting zero (the pool needs at least one
+/// worker; `1` means run serially without spawning).
+fn parse_threads(o: &Opts) -> Result<Option<usize>, String> {
+    match o.get_parsed::<usize>("threads")? {
+        Some(0) => Err("--threads must be at least 1".into()),
+        other => Ok(other),
+    }
+}
+
 fn cmd_bc(args: &[String]) -> Result<(), String> {
-    let o = Opts::parse(args, &["batch", "approx", "top", "seed"])?;
+    let o = Opts::parse(args, &["batch", "approx", "top", "seed", "threads"])?;
     let g = load_graph(o.positional.as_deref(), o.has("directed"))?;
     if o.has("weighted") && g.is_unit_weighted() {
         eprintln!("note: --weighted given but all weights are 1");
     }
     let batch = o.get_parsed::<usize>("batch")?.unwrap_or(64).max(1);
     let seed = o.get_parsed::<u64>("seed")?.unwrap_or(42);
-    let scores = match o.get_parsed::<usize>("approx")? {
-        Some(k) => {
+    let threads = parse_threads(&o)?;
+    let compute = || match o.get_parsed::<usize>("approx") {
+        Ok(Some(k)) => {
             let est = mfbc_approx(&g, k.min(g.n()).max(1), seed);
             eprintln!("approximated from {} sampled sources", est.sources.len());
-            est.scores
+            Ok(est.scores)
         }
-        None => mfbc_seq(&g, batch).0,
+        Ok(None) => Ok(mfbc_seq(&g, batch).0),
+        Err(e) => Err(e),
+    };
+    let scores = match threads {
+        Some(t) => mfbc_parallel::with_threads(t, compute)?,
+        None => compute()?,
     };
     let scores = if o.has("normalized") {
         scores.normalized()
@@ -274,6 +291,7 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
             "batch",
             "graph",
             "seed",
+            "threads",
             "trace-out",
             "trace-format",
         ],
@@ -283,6 +301,7 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
     let seed = o.get_parsed::<u64>("seed")?.unwrap_or(42);
     let g = load_workload(spec_str, o.has("directed"), None, seed)?;
     let batch = o.get_parsed::<usize>("batch")?.unwrap_or(128);
+    let threads = parse_threads(&o)?;
     let machine = Machine::new(MachineSpec::gemini(p));
 
     // Structured tracing: record every collective, SpGEMM, autotune
@@ -302,14 +321,20 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
 
     let plan = o.get("plan").unwrap_or("auto");
     let (label, sources, report) = if plan == "combblas" {
-        let run = combblas_bc(
-            &machine,
-            &g,
-            &CombBlasConfig {
-                batch_size: Some(batch),
-                max_batches: Some(1),
-            },
-        )
+        let combblas = || {
+            combblas_bc(
+                &machine,
+                &g,
+                &CombBlasConfig {
+                    batch_size: Some(batch),
+                    max_batches: Some(1),
+                },
+            )
+        };
+        let run = match threads {
+            Some(t) => mfbc_parallel::with_threads(t, combblas),
+            None => combblas(),
+        }
         .map_err(|e| e.to_string())?;
         (
             "CombBLAS-style".to_string(),
@@ -333,6 +358,7 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
                 batch_size: Some(batch),
                 plan_mode: mode,
                 max_batches: Some(1),
+                threads,
                 ..Default::default()
             },
         )
@@ -359,6 +385,10 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
         eprint!(
             "{}",
             mfbc_trace::render_summary(&mfbc_trace::collective_summary(&records))
+        );
+        eprint!(
+            "{}",
+            mfbc_trace::render_pool_summary(&mfbc_trace::pool_summary(&records))
         );
     }
 

@@ -46,6 +46,7 @@ fn scores_identical_across_all_execution_paths() {
                     max_batches: None,
                     amortize_adjacency: true,
                     sources: None,
+                    threads: None,
                 },
             )
             .unwrap();
