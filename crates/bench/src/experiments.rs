@@ -390,7 +390,7 @@ pub fn ablation_batch(quick: bool) -> Table {
         };
         match mfbc_core::dist::mfbc_dist(&machine, &g, &cfg) {
             Ok(run) => {
-                let rep = machine.report();
+                let rep = run.report;
                 let time = rep.critical.total_time();
                 let teps = g.m() as f64 * run.sources_processed as f64 / time / 1e6 / p as f64;
                 let peak = machine.with_tracker(|tr| tr.max_peak());
@@ -492,7 +492,7 @@ pub fn ablation_amortization(quick: bool) -> Table {
         };
         match mfbc_core::dist::mfbc_dist(&machine, &g, &cfg) {
             Ok(run) => {
-                let rep = machine.report();
+                let rep = run.report;
                 let time = rep.critical.total_time();
                 let teps = g.m() as f64 * run.sources_processed as f64 / time / 1e6 / p as f64;
                 t.push(vec![
@@ -548,15 +548,24 @@ pub fn apsp_vs_mfbc(quick: bool) -> Table {
             sources: None,
             threads: None,
         };
-        let run = mfbc_core::dist::mfbc_dist(&machine, &g, &cfg).expect("MFBC fits");
-        assert_eq!(run.sources_processed, g.n());
-        let rep = machine.report();
-        t.push(vec![
-            "CTF-MFBC (all sources)".into(),
-            f3(rep.critical.total_time()),
-            mib(rep.critical.bytes),
-            mib(machine.with_tracker(|tr| tr.max_peak())),
-        ]);
+        match mfbc_core::dist::mfbc_dist(&machine, &g, &cfg) {
+            Ok(run) => {
+                assert_eq!(run.sources_processed, g.n());
+                let rep = run.report;
+                t.push(vec![
+                    "CTF-MFBC (all sources)".into(),
+                    f3(rep.critical.total_time()),
+                    mib(rep.critical.bytes),
+                    mib(machine.with_tracker(|tr| tr.max_peak())),
+                ]);
+            }
+            Err(e) => t.push(vec![
+                "CTF-MFBC (all sources)".into(),
+                format!("OOM ({e})"),
+                String::new(),
+                String::new(),
+            ]),
+        }
     }
     {
         let machine = mfbc_machine::Machine::new(spec);

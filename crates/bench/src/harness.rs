@@ -47,13 +47,18 @@ pub struct Measurement {
     pub iterations: usize,
 }
 
-fn finish(machine: &Machine, g: &Graph, sources: usize, iterations: usize) -> Measurement {
-    let report = machine.report();
+fn finish(
+    p: usize,
+    report: &mfbc_machine::cost::CostReport,
+    g: &Graph,
+    sources: usize,
+    iterations: usize,
+) -> Measurement {
     let time_s = report.critical.total_time();
     let traversals = g.m() as f64 * sources as f64;
     Measurement {
-        p: machine.p(),
-        mteps_per_node: traversals / time_s / 1e6 / machine.p() as f64,
+        p,
+        mteps_per_node: traversals / time_s / 1e6 / p as f64,
         time_s,
         comm_s: report.critical.comm_time,
         msgs: report.critical.msgs,
@@ -124,8 +129,11 @@ pub fn measure_mfbc(
         threads: None,
     };
     match mfbc_dist(&machine, g, &cfg) {
+        // The run's own report: after a crash recovery the driver
+        // finishes on a shrunk machine this handle no longer tracks.
         Ok(run) => Ok(finish(
-            &machine,
+            run.recovery.final_p,
+            &run.report,
             g,
             run.sources_processed,
             run.forward_iterations + run.backward_iterations,
@@ -195,7 +203,13 @@ pub fn measure_combblas(g: &Graph, bench: &BenchSpec, batch: usize) -> Result<Me
         max_batches: Some(1),
     };
     match combblas_bc(&machine, g, &cfg) {
-        Ok(run) => Ok(finish(&machine, g, run.sources_processed, run.levels)),
+        Ok(run) => Ok(finish(
+            machine.p(),
+            &machine.report(),
+            g,
+            run.sources_processed,
+            run.levels,
+        )),
         Err(BaselineError::Machine(e)) => Err(format!("OOM ({e})")),
         Err(e) => Err(format!("n/a ({e})")),
     }

@@ -12,6 +12,7 @@ use mfbc_algebra::kernel::{BellmanFordKernel, BrandesKernel, KernelOut, Tropical
 use mfbc_algebra::{Centpath, Dist, Multpath, SpMulKernel};
 use mfbc_core::oracle::{brandes_unweighted, brandes_weighted};
 use mfbc_core::{mfbc_dist, MfbcConfig, PlanMode};
+use mfbc_fault::{FaultKind, FaultPlan, RetryPolicy, ScheduledFault};
 use mfbc_graph::Graph;
 use mfbc_machine::{Machine, MachineSpec};
 use mfbc_sparse::{spgemm_serial, Coo, Csr};
@@ -268,6 +269,29 @@ impl CaseSpec for MmCase {
     }
 }
 
+/// Remaps a fault schedule onto a `p`-rank machine: targeted ranks
+/// wrap modulo `p`, and crash faults are dropped when fewer than two
+/// ranks remain (a one-rank machine cannot survive a crash, so such a
+/// schedule would fail for the wrong reason).
+fn faults_for_p(faults: &[ScheduledFault], p: usize) -> Vec<ScheduledFault> {
+    faults
+        .iter()
+        .filter_map(|sf| {
+            let kind = match sf.kind {
+                FaultKind::Crash { rank } => {
+                    if p < 2 {
+                        return None;
+                    }
+                    FaultKind::Crash { rank: rank % p }
+                }
+                FaultKind::Oom { rank } => FaultKind::Oom { rank: rank % p },
+                transient => transient,
+            };
+            Some(ScheduledFault { at: sf.at, kind })
+        })
+        .collect()
+}
+
 /// Index subsets to try when reducing an entry list of length `len`:
 /// both halves and the two alternating combs, then (for short lists)
 /// every single-element deletion.
@@ -328,6 +352,11 @@ pub struct DriverCase {
     /// Shared-memory pool size the driver runs under (drawn from
     /// [`gen::THREAD_COUNTS`]; the scores must not depend on it).
     pub threads: usize,
+    /// Fault schedule injected into a second, faulted run of the same
+    /// case. When non-empty, the faulted run's recovered scores must
+    /// be *bit-identical* to the fault-free run's. Empty in the plain
+    /// differential suites; [`DriverCase::generate_faulted`] fills it.
+    pub faults: Vec<ScheduledFault>,
 }
 
 impl DriverCase {
@@ -359,7 +388,40 @@ impl DriverCase {
             batch: 1 + rng.below(n),
             amortize: rng.chance(1, 2),
             threads: gen::THREAD_COUNTS[rng.below(gen::THREAD_COUNTS.len())],
+            faults: Vec::new(),
         }
+    }
+
+    /// Like [`DriverCase::generate`], plus a random survivable fault
+    /// schedule: one or two faults drawn from {crash, transient, oom}
+    /// at early collective sequence numbers (so most of them actually
+    /// fire), with at most one crash and never a crash on a one-rank
+    /// machine. The check then demands the faulted run recover with
+    /// scores bit-identical to the fault-free run.
+    pub fn generate_faulted(seed: u64, ps: &[usize], weighted: bool) -> DriverCase {
+        let mut case = DriverCase::generate(seed, ps, weighted);
+        let mut rng = SplitMix64::new(seed ^ 0xfa17_cafe);
+        let count = 1 + rng.below(2);
+        let mut crashed = false;
+        for _ in 0..count {
+            let at = rng.below(24) as u64;
+            let kind = match rng.below(3) {
+                0 if case.p >= 2 && !crashed => {
+                    crashed = true;
+                    FaultKind::Crash {
+                        rank: rng.below(case.p),
+                    }
+                }
+                1 => FaultKind::Transient {
+                    recurrence: 1 + rng.below(4) as u32,
+                },
+                _ => FaultKind::Oom {
+                    rank: rng.below(case.p),
+                },
+            };
+            case.faults.push(ScheduledFault { at, kind });
+        }
+        case
     }
 
     /// Replication factors `c` for which `ca_plan(p, c)` is
@@ -437,18 +499,83 @@ impl CaseSpec for DriverCase {
                 run.scores.max_abs_diff(&oracle)
             ));
         }
+        if !self.faults.is_empty() {
+            let plan = FaultPlan {
+                faults: self.faults.clone(),
+            };
+            let faulted = Machine::with_faults(
+                MachineSpec::test(self.p),
+                plan.clone(),
+                RetryPolicy::default(),
+            );
+            let frun = mfbc_dist(&faulted, &g, &cfg)
+                .map_err(|e| format!("faulted driver (faults {plan}): unrecovered: {e}"))?;
+            // A crash shrinks the machine, and the remaining batches
+            // run under a different plan/grid whose floating-point
+            // accumulation *grouping* differs — ulp-level divergence
+            // there is inherent (two fault-free runs at p and p−1
+            // already differ), so crash recovery is held to the same
+            // tolerance as the Brandes oracle. Transient and OOM
+            // recovery never change the machine shape, so they must
+            // reproduce the fault-free scores *bit for bit*.
+            let has_crash = self
+                .faults
+                .iter()
+                .any(|sf| matches!(sf.kind, FaultKind::Crash { .. }));
+            if has_crash {
+                if !frun.scores.approx_eq(&run.scores, 1e-9) {
+                    return Err(format!(
+                        "faulted driver (faults {plan}, {} injected, {} replans): \
+                         diverges from fault-free run: max |Δλ| = {:.3e}",
+                        frun.recovery.faults_injected,
+                        frun.recovery.replans,
+                        frun.scores.max_abs_diff(&run.scores)
+                    ));
+                }
+            } else {
+                for (v, (a, b)) in run
+                    .scores
+                    .lambda
+                    .iter()
+                    .zip(&frun.scores.lambda)
+                    .enumerate()
+                {
+                    if a.to_bits() != b.to_bits() {
+                        return Err(format!(
+                            "faulted driver (faults {plan}, {} injected): \
+                             λ[{v}] = {b:?} differs from fault-free {a:?} (not bit-identical)",
+                            frun.recovery.faults_injected
+                        ));
+                    }
+                }
+            }
+        }
         Ok(())
     }
 
     fn size(&self) -> usize {
-        self.edges.len() + self.n + self.p + self.threads
+        self.edges.len() + self.n + self.p + self.threads + self.faults.len()
     }
 
     fn shrink_candidates(&self) -> Vec<DriverCase> {
         let mut out = Vec::new();
+        // Toward fault-free first: a failure that survives without any
+        // schedule is an ordinary driver bug, the easiest kind to read.
+        if !self.faults.is_empty() {
+            out.push(DriverCase {
+                faults: Vec::new(),
+                ..self.clone()
+            });
+            for skip in 0..self.faults.len() {
+                let mut c = self.clone();
+                c.faults.remove(skip);
+                out.push(c);
+            }
+        }
         for &q in gen::P_ALL.iter().filter(|&&q| q < self.p) {
             out.push(DriverCase {
                 p: q,
+                faults: faults_for_p(&self.faults, q),
                 ..self.clone()
             });
         }

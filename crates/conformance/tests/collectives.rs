@@ -96,9 +96,9 @@ fn scatter_and_gather_preserve_pieces_and_charge_closed_form() {
     let m = Machine::new(spec(6, 4.0, 0.25));
     let g = m.world();
     let parts: Vec<u64> = (0..6).map(|i| 100 + i as u64).collect();
-    let scattered = scatter(&m, &g, parts.clone());
+    let scattered = scatter(&m, &g, parts.clone()).unwrap();
     assert_eq!(scattered, parts, "scatter must deliver piece i to rank i");
-    let gathered = gather(&m, &g, scattered);
+    let gathered = gather(&m, &g, scattered).unwrap();
     assert_eq!(gathered, parts, "gather must return pieces in group order");
     let r = m.report();
     // Each payload set is 6 u64 = 48 bytes; two collectives.
@@ -118,7 +118,8 @@ fn sparse_reduce_combines_and_charges_result_bytes() {
     let folded = sparse_reduce(&m, &g, contribs, |mut a, b| {
         a.extend(b);
         a
-    });
+    })
+    .unwrap();
     assert_eq!(folded, vec![0, 1, 2, 3, 4, 5, 6]);
     let r = m.report();
     // Result: 7 u64 = 56 bytes; ⌈log₂ 7⌉ = 3.
@@ -131,9 +132,9 @@ fn sparse_reduce_combines_and_charges_result_bytes() {
 fn single_rank_collectives_move_nothing_and_cost_nothing() {
     let m = Machine::new(spec(1, 4.0, 2.0));
     let g = m.world();
-    assert_eq!(scatter(&m, &g, vec![9u64]), vec![9]);
-    assert_eq!(gather(&m, &g, vec![9u64]), vec![9]);
-    assert_eq!(sparse_reduce(&m, &g, vec![9u64], |a, b| a + b), 9);
+    assert_eq!(scatter(&m, &g, vec![9u64]).unwrap(), vec![9]);
+    assert_eq!(gather(&m, &g, vec![9u64]).unwrap(), vec![9]);
+    assert_eq!(sparse_reduce(&m, &g, vec![9u64], |a, b| a + b).unwrap(), 9);
     let r = m.report();
     assert_eq!(r.critical.msgs, 0, "p = 1 collectives must be free");
     assert_eq!(r.critical.bytes, 0);
@@ -147,7 +148,7 @@ fn zero_byte_payloads_still_pay_latency() {
     let m = Machine::new(spec(8, 4.0, 2.0));
     let g = m.world();
     let empties: Vec<Vec<u64>> = (0..8).map(|_| Vec::new()).collect();
-    let out = scatter(&m, &g, empties);
+    let out = scatter(&m, &g, empties).unwrap();
     assert!(out.iter().all(Vec::is_empty));
     let r = m.report();
     assert_eq!(r.critical.bytes, 0);
@@ -162,7 +163,8 @@ fn zero_byte_payloads_still_pay_latency() {
         &g,
         (0..8).map(|_| Vec::<u64>::new()).collect(),
         |a, _| a,
-    );
+    )
+    .unwrap();
     assert!(folded.is_empty());
     assert_eq!(m.report().critical.msgs, 6);
 }
@@ -174,7 +176,7 @@ fn gather_scatter_roundtrip_at_many_rank_counts() {
         let m = Machine::new(MachineSpec::test(p));
         let g = m.world();
         let parts: Vec<u64> = (0..p as u64).collect();
-        let rt = gather(&m, &g, scatter(&m, &g, parts.clone()));
+        let rt = gather(&m, &g, scatter(&m, &g, parts.clone()).unwrap()).unwrap();
         assert_eq!(rt, parts, "roundtrip at p={p}");
     }
 }

@@ -6,7 +6,7 @@
 
 use mfbc_conformance::case::{CaseSpec, MmCase, MmKernelKind};
 use mfbc_conformance::suite::run_suite;
-use mfbc_tensor::mm::fault;
+use mfbc_fault::sabotage as fault;
 
 const KERNELS: [MmKernelKind; 3] = [
     MmKernelKind::Tropical,

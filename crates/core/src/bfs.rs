@@ -75,7 +75,7 @@ pub fn sssp_dist(
     let mut frontier = dist.clone();
 
     let result = (|| {
-        while nnz_sync(machine, &frontier) > 0 {
+        while nnz_sync(machine, &frontier)? > 0 {
             let explored = mm_auto_cached::<TropicalKernel>(machine, &frontier, &da, &mut cache)?.0;
             let updated = dmat_combine::<MinDist, _>(machine, &dist, &explored.c);
             frontier = dmat_zip_filter::<MinDist, _, _, _>(

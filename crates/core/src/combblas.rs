@@ -185,7 +185,7 @@ fn batch(
 
     loop {
         let cur = fronts.last().expect("at least the seed level");
-        if nnz_sync(machine, cur) == 0 {
+        if nnz_sync(machine, cur)? == 0 {
             if let Some(f) = fronts.pop() {
                 f.release_memory(machine)
             }
@@ -240,7 +240,7 @@ fn batch(
                 None
             }
         });
-    let partial = dmat_column_sums(machine, &masked);
+    let partial = dmat_column_sums(machine, &masked)?;
     for (v, x) in partial.into_iter().enumerate() {
         run.scores.lambda[v] += x;
     }

@@ -29,7 +29,7 @@ use mfbc_sparse::Coo;
 use mfbc_tensor::autotune::mm_auto_cached;
 use mfbc_tensor::cache::MmCache;
 use mfbc_tensor::ops::{
-    dmat_column_sums, dmat_combine, dmat_combine_anchored, dmat_map_filter, dmat_zip_filter,
+    dmat_combine, dmat_combine_anchored, dmat_fold_columns, dmat_map_filter, dmat_zip_filter,
     nnz_sync,
 };
 use mfbc_tensor::{canonical_layout, mm_exec_cached, DistMat, MmPlan, Variant1D, Variant2D};
@@ -50,11 +50,11 @@ pub enum PlanMode {
 }
 
 impl PlanMode {
-    fn plan_for(&self, m: &Machine) -> Option<MmPlan> {
+    fn plan_for(&self, m: &Machine) -> Result<Option<MmPlan>, MachineError> {
         match self {
-            PlanMode::Auto => None,
-            PlanMode::Ca { c } => Some(ca_plan(m.p(), *c)),
-            PlanMode::Fixed(plan) => Some(plan.clone()),
+            PlanMode::Auto => Ok(None),
+            PlanMode::Ca { c } => ca_plan(m.p(), *c).map(Some),
+            PlanMode::Fixed(plan) => Ok(Some(plan.clone())),
         }
     }
 }
@@ -62,30 +62,41 @@ impl PlanMode {
 /// The CA-MFBC plan: `p1 = c` layers replicating the (right-operand)
 /// adjacency, inner 2D stationary-adjacency on `√(p/c) × √(p/c)`.
 ///
-/// # Panics
-/// Panics unless `c` divides `p` and `p/c` is a perfect square.
-pub fn ca_plan(p: usize, c: usize) -> MmPlan {
-    assert!(c >= 1 && p.is_multiple_of(c), "c={c} must divide p={p}");
+/// # Errors
+/// Returns [`MachineError::InvalidConfig`] unless `c` divides `p` and
+/// `p/c` is a perfect square — `c` comes straight from user
+/// configuration (`--c`), so a bad value must surface as a message,
+/// not a panic.
+pub fn ca_plan(p: usize, c: usize) -> Result<MmPlan, MachineError> {
+    if c < 1 || !p.is_multiple_of(c) {
+        return Err(MachineError::invalid(format!(
+            "replication factor c={c} must be in [1, p] and divide p={p}"
+        )));
+    }
     let layer = p / c;
     let r = (layer as f64).sqrt().round() as usize;
-    assert_eq!(r * r, layer, "p/c = {layer} must be a perfect square");
+    if r * r != layer {
+        return Err(MachineError::invalid(format!(
+            "CA-MFBC needs p/c to be a perfect square, got p/c = {layer} (p={p}, c={c})"
+        )));
+    }
     if c == 1 {
         if r == 1 {
-            return MmPlan::OneD(Variant1D::A);
+            return Ok(MmPlan::OneD(Variant1D::A));
         }
-        return MmPlan::TwoD {
+        return Ok(MmPlan::TwoD {
             variant: Variant2D::AC,
             p2: r,
             p3: r,
-        };
+        });
     }
-    MmPlan::ThreeD {
+    Ok(MmPlan::ThreeD {
         split: Variant1D::B,
         inner: Variant2D::AC,
         p1: c,
         p2: r,
         p3: r,
-    }
+    })
 }
 
 /// Configuration of a distributed MFBC run.
@@ -164,6 +175,36 @@ impl MfbcConfig {
     }
 }
 
+/// What the driver did to survive injected or modeled failures.
+#[derive(Clone, Debug, Default)]
+pub struct RecoveryStats {
+    /// Faults the machine injected during the run.
+    pub faults_injected: u64,
+    /// In-place collective retries performed by the machine itself
+    /// (transient faults absorbed below the driver).
+    pub collective_retries: u64,
+    /// Whole-batch restarts from a checkpoint (transient overflow or
+    /// OOM at the minimum batch size).
+    pub batch_retries: u64,
+    /// Rank-crash recoveries: shrink to the survivors and replan.
+    pub replans: u64,
+    /// Checkpoint restorations (every recovery path restores one).
+    pub checkpoints_restored: u64,
+    /// OOM retreats that halved the batch size.
+    pub oom_halvings: u64,
+    /// Modeled seconds spent on work that was rolled back.
+    pub wasted_modeled_s: f64,
+    /// Ranks still alive at the end of the run.
+    pub final_p: usize,
+}
+
+impl RecoveryStats {
+    /// Whether anything at all went wrong (and was survived).
+    pub fn any(&self) -> bool {
+        self.faults_injected > 0 || self.checkpoints_restored > 0 || self.collective_retries > 0
+    }
+}
+
 /// Statistics and result of a distributed MFBC run.
 #[derive(Clone, Debug)]
 pub struct MfbcRun {
@@ -181,7 +222,21 @@ pub struct MfbcRun {
     pub frontier_nnz: u64,
     /// Total kernel applications.
     pub ops: u64,
+    /// Final cost report. After a crash recovery the driver runs on a
+    /// *shrunk* machine whose tracker the caller's handle no longer
+    /// sees, so consumers must read costs from here, not from the
+    /// machine they passed in.
+    pub report: mfbc_machine::cost::CostReport,
+    /// Fault-and-recovery accounting for the run.
+    pub recovery: RecoveryStats,
 }
+
+/// Bound on checkpoint restarts of one batch (transient overflow or
+/// OOM at the minimum batch size). With the machine's own in-place
+/// retry underneath, this covers any recurrence the conformance
+/// schedules generate; a longer-lived failure surfaces as the typed
+/// error after the budget is spent.
+const MAX_BATCH_RETRIES: u32 = 8;
 
 /// Runs distributed MFBC on `machine`.
 ///
@@ -189,13 +244,46 @@ pub struct MfbcRun {
 /// an `mfbc_parallel::with_threads` override, sizing every local
 /// kernel's pool; results are bit-identical at any thread count.
 ///
+/// # Fault tolerance
+/// The driver checkpoints scores and batch progress at every batch
+/// boundary. A failed collective restarts the batch from the
+/// checkpoint (bounded retries); a rank crash shrinks the machine to
+/// the survivors and replans every remaining product with the
+/// autotuner; an out-of-memory failure halves the batch size and
+/// resumes. Transient and OOM recovery never change the machine
+/// shape, so their recovered scores are *bit-identical* to a
+/// fault-free run. Crash recovery finishes the run on a smaller
+/// machine whose plans group floating-point accumulations
+/// differently, so its scores match a fault-free run to accumulation-
+/// order tolerance (and exactly when the dependency values are
+/// dyadic). [`RecoveryStats`] records what happened. After a crash
+/// the caller's machine handle no longer tracks the run — read
+/// [`MfbcRun::report`] instead.
+///
 /// # Errors
-/// Propagates simulated out-of-memory failures.
+/// Propagates simulated out-of-memory failures that survive the
+/// batch-size retreat, collective failures that outlive the retry
+/// budget, and invalid plan configuration.
 pub fn mfbc_dist(machine: &Machine, g: &Graph, cfg: &MfbcConfig) -> Result<MfbcRun, MachineError> {
     match cfg.threads {
         Some(t) => mfbc_parallel::with_threads(t, || mfbc_dist_inner(machine, g, cfg)),
         None => mfbc_dist_inner(machine, g, cfg),
     }
+}
+
+/// Releases everything a run keeps resident — on the way out of a
+/// terminal (unrecoverable) error, so the meter balances.
+fn release_run_state(
+    m: &Machine,
+    fwd_cache: &mut MmCache<mfbc_algebra::Dist>,
+    back_cache: &mut MmCache<mfbc_algebra::Dist>,
+    da: &DistMat<mfbc_algebra::Dist>,
+    dat: &DistMat<mfbc_algebra::Dist>,
+) {
+    fwd_cache.release_all(m);
+    back_cache.release_all(m);
+    da.release_memory(m);
+    dat.release_memory(m);
 }
 
 fn mfbc_dist_inner(
@@ -204,16 +292,20 @@ fn mfbc_dist_inner(
     cfg: &MfbcConfig,
 ) -> Result<MfbcRun, MachineError> {
     let n = g.n();
-    let nb = cfg.batch_size.unwrap_or_else(|| n.min(512)).max(1);
+    // Mutable: the OOM retreat halves it.
+    let mut nb = cfg.batch_size.unwrap_or_else(|| n.min(512)).max(1);
+    // Mutable: a crash recovery swaps in the shrunk machine.
+    let mut m = machine.clone();
 
     // Adjacency and its transpose, canonically distributed and
-    // resident for the whole run.
-    let da = DistMat::from_global(canonical_layout(machine, n, n), g.adjacency());
-    let dat = DistMat::from_global(canonical_layout(machine, n, n), &g.adjacency_t());
-    da.charge_memory(machine)?;
-    dat.charge_memory(machine)?;
+    // resident for the whole run (rebuilt after a shrink — the
+    // canonical layout depends on p).
+    let mut da = DistMat::from_global(canonical_layout(&m, n, n), g.adjacency());
+    let mut dat = DistMat::from_global(canonical_layout(&m, n, n), &g.adjacency_t());
+    da.charge_memory(&m)?;
+    dat.charge_memory(&m)?;
 
-    let plan = cfg.plan_mode.plan_for(machine);
+    let mut plan = cfg.plan_mode.plan_for(&m)?;
     // Prepared-adjacency caches: the Theorem-5.1 amortization. One
     // cache per orientation; both released (with their simulated
     // residency) at end of run.
@@ -227,7 +319,10 @@ fn mfbc_dist_inner(
         backward_iterations: 0,
         frontier_nnz: 0,
         ops: 0,
+        report: Default::default(),
+        recovery: RecoveryStats::default(),
     };
+    let mut recovery = RecoveryStats::default();
 
     let sources: Vec<usize> = match &cfg.sources {
         Some(s) => {
@@ -238,43 +333,139 @@ fn mfbc_dist_inner(
         }
         None => (0..n).collect(),
     };
-    for chunk in sources.chunks(nb) {
+
+    // Batch cursor over `sources`; advances only when a batch
+    // commits, so every recovery resumes exactly where it left off.
+    let mut cursor = 0usize;
+    'batches: while cursor < sources.len() {
         if let Some(max) = cfg.max_batches {
             if run.batches >= max {
                 break;
             }
         }
-        let caches = if cfg.amortize_adjacency {
-            Some((&mut fwd_cache, &mut back_cache))
-        } else {
-            None
-        };
-        let _span = mfbc_trace::span(|| format!("batch {}", run.batches));
-        let r = batch(
-            machine,
-            g,
-            &da,
-            &dat,
-            chunk,
-            plan.as_ref(),
-            caches,
-            &mut run,
-        );
-        if r.is_err() {
-            fwd_cache.release_all(machine);
-            back_cache.release_all(machine);
-            da.release_memory(machine);
-            dat.release_memory(machine);
-            r?;
+        // ---- checkpoint (batch boundary) ----
+        // Scores + progress are cloned; the memory meter and the set
+        // of cached adjacency forms are snapshotted so a rollback can
+        // discard mid-batch allocations and cache entries without
+        // double-counting.
+        let snapshot = m.memory_snapshot();
+        let fwd_keys = fwd_cache.keys();
+        let back_keys = back_cache.keys();
+        let run_ckpt = run.clone();
+        let mut batch_attempts = 0u32;
+        loop {
+            let end = (cursor + nb).min(sources.len());
+            let chunk = &sources[cursor..end];
+            let started_s = m.report().critical.total_time();
+            let _span = mfbc_trace::span(|| format!("batch {}", run.batches));
+            let caches = if cfg.amortize_adjacency {
+                Some((&mut fwd_cache, &mut back_cache))
+            } else {
+                None
+            };
+            match batch(&m, g, &da, &dat, chunk, plan.as_ref(), caches, &mut run) {
+                Ok(()) => {
+                    run.batches += 1;
+                    run.sources_processed += chunk.len();
+                    cursor = end;
+                    break;
+                }
+                Err(e) => {
+                    // Roll back to the checkpoint. Modeled time is
+                    // *not* rolled back: the failed attempt's seconds
+                    // stay on the clock and are reported as waste.
+                    let wasted = m.report().critical.total_time() - started_s;
+                    recovery.wasted_modeled_s += wasted;
+                    recovery.checkpoints_restored += 1;
+                    run = run_ckpt.clone();
+                    m.restore_memory(&snapshot);
+                    fwd_cache.discard_except(&fwd_keys);
+                    back_cache.discard_except(&back_keys);
+                    match e {
+                        MachineError::CollectiveFailed { .. } => {
+                            batch_attempts += 1;
+                            if batch_attempts > MAX_BATCH_RETRIES {
+                                release_run_state(&m, &mut fwd_cache, &mut back_cache, &da, &dat);
+                                return Err(e);
+                            }
+                            recovery.batch_retries += 1;
+                            mfbc_trace::emit(|| mfbc_trace::TraceEvent::Recovery {
+                                action: "retry-batch",
+                                detail: format!("attempt {batch_attempts}: {e}"),
+                                wasted_s: wasted,
+                            });
+                        }
+                        MachineError::RankFailed { rank, .. } => {
+                            // Graceful degradation: release everything
+                            // from the dead configuration, shrink to
+                            // the survivors, rebuild the distributed
+                            // state, and let the autotuner replan for
+                            // the smaller machine.
+                            release_run_state(&m, &mut fwd_cache, &mut back_cache, &da, &dat);
+                            let old_p = m.p();
+                            m = m.shrink(rank)?;
+                            da = DistMat::from_global(canonical_layout(&m, n, n), g.adjacency());
+                            dat =
+                                DistMat::from_global(canonical_layout(&m, n, n), &g.adjacency_t());
+                            da.charge_memory(&m)?;
+                            dat.charge_memory(&m)?;
+                            fwd_cache = MmCache::new();
+                            back_cache = MmCache::new();
+                            plan = None; // degraded mode: autotune on the survivors
+                            recovery.replans += 1;
+                            mfbc_trace::emit(|| mfbc_trace::TraceEvent::Recovery {
+                                action: "replan",
+                                detail: format!("p={old_p}->{} plan=auto", m.p()),
+                                wasted_s: wasted,
+                            });
+                            // The snapshot predates the shrink (wrong
+                            // rank count) — take a fresh checkpoint.
+                            continue 'batches;
+                        }
+                        MachineError::OutOfMemory { .. } if nb > 1 => {
+                            nb /= 2;
+                            recovery.oom_halvings += 1;
+                            mfbc_trace::emit(|| mfbc_trace::TraceEvent::Recovery {
+                                action: "shrink-batch",
+                                detail: format!("nb={nb}"),
+                                wasted_s: wasted,
+                            });
+                            continue 'batches;
+                        }
+                        MachineError::OutOfMemory { .. } => {
+                            // Already at nb = 1: retry in place — an
+                            // injected OOM fault has been consumed and
+                            // will not re-fire; a real capacity limit
+                            // exhausts the budget and propagates.
+                            batch_attempts += 1;
+                            if batch_attempts > MAX_BATCH_RETRIES {
+                                release_run_state(&m, &mut fwd_cache, &mut back_cache, &da, &dat);
+                                return Err(e);
+                            }
+                            recovery.batch_retries += 1;
+                            mfbc_trace::emit(|| mfbc_trace::TraceEvent::Recovery {
+                                action: "retry-batch",
+                                detail: format!("attempt {batch_attempts}: {e}"),
+                                wasted_s: wasted,
+                            });
+                        }
+                        other => {
+                            release_run_state(&m, &mut fwd_cache, &mut back_cache, &da, &dat);
+                            return Err(other);
+                        }
+                    }
+                }
+            }
         }
-        run.batches += 1;
-        run.sources_processed += chunk.len();
     }
 
-    fwd_cache.release_all(machine);
-    back_cache.release_all(machine);
-    da.release_memory(machine);
-    dat.release_memory(machine);
+    release_run_state(&m, &mut fwd_cache, &mut back_cache, &da, &dat);
+    let stats = m.fault_stats();
+    recovery.faults_injected = stats.faults_injected;
+    recovery.collective_retries = stats.retries;
+    recovery.final_p = m.p();
+    run.report = m.report();
+    run.recovery = recovery;
     Ok(run)
 }
 
@@ -341,7 +532,7 @@ fn batch(
 
     let batch_idx = run.batches;
     let mut step = 0usize;
-    while nnz_sync(machine, &frontier) > 0 {
+    while nnz_sync(machine, &frontier)? > 0 {
         mfbc_trace::emit(|| mfbc_trace::TraceEvent::Superstep {
             phase: "forward",
             batch: batch_idx,
@@ -392,7 +583,7 @@ fn batch(
 
     let mut bfrontier = fire_and_pin(machine, &mut z, &t);
     let mut step = 0usize;
-    while nnz_sync(machine, &bfrontier) > 0 {
+    while nnz_sync(machine, &bfrontier)? > 0 {
         mfbc_trace::emit(|| mfbc_trace::TraceEvent::Superstep {
             phase: "backward",
             batch: batch_idx,
@@ -421,10 +612,11 @@ fn batch(
         }
         tv.map(|mp| zv.p * mp.m)
     });
-    let partial = dmat_column_sums(machine, &products);
-    for (v, x) in partial.into_iter().enumerate() {
-        run.scores.lambda[v] += x;
-    }
+    // Fold per-source contributions into λ in ascending global source
+    // order: the accumulation each λ[v] sees is independent of the
+    // batch size, so an OOM retreat or a post-crash replan reproduces
+    // the fault-free scores bit for bit.
+    dmat_fold_columns(machine, &products, &mut run.scores.lambda)?;
 
     z.release_memory(machine);
     t.release_memory(machine);
@@ -502,9 +694,9 @@ mod tests {
 
     #[test]
     fn ca_plan_shapes() {
-        assert_eq!(ca_plan(1, 1), MmPlan::OneD(Variant1D::A));
+        assert_eq!(ca_plan(1, 1).unwrap(), MmPlan::OneD(Variant1D::A));
         assert_eq!(
-            ca_plan(16, 4),
+            ca_plan(16, 4).unwrap(),
             MmPlan::ThreeD {
                 split: Variant1D::B,
                 inner: Variant2D::AC,
@@ -514,7 +706,7 @@ mod tests {
             }
         );
         assert_eq!(
-            ca_plan(16, 1),
+            ca_plan(16, 1).unwrap(),
             MmPlan::TwoD {
                 variant: Variant2D::AC,
                 p2: 4,
@@ -524,8 +716,86 @@ mod tests {
     }
 
     #[test]
-    #[should_panic]
-    fn ca_plan_rejects_nonsquare_layers() {
-        let _ = ca_plan(8, 4); // p/c = 2 not a square
+    fn ca_plan_rejects_bad_configs() {
+        // p/c = 2 is not a perfect square.
+        assert!(matches!(
+            ca_plan(8, 4),
+            Err(MachineError::InvalidConfig { .. })
+        ));
+        // c does not divide p.
+        assert!(matches!(
+            ca_plan(8, 3),
+            Err(MachineError::InvalidConfig { .. })
+        ));
+        assert!(matches!(
+            ca_plan(8, 0),
+            Err(MachineError::InvalidConfig { .. })
+        ));
+    }
+
+    fn ladder() -> Graph {
+        Graph::unweighted(
+            8,
+            false,
+            vec![
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (5, 6),
+                (6, 7),
+                (1, 5),
+                (2, 6),
+            ],
+        )
+    }
+
+    fn faulted_run(p: usize, spec: &str, cfg: MfbcConfig) -> (MfbcRun, MfbcRun) {
+        use mfbc_machine::{FaultPlan, MachineSpec, RetryPolicy};
+        let g = ladder();
+        let clean = mfbc_dist(&Machine::new(MachineSpec::test(p)), &g, &cfg).unwrap();
+        let plan = FaultPlan::parse(spec).unwrap();
+        let m = Machine::with_faults(MachineSpec::test(p), plan, RetryPolicy::default());
+        let faulted = mfbc_dist(&m, &g, &cfg).unwrap();
+        (clean, faulted)
+    }
+
+    #[test]
+    fn crash_recovery_replans_and_matches_fault_free() {
+        let cfg = MfbcConfig::default().with_batch_size(2);
+        let (clean, faulted) = faulted_run(8, "crash:3@5", cfg);
+        assert_eq!(faulted.recovery.replans, 1);
+        assert_eq!(faulted.recovery.final_p, 7);
+        assert!(faulted.recovery.faults_injected >= 1);
+        assert!(faulted.recovery.wasted_modeled_s > 0.0);
+        let clean_bits: Vec<u64> = clean.scores.lambda.iter().map(|v| v.to_bits()).collect();
+        let fault_bits: Vec<u64> = faulted.scores.lambda.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(clean_bits, fault_bits, "crash recovery changed the scores");
+    }
+
+    #[test]
+    fn transient_fault_is_absorbed() {
+        let cfg = MfbcConfig::default().with_batch_size(4);
+        let (clean, faulted) = faulted_run(4, "transient:2@3", cfg);
+        assert!(faulted.recovery.collective_retries >= 1);
+        assert_eq!(faulted.recovery.replans, 0);
+        let clean_bits: Vec<u64> = clean.scores.lambda.iter().map(|v| v.to_bits()).collect();
+        let fault_bits: Vec<u64> = faulted.scores.lambda.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(clean_bits, fault_bits);
+    }
+
+    #[test]
+    fn oom_fault_halves_batch_and_matches() {
+        let cfg = MfbcConfig::default().with_batch_size(4);
+        let (clean, faulted) = faulted_run(4, "oom:1@4", cfg);
+        assert!(
+            faulted.recovery.oom_halvings >= 1 || faulted.recovery.batch_retries >= 1,
+            "OOM fault was never acted on: {:?}",
+            faulted.recovery
+        );
+        let clean_bits: Vec<u64> = clean.scores.lambda.iter().map(|v| v.to_bits()).collect();
+        let fault_bits: Vec<u64> = faulted.scores.lambda.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(clean_bits, fault_bits);
     }
 }

@@ -17,7 +17,7 @@
 
 use crate::comm::Group;
 use crate::cost::CollectiveKind;
-use crate::Machine;
+use crate::{Machine, MachineError};
 use std::sync::Arc;
 
 /// Types that know their wire size in bytes.
@@ -89,12 +89,17 @@ impl<T> Volume for mfbc_sparse::Coo<T> {
 
 /// Broadcast: the payload at group index `root` is replicated to
 /// every member. Returns one handle per member, in group order.
-pub fn broadcast<T: Volume>(m: &Machine, g: &Group, root: usize, data: Arc<T>) -> Vec<Arc<T>> {
+pub fn broadcast<T: Volume>(
+    m: &Machine,
+    g: &Group,
+    root: usize,
+    data: Arc<T>,
+) -> Result<Vec<Arc<T>>, MachineError> {
     assert!(root < g.len(), "broadcast root outside group");
     if g.len() > 1 {
-        m.charge_collective(g, CollectiveKind::Broadcast, data.comm_bytes());
+        m.charge_collective(g, CollectiveKind::Broadcast, data.comm_bytes())?;
     }
-    (0..g.len()).map(|_| Arc::clone(&data)).collect()
+    Ok((0..g.len()).map(|_| Arc::clone(&data)).collect())
 }
 
 /// Reduce: combines one contribution per member into a single value
@@ -106,15 +111,15 @@ pub fn reduce<T: Volume>(
     g: &Group,
     contribs: Vec<T>,
     mut combine: impl FnMut(T, T) -> T,
-) -> T {
+) -> Result<T, MachineError> {
     assert_eq!(contribs.len(), g.len(), "one contribution per member");
     let bytes = contribs.iter().map(Volume::comm_bytes).max().unwrap_or(0);
     if g.len() > 1 {
-        m.charge_collective(g, CollectiveKind::Reduce, bytes);
+        m.charge_collective(g, CollectiveKind::Reduce, bytes)?;
     }
     let mut it = contribs.into_iter();
     let first = it.next().expect("group is non-empty");
-    it.fold(first, &mut combine)
+    Ok(it.fold(first, &mut combine))
 }
 
 /// Sparse reduce: like [`reduce`] but charged by the *result* size
@@ -125,15 +130,15 @@ pub fn sparse_reduce<T: Volume>(
     g: &Group,
     contribs: Vec<T>,
     mut combine: impl FnMut(T, T) -> T,
-) -> T {
+) -> Result<T, MachineError> {
     assert_eq!(contribs.len(), g.len(), "one contribution per member");
     let mut it = contribs.into_iter();
     let first = it.next().expect("group is non-empty");
     let result = it.fold(first, &mut combine);
     if g.len() > 1 {
-        m.charge_collective(g, CollectiveKind::SparseReduce, result.comm_bytes());
+        m.charge_collective(g, CollectiveKind::SparseReduce, result.comm_bytes())?;
     }
-    result
+    Ok(result)
 }
 
 /// Allreduce: every member ends with the combined value.
@@ -142,67 +147,80 @@ pub fn allreduce<T: Volume>(
     g: &Group,
     contribs: Vec<T>,
     mut combine: impl FnMut(T, T) -> T,
-) -> Vec<Arc<T>> {
+) -> Result<Vec<Arc<T>>, MachineError> {
     assert_eq!(contribs.len(), g.len(), "one contribution per member");
     let bytes = contribs.iter().map(Volume::comm_bytes).max().unwrap_or(0);
     if g.len() > 1 {
-        m.charge_collective(g, CollectiveKind::Allreduce, bytes);
+        m.charge_collective(g, CollectiveKind::Allreduce, bytes)?;
     }
     let mut it = contribs.into_iter();
     let first = it.next().expect("group is non-empty");
     let result = Arc::new(it.fold(first, &mut combine));
-    (0..g.len()).map(|_| Arc::clone(&result)).collect()
+    Ok((0..g.len()).map(|_| Arc::clone(&result)).collect())
 }
 
 /// Allgather: every member ends with all members' pieces (in group
 /// order), shared behind one `Arc`.
-pub fn allgather<T: Volume>(m: &Machine, g: &Group, parts: Vec<T>) -> Vec<Arc<Vec<T>>> {
+pub fn allgather<T: Volume>(
+    m: &Machine,
+    g: &Group,
+    parts: Vec<T>,
+) -> Result<Vec<Arc<Vec<T>>>, MachineError> {
     assert_eq!(parts.len(), g.len(), "one piece per member");
     let bytes = parts.comm_bytes();
     if g.len() > 1 {
-        m.charge_collective(g, CollectiveKind::Allgather, bytes);
+        m.charge_collective(g, CollectiveKind::Allgather, bytes)?;
     }
     let all = Arc::new(parts);
-    (0..g.len()).map(|_| Arc::clone(&all)).collect()
+    Ok((0..g.len()).map(|_| Arc::clone(&all)).collect())
 }
 
 /// Gather: all pieces end at the root, in group order.
-pub fn gather<T: Volume>(m: &Machine, g: &Group, parts: Vec<T>) -> Vec<T> {
+pub fn gather<T: Volume>(m: &Machine, g: &Group, parts: Vec<T>) -> Result<Vec<T>, MachineError> {
     assert_eq!(parts.len(), g.len(), "one piece per member");
     let bytes = parts.comm_bytes();
     if g.len() > 1 {
-        m.charge_collective(g, CollectiveKind::Gather, bytes);
+        m.charge_collective(g, CollectiveKind::Gather, bytes)?;
     }
-    parts
+    Ok(parts)
 }
 
 /// Scatter: the root's pieces are delivered one per member.
-pub fn scatter<T: Volume>(m: &Machine, g: &Group, parts: Vec<T>) -> Vec<T> {
+pub fn scatter<T: Volume>(m: &Machine, g: &Group, parts: Vec<T>) -> Result<Vec<T>, MachineError> {
     assert_eq!(parts.len(), g.len(), "one piece per member");
     let bytes = parts.comm_bytes();
     if g.len() > 1 {
-        m.charge_collective(g, CollectiveKind::Scatter, bytes);
+        m.charge_collective(g, CollectiveKind::Scatter, bytes)?;
     }
-    parts
+    Ok(parts)
 }
 
 /// Cyclic shift by `k` positions (Cannon-style point-to-point): the
 /// piece at group index `i` moves to index `(i + k) mod p`.
-pub fn shift<T: Volume>(m: &Machine, g: &Group, mut parts: Vec<T>, k: usize) -> Vec<T> {
+pub fn shift<T: Volume>(
+    m: &Machine,
+    g: &Group,
+    mut parts: Vec<T>,
+    k: usize,
+) -> Result<Vec<T>, MachineError> {
     assert_eq!(parts.len(), g.len(), "one piece per member");
     let p = g.len();
     if p > 1 && !k.is_multiple_of(p) {
         let bytes = parts.iter().map(Volume::comm_bytes).max().unwrap_or(0);
-        m.charge_collective(g, CollectiveKind::PointToPoint, bytes);
+        m.charge_collective(g, CollectiveKind::PointToPoint, bytes)?;
         parts.rotate_right(k % p);
     }
-    parts
+    Ok(parts)
 }
 
 /// Personalized all-to-all: `send[i][j]` is the payload member `i`
 /// sends to member `j`; the result `recv[j][i]` delivers it. Charged
 /// by the largest per-member send volume.
-pub fn all_to_all<T: Volume>(m: &Machine, g: &Group, send: Vec<Vec<T>>) -> Vec<Vec<T>> {
+pub fn all_to_all<T: Volume>(
+    m: &Machine,
+    g: &Group,
+    send: Vec<Vec<T>>,
+) -> Result<Vec<Vec<T>>, MachineError> {
     let p = g.len();
     assert_eq!(send.len(), p, "one send row per member");
     for row in &send {
@@ -210,7 +228,7 @@ pub fn all_to_all<T: Volume>(m: &Machine, g: &Group, send: Vec<Vec<T>>) -> Vec<V
     }
     if p > 1 {
         let bytes = send.iter().map(|row| row.comm_bytes()).max().unwrap_or(0);
-        m.charge_collective(g, CollectiveKind::AllToAll, bytes);
+        m.charge_collective(g, CollectiveKind::AllToAll, bytes)?;
     }
     // Transpose the send matrix into receive buffers.
     let mut recv: Vec<Vec<T>> = (0..p).map(|_| Vec::with_capacity(p)).collect();
@@ -219,7 +237,7 @@ pub fn all_to_all<T: Volume>(m: &Machine, g: &Group, send: Vec<Vec<T>>) -> Vec<V
             recv[j].push(payload);
         }
     }
-    recv
+    Ok(recv)
 }
 
 #[cfg(test)]
@@ -235,7 +253,7 @@ mod tests {
     fn broadcast_replicates_and_charges() {
         let m = machine(4);
         let g = m.world();
-        let out = broadcast(&m, &g, 0, Arc::new(vec![1u64, 2, 3]));
+        let out = broadcast(&m, &g, 0, Arc::new(vec![1u64, 2, 3])).unwrap();
         assert_eq!(out.len(), 4);
         for o in &out {
             assert_eq!(**o, vec![1, 2, 3]);
@@ -251,7 +269,8 @@ mod tests {
         let out = reduce(&m, &g, vec![vec![1u64], vec![2], vec![3]], |mut a, b| {
             a.extend(b);
             a
-        });
+        })
+        .unwrap();
         assert_eq!(out, vec![1, 2, 3]);
     }
 
@@ -260,7 +279,7 @@ mod tests {
         let m = machine(4);
         let g = m.world();
         // Contributions of 8 bytes each, result of 8 bytes (u64 sum).
-        let _ = sparse_reduce(&m, &g, vec![1u64, 2, 3, 4], |a, b| a + b);
+        let _ = sparse_reduce(&m, &g, vec![1u64, 2, 3, 4], |a, b| a + b).unwrap();
         let r = m.report();
         assert_eq!(r.critical.bytes, 8);
     }
@@ -269,7 +288,7 @@ mod tests {
     fn allgather_shares_all_pieces() {
         let m = machine(3);
         let g = m.world();
-        let out = allgather(&m, &g, vec![10u64, 20, 30]);
+        let out = allgather(&m, &g, vec![10u64, 20, 30]).unwrap();
         assert_eq!(*out[1], vec![10, 20, 30]);
         assert_eq!(m.report().critical.bytes, 24);
     }
@@ -278,12 +297,12 @@ mod tests {
     fn shift_rotates() {
         let m = machine(4);
         let g = m.world();
-        let out = shift(&m, &g, vec![0u64, 1, 2, 3], 1);
+        let out = shift(&m, &g, vec![0u64, 1, 2, 3], 1).unwrap();
         assert_eq!(out, vec![3, 0, 1, 2]);
         assert_eq!(m.report().critical.msgs, 1);
         // k = 0 is free.
         m.reset_meters();
-        let out = shift(&m, &g, out, 0);
+        let out = shift(&m, &g, out, 0).unwrap();
         assert_eq!(out, vec![3, 0, 1, 2]);
         assert_eq!(m.report().critical.msgs, 0);
     }
@@ -294,7 +313,7 @@ mod tests {
         let g = m.world();
         // payload value r*10+c encodes (sender, receiver)
         let send = vec![vec![0u64, 1], vec![10, 11]];
-        let recv = all_to_all(&m, &g, send);
+        let recv = all_to_all(&m, &g, send).unwrap();
         assert_eq!(recv, vec![vec![0, 10], vec![1, 11]]);
     }
 
@@ -302,9 +321,9 @@ mod tests {
     fn singleton_group_collectives_are_free() {
         let m = machine(1);
         let g = m.world();
-        let _ = broadcast(&m, &g, 0, Arc::new(7u64));
-        let _ = reduce(&m, &g, vec![7u64], |a, _| a);
-        let _ = allgather(&m, &g, vec![7u64]);
+        let _ = broadcast(&m, &g, 0, Arc::new(7u64)).unwrap();
+        let _ = reduce(&m, &g, vec![7u64], |a, _| a).unwrap();
+        let _ = allgather(&m, &g, vec![7u64]).unwrap();
         assert_eq!(m.report().critical.msgs, 0);
         assert_eq!(m.report().critical.bytes, 0);
     }

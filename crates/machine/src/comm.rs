@@ -19,17 +19,23 @@ impl Group {
         }
     }
 
-    /// A group from explicit rank ids.
-    ///
-    /// # Panics
-    /// Panics on duplicates or an empty list.
-    pub fn new(ranks: Vec<usize>) -> Group {
-        assert!(!ranks.is_empty(), "empty group");
+    /// A group from explicit rank ids. User-reachable configuration
+    /// (grid shapes, replication factors) flows into groups, so an
+    /// empty or duplicated member list is a typed error rather than a
+    /// panic.
+    pub fn new(ranks: Vec<usize>) -> Result<Group, crate::MachineError> {
+        if ranks.is_empty() {
+            return Err(crate::MachineError::invalid("empty rank group"));
+        }
         let mut seen = ranks.clone();
         seen.sort_unstable();
         seen.dedup();
-        assert_eq!(seen.len(), ranks.len(), "duplicate ranks in group");
-        Group { ranks }
+        if seen.len() != ranks.len() {
+            return Err(crate::MachineError::invalid(format!(
+                "duplicate ranks in group {ranks:?}"
+            )));
+        }
+        Ok(Group { ranks })
     }
 
     /// Member rank ids in group order.
@@ -76,21 +82,25 @@ mod tests {
 
     #[test]
     fn membership_lookup() {
-        let g = Group::new(vec![5, 2, 9]);
+        let g = Group::new(vec![5, 2, 9]).unwrap();
         assert_eq!(g.index_of(2), Some(1));
         assert_eq!(g.index_of(7), None);
         assert_eq!(g.rank_at(2), 9);
     }
 
     #[test]
-    #[should_panic]
     fn duplicates_rejected() {
-        let _ = Group::new(vec![1, 2, 1]);
+        assert!(matches!(
+            Group::new(vec![1, 2, 1]),
+            Err(crate::MachineError::InvalidConfig { .. })
+        ));
     }
 
     #[test]
-    #[should_panic]
     fn empty_rejected() {
-        let _ = Group::new(vec![]);
+        assert!(matches!(
+            Group::new(vec![]),
+            Err(crate::MachineError::InvalidConfig { .. })
+        ));
     }
 }

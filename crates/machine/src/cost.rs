@@ -204,6 +204,66 @@ impl CostTracker {
         }
     }
 
+    /// Charges `seconds` of retry backoff to every rank in `group`:
+    /// like a collective, the group synchronizes (raise to max) and
+    /// then waits out the backoff interval together.
+    pub fn backoff(&mut self, group: &[usize], seconds: f64) {
+        assert!(!group.is_empty(), "backoff over empty group");
+        let mut mx = RankCost::default();
+        for &r in group {
+            mx = mx.max(self.ranks[r]);
+        }
+        for &r in group {
+            let c = &mut self.ranks[r];
+            *c = mx;
+            c.comm_time += seconds;
+        }
+    }
+
+    /// Meters for the machine that survives the permanent failure of
+    /// rank `failed`: the survivors keep their accumulated costs,
+    /// resident bytes, and peaks (degraded-mode accounting), the dead
+    /// rank's meters are dropped, and `total_ops` carries over.
+    pub fn shrunk(&self, failed: usize) -> CostTracker {
+        assert!(failed < self.p(), "rank {failed} out of range");
+        assert!(self.p() > 1, "cannot shrink a 1-rank tracker");
+        let keep = |v: &[u64]| -> Vec<u64> {
+            v.iter()
+                .enumerate()
+                .filter(|&(r, _)| r != failed)
+                .map(|(_, &x)| x)
+                .collect()
+        };
+        CostTracker {
+            ranks: self
+                .ranks
+                .iter()
+                .enumerate()
+                .filter(|&(r, _)| r != failed)
+                .map(|(_, &c)| c)
+                .collect(),
+            resident: keep(&self.resident),
+            peak: keep(&self.peak),
+            total_ops: self.total_ops,
+        }
+    }
+
+    /// Per-rank resident bytes, for checkpoint/rollback.
+    pub fn memory_snapshot(&self) -> Vec<u64> {
+        self.resident.clone()
+    }
+
+    /// Restores resident bytes from a snapshot taken on a tracker of
+    /// the same rank count. Peaks are not rolled back.
+    pub fn restore_memory(&mut self, snapshot: &[u64]) {
+        assert_eq!(
+            snapshot.len(),
+            self.resident.len(),
+            "memory snapshot is for a different machine size"
+        );
+        self.resident.copy_from_slice(snapshot);
+    }
+
     /// Charges `ops` local operations on `rank`.
     pub fn compute(&mut self, spec: &MachineSpec, rank: usize, ops: u64) {
         self.ranks[rank].comp_time += ops as f64 * spec.gamma;
@@ -447,6 +507,33 @@ mod tests {
         );
         let unique: std::collections::HashSet<&&str> = names.iter().collect();
         assert_eq!(unique.len(), all.len());
+    }
+
+    #[test]
+    fn backoff_synchronizes_then_waits() {
+        let s = spec(2);
+        let mut t = CostTracker::new(2);
+        t.compute(&s, 0, 100);
+        t.backoff(&[0, 1], 2.5);
+        assert_eq!(t.rank(1).comp_time, 100.0);
+        assert_eq!(t.rank(0).comm_time, 2.5);
+        assert_eq!(t.rank(1).comm_time, 2.5);
+    }
+
+    #[test]
+    fn shrunk_drops_dead_rank_and_keeps_survivors() {
+        let s = spec(3);
+        let mut t = CostTracker::new(3);
+        t.compute(&s, 0, 10);
+        t.compute(&s, 2, 30);
+        t.alloc(1, 5);
+        t.alloc(2, 7);
+        let u = t.shrunk(1);
+        assert_eq!(u.p(), 2);
+        assert_eq!(u.rank(0).comp_time, 10.0);
+        assert_eq!(u.rank(1).comp_time, 30.0);
+        assert_eq!(u.resident(1), 7);
+        assert_eq!(u.total_ops, t.total_ops);
     }
 
     #[test]

@@ -23,6 +23,21 @@
 //! behaviour (e.g. CombBLAS failing on Friendster): algorithms charge
 //! their resident sets and a [`MachineError::OutOfMemory`] surfaces
 //! where the paper reports "unable to execute".
+//!
+//! # Fault injection
+//!
+//! At Blue Waters scale node failures are routine, so the machine can
+//! carry a seeded [`FaultPlan`] (see `mfbc-fault`): every collective
+//! advances a sequence counter, and scheduled faults fire when their
+//! sequence number comes up. A crash marks a rank permanently failed
+//! (later collectives containing it return
+//! [`MachineError::RankFailed`]); a transient fault makes collectives
+//! fail until its finite recurrence budget is spent, with bounded
+//! in-machine retry and modeled backoff (overflow surfaces as
+//! [`MachineError::CollectiveFailed`]); a forced OOM surfaces as
+//! [`MachineError::OutOfMemory`]. [`Machine::shrink`] rebuilds a
+//! `p−1`-rank machine around the survivors, carrying their
+//! accumulated costs, so a recovering driver can replan and resume.
 
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
@@ -35,6 +50,7 @@ pub mod topology;
 pub use collectives::Volume;
 pub use comm::Group;
 pub use cost::{CollectiveKind, CostReport, CostTracker, RankCost};
+pub use mfbc_fault::{FaultKind, FaultPlan, FaultStats, RetryPolicy, ScheduledFault};
 pub use topology::MachineSpec;
 
 use parking_lot::Mutex;
@@ -53,6 +69,39 @@ pub enum MachineError {
         /// The per-rank budget in bytes.
         budget: u64,
     },
+    /// A rank crashed: a collective was attempted whose group
+    /// contains a permanently failed rank.
+    RankFailed {
+        /// The failed rank (numbering of the machine that detected it).
+        rank: usize,
+        /// Collective sequence number at which the failure was detected.
+        seq: u64,
+    },
+    /// A collective kept failing transiently and the machine's
+    /// bounded retry budget ran out.
+    CollectiveFailed {
+        /// Collective kind name (e.g. `"allgather"`).
+        kind: &'static str,
+        /// Collective sequence number of the failed operation.
+        seq: u64,
+        /// Attempts made (including the initial one) before giving up.
+        attempts: u32,
+    },
+    /// User-reachable configuration was invalid (bad group, grid
+    /// shape, or replication factor). Carries a human-readable reason.
+    InvalidConfig {
+        /// What was wrong with the configuration.
+        reason: String,
+    },
+}
+
+impl MachineError {
+    /// Builds an [`MachineError::InvalidConfig`] from any message.
+    pub fn invalid(reason: impl Into<String>) -> MachineError {
+        MachineError::InvalidConfig {
+            reason: reason.into(),
+        }
+    }
 }
 
 impl std::fmt::Display for MachineError {
@@ -66,13 +115,96 @@ impl std::fmt::Display for MachineError {
                 f,
                 "rank {rank} out of memory: resident {resident} B exceeds budget {budget} B"
             ),
+            MachineError::RankFailed { rank, seq } => write!(
+                f,
+                "rank {rank} failed (crash detected at collective #{seq})"
+            ),
+            MachineError::CollectiveFailed {
+                kind,
+                seq,
+                attempts,
+            } => write!(
+                f,
+                "{kind} collective #{seq} failed after {attempts} attempts (transient fault persists)"
+            ),
+            MachineError::InvalidConfig { reason } => {
+                write!(f, "invalid configuration: {reason}")
+            }
         }
     }
 }
 
 impl std::error::Error for MachineError {}
 
-/// The simulated machine: a spec plus shared cost/memory trackers.
+/// Opaque per-rank resident-memory snapshot; see
+/// [`Machine::memory_snapshot`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MemorySnapshot {
+    resident: Vec<u64>,
+}
+
+/// Mutable fault-injection state shared by clones of a machine.
+#[derive(Debug, Default)]
+struct FaultState {
+    /// Faults not yet fired.
+    pending: Vec<ScheduledFault>,
+    /// Permanently failed ranks, in the machine's current numbering.
+    failed: Vec<usize>,
+    /// Remaining transient failures to deliver.
+    transient_budget: u32,
+    /// Collective sequence counter ("superstep" clock).
+    seq: u64,
+    /// Retry policy for transient failures.
+    policy: RetryPolicy,
+    /// Injection-side counters.
+    stats: FaultStats,
+}
+
+impl FaultState {
+    fn fresh(plan: FaultPlan, policy: RetryPolicy) -> FaultState {
+        FaultState {
+            pending: plan.faults,
+            policy,
+            ..FaultState::default()
+        }
+    }
+
+    /// Renumbers the state for a machine that dropped `failed`: the
+    /// dead rank's remaining faults are discarded and higher ranks
+    /// shift down by one. The sequence clock keeps running.
+    fn shrunk(&self, failed: usize) -> FaultState {
+        let remap = |r: usize| if r > failed { r - 1 } else { r };
+        let pending = self
+            .pending
+            .iter()
+            .filter(|sf| sf.kind.rank() != Some(failed))
+            .map(|sf| {
+                let kind = match sf.kind {
+                    FaultKind::Crash { rank } => FaultKind::Crash { rank: remap(rank) },
+                    FaultKind::Oom { rank } => FaultKind::Oom { rank: remap(rank) },
+                    k @ FaultKind::Transient { .. } => k,
+                };
+                ScheduledFault { at: sf.at, kind }
+            })
+            .collect();
+        FaultState {
+            pending,
+            failed: self
+                .failed
+                .iter()
+                .filter(|&&r| r != failed)
+                .map(|&r| remap(r))
+                .collect(),
+            transient_budget: self.transient_budget,
+            seq: self.seq,
+            policy: self.policy,
+            stats: self.stats,
+        }
+    }
+}
+
+/// The simulated machine: a spec plus shared cost/memory trackers and
+/// fault-injection state.
 ///
 /// Cheap to clone (trackers are shared behind an `Arc`), so a single
 /// machine can be threaded through nested algorithm layers.
@@ -80,16 +212,51 @@ impl std::error::Error for MachineError {}
 pub struct Machine {
     spec: MachineSpec,
     tracker: Arc<Mutex<CostTracker>>,
+    faults: Arc<Mutex<FaultState>>,
 }
 
 impl Machine {
-    /// Builds a machine from a spec with fresh cost meters.
+    /// Builds a machine from a spec with fresh cost meters and no
+    /// scheduled faults.
     pub fn new(spec: MachineSpec) -> Machine {
+        Machine::with_faults(spec, FaultPlan::none(), RetryPolicy::default())
+    }
+
+    /// Builds a machine carrying a fault schedule and retry policy.
+    pub fn with_faults(spec: MachineSpec, plan: FaultPlan, policy: RetryPolicy) -> Machine {
         let tracker = CostTracker::new(spec.p);
         Machine {
             spec,
             tracker: Arc::new(Mutex::new(tracker)),
+            faults: Arc::new(Mutex::new(FaultState::fresh(plan, policy))),
         }
+    }
+
+    /// Installs (replaces) the pending fault schedule. Meant to be
+    /// called before a run; the collective sequence clock is not
+    /// reset.
+    pub fn install_faults(&self, plan: FaultPlan) {
+        self.faults.lock().pending = plan.faults;
+    }
+
+    /// Sets the bounded-retry policy for transient faults.
+    pub fn set_retry_policy(&self, policy: RetryPolicy) {
+        self.faults.lock().policy = policy;
+    }
+
+    /// Injection-side fault counters so far.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.faults.lock().stats
+    }
+
+    /// Current collective sequence number (the fault clock).
+    pub fn collective_seq(&self) -> u64 {
+        self.faults.lock().seq
+    }
+
+    /// Ranks marked permanently failed, in current numbering.
+    pub fn failed_ranks(&self) -> Vec<usize> {
+        self.faults.lock().failed.clone()
     }
 
     /// The machine description.
@@ -116,11 +283,22 @@ impl Machine {
 
     /// Charges a collective over `group` moving up to `bytes` per rank.
     ///
-    /// Every charge is also emitted as a [`mfbc_trace::TraceEvent::Collective`]
-    /// when tracing is enabled, carrying the modeled α–β time and the
-    /// critical-path message/byte charges, so a trace reproduces the
-    /// accounting exactly.
-    pub fn charge_collective(&self, group: &Group, kind: CollectiveKind, bytes: u64) {
+    /// This is the fault-injection point: the collective sequence
+    /// counter advances, due faults fire, and the operation fails with
+    /// a typed [`MachineError`] if a participant has crashed, a forced
+    /// OOM was scheduled, or a transient fault outlives the bounded
+    /// retry budget. On success the cost is charged and emitted as a
+    /// [`mfbc_trace::TraceEvent::Collective`] when tracing is enabled,
+    /// carrying the modeled α–β time and the critical-path
+    /// message/byte charges, so a trace reproduces the accounting
+    /// exactly.
+    pub fn charge_collective(
+        &self,
+        group: &Group,
+        kind: CollectiveKind,
+        bytes: u64,
+    ) -> Result<(), MachineError> {
+        self.fault_gate(group, kind)?;
         self.with_tracker(|t| t.collective(&self.spec, group.ranks(), kind, bytes));
         mfbc_trace::emit(|| mfbc_trace::TraceEvent::Collective {
             kind: kind.name(),
@@ -130,6 +308,91 @@ impl Machine {
             bytes_charged: kind.bytes_charged(bytes),
             modeled_s: kind.time(&self.spec, group.len(), bytes),
         });
+        Ok(())
+    }
+
+    /// Advances the fault clock and applies any due fault to this
+    /// collective attempt.
+    fn fault_gate(&self, group: &Group, kind: CollectiveKind) -> Result<(), MachineError> {
+        let mut fs = self.faults.lock();
+        let seq = fs.seq;
+        fs.seq += 1;
+        if fs.pending.is_empty() && fs.failed.is_empty() && fs.transient_budget == 0 {
+            return Ok(()); // fault-free fast path
+        }
+
+        // Fire every scheduled fault whose time has come.
+        let mut due = Vec::new();
+        fs.pending.retain(|sf| {
+            if sf.at <= seq {
+                due.push(*sf);
+                false
+            } else {
+                true
+            }
+        });
+        let mut forced_oom = None;
+        for sf in due {
+            fs.stats.faults_injected += 1;
+            mfbc_trace::emit(|| mfbc_trace::TraceEvent::Fault {
+                kind: sf.kind.name(),
+                rank: sf.kind.rank(),
+                seq,
+            });
+            match sf.kind {
+                FaultKind::Crash { rank } => {
+                    let rank = rank.min(self.spec.p.saturating_sub(1));
+                    if !fs.failed.contains(&rank) {
+                        fs.failed.push(rank);
+                    }
+                }
+                FaultKind::Transient { recurrence } => {
+                    fs.transient_budget += recurrence;
+                }
+                FaultKind::Oom { rank } => {
+                    forced_oom = Some(rank.min(self.spec.p.saturating_sub(1)));
+                }
+            }
+        }
+        if let Some(rank) = forced_oom {
+            let resident = self.with_tracker(|t| t.resident(rank));
+            // A forced OOM reports the resident set as the budget when
+            // the machine is otherwise unbounded.
+            let budget = self.spec.mem_bytes.unwrap_or(resident);
+            return Err(MachineError::OutOfMemory {
+                rank,
+                resident,
+                budget,
+            });
+        }
+
+        // A crashed participant poisons the whole collective.
+        if let Some(&rank) = group.ranks().iter().find(|r| fs.failed.contains(r)) {
+            return Err(MachineError::RankFailed { rank, seq });
+        }
+
+        // Transient failures: bounded in-machine retry with modeled
+        // backoff; each failed attempt consumes recurrence budget.
+        if fs.transient_budget > 0 {
+            let policy = fs.policy;
+            let mut attempts = 1u32;
+            while fs.transient_budget > 0 && attempts < policy.max_attempts {
+                fs.transient_budget -= 1;
+                fs.stats.retries += 1;
+                fs.stats.backoff_s += policy.backoff_s;
+                self.with_tracker(|t| t.backoff(group.ranks(), policy.backoff_s));
+                attempts += 1;
+            }
+            if fs.transient_budget > 0 {
+                fs.transient_budget -= 1;
+                return Err(MachineError::CollectiveFailed {
+                    kind: kind.name(),
+                    seq,
+                    attempts,
+                });
+            }
+        }
+        Ok(())
     }
 
     /// Charges `ops` elementary operations of local compute on `rank`.
@@ -163,6 +426,54 @@ impl Machine {
         Ok(())
     }
 
+    /// Snapshot of every rank's resident bytes, restorable with
+    /// [`Machine::restore_memory`]. Recovery code takes one at a
+    /// checkpoint boundary so a failed batch's leaked residency can be
+    /// rolled back without replaying every release. Peak meters are
+    /// unaffected by restoration.
+    pub fn memory_snapshot(&self) -> MemorySnapshot {
+        MemorySnapshot {
+            resident: self.with_tracker(|t| t.memory_snapshot()),
+        }
+    }
+
+    /// Restores resident bytes to a snapshot taken on this machine.
+    pub fn restore_memory(&self, snapshot: &MemorySnapshot) {
+        self.with_tracker(|t| t.restore_memory(&snapshot.resident));
+    }
+
+    /// Builds the `p−1`-rank machine that survives the permanent
+    /// failure of `failed`: surviving ranks keep their accumulated
+    /// costs and peak meters (degraded-mode accounting — the time
+    /// already spent is not forgotten), resident memory carries over,
+    /// and the fault schedule is renumbered (the dead rank's pending
+    /// faults are dropped, higher ranks shift down). Fails on a
+    /// 1-rank machine, where there is nothing to shrink onto.
+    pub fn shrink(&self, failed: usize) -> Result<Machine, MachineError> {
+        if self.spec.p <= 1 {
+            return Err(MachineError::invalid(
+                "cannot shrink a 1-rank machine: no surviving ranks",
+            ));
+        }
+        if failed >= self.spec.p {
+            return Err(MachineError::invalid(format!(
+                "cannot shrink: rank {failed} out of range (p = {})",
+                self.spec.p
+            )));
+        }
+        let spec = MachineSpec {
+            p: self.spec.p - 1,
+            ..self.spec
+        };
+        let tracker = self.with_tracker(|t| t.shrunk(failed));
+        let faults = self.faults.lock().shrunk(failed);
+        Ok(Machine {
+            spec,
+            tracker: Arc::new(Mutex::new(tracker)),
+            faults: Arc::new(Mutex::new(faults)),
+        })
+    }
+
     /// Snapshot of the per-metric critical-path costs (Table 3's
     /// methodology).
     pub fn report(&self) -> CostReport {
@@ -192,7 +503,8 @@ mod tests {
     #[test]
     fn machine_facade_charges_costs() {
         let m = Machine::new(MachineSpec::test(4));
-        m.charge_collective(&m.world(), CollectiveKind::Broadcast, 1000);
+        m.charge_collective(&m.world(), CollectiveKind::Broadcast, 1000)
+            .unwrap();
         m.charge_compute(0, 500);
         let r = m.report();
         assert!(r.critical.comm_time > 0.0);
@@ -219,6 +531,7 @@ mod tests {
                 assert_eq!(resident, 1100);
                 assert_eq!(budget, 1000);
             }
+            other => panic!("unexpected error {other:?}"),
         }
         m.release(0, 900);
         assert!(m.charge_alloc(0, 100).is_ok());
@@ -230,5 +543,158 @@ mod tests {
         m.charge_compute(1, 100);
         m.reset_meters();
         assert_eq!(m.report().critical.comp_time, 0.0);
+    }
+
+    #[test]
+    fn crash_fault_poisons_later_collectives() {
+        let m = Machine::with_faults(
+            MachineSpec::test(4),
+            FaultPlan::single(1, FaultKind::Crash { rank: 2 }),
+            RetryPolicy::default(),
+        );
+        let w = m.world();
+        assert!(m
+            .charge_collective(&w, CollectiveKind::Broadcast, 8)
+            .is_ok());
+        let err = m
+            .charge_collective(&w, CollectiveKind::Broadcast, 8)
+            .unwrap_err();
+        assert_eq!(err, MachineError::RankFailed { rank: 2, seq: 1 });
+        // Still failed on the next attempt.
+        assert!(matches!(
+            m.charge_collective(&w, CollectiveKind::Reduce, 8),
+            Err(MachineError::RankFailed { rank: 2, .. })
+        ));
+        // A group avoiding the dead rank still works.
+        let g = Group::new(vec![0, 1, 3]).unwrap();
+        assert!(m.charge_collective(&g, CollectiveKind::Reduce, 8).is_ok());
+        assert_eq!(m.fault_stats().faults_injected, 1);
+    }
+
+    #[test]
+    fn transient_fault_retries_in_machine_then_succeeds() {
+        let m = Machine::with_faults(
+            MachineSpec::test(2),
+            FaultPlan::single(0, FaultKind::Transient { recurrence: 2 }),
+            RetryPolicy {
+                max_attempts: 3,
+                backoff_s: 0.5,
+            },
+        );
+        let before = m.report().critical.comm_time;
+        m.charge_collective(&m.world(), CollectiveKind::Allreduce, 8)
+            .unwrap();
+        let stats = m.fault_stats();
+        assert_eq!(stats.retries, 2);
+        assert!((stats.backoff_s - 1.0).abs() < 1e-12);
+        // Backoff is charged as modeled communication time.
+        assert!(m.report().critical.comm_time >= before + 1.0);
+        // Budget exhausted: later collectives are clean.
+        m.charge_collective(&m.world(), CollectiveKind::Allreduce, 8)
+            .unwrap();
+    }
+
+    #[test]
+    fn transient_fault_overflows_bounded_retry() {
+        let m = Machine::with_faults(
+            MachineSpec::test(2),
+            FaultPlan::single(0, FaultKind::Transient { recurrence: 5 }),
+            RetryPolicy {
+                max_attempts: 3,
+                backoff_s: 1e-3,
+            },
+        );
+        let err = m
+            .charge_collective(&m.world(), CollectiveKind::Allgather, 8)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            MachineError::CollectiveFailed {
+                kind: "allgather",
+                seq: 0,
+                attempts: 3
+            }
+        );
+        // Budget 5 − 3 = 2 left: next call retries twice then succeeds.
+        m.charge_collective(&m.world(), CollectiveKind::Allgather, 8)
+            .unwrap();
+        assert_eq!(m.fault_stats().retries, 4);
+    }
+
+    #[test]
+    fn forced_oom_fires_once() {
+        let m = Machine::with_faults(
+            MachineSpec::test(2),
+            FaultPlan::single(0, FaultKind::Oom { rank: 1 }),
+            RetryPolicy::default(),
+        );
+        let err = m
+            .charge_collective(&m.world(), CollectiveKind::Broadcast, 8)
+            .unwrap_err();
+        assert!(matches!(err, MachineError::OutOfMemory { rank: 1, .. }));
+        assert!(m
+            .charge_collective(&m.world(), CollectiveKind::Broadcast, 8)
+            .is_ok());
+    }
+
+    #[test]
+    fn shrink_carries_costs_and_renumbers_faults() {
+        let m = Machine::with_faults(
+            MachineSpec::test(4),
+            FaultPlan {
+                faults: vec![
+                    ScheduledFault {
+                        at: 0,
+                        kind: FaultKind::Crash { rank: 1 },
+                    },
+                    ScheduledFault {
+                        at: 100,
+                        kind: FaultKind::Oom { rank: 3 },
+                    },
+                    ScheduledFault {
+                        at: 200,
+                        kind: FaultKind::Oom { rank: 1 },
+                    },
+                ],
+            },
+            RetryPolicy::default(),
+        );
+        m.charge_compute(3, 1000);
+        m.charge_alloc(2, 64).unwrap();
+        let err = m
+            .charge_collective(&m.world(), CollectiveKind::Broadcast, 8)
+            .unwrap_err();
+        let MachineError::RankFailed { rank, .. } = err else {
+            panic!("expected RankFailed, got {err:?}");
+        };
+        let s = m.shrink(rank).unwrap();
+        assert_eq!(s.p(), 3);
+        // Rank 3's compute survives as rank 2; rank 2's memory as rank 1.
+        assert!(s.report().critical.comp_time > 0.0);
+        assert_eq!(s.with_tracker(|t| t.resident(1)), 64);
+        // The dead rank leaves the failed set of the shrunk machine.
+        assert!(s.failed_ranks().is_empty());
+        // The clock keeps running across the shrink.
+        assert_eq!(s.collective_seq(), m.collective_seq());
+        // Shrinking a 1-rank machine is rejected.
+        let one = Machine::new(MachineSpec::test(1));
+        assert!(matches!(
+            one.shrink(0),
+            Err(MachineError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn memory_snapshot_roundtrip() {
+        let m = Machine::new(MachineSpec::test(2));
+        m.charge_alloc(0, 100).unwrap();
+        let snap = m.memory_snapshot();
+        m.charge_alloc(0, 50).unwrap();
+        m.charge_alloc(1, 70).unwrap();
+        m.restore_memory(&snap);
+        assert_eq!(m.with_tracker(|t| t.resident(0)), 100);
+        assert_eq!(m.with_tracker(|t| t.resident(1)), 0);
+        // Peak is not rolled back.
+        assert_eq!(m.with_tracker(|t| t.peak(0)), 150);
     }
 }

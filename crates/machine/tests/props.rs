@@ -149,7 +149,8 @@ fn machine_is_cheaply_cloneable_and_shared() {
     m.charge_compute(1, 100);
     // Clones share meters.
     assert_eq!(m2.report().critical.comp_time, 100.0);
-    m2.charge_collective(&Group::all(3), CollectiveKind::Broadcast, 10);
+    m2.charge_collective(&Group::all(3), CollectiveKind::Broadcast, 10)
+        .unwrap();
     assert!(m.report().critical.msgs > 0);
 }
 

@@ -136,6 +136,21 @@ impl<T> MmCache<T> {
             }
         }
     }
+
+    /// Keys of every cached form, in no particular order. Drivers
+    /// snapshot this at a checkpoint boundary so a later rollback can
+    /// tell checkpoint-era entries from mid-batch ones.
+    pub fn keys(&self) -> Vec<String> {
+        self.entries.keys().cloned().collect()
+    }
+
+    /// Drops every entry whose key is *not* in `keep`, without
+    /// releasing its simulated residency — for rollback to a memory
+    /// snapshot that already reflects the kept set (releasing here
+    /// too would double-credit the meter).
+    pub fn discard_except(&mut self, keep: &[String]) {
+        self.entries.retain(|k, _| keep.iter().any(|s| s == k));
+    }
 }
 
 #[cfg(test)]

@@ -51,8 +51,8 @@ pub(crate) fn run_pieces<K: SpMulKernel>(
     // Natural q × q layouts; k is cut identically for both operands.
     let la = Layout::on_grid(mm, kk, grid);
     let lb = Layout::on_grid(kk, nn, grid);
-    let a2 = redistribute::<FirstWins<K::Left>, _>(m, a, &la);
-    let b2 = redistribute::<FirstWins<K::Right>, _>(m, b, &lb);
+    let a2 = redistribute::<FirstWins<K::Left>, _>(m, a, &la)?;
+    let b2 = redistribute::<FirstWins<K::Right>, _>(m, b, &lb)?;
 
     // Local block tables indexed by grid position; the skew and the
     // per-step shifts permute them. `a_blocks[i][j]` is the block
@@ -66,7 +66,7 @@ pub(crate) fn run_pieces<K: SpMulKernel>(
     // The initial skew itself is communication: each rank sends its
     // block up to q−1 hops (modeled as one point-to-point per rank,
     // as on a torus where the skew is a single permutation route).
-    charge_shift_all(m, grid, &a_blocks, &b_blocks);
+    charge_shift_all(m, grid, &a_blocks, &b_blocks)?;
 
     let mut acc: Vec<Vec<Csr<KernelOut<K>>>> = (0..q)
         .map(|i| {
@@ -97,7 +97,7 @@ pub(crate) fn run_pieces<K: SpMulKernel>(
             }
             let first = b_blocks.remove(0);
             b_blocks.push(first);
-            charge_shift_all(m, grid, &a_blocks, &b_blocks);
+            charge_shift_all(m, grid, &a_blocks, &b_blocks)?;
         }
     }
 
@@ -121,25 +121,26 @@ fn charge_shift_all<L, R>(
     grid: &Grid2,
     a_blocks: &[Vec<Csr<L>>],
     b_blocks: &[Vec<Csr<R>>],
-) {
+) -> Result<(), MachineError> {
     let q = grid.g1();
     if q <= 1 {
-        return;
+        return Ok(());
     }
     for i in 0..q {
         let bytes = (0..q)
             .map(|j| (a_blocks[i][j].nnz() * entry_bytes::<L>()) as u64)
             .max()
             .unwrap_or(0);
-        m.charge_collective(&grid.row_group(i), CollectiveKind::PointToPoint, bytes);
+        m.charge_collective(&grid.row_group(i), CollectiveKind::PointToPoint, bytes)?;
     }
     for j in 0..q {
         let bytes = (0..q)
             .map(|i| (b_blocks[i][j].nnz() * entry_bytes::<R>()) as u64)
             .max()
             .unwrap_or(0);
-        m.charge_collective(&grid.col_group(j), CollectiveKind::PointToPoint, bytes);
+        m.charge_collective(&grid.col_group(j), CollectiveKind::PointToPoint, bytes)?;
     }
+    Ok(())
 }
 
 /// Assembled-run wrapper mirroring the other variants.
@@ -207,7 +208,7 @@ mod tests {
             let b = random_mat(2, n, 200);
             let want = spgemm_serial::<TropicalKernel>(&a, &b);
             let m = Machine::new(MachineSpec::test(p));
-            let grid = Grid2::new(Group::all(p), q, q);
+            let grid = Grid2::new(Group::all(p), q, q).unwrap();
             let da = DistMat::from_global(crate::canonical_layout(&m, n, n), &a);
             let db = DistMat::from_global(crate::canonical_layout(&m, n, n), &b);
             let mut cache = MmCache::new();
@@ -224,7 +225,7 @@ mod tests {
         let n = 30;
         let a = random_mat(3, n, 150);
         let m = Machine::new(MachineSpec::test(q * q));
-        let grid = Grid2::new(Group::all(q * q), q, q);
+        let grid = Grid2::new(Group::all(q * q), q, q).unwrap();
         let da = DistMat::from_global(crate::canonical_layout(&m, n, n), &a);
         let db = da.clone();
         let mut cache = MmCache::new();
@@ -241,7 +242,7 @@ mod tests {
     #[should_panic]
     fn cannon_rejects_rectangular_grids() {
         let m = Machine::new(MachineSpec::test(6));
-        let grid = Grid2::new(Group::all(6), 2, 3);
+        let grid = Grid2::new(Group::all(6), 2, 3).unwrap();
         let a = random_mat(5, 12, 40);
         let da = DistMat::from_global(crate::canonical_layout(&m, 12, 12), &a);
         let mut cache = MmCache::new();

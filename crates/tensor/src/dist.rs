@@ -419,7 +419,7 @@ mod tests {
     }
 
     fn grid22() -> Grid2 {
-        Grid2::new(Group::all(4), 2, 2)
+        Grid2::new(Group::all(4), 2, 2).unwrap()
     }
 
     #[test]

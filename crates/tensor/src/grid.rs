@@ -6,7 +6,7 @@
 //! dimension `p1` of layers, each a `Grid2`. [`factorizations`]
 //! enumerates the candidate grids the autotuner scores.
 
-use mfbc_machine::Group;
+use mfbc_machine::{Group, MachineError};
 
 /// A 2D processor grid over an ordered rank group: member
 /// `(i, j)` is group index `i * g2 + j`.
@@ -18,14 +18,17 @@ pub struct Grid2 {
 }
 
 impl Grid2 {
-    /// Builds a `g1 × g2` grid over `group`.
-    ///
-    /// # Panics
-    /// Panics unless `group.len() == g1 * g2`.
-    pub fn new(group: Group, g1: usize, g2: usize) -> Grid2 {
-        assert_eq!(group.len(), g1 * g2, "grid shape mismatch");
-        assert!(g1 > 0 && g2 > 0);
-        Grid2 { group, g1, g2 }
+    /// Builds a `g1 × g2` grid over `group`. Grid shapes flow from
+    /// user-supplied plans, so a mismatched shape is a typed
+    /// [`MachineError::InvalidConfig`] rather than a panic.
+    pub fn new(group: Group, g1: usize, g2: usize) -> Result<Grid2, MachineError> {
+        if g1 == 0 || g2 == 0 || group.len() != g1 * g2 {
+            return Err(MachineError::invalid(format!(
+                "grid shape {g1}x{g2} does not tile a {}-rank group",
+                group.len()
+            )));
+        }
+        Ok(Grid2 { group, g1, g2 })
     }
 
     /// Grid rows.
@@ -56,11 +59,13 @@ impl Grid2 {
     /// The row subgroup `{(i, 0), …, (i, g2−1)}`.
     pub fn row_group(&self, i: usize) -> Group {
         Group::new((0..self.g2).map(|j| self.rank(i, j)).collect())
+            .expect("grid rows are distinct by construction")
     }
 
     /// The column subgroup `{(0, j), …, (g1−1, j)}`.
     pub fn col_group(&self, j: usize) -> Group {
         Group::new((0..self.g1).map(|i| self.rank(i, j)).collect())
+            .expect("grid columns are distinct by construction")
     }
 }
 
@@ -75,14 +80,16 @@ pub struct Grid3 {
 }
 
 impl Grid3 {
-    /// Builds a `p1 × p2 × p3` grid over `group`.
-    ///
-    /// # Panics
-    /// Panics unless `group.len() == p1 * p2 * p3`.
-    pub fn new(group: Group, p1: usize, p2: usize, p3: usize) -> Grid3 {
-        assert_eq!(group.len(), p1 * p2 * p3, "grid shape mismatch");
-        assert!(p1 > 0 && p2 > 0 && p3 > 0);
-        Grid3 { group, p1, p2, p3 }
+    /// Builds a `p1 × p2 × p3` grid over `group`; a mismatched shape
+    /// is a typed [`MachineError::InvalidConfig`].
+    pub fn new(group: Group, p1: usize, p2: usize, p3: usize) -> Result<Grid3, MachineError> {
+        if p1 == 0 || p2 == 0 || p3 == 0 || group.len() != p1 * p2 * p3 {
+            return Err(MachineError::invalid(format!(
+                "grid shape {p1}x{p2}x{p3} does not tile a {}-rank group",
+                group.len()
+            )));
+        }
+        Ok(Grid3 { group, p1, p2, p3 })
     }
 
     /// Number of layers (the 1D/replication dimension).
@@ -115,7 +122,8 @@ impl Grid3 {
         let ranks = (0..self.p2 * self.p3)
             .map(|k| self.group.rank_at(l * self.p2 * self.p3 + k))
             .collect();
-        Grid2::new(Group::new(ranks), self.p2, self.p3)
+        let group = Group::new(ranks).expect("layer ranks are distinct by construction");
+        Grid2::new(group, self.p2, self.p3).expect("layer shape matches by construction")
     }
 
     /// The fiber subgroup across layers at layer-position `(i, j)`:
@@ -128,6 +136,7 @@ impl Grid3 {
                 .map(|l| self.group.rank_at(l * self.p2 * self.p3 + i * self.p3 + j))
                 .collect(),
         )
+        .expect("fiber ranks are distinct by construction")
     }
 }
 
@@ -176,7 +185,7 @@ mod tests {
 
     #[test]
     fn grid2_rank_layout() {
-        let g = Grid2::new(Group::all(6), 2, 3);
+        let g = Grid2::new(Group::all(6), 2, 3).unwrap();
         assert_eq!(g.rank(0, 0), 0);
         assert_eq!(g.rank(0, 2), 2);
         assert_eq!(g.rank(1, 0), 3);
@@ -186,7 +195,7 @@ mod tests {
 
     #[test]
     fn grid3_layers_and_fibers() {
-        let g = Grid3::new(Group::all(12), 3, 2, 2);
+        let g = Grid3::new(Group::all(12), 3, 2, 2).unwrap();
         let l1 = g.layer(1);
         assert_eq!(l1.rank(0, 0), 4);
         assert_eq!(l1.rank(1, 1), 7);
@@ -220,8 +229,14 @@ mod tests {
     }
 
     #[test]
-    #[should_panic]
     fn grid_shape_must_match_group() {
-        let _ = Grid2::new(Group::all(5), 2, 3);
+        assert!(matches!(
+            Grid2::new(Group::all(5), 2, 3),
+            Err(MachineError::InvalidConfig { .. })
+        ));
+        assert!(matches!(
+            Grid3::new(Group::all(5), 2, 3, 1),
+            Err(MachineError::InvalidConfig { .. })
+        ));
     }
 }

@@ -163,10 +163,18 @@ impl MmPlan {
         }
     }
 
-    /// Validates the plan against a machine size.
-    pub fn check(&self, p: usize) {
+    /// Validates the plan against a machine size. Plans come from
+    /// user configuration (`--plan`, replication factors), so a
+    /// mismatch is a typed [`MachineError::InvalidConfig`].
+    pub fn check(&self, p: usize) -> Result<(), MachineError> {
         let (a, b, c) = self.dims(p);
-        assert_eq!(a * b * c, p, "plan grid {a}x{b}x{c} != p={p}");
+        if a * b * c != p {
+            return Err(MachineError::invalid(format!(
+                "plan {self} needs a {a}x{b}x{c} = {} rank grid, but the machine has p = {p}",
+                a * b * c
+            )));
+        }
+        Ok(())
     }
 }
 
@@ -217,52 +225,10 @@ pub fn enumerate_plans(p: usize) -> Vec<MmPlan> {
     plans
 }
 
-/// Test-only fault injection: lets the conformance harness verify
-/// that a deliberately broken variant is caught, localized, and
-/// shrunk to a minimal repro. Not part of the public API surface.
-///
-/// While a fault is armed (thread-local), any [`mm_exec`] whose plan
-/// label starts with the armed prefix has its result corrupted: one
-/// stored output entry is dropped, or — when the output is empty —
-/// the `ops` counter is perturbed. Disarm by dropping the
-/// [`fault::FaultGuard`].
-#[doc(hidden)]
-pub mod fault {
-    use std::cell::RefCell;
-
-    thread_local! {
-        static ARMED: RefCell<Option<String>> = const { RefCell::new(None) };
-    }
-
-    /// Arms corruption for plans whose `Display` label starts with
-    /// `prefix` (a family label like `3d(C/AB` matches every grid).
-    /// Returns a guard that disarms when dropped, panic-safe.
-    pub fn arm(prefix: &str) -> FaultGuard {
-        ARMED.with(|a| *a.borrow_mut() = Some(prefix.to_string()));
-        FaultGuard { _private: () }
-    }
-
-    pub(crate) fn armed_for(label: &str) -> bool {
-        ARMED.with(|a| {
-            a.borrow()
-                .as_deref()
-                .is_some_and(|prefix| label.starts_with(prefix))
-        })
-    }
-
-    /// Disarms the thread's fault on drop.
-    pub struct FaultGuard {
-        _private: (),
-    }
-
-    impl Drop for FaultGuard {
-        fn drop(&mut self) {
-            ARMED.with(|a| *a.borrow_mut() = None);
-        }
-    }
-}
-
-/// Applies the armed corruption to a finished result (see [`fault`]).
+/// Applies the armed result corruption (the conformance harness's
+/// meta-test seam, `mfbc_fault::sabotage`): one stored output entry
+/// is dropped, or — when the output is empty — the `ops` counter is
+/// perturbed.
 fn apply_fault<T>(out: &mut MmOut<T>)
 where
     T: Clone + Send + Sync + PartialEq + std::fmt::Debug,
@@ -299,7 +265,8 @@ pub struct MmOut<T> {
 pub fn canonical_layout(m: &Machine, nrows: usize, ncols: usize) -> Layout {
     let p = m.p();
     let (g1, g2) = squarest_grid(p);
-    Layout::on_grid(nrows, ncols, &Grid2::new(m.world(), g1, g2))
+    let grid = Grid2::new(m.world(), g1, g2).expect("squarest grid tiles p by construction");
+    Layout::on_grid(nrows, ncols, &grid)
 }
 
 /// The factorization `p = g1·g2` minimizing `|g1 − g2|` with
@@ -384,16 +351,16 @@ pub fn mm_exec_cached<K: SpMulKernel>(
         b.nrows(),
         b.ncols()
     );
-    plan.check(m.p());
+    plan.check(m.p())?;
     let _span = mfbc_trace::span(|| format!("spgemm {plan}"));
     let out = match *plan {
         MmPlan::OneD(v) => mm1d::run::<K>(m, &m.world(), v, a, b, cache),
         MmPlan::TwoD { variant, p2, p3 } => {
-            let grid = Grid2::new(m.world(), p2, p3);
+            let grid = Grid2::new(m.world(), p2, p3)?;
             mm2d::run::<K>(m, &grid, variant, a, b, cache)
         }
         MmPlan::Cannon { q } => {
-            let grid = Grid2::new(m.world(), q, q);
+            let grid = Grid2::new(m.world(), q, q)?;
             crate::cannon::run::<K>(m, &grid, a, b, cache)
         }
         MmPlan::ThreeD {
@@ -403,13 +370,13 @@ pub fn mm_exec_cached<K: SpMulKernel>(
             p2,
             p3,
         } => {
-            let grid = Grid3::new(m.world(), p1, p2, p3);
+            let grid = Grid3::new(m.world(), p1, p2, p3)?;
             mm3d::run::<K>(m, &grid, split, inner, a, b, cache)
         }
     };
     let out = match out {
         Ok(mut out) => {
-            if fault::armed_for(&plan.to_string()) {
+            if mfbc_fault::sabotage::armed_for(&plan.to_string()) {
                 apply_fault(&mut out);
             }
             debug_assert!(
@@ -469,17 +436,18 @@ mod tests {
             p3: 2,
         };
         assert_eq!(t.dims(8), (2, 2, 2));
-        t.check(8);
+        t.check(8).unwrap();
     }
 
     #[test]
-    #[should_panic]
     fn bad_plan_rejected() {
-        MmPlan::TwoD {
+        let err = MmPlan::TwoD {
             variant: Variant2D::AB,
             p2: 3,
             p3: 3,
         }
-        .check(8);
+        .check(8)
+        .unwrap_err();
+        assert!(matches!(err, MachineError::InvalidConfig { .. }));
     }
 }

@@ -65,7 +65,7 @@ fn replicated_rhs<K: SpMulKernel>(
     }
     let bytes = (b.nnz() * entry_bytes::<K::Right>()) as u64;
     if group.len() > 1 {
-        m.charge_collective(group, CollectiveKind::Allgather, bytes);
+        m.charge_collective(group, CollectiveKind::Allgather, bytes)?;
     }
     let mut charges = Vec::with_capacity(group.len());
     for &r in group.ranks() {
@@ -113,7 +113,7 @@ where
 {
     let bytes = (x.nnz() * entry_bytes::<T>()) as u64;
     if group.len() > 1 {
-        machine.charge_collective(group, CollectiveKind::Allgather, bytes);
+        machine.charge_collective(group, CollectiveKind::Allgather, bytes)?;
     }
     for &r in group.ranks() {
         machine.charge_alloc(r, bytes)?;
@@ -146,7 +146,7 @@ pub(crate) fn run_pieces<K: SpMulKernel>(
         Variant1D::A => {
             let a_full = replicate::<_, FirstWins<K::Left>>(m, group, a)?;
             let lb = col_split_layout(b.nrows(), b.ncols(), group);
-            let b2 = redistribute::<FirstWins<K::Right>, _>(m, b, &lb);
+            let b2 = redistribute::<FirstWins<K::Right>, _>(m, b, &lb)?;
             let mut pieces = Vec::with_capacity(group.len());
             let mut ops = 0u64;
             for k in 0..group.len() {
@@ -165,7 +165,7 @@ pub(crate) fn run_pieces<K: SpMulKernel>(
         Variant1D::B => {
             let b_full = replicated_rhs::<K>(m, group, b, cache)?;
             let la = row_split_layout(a.nrows(), a.ncols(), group);
-            let a2 = redistribute::<FirstWins<K::Left>, _>(m, a, &la);
+            let a2 = redistribute::<FirstWins<K::Left>, _>(m, a, &la)?;
             let mut pieces = Vec::with_capacity(group.len());
             let mut ops = 0u64;
             for k in 0..group.len() {
@@ -183,13 +183,13 @@ pub(crate) fn run_pieces<K: SpMulKernel>(
         Variant1D::C => {
             let la = col_split_layout(a.nrows(), a.ncols(), group);
             let lb = row_split_layout(b.nrows(), b.ncols(), group);
-            let a2 = redistribute::<FirstWins<K::Left>, _>(m, a, &la);
+            let a2 = redistribute::<FirstWins<K::Left>, _>(m, a, &la)?;
             let fp = Fingerprint::of(b);
             let key = format!("1d:C:{}:{}", group.len(), b.content_id());
             let b2 = if let Some(CachedRhs::Dist(d)) = cache.get(&key, fp) {
                 Arc::clone(d)
             } else {
-                let built = Arc::new(redistribute::<FirstWins<K::Right>, _>(m, b, &lb));
+                let built = Arc::new(redistribute::<FirstWins<K::Right>, _>(m, b, &lb)?);
                 let mut charges = Vec::new();
                 for k in 0..group.len() {
                     let bytes = (built.block(k, 0).nnz() * entry_bytes::<K::Right>()) as u64;
@@ -222,7 +222,7 @@ pub(crate) fn run_pieces<K: SpMulKernel>(
                 .collect();
             let total = mfbc_machine::collectives::sparse_reduce(m, group, partials, |x, y| {
                 combine::<K::Acc, _>(&x, &y)
-            });
+            })?;
             for (k, bytes) in alloc_per.into_iter().enumerate() {
                 m.release(group.rank_at(k), bytes);
             }

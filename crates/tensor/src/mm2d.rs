@@ -70,7 +70,7 @@ fn cached_rhs_layout<K: SpMulKernel>(
     if let Some(CachedRhs::Dist(d)) = cache.get(&key, fp) {
         return Ok(Arc::clone(d));
     }
-    let built = Arc::new(redistribute::<FirstWins<K::Right>, _>(m, b, lb));
+    let built = Arc::new(redistribute::<FirstWins<K::Right>, _>(m, b, lb)?);
     let mut charges = Vec::new();
     for bi in 0..lb.br() {
         for bj in 0..lb.bc() {
@@ -162,7 +162,7 @@ fn stationary_c<K: SpMulKernel>(
             .map(|(t, bj)| grid.rank(t % g1, bj))
             .collect(),
     );
-    let a2 = redistribute::<FirstWins<K::Left>, _>(m, a, &la);
+    let a2 = redistribute::<FirstWins<K::Left>, _>(m, a, &la)?;
     let b2 = cached_rhs_layout::<K>(m, Variant2D::AB, grid, b, &lb, cache)?;
 
     let mut acc: Vec<Csr<KernelOut<K>>> = (0..g1)
@@ -249,7 +249,7 @@ fn stationary_b<K: SpMulKernel>(
             .map(|(t, bk)| grid.rank(bk, t % g2))
             .collect(),
     );
-    let a2 = redistribute::<FirstWins<K::Left>, _>(m, a, &la);
+    let a2 = redistribute::<FirstWins<K::Left>, _>(m, a, &la)?;
     let b2 = cached_rhs_layout::<K>(m, Variant2D::AC, grid, b, &lb, cache)?;
 
     let ncols_of = |bj: usize| lb.col_range(bj).len();
@@ -282,7 +282,7 @@ fn stationary_b<K: SpMulKernel>(
                 &grid.col_group(bj),
                 contribs,
                 |x, y| combine::<K::Acc, _>(&x, &y),
-            );
+            )?;
             if !cblk.is_empty() {
                 let pos = (t % g1) * g2 + bj;
                 pieces.push((la.row_range(t).start, lb.col_range(bj).start, pos, cblk));
@@ -322,7 +322,7 @@ fn stationary_a<K: SpMulKernel>(
             .map(|(bk, t)| grid.rank(t % g1, bk))
             .collect(),
     );
-    let a2 = redistribute::<FirstWins<K::Left>, _>(m, a, &la);
+    let a2 = redistribute::<FirstWins<K::Left>, _>(m, a, &la)?;
     let b2 = cached_rhs_layout::<K>(m, Variant2D::BC, grid, b, &lb, cache)?;
 
     let mut pieces = Vec::new();
@@ -355,7 +355,7 @@ fn stationary_a<K: SpMulKernel>(
                 &grid.row_group(bi),
                 contribs,
                 |x, y| combine::<K::Acc, _>(&x, &y),
-            );
+            )?;
             if !cblk.is_empty() {
                 let pos = bi * g2 + (t % g2);
                 pieces.push((la.row_range(bi).start, lb.col_range(t).start, pos, cblk));

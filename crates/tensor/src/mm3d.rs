@@ -66,7 +66,7 @@ fn cached_rhs_slices<K: SpMulKernel>(
     if let Some(CachedRhs::Layers(ls)) = cache.get(&key, fp) {
         return Ok(Arc::clone(ls));
     }
-    let built = Arc::new(extract_windows::<FirstWins<K::Right>, _>(m, b, specs));
+    let built = Arc::new(extract_windows::<FirstWins<K::Right>, _>(m, b, specs)?);
     let mut charges = Vec::new();
     for sl in built.iter() {
         let lo = sl.layout();
@@ -133,7 +133,7 @@ where
     let (p1, p2, p3) = (grid.p1(), grid.p2(), grid.p3());
     let l0 = grid.layer(0);
     let layout0 = Layout::on_grid(x.nrows(), x.ncols(), &l0);
-    let x0 = redistribute::<M, _>(machine, x, &layout0);
+    let x0 = redistribute::<M, _>(machine, x, &layout0)?;
 
     // Fiber broadcasts: disjoint groups, so each fiber's collective
     // lands on its own critical path.
@@ -145,7 +145,7 @@ where
             }
             let bytes = x0.block(i, j).nnz() as u64 * ebytes;
             let fg = grid.fiber_group(i, j);
-            machine.charge_collective(&fg, CollectiveKind::Broadcast, bytes);
+            machine.charge_collective(&fg, CollectiveKind::Broadcast, bytes)?;
             for l in 1..p1 {
                 machine.charge_alloc(fg.rank_at(l), bytes)?;
             }
@@ -241,7 +241,7 @@ fn split_b<K: SpMulKernel>(
             (w, 0..a.ncols(), la)
         })
         .collect();
-    let slices = extract_windows::<FirstWins<K::Left>, _>(m, a, &specs);
+    let slices = extract_windows::<FirstWins<K::Left>, _>(m, a, &specs)?;
     let mut pieces = Vec::new();
     let mut ops = 0u64;
     for (l, al) in slices.into_iter().enumerate() {
@@ -285,7 +285,7 @@ fn split_c<K: SpMulKernel>(
             (0..a.nrows(), w, la)
         })
         .collect();
-    let a_slices = extract_windows::<FirstWins<K::Left>, _>(m, a, &a_specs);
+    let a_slices = extract_windows::<FirstWins<K::Left>, _>(m, a, &a_specs)?;
     let b_specs: Vec<_> = (0..p1)
         .map(|l| {
             let w = windows[l].clone();
@@ -337,7 +337,7 @@ fn split_c<K: SpMulKernel>(
         let fg = grid.fiber_group(i, j);
         let total = mfbc_machine::collectives::sparse_reduce(m, &fg, contribs, |x, y| {
             combine::<K::Acc, _>(&x, &y)
-        });
+        })?;
         if !total.is_empty() {
             pieces.push((r0, c0, pos, total));
         }

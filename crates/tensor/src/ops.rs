@@ -14,7 +14,7 @@
 use crate::dist::DistMat;
 use mfbc_algebra::monoid::Monoid;
 use mfbc_machine::cost::CollectiveKind;
-use mfbc_machine::Machine;
+use mfbc_machine::{Machine, MachineError};
 use mfbc_sparse::elementwise::{combine, combine_anchored};
 use mfbc_sparse::Coo;
 
@@ -171,12 +171,16 @@ where
 }
 
 /// Global nonzero count with the termination-check allreduce charged
-/// (one word per rank over the world group).
-pub fn nnz_sync<T: Clone + Send + Sync>(m: &Machine, a: &DistMat<T>) -> usize {
+/// (one word per rank over the world group). Fails when the allreduce
+/// hits an injected fault.
+pub fn nnz_sync<T: Clone + Send + Sync>(
+    m: &Machine,
+    a: &DistMat<T>,
+) -> Result<usize, MachineError> {
     if m.p() > 1 {
-        m.charge_collective(&m.world(), CollectiveKind::Allreduce, 8);
+        m.charge_collective(&m.world(), CollectiveKind::Allreduce, 8)?;
     }
-    a.nnz()
+    Ok(a.nnz())
 }
 
 /// Column sums of an `f64`-valued distributed matrix (e.g. the
@@ -187,7 +191,7 @@ pub fn nnz_sync<T: Clone + Send + Sync>(m: &Machine, a: &DistMat<T>) -> usize {
 /// Parallelized over *block-columns*: each task owns a disjoint
 /// output range and walks its blocks in ascending `bi`, so every
 /// column's `f64` additions happen in exactly the serial order.
-pub fn dmat_column_sums(m: &Machine, a: &DistMat<f64>) -> Vec<f64> {
+pub fn dmat_column_sums(m: &Machine, a: &DistMat<f64>) -> Result<Vec<f64>, MachineError> {
     let l = a.layout();
     let n = a.ncols();
     let (partials, stats) = mfbc_parallel::current().par_map_collect_stats(l.bc(), |bj| {
@@ -216,9 +220,64 @@ pub fn dmat_column_sums(m: &Machine, a: &DistMat<f64>) -> Vec<f64> {
     }
     if m.p() > 1 {
         let bytes = (n as u64 * 8).div_ceil(m.p() as u64);
-        m.charge_collective(&m.world(), CollectiveKind::SparseReduce, bytes);
+        m.charge_collective(&m.world(), CollectiveKind::SparseReduce, bytes)?;
     }
-    sums
+    Ok(sums)
+}
+
+/// Folds every entry of `a` into `acc[column]`, one `f64` addition
+/// per entry, in ascending (column, global row) order — charged like
+/// [`dmat_column_sums`].
+///
+/// Unlike summing a batch first and adding the total afterwards, the
+/// accumulation order seen by `acc[j]` is exactly "sources in
+/// ascending global row order", so splitting a row range across
+/// several calls (smaller batches after an OOM retreat, a different
+/// batch schedule after replanning) produces bit-identical `acc` to
+/// one call over the whole range. The MFBC driver relies on this for
+/// its recovered-run == fault-free-run guarantee.
+pub fn dmat_fold_columns(
+    m: &Machine,
+    a: &DistMat<f64>,
+    acc: &mut [f64],
+) -> Result<(), MachineError> {
+    assert_eq!(a.ncols(), acc.len(), "fold target width mismatch");
+    let l = a.layout();
+    // Parallelized over block-columns: each task owns a disjoint
+    // column range and collects its per-column contribution lists by
+    // walking block-rows in ascending `bi` (CSR iteration is
+    // row-major, so per-column pushes arrive in ascending global
+    // row order).
+    let (partials, stats) = mfbc_parallel::current().par_map_collect_stats(l.bc(), |bj| {
+        let cols = l.col_range(bj);
+        let mut per_col: Vec<Vec<f64>> = vec![Vec::new(); cols.len()];
+        for bi in 0..l.br() {
+            for (_, j, v) in a.block(bi, bj).iter() {
+                per_col[j].push(*v);
+            }
+        }
+        (cols.start, per_col)
+    });
+    emit_pool("dmat_colfold", &stats);
+    for (c0, per_col) in partials {
+        for (j, contribs) in per_col.into_iter().enumerate() {
+            for v in contribs {
+                acc[c0 + j] += v;
+            }
+        }
+    }
+    // Same modeled cost as a column sum: the fold is the same flops,
+    // charged in serial block order for reproducibility.
+    for bi in 0..l.br() {
+        for bj in 0..l.bc() {
+            m.charge_compute(l.owner(bi, bj), a.block(bi, bj).nnz() as u64);
+        }
+    }
+    if m.p() > 1 {
+        let bytes = (a.ncols() as u64 * 8).div_ceil(m.p() as u64);
+        m.charge_collective(&m.world(), CollectiveKind::SparseReduce, bytes)?;
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -236,7 +295,11 @@ mod tests {
 
     fn dmat(m: &Machine, g: &Csr<u64>) -> DistMat<u64> {
         DistMat::from_global(
-            Layout::on_grid(g.nrows(), g.ncols(), &Grid2::new(Group::all(m.p()), 2, 2)),
+            Layout::on_grid(
+                g.nrows(),
+                g.ncols(),
+                &Grid2::new(Group::all(m.p()), 2, 2).unwrap(),
+            ),
             g,
         )
     }
@@ -292,7 +355,7 @@ mod tests {
     fn nnz_sync_charges_allreduce() {
         let m = machine(4);
         let da = dmat(&m, &sample());
-        assert_eq!(nnz_sync(&m, &da), 3);
+        assert_eq!(nnz_sync(&m, &da).unwrap(), 3);
         assert!(m.report().critical.msgs > 0);
     }
 
@@ -305,8 +368,49 @@ mod tests {
             vec![(0usize, 1usize, 2.0f64), (2, 1, 3.0), (3, 0, 1.5)],
         )
         .into_csr::<SumF64>();
-        let da = DistMat::from_global(Layout::on_grid(4, 4, &Grid2::new(Group::all(4), 2, 2)), &g);
-        assert_eq!(dmat_column_sums(&m, &da), vec![1.5, 5.0, 0.0, 0.0]);
+        let da = DistMat::from_global(
+            Layout::on_grid(4, 4, &Grid2::new(Group::all(4), 2, 2).unwrap()),
+            &g,
+        );
+        assert_eq!(dmat_column_sums(&m, &da).unwrap(), vec![1.5, 5.0, 0.0, 0.0]);
+        let mut acc = vec![1.0f64; 4];
+        dmat_fold_columns(&m, &da, &mut acc).unwrap();
+        assert_eq!(acc, vec![2.5, 6.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn fold_columns_is_batch_split_invariant() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(11);
+        let (rows, n) = (32, 24);
+        let mut coo = Coo::new(rows, n);
+        for _ in 0..600 {
+            coo.push(
+                rng.gen_range(0..rows),
+                rng.gen_range(0..n),
+                rng.gen::<f64>(),
+            );
+        }
+        let g = coo.into_csr::<SumF64>();
+        let m = machine(4);
+        let layout = |r: usize| Layout::on_grid(r, n, &Grid2::new(Group::all(4), 2, 2).unwrap());
+
+        let mut whole = vec![0.0f64; n];
+        let da = DistMat::from_global(layout(rows), &g);
+        dmat_fold_columns(&m, &da, &mut whole).unwrap();
+
+        // Any row-partition folds to bit-identical accumulators.
+        for split in [5, 16, 27] {
+            let mut parts = vec![0.0f64; n];
+            for (lo, hi) in [(0, split), (split, rows)] {
+                let slice = mfbc_sparse::slice::slice(&g, lo..hi, 0..n);
+                let d = DistMat::from_global(layout(hi - lo), &slice);
+                dmat_fold_columns(&m, &d, &mut parts).unwrap();
+            }
+            let whole_bits: Vec<u64> = whole.iter().map(|v| v.to_bits()).collect();
+            let parts_bits: Vec<u64> = parts.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(whole_bits, parts_bits, "fold differs for split at {split}");
+        }
     }
 
     #[test]
@@ -323,21 +427,21 @@ mod tests {
         let (ga, gb) = (ca.into_csr::<SumF64>(), cb.into_csr::<SumF64>());
         let reference = mfbc_parallel::with_threads(1, || {
             let m = machine(4);
-            let layout = Layout::on_grid(n, n, &Grid2::new(Group::all(4), 2, 2));
+            let layout = Layout::on_grid(n, n, &Grid2::new(Group::all(4), 2, 2).unwrap());
             let da = DistMat::from_global(layout.clone(), &ga);
             let db = DistMat::from_global(layout, &gb);
             let c = dmat_combine::<SumF64, _>(&m, &da, &db);
-            let sums = dmat_column_sums(&m, &c);
+            let sums = dmat_column_sums(&m, &c).unwrap();
             (c.to_global::<SumF64>(), sums, m.report().critical.comp_time)
         });
         for threads in [2, 4, 8] {
             let got = mfbc_parallel::with_threads(threads, || {
                 let m = machine(4);
-                let layout = Layout::on_grid(n, n, &Grid2::new(Group::all(4), 2, 2));
+                let layout = Layout::on_grid(n, n, &Grid2::new(Group::all(4), 2, 2).unwrap());
                 let da = DistMat::from_global(layout.clone(), &ga);
                 let db = DistMat::from_global(layout, &gb);
                 let c = dmat_combine::<SumF64, _>(&m, &da, &db);
-                let sums = dmat_column_sums(&m, &c);
+                let sums = dmat_column_sums(&m, &c).unwrap();
                 (c.to_global::<SumF64>(), sums, m.report().critical.comp_time)
             });
             assert_eq!(reference.0, got.0, "combine differs at {threads} threads");

@@ -11,13 +11,17 @@
 use crate::dist::{DistMat, Layout};
 use mfbc_algebra::monoid::Monoid;
 use mfbc_machine::cost::CollectiveKind;
-use mfbc_machine::Machine;
+use mfbc_machine::{Machine, MachineError};
 use mfbc_sparse::{entry_bytes, Coo};
 
 /// Moves `src` into `dst_layout`, combining duplicate coordinates
 /// with `M` (layout cuts are disjoint so duplicates only arise if the
 /// source itself had overlapping blocks, which [`DistMat`] forbids).
-pub fn redistribute<M, T>(m: &Machine, src: &DistMat<T>, dst_layout: &Layout) -> DistMat<T>
+pub fn redistribute<M, T>(
+    m: &Machine,
+    src: &DistMat<T>,
+    dst_layout: &Layout,
+) -> Result<DistMat<T>, MachineError>
 where
     M: Monoid<Elem = T>,
     T: Clone + Send + Sync + PartialEq + std::fmt::Debug,
@@ -33,7 +37,7 @@ where
         "redistribute shape mismatch"
     );
     if src.layout().same_as(dst_layout) {
-        return src.clone();
+        return Ok(src.clone());
     }
 
     let p = m.p();
@@ -85,10 +89,10 @@ where
         &traffic,
         collect_owners(src.layout(), dst_layout),
         "redistribute",
-    );
+    )?;
 
     let blocks = dst_coo.into_iter().map(|coo| coo.into_csr::<M>()).collect();
-    DistMat::from_blocks(dst_layout.clone(), blocks)
+    Ok(DistMat::from_blocks(dst_layout.clone(), blocks))
 }
 
 /// Extracts the window `src[rows, cols]` into `dst_layout` (whose
@@ -102,7 +106,7 @@ pub fn extract_window<M, T>(
     rows: std::ops::Range<usize>,
     cols: std::ops::Range<usize>,
     dst_layout: &Layout,
-) -> DistMat<T>
+) -> Result<DistMat<T>, MachineError>
 where
     M: Monoid<Elem = T>,
     T: Clone + Send + Sync + PartialEq + std::fmt::Debug,
@@ -169,9 +173,9 @@ where
         &traffic,
         collect_owners(src.layout(), dst_layout),
         "window",
-    );
+    )?;
     let blocks = dst_coo.into_iter().map(|c| c.into_csr::<M>()).collect();
-    DistMat::from_blocks(dst_layout.clone(), blocks)
+    Ok(DistMat::from_blocks(dst_layout.clone(), blocks))
 }
 
 /// Union of the owner ranks of two layouts, ascending.
@@ -199,7 +203,7 @@ fn charge_alltoall(
     traffic: &[Vec<u64>],
     participants: Vec<usize>,
     what: &'static str,
-) {
+) -> Result<(), MachineError> {
     let max_send = traffic
         .iter()
         .map(|row| row.iter().sum::<u64>())
@@ -207,17 +211,16 @@ fn charge_alltoall(
         .unwrap_or(0);
     if max_send > 0 && participants.len() > 1 {
         let nparticipants = participants.len();
-        m.charge_collective(
-            &mfbc_machine::Group::new(participants),
-            CollectiveKind::AllToAll,
-            max_send,
-        );
+        let group = mfbc_machine::Group::new(participants)
+            .expect("owner union is non-empty and deduplicated");
+        m.charge_collective(&group, CollectiveKind::AllToAll, max_send)?;
         mfbc_trace::emit(|| mfbc_trace::TraceEvent::Redist {
             what,
             bytes_moved: traffic.iter().map(|row| row.iter().sum::<u64>()).sum(),
             participants: nparticipants,
         });
     }
+    Ok(())
 }
 
 /// Extracts several windows of `src` in one pass, moving all of them
@@ -229,7 +232,7 @@ pub fn extract_windows<M, T>(
     m: &Machine,
     src: &DistMat<T>,
     specs: &[(std::ops::Range<usize>, std::ops::Range<usize>, Layout)],
-) -> Vec<DistMat<T>>
+) -> Result<Vec<DistMat<T>>, MachineError>
 where
     M: Monoid<Elem = T>,
     T: Clone + Send + Sync + PartialEq + std::fmt::Debug,
@@ -289,8 +292,8 @@ where
             }
         }
     }
-    charge_alltoall(m, &traffic, participants, "windows");
-    outputs
+    charge_alltoall(m, &traffic, participants, "windows")?;
+    Ok(outputs
         .into_iter()
         .zip(specs)
         .map(|(coos, (_, _, dst_layout))| {
@@ -299,7 +302,7 @@ where
                 coos.into_iter().map(|c| c.into_csr::<M>()).collect(),
             )
         })
-        .collect()
+        .collect())
 }
 
 #[cfg(test)]
@@ -327,10 +330,10 @@ mod tests {
     fn redistribution_preserves_contents() {
         let m = machine(4);
         let g = sample();
-        let src_layout = Layout::on_grid(6, 6, &Grid2::new(Group::all(4), 2, 2));
-        let dst_layout = Layout::on_grid(6, 6, &Grid2::new(Group::all(4), 4, 1));
+        let src_layout = Layout::on_grid(6, 6, &Grid2::new(Group::all(4), 2, 2).unwrap());
+        let dst_layout = Layout::on_grid(6, 6, &Grid2::new(Group::all(4), 4, 1).unwrap());
         let src = DistMat::from_global(src_layout, &g);
-        let dst = redistribute::<SumU64, _>(&m, &src, &dst_layout);
+        let dst = redistribute::<SumU64, _>(&m, &src, &dst_layout).unwrap();
         assert_eq!(dst.to_global::<SumU64>(), g);
         assert!(dst.layout().same_as(&dst_layout));
     }
@@ -339,9 +342,12 @@ mod tests {
     fn redistribution_charges_traffic() {
         let m = machine(4);
         let g = sample();
-        let src = DistMat::from_global(Layout::on_grid(6, 6, &Grid2::new(Group::all(4), 2, 2)), &g);
-        let dst_layout = Layout::on_grid(6, 6, &Grid2::new(Group::all(4), 1, 4));
-        let _ = redistribute::<SumU64, _>(&m, &src, &dst_layout);
+        let src = DistMat::from_global(
+            Layout::on_grid(6, 6, &Grid2::new(Group::all(4), 2, 2).unwrap()),
+            &g,
+        );
+        let dst_layout = Layout::on_grid(6, 6, &Grid2::new(Group::all(4), 1, 4).unwrap());
+        let _ = redistribute::<SumU64, _>(&m, &src, &dst_layout).unwrap();
         assert!(m.report().critical.bytes > 0);
     }
 
@@ -349,9 +355,9 @@ mod tests {
     fn same_layout_is_free() {
         let m = machine(4);
         let g = sample();
-        let layout = Layout::on_grid(6, 6, &Grid2::new(Group::all(4), 2, 2));
+        let layout = Layout::on_grid(6, 6, &Grid2::new(Group::all(4), 2, 2).unwrap());
         let src = DistMat::from_global(layout.clone(), &g);
-        let dst = redistribute::<SumU64, _>(&m, &src, &layout);
+        let dst = redistribute::<SumU64, _>(&m, &src, &layout).unwrap();
         assert_eq!(dst.to_global::<SumU64>(), g);
         assert_eq!(m.report().critical.bytes, 0);
         assert_eq!(m.report().critical.msgs, 0);
@@ -361,9 +367,12 @@ mod tests {
     fn extract_window_preserves_window() {
         let m = machine(4);
         let g = sample();
-        let src = DistMat::from_global(Layout::on_grid(6, 6, &Grid2::new(Group::all(4), 2, 2)), &g);
-        let dst_layout = Layout::on_grid(3, 4, &Grid2::new(Group::all(4), 2, 2));
-        let w = extract_window::<SumU64, _>(&m, &src, 2..5, 1..5, &dst_layout);
+        let src = DistMat::from_global(
+            Layout::on_grid(6, 6, &Grid2::new(Group::all(4), 2, 2).unwrap()),
+            &g,
+        );
+        let dst_layout = Layout::on_grid(3, 4, &Grid2::new(Group::all(4), 2, 2).unwrap());
+        let w = extract_window::<SumU64, _>(&m, &src, 2..5, 1..5, &dst_layout).unwrap();
         let wg = w.to_global::<SumU64>();
         assert_eq!(wg, mfbc_sparse::slice::slice(&g, 2..5, 1..5));
     }
@@ -372,10 +381,13 @@ mod tests {
     fn extract_full_window_equals_redistribute() {
         let m = machine(4);
         let g = sample();
-        let src = DistMat::from_global(Layout::on_grid(6, 6, &Grid2::new(Group::all(4), 2, 2)), &g);
-        let dst_layout = Layout::on_grid(6, 6, &Grid2::new(Group::all(4), 4, 1));
-        let a = extract_window::<SumU64, _>(&m, &src, 0..6, 0..6, &dst_layout);
-        let b = redistribute::<SumU64, _>(&m, &src, &dst_layout);
+        let src = DistMat::from_global(
+            Layout::on_grid(6, 6, &Grid2::new(Group::all(4), 2, 2).unwrap()),
+            &g,
+        );
+        let dst_layout = Layout::on_grid(6, 6, &Grid2::new(Group::all(4), 4, 1).unwrap());
+        let a = extract_window::<SumU64, _>(&m, &src, 0..6, 0..6, &dst_layout).unwrap();
+        let b = redistribute::<SumU64, _>(&m, &src, &dst_layout).unwrap();
         assert_eq!(a.to_global::<SumU64>(), b.to_global::<SumU64>());
     }
 
@@ -383,8 +395,11 @@ mod tests {
     fn to_single_rank() {
         let m = machine(2);
         let g = sample();
-        let src = DistMat::from_global(Layout::on_grid(6, 6, &Grid2::new(Group::all(2), 1, 2)), &g);
-        let dst = redistribute::<SumU64, _>(&m, &src, &Layout::single(6, 6, 0));
+        let src = DistMat::from_global(
+            Layout::on_grid(6, 6, &Grid2::new(Group::all(2), 1, 2).unwrap()),
+            &g,
+        );
+        let dst = redistribute::<SumU64, _>(&m, &src, &Layout::single(6, 6, 0)).unwrap();
         assert_eq!(dst.block(0, 0), &g);
     }
 }

@@ -149,6 +149,30 @@ fn one_event(out: &mut String, rec: &TraceRecord) {
             }
             out.push_str("]}}");
         }
+        TraceEvent::Fault { kind, rank, seq } => {
+            head(out, &format!("fault {kind}"), "fault", "i", rec);
+            let _ = write!(out, ",\"s\":\"t\",\"args\":{{\"rank\":");
+            match rank {
+                Some(r) => {
+                    let _ = write!(out, "{r}");
+                }
+                None => out.push_str("null"),
+            }
+            let _ = write!(out, ",\"seq\":{seq}}}}}");
+        }
+        TraceEvent::Recovery {
+            action,
+            detail,
+            wasted_s,
+        } => {
+            head(out, &format!("recovery {action}"), "recovery", "i", rec);
+            let _ = write!(
+                out,
+                ",\"s\":\"t\",\"args\":{{\"detail\":\"{}\",\"wasted_s\":{}}}}}",
+                esc(detail),
+                num(*wasted_s)
+            );
+        }
         TraceEvent::Log { level, message } => {
             head(out, message, "log", "i", rec);
             let _ = write!(

@@ -131,6 +131,24 @@ pub enum TraceEvent {
         /// item count lies in `[2^b, 2^{b+1})`.
         chunk_hist: Vec<u64>,
     },
+    /// An injected fault fired in the simulated machine.
+    Fault {
+        /// Fault kind name (`crash`, `transient`, `oom`).
+        kind: &'static str,
+        /// Targeted rank, when the fault targets one.
+        rank: Option<usize>,
+        /// Collective sequence number at which it fired.
+        seq: u64,
+    },
+    /// A recovery decision taken by a fault-tolerant driver.
+    Recovery {
+        /// Action taken (`retry`, `replan`, `halve-batch`, `restore`).
+        action: &'static str,
+        /// Human-readable context (e.g. `p=8->7 plan=auto`).
+        detail: String,
+        /// Modeled seconds of work discarded by rolling back.
+        wasted_s: f64,
+    },
     /// Opens a nested wall-clock span; paired with [`TraceEvent::SpanEnd`].
     SpanBegin {
         /// Span name (e.g. `mm_auto`, `batch 3`).
@@ -167,6 +185,8 @@ impl TraceEvent {
             TraceEvent::Autotune { .. } => "autotune",
             TraceEvent::Superstep { .. } => "superstep",
             TraceEvent::Pool { .. } => "pool",
+            TraceEvent::Fault { .. } => "fault",
+            TraceEvent::Recovery { .. } => "recovery",
             TraceEvent::SpanBegin { .. } => "span_begin",
             TraceEvent::SpanEnd { .. } => "span_end",
             TraceEvent::Counter { .. } => "counter",

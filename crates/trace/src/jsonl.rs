@@ -128,6 +128,28 @@ pub fn record_to_json(rec: &TraceRecord) -> String {
             }
             s.push(']');
         }
+        TraceEvent::Fault { kind, rank, seq } => {
+            let _ = write!(s, ",\"kind\":\"{kind}\",\"rank\":");
+            match rank {
+                Some(r) => {
+                    let _ = write!(s, "{r}");
+                }
+                None => s.push_str("null"),
+            }
+            let _ = write!(s, ",\"seq\":{seq}");
+        }
+        TraceEvent::Recovery {
+            action,
+            detail,
+            wasted_s,
+        } => {
+            let _ = write!(
+                s,
+                ",\"action\":\"{action}\",\"detail\":\"{}\",\"wasted_s\":{}",
+                esc(detail),
+                num(*wasted_s)
+            );
+        }
         TraceEvent::SpanBegin { name } | TraceEvent::SpanEnd { name } => {
             let _ = write!(s, ",\"name\":\"{}\"", esc(name));
         }

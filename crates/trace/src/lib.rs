@@ -28,8 +28,9 @@ pub use event::{Level, PlanChoice, TraceEvent, TraceRecord};
 pub use jsonl::{record_to_json, to_jsonl};
 pub use recorder::{current_tid, MemoryRecorder, NoopRecorder, Recorder, StderrRecorder};
 pub use summary::{
-    collective_summary, pool_summary, render_pool_summary, render_summary, total_modeled_comm_s,
-    KindTotals, PoolTotals,
+    collective_summary, pool_summary, recovery_summary, render_pool_summary,
+    render_recovery_summary, render_summary, total_modeled_comm_s, KindTotals, PoolTotals,
+    RecoveryTotals,
 };
 
 use std::cell::RefCell;

@@ -176,6 +176,15 @@ impl Recorder for StderrRecorder {
                 "[trace] pool {kernel} threads={threads} tasks={tasks} busy_us={}",
                 busy_us.iter().sum::<u64>()
             ),
+            TraceEvent::Fault { kind, rank, seq } => match rank {
+                Some(r) => eprintln!("[trace] fault {kind} rank={r} seq={seq}"),
+                None => eprintln!("[trace] fault {kind} seq={seq}"),
+            },
+            TraceEvent::Recovery {
+                action,
+                detail,
+                wasted_s,
+            } => eprintln!("[trace] recovery {action} {detail} wasted={wasted_s:.3e}s"),
             TraceEvent::Counter { name, value } => {
                 eprintln!("[trace] counter {name}={value}")
             }

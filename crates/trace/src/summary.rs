@@ -175,6 +175,97 @@ pub fn render_pool_summary(totals: &[PoolTotals]) -> String {
     out
 }
 
+/// Fault-injection and recovery totals across a recorded run.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RecoveryTotals {
+    /// Injected faults per kind name (`crash`, `transient`, `oom`),
+    /// sorted by kind.
+    pub faults: Vec<(String, u64)>,
+    /// Recovery actions: `(action, count, wasted modeled seconds,
+    /// last detail string)`, sorted by action.
+    pub actions: Vec<(String, u64, f64, String)>,
+}
+
+impl RecoveryTotals {
+    /// Total injected faults across kinds.
+    pub fn faults_injected(&self) -> u64 {
+        self.faults.iter().map(|(_, c)| c).sum()
+    }
+
+    /// Total modeled seconds discarded by rollbacks.
+    pub fn wasted_s(&self) -> f64 {
+        self.actions.iter().map(|(_, _, w, _)| w).sum()
+    }
+}
+
+/// Aggregates [`TraceEvent::Fault`] and [`TraceEvent::Recovery`]
+/// records into per-kind / per-action totals.
+pub fn recovery_summary(records: &[TraceRecord]) -> RecoveryTotals {
+    let mut faults: BTreeMap<&str, u64> = BTreeMap::new();
+    let mut actions: BTreeMap<&str, (u64, f64, String)> = BTreeMap::new();
+    for rec in records {
+        match &rec.event {
+            TraceEvent::Fault { kind, .. } => *faults.entry(kind).or_insert(0) += 1,
+            TraceEvent::Recovery {
+                action,
+                detail,
+                wasted_s,
+            } => {
+                let entry = actions.entry(action).or_insert((0, 0.0, String::new()));
+                entry.0 += 1;
+                entry.1 += wasted_s;
+                entry.2 = detail.clone();
+            }
+            _ => {}
+        }
+    }
+    RecoveryTotals {
+        faults: faults
+            .into_iter()
+            .map(|(k, c)| (k.to_string(), c))
+            .collect(),
+        actions: actions
+            .into_iter()
+            .map(|(a, (c, w, d))| (a.to_string(), c, w, d))
+            .collect(),
+    }
+}
+
+/// Renders the fault/recovery totals as an aligned text table; empty
+/// output (not even a header) for a fault-free run, so the report
+/// only appears when there is something to say.
+pub fn render_recovery_summary(totals: &RecoveryTotals) -> String {
+    let mut out = String::new();
+    if totals.faults.is_empty() && totals.actions.is_empty() {
+        return out;
+    }
+    let _ = writeln!(
+        out,
+        "{:<14} {:>8} {:>12}  detail",
+        "fault/recovery", "count", "wasted_s"
+    );
+    for (kind, count) in &totals.faults {
+        let _ = writeln!(
+            out,
+            "{:<14} {:>8} {:>12}  -",
+            format!("fault:{kind}"),
+            count,
+            "-"
+        );
+    }
+    for (action, count, wasted, detail) in &totals.actions {
+        let _ = writeln!(
+            out,
+            "{:<14} {:>8} {:>12.3e}  {}",
+            action,
+            count,
+            wasted,
+            if detail.is_empty() { "-" } else { detail }
+        );
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -262,6 +353,50 @@ mod tests {
         assert_eq!(sp.max_threads, 4);
         assert_eq!(sp.busy_us, 4 * 10 + 2 * 10);
         assert_eq!(sp.chunk_hist, vec![1, 5, 6]);
+    }
+
+    #[test]
+    fn recovery_summary_groups_faults_and_actions() {
+        let mk = |event| TraceRecord {
+            ts_us: 0,
+            tid: 0,
+            event,
+        };
+        let records = vec![
+            mk(TraceEvent::Fault {
+                kind: "crash",
+                rank: Some(3),
+                seq: 5,
+            }),
+            mk(TraceEvent::Fault {
+                kind: "oom",
+                rank: Some(0),
+                seq: 9,
+            }),
+            mk(TraceEvent::Recovery {
+                action: "replan",
+                detail: "p=8->7 plan=auto".into(),
+                wasted_s: 1.5,
+            }),
+            mk(TraceEvent::Recovery {
+                action: "replan",
+                detail: "p=7->6 plan=auto".into(),
+                wasted_s: 0.5,
+            }),
+        ];
+        let totals = recovery_summary(&records);
+        assert_eq!(totals.faults_injected(), 2);
+        assert_eq!(totals.actions.len(), 1);
+        assert_eq!(totals.actions[0].0, "replan");
+        assert_eq!(totals.actions[0].1, 2);
+        assert!((totals.wasted_s() - 2.0).abs() < 1e-12);
+        assert_eq!(totals.actions[0].3, "p=7->6 plan=auto");
+        let text = render_recovery_summary(&totals);
+        assert!(text.contains("fault:crash"));
+        assert!(text.contains("replan"));
+        assert!(text.contains("p=7->6"));
+        // Fault-free runs render nothing at all.
+        assert!(render_recovery_summary(&RecoveryTotals::default()).is_empty());
     }
 
     #[test]

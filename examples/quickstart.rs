@@ -114,7 +114,10 @@ fn main() {
     let run = mfbc_dist(&machine, &g, &MfbcConfig::default()).expect("fits in memory");
     assert!(run.scores.approx_eq(&oracle, 1e-9), "dist != oracle");
 
-    let report = machine.report();
+    // The run carries its own cost report: after a crash recovery the
+    // driver finishes on a shrunk machine the original handle no
+    // longer tracks (not the case here, but the habit is free).
+    let report = &run.report;
     println!(
         "distributed MFBC on p=16: modeled comm {:.3} ms ({} msgs, {} bytes on the critical path), compute {:.3} ms",
         report.critical.comm_time * 1e3,

@@ -40,7 +40,7 @@ fn main() {
             ..Default::default()
         };
         let run = mfbc_dist(&machine, &g, &cfg).expect("fits in memory");
-        let report = machine.report();
+        let report = run.report.clone();
         println!(
             "{:>6} {:>14.2} {:>12.3} {:>12.3} {:>10}",
             p,

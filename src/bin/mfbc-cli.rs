@@ -9,14 +9,17 @@
 //! mfbc-cli stats     [--directed] <edge-list|->
 //! mfbc-cli simulate  --nodes P [--plan auto|ca:C|combblas] [--batch N]
 //!                    [--graph rmat:S,E | uniform:N,M | FILE] [--directed]
-//!                    [--threads T]
+//!                    [--threads T] [--faults SPEC] [--fault-seed S]
 //!                    [--trace-out FILE] [--trace-format chrome|jsonl]
 //! mfbc-cli generate  (rmat:S,E | uniform:N,M) [--weighted MAX] [--seed S]
 //! ```
 //!
 //! Edge lists are SNAP format (`src dst [weight]`, `#` comments);
 //! `-` reads stdin. `simulate` runs one batch on the simulated
-//! machine and prints the critical-path cost report.
+//! machine and prints the critical-path cost report. `--faults`
+//! injects a failure schedule (`crash:R@K,transient:N@K,oom:R@K`,
+//! keyed by collective sequence number) and `--fault-seed` a random
+//! one; the driver recovers and reports what it did on stderr.
 
 use mfbc::core::combblas::{combblas_bc, CombBlasConfig};
 use mfbc::prelude::*;
@@ -56,7 +59,7 @@ const USAGE: &str = "usage:
   mfbc-cli sssp --source V [--directed] <edge-list|->
   mfbc-cli components [--directed] <edge-list|->
   mfbc-cli stats [--directed] <edge-list|->
-  mfbc-cli simulate --nodes P [--plan auto|ca:C|combblas] [--batch N] [--graph rmat:S,E|uniform:N,M|FILE] [--directed] [--threads T] [--trace-out FILE] [--trace-format chrome|jsonl]
+  mfbc-cli simulate --nodes P [--plan auto|ca:C|combblas] [--batch N] [--graph rmat:S,E|uniform:N,M|FILE] [--directed] [--threads T] [--faults SPEC] [--fault-seed S] [--trace-out FILE] [--trace-format chrome|jsonl]
   mfbc-cli generate (rmat:S,E | uniform:N,M) [--weighted MAX] [--seed S]";
 
 /// Minimal flag parser: `--key value` options, `--flag` booleans, one
@@ -292,6 +295,8 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
             "graph",
             "seed",
             "threads",
+            "faults",
+            "fault-seed",
             "trace-out",
             "trace-format",
         ],
@@ -302,7 +307,22 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
     let g = load_workload(spec_str, o.has("directed"), None, seed)?;
     let batch = o.get_parsed::<usize>("batch")?.unwrap_or(128);
     let threads = parse_threads(&o)?;
-    let machine = Machine::new(MachineSpec::gemini(p));
+
+    // Fault injection: an explicit schedule (`--faults crash:2@5,…`),
+    // a seeded random one (`--fault-seed S`), or both combined.
+    let mut fault_plan = match o.get("faults") {
+        Some(spec) => FaultPlan::parse(spec).map_err(|e| format!("--faults: {e}"))?,
+        None => FaultPlan::none(),
+    };
+    if let Some(fseed) = o.get_parsed::<u64>("fault-seed")? {
+        fault_plan.faults.extend(FaultPlan::seeded(fseed, p).faults);
+    }
+    let faults_scheduled = fault_plan.faults.len() as u64;
+    let machine = if fault_plan.is_empty() {
+        Machine::new(MachineSpec::gemini(p))
+    } else {
+        Machine::with_faults(MachineSpec::gemini(p), fault_plan, RetryPolicy::default())
+    };
 
     // Structured tracing: record every collective, SpGEMM, autotune
     // decision, and superstep; written after the run.
@@ -320,7 +340,7 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
     });
 
     let plan = o.get("plan").unwrap_or("auto");
-    let (label, sources, report) = if plan == "combblas" {
+    let (label, sources, report, recovery) = if plan == "combblas" {
         let combblas = || {
             combblas_bc(
                 &machine,
@@ -340,6 +360,7 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
             "CombBLAS-style".to_string(),
             run.sources_processed,
             machine.report(),
+            None,
         )
     } else {
         let mode = if let Some(c) = plan.strip_prefix("ca:") {
@@ -363,10 +384,14 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
             },
         )
         .map_err(|e| e.to_string())?;
+        // After a crash recovery the run finished on a *shrunk*
+        // machine our handle no longer tracks — the run carries the
+        // authoritative cost report.
         (
             format!("CTF-MFBC ({plan})"),
             run.sources_processed,
-            machine.report(),
+            run.report.clone(),
+            Some(run.recovery),
         )
     };
 
@@ -389,6 +414,35 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
         eprint!(
             "{}",
             mfbc_trace::render_pool_summary(&mfbc_trace::pool_summary(&records))
+        );
+        eprint!(
+            "{}",
+            mfbc_trace::render_recovery_summary(&mfbc_trace::recovery_summary(&records))
+        );
+    }
+
+    if let Some(rec) = recovery.as_ref() {
+        if rec.faults_injected < faults_scheduled {
+            eprintln!(
+                "note: {} of {faults_scheduled} scheduled fault(s) never fired — the run ended \
+                 before their collective sequence number (try a smaller @SEQ or a larger --batch)",
+                faults_scheduled - rec.faults_injected,
+            );
+        }
+    }
+    if let Some(rec) = recovery.as_ref().filter(|r| r.any()) {
+        eprintln!(
+            "recovery: {} fault(s) injected, {} collective retries, {} batch retries, \
+             {} replan(s), {} checkpoint(s) restored, {} batch halving(s), \
+             {:.6}s modeled time wasted, finished on {} node(s)",
+            rec.faults_injected,
+            rec.collective_retries,
+            rec.batch_retries,
+            rec.replans,
+            rec.checkpoints_restored,
+            rec.oom_halvings,
+            rec.wasted_modeled_s,
+            rec.final_p,
         );
     }
 

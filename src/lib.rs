@@ -53,6 +53,7 @@
 
 pub use mfbc_algebra as algebra;
 pub use mfbc_core as core;
+pub use mfbc_fault as fault;
 pub use mfbc_graph as graph;
 pub use mfbc_machine as machine;
 pub use mfbc_sparse as sparse;
@@ -66,12 +67,13 @@ pub mod prelude {
     pub use mfbc_core::bfs::{bfs_levels, sssp_dist, sssp_seq};
     pub use mfbc_core::cc::{component_count, connected_components};
     pub use mfbc_core::combblas::{combblas_bc, CombBlasConfig};
-    pub use mfbc_core::dist::{ca_plan, mfbc_dist, MfbcConfig, MfbcRun, PlanMode};
+    pub use mfbc_core::dist::{ca_plan, mfbc_dist, MfbcConfig, MfbcRun, PlanMode, RecoveryStats};
     pub use mfbc_core::oracle::{brandes_unweighted, brandes_weighted, bruteforce_bc};
     pub use mfbc_core::seq::{mfbc_seq, mfbf_seq, mfbr_seq};
     pub use mfbc_core::BcScores;
+    pub use mfbc_fault::{FaultKind, FaultPlan, RetryPolicy, ScheduledFault};
     pub use mfbc_graph::gen::{rmat, snap_standin, uniform, RmatConfig, SnapGraph};
     pub use mfbc_graph::{io, prep, stats, Graph};
-    pub use mfbc_machine::{Machine, MachineSpec};
+    pub use mfbc_machine::{Machine, MachineError, MachineSpec};
     pub use mfbc_tensor::{MmPlan, Variant1D, Variant2D};
 }

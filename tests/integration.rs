@@ -196,7 +196,7 @@ fn prelude_exposes_the_documented_api() {
     let _ = mfbf_seq(&g, &[0]);
     let t = mfbf_seq(&g, &[0]).t;
     let _ = mfbr_seq(&g, &t);
-    let _: MmPlan = ca_plan(4, 1);
+    let _: MmPlan = ca_plan(4, 1).unwrap();
     let _ = (Variant1D::A, Variant2D::AB);
     let _: (Dist, Multpath, Centpath) = (Dist::ONE, Multpath::trivial(), Centpath::none());
 }
