@@ -15,6 +15,7 @@
 
 pub mod experiments;
 pub mod harness;
+pub mod regress;
 pub mod report;
 
 pub use harness::{

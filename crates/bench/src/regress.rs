@@ -1,0 +1,208 @@
+//! The pinned regression suite behind `mfbc-cli bench`.
+//!
+//! A fixed set of experiments — graph, machine, plan mode, batch
+//! size, all seeded — each run under a [`mfbc_profile::Profiler`].
+//! The modeled outputs (α–β–γ seconds, critical-path counts, memory
+//! high-water marks) are deterministic, so the suite's results can be
+//! compared bit-exact against the committed `BENCH_mfbc.json`
+//! baseline; wall-clock is measured too but only band-compared.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use mfbc_core::dist::{mfbc_dist, MfbcConfig, PlanMode};
+use mfbc_graph::gen::{rmat, uniform, RmatConfig};
+use mfbc_graph::Graph;
+use mfbc_machine::{Machine, MachineSpec};
+use mfbc_profile::{BaselineCase, MetricsRegistry, Profile, Profiler};
+
+/// Knobs for a suite run. Defaults reproduce the pinned baseline;
+/// anything else exists to *provoke* the gate in tests.
+#[derive(Clone, Debug)]
+pub struct SuiteOptions {
+    /// Multiplier on the machine's α (message latency). `1.0` for the
+    /// real suite; inflate it to simulate a communication regression.
+    pub alpha_scale: f64,
+}
+
+impl Default for SuiteOptions {
+    fn default() -> SuiteOptions {
+        SuiteOptions { alpha_scale: 1.0 }
+    }
+}
+
+/// One pinned experiment's full result: the baseline-comparable
+/// numbers plus the profile artifacts for export.
+pub struct SuiteCaseResult {
+    /// Baseline-comparable measurements.
+    pub case: BaselineCase,
+    /// The sealed profile of the run.
+    pub profile: Profile,
+    /// The metrics registry the profiler filled (for Prometheus
+    /// export).
+    pub registry: Arc<MetricsRegistry>,
+}
+
+struct SuiteCase {
+    name: &'static str,
+    p: usize,
+    batch: usize,
+    max_batches: usize,
+    graph: fn() -> Graph,
+}
+
+/// The pinned experiments. Scales are chosen so the whole suite runs
+/// in seconds; coverage spans both generators, two machine sizes, and
+/// (via the autotuner) more than one SpGEMM plan family.
+const SUITE: &[SuiteCase] = &[
+    SuiteCase {
+        name: "uniform-n256-p4-b64",
+        p: 4,
+        batch: 64,
+        max_batches: 2,
+        graph: || uniform(256, 1024, false, None, 1),
+    },
+    SuiteCase {
+        name: "uniform-n192-p8-b32",
+        p: 8,
+        batch: 32,
+        max_batches: 2,
+        graph: || uniform(192, 960, false, None, 7),
+    },
+    SuiteCase {
+        name: "rmat-s8-p4-b32",
+        p: 4,
+        batch: 32,
+        max_batches: 2,
+        graph: || rmat(&RmatConfig::paper(8, 8, 42)),
+    },
+];
+
+/// Names of the pinned cases, in suite order.
+pub fn suite_case_names() -> Vec<&'static str> {
+    SUITE.iter().map(|c| c.name).collect()
+}
+
+fn run_case(case: &SuiteCase, opts: &SuiteOptions) -> SuiteCaseResult {
+    let mut spec = MachineSpec::gemini(case.p);
+    spec.alpha *= opts.alpha_scale;
+    let machine = Machine::new(spec);
+    let g = (case.graph)();
+    let cfg = MfbcConfig {
+        batch_size: Some(case.batch),
+        plan_mode: PlanMode::Auto,
+        max_batches: Some(case.max_batches),
+        amortize_adjacency: true,
+        sources: None,
+        threads: None,
+    };
+    let profiler = Arc::new(Profiler::new());
+    let started = Instant::now();
+    let run = mfbc_trace::scoped(profiler.clone(), || mfbc_dist(&machine, &g, &cfg))
+        .expect("pinned suite case must run fault-free");
+    let wall_s = started.elapsed().as_secs_f64();
+    let profile = profiler.finish(&machine);
+    let registry = Arc::clone(profiler.registry());
+    SuiteCaseResult {
+        case: BaselineCase {
+            name: case.name.to_string(),
+            modeled_comm_s: run.report.critical.comm_time,
+            modeled_comp_s: run.report.critical.comp_time,
+            msgs: run.report.critical.msgs,
+            bytes: run.report.critical.bytes,
+            total_ops: run.report.total_ops,
+            max_peak_bytes: run.peak_bytes.iter().copied().max().unwrap_or(0),
+            wall_s,
+        },
+        profile,
+        registry,
+    }
+}
+
+/// Runs the whole pinned suite and returns per-case results in suite
+/// order.
+pub fn run_suite(opts: &SuiteOptions) -> Vec<SuiteCaseResult> {
+    SUITE.iter().map(|c| run_case(c, opts)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mfbc_profile::{Baseline, Severity};
+
+    fn cases(results: &[SuiteCaseResult]) -> Vec<BaselineCase> {
+        results.iter().map(|r| r.case.clone()).collect()
+    }
+
+    #[test]
+    fn suite_is_deterministic_in_modeled_metrics() {
+        let a = cases(&run_suite(&SuiteOptions::default()));
+        let b = cases(&run_suite(&SuiteOptions::default()));
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(
+                x.modeled_comm_s.to_bits(),
+                y.modeled_comm_s.to_bits(),
+                "{}: comm drifted between identical runs",
+                x.name
+            );
+            assert_eq!(x.modeled_comp_s.to_bits(), y.modeled_comp_s.to_bits());
+            assert_eq!(x.msgs, y.msgs);
+            assert_eq!(x.bytes, y.bytes);
+            assert_eq!(x.total_ops, y.total_ops);
+            assert_eq!(x.max_peak_bytes, y.max_peak_bytes);
+        }
+    }
+
+    #[test]
+    fn identical_suite_passes_its_own_baseline() {
+        let measured = cases(&run_suite(&SuiteOptions::default()));
+        let baseline = Baseline::new(mfbc_profile::DEFAULT_WALL_BAND, measured.clone());
+        // Wall-clock differs between the two runs; modeled metrics are
+        // bit-equal, and only wall is band-compared, so re-measuring
+        // must pass.
+        let rerun = cases(&run_suite(&SuiteOptions::default()));
+        let findings = baseline.compare(&rerun, Some(100.0));
+        assert!(
+            findings.is_empty(),
+            "unexpected findings: {:?}",
+            findings.iter().map(|f| f.describe()).collect::<Vec<_>>()
+        );
+    }
+
+    /// The acceptance demonstration: a run on a machine with 10× the
+    /// message latency must fail the gate against the healthy
+    /// baseline, and the failure must be a modeled-comm regression.
+    #[test]
+    fn inflated_alpha_fails_the_gate() {
+        let healthy = cases(&run_suite(&SuiteOptions::default()));
+        let baseline = Baseline::new(mfbc_profile::DEFAULT_WALL_BAND, healthy);
+        let degraded = cases(&run_suite(&SuiteOptions { alpha_scale: 10.0 }));
+        let findings = baseline.compare(&degraded, Some(100.0));
+        assert!(!findings.is_empty(), "degraded run slipped past the gate");
+        assert!(
+            findings
+                .iter()
+                .any(|f| f.metric == "modeled_comm_s" && f.severity == Severity::Regression),
+            "expected a comm-time regression, got: {:?}",
+            findings.iter().map(|f| f.describe()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn suite_profiles_carry_stream_data() {
+        let results = run_suite(&SuiteOptions::default());
+        for r in &results {
+            assert!(r.profile.events > 0, "{}: empty profile", r.case.name);
+            assert!(!r.profile.supersteps.is_empty());
+            assert!(!r.profile.plan_mix.is_empty());
+            assert_eq!(
+                r.profile.max_peak_bytes(),
+                r.case.max_peak_bytes,
+                "{}: profile and baseline disagree on peak memory",
+                r.case.name
+            );
+        }
+    }
+}

@@ -357,6 +357,10 @@ pub struct DriverCase {
     /// be *bit-identical* to the fault-free run's. Empty in the plain
     /// differential suites; [`DriverCase::generate_faulted`] fills it.
     pub faults: Vec<ScheduledFault>,
+    /// Whether the check re-runs the case under an installed
+    /// [`mfbc_profile::Profiler`] and demands the scores stay
+    /// bit-identical: observation must never perturb the computation.
+    pub profile: bool,
 }
 
 impl DriverCase {
@@ -389,6 +393,7 @@ impl DriverCase {
             amortize: rng.chance(1, 2),
             threads: gen::THREAD_COUNTS[rng.below(gen::THREAD_COUNTS.len())],
             faults: Vec::new(),
+            profile: rng.chance(1, 3),
         }
     }
 
@@ -499,6 +504,34 @@ impl CaseSpec for DriverCase {
                 run.scores.max_abs_diff(&oracle)
             ));
         }
+        if self.profile {
+            // Observation must not perturb the computation: the same
+            // case re-run with a Profiler attached to the trace stream
+            // must produce bit-identical betweenness scores.
+            let profiler = std::sync::Arc::new(mfbc_profile::Profiler::new());
+            let pmachine = Machine::new(MachineSpec::test(self.p));
+            let prun = mfbc_trace::scoped(profiler.clone(), || mfbc_dist(&pmachine, &g, &cfg))
+                .map_err(|e| {
+                    format!("profiled driver ({:?}): machine error: {e}", cfg.plan_mode)
+                })?;
+            for (v, (a, b)) in run
+                .scores
+                .lambda
+                .iter()
+                .zip(&prun.scores.lambda)
+                .enumerate()
+            {
+                if a.to_bits() != b.to_bits() {
+                    return Err(format!(
+                        "profiled driver: λ[{v}] = {b:?} differs from unprofiled {a:?} \
+                         (observation perturbed the computation)"
+                    ));
+                }
+            }
+            if profiler.finish(&pmachine).events == 0 {
+                return Err("profiled run recorded no trace events".into());
+            }
+        }
         if !self.faults.is_empty() {
             let plan = FaultPlan {
                 faults: self.faults.clone(),
@@ -554,12 +587,25 @@ impl CaseSpec for DriverCase {
     }
 
     fn size(&self) -> usize {
-        self.edges.len() + self.n + self.p + self.threads + self.faults.len()
+        self.edges.len()
+            + self.n
+            + self.p
+            + self.threads
+            + self.faults.len()
+            + usize::from(self.profile)
     }
 
     fn shrink_candidates(&self) -> Vec<DriverCase> {
         let mut out = Vec::new();
-        // Toward fault-free first: a failure that survives without any
+        // Toward an unprofiled repro first: a failure that survives
+        // with profile=false is an ordinary driver bug.
+        if self.profile {
+            out.push(DriverCase {
+                profile: false,
+                ..self.clone()
+            });
+        }
+        // Toward fault-free next: a failure that survives without any
         // schedule is an ordinary driver bug, the easiest kind to read.
         if !self.faults.is_empty() {
             out.push(DriverCase {

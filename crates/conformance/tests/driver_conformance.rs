@@ -23,3 +23,17 @@ fn driver_weighted_vs_brandes() {
         DriverCase::generate(seed, &P_ALL, true)
     });
 }
+
+/// Every case re-run with a `Profiler` attached to the trace stream:
+/// the betweenness scores must be bit-identical to the unobserved run
+/// (`DriverCase::generate` draws the `profile` dimension for a third
+/// of cases; this suite forces it on for all of them).
+#[test]
+fn driver_profiled_scores_are_bit_identical() {
+    run_suite_or_panic("driver_profiled_scores_are_bit_identical", SMOKE, |seed| {
+        DriverCase {
+            profile: true,
+            ..DriverCase::generate(seed, &P_ALL, seed % 2 == 0)
+        }
+    });
+}

@@ -227,6 +227,12 @@ pub struct MfbcRun {
     /// sees, so consumers must read costs from here, not from the
     /// machine they passed in.
     pub report: mfbc_machine::cost::CostReport,
+    /// Per-rank memory high-water marks in bytes, read from the final
+    /// machine (after a crash recovery: the shrunk one, so the length
+    /// is [`RecoveryStats::final_p`], not the starting rank count).
+    /// Each entry is a monotone upper bound on every `memory_snapshot`
+    /// the run ever took for that rank.
+    pub peak_bytes: Vec<u64>,
     /// Fault-and-recovery accounting for the run.
     pub recovery: RecoveryStats,
 }
@@ -320,6 +326,7 @@ fn mfbc_dist_inner(
         frontier_nnz: 0,
         ops: 0,
         report: Default::default(),
+        peak_bytes: Vec::new(),
         recovery: RecoveryStats::default(),
     };
     let mut recovery = RecoveryStats::default();
@@ -465,6 +472,7 @@ fn mfbc_dist_inner(
     recovery.collective_retries = stats.retries;
     recovery.final_p = m.p();
     run.report = m.report();
+    run.peak_bytes = m.memory_peaks();
     run.recovery = recovery;
     Ok(run)
 }
@@ -689,6 +697,30 @@ mod tests {
                 run.scores.lambda,
                 want.lambda
             );
+        }
+    }
+
+    #[test]
+    fn run_carries_memory_peaks() {
+        let g = Graph::unweighted(
+            6,
+            false,
+            vec![(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (1, 4)],
+        );
+        let machine = Machine::new(MachineSpec::test(4));
+        let run = mfbc_dist(&machine, &g, &MfbcConfig::default()).unwrap();
+        assert_eq!(run.peak_bytes.len(), run.recovery.final_p);
+        assert!(
+            run.peak_bytes.iter().any(|&b| b > 0),
+            "a run that distributed an adjacency must have touched memory"
+        );
+        // End-of-run state: everything released, yet the high-water
+        // marks still bound the (now empty) residency and match the
+        // machine's own peak meters.
+        let snap = machine.memory_snapshot();
+        for (r, &peak) in run.peak_bytes.iter().enumerate() {
+            assert!(peak >= snap.resident()[r]);
+            assert_eq!(peak, snap.peak()[r]);
         }
     }
 

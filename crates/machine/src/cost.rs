@@ -253,6 +253,13 @@ impl CostTracker {
         self.resident.clone()
     }
 
+    /// Per-rank peak resident bytes. Peaks only ratchet upward
+    /// ([`CostTracker::restore_memory`] leaves them alone), so every
+    /// value is a monotone upper bound of all residents ever metered.
+    pub fn peak_snapshot(&self) -> Vec<u64> {
+        self.peak.clone()
+    }
+
     /// Restores resident bytes from a snapshot taken on a tracker of
     /// the same rank count. Peaks are not rolled back.
     pub fn restore_memory(&mut self, snapshot: &[u64]) {

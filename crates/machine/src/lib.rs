@@ -136,11 +136,31 @@ impl std::fmt::Display for MachineError {
 
 impl std::error::Error for MachineError {}
 
-/// Opaque per-rank resident-memory snapshot; see
+/// Per-rank memory snapshot: resident bytes (restorable) plus the
+/// high-water marks at the moment the snapshot was taken; see
 /// [`Machine::memory_snapshot`].
+///
+/// Peaks are *observations*, not restorable state: the meter only
+/// ever ratchets them upward, so for any snapshot
+/// `peak[r] >= resident[r]`, and across two snapshots of the same
+/// machine the later peaks dominate the earlier ones — the invariant
+/// the profiler's "memory high-water mark" column rests on.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct MemorySnapshot {
     resident: Vec<u64>,
+    peak: Vec<u64>,
+}
+
+impl MemorySnapshot {
+    /// Resident bytes per rank at snapshot time.
+    pub fn resident(&self) -> &[u64] {
+        &self.resident
+    }
+
+    /// Peak (high-water) resident bytes per rank at snapshot time.
+    pub fn peak(&self) -> &[u64] {
+        &self.peak
+    }
 }
 
 /// Mutable fault-injection state shared by clones of a machine.
@@ -432,9 +452,22 @@ impl Machine {
     /// rolled back without replaying every release. Peak meters are
     /// unaffected by restoration.
     pub fn memory_snapshot(&self) -> MemorySnapshot {
-        MemorySnapshot {
-            resident: self.with_tracker(|t| t.memory_snapshot()),
-        }
+        self.with_tracker(|t| MemorySnapshot {
+            resident: t.memory_snapshot(),
+            peak: t.peak_snapshot(),
+        })
+    }
+
+    /// Per-rank accumulated critical-path costs — the raw data behind
+    /// [`Machine::report`]'s maxima, exposed for per-rank utilization
+    /// and load-imbalance profiling.
+    pub fn rank_costs(&self) -> Vec<RankCost> {
+        self.with_tracker(|t| (0..t.p()).map(|r| t.rank(r)).collect())
+    }
+
+    /// Per-rank memory high-water marks (peak resident bytes).
+    pub fn memory_peaks(&self) -> Vec<u64> {
+        self.with_tracker(|t| t.peak_snapshot())
     }
 
     /// Restores resident bytes to a snapshot taken on this machine.
@@ -696,5 +729,73 @@ mod tests {
         assert_eq!(m.with_tracker(|t| t.resident(1)), 0);
         // Peak is not rolled back.
         assert_eq!(m.with_tracker(|t| t.peak(0)), 150);
+    }
+
+    #[test]
+    fn peaks_are_monotone_upper_bounds_of_every_snapshot() {
+        // Drive an alloc/free/restore workload and check, at every
+        // snapshot point, that peaks dominate residents and never
+        // decrease — including across a restore_memory rollback.
+        let m = Machine::new(MachineSpec::test(3));
+        let mut prev_peak = vec![0u64; 3];
+        let mut check = || {
+            let snap = m.memory_snapshot();
+            for (r, &prev) in prev_peak.iter().enumerate() {
+                assert!(
+                    snap.peak()[r] >= snap.resident()[r],
+                    "rank {r}: peak {} below resident {}",
+                    snap.peak()[r],
+                    snap.resident()[r]
+                );
+                assert!(
+                    snap.peak()[r] >= prev,
+                    "rank {r}: peak regressed {} -> {}",
+                    prev,
+                    snap.peak()[r]
+                );
+            }
+            prev_peak = snap.peak().to_vec();
+            snap
+        };
+        check();
+        m.charge_alloc(0, 500).unwrap();
+        m.charge_alloc(1, 200).unwrap();
+        let ckpt = check();
+        m.charge_alloc(0, 300).unwrap();
+        m.release(1, 150);
+        check();
+        m.restore_memory(&ckpt);
+        let after_restore = check();
+        // The rollback dropped rank 0's resident but kept its peak.
+        assert_eq!(after_restore.resident()[0], 500);
+        assert_eq!(after_restore.peak()[0], 800);
+        m.release(0, 500);
+        m.charge_alloc(2, 50).unwrap();
+        let last = check();
+        assert_eq!(m.memory_peaks(), last.peak().to_vec());
+    }
+
+    #[test]
+    fn rank_costs_expose_per_rank_breakdown() {
+        let m = Machine::new(MachineSpec::test(4));
+        m.charge_compute(2, 1000);
+        m.charge_collective(
+            &Group::new(vec![0, 1]).unwrap(),
+            CollectiveKind::Broadcast,
+            64,
+        )
+        .unwrap();
+        let costs = m.rank_costs();
+        assert_eq!(costs.len(), 4);
+        assert!(costs[2].comp_time > 0.0);
+        assert_eq!(costs[0].comm_time, costs[1].comm_time);
+        assert!(costs[0].comm_time > 0.0);
+        assert_eq!(costs[3], RankCost::default());
+        // The report's critical path is the per-metric max of these.
+        let r = m.report();
+        assert_eq!(
+            r.critical.comp_time,
+            costs.iter().map(|c| c.comp_time).fold(0.0, f64::max)
+        );
     }
 }

@@ -1,0 +1,381 @@
+//! The perf-regression baseline: a committed JSON file of pinned
+//! benchmark measurements, plus the noise-aware comparison policy.
+//!
+//! Threshold policy
+//! ----------------
+//! Modeled quantities (α–β–γ seconds, critical-path messages/bytes,
+//! operation counts, memory high-water marks) are **deterministic**:
+//! they are produced by pure f64 arithmetic (`+`, `*`, `max`) and
+//! integer bookkeeping over a fixed experiment, so they are compared
+//! **bit-exact**. Any difference — faster or slower — fails the gate:
+//! an unexplained improvement is drift that must be acknowledged by
+//! refreshing the baseline (`--write`), never silently absorbed.
+//!
+//! Wall-clock seconds are noisy, so they get a one-sided band: only
+//! `current > baseline * (1 + band)` fails. Speedups never fail and
+//! never require a refresh.
+
+use crate::jsonio::{esc, num, parse, Json};
+
+/// Default wall-clock tolerance band (fraction above baseline that
+/// still passes). Generous because CI machines are shared.
+pub const DEFAULT_WALL_BAND: f64 = 1.0;
+
+/// One pinned experiment's measurements.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct BaselineCase {
+    /// Experiment name (stable identifier inside the suite).
+    pub name: String,
+    /// Modeled communication seconds on the critical path.
+    pub modeled_comm_s: f64,
+    /// Modeled computation seconds on the critical path.
+    pub modeled_comp_s: f64,
+    /// Critical-path messages.
+    pub msgs: u64,
+    /// Critical-path bytes.
+    pub bytes: u64,
+    /// Total useful operations.
+    pub total_ops: u64,
+    /// Largest per-rank memory high-water mark in bytes.
+    pub max_peak_bytes: u64,
+    /// Measured wall-clock seconds (noisy; band-compared).
+    pub wall_s: f64,
+}
+
+/// A parsed (or freshly measured) baseline file.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Baseline {
+    /// Schema version.
+    pub version: u64,
+    /// Wall-clock band this file was written with.
+    pub band: f64,
+    /// Pinned cases, in suite order.
+    pub cases: Vec<BaselineCase>,
+}
+
+/// Schema version written by [`Baseline::to_json`].
+pub const BASELINE_VERSION: u64 = 1;
+
+/// How badly a comparison failed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Severity {
+    /// Current is worse than baseline.
+    Regression,
+    /// Current differs from baseline in a deterministic metric
+    /// without being slower (e.g. an improvement): the baseline is
+    /// stale and must be refreshed with `--write`.
+    Drift,
+}
+
+/// One failed comparison.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Finding {
+    /// Case name.
+    pub case: String,
+    /// Metric that failed.
+    pub metric: &'static str,
+    /// Baseline value, rendered.
+    pub baseline: String,
+    /// Current value, rendered.
+    pub current: String,
+    /// Regression or drift.
+    pub severity: Severity,
+}
+
+impl Finding {
+    /// One-line human rendering.
+    pub fn describe(&self) -> String {
+        let label = match self.severity {
+            Severity::Regression => "REGRESSION",
+            Severity::Drift => "DRIFT",
+        };
+        format!(
+            "{label} {}: {} baseline={} current={}",
+            self.case, self.metric, self.baseline, self.current
+        )
+    }
+}
+
+impl Baseline {
+    /// A baseline wrapping freshly measured cases.
+    pub fn new(band: f64, cases: Vec<BaselineCase>) -> Baseline {
+        Baseline {
+            version: BASELINE_VERSION,
+            band,
+            cases,
+        }
+    }
+
+    /// Serializes to the committed JSON format.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"version\": {},\n", self.version));
+        out.push_str(&format!("  \"wall_band\": {},\n", num(self.band)));
+        out.push_str("  \"cases\": [\n");
+        for (i, c) in self.cases.iter().enumerate() {
+            let comma = if i + 1 == self.cases.len() { "" } else { "," };
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"modeled_comm_s\": {}, \"modeled_comp_s\": {}, \
+                 \"msgs\": {}, \"bytes\": {}, \"total_ops\": {}, \"max_peak_bytes\": {}, \
+                 \"wall_s\": {}}}{comma}\n",
+                esc(&c.name),
+                num(c.modeled_comm_s),
+                num(c.modeled_comp_s),
+                c.msgs,
+                c.bytes,
+                c.total_ops,
+                c.max_peak_bytes,
+                num(c.wall_s)
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Parses a baseline file.
+    pub fn from_json(doc: &str) -> Result<Baseline, String> {
+        let v = parse(doc)?;
+        let version = v
+            .get("version")
+            .and_then(Json::as_u64)
+            .ok_or("baseline missing `version`")?;
+        if version != BASELINE_VERSION {
+            return Err(format!(
+                "baseline version {version} unsupported (expected {BASELINE_VERSION})"
+            ));
+        }
+        let band = v
+            .get("wall_band")
+            .and_then(Json::as_f64)
+            .ok_or("baseline missing `wall_band`")?;
+        let cases = v
+            .get("cases")
+            .and_then(Json::as_array)
+            .ok_or("baseline missing `cases`")?
+            .iter()
+            .map(|c| {
+                let field_u64 = |k: &str| {
+                    c.get(k)
+                        .and_then(Json::as_u64)
+                        .ok_or_else(|| format!("case missing `{k}`"))
+                };
+                let field_f64 = |k: &str| {
+                    c.get(k)
+                        .and_then(Json::as_f64)
+                        .ok_or_else(|| format!("case missing `{k}`"))
+                };
+                Ok(BaselineCase {
+                    name: c
+                        .get("name")
+                        .and_then(Json::as_str)
+                        .ok_or("case missing `name`")?
+                        .to_string(),
+                    modeled_comm_s: field_f64("modeled_comm_s")?,
+                    modeled_comp_s: field_f64("modeled_comp_s")?,
+                    msgs: field_u64("msgs")?,
+                    bytes: field_u64("bytes")?,
+                    total_ops: field_u64("total_ops")?,
+                    max_peak_bytes: field_u64("max_peak_bytes")?,
+                    wall_s: field_f64("wall_s")?,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        Ok(Baseline {
+            version,
+            band,
+            cases,
+        })
+    }
+
+    /// Compares freshly measured `current` cases against this
+    /// baseline. `band_override` replaces the file's wall band when
+    /// given. An empty result means the gate passes.
+    pub fn compare(&self, current: &[BaselineCase], band_override: Option<f64>) -> Vec<Finding> {
+        let band = band_override.unwrap_or(self.band);
+        let mut findings = Vec::new();
+
+        for cur in current {
+            let Some(base) = self.cases.iter().find(|b| b.name == cur.name) else {
+                findings.push(Finding {
+                    case: cur.name.clone(),
+                    metric: "case",
+                    baseline: "<absent>".to_string(),
+                    current: "measured".to_string(),
+                    severity: Severity::Drift,
+                });
+                continue;
+            };
+            compare_case(base, cur, band, &mut findings);
+        }
+        for base in &self.cases {
+            if !current.iter().any(|c| c.name == base.name) {
+                findings.push(Finding {
+                    case: base.name.clone(),
+                    metric: "case",
+                    baseline: "pinned".to_string(),
+                    current: "<missing>".to_string(),
+                    severity: Severity::Regression,
+                });
+            }
+        }
+        findings
+    }
+}
+
+fn compare_case(base: &BaselineCase, cur: &BaselineCase, band: f64, out: &mut Vec<Finding>) {
+    let mut exact_f64 = |metric: &'static str, b: f64, c: f64| {
+        if b.to_bits() != c.to_bits() {
+            out.push(Finding {
+                case: cur.name.clone(),
+                metric,
+                baseline: num(b),
+                current: num(c),
+                severity: if c > b {
+                    Severity::Regression
+                } else {
+                    Severity::Drift
+                },
+            });
+        }
+    };
+    exact_f64("modeled_comm_s", base.modeled_comm_s, cur.modeled_comm_s);
+    exact_f64("modeled_comp_s", base.modeled_comp_s, cur.modeled_comp_s);
+
+    let mut exact_u64 = |metric: &'static str, b: u64, c: u64| {
+        if b != c {
+            out.push(Finding {
+                case: cur.name.clone(),
+                metric,
+                baseline: b.to_string(),
+                current: c.to_string(),
+                severity: if c > b {
+                    Severity::Regression
+                } else {
+                    Severity::Drift
+                },
+            });
+        }
+    };
+    exact_u64("msgs", base.msgs, cur.msgs);
+    exact_u64("bytes", base.bytes, cur.bytes);
+    exact_u64("total_ops", base.total_ops, cur.total_ops);
+    exact_u64("max_peak_bytes", base.max_peak_bytes, cur.max_peak_bytes);
+
+    if cur.wall_s > base.wall_s * (1.0 + band) {
+        out.push(Finding {
+            case: cur.name.clone(),
+            metric: "wall_s",
+            baseline: num(base.wall_s),
+            current: num(cur.wall_s),
+            severity: Severity::Regression,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn case(name: &str) -> BaselineCase {
+        BaselineCase {
+            name: name.to_string(),
+            modeled_comm_s: 0.125,
+            modeled_comp_s: 0.5,
+            msgs: 100,
+            bytes: 4096,
+            total_ops: 9999,
+            max_peak_bytes: 1 << 20,
+            wall_s: 0.01,
+        }
+    }
+
+    #[test]
+    fn json_round_trip_is_exact() {
+        let b = Baseline::new(0.75, vec![case("a"), case("b \"quoted\"")]);
+        let parsed = Baseline::from_json(&b.to_json()).unwrap();
+        assert_eq!(parsed, b);
+        assert_eq!(
+            parsed.cases[0].modeled_comm_s.to_bits(),
+            b.cases[0].modeled_comm_s.to_bits()
+        );
+    }
+
+    #[test]
+    fn identical_runs_pass() {
+        let b = Baseline::new(1.0, vec![case("a")]);
+        assert!(b.compare(&[case("a")], None).is_empty());
+    }
+
+    #[test]
+    fn slower_modeled_time_is_a_regression() {
+        let b = Baseline::new(1.0, vec![case("a")]);
+        let mut cur = case("a");
+        cur.modeled_comm_s *= 10.0;
+        let findings = b.compare(&[cur], None);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].metric, "modeled_comm_s");
+        assert_eq!(findings[0].severity, Severity::Regression);
+    }
+
+    #[test]
+    fn faster_modeled_time_is_drift_not_pass() {
+        let b = Baseline::new(1.0, vec![case("a")]);
+        let mut cur = case("a");
+        cur.modeled_comp_s /= 2.0;
+        let findings = b.compare(&[cur], None);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].severity, Severity::Drift);
+    }
+
+    #[test]
+    fn wall_clock_is_one_sided_band() {
+        let b = Baseline::new(1.0, vec![case("a")]);
+        let mut fast = case("a");
+        fast.wall_s = 1e-9; // much faster: fine
+        assert!(b.compare(&[fast], None).is_empty());
+
+        let mut slow = case("a");
+        slow.wall_s = case("a").wall_s * 2.01; // past the 100% band
+        let findings = b.compare(&[slow], None);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].metric, "wall_s");
+
+        let mut in_band = case("a");
+        in_band.wall_s = case("a").wall_s * 1.99;
+        assert!(b.compare(&[in_band], None).is_empty());
+    }
+
+    #[test]
+    fn band_override_tightens_the_gate() {
+        let b = Baseline::new(1.0, vec![case("a")]);
+        let mut slow = case("a");
+        slow.wall_s = case("a").wall_s * 1.5;
+        assert!(b.compare(&[slow.clone()], None).is_empty());
+        assert_eq!(b.compare(&[slow], Some(0.25)).len(), 1);
+    }
+
+    #[test]
+    fn missing_and_new_cases_are_flagged() {
+        let b = Baseline::new(1.0, vec![case("a")]);
+        let findings = b.compare(&[case("b")], None);
+        assert_eq!(findings.len(), 2);
+        assert!(findings
+            .iter()
+            .any(|f| f.case == "b" && f.severity == Severity::Drift));
+        assert!(findings
+            .iter()
+            .any(|f| f.case == "a" && f.severity == Severity::Regression));
+    }
+
+    #[test]
+    fn peak_memory_growth_is_a_regression() {
+        let b = Baseline::new(1.0, vec![case("a")]);
+        let mut cur = case("a");
+        cur.max_peak_bytes += 1;
+        let findings = b.compare(&[cur], None);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].metric, "max_peak_bytes");
+        assert_eq!(findings[0].severity, Severity::Regression);
+    }
+}

@@ -1,0 +1,403 @@
+//! Self-contained single-file HTML report for a [`Profile`]: inline
+//! CSS only, no scripts, no external assets. Exact metric values are
+//! embedded as `data-*` attributes using the same formatting as the
+//! JSON and Prometheus exporters, so the three outputs can be
+//! cross-checked mechanically.
+
+use std::fmt::Write as _;
+
+use crate::jsonio::num;
+use crate::profiler::Profile;
+
+/// Escapes text for an HTML context (element content and quoted
+/// attribute values).
+fn esc_html(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn pct(part: f64, whole: f64) -> f64 {
+    if whole > 0.0 {
+        (part / whole * 100.0).clamp(0.0, 100.0)
+    } else {
+        0.0
+    }
+}
+
+const STYLE: &str = "\
+body{font-family:system-ui,sans-serif;margin:2em;max-width:70em;color:#222}\
+h1{font-size:1.4em}h2{font-size:1.1em;margin-top:1.6em}\
+table{border-collapse:collapse;font-size:0.85em}\
+td,th{border:1px solid #ccc;padding:0.25em 0.6em;text-align:right}\
+th{background:#f2f2f2}td.l,th.l{text-align:left}\
+.bar{display:flex;height:1.1em;background:#eee;min-width:24em}\
+.comm{background:#d9534f;height:100%}\
+.comp{background:#5b9bd5;height:100%}\
+.tl{display:flex;align-items:flex-end;gap:1px;height:6em;border-bottom:1px solid #999;margin:0.5em 0}\
+.tl div{width:0.6em;min-height:1px}\
+.fwd{background:#5b9bd5}.bwd{background:#7cb66b}\
+.kv{color:#555;font-size:0.9em}\
+";
+
+fn header(out: &mut String, p: &Profile) {
+    let _ = writeln!(out, "<h1>MFBC profile</h1>");
+    let _ = writeln!(
+        out,
+        "<p class=\"kv\">ranks={} &middot; modeled critical path: comm {} s + comp {} s \
+         &middot; total ops {} &middot; load imbalance {} &middot; events {}</p>",
+        p.p,
+        num(p.critical_comm_s),
+        num(p.critical_comp_s),
+        p.total_ops,
+        num(p.imbalance),
+        p.events
+    );
+}
+
+fn rank_table(out: &mut String, p: &Profile) {
+    let max_t = p.max_rank_total_s();
+    let _ = writeln!(out, "<h2>Per-rank utilization</h2>");
+    let _ = writeln!(
+        out,
+        "<p class=\"kv\">bar = modeled time vs slowest rank; \
+         <span style=\"color:#d9534f\">&#9632;</span> comm, \
+         <span style=\"color:#5b9bd5\">&#9632;</span> compute</p>"
+    );
+    out.push_str(
+        "<table><tr><th>rank</th><th class=\"l\">utilization</th><th>comm s</th><th>comp s</th>\
+         <th>msgs</th><th>bytes</th><th>peak bytes</th></tr>\n",
+    );
+    for r in &p.ranks {
+        let comm_w = pct(r.comm_s, max_t);
+        let comp_w = pct(r.comp_s, max_t);
+        let _ = writeln!(
+            out,
+            "<tr data-rank=\"{}\" data-comm-s=\"{}\" data-comp-s=\"{}\" data-peak-bytes=\"{}\">\
+             <td>{}</td>\
+             <td class=\"l\"><div class=\"bar\">\
+             <div class=\"comm\" style=\"width:{comm_w:.2}%\"></div>\
+             <div class=\"comp\" style=\"width:{comp_w:.2}%\"></div></div></td>\
+             <td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td></tr>",
+            r.rank,
+            num(r.comm_s),
+            num(r.comp_s),
+            r.peak_bytes,
+            r.rank,
+            num(r.comm_s),
+            num(r.comp_s),
+            r.msgs,
+            r.bytes,
+            r.peak_bytes
+        );
+    }
+    out.push_str("</table>\n");
+}
+
+fn superstep_timeline(out: &mut String, p: &Profile) {
+    if p.supersteps.is_empty() {
+        return;
+    }
+    let _ = writeln!(out, "<h2>Superstep timeline</h2>");
+    let max_nnz = p
+        .supersteps
+        .iter()
+        .map(|s| s.frontier_nnz)
+        .max()
+        .unwrap_or(0)
+        .max(1) as f64;
+    let _ = writeln!(
+        out,
+        "<p class=\"kv\">bar height = frontier nnz; \
+         <span style=\"color:#5b9bd5\">&#9632;</span> forward, \
+         <span style=\"color:#7cb66b\">&#9632;</span> backward</p>"
+    );
+    out.push_str("<div class=\"tl\">\n");
+    for s in &p.supersteps {
+        let h = (s.frontier_nnz as f64 / max_nnz * 100.0).max(1.0);
+        let class = if s.phase == "forward" { "fwd" } else { "bwd" };
+        let _ = writeln!(
+            out,
+            "<div class=\"{class}\" style=\"height:{h:.1}%\" \
+             title=\"{} b{} s{}: nnz={} comm={} s\"></div>",
+            esc_html(&s.phase),
+            s.batch,
+            s.step,
+            s.frontier_nnz,
+            num(s.comm_s)
+        );
+    }
+    out.push_str("</div>\n");
+    out.push_str(
+        "<table><tr><th>phase</th><th>batch</th><th>step</th><th>frontier nnz</th>\
+         <th>active rows</th><th>comm s</th><th>collectives</th><th>spgemm ops</th></tr>\n",
+    );
+    for s in &p.supersteps {
+        let _ = writeln!(
+            out,
+            "<tr><td class=\"l\">{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td>\
+             <td>{}</td><td>{}</td><td>{}</td></tr>",
+            esc_html(&s.phase),
+            s.batch,
+            s.step,
+            s.frontier_nnz,
+            s.active_rows,
+            num(s.comm_s),
+            s.collectives,
+            s.spgemm_ops
+        );
+    }
+    out.push_str("</table>\n");
+}
+
+fn collectives_table(out: &mut String, p: &Profile) {
+    if p.collectives.is_empty() {
+        return;
+    }
+    let _ = writeln!(out, "<h2>Collectives</h2>");
+    let _ = writeln!(
+        out,
+        "<p class=\"kv\">setup (pre-superstep) comm: {} s</p>",
+        num(p.setup_comm_s)
+    );
+    out.push_str(
+        "<table><tr><th class=\"l\">kind</th><th>count</th><th>modeled s</th>\
+         <th>share</th><th>msgs</th><th>bytes</th></tr>\n",
+    );
+    for c in &p.collectives {
+        let _ = writeln!(
+            out,
+            "<tr><td class=\"l\">{}</td><td>{}</td><td>{}</td><td>{:.1}%</td><td>{}</td><td>{}</td></tr>",
+            esc_html(&c.kind),
+            c.count,
+            num(c.modeled_s),
+            c.share * 100.0,
+            c.msgs,
+            c.bytes
+        );
+    }
+    out.push_str("</table>\n");
+}
+
+fn plan_mix_table(out: &mut String, p: &Profile) {
+    if p.plan_mix.is_empty() {
+        return;
+    }
+    let _ = writeln!(out, "<h2>SpGEMM plan mix</h2>");
+    let _ = writeln!(
+        out,
+        "<p class=\"kv\">autotune decisions: {} (candidates rejected by memory gate: {})</p>",
+        p.autotune_decisions, p.autotune_infeasible
+    );
+    out.push_str(
+        "<table><tr><th class=\"l\">plan</th><th>count</th><th>ops</th>\
+         <th>nnz(C)</th><th>autotune wins</th></tr>\n",
+    );
+    for m in &p.plan_mix {
+        let _ = writeln!(
+            out,
+            "<tr><td class=\"l\">{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td></tr>",
+            esc_html(&m.plan),
+            m.count,
+            m.ops,
+            m.nnz_c,
+            m.autotune_wins
+        );
+    }
+    out.push_str("</table>\n");
+}
+
+fn faults_table(out: &mut String, p: &Profile) {
+    if p.faults.is_empty() && p.recoveries.is_empty() {
+        return;
+    }
+    let _ = writeln!(out, "<h2>Faults &amp; recovery</h2>");
+    let _ = writeln!(
+        out,
+        "<p class=\"kv\">modeled seconds of discarded work: {}</p>",
+        num(p.wasted_s)
+    );
+    out.push_str("<table><tr><th class=\"l\">fault kind</th><th>count</th></tr>\n");
+    for (kind, count) in &p.faults {
+        let _ = writeln!(
+            out,
+            "<tr><td class=\"l\">{}</td><td>{}</td></tr>",
+            esc_html(kind),
+            count
+        );
+    }
+    out.push_str("</table>\n");
+    if !p.recoveries.is_empty() {
+        out.push_str(
+            "<table style=\"margin-top:0.6em\"><tr><th class=\"l\">recovery action</th>\
+             <th>count</th><th>wasted s</th></tr>\n",
+        );
+        for r in &p.recoveries {
+            let _ = writeln!(
+                out,
+                "<tr><td class=\"l\">{}</td><td>{}</td><td>{}</td></tr>",
+                esc_html(&r.action),
+                r.count,
+                num(r.wasted_s)
+            );
+        }
+        out.push_str("</table>\n");
+    }
+}
+
+fn pool_table(out: &mut String, p: &Profile) {
+    if p.pool.is_empty() {
+        return;
+    }
+    let _ = writeln!(out, "<h2>Shared-memory pool</h2>");
+    out.push_str(
+        "<table><tr><th class=\"l\">kernel</th><th>calls</th><th>tasks</th><th>busy &micro;s</th></tr>\n",
+    );
+    for w in &p.pool {
+        let _ = writeln!(
+            out,
+            "<tr><td class=\"l\">{}</td><td>{}</td><td>{}</td><td>{}</td></tr>",
+            esc_html(&w.kernel),
+            w.calls,
+            w.tasks,
+            w.busy_us
+        );
+    }
+    out.push_str("</table>\n");
+}
+
+/// Renders the whole report as one self-contained HTML document.
+pub fn render(p: &Profile) -> String {
+    let mut out = String::with_capacity(16 * 1024);
+    out.push_str("<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n<meta charset=\"utf-8\">\n");
+    out.push_str("<title>MFBC profile</title>\n<style>");
+    out.push_str(STYLE);
+    out.push_str("</style>\n</head>\n<body>\n");
+    header(&mut out, p);
+    rank_table(&mut out, p);
+    superstep_timeline(&mut out, p);
+    collectives_table(&mut out, p);
+    plan_mix_table(&mut out, p);
+    faults_table(&mut out, p);
+    pool_table(&mut out, p);
+    out.push_str("</body>\n</html>\n");
+    out
+}
+
+/// Extracts the per-rank exact values embedded in a rendered report's
+/// `data-*` attributes: `(rank, comm_s, comp_s, peak_bytes)` in
+/// document order. Used by tests to cross-check the HTML against the
+/// JSON and Prometheus exporters.
+pub fn parse_rank_rows(html: &str) -> Vec<(usize, f64, f64, u64)> {
+    let mut rows = Vec::new();
+    for chunk in html.split("<tr data-rank=\"").skip(1) {
+        let attr = |name: &str| -> Option<&str> {
+            let key = format!("{name}=\"");
+            let start = chunk.find(&key)? + key.len();
+            let end = chunk[start..].find('"')? + start;
+            Some(&chunk[start..end])
+        };
+        let rank: usize = match chunk.split('"').next().and_then(|s| s.parse().ok()) {
+            Some(r) => r,
+            None => continue,
+        };
+        let (Some(comm), Some(comp), Some(peak)) = (
+            attr("data-comm-s").and_then(|s| s.parse::<f64>().ok()),
+            attr("data-comp-s").and_then(|s| s.parse::<f64>().ok()),
+            attr("data-peak-bytes").and_then(|s| s.parse::<u64>().ok()),
+        ) else {
+            continue;
+        };
+        rows.push((rank, comm, comp, peak));
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiler::{RankProfile, SuperstepProfile};
+
+    fn sample() -> Profile {
+        Profile {
+            p: 2,
+            ranks: vec![
+                RankProfile {
+                    rank: 0,
+                    comm_s: 0.125,
+                    comp_s: 0.5,
+                    msgs: 3,
+                    bytes: 100,
+                    resident_bytes: 10,
+                    peak_bytes: 90,
+                },
+                RankProfile {
+                    rank: 1,
+                    comm_s: 0.0625,
+                    comp_s: 0.25,
+                    msgs: 2,
+                    bytes: 60,
+                    resident_bytes: 5,
+                    peak_bytes: 40,
+                },
+            ],
+            supersteps: vec![SuperstepProfile {
+                phase: "forward".into(),
+                batch: 0,
+                step: 0,
+                frontier_nnz: 17,
+                active_rows: 4,
+                comm_s: 0.01,
+                collectives: 2,
+                spgemm_ops: 99,
+            }],
+            ..Profile::default()
+        }
+    }
+
+    #[test]
+    fn report_is_self_contained() {
+        let html = render(&sample());
+        assert!(html.starts_with("<!DOCTYPE html>"));
+        assert!(html.contains("<style>"));
+        for needle in ["<script", "http://", "https://", "url("] {
+            assert!(!html.contains(needle), "external reference: {needle}");
+        }
+    }
+
+    #[test]
+    fn data_attributes_round_trip_exact_values() {
+        let p = sample();
+        let rows = parse_rank_rows(&render(&p));
+        assert_eq!(rows.len(), 2);
+        for (row, r) in rows.iter().zip(&p.ranks) {
+            assert_eq!(row.0, r.rank);
+            assert_eq!(row.1.to_bits(), r.comm_s.to_bits());
+            assert_eq!(row.2.to_bits(), r.comp_s.to_bits());
+            assert_eq!(row.3, r.peak_bytes);
+        }
+    }
+
+    #[test]
+    fn plan_labels_are_html_escaped() {
+        let mut p = sample();
+        p.plan_mix.push(crate::profiler::PlanMixEntry {
+            plan: "cannon(q=4)<&>".into(),
+            count: 1,
+            ops: 2,
+            nnz_c: 3,
+            autotune_wins: 0,
+        });
+        let html = render(&p);
+        assert!(html.contains("cannon(q=4)&lt;&amp;&gt;"));
+        assert!(!html.contains("cannon(q=4)<&>"));
+    }
+}

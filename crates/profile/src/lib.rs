@@ -1,0 +1,41 @@
+//! `mfbc-profile`: per-rank profiler, metrics registry, and the perf
+//! regression baseline for the MFBC stack.
+//!
+//! This crate turns the [`mfbc_trace`] event stream plus a finished
+//! [`mfbc_machine::Machine`] into three artifacts that all agree on
+//! every number:
+//!
+//! * **Prometheus text** ([`prometheus::render`]) from a
+//!   [`MetricsRegistry`] of counters, gauges, and log2 histograms;
+//! * **`profile.json`** ([`export::profile_to_json`]), the
+//!   machine-readable [`Profile`];
+//! * a **self-contained HTML report** ([`html::render`]) with
+//!   per-rank utilization bars and a superstep timeline — no scripts,
+//!   no external assets.
+//!
+//! The [`Profiler`] is a streaming [`mfbc_trace::Recorder`]: attach
+//! it (alone, or alongside a `MemoryRecorder` via `TeeRecorder`),
+//! run, then call [`Profiler::finish`] with the machine to seal the
+//! per-rank meters and memory high-water marks into a [`Profile`].
+//!
+//! [`baseline`] holds the committed-benchmark format and the
+//! comparison policy behind `mfbc-cli bench`: deterministic modeled
+//! metrics compare bit-exact, wall-clock gets a one-sided noise band.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod baseline;
+pub mod export;
+pub mod html;
+pub mod jsonio;
+pub mod profiler;
+pub mod prometheus;
+pub mod registry;
+
+pub use baseline::{Baseline, BaselineCase, Finding, Severity, DEFAULT_WALL_BAND};
+pub use profiler::{
+    CollectiveProfile, PlanMixEntry, PoolProfile, Profile, Profiler, RankProfile, RecoveryProfile,
+    SuperstepProfile,
+};
+pub use registry::{MetricKind, MetricsRegistry};

@@ -1,0 +1,325 @@
+//! The metrics registry: named counter / gauge / histogram families
+//! with optional labels, deterministic ordering, and lock-protected
+//! concurrent updates.
+//!
+//! Metric and label names follow the Prometheus data model
+//! (`[a-zA-Z_:][a-zA-Z0-9_:]*`); families and samples are kept in
+//! `BTreeMap`s so every export is byte-stable for a given sequence of
+//! updates — the property the golden exporter tests pin.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// Number of finite log2 buckets in a histogram: upper bounds
+/// `2^0 … 2^(LOG2_BUCKETS-1)`, with one implicit `+Inf` overflow
+/// bucket on top. 2³¹ comfortably covers byte counts and frontier
+/// sizes at simulation scale.
+pub const LOG2_BUCKETS: usize = 32;
+
+/// What a metric family measures.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotonically accumulating sum.
+    Counter,
+    /// Last-write-wins sampled value.
+    Gauge,
+    /// Fixed-bucket log2 histogram of non-negative observations.
+    Histogram,
+}
+
+impl MetricKind {
+    /// Prometheus `# TYPE` name.
+    pub fn name(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+}
+
+/// A log2 histogram: `buckets[b]` counts observations `v` with
+/// `v <= 2^b` (and greater than the previous bound); values above
+/// `2^(LOG2_BUCKETS-1)` land in the overflow bucket.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Histogram {
+    /// Per-bucket (non-cumulative) observation counts.
+    pub buckets: Vec<u64>,
+    /// Observations above the largest finite bound (`+Inf` bucket).
+    pub overflow: u64,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: f64,
+}
+
+impl Histogram {
+    fn new() -> Histogram {
+        Histogram {
+            buckets: vec![0; LOG2_BUCKETS],
+            ..Histogram::default()
+        }
+    }
+
+    fn observe(&mut self, v: f64) {
+        let v = v.max(0.0);
+        let mut placed = false;
+        for b in 0..LOG2_BUCKETS {
+            if v <= (1u64 << b) as f64 {
+                self.buckets[b] += 1;
+                placed = true;
+                break;
+            }
+        }
+        if !placed {
+            self.overflow += 1;
+        }
+        self.count += 1;
+        self.sum += v;
+    }
+
+    /// Upper bound of finite bucket `b` (`2^b`).
+    pub fn bound(b: usize) -> u64 {
+        1u64 << b
+    }
+}
+
+/// One sample's value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SampleValue {
+    /// Accumulated counter total.
+    Counter(f64),
+    /// Latest gauge value.
+    Gauge(f64),
+    /// Histogram state.
+    Histogram(Histogram),
+}
+
+/// A label set, sorted by key at construction so identical sets hash
+/// to the same sample regardless of call-site ordering.
+pub type Labels = Vec<(String, String)>;
+
+fn label_key(labels: &[(&str, &str)]) -> Labels {
+    let mut v: Labels = labels
+        .iter()
+        .map(|(k, val)| ((*k).to_string(), (*val).to_string()))
+        .collect();
+    v.sort();
+    v
+}
+
+#[derive(Clone, Debug)]
+struct Family {
+    help: String,
+    kind: MetricKind,
+    samples: BTreeMap<Labels, SampleValue>,
+}
+
+/// Snapshot of one family for export.
+#[derive(Clone, Debug)]
+pub struct FamilySnapshot {
+    /// Metric family name.
+    pub name: String,
+    /// Help text (may be empty for undeclared families).
+    pub help: String,
+    /// Kind of every sample in the family.
+    pub kind: MetricKind,
+    /// Samples, ordered by label set.
+    pub samples: Vec<(Labels, SampleValue)>,
+}
+
+/// A thread-safe registry of metric families.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    families: Mutex<BTreeMap<String, Family>>,
+}
+
+fn valid_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Declares (or re-declares) a family's help text and kind.
+    /// Idempotent; declaring an existing family with a *different*
+    /// kind panics — that is a programming error, not runtime input.
+    pub fn declare(&self, name: &str, kind: MetricKind, help: &str) {
+        assert!(valid_name(name), "invalid metric name {name:?}");
+        let mut fams = self.families.lock().expect("metrics registry lock");
+        let fam = fams.entry(name.to_string()).or_insert_with(|| Family {
+            help: String::new(),
+            kind,
+            samples: BTreeMap::new(),
+        });
+        assert_eq!(
+            fam.kind, kind,
+            "metric {name:?} redeclared with a different kind"
+        );
+        fam.help = help.to_string();
+    }
+
+    fn with_sample(
+        &self,
+        name: &str,
+        kind: MetricKind,
+        labels: &[(&str, &str)],
+        f: impl FnOnce(&mut SampleValue),
+    ) {
+        assert!(valid_name(name), "invalid metric name {name:?}");
+        for (k, _) in labels {
+            assert!(valid_name(k), "invalid label name {k:?}");
+        }
+        let mut fams = self.families.lock().expect("metrics registry lock");
+        let fam = fams.entry(name.to_string()).or_insert_with(|| Family {
+            help: String::new(),
+            kind,
+            samples: BTreeMap::new(),
+        });
+        assert_eq!(fam.kind, kind, "metric {name:?} used as a different kind");
+        let sample = fam
+            .samples
+            .entry(label_key(labels))
+            .or_insert_with(|| match kind {
+                MetricKind::Counter => SampleValue::Counter(0.0),
+                MetricKind::Gauge => SampleValue::Gauge(0.0),
+                MetricKind::Histogram => SampleValue::Histogram(Histogram::new()),
+            });
+        f(sample);
+    }
+
+    /// Adds `delta` (must be ≥ 0) to a counter sample.
+    pub fn counter_add(&self, name: &str, labels: &[(&str, &str)], delta: f64) {
+        debug_assert!(delta >= 0.0, "counter {name:?} decremented by {delta}");
+        self.with_sample(name, MetricKind::Counter, labels, |s| {
+            if let SampleValue::Counter(v) = s {
+                *v += delta;
+            }
+        });
+    }
+
+    /// Sets a gauge sample.
+    pub fn gauge_set(&self, name: &str, labels: &[(&str, &str)], value: f64) {
+        self.with_sample(name, MetricKind::Gauge, labels, |s| {
+            if let SampleValue::Gauge(v) = s {
+                *v = value;
+            }
+        });
+    }
+
+    /// Records one observation into a histogram sample.
+    pub fn observe(&self, name: &str, labels: &[(&str, &str)], value: f64) {
+        self.with_sample(name, MetricKind::Histogram, labels, |s| {
+            if let SampleValue::Histogram(h) = s {
+                h.observe(value);
+            }
+        });
+    }
+
+    /// Copies out every family, ordered by name, samples ordered by
+    /// label set — the deterministic view the exporters render.
+    pub fn snapshot(&self) -> Vec<FamilySnapshot> {
+        let fams = self.families.lock().expect("metrics registry lock");
+        fams.iter()
+            .map(|(name, fam)| FamilySnapshot {
+                name: name.clone(),
+                help: fam.help.clone(),
+                kind: fam.kind,
+                samples: fam
+                    .samples
+                    .iter()
+                    .map(|(l, v)| (l.clone(), v.clone()))
+                    .collect(),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_per_label_set() {
+        let r = MetricsRegistry::new();
+        r.counter_add("hits_total", &[("kind", "a")], 1.0);
+        r.counter_add("hits_total", &[("kind", "a")], 2.0);
+        r.counter_add("hits_total", &[("kind", "b")], 5.0);
+        let snap = r.snapshot();
+        assert_eq!(snap.len(), 1);
+        assert_eq!(snap[0].samples.len(), 2);
+        assert_eq!(snap[0].samples[0].1, SampleValue::Counter(3.0));
+        assert_eq!(snap[0].samples[1].1, SampleValue::Counter(5.0));
+    }
+
+    #[test]
+    fn label_order_does_not_split_samples() {
+        let r = MetricsRegistry::new();
+        r.counter_add("x_total", &[("a", "1"), ("b", "2")], 1.0);
+        r.counter_add("x_total", &[("b", "2"), ("a", "1")], 1.0);
+        let snap = r.snapshot();
+        assert_eq!(snap[0].samples.len(), 1);
+        assert_eq!(snap[0].samples[0].1, SampleValue::Counter(2.0));
+    }
+
+    #[test]
+    fn gauges_take_last_write() {
+        let r = MetricsRegistry::new();
+        r.gauge_set("temp", &[], 1.0);
+        r.gauge_set("temp", &[], -3.5);
+        let snap = r.snapshot();
+        assert_eq!(snap[0].samples[0].1, SampleValue::Gauge(-3.5));
+    }
+
+    #[test]
+    fn histogram_buckets_are_log2() {
+        let r = MetricsRegistry::new();
+        for v in [0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 1e12] {
+            r.observe("sizes", &[], v);
+        }
+        let snap = r.snapshot();
+        let SampleValue::Histogram(h) = &snap[0].samples[0].1 else {
+            panic!("not a histogram");
+        };
+        assert_eq!(h.buckets[0], 2); // 0, 1
+        assert_eq!(h.buckets[1], 1); // 2
+        assert_eq!(h.buckets[2], 2); // 3, 4
+        assert_eq!(h.buckets[3], 1); // 5
+        assert_eq!(h.overflow, 1); // 1e12 > 2^31
+        assert_eq!(h.count, 7);
+        assert_eq!(h.sum, 15.0 + 1e12);
+    }
+
+    #[test]
+    #[should_panic(expected = "different kind")]
+    fn kind_mismatch_panics() {
+        let r = MetricsRegistry::new();
+        r.counter_add("x", &[], 1.0);
+        r.gauge_set("x", &[], 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid metric name")]
+    fn bad_names_rejected() {
+        let r = MetricsRegistry::new();
+        r.counter_add("9starts-with-digit", &[], 1.0);
+    }
+
+    #[test]
+    fn declare_sets_help() {
+        let r = MetricsRegistry::new();
+        r.declare("x_total", MetricKind::Counter, "counts xs");
+        r.counter_add("x_total", &[], 1.0);
+        let snap = r.snapshot();
+        assert_eq!(snap[0].help, "counts xs");
+        assert_eq!(snap[0].kind, MetricKind::Counter);
+    }
+}

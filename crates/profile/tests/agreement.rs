@@ -1,0 +1,194 @@
+//! Cross-exporter agreement and end-to-end profiler behavior: drive a
+//! real `Machine` under a scoped `Profiler`, then check that the JSON
+//! profile, the Prometheus text, and the HTML report all carry the
+//! same exact per-rank numbers, and that memory high-water marks
+//! bound every snapshot.
+
+use std::sync::Arc;
+
+use mfbc_machine::{CollectiveKind, Machine, MachineSpec};
+use mfbc_profile::{export, html, prometheus, Profiler};
+use mfbc_trace::{emit, scoped, TraceEvent};
+
+fn drive(machine: &Machine) {
+    let world = machine.world();
+    emit(|| TraceEvent::Superstep {
+        phase: "forward",
+        batch: 0,
+        step: 0,
+        frontier_nnz: 37,
+        active_rows: 4,
+    });
+    machine
+        .charge_collective(&world, CollectiveKind::Allgather, 4096)
+        .expect("allgather");
+    machine.charge_compute(0, 100_000);
+    machine.charge_compute(1, 50_000);
+    emit(|| TraceEvent::Spgemm {
+        plan: "1d(A)".to_string(),
+        m: 64,
+        k: 64,
+        n: 8,
+        nnz_a: 500,
+        nnz_b: 37,
+        nnz_c: 120,
+        ops: 700,
+    });
+    emit(|| TraceEvent::Superstep {
+        phase: "backward",
+        batch: 0,
+        step: 0,
+        frontier_nnz: 120,
+        active_rows: 4,
+    });
+    machine
+        .charge_collective(&world, CollectiveKind::Allreduce, 1024)
+        .expect("allreduce");
+    machine.charge_alloc(0, 900).expect("alloc");
+    machine.release(0, 800);
+    machine.charge_alloc(1, 400).expect("alloc");
+}
+
+/// Extracts `metric{rank="r"} value` samples from a Prometheus text
+/// exposition, returning values keyed by rank in rank order.
+fn prom_rank_values(text: &str, metric: &str) -> Vec<(usize, f64)> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let Some(rest) = line.strip_prefix(&format!("{metric}{{rank=\"")) else {
+            continue;
+        };
+        let Some((rank, tail)) = rest.split_once("\"}") else {
+            continue;
+        };
+        out.push((
+            rank.parse().expect("rank label"),
+            tail.trim().parse().expect("sample value"),
+        ));
+    }
+    out.sort_by_key(|&(r, _)| r);
+    out
+}
+
+#[test]
+fn three_exporters_agree_on_per_rank_totals() {
+    let machine = Machine::new(MachineSpec::test(4));
+    let profiler = Arc::new(Profiler::new());
+    scoped(profiler.clone(), || drive(&machine));
+    let profile = profiler.finish(&machine);
+
+    assert_eq!(profile.p, 4);
+    assert!(profile.ranks.iter().any(|r| r.comp_s > 0.0));
+
+    let json_doc = export::profile_to_json(&profile);
+    let html_doc = html::render(&profile);
+    let prom_text = prometheus::render(profiler.registry());
+
+    let json_rows = export::parse_rank_rows(&json_doc).expect("parse profile.json");
+    let html_rows = html::parse_rank_rows(&html_doc);
+    let prom_comm = prom_rank_values(&prom_text, "mfbc_rank_comm_seconds");
+    let prom_comp = prom_rank_values(&prom_text, "mfbc_rank_comp_seconds");
+    let prom_peak = prom_rank_values(&prom_text, "mfbc_rank_peak_bytes");
+
+    assert_eq!(json_rows.len(), 4);
+    assert_eq!(html_rows.len(), 4);
+    assert_eq!(prom_comm.len(), 4);
+
+    for r in 0..4 {
+        let expect = &profile.ranks[r];
+        for (label, rows) in [("json", &json_rows), ("html", &html_rows)] {
+            assert_eq!(rows[r].0, r, "{label} rank order");
+            assert_eq!(
+                rows[r].1.to_bits(),
+                expect.comm_s.to_bits(),
+                "{label} comm_s rank {r}"
+            );
+            assert_eq!(
+                rows[r].2.to_bits(),
+                expect.comp_s.to_bits(),
+                "{label} comp_s rank {r}"
+            );
+            assert_eq!(rows[r].3, expect.peak_bytes, "{label} peak rank {r}");
+        }
+        assert_eq!(
+            prom_comm[r].1.to_bits(),
+            expect.comm_s.to_bits(),
+            "prom comm rank {r}"
+        );
+        assert_eq!(
+            prom_comp[r].1.to_bits(),
+            expect.comp_s.to_bits(),
+            "prom comp rank {r}"
+        );
+        assert_eq!(
+            prom_peak[r].1 as u64, expect.peak_bytes,
+            "prom peak rank {r}"
+        );
+    }
+}
+
+#[test]
+fn profiler_attributes_stream_aggregates() {
+    let machine = Machine::new(MachineSpec::test(2));
+    let profiler = Arc::new(Profiler::new());
+    scoped(profiler.clone(), || drive(&machine));
+    let profile = profiler.finish(&machine);
+
+    assert_eq!(profile.supersteps.len(), 2);
+    assert_eq!(profile.supersteps[0].phase, "forward");
+    assert_eq!(profile.supersteps[0].spgemm_ops, 700);
+    assert_eq!(profile.supersteps[0].collectives, 1);
+    assert_eq!(profile.supersteps[1].phase, "backward");
+    assert_eq!(profile.supersteps[1].collectives, 1);
+    assert_eq!(profile.setup_comm_s, 0.0);
+
+    assert_eq!(profile.collectives.len(), 2);
+    let share_sum: f64 = profile.collectives.iter().map(|c| c.share).sum();
+    assert!(
+        (share_sum - 1.0).abs() < 1e-12,
+        "shares sum to 1, got {share_sum}"
+    );
+
+    assert_eq!(profile.plan_mix.len(), 1);
+    assert_eq!(profile.plan_mix[0].plan, "1d(A)");
+    assert_eq!(profile.plan_mix[0].ops, 700);
+
+    // Stream comm aggregates reconcile with the superstep attribution.
+    let step_comm: f64 = profile.supersteps.iter().map(|s| s.comm_s).sum();
+    let kind_comm: f64 = profile.collectives.iter().map(|c| c.modeled_s).sum();
+    assert_eq!(step_comm.to_bits(), kind_comm.to_bits());
+}
+
+#[test]
+fn peaks_in_profile_bound_machine_snapshots() {
+    let machine = Machine::new(MachineSpec::test(2));
+    let profiler = Arc::new(Profiler::new());
+    scoped(profiler.clone(), || {
+        machine.charge_alloc(0, 1000).expect("alloc");
+        machine.release(0, 990);
+        machine.charge_alloc(1, 10).expect("alloc");
+    });
+    let snap = machine.memory_snapshot();
+    let profile = profiler.finish(&machine);
+    for r in &profile.ranks {
+        assert!(r.peak_bytes >= snap.resident()[r.rank]);
+        assert!(r.peak_bytes >= r.resident_bytes);
+    }
+    assert_eq!(profile.ranks[0].peak_bytes, 1000);
+    assert_eq!(profile.ranks[0].resident_bytes, 10);
+    assert_eq!(profile.max_peak_bytes(), 1000);
+}
+
+#[test]
+fn disabled_profiler_observes_nothing() {
+    let machine = Machine::new(MachineSpec::test(2));
+    let profiler = Arc::new(Profiler::new());
+    profiler.set_enabled(false);
+    scoped(profiler.clone(), || drive(&machine));
+    profiler.set_enabled(true);
+    let profile = profiler.finish(&machine);
+    assert_eq!(profile.events, 0);
+    assert!(profile.supersteps.is_empty());
+    // Machine-side meters still show up: finish() reads the machine,
+    // not the stream.
+    assert!(profile.ranks.iter().any(|r| r.comp_s > 0.0));
+}

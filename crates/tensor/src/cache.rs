@@ -99,13 +99,20 @@ impl<T> MmCache<T> {
     /// Panics if the key exists but was built for a different matrix
     /// (fingerprint mismatch) — one cache serves one logical operand.
     pub fn get(&self, key: &str, fp: Fingerprint) -> Option<&CachedRhs<T>> {
-        self.entries.get(key).map(|e| {
+        let hit = self.entries.get(key).map(|e| {
             assert_eq!(
                 e.fingerprint, fp,
                 "MmCache key {key:?} was built for a different operand"
             );
             &e.form
-        })
+        });
+        let name = if hit.is_some() {
+            "mm_cache_hit"
+        } else {
+            "mm_cache_miss"
+        };
+        mfbc_trace::emit(|| mfbc_trace::TraceEvent::Counter { name, value: 1.0 });
+        hit
     }
 
     /// Stores a prepared form with the simulated residency it
@@ -117,6 +124,10 @@ impl<T> MmCache<T> {
         form: CachedRhs<T>,
         charges: Vec<(usize, u64)>,
     ) {
+        mfbc_trace::emit(|| mfbc_trace::TraceEvent::Counter {
+            name: "mm_cache_insert",
+            value: 1.0,
+        });
         self.entries.insert(
             key,
             Entry {
@@ -193,6 +204,36 @@ mod tests {
             vec![],
         );
         let _ = cache.get("k", Fingerprint::of(&b));
+    }
+
+    #[test]
+    fn hit_and_miss_emit_counters() {
+        use mfbc_trace::{scoped, MemoryRecorder, TraceEvent};
+        let rec = std::sync::Arc::new(MemoryRecorder::new());
+        scoped(rec.clone(), || {
+            let a = dm(3);
+            let mut cache: MmCache<u64> = MmCache::new();
+            let fp = Fingerprint::of(&a);
+            assert!(cache.get("k", fp).is_none());
+            cache.insert("k".into(), fp, CachedRhs::Dist(Arc::new(a.clone())), vec![]);
+            assert!(cache.get("k", fp).is_some());
+        });
+        let counters: Vec<(&'static str, f64)> = rec
+            .take()
+            .into_iter()
+            .filter_map(|r| match r.event {
+                TraceEvent::Counter { name, value } => Some((name, value)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            counters,
+            vec![
+                ("mm_cache_miss", 1.0),
+                ("mm_cache_insert", 1.0),
+                ("mm_cache_hit", 1.0),
+            ]
+        );
     }
 
     #[test]

@@ -26,7 +26,9 @@ mod summary;
 pub use chrome::to_chrome_trace;
 pub use event::{Level, PlanChoice, TraceEvent, TraceRecord};
 pub use jsonl::{record_to_json, to_jsonl};
-pub use recorder::{current_tid, MemoryRecorder, NoopRecorder, Recorder, StderrRecorder};
+pub use recorder::{
+    current_tid, MemoryRecorder, NoopRecorder, Recorder, StderrRecorder, TeeRecorder,
+};
 pub use summary::{
     collective_summary, pool_summary, recovery_summary, render_pool_summary,
     render_recovery_summary, render_summary, total_modeled_comm_s, KindTotals, PoolTotals,

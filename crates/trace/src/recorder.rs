@@ -13,6 +13,77 @@ use std::time::Instant;
 pub trait Recorder: Send + Sync {
     /// Consumes one event.
     fn record(&self, event: TraceEvent);
+
+    /// Whether this sink currently wants events. A [`TeeRecorder`]
+    /// skips disabled sinks *before* cloning the event for them, so a
+    /// temporarily switched-off sink costs one virtual call, nothing
+    /// more. Defaults to always-on.
+    fn enabled(&self) -> bool {
+        true
+    }
+}
+
+/// Fans every event out to N inner sinks, in insertion order.
+///
+/// This is how `--trace-out` (a [`MemoryRecorder`] for later export)
+/// and a live aggregator (e.g. `mfbc-profile`'s `Profiler`) share one
+/// installed recorder slot in the same invocation. The last *active*
+/// sink receives the event by value; earlier ones get clones; sinks
+/// whose [`Recorder::enabled`] returns `false` are skipped without a
+/// clone being made for them.
+#[derive(Default)]
+pub struct TeeRecorder {
+    sinks: Vec<std::sync::Arc<dyn Recorder>>,
+}
+
+impl TeeRecorder {
+    /// An empty tee (records to nobody until sinks are added).
+    pub fn new() -> TeeRecorder {
+        TeeRecorder::default()
+    }
+
+    /// Builds a tee over `sinks`, delivered to in the given order.
+    pub fn over(sinks: Vec<std::sync::Arc<dyn Recorder>>) -> TeeRecorder {
+        TeeRecorder { sinks }
+    }
+
+    /// Appends a sink; it will receive events after all earlier sinks.
+    pub fn push(&mut self, sink: std::sync::Arc<dyn Recorder>) {
+        self.sinks.push(sink);
+    }
+
+    /// Number of attached sinks (enabled or not).
+    pub fn len(&self) -> usize {
+        self.sinks.len()
+    }
+
+    /// Whether the tee has no sinks at all.
+    pub fn is_empty(&self) -> bool {
+        self.sinks.is_empty()
+    }
+}
+
+impl Recorder for TeeRecorder {
+    fn record(&self, event: TraceEvent) {
+        // Resolve the active set first so the by-value hand-off goes
+        // to the last sink that will actually consume the event.
+        let active: Vec<&std::sync::Arc<dyn Recorder>> =
+            self.sinks.iter().filter(|s| s.enabled()).collect();
+        let mut remaining = active.len();
+        for sink in active {
+            remaining -= 1;
+            if remaining == 0 {
+                return sink.record(event);
+            }
+            sink.record(event.clone());
+        }
+    }
+
+    /// A tee is enabled iff any inner sink is — so nested tees
+    /// short-circuit too.
+    fn enabled(&self) -> bool {
+        self.sinks.iter().any(|s| s.enabled())
+    }
 }
 
 static NEXT_TID: AtomicU64 = AtomicU64::new(0);
@@ -236,5 +307,102 @@ mod tests {
         assert_eq!(a, b);
         let other = std::thread::spawn(current_tid).join().unwrap();
         assert_ne!(a, other);
+    }
+
+    use std::sync::atomic::AtomicBool;
+    use std::sync::Arc;
+
+    /// Test sink logging (label, event) arrivals into a shared journal
+    /// so cross-sink ordering is observable; gate toggles `enabled`.
+    struct Journaling {
+        label: &'static str,
+        journal: Arc<Mutex<Vec<(&'static str, String)>>>,
+        gate: AtomicBool,
+    }
+
+    impl Journaling {
+        fn new(
+            label: &'static str,
+            journal: Arc<Mutex<Vec<(&'static str, String)>>>,
+        ) -> Journaling {
+            Journaling {
+                label,
+                journal,
+                gate: AtomicBool::new(true),
+            }
+        }
+    }
+
+    impl Recorder for Journaling {
+        fn record(&self, event: TraceEvent) {
+            self.journal
+                .lock()
+                .unwrap()
+                .push((self.label, event.tag().to_string()));
+        }
+        fn enabled(&self) -> bool {
+            self.gate.load(Ordering::Relaxed)
+        }
+    }
+
+    fn counter_event(value: f64) -> TraceEvent {
+        TraceEvent::Counter { name: "x", value }
+    }
+
+    #[test]
+    fn tee_delivers_in_insertion_order() {
+        let journal = Arc::new(Mutex::new(Vec::new()));
+        let a = Arc::new(Journaling::new("a", journal.clone()));
+        let b = Arc::new(Journaling::new("b", journal.clone()));
+        let mut tee = TeeRecorder::new();
+        assert!(tee.is_empty());
+        tee.push(a.clone());
+        tee.push(b.clone());
+        assert_eq!(tee.len(), 2);
+        tee.record(counter_event(1.0));
+        tee.record(warn_event("y"));
+        let got = journal.lock().unwrap().clone();
+        assert_eq!(
+            got,
+            vec![
+                ("a", "counter".to_string()),
+                ("b", "counter".to_string()),
+                ("a", "log".to_string()),
+                ("b", "log".to_string()),
+            ],
+            "per-event fan-out must visit sinks in insertion order"
+        );
+    }
+
+    #[test]
+    fn tee_skips_disabled_sinks_and_resumes() {
+        let journal = Arc::new(Mutex::new(Vec::new()));
+        let a = Arc::new(Journaling::new("a", journal.clone()));
+        let b = Arc::new(Journaling::new("b", journal.clone()));
+        let tee = TeeRecorder::over(vec![a.clone(), b.clone()]);
+        b.gate.store(false, Ordering::Relaxed);
+        tee.record(counter_event(1.0));
+        assert_eq!(journal.lock().unwrap().len(), 1, "disabled sink received");
+        // The tee itself stays enabled while any sink is.
+        assert!(tee.enabled());
+        a.gate.store(false, Ordering::Relaxed);
+        assert!(!tee.enabled(), "all sinks off must disable the tee");
+        tee.record(counter_event(2.0));
+        assert_eq!(journal.lock().unwrap().len(), 1);
+        // Re-enabling resumes delivery.
+        a.gate.store(true, Ordering::Relaxed);
+        b.gate.store(true, Ordering::Relaxed);
+        tee.record(counter_event(3.0));
+        let got = journal.lock().unwrap().clone();
+        assert_eq!(got.len(), 3);
+        assert_eq!(got[1], ("a", "counter".to_string()));
+        assert_eq!(got[2], ("b", "counter".to_string()));
+    }
+
+    #[test]
+    fn empty_tee_is_disabled_noop() {
+        let tee = TeeRecorder::new();
+        assert!(!tee.enabled());
+        tee.record(counter_event(0.0)); // must not panic
     }
 }

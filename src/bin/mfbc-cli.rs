@@ -11,6 +11,10 @@
 //!                    [--graph rmat:S,E | uniform:N,M | FILE] [--directed]
 //!                    [--threads T] [--faults SPEC] [--fault-seed S]
 //!                    [--trace-out FILE] [--trace-format chrome|jsonl]
+//!                    [--profile-out FILE] [--profile-html FILE]
+//! mfbc-cli bench     [--baseline FILE] [--write FILE] [--band F]
+//!                    [--case NAME] [--profile-out FILE] [--html-out FILE]
+//!                    [--prom-out FILE]
 //! mfbc-cli generate  (rmat:S,E | uniform:N,M) [--weighted MAX] [--seed S]
 //! ```
 //!
@@ -20,6 +24,18 @@
 //! injects a failure schedule (`crash:R@K,transient:N@K,oom:R@K`,
 //! keyed by collective sequence number) and `--fault-seed` a random
 //! one; the driver recovers and reports what it did on stderr.
+//! `--profile-out` aggregates the same trace stream into a
+//! `profile.json` (per-rank comm/compute, per-superstep breakdown,
+//! plan mix, memory peaks); it composes with `--trace-out` — the two
+//! sinks share the single recorder slot through a tee.
+//!
+//! `bench` runs the pinned regression suite
+//! ([`mfbc_bench::regress`]): `--write` seeds or refreshes the
+//! committed baseline (`BENCH_mfbc.json`), `--baseline` compares the
+//! current run against it and exits nonzero on any finding. Modeled
+//! α–β–γ seconds and counts are compared bit-exact (they are
+//! deterministic); wall-clock only one-sidedly, within the baseline's
+//! band (or `--band F`, a fraction, e.g. `1.0` = may be 2× slower).
 
 use mfbc::core::combblas::{combblas_bc, CombBlasConfig};
 use mfbc::prelude::*;
@@ -59,7 +75,8 @@ const USAGE: &str = "usage:
   mfbc-cli sssp --source V [--directed] <edge-list|->
   mfbc-cli components [--directed] <edge-list|->
   mfbc-cli stats [--directed] <edge-list|->
-  mfbc-cli simulate --nodes P [--plan auto|ca:C|combblas] [--batch N] [--graph rmat:S,E|uniform:N,M|FILE] [--directed] [--threads T] [--faults SPEC] [--fault-seed S] [--trace-out FILE] [--trace-format chrome|jsonl]
+  mfbc-cli simulate --nodes P [--plan auto|ca:C|combblas] [--batch N] [--graph rmat:S,E|uniform:N,M|FILE] [--directed] [--threads T] [--faults SPEC] [--fault-seed S] [--trace-out FILE] [--trace-format chrome|jsonl] [--profile-out FILE] [--profile-html FILE]
+  mfbc-cli bench [--baseline FILE] [--write FILE] [--band F] [--case NAME] [--profile-out FILE] [--html-out FILE] [--prom-out FILE]
   mfbc-cli generate (rmat:S,E | uniform:N,M) [--weighted MAX] [--seed S]";
 
 /// Minimal flag parser: `--key value` options, `--flag` booleans, one
@@ -124,6 +141,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "components" => cmd_components(rest),
         "stats" => cmd_stats(rest),
         "simulate" => cmd_simulate(rest),
+        "bench" => cmd_bench(rest),
         "generate" => cmd_generate(rest),
         "help" | "--help" | "-h" => {
             outln!("{USAGE}");
@@ -299,6 +317,8 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
             "fault-seed",
             "trace-out",
             "trace-format",
+            "profile-out",
+            "profile-html",
         ],
     )?;
     let p: usize = o.get_parsed("nodes")?.ok_or("simulate needs --nodes P")?;
@@ -333,11 +353,33 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
             "--trace-format must be chrome or jsonl, got {trace_format:?}"
         ));
     }
-    let recorder = trace_out.as_ref().map(|_| {
-        let rec = std::sync::Arc::new(mfbc_trace::MemoryRecorder::new());
-        mfbc_trace::install(rec.clone());
-        rec
-    });
+    let profile_out = o.get("profile-out").map(str::to_string);
+    let profile_html = o.get("profile-html").map(str::to_string);
+    if profile_html.is_some() && profile_out.is_none() {
+        return Err("--profile-html needs --profile-out (the profiler it renders)".into());
+    }
+    let recorder = trace_out
+        .as_ref()
+        .map(|_| std::sync::Arc::new(mfbc_trace::MemoryRecorder::new()));
+    let profiler = profile_out
+        .as_ref()
+        .map(|_| std::sync::Arc::new(mfbc_profile::Profiler::new()));
+    // Both sinks share the single recorder slot through a tee; a lone
+    // sink is installed directly (no per-event clone).
+    {
+        let mut sinks: Vec<std::sync::Arc<dyn mfbc_trace::Recorder>> = Vec::new();
+        if let Some(rec) = &recorder {
+            sinks.push(rec.clone());
+        }
+        if let Some(prof) = &profiler {
+            sinks.push(prof.clone());
+        }
+        match sinks.len() {
+            0 => {}
+            1 => mfbc_trace::install(sinks.pop().expect("len checked")),
+            _ => mfbc_trace::install(std::sync::Arc::new(mfbc_trace::TeeRecorder::over(sinks))),
+        }
+    }
 
     let plan = o.get("plan").unwrap_or("auto");
     let (label, sources, report, recovery) = if plan == "combblas" {
@@ -395,8 +437,10 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
         )
     };
 
-    if let (Some(path), Some(rec)) = (&trace_out, &recorder) {
+    if recorder.is_some() || profiler.is_some() {
         mfbc_trace::uninstall_all();
+    }
+    if let (Some(path), Some(rec)) = (&trace_out, &recorder) {
         let records = rec.take();
         let text = match trace_format.as_str() {
             "jsonl" => mfbc_trace::to_jsonl(&records),
@@ -419,6 +463,28 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
             "{}",
             mfbc_trace::render_recovery_summary(&mfbc_trace::recovery_summary(&records))
         );
+    }
+
+    if let (Some(path), Some(prof)) = (&profile_out, &profiler) {
+        if recovery.as_ref().is_some_and(|r| r.replans > 0) {
+            eprintln!(
+                "note: the run replanned onto a shrunk machine this handle no longer tracks; \
+                 the profile's per-rank meters cover the pre-crash machine only"
+            );
+        }
+        let profile = prof.finish(&machine);
+        let json = mfbc_profile::export::profile_to_json(&profile);
+        std::fs::write(path, json).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!(
+            "profile: {} events, {} superstep(s) -> {path}",
+            profile.events,
+            profile.supersteps.len()
+        );
+        if let Some(hpath) = &profile_html {
+            let html = mfbc_profile::html::render(&profile);
+            std::fs::write(hpath, html).map_err(|e| format!("{hpath}: {e}"))?;
+            eprintln!("profile: report -> {hpath}");
+        }
     }
 
     if let Some(rec) = recovery.as_ref() {
@@ -460,6 +526,120 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
         "mteps_per_node\t{:.2}",
         g.m() as f64 * sources as f64 / time / 1e6 / p as f64
     );
+    Ok(())
+}
+
+/// `mfbc-cli bench`: the perf regression sentinel. Runs the pinned
+/// suite from [`mfbc_bench::regress`], optionally writes a fresh
+/// baseline (`--write`), optionally compares against a committed one
+/// (`--baseline`, nonzero exit on any finding), and exports the
+/// profile artifacts of one case (`--case`, default the first).
+fn cmd_bench(args: &[String]) -> Result<(), String> {
+    let o = Opts::parse(
+        args,
+        &[
+            "baseline",
+            "write",
+            "band",
+            "case",
+            "profile-out",
+            "html-out",
+            "prom-out",
+        ],
+    )?;
+    if let Some(p) = &o.positional {
+        return Err(format!("bench takes no positional argument, got {p:?}"));
+    }
+    let band = o.get_parsed::<f64>("band")?;
+    if band.is_some_and(|b| !(b.is_finite() && b >= 0.0)) {
+        return Err("--band must be a finite fraction >= 0".into());
+    }
+
+    eprintln!(
+        "bench: running {} pinned case(s)...",
+        mfbc_bench::regress::suite_case_names().len()
+    );
+    let results = mfbc_bench::regress::run_suite(&mfbc_bench::regress::SuiteOptions::default());
+    let cases: Vec<mfbc_profile::BaselineCase> = results.iter().map(|r| r.case.clone()).collect();
+    for c in &cases {
+        outln!(
+            "{}\tcomm_s={:?}\tcomp_s={:?}\tmsgs={}\tbytes={}\tops={}\tpeak_bytes={}\twall_s={:.3}",
+            c.name,
+            c.modeled_comm_s,
+            c.modeled_comp_s,
+            c.msgs,
+            c.bytes,
+            c.total_ops,
+            c.max_peak_bytes,
+            c.wall_s,
+        );
+    }
+
+    // Profile artifacts for one case (CI uploads these).
+    let chosen = match o.get("case") {
+        Some(name) => results
+            .iter()
+            .find(|r| r.case.name == name)
+            .ok_or_else(|| {
+                format!(
+                    "--case {name:?} is not in the suite (have: {})",
+                    mfbc_bench::regress::suite_case_names().join(", ")
+                )
+            })?,
+        None => results.first().expect("suite is never empty"),
+    };
+    if let Some(path) = o.get("profile-out") {
+        let json = mfbc_profile::export::profile_to_json(&chosen.profile);
+        std::fs::write(path, json).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("bench: profile of {} -> {path}", chosen.case.name);
+    }
+    if let Some(path) = o.get("html-out") {
+        let html = mfbc_profile::html::render(&chosen.profile);
+        std::fs::write(path, html).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("bench: report of {} -> {path}", chosen.case.name);
+    }
+    if let Some(path) = o.get("prom-out") {
+        let text = mfbc_profile::prometheus::render(&chosen.registry);
+        std::fs::write(path, text).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("bench: metrics of {} -> {path}", chosen.case.name);
+    }
+
+    if let Some(path) = o.get("write") {
+        let baseline = mfbc_profile::Baseline::new(
+            band.unwrap_or(mfbc_profile::DEFAULT_WALL_BAND),
+            cases.clone(),
+        );
+        std::fs::write(path, baseline.to_json()).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("bench: wrote baseline ({} cases) -> {path}", cases.len());
+    }
+
+    if let Some(path) = o.get("baseline") {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        let baseline =
+            mfbc_profile::Baseline::from_json(&text).map_err(|e| format!("{path}: {e}"))?;
+        let findings = baseline.compare(&cases, band);
+        if findings.is_empty() {
+            eprintln!("bench: OK — {} case(s) within baseline {path}", cases.len());
+        } else {
+            let regressions = findings
+                .iter()
+                .filter(|f| f.severity == mfbc_profile::Severity::Regression)
+                .count();
+            for f in &findings {
+                eprintln!("bench: {}", f.describe());
+            }
+            eprintln!(
+                "bench: FAILED — {} finding(s) against {path} ({} regression(s), {} drift(s); \
+                 drifts mean the baseline is stale: refresh with `mfbc-cli bench --write {path}`)",
+                findings.len(),
+                regressions,
+                findings.len() - regressions,
+            );
+            // Exit directly: a gate failure is not a usage error, so
+            // skip main()'s usage-printing Err path.
+            std::process::exit(1);
+        }
+    }
     Ok(())
 }
 
