@@ -15,6 +15,7 @@ use mfbc_graph::gen::{rmat, uniform, RmatConfig};
 use mfbc_graph::Graph;
 use mfbc_machine::{Machine, MachineSpec};
 use mfbc_profile::{BaselineCase, MetricsRegistry, Profile, Profiler};
+use mfbc_timeline::{analyze, Analysis, Timeline, TimelineBuilder};
 
 /// Knobs for a suite run. Defaults reproduce the pinned baseline;
 /// anything else exists to *provoke* the gate in tests.
@@ -41,6 +42,12 @@ pub struct SuiteCaseResult {
     /// The metrics registry the profiler filled (for Prometheus
     /// export).
     pub registry: Arc<MetricsRegistry>,
+    /// The causal timeline of the run, replayed from the same trace
+    /// stream the profiler observed.
+    pub timeline: Timeline,
+    /// Critical path, bottleneck table, and superstep attribution of
+    /// [`SuiteCaseResult::timeline`].
+    pub analysis: Analysis,
 }
 
 struct SuiteCase {
@@ -97,12 +104,19 @@ fn run_case(case: &SuiteCase, opts: &SuiteOptions) -> SuiteCaseResult {
         threads: None,
     };
     let profiler = Arc::new(Profiler::new());
+    let builder = Arc::new(TimelineBuilder::new(machine.spec().clone()));
     let started = Instant::now();
-    let run = mfbc_trace::scoped(profiler.clone(), || mfbc_dist(&machine, &g, &cfg))
-        .expect("pinned suite case must run fault-free");
+    // Scoped sinks nest: the profiler and the timeline builder both
+    // observe the one trace stream.
+    let run = mfbc_trace::scoped(profiler.clone(), || {
+        mfbc_trace::scoped(builder.clone(), || mfbc_dist(&machine, &g, &cfg))
+    })
+    .expect("pinned suite case must run fault-free");
     let wall_s = started.elapsed().as_secs_f64();
     let profile = profiler.finish(&machine);
     let registry = Arc::clone(profiler.registry());
+    let timeline = builder.finish();
+    let analysis = analyze(&timeline);
     SuiteCaseResult {
         case: BaselineCase {
             name: case.name.to_string(),
@@ -112,10 +126,13 @@ fn run_case(case: &SuiteCase, opts: &SuiteOptions) -> SuiteCaseResult {
             bytes: run.report.critical.bytes,
             total_ops: run.report.total_ops,
             max_peak_bytes: run.peak_bytes.iter().copied().max().unwrap_or(0),
+            critical_comm_share: analysis.comm_share(),
             wall_s,
         },
         profile,
         registry,
+        timeline,
+        analysis,
     }
 }
 
@@ -123,6 +140,17 @@ fn run_case(case: &SuiteCase, opts: &SuiteOptions) -> SuiteCaseResult {
 /// order.
 pub fn run_suite(opts: &SuiteOptions) -> Vec<SuiteCaseResult> {
     SUITE.iter().map(|c| run_case(c, opts)).collect()
+}
+
+/// Runs one pinned case by name (`None` in suite order picks the
+/// first) — the entry point behind `mfbc-cli analyze`, which needs a
+/// single case's timeline without paying for the whole suite.
+pub fn run_named_case(name: Option<&str>, opts: &SuiteOptions) -> Option<SuiteCaseResult> {
+    let case = match name {
+        Some(n) => SUITE.iter().find(|c| c.name == n)?,
+        None => SUITE.first()?,
+    };
+    Some(run_case(case, opts))
 }
 
 #[cfg(test)]
@@ -188,6 +216,30 @@ mod tests {
             "expected a comm-time regression, got: {:?}",
             findings.iter().map(|f| f.describe()).collect::<Vec<_>>()
         );
+    }
+
+    #[test]
+    fn suite_timelines_sum_bit_exact_and_carry_comm_share() {
+        let results = run_suite(&SuiteOptions::default());
+        for r in &results {
+            assert_eq!(
+                r.analysis.path.sum_s().to_bits(),
+                r.timeline.makespan_s().to_bits(),
+                "{}: critical path does not fold to the makespan",
+                r.case.name
+            );
+            assert_eq!(r.timeline.dropped, 0, "{}: dropped events", r.case.name);
+            assert!(
+                r.case.critical_comm_share > 0.0 && r.case.critical_comm_share <= 1.0,
+                "{}: implausible comm share {}",
+                r.case.name,
+                r.case.critical_comm_share
+            );
+            assert_eq!(
+                r.case.critical_comm_share.to_bits(),
+                r.analysis.comm_share().to_bits()
+            );
+        }
     }
 
     #[test]

@@ -324,6 +324,8 @@ mod tests {
             event: TraceEvent::Collective {
                 kind,
                 group: 4,
+                ranks: vec![0, 1, 2, 3],
+                seq: 0,
                 bytes,
                 msgs: 2,
                 bytes_charged: bytes,

@@ -361,6 +361,11 @@ pub struct DriverCase {
     /// [`mfbc_profile::Profiler`] and demands the scores stay
     /// bit-identical: observation must never perturb the computation.
     pub profile: bool,
+    /// Whether the check re-runs the case under an installed
+    /// [`mfbc_timeline::TimelineBuilder`] and demands both that the
+    /// scores stay bit-identical and that the extracted critical path
+    /// folds bit-exactly to the timeline's makespan.
+    pub analyze: bool,
 }
 
 impl DriverCase {
@@ -394,6 +399,9 @@ impl DriverCase {
             threads: gen::THREAD_COUNTS[rng.below(gen::THREAD_COUNTS.len())],
             faults: Vec::new(),
             profile: rng.chance(1, 3),
+            // Drawn last so earlier dimensions replay identically for
+            // seeds generated before this dimension existed.
+            analyze: rng.chance(1, 3),
         }
     }
 
@@ -532,6 +540,53 @@ impl CaseSpec for DriverCase {
                 return Err("profiled run recorded no trace events".into());
             }
         }
+        if self.analyze {
+            // Same invariant for the timeline builder: replaying the
+            // trace into a causal timeline must not perturb the
+            // computation, and the analysis on top must be coherent —
+            // the critical path folds bit-exactly to the makespan.
+            let builder = std::sync::Arc::new(mfbc_timeline::TimelineBuilder::new(
+                MachineSpec::test(self.p),
+            ));
+            let amachine = Machine::new(MachineSpec::test(self.p));
+            let arun = mfbc_trace::scoped(builder.clone(), || mfbc_dist(&amachine, &g, &cfg))
+                .map_err(|e| {
+                    format!("analyzed driver ({:?}): machine error: {e}", cfg.plan_mode)
+                })?;
+            for (v, (a, b)) in run
+                .scores
+                .lambda
+                .iter()
+                .zip(&arun.scores.lambda)
+                .enumerate()
+            {
+                if a.to_bits() != b.to_bits() {
+                    return Err(format!(
+                        "analyzed driver: λ[{v}] = {b:?} differs from unanalyzed {a:?} \
+                         (observation perturbed the computation)"
+                    ));
+                }
+            }
+            let tl = builder.finish();
+            if tl.dropped != 0 {
+                return Err(format!("timeline dropped {} trace events", tl.dropped));
+            }
+            let problems = tl.validate_against(&amachine);
+            if !problems.is_empty() {
+                return Err(format!(
+                    "timeline disagrees with machine meters: {}",
+                    problems.join("; ")
+                ));
+            }
+            let path = mfbc_timeline::critical_path(&tl);
+            if path.sum_s().to_bits() != tl.makespan_s().to_bits() {
+                return Err(format!(
+                    "critical path folds to {:?} but makespan is {:?} (not bit-exact)",
+                    path.sum_s(),
+                    tl.makespan_s()
+                ));
+            }
+        }
         if !self.faults.is_empty() {
             let plan = FaultPlan {
                 faults: self.faults.clone(),
@@ -593,12 +648,19 @@ impl CaseSpec for DriverCase {
             + self.threads
             + self.faults.len()
             + usize::from(self.profile)
+            + usize::from(self.analyze)
     }
 
     fn shrink_candidates(&self) -> Vec<DriverCase> {
         let mut out = Vec::new();
-        // Toward an unprofiled repro first: a failure that survives
-        // with profile=false is an ordinary driver bug.
+        // Toward an unobserved repro first: a failure that survives
+        // with analyze=false / profile=false is an ordinary driver bug.
+        if self.analyze {
+            out.push(DriverCase {
+                analyze: false,
+                ..self.clone()
+            });
+        }
         if self.profile {
             out.push(DriverCase {
                 profile: false,

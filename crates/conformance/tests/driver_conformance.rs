@@ -37,3 +37,19 @@ fn driver_profiled_scores_are_bit_identical() {
         }
     });
 }
+
+/// Every case re-run with a `TimelineBuilder` attached to the trace
+/// stream: the betweenness scores must be bit-identical to the
+/// unobserved run, the replayed timeline must agree with the machine's
+/// own meters, and the extracted critical path must fold bit-exactly
+/// to the makespan (`DriverCase::generate` draws the `analyze`
+/// dimension for a third of cases; this suite forces it on).
+#[test]
+fn driver_analyzed_scores_are_bit_identical() {
+    run_suite_or_panic("driver_analyzed_scores_are_bit_identical", SMOKE, |seed| {
+        DriverCase {
+            analyze: true,
+            ..DriverCase::generate(seed, &P_ALL, seed % 2 == 1)
+        }
+    });
+}

@@ -539,6 +539,10 @@ fn batch(
     let mut frontier = frontier_init;
 
     let batch_idx = run.batches;
+    // Phase spans bracket the BSP loops so timeline/Chrome views can
+    // attribute supersteps to their MFBF/MFBr phase; the profiler and
+    // cost meters ignore spans entirely.
+    let forward_span = mfbc_trace::span(|| format!("batch{batch_idx}/forward"));
     let mut step = 0usize;
     while nnz_sync(machine, &frontier)? > 0 {
         mfbc_trace::emit(|| mfbc_trace::TraceEvent::Superstep {
@@ -570,6 +574,7 @@ fn batch(
         t = t_new;
         t.charge_memory(machine)?;
     }
+    drop(forward_span);
 
     // ---- MFBr (Algorithm 2) ----
     let seeds = dmat_map_filter::<CentpathMonoid, _, _>(machine, &t, |_, _, mp: &Multpath| {
@@ -590,6 +595,7 @@ fn batch(
     z.charge_memory(machine)?;
 
     let mut bfrontier = fire_and_pin(machine, &mut z, &t);
+    let backward_span = mfbc_trace::span(|| format!("batch{batch_idx}/backward"));
     let mut step = 0usize;
     while nnz_sync(machine, &bfrontier)? > 0 {
         mfbc_trace::emit(|| mfbc_trace::TraceEvent::Superstep {
@@ -612,6 +618,7 @@ fn batch(
         z = dmat_combine_anchored::<CentpathMonoid, _>(machine, &z, &back.c);
         bfrontier = fire_and_pin(machine, &mut z, &t);
     }
+    drop(backward_span);
 
     // ---- λ accumulation (Algorithm 3, line 5) ----
     let products = dmat_zip_filter::<SumF64, _, _, f64>(machine, &z, &t, |s, v, zv, tv| {

@@ -39,20 +39,43 @@ pub enum CollectiveKind {
 impl CollectiveKind {
     /// Communication time for moving `bytes` over a group of `p`
     /// ranks under `spec`.
+    ///
+    /// Exactly the sum [`CollectiveKind::time_beta`]` + `
+    /// [`CollectiveKind::time_alpha`], in that order — the bandwidth
+    /// and latency terms can be recomputed separately (the timeline
+    /// analyzer's what-if engine does) and re-added to reproduce this
+    /// value bit-for-bit.
     pub fn time(self, spec: &MachineSpec, p: usize, bytes: u64) -> f64 {
+        self.time_beta(spec, bytes) + self.time_alpha(spec, p)
+    }
+
+    /// The bandwidth (β) term of [`CollectiveKind::time`].
+    pub fn time_beta(self, spec: &MachineSpec, bytes: u64) -> f64 {
         let x = bytes as f64;
-        let lg = log2_ceil(p) as f64;
         match self {
-            CollectiveKind::Broadcast | CollectiveKind::Reduce => {
-                2.0 * x * spec.beta + 2.0 * lg * spec.alpha
-            }
-            CollectiveKind::Allreduce => 4.0 * x * spec.beta + 4.0 * lg * spec.alpha,
+            CollectiveKind::Broadcast | CollectiveKind::Reduce => 2.0 * x * spec.beta,
+            CollectiveKind::Allreduce => 4.0 * x * spec.beta,
             CollectiveKind::Scatter
             | CollectiveKind::Gather
             | CollectiveKind::Allgather
             | CollectiveKind::AllToAll
-            | CollectiveKind::SparseReduce => x * spec.beta + lg * spec.alpha,
-            CollectiveKind::PointToPoint => x * spec.beta + spec.alpha,
+            | CollectiveKind::SparseReduce
+            | CollectiveKind::PointToPoint => x * spec.beta,
+        }
+    }
+
+    /// The latency (α) term of [`CollectiveKind::time`].
+    pub fn time_alpha(self, spec: &MachineSpec, p: usize) -> f64 {
+        let lg = log2_ceil(p) as f64;
+        match self {
+            CollectiveKind::Broadcast | CollectiveKind::Reduce => 2.0 * lg * spec.alpha,
+            CollectiveKind::Allreduce => 4.0 * lg * spec.alpha,
+            CollectiveKind::Scatter
+            | CollectiveKind::Gather
+            | CollectiveKind::Allgather
+            | CollectiveKind::AllToAll
+            | CollectiveKind::SparseReduce => lg * spec.alpha,
+            CollectiveKind::PointToPoint => spec.alpha,
         }
     }
 
@@ -93,6 +116,24 @@ impl CollectiveKind {
             CollectiveKind::PointToPoint => "point_to_point",
             CollectiveKind::AllToAll => "all_to_all",
         }
+    }
+
+    /// Inverse of [`CollectiveKind::name`], so a trace consumer can
+    /// recover the kind (and with it the α/β cost split) from an
+    /// event's kind label.
+    pub fn from_name(name: &str) -> Option<CollectiveKind> {
+        Some(match name {
+            "broadcast" => CollectiveKind::Broadcast,
+            "reduce" => CollectiveKind::Reduce,
+            "allreduce" => CollectiveKind::Allreduce,
+            "scatter" => CollectiveKind::Scatter,
+            "gather" => CollectiveKind::Gather,
+            "allgather" => CollectiveKind::Allgather,
+            "sparse_reduce" => CollectiveKind::SparseReduce,
+            "point_to_point" => CollectiveKind::PointToPoint,
+            "all_to_all" => CollectiveKind::AllToAll,
+            _ => return None,
+        })
     }
 }
 
@@ -514,6 +555,37 @@ mod tests {
         );
         let unique: std::collections::HashSet<&&str> = names.iter().collect();
         assert_eq!(unique.len(), all.len());
+        for k in all {
+            assert_eq!(CollectiveKind::from_name(k.name()), Some(k));
+        }
+        assert_eq!(CollectiveKind::from_name("smoke_signal"), None);
+    }
+
+    #[test]
+    fn time_splits_bit_exactly_into_beta_plus_alpha() {
+        use CollectiveKind::*;
+        let s = MachineSpec {
+            alpha: 1.07e-6,
+            beta: 3.3e-10,
+            ..spec(7)
+        };
+        for k in [
+            Broadcast,
+            Reduce,
+            Allreduce,
+            Scatter,
+            Gather,
+            Allgather,
+            SparseReduce,
+            PointToPoint,
+            AllToAll,
+        ] {
+            for bytes in [0u64, 1, 12345, 999_999_937] {
+                let whole = k.time(&s, 7, bytes);
+                let parts = k.time_beta(&s, bytes) + k.time_alpha(&s, 7);
+                assert_eq!(whole.to_bits(), parts.to_bits(), "{k:?} bytes={bytes}");
+            }
+        }
     }
 
     #[test]

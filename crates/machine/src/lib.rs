@@ -318,11 +318,13 @@ impl Machine {
         kind: CollectiveKind,
         bytes: u64,
     ) -> Result<(), MachineError> {
-        self.fault_gate(group, kind)?;
+        let seq = self.fault_gate(group, kind)?;
         self.with_tracker(|t| t.collective(&self.spec, group.ranks(), kind, bytes));
         mfbc_trace::emit(|| mfbc_trace::TraceEvent::Collective {
             kind: kind.name(),
             group: group.len(),
+            ranks: group.ranks().to_vec(),
+            seq,
             bytes,
             msgs: kind.msgs(group.len()),
             bytes_charged: kind.bytes_charged(bytes),
@@ -332,13 +334,13 @@ impl Machine {
     }
 
     /// Advances the fault clock and applies any due fault to this
-    /// collective attempt.
-    fn fault_gate(&self, group: &Group, kind: CollectiveKind) -> Result<(), MachineError> {
+    /// collective attempt; returns the attempt's sequence number.
+    fn fault_gate(&self, group: &Group, kind: CollectiveKind) -> Result<u64, MachineError> {
         let mut fs = self.faults.lock();
         let seq = fs.seq;
         fs.seq += 1;
         if fs.pending.is_empty() && fs.failed.is_empty() && fs.transient_budget == 0 {
-            return Ok(()); // fault-free fast path
+            return Ok(seq); // fault-free fast path
         }
 
         // Fire every scheduled fault whose time has come.
@@ -401,6 +403,10 @@ impl Machine {
                 fs.stats.retries += 1;
                 fs.stats.backoff_s += policy.backoff_s;
                 self.with_tracker(|t| t.backoff(group.ranks(), policy.backoff_s));
+                mfbc_trace::emit(|| mfbc_trace::TraceEvent::Backoff {
+                    ranks: group.ranks().to_vec(),
+                    seconds: policy.backoff_s,
+                });
                 attempts += 1;
             }
             if fs.transient_budget > 0 {
@@ -412,12 +418,21 @@ impl Machine {
                 });
             }
         }
-        Ok(())
+        Ok(seq)
     }
 
     /// Charges `ops` elementary operations of local compute on `rank`.
+    ///
+    /// Emitted as a [`mfbc_trace::TraceEvent::Compute`] when tracing
+    /// is enabled, carrying the same `ops · γ` seconds the tracker
+    /// charges, so a trace carries full per-rank attribution.
     pub fn charge_compute(&self, rank: usize, ops: u64) {
         self.with_tracker(|t| t.compute(&self.spec, rank, ops));
+        mfbc_trace::emit(|| mfbc_trace::TraceEvent::Compute {
+            rank,
+            ops,
+            modeled_s: ops as f64 * self.spec.gamma,
+        });
     }
 
     /// Charges `bytes` of resident memory on `rank`, failing if the
@@ -500,6 +515,10 @@ impl Machine {
         };
         let tracker = self.with_tracker(|t| t.shrunk(failed));
         let faults = self.faults.lock().shrunk(failed);
+        mfbc_trace::emit(|| mfbc_trace::TraceEvent::Shrink {
+            failed,
+            p_before: self.spec.p,
+        });
         Ok(Machine {
             spec,
             tracker: Arc::new(Mutex::new(tracker)),

@@ -38,6 +38,10 @@ pub struct BaselineCase {
     pub total_ops: u64,
     /// Largest per-rank memory high-water mark in bytes.
     pub max_peak_bytes: u64,
+    /// Fraction of the causal makespan gated by communication
+    /// segments, from the timeline analyzer's critical path.
+    /// Deterministic, so compared bit-exact like the modeled seconds.
+    pub critical_comm_share: f64,
     /// Measured wall-clock seconds (noisy; band-compared).
     pub wall_s: f64,
 }
@@ -53,8 +57,10 @@ pub struct Baseline {
     pub cases: Vec<BaselineCase>,
 }
 
-/// Schema version written by [`Baseline::to_json`].
-pub const BASELINE_VERSION: u64 = 1;
+/// Schema version written by [`Baseline::to_json`]. Version 2 added
+/// `critical_comm_share` (the timeline analyzer's communication share
+/// of the causal critical path).
+pub const BASELINE_VERSION: u64 = 2;
 
 /// How badly a comparison failed.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -118,7 +124,7 @@ impl Baseline {
             out.push_str(&format!(
                 "    {{\"name\": \"{}\", \"modeled_comm_s\": {}, \"modeled_comp_s\": {}, \
                  \"msgs\": {}, \"bytes\": {}, \"total_ops\": {}, \"max_peak_bytes\": {}, \
-                 \"wall_s\": {}}}{comma}\n",
+                 \"critical_comm_share\": {}, \"wall_s\": {}}}{comma}\n",
                 esc(&c.name),
                 num(c.modeled_comm_s),
                 num(c.modeled_comp_s),
@@ -126,6 +132,7 @@ impl Baseline {
                 c.bytes,
                 c.total_ops,
                 c.max_peak_bytes,
+                num(c.critical_comm_share),
                 num(c.wall_s)
             ));
         }
@@ -177,6 +184,7 @@ impl Baseline {
                     bytes: field_u64("bytes")?,
                     total_ops: field_u64("total_ops")?,
                     max_peak_bytes: field_u64("max_peak_bytes")?,
+                    critical_comm_share: field_f64("critical_comm_share")?,
                     wall_s: field_f64("wall_s")?,
                 })
             })
@@ -241,6 +249,11 @@ fn compare_case(base: &BaselineCase, cur: &BaselineCase, band: f64, out: &mut Ve
     };
     exact_f64("modeled_comm_s", base.modeled_comm_s, cur.modeled_comm_s);
     exact_f64("modeled_comp_s", base.modeled_comp_s, cur.modeled_comp_s);
+    exact_f64(
+        "critical_comm_share",
+        base.critical_comm_share,
+        cur.critical_comm_share,
+    );
 
     let mut exact_u64 = |metric: &'static str, b: u64, c: u64| {
         if b != c {
@@ -286,6 +299,7 @@ mod tests {
             bytes: 4096,
             total_ops: 9999,
             max_peak_bytes: 1 << 20,
+            critical_comm_share: 0.625,
             wall_s: 0.01,
         }
     }
@@ -366,6 +380,16 @@ mod tests {
         assert!(findings
             .iter()
             .any(|f| f.case == "a" && f.severity == Severity::Regression));
+    }
+
+    #[test]
+    fn critical_comm_share_is_compared_bit_exact() {
+        let b = Baseline::new(1.0, vec![case("a")]);
+        let mut cur = case("a");
+        cur.critical_comm_share = f64::from_bits(cur.critical_comm_share.to_bits() + 1);
+        let findings = b.compare(&[cur], None);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].metric, "critical_comm_share");
     }
 
     #[test]

@@ -259,10 +259,11 @@ impl Profiler {
     /// Seals the stream aggregates with the machine's per-rank meters
     /// and memory high-water marks, producing the final [`Profile`].
     ///
-    /// Per-rank numbers come from the machine (trace events do not
-    /// carry rank attribution for compute); pass the machine the run
-    /// actually finished on — after a crash-shrink that is the shrunk
-    /// machine.
+    /// Per-rank numbers come from the machine meters, which are
+    /// authoritative (the timeline analyzer independently rebuilds
+    /// them from the rank-attributed trace events and cross-checks
+    /// against these); pass the machine the run actually finished on —
+    /// after a crash-shrink that is the shrunk machine.
     pub fn finish(&self, machine: &Machine) -> Profile {
         let costs = machine.rank_costs();
         let snap = machine.memory_snapshot();
@@ -649,7 +650,15 @@ impl Recorder for Profiler {
             TraceEvent::Counter { name, value } => {
                 reg.counter_add("mfbc_counter_total", &[("name", name)], value);
             }
-            TraceEvent::SpanBegin { .. } | TraceEvent::SpanEnd { .. } | TraceEvent::Log { .. } => {}
+            // Per-rank compute/backoff/shrink attribution is the
+            // timeline analyzer's domain; the profiler's per-rank
+            // numbers are sealed from the machine meters in `finish`.
+            TraceEvent::Compute { .. }
+            | TraceEvent::Backoff { .. }
+            | TraceEvent::Shrink { .. }
+            | TraceEvent::SpanBegin { .. }
+            | TraceEvent::SpanEnd { .. }
+            | TraceEvent::Log { .. } => {}
         }
     }
 

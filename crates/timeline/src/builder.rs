@@ -1,0 +1,566 @@
+//! Replays the `mfbc-trace` event stream into per-rank causal
+//! timelines.
+//!
+//! The machine model is bulk-synchronous: compute segments chain
+//! within a rank, and a collective synchronizes its group (every
+//! participant's clock is raised to the group maximum before the
+//! collective's modeled time is added). The builder replays exactly
+//! that recurrence on a single causal clock per rank, so the
+//! resulting per-rank end times — and the makespan, their maximum —
+//! are *derived from the trace alone*, bit-for-bit reproducible, and
+//! decomposable into the exact chain of segments that produced them
+//! (see [`crate::critical`]).
+//!
+//! Alongside the causal clocks the builder maintains a replica of the
+//! machine's per-rank [`RankCost`] meters (same elementwise-max
+//! synchronization); [`Timeline::validate_against`] cross-checks it
+//! against the live machine to prove the trace is complete.
+
+use mfbc_machine::{CollectiveKind, Machine, MachineSpec, RankCost};
+use mfbc_trace::{Recorder, TraceEvent, TraceRecord};
+use std::sync::Mutex;
+
+/// What a timeline segment spent its modeled time on.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SegmentKind {
+    /// A collective communication, with its exact α/β cost split
+    /// (`alpha_s + beta_s` reproduces the modeled time bit-for-bit).
+    Collective {
+        /// Collective kind name (e.g. `allgather`).
+        kind: String,
+        /// Latency term in seconds.
+        alpha_s: f64,
+        /// Bandwidth term in seconds.
+        beta_s: f64,
+        /// Per-rank payload bytes passed to the cost model.
+        bytes: u64,
+        /// Critical-path messages charged.
+        msgs: u64,
+        /// Collective sequence number (machine issue order).
+        seq: u64,
+    },
+    /// Local compute charged to one rank.
+    Compute {
+        /// Multiply–add operations charged.
+        ops: u64,
+    },
+    /// A retry backoff wait after a transient fault (a fixed gap: not
+    /// scaled by the what-if α/β knobs).
+    Backoff,
+}
+
+/// One node of the BSP dependency DAG: a segment present on every
+/// participating lane, between a synchronization point and the next.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Node {
+    /// What the time was spent on.
+    pub kind: SegmentKind,
+    /// Participating lane ids (original slot numbering; one entry for
+    /// compute, the whole group for collectives/backoffs).
+    pub lanes: Vec<usize>,
+    /// Causal clock when the segment starts: the participant
+    /// maximum for a synchronizing segment, the lane's own clock for
+    /// compute.
+    pub start_s: f64,
+    /// Modeled duration in seconds.
+    pub dt_s: f64,
+    /// `start_s + dt_s`; every participant's clock after the segment.
+    pub end_s: f64,
+    /// The lane whose pre-sync clock attained `start_s` (for compute,
+    /// the lane itself) — the chain predecessor on the critical path.
+    pub pred_lane: usize,
+    /// Index into [`Timeline::supersteps`] this segment belongs to,
+    /// `None` for work before the first superstep marker (setup).
+    pub superstep: Option<usize>,
+}
+
+impl Node {
+    /// Display label: the collective kind name, `compute`, or
+    /// `backoff`.
+    pub fn label(&self) -> &str {
+        match &self.kind {
+            SegmentKind::Collective { kind, .. } => kind,
+            SegmentKind::Compute { .. } => "compute",
+            SegmentKind::Backoff => "backoff",
+        }
+    }
+
+    /// Whether the segment is communication (collective or backoff
+    /// wait) rather than local compute.
+    pub fn is_comm(&self) -> bool {
+        !matches!(self.kind, SegmentKind::Compute { .. })
+    }
+}
+
+/// One rank's lane: its causal clock, replica cost meter, and the
+/// nodes it participated in.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Lane {
+    /// Causal clock after the last segment the lane took part in.
+    pub clock_s: f64,
+    /// Replica of the machine's per-rank cost meter.
+    pub cost: RankCost,
+    /// False once the rank was removed by a shrink; a dead lane keeps
+    /// its history but stops advancing.
+    pub alive: bool,
+    /// Indices into [`Timeline::nodes`], ascending.
+    pub node_ids: Vec<usize>,
+}
+
+/// One superstep marker with its plan provenance.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StepInfo {
+    /// `forward` or `backward` (or `setup` is represented by
+    /// `superstep == None` on nodes, not by a StepInfo).
+    pub phase: String,
+    /// Source-batch index.
+    pub batch: usize,
+    /// Iteration within the phase.
+    pub step: usize,
+    /// SpGEMM plan labels observed during the superstep, deduplicated
+    /// in first-seen order.
+    pub plans: Vec<String>,
+}
+
+/// A point-in-time annotation that carries no modeled duration:
+/// faults, recovery decisions, shrinks, redistributions.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Marker {
+    /// Causal clock (max over lanes) when the marker was observed.
+    pub at_s: f64,
+    /// Marker label (e.g. `fault crash`, `recovery replan`,
+    /// `shrink -rank1`, `redist blocks`).
+    pub label: String,
+    /// Extra context (detail string, byte counts, …).
+    pub detail: String,
+}
+
+/// A sealed causal timeline: the BSP dependency DAG plus per-lane
+/// clocks and replica cost meters.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Timeline {
+    /// Machine spec the run was modeled under (α, β, γ, initial `p`).
+    pub spec: MachineSpec,
+    /// The dependency DAG in stream order.
+    pub nodes: Vec<Node>,
+    /// One lane per rank slot of the *initial* machine; shrunk ranks
+    /// stay as dead lanes.
+    pub lanes: Vec<Lane>,
+    /// Superstep markers in stream order.
+    pub supersteps: Vec<StepInfo>,
+    /// Zero-duration annotations in stream order.
+    pub markers: Vec<Marker>,
+    /// Events referencing an out-of-range rank (a malformed or
+    /// truncated trace); nonzero means the timeline is untrustworthy.
+    pub dropped: u64,
+    /// Replica of the machine's total operation counter.
+    pub total_ops: u64,
+}
+
+impl Timeline {
+    /// The modeled makespan: the maximum causal clock over surviving
+    /// lanes (exactly what the critical path sums to, bit-for-bit).
+    pub fn makespan_s(&self) -> f64 {
+        self.lanes
+            .iter()
+            .filter(|l| l.alive)
+            .map(|l| l.clock_s)
+            .fold(0.0, f64::max)
+    }
+
+    /// The lane attaining [`Timeline::makespan_s`] (first such lane).
+    pub fn end_lane(&self) -> usize {
+        let m = self.makespan_s();
+        self.lanes
+            .iter()
+            .position(|l| l.alive && l.clock_s.to_bits() == m.to_bits())
+            .unwrap_or(0)
+    }
+
+    /// Surviving rank count.
+    pub fn p_alive(&self) -> usize {
+        self.lanes.iter().filter(|l| l.alive).count()
+    }
+
+    /// Replica per-rank costs of the surviving ranks, in the shrunk
+    /// machine's numbering (dead lanes skipped in order).
+    pub fn alive_costs(&self) -> Vec<RankCost> {
+        self.lanes
+            .iter()
+            .filter(|l| l.alive)
+            .map(|l| l.cost)
+            .collect()
+    }
+
+    /// Cross-checks the replica meters against the machine the run
+    /// finished on. Every per-rank comm/comp second, message and byte
+    /// count, and the total op counter must agree **bit-for-bit**;
+    /// returns a human-readable list of mismatches (empty = the trace
+    /// fully accounts for the machine's state).
+    pub fn validate_against(&self, machine: &Machine) -> Vec<String> {
+        let mut problems = Vec::new();
+        if self.dropped > 0 {
+            problems.push(format!("{} events dropped during replay", self.dropped));
+        }
+        let ours = self.alive_costs();
+        let theirs = machine.rank_costs();
+        if ours.len() != theirs.len() {
+            problems.push(format!(
+                "rank count mismatch: timeline has {}, machine has {}",
+                ours.len(),
+                theirs.len()
+            ));
+            return problems;
+        }
+        for (r, (a, b)) in ours.iter().zip(&theirs).enumerate() {
+            if a.comm_time.to_bits() != b.comm_time.to_bits() {
+                problems.push(format!(
+                    "rank {r} comm_s: timeline {:?} != machine {:?}",
+                    a.comm_time, b.comm_time
+                ));
+            }
+            if a.comp_time.to_bits() != b.comp_time.to_bits() {
+                problems.push(format!(
+                    "rank {r} comp_s: timeline {:?} != machine {:?}",
+                    a.comp_time, b.comp_time
+                ));
+            }
+            if a.msgs != b.msgs {
+                problems.push(format!(
+                    "rank {r} msgs: timeline {} != machine {}",
+                    a.msgs, b.msgs
+                ));
+            }
+            if a.bytes != b.bytes {
+                problems.push(format!(
+                    "rank {r} bytes: timeline {} != machine {}",
+                    a.bytes, b.bytes
+                ));
+            }
+        }
+        let total_ops = machine.report().total_ops;
+        if self.total_ops != total_ops {
+            problems.push(format!(
+                "total_ops: timeline {} != machine {}",
+                self.total_ops, total_ops
+            ));
+        }
+        problems
+    }
+
+    /// Replays an already-captured record stream (e.g. from a
+    /// [`mfbc_trace::MemoryRecorder`]).
+    pub fn from_records(spec: &MachineSpec, records: &[TraceRecord]) -> Timeline {
+        let builder = TimelineBuilder::new(spec.clone());
+        for rec in records {
+            builder.record(rec.event.clone());
+        }
+        builder.finish()
+    }
+}
+
+/// Mutable replay state behind the recorder's lock.
+#[derive(Debug)]
+struct BuildState {
+    nodes: Vec<Node>,
+    lanes: Vec<Lane>,
+    /// Current machine numbering → lane slot.
+    slots: Vec<usize>,
+    supersteps: Vec<StepInfo>,
+    markers: Vec<Marker>,
+    current_step: Option<usize>,
+    dropped: u64,
+    total_ops: u64,
+}
+
+impl BuildState {
+    fn new(p: usize) -> BuildState {
+        BuildState {
+            nodes: Vec::new(),
+            lanes: vec![
+                Lane {
+                    clock_s: 0.0,
+                    cost: RankCost::default(),
+                    alive: true,
+                    node_ids: Vec::new(),
+                };
+                p
+            ],
+            slots: (0..p).collect(),
+            supersteps: Vec::new(),
+            markers: Vec::new(),
+            current_step: None,
+            dropped: 0,
+            total_ops: 0,
+        }
+    }
+
+    /// Maps current machine ranks to lane slots; `None` (and a
+    /// dropped-event count) on out-of-range ranks.
+    fn map_ranks(&mut self, ranks: &[usize]) -> Option<Vec<usize>> {
+        let mut lanes = Vec::with_capacity(ranks.len());
+        for &r in ranks {
+            match self.slots.get(r) {
+                Some(&slot) => lanes.push(slot),
+                None => {
+                    self.dropped += 1;
+                    return None;
+                }
+            }
+        }
+        Some(lanes)
+    }
+
+    /// Appends a synchronizing segment (collective or backoff) over
+    /// `lanes`: replica meters are raised to the group max then
+    /// charged, and the causal clocks are chained exactly like the
+    /// machine's critical-path recurrence.
+    fn sync_segment(&mut self, kind: SegmentKind, lanes: Vec<usize>, dt_s: f64, dm: u64, db: u64) {
+        if lanes.is_empty() {
+            self.dropped += 1;
+            return;
+        }
+        // Replica accounting: elementwise max, then add.
+        let mut mx_cost = RankCost::default();
+        for &l in &lanes {
+            mx_cost = mx_cost.max(self.lanes[l].cost);
+        }
+        for &l in &lanes {
+            let c = &mut self.lanes[l].cost;
+            *c = mx_cost;
+            c.comm_time += dt_s;
+            c.msgs += dm;
+            c.bytes += db;
+        }
+        // Causal clock: group max, then add.
+        let mut start_s = 0.0f64;
+        for &l in &lanes {
+            start_s = start_s.max(self.lanes[l].clock_s);
+        }
+        let pred_lane = lanes
+            .iter()
+            .copied()
+            .find(|&l| self.lanes[l].clock_s.to_bits() == start_s.to_bits())
+            .unwrap_or(lanes[0]);
+        let end_s = start_s + dt_s;
+        let id = self.nodes.len();
+        for &l in &lanes {
+            self.lanes[l].clock_s = end_s;
+            self.lanes[l].node_ids.push(id);
+        }
+        self.nodes.push(Node {
+            kind,
+            lanes,
+            start_s,
+            dt_s,
+            end_s,
+            pred_lane,
+            superstep: self.current_step,
+        });
+    }
+
+    fn marker(&mut self, label: String, detail: String) {
+        let at_s = self
+            .lanes
+            .iter()
+            .filter(|l| l.alive)
+            .map(|l| l.clock_s)
+            .fold(0.0, f64::max);
+        self.markers.push(Marker {
+            at_s,
+            label,
+            detail,
+        });
+    }
+
+    fn apply(&mut self, spec: &MachineSpec, event: TraceEvent) {
+        match event {
+            TraceEvent::Collective {
+                kind,
+                group,
+                ranks,
+                seq,
+                bytes,
+                msgs,
+                bytes_charged,
+                modeled_s,
+            } => {
+                let Some(lanes) = self.map_ranks(&ranks) else {
+                    return;
+                };
+                // Recover the exact α/β split; `time()` is defined as
+                // `time_beta + time_alpha`, so the parts re-add to
+                // `modeled_s` bit-for-bit. If the split cannot be
+                // reproduced (foreign spec, unknown kind), fold
+                // everything into the β term so the identity
+                // `alpha_s + beta_s == modeled_s` still holds.
+                let (alpha_s, beta_s) = match CollectiveKind::from_name(kind) {
+                    Some(ck) => {
+                        let a = ck.time_alpha(spec, group);
+                        let b = ck.time_beta(spec, bytes);
+                        if (b + a).to_bits() == modeled_s.to_bits() {
+                            (a, b)
+                        } else {
+                            (0.0, modeled_s)
+                        }
+                    }
+                    None => (0.0, modeled_s),
+                };
+                self.sync_segment(
+                    SegmentKind::Collective {
+                        kind: kind.to_string(),
+                        alpha_s,
+                        beta_s,
+                        bytes,
+                        msgs,
+                        seq,
+                    },
+                    lanes,
+                    modeled_s,
+                    msgs,
+                    bytes_charged,
+                );
+            }
+            TraceEvent::Compute {
+                rank,
+                ops,
+                modeled_s,
+            } => {
+                let Some(lanes) = self.map_ranks(&[rank]) else {
+                    return;
+                };
+                let l = lanes[0];
+                self.lanes[l].cost.comp_time += modeled_s;
+                self.total_ops += ops;
+                let start_s = self.lanes[l].clock_s;
+                let end_s = start_s + modeled_s;
+                let id = self.nodes.len();
+                self.lanes[l].clock_s = end_s;
+                self.lanes[l].node_ids.push(id);
+                self.nodes.push(Node {
+                    kind: SegmentKind::Compute { ops },
+                    lanes,
+                    start_s,
+                    dt_s: modeled_s,
+                    end_s,
+                    pred_lane: l,
+                    superstep: self.current_step,
+                });
+            }
+            TraceEvent::Backoff { ranks, seconds } => {
+                let Some(lanes) = self.map_ranks(&ranks) else {
+                    return;
+                };
+                self.sync_segment(SegmentKind::Backoff, lanes, seconds, 0, 0);
+            }
+            TraceEvent::Shrink { failed, p_before } => {
+                if self.slots.len() != p_before || failed >= self.slots.len() {
+                    self.dropped += 1;
+                    return;
+                }
+                let slot = self.slots.remove(failed);
+                self.lanes[slot].alive = false;
+                self.marker(
+                    format!("shrink -rank{failed}"),
+                    format!("p={}->{}", p_before, p_before - 1),
+                );
+            }
+            TraceEvent::Superstep {
+                phase, batch, step, ..
+            } => {
+                self.current_step = Some(self.supersteps.len());
+                self.supersteps.push(StepInfo {
+                    phase: phase.to_string(),
+                    batch,
+                    step,
+                    plans: Vec::new(),
+                });
+            }
+            TraceEvent::Spgemm { plan, .. } => {
+                if let Some(i) = self.current_step {
+                    let plans = &mut self.supersteps[i].plans;
+                    if !plans.contains(&plan) {
+                        plans.push(plan);
+                    }
+                }
+            }
+            TraceEvent::Fault { kind, rank, seq } => {
+                let detail = match rank {
+                    Some(r) => format!("rank={r} seq={seq}"),
+                    None => format!("seq={seq}"),
+                };
+                self.marker(format!("fault {kind}"), detail);
+            }
+            TraceEvent::Recovery {
+                action,
+                detail,
+                wasted_s,
+            } => {
+                self.marker(
+                    format!("recovery {action}"),
+                    format!("{detail} wasted_s={wasted_s:?}"),
+                );
+            }
+            TraceEvent::Redist {
+                what,
+                bytes_moved,
+                participants,
+            } => {
+                self.marker(
+                    format!("redist {what}"),
+                    format!("bytes={bytes_moved} p={participants}"),
+                );
+            }
+            TraceEvent::Autotune { .. }
+            | TraceEvent::Pool { .. }
+            | TraceEvent::SpanBegin { .. }
+            | TraceEvent::SpanEnd { .. }
+            | TraceEvent::Counter { .. }
+            | TraceEvent::Log { .. } => {}
+        }
+    }
+}
+
+/// A streaming [`Recorder`] that replays the event stream into a
+/// [`Timeline`]. Install it (scoped or tee'd next to a profiler),
+/// run, then call [`TimelineBuilder::finish`].
+#[derive(Debug)]
+pub struct TimelineBuilder {
+    spec: MachineSpec,
+    state: Mutex<BuildState>,
+}
+
+impl TimelineBuilder {
+    /// A builder for a run on a machine described by `spec` (the α–β
+    /// values are used to recover each collective's exact cost split).
+    pub fn new(spec: MachineSpec) -> TimelineBuilder {
+        let p = spec.p;
+        TimelineBuilder {
+            spec,
+            state: Mutex::new(BuildState::new(p)),
+        }
+    }
+
+    /// Seals the replayed state into a [`Timeline`]. The builder can
+    /// keep receiving events afterwards (they accumulate onto the same
+    /// state), but typical callers finish once, after the run.
+    pub fn finish(&self) -> Timeline {
+        let st = self.state.lock().expect("timeline state lock");
+        Timeline {
+            spec: self.spec.clone(),
+            nodes: st.nodes.clone(),
+            lanes: st.lanes.clone(),
+            supersteps: st.supersteps.clone(),
+            markers: st.markers.clone(),
+            dropped: st.dropped,
+            total_ops: st.total_ops,
+        }
+    }
+}
+
+impl Recorder for TimelineBuilder {
+    fn record(&self, event: TraceEvent) {
+        let mut st = self.state.lock().expect("timeline state lock");
+        st.apply(&self.spec, event);
+    }
+}

@@ -1,0 +1,771 @@
+//! Timeline exports: the versioned `timeline.json` document (with a
+//! parser for round-trips and run-vs-run diffs), a self-contained
+//! Gantt-style HTML view, and metric-registry mirroring.
+//!
+//! Every number is written with the exact `{:?}` formatter shared
+//! with the profile/Prometheus exporters ([`mfbc_profile::jsonio`]),
+//! so documents can be compared bit-for-bit across exporters and
+//! across runs.
+
+use crate::builder::{SegmentKind, Timeline};
+use crate::critical::Analysis;
+use crate::whatif::WhatIfReport;
+use mfbc_profile::jsonio::{esc, num, parse, Json};
+use mfbc_profile::{MetricKind, MetricsRegistry};
+use std::fmt::Write as _;
+
+/// Format version of the `timeline.json` document.
+pub const TIMELINE_JSON_VERSION: u64 = 1;
+
+/// One rank's row in the document.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RankRow {
+    /// Lane slot (initial rank id).
+    pub lane: u64,
+    /// Whether the rank survived to the end of the run.
+    pub alive: bool,
+    /// Final causal clock in seconds.
+    pub clock_s: f64,
+    /// Replica communication seconds.
+    pub comm_s: f64,
+    /// Replica computation seconds.
+    pub comp_s: f64,
+    /// Replica critical-path messages.
+    pub msgs: u64,
+    /// Replica critical-path bytes.
+    pub bytes: u64,
+}
+
+/// One critical-path segment row.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PathRow {
+    /// Node index in the timeline.
+    pub node: u64,
+    /// Lane the segment gates.
+    pub lane: u64,
+    /// Segment label.
+    pub label: String,
+    /// Causal start in seconds.
+    pub start_s: f64,
+    /// Duration in seconds.
+    pub dt_s: f64,
+    /// Superstep index, if inside one.
+    pub superstep: Option<u64>,
+}
+
+/// One bottleneck-table row.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BottleneckRow {
+    /// Segment class label.
+    pub label: String,
+    /// Gating seconds.
+    pub seconds: f64,
+    /// Gating segment count.
+    pub count: u64,
+    /// Share of the makespan.
+    pub share: f64,
+}
+
+/// One superstep-attribution row.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StepRow {
+    /// Phase name.
+    pub phase: String,
+    /// Batch index.
+    pub batch: u64,
+    /// Step within the phase.
+    pub step: u64,
+    /// Communication seconds inside the superstep.
+    pub comm_s: f64,
+    /// Compute seconds inside the superstep.
+    pub comp_s: f64,
+    /// Critical-path seconds attributed to the superstep.
+    pub critical_s: f64,
+    /// Straggler lane, if compute was charged.
+    pub straggler: Option<u64>,
+    /// Max-over-mean compute imbalance.
+    pub imbalance: f64,
+    /// SpGEMM plans observed.
+    pub plans: Vec<String>,
+}
+
+/// One evaluated what-if row.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WhatIfRow {
+    /// Edit label.
+    pub label: String,
+    /// Edited makespan in seconds.
+    pub makespan_s: f64,
+    /// Unedited makespan in seconds.
+    pub baseline_s: f64,
+}
+
+/// The parsed/parseable `timeline.json` document.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TimelineDoc {
+    /// Format version.
+    pub version: u64,
+    /// Surviving rank count.
+    pub p: u64,
+    /// Modeled makespan in seconds.
+    pub makespan_s: f64,
+    /// Fraction of the makespan gated by communication.
+    pub comm_share: f64,
+    /// Segment (node) count in the timeline.
+    pub events: u64,
+    /// Replay-dropped event count (nonzero = untrustworthy trace).
+    pub dropped: u64,
+    /// Per-lane rows.
+    pub ranks: Vec<RankRow>,
+    /// The gating chain in forward order.
+    pub critical_path: Vec<PathRow>,
+    /// Ranked bottleneck classes.
+    pub bottlenecks: Vec<BottleneckRow>,
+    /// Per-superstep attribution.
+    pub supersteps: Vec<StepRow>,
+    /// Evaluated what-if edits.
+    pub what_if: Vec<WhatIfRow>,
+}
+
+/// Builds the document from a sealed timeline, its analysis, and any
+/// evaluated what-if edits.
+pub fn doc(tl: &Timeline, an: &Analysis, what_ifs: &[WhatIfReport]) -> TimelineDoc {
+    TimelineDoc {
+        version: TIMELINE_JSON_VERSION,
+        p: tl.p_alive() as u64,
+        makespan_s: tl.makespan_s(),
+        comm_share: an.comm_share(),
+        events: tl.nodes.len() as u64,
+        dropped: tl.dropped,
+        ranks: tl
+            .lanes
+            .iter()
+            .enumerate()
+            .map(|(i, l)| RankRow {
+                lane: i as u64,
+                alive: l.alive,
+                clock_s: l.clock_s,
+                comm_s: l.cost.comm_time,
+                comp_s: l.cost.comp_time,
+                msgs: l.cost.msgs,
+                bytes: l.cost.bytes,
+            })
+            .collect(),
+        critical_path: an
+            .path
+            .segments
+            .iter()
+            .map(|s| PathRow {
+                node: s.node as u64,
+                lane: s.lane as u64,
+                label: s.label.clone(),
+                start_s: s.start_s,
+                dt_s: s.dt_s,
+                superstep: s.superstep.map(|x| x as u64),
+            })
+            .collect(),
+        bottlenecks: an
+            .bottlenecks
+            .iter()
+            .map(|b| BottleneckRow {
+                label: b.label.clone(),
+                seconds: b.seconds,
+                count: b.count,
+                share: b.share,
+            })
+            .collect(),
+        supersteps: an
+            .steps
+            .iter()
+            .map(|s| StepRow {
+                phase: s.phase.clone(),
+                batch: s.batch as u64,
+                step: s.step_no as u64,
+                comm_s: s.comm_s,
+                comp_s: s.comp_s,
+                critical_s: s.critical_s,
+                straggler: s.straggler.map(|x| x as u64),
+                imbalance: s.imbalance,
+                plans: s.plans.clone(),
+            })
+            .collect(),
+        what_if: what_ifs
+            .iter()
+            .map(|w| WhatIfRow {
+                label: w.label.clone(),
+                makespan_s: w.makespan_s,
+                baseline_s: w.baseline_s,
+            })
+            .collect(),
+    }
+}
+
+fn opt_u64(x: Option<u64>) -> String {
+    match x {
+        Some(v) => v.to_string(),
+        None => "null".to_string(),
+    }
+}
+
+fn str_array(items: &[String]) -> String {
+    let mut s = String::from("[");
+    for (i, item) in items.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(s, "\"{}\"", esc(item));
+    }
+    s.push(']');
+    s
+}
+
+/// Serializes the document (one row object per line, exact numbers).
+pub fn to_json(d: &TimelineDoc) -> String {
+    let mut out = String::with_capacity(4096);
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"version\": {},", d.version);
+    let _ = writeln!(out, "  \"p\": {},", d.p);
+    let _ = writeln!(out, "  \"makespan_s\": {},", num(d.makespan_s));
+    let _ = writeln!(out, "  \"comm_share\": {},", num(d.comm_share));
+    let _ = writeln!(out, "  \"events\": {},", d.events);
+    let _ = writeln!(out, "  \"dropped\": {},", d.dropped);
+    let _ = writeln!(out, "  \"ranks\": [");
+    for (i, r) in d.ranks.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    {{\"lane\": {}, \"alive\": {}, \"clock_s\": {}, \"comm_s\": {}, \"comp_s\": {}, \"msgs\": {}, \"bytes\": {}}}{}",
+            r.lane,
+            r.alive,
+            num(r.clock_s),
+            num(r.comm_s),
+            num(r.comp_s),
+            r.msgs,
+            r.bytes,
+            if i + 1 < d.ranks.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(out, "  ],");
+    let _ = writeln!(out, "  \"critical_path\": [");
+    for (i, s) in d.critical_path.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    {{\"node\": {}, \"lane\": {}, \"label\": \"{}\", \"start_s\": {}, \"dt_s\": {}, \"superstep\": {}}}{}",
+            s.node,
+            s.lane,
+            esc(&s.label),
+            num(s.start_s),
+            num(s.dt_s),
+            opt_u64(s.superstep),
+            if i + 1 < d.critical_path.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(out, "  ],");
+    let _ = writeln!(out, "  \"bottlenecks\": [");
+    for (i, b) in d.bottlenecks.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    {{\"label\": \"{}\", \"seconds\": {}, \"count\": {}, \"share\": {}}}{}",
+            esc(&b.label),
+            num(b.seconds),
+            b.count,
+            num(b.share),
+            if i + 1 < d.bottlenecks.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(out, "  ],");
+    let _ = writeln!(out, "  \"supersteps\": [");
+    for (i, s) in d.supersteps.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    {{\"phase\": \"{}\", \"batch\": {}, \"step\": {}, \"comm_s\": {}, \"comp_s\": {}, \"critical_s\": {}, \"straggler\": {}, \"imbalance\": {}, \"plans\": {}}}{}",
+            esc(&s.phase),
+            s.batch,
+            s.step,
+            num(s.comm_s),
+            num(s.comp_s),
+            num(s.critical_s),
+            opt_u64(s.straggler),
+            num(s.imbalance),
+            str_array(&s.plans),
+            if i + 1 < d.supersteps.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(out, "  ],");
+    let _ = writeln!(out, "  \"what_if\": [");
+    for (i, w) in d.what_if.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    {{\"label\": \"{}\", \"makespan_s\": {}, \"baseline_s\": {}}}{}",
+            esc(&w.label),
+            num(w.makespan_s),
+            num(w.baseline_s),
+            if i + 1 < d.what_if.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(out, "  ]");
+    let _ = writeln!(out, "}}");
+    out
+}
+
+fn want<'a>(v: &'a Json, key: &str) -> Result<&'a Json, String> {
+    v.get(key).ok_or_else(|| format!("missing field `{key}`"))
+}
+
+fn want_u64(v: &Json, key: &str) -> Result<u64, String> {
+    want(v, key)?
+        .as_u64()
+        .ok_or_else(|| format!("field `{key}` is not an integer"))
+}
+
+fn want_f64(v: &Json, key: &str) -> Result<f64, String> {
+    want(v, key)?
+        .as_f64()
+        .ok_or_else(|| format!("field `{key}` is not a number"))
+}
+
+fn want_str(v: &Json, key: &str) -> Result<String, String> {
+    Ok(want(v, key)?
+        .as_str()
+        .ok_or_else(|| format!("field `{key}` is not a string"))?
+        .to_string())
+}
+
+fn want_arr<'a>(v: &'a Json, key: &str) -> Result<&'a [Json], String> {
+    want(v, key)?
+        .as_array()
+        .ok_or_else(|| format!("field `{key}` is not an array"))
+}
+
+fn opt_field_u64(v: &Json, key: &str) -> Result<Option<u64>, String> {
+    match want(v, key)? {
+        Json::Null => Ok(None),
+        other => other
+            .as_u64()
+            .map(Some)
+            .ok_or_else(|| format!("field `{key}` is not an integer or null")),
+    }
+}
+
+/// Parses a `timeline.json` document back into a [`TimelineDoc`].
+pub fn parse_timeline(text: &str) -> Result<TimelineDoc, String> {
+    let root = parse(text)?;
+    let version = want_u64(&root, "version")?;
+    if version != TIMELINE_JSON_VERSION {
+        return Err(format!(
+            "timeline.json version {version} unsupported (expected {TIMELINE_JSON_VERSION})"
+        ));
+    }
+    let mut ranks = Vec::new();
+    for r in want_arr(&root, "ranks")? {
+        ranks.push(RankRow {
+            lane: want_u64(r, "lane")?,
+            alive: matches!(want(r, "alive")?, Json::Bool(true)),
+            clock_s: want_f64(r, "clock_s")?,
+            comm_s: want_f64(r, "comm_s")?,
+            comp_s: want_f64(r, "comp_s")?,
+            msgs: want_u64(r, "msgs")?,
+            bytes: want_u64(r, "bytes")?,
+        });
+    }
+    let mut critical_path = Vec::new();
+    for s in want_arr(&root, "critical_path")? {
+        critical_path.push(PathRow {
+            node: want_u64(s, "node")?,
+            lane: want_u64(s, "lane")?,
+            label: want_str(s, "label")?,
+            start_s: want_f64(s, "start_s")?,
+            dt_s: want_f64(s, "dt_s")?,
+            superstep: opt_field_u64(s, "superstep")?,
+        });
+    }
+    let mut bottlenecks = Vec::new();
+    for b in want_arr(&root, "bottlenecks")? {
+        bottlenecks.push(BottleneckRow {
+            label: want_str(b, "label")?,
+            seconds: want_f64(b, "seconds")?,
+            count: want_u64(b, "count")?,
+            share: want_f64(b, "share")?,
+        });
+    }
+    let mut supersteps = Vec::new();
+    for s in want_arr(&root, "supersteps")? {
+        let mut plans = Vec::new();
+        for p in want_arr(s, "plans")? {
+            plans.push(
+                p.as_str()
+                    .ok_or_else(|| "plan entry is not a string".to_string())?
+                    .to_string(),
+            );
+        }
+        supersteps.push(StepRow {
+            phase: want_str(s, "phase")?,
+            batch: want_u64(s, "batch")?,
+            step: want_u64(s, "step")?,
+            comm_s: want_f64(s, "comm_s")?,
+            comp_s: want_f64(s, "comp_s")?,
+            critical_s: want_f64(s, "critical_s")?,
+            straggler: opt_field_u64(s, "straggler")?,
+            imbalance: want_f64(s, "imbalance")?,
+            plans,
+        });
+    }
+    let mut what_if = Vec::new();
+    for w in want_arr(&root, "what_if")? {
+        what_if.push(WhatIfRow {
+            label: want_str(w, "label")?,
+            makespan_s: want_f64(w, "makespan_s")?,
+            baseline_s: want_f64(w, "baseline_s")?,
+        });
+    }
+    Ok(TimelineDoc {
+        version,
+        p: want_u64(&root, "p")?,
+        makespan_s: want_f64(&root, "makespan_s")?,
+        comm_share: want_f64(&root, "comm_share")?,
+        events: want_u64(&root, "events")?,
+        dropped: want_u64(&root, "dropped")?,
+        ranks,
+        critical_path,
+        bottlenecks,
+        supersteps,
+        what_if,
+    })
+}
+
+/// One row of a run-vs-run comparison.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DiffRow {
+    /// What is being compared (e.g. `makespan_s`,
+    /// `bottleneck allgather seconds`).
+    pub what: String,
+    /// Value in the first (baseline) document.
+    pub before: f64,
+    /// Value in the second (candidate) document.
+    pub after: f64,
+}
+
+impl DiffRow {
+    /// `after - before`.
+    pub fn delta(&self) -> f64 {
+        self.after - self.before
+    }
+}
+
+/// Structured run-vs-run diff: compares makespan, comm share, per-rank
+/// clocks, and per-class bottleneck seconds. Rows where both sides
+/// are bit-identical are omitted, so an empty result means the two
+/// runs are indistinguishable at this granularity.
+pub fn diff_docs(before: &TimelineDoc, after: &TimelineDoc) -> Vec<DiffRow> {
+    let mut rows = Vec::new();
+    let mut push = |what: String, b: f64, a: f64| {
+        if b.to_bits() != a.to_bits() {
+            rows.push(DiffRow {
+                what,
+                before: b,
+                after: a,
+            });
+        }
+    };
+    push("makespan_s".into(), before.makespan_s, after.makespan_s);
+    push("comm_share".into(), before.comm_share, after.comm_share);
+    push(
+        "critical_path segments".into(),
+        before.critical_path.len() as f64,
+        after.critical_path.len() as f64,
+    );
+    let lanes = before.ranks.len().max(after.ranks.len());
+    for lane in 0..lanes {
+        let b = before.ranks.get(lane).map_or(0.0, |r| r.clock_s);
+        let a = after.ranks.get(lane).map_or(0.0, |r| r.clock_s);
+        push(format!("rank {lane} clock_s"), b, a);
+    }
+    let mut labels: Vec<&str> = before
+        .bottlenecks
+        .iter()
+        .chain(&after.bottlenecks)
+        .map(|b| b.label.as_str())
+        .collect();
+    labels.dedup();
+    labels.sort_unstable();
+    labels.dedup();
+    for label in labels {
+        let find = |d: &TimelineDoc| {
+            d.bottlenecks
+                .iter()
+                .find(|b| b.label == label)
+                .map_or(0.0, |b| b.seconds)
+        };
+        push(
+            format!("bottleneck {label} seconds"),
+            find(before),
+            find(after),
+        );
+    }
+    rows
+}
+
+/// Renders a diff as an aligned text table (`(identical)` when
+/// empty).
+pub fn render_diff(rows: &[DiffRow]) -> String {
+    if rows.is_empty() {
+        return "(identical)\n".to_string();
+    }
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<32} {:>16} {:>16} {:>16}",
+        "metric", "before", "after", "delta"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<32} {:>16.6e} {:>16.6e} {:>+16.6e}",
+            r.what,
+            r.before,
+            r.after,
+            r.delta()
+        );
+    }
+    out
+}
+
+/// Mirrors the headline analysis numbers into a metrics registry
+/// (rendered by the shared Prometheus exporter).
+pub fn register_metrics(reg: &MetricsRegistry, tl: &Timeline, an: &Analysis) {
+    reg.declare(
+        "mfbc_timeline_makespan_seconds",
+        MetricKind::Gauge,
+        "Modeled causal makespan of the run",
+    );
+    reg.declare(
+        "mfbc_timeline_critical_comm_share",
+        MetricKind::Gauge,
+        "Fraction of the makespan gated by communication segments",
+    );
+    reg.declare(
+        "mfbc_timeline_path_segments",
+        MetricKind::Gauge,
+        "Number of segments on the critical path",
+    );
+    reg.declare(
+        "mfbc_timeline_bottleneck_seconds",
+        MetricKind::Gauge,
+        "Critical-path seconds gated by one segment class",
+    );
+    reg.gauge_set("mfbc_timeline_makespan_seconds", &[], tl.makespan_s());
+    reg.gauge_set("mfbc_timeline_critical_comm_share", &[], an.comm_share());
+    reg.gauge_set(
+        "mfbc_timeline_path_segments",
+        &[],
+        an.path.segments.len() as f64,
+    );
+    for b in &an.bottlenecks {
+        reg.gauge_set(
+            "mfbc_timeline_bottleneck_seconds",
+            &[("label", b.label.as_str())],
+            b.seconds,
+        );
+    }
+}
+
+const HTML_STYLE: &str = "\
+body{font-family:system-ui,sans-serif;margin:2em;max-width:80em;color:#222}\
+h1{font-size:1.4em}h2{font-size:1.1em;margin-top:1.6em}\
+table{border-collapse:collapse;font-size:0.85em}\
+td,th{border:1px solid #ccc;padding:0.25em 0.6em;text-align:right}\
+th{background:#f2f2f2}td.l,th.l{text-align:left}\
+.lane{position:relative;height:1.4em;background:#f4f4f4;margin:2px 0;border:1px solid #ddd}\
+.lane span{position:absolute;top:0;bottom:0;min-width:1px}\
+.lane .dead{background:repeating-linear-gradient(45deg,#eee,#eee 4px,#ddd 4px,#ddd 8px)}\
+.seg-compute{background:#5b9bd5}\
+.seg-backoff{background:#f0ad4e}\
+.seg-c0{background:#d9534f}.seg-c1{background:#c9302c}.seg-c2{background:#b52b27}\
+.seg-c3{background:#e06666}.seg-c4{background:#a94442}.seg-c5{background:#d43f3a}\
+.seg-c6{background:#c45850}.seg-c7{background:#e9967a}.seg-c8{background:#cd5c5c}\
+.crit{outline:2px solid #222;z-index:2}\
+.legend span{display:inline-block;width:0.9em;height:0.9em;margin:0 0.3em 0 1em;vertical-align:middle}\
+.kv{color:#555;font-size:0.9em}\
+";
+
+fn collective_class(kind: &str) -> String {
+    // Stable small palette: hash the kind name onto 9 red-family
+    // shades so each collective kind keeps its color across runs.
+    let h: u32 = kind
+        .bytes()
+        .fold(0u32, |acc, b| acc.wrapping_mul(31).wrapping_add(b as u32));
+    format!("seg-c{}", h % 9)
+}
+
+fn esc_html(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders a self-contained Gantt-style HTML timeline: one bar per
+/// lane, segments positioned by causal clock, critical-path segments
+/// outlined, plus the bottleneck table and per-rank totals with exact
+/// values in `data-*` attributes (cross-checkable against the JSON
+/// and Prometheus exporters).
+pub fn to_html(tl: &Timeline, an: &Analysis) -> String {
+    let makespan = tl.makespan_s();
+    let mut out = String::with_capacity(16 * 1024);
+    let _ = writeln!(out, "<!doctype html>");
+    let _ = writeln!(out, "<html lang=\"en\"><head><meta charset=\"utf-8\">");
+    let _ = writeln!(out, "<title>MFBC timeline</title>");
+    let _ = writeln!(out, "<style>{HTML_STYLE}</style></head><body>");
+    let _ = writeln!(out, "<h1>MFBC causal timeline</h1>");
+    let _ = writeln!(
+        out,
+        "<p class=\"kv\" data-makespan=\"{}\" data-comm-share=\"{}\">ranks={} &middot; makespan {} s \
+         &middot; critical comm share {:.1}% &middot; {} segments ({} on the critical path)</p>",
+        num(makespan),
+        num(an.comm_share()),
+        tl.p_alive(),
+        num(makespan),
+        an.comm_share() * 100.0,
+        tl.nodes.len(),
+        an.path.segments.len()
+    );
+
+    // Gantt lanes.
+    let _ = writeln!(out, "<h2>Per-rank timeline</h2>");
+    let on_path: std::collections::BTreeSet<usize> =
+        an.path.segments.iter().map(|s| s.node).collect();
+    for (lane_id, lane) in tl.lanes.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "<div class=\"kv\">rank {lane_id}{}</div>",
+            if lane.alive { "" } else { " (failed)" }
+        );
+        let _ = write!(out, "<div class=\"lane\">");
+        for &id in &lane.node_ids {
+            let node = &tl.nodes[id];
+            if makespan <= 0.0 {
+                break;
+            }
+            let left = node.start_s / makespan * 100.0;
+            let width = (node.dt_s / makespan * 100.0).max(0.05);
+            let class = match &node.kind {
+                SegmentKind::Collective { kind, .. } => collective_class(kind),
+                SegmentKind::Compute { .. } => "seg-compute".to_string(),
+                SegmentKind::Backoff => "seg-backoff".to_string(),
+            };
+            let crit = if on_path.contains(&id) { " crit" } else { "" };
+            let _ = write!(
+                out,
+                "<span class=\"{class}{crit}\" style=\"left:{left:.4}%;width:{width:.4}%\" \
+                 title=\"{} {} s @ {} s\"></span>",
+                esc_html(node.label()),
+                num(node.dt_s),
+                num(node.start_s)
+            );
+        }
+        if !lane.alive {
+            let _ = write!(
+                out,
+                "<span class=\"dead\" style=\"left:0;width:100%\"></span>"
+            );
+        }
+        let _ = writeln!(out, "</div>");
+    }
+    let _ = writeln!(
+        out,
+        "<p class=\"legend kv\"><span class=\"seg-compute\"></span>compute\
+         <span class=\"seg-backoff\"></span>backoff\
+         <span class=\"seg-c0\"></span>collectives (by kind) \
+         &middot; outlined = on the critical path</p>"
+    );
+
+    // Bottleneck table.
+    let _ = writeln!(out, "<h2>Critical-path bottlenecks</h2>");
+    let _ = writeln!(
+        out,
+        "<table><tr><th class=\"l\">segment class</th><th>gating s</th><th>share</th><th>count</th></tr>"
+    );
+    for b in &an.bottlenecks {
+        let _ = writeln!(
+            out,
+            "<tr><td class=\"l\">{}</td><td data-seconds=\"{}\">{}</td><td>{:.1}%</td><td>{}</td></tr>",
+            esc_html(&b.label),
+            num(b.seconds),
+            num(b.seconds),
+            b.share * 100.0,
+            b.count
+        );
+    }
+    let _ = writeln!(out, "</table>");
+
+    // Per-rank totals with exact data-* attributes.
+    let _ = writeln!(out, "<h2>Per-rank totals</h2>");
+    let _ = writeln!(
+        out,
+        "<table><tr><th>rank</th><th>clock s</th><th>comm s</th><th>comp s</th><th>msgs</th><th>bytes</th></tr>"
+    );
+    for (lane_id, lane) in tl.lanes.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "<tr data-rank=\"{lane_id}\" data-clock=\"{}\" data-comm=\"{}\" data-comp=\"{}\"><td>{lane_id}{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td></tr>",
+            num(lane.clock_s),
+            num(lane.cost.comm_time),
+            num(lane.cost.comp_time),
+            if lane.alive { "" } else { " ✝" },
+            num(lane.clock_s),
+            num(lane.cost.comm_time),
+            num(lane.cost.comp_time),
+            lane.cost.msgs,
+            lane.cost.bytes
+        );
+    }
+    let _ = writeln!(out, "</table>");
+
+    // Markers, if any.
+    if !tl.markers.is_empty() {
+        let _ = writeln!(out, "<h2>Events</h2><table><tr><th>at s</th><th class=\"l\">event</th><th class=\"l\">detail</th></tr>");
+        for m in &tl.markers {
+            let _ = writeln!(
+                out,
+                "<tr><td>{}</td><td class=\"l\">{}</td><td class=\"l\">{}</td></tr>",
+                num(m.at_s),
+                esc_html(&m.label),
+                esc_html(&m.detail)
+            );
+        }
+        let _ = writeln!(out, "</table>");
+    }
+    let _ = writeln!(out, "</body></html>");
+    out
+}
+
+/// Extracts `(rank, clock_s, comm_s, comp_s)` rows from the exact
+/// `data-*` attributes of [`to_html`] output — the mechanical
+/// cross-check used by the exporter-agreement tests.
+pub fn parse_html_rank_rows(html: &str) -> Vec<(usize, f64, f64, f64)> {
+    let mut rows = Vec::new();
+    for chunk in html.split("<tr data-rank=\"").skip(1) {
+        let attr = |name: &str| -> Option<&str> {
+            let key = format!("{name}=\"");
+            let start = chunk.find(&key)? + key.len();
+            let end = chunk[start..].find('"')? + start;
+            Some(&chunk[start..end])
+        };
+        let Some(rank) = chunk.split('"').next().and_then(|s| s.parse().ok()) else {
+            continue;
+        };
+        let get = |name: &str| attr(name).and_then(|s| s.parse::<f64>().ok());
+        if let (Some(clock), Some(comm), Some(comp)) =
+            (get("data-clock"), get("data-comm"), get("data-comp"))
+        {
+            rows.push((rank, clock, comm, comp));
+        }
+    }
+    rows
+}

@@ -1,0 +1,49 @@
+//! Per-rank causal timelines, critical-path extraction, and what-if
+//! bottleneck analysis for MFBC runs.
+//!
+//! The machine layer meters cost (per-rank α–β–γ meters) and streams
+//! a typed trace ([`mfbc_trace`]); this crate replays that stream
+//! into a *causal* model of the run:
+//!
+//! 1. [`TimelineBuilder`] is a [`mfbc_trace::Recorder`] that folds the
+//!    event stream into per-rank lanes of typed segments (collectives
+//!    by kind with their exact α/β split, local compute, fault-retry
+//!    backoff), each carrying modeled seconds, bytes/messages, and
+//!    superstep/plan provenance. The builder maintains a replica of
+//!    the machine's per-rank cost meters and can bit-compare itself
+//!    against them ([`Timeline::validate_against`]).
+//! 2. [`critical_path`] walks the BSP dependency DAG backwards from
+//!    the lane that attains the makespan and returns the exact gating
+//!    chain — segment durations folded left-to-right reproduce the
+//!    makespan **bit-for-bit** ([`CriticalPath::sum_s`]). On top of
+//!    it sit the ranked bottleneck table ([`bottlenecks`]) and
+//!    per-superstep straggler attribution ([`step_attribution`]).
+//! 3. [`whatif`] replays the causal recurrence under counterfactual
+//!    edits (zero a collective kind, scale α/β/γ, perfectly overlap
+//!    communication with compute) yielding modeled lower bounds; the
+//!    identity edit reproduces the makespan bit-for-bit and every
+//!    edit is monotone non-increasing.
+//! 4. [`export`] renders the versioned `timeline.json` document (with
+//!    a parser for round-trips and run-vs-run diffs), a
+//!    self-contained Gantt-style HTML view, and metric-registry
+//!    gauges — all using the shared exact-`f64` formatter so numbers
+//!    agree bit-for-bit across exporters.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod builder;
+pub mod critical;
+pub mod export;
+pub mod whatif;
+
+pub use builder::{Lane, Marker, Node, SegmentKind, StepInfo, Timeline, TimelineBuilder};
+pub use critical::{
+    analyze, bottlenecks, critical_path, step_attribution, Analysis, Bottleneck, CriticalPath,
+    PathSegment, StepAttribution,
+};
+pub use export::{
+    diff_docs, doc, parse_html_rank_rows, parse_timeline, register_metrics, render_diff, to_html,
+    to_json, DiffRow, TimelineDoc, TIMELINE_JSON_VERSION,
+};
+pub use whatif::{evaluate, report, WhatIf, WhatIfReport};

@@ -1,0 +1,278 @@
+//! Counterfactual makespan evaluation.
+//!
+//! A what-if edit rescales or removes modeled cost components and
+//! replays the causal recurrence to get a *modeled lower bound* on
+//! the edited run:
+//!
+//! * `zero:<kind>` — a collective kind becomes free (its segments
+//!   still synchronize, at zero cost);
+//! * `alpha:<s>` / `beta:<s>` — scale every collective's latency /
+//!   bandwidth term (the α/β split is exact, so scale 1 is the
+//!   identity bit-for-bit);
+//! * `gamma:<s>` — scale local compute;
+//! * `overlap` — perfect communication/computation overlap: a
+//!   collective is issued at its group's last synchronization point
+//!   and runs concurrently with the local compute that follows, so
+//!   the group resumes at `max(ready, issue + dt)` instead of
+//!   `ready + dt`.
+//!
+//! Every knob is monotone: with scales in `[0, 1]`, and for `zero`
+//! and `overlap` always, the edited makespan never exceeds the
+//! original (IEEE addition, multiplication by a factor in `[0, 1]`,
+//! and `max` are all monotone, and the replay applies them in the
+//! same order as the builder).
+
+use crate::builder::{SegmentKind, Timeline};
+
+/// A counterfactual edit of the cost model.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WhatIf {
+    /// Make this collective kind free (also accepts `backoff`).
+    pub zero_kind: Option<String>,
+    /// Scale on every collective's latency (α) term.
+    pub alpha_scale: f64,
+    /// Scale on every collective's bandwidth (β) term.
+    pub beta_scale: f64,
+    /// Scale on local compute (γ) time.
+    pub gamma_scale: f64,
+    /// Perfectly overlap communication with local compute.
+    pub overlap: bool,
+}
+
+impl Default for WhatIf {
+    fn default() -> WhatIf {
+        WhatIf {
+            zero_kind: None,
+            alpha_scale: 1.0,
+            beta_scale: 1.0,
+            gamma_scale: 1.0,
+            overlap: false,
+        }
+    }
+}
+
+impl WhatIf {
+    /// The identity edit: reproduces the original makespan
+    /// bit-for-bit.
+    pub fn identity() -> WhatIf {
+        WhatIf::default()
+    }
+
+    /// Whether this edit changes nothing.
+    pub fn is_identity(&self) -> bool {
+        self.zero_kind.is_none()
+            && self.alpha_scale == 1.0
+            && self.beta_scale == 1.0
+            && self.gamma_scale == 1.0
+            && !self.overlap
+    }
+
+    /// Parses a comma-separated edit spec: `overlap`, `zero:<kind>`,
+    /// `alpha:<scale>`, `beta:<scale>`, `gamma:<scale>`, e.g.
+    /// `overlap,beta:0.5`.
+    pub fn parse(spec: &str) -> Result<WhatIf, String> {
+        let mut w = WhatIf::default();
+        for part in spec.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+            if part == "overlap" {
+                w.overlap = true;
+                continue;
+            }
+            let Some((key, value)) = part.split_once(':') else {
+                return Err(format!(
+                    "what-if clause `{part}`: expected `overlap`, `zero:<kind>`, or `<alpha|beta|gamma>:<scale>`"
+                ));
+            };
+            match key.trim() {
+                "zero" => w.zero_kind = Some(value.trim().to_string()),
+                "alpha" | "beta" | "gamma" => {
+                    let scale: f64 = value
+                        .trim()
+                        .parse()
+                        .map_err(|_| format!("what-if clause `{part}`: bad scale `{value}`"))?;
+                    if !scale.is_finite() || scale < 0.0 {
+                        return Err(format!(
+                            "what-if clause `{part}`: scale must be finite and >= 0"
+                        ));
+                    }
+                    match key.trim() {
+                        "alpha" => w.alpha_scale = scale,
+                        "beta" => w.beta_scale = scale,
+                        _ => w.gamma_scale = scale,
+                    }
+                }
+                other => return Err(format!("what-if clause `{part}`: unknown knob `{other}`")),
+            }
+        }
+        Ok(w)
+    }
+
+    /// Compact display label (`identity` for the no-op edit).
+    pub fn label(&self) -> String {
+        if self.is_identity() {
+            return "identity".to_string();
+        }
+        let mut parts = Vec::new();
+        if let Some(k) = &self.zero_kind {
+            parts.push(format!("zero:{k}"));
+        }
+        if self.alpha_scale != 1.0 {
+            parts.push(format!("alpha:{}", self.alpha_scale));
+        }
+        if self.beta_scale != 1.0 {
+            parts.push(format!("beta:{}", self.beta_scale));
+        }
+        if self.gamma_scale != 1.0 {
+            parts.push(format!("gamma:{}", self.gamma_scale));
+        }
+        if self.overlap {
+            parts.push("overlap".to_string());
+        }
+        parts.join(",")
+    }
+}
+
+/// Replays the causal recurrence under `edit` and returns the edited
+/// makespan.
+///
+/// The serial replay is the builder's recurrence verbatim, so the
+/// identity edit returns [`Timeline::makespan_s`] bit-for-bit.
+pub fn evaluate(tl: &Timeline, edit: &WhatIf) -> f64 {
+    let n = tl.lanes.len();
+    // `clock[l]`: the lane's causal clock (after its last segment).
+    // `synced[l]`: the clock at the lane's last synchronization, the
+    // issue time of the next collective under perfect overlap.
+    let mut clock = vec![0.0f64; n];
+    let mut synced = vec![0.0f64; n];
+    for node in &tl.nodes {
+        let dt = edited_dt(node_kind(node), node.dt_s, edit);
+        match &node.kind {
+            SegmentKind::Compute { .. } => {
+                clock[node.lanes[0]] += dt;
+            }
+            SegmentKind::Collective { .. } | SegmentKind::Backoff => {
+                let mut ready = 0.0f64;
+                for &l in &node.lanes {
+                    ready = ready.max(clock[l]);
+                }
+                let post = if edit.overlap {
+                    let mut issue = 0.0f64;
+                    for &l in &node.lanes {
+                        issue = issue.max(synced[l]);
+                    }
+                    ready.max(issue + dt)
+                } else {
+                    ready + dt
+                };
+                for &l in &node.lanes {
+                    clock[l] = post;
+                    synced[l] = post;
+                }
+            }
+        }
+    }
+    tl.lanes
+        .iter()
+        .enumerate()
+        .filter(|(_, l)| l.alive)
+        .map(|(i, _)| clock[i])
+        .fold(0.0, f64::max)
+}
+
+/// A named edit with its evaluated bound.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WhatIfReport {
+    /// Display label of the edit.
+    pub label: String,
+    /// Edited (counterfactual) makespan in seconds.
+    pub makespan_s: f64,
+    /// The unedited makespan it is compared against.
+    pub baseline_s: f64,
+}
+
+impl WhatIfReport {
+    /// `baseline / edited` (∞-safe: 1.0 when the edit is a no-op on a
+    /// zero makespan).
+    pub fn speedup(&self) -> f64 {
+        if self.makespan_s > 0.0 {
+            self.baseline_s / self.makespan_s
+        } else if self.baseline_s > 0.0 {
+            f64::INFINITY
+        } else {
+            1.0
+        }
+    }
+}
+
+/// Evaluates `edit` against `tl` and packages the comparison.
+pub fn report(tl: &Timeline, edit: &WhatIf) -> WhatIfReport {
+    WhatIfReport {
+        label: edit.label(),
+        makespan_s: evaluate(tl, edit),
+        baseline_s: tl.makespan_s(),
+    }
+}
+
+enum EditClass<'a> {
+    Collective {
+        kind: &'a str,
+        alpha_s: f64,
+        beta_s: f64,
+    },
+    Compute,
+    Backoff,
+}
+
+fn node_kind(node: &crate::builder::Node) -> EditClass<'_> {
+    match &node.kind {
+        SegmentKind::Collective {
+            kind,
+            alpha_s,
+            beta_s,
+            ..
+        } => EditClass::Collective {
+            kind,
+            alpha_s: *alpha_s,
+            beta_s: *beta_s,
+        },
+        SegmentKind::Compute { .. } => EditClass::Compute,
+        SegmentKind::Backoff => EditClass::Backoff,
+    }
+}
+
+/// The edited duration of one segment. Scale 1 multiplications are
+/// IEEE identities, so the identity edit reproduces `dt_s` exactly.
+fn edited_dt(class: EditClass<'_>, dt_s: f64, edit: &WhatIf) -> f64 {
+    match class {
+        EditClass::Collective {
+            kind,
+            alpha_s,
+            beta_s,
+        } => {
+            if edit.zero_kind.as_deref() == Some(kind) {
+                return 0.0;
+            }
+            if edit.alpha_scale == 1.0 && edit.beta_scale == 1.0 {
+                // `beta_s + alpha_s == dt_s` holds by construction,
+                // but returning the recorded duration keeps the
+                // identity obvious.
+                dt_s
+            } else {
+                beta_s * edit.beta_scale + alpha_s * edit.alpha_scale
+            }
+        }
+        EditClass::Compute => {
+            if edit.gamma_scale == 1.0 {
+                dt_s
+            } else {
+                dt_s * edit.gamma_scale
+            }
+        }
+        EditClass::Backoff => {
+            if edit.zero_kind.as_deref() == Some("backoff") {
+                0.0
+            } else {
+                dt_s
+            }
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! Property tests over randomized machine runs.
+//!
+//! Each case drives a live [`Machine`] through a random schedule of
+//! compute charges and (sub)group collectives under a scoped
+//! [`TimelineBuilder`], then checks the analyzer's core invariants:
+//!
+//! * the replica cost meters agree with the machine **bit-for-bit**;
+//! * the critical path folds to the makespan **bit-for-bit**;
+//! * the identity what-if reproduces the makespan **bit-for-bit**;
+//! * every shrinking edit (scales in `[0, 1]`, `zero:*`, `overlap`)
+//!   is monotone non-increasing;
+//! * the `timeline.json` document round-trips exactly.
+//!
+//! Uses a local SplitMix64 so the crate stays dependency-free.
+
+use mfbc_machine::{CollectiveKind, Group, Machine, MachineSpec};
+use mfbc_timeline::{
+    analyze, critical_path, doc, evaluate, parse_timeline, report, to_json, Timeline,
+    TimelineBuilder, WhatIf,
+};
+use mfbc_trace::scoped;
+use std::sync::Arc;
+
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+const KINDS: [CollectiveKind; 9] = [
+    CollectiveKind::Broadcast,
+    CollectiveKind::Reduce,
+    CollectiveKind::Allreduce,
+    CollectiveKind::Scatter,
+    CollectiveKind::Gather,
+    CollectiveKind::Allgather,
+    CollectiveKind::AllToAll,
+    CollectiveKind::SparseReduce,
+    CollectiveKind::PointToPoint,
+];
+
+/// Drives a random schedule and returns the sealed timeline plus the
+/// machine it mirrors.
+fn random_run(seed: u64) -> (Timeline, Machine) {
+    let mut rng = Rng(seed);
+    let p = 2 + rng.below(5) as usize; // 2..=6 ranks
+    let spec = match rng.below(3) {
+        0 => MachineSpec::test(p),
+        1 => MachineSpec::gemini(p),
+        _ => MachineSpec::aries(p),
+    };
+    let builder = Arc::new(TimelineBuilder::new(spec.clone()));
+    let machine = Machine::new(spec);
+    scoped(builder.clone(), || {
+        let steps = 5 + rng.below(25);
+        for _ in 0..steps {
+            if rng.below(3) == 0 {
+                let rank = rng.below(p as u64) as usize;
+                machine.charge_compute(rank, 1 + rng.below(5000));
+            } else {
+                let kind = KINDS[rng.below(KINDS.len() as u64) as usize];
+                let group = if rng.below(2) == 0 || p == 2 {
+                    machine.world()
+                } else {
+                    // A random proper subgroup of size 2..p.
+                    let size = 2 + rng.below(p as u64 - 1) as usize;
+                    let mut ranks: Vec<usize> = (0..p).collect();
+                    for i in (1..ranks.len()).rev() {
+                        let j = rng.below(i as u64 + 1) as usize;
+                        ranks.swap(i, j);
+                    }
+                    ranks.truncate(size);
+                    Group::new(ranks).unwrap()
+                };
+                machine
+                    .charge_collective(&group, kind, rng.below(1 << 20))
+                    .unwrap();
+            }
+        }
+    });
+    (builder.finish(), machine)
+}
+
+#[test]
+fn replica_meters_match_machine_bitwise() {
+    for seed in 0..40 {
+        let (tl, machine) = random_run(seed);
+        let problems = tl.validate_against(&machine);
+        assert!(problems.is_empty(), "seed {seed}: {problems:?}");
+    }
+}
+
+#[test]
+fn critical_path_sums_to_makespan_bitwise() {
+    for seed in 0..40 {
+        let (tl, _machine) = random_run(seed);
+        let path = critical_path(&tl);
+        assert_eq!(
+            path.sum_s().to_bits(),
+            tl.makespan_s().to_bits(),
+            "seed {seed}: path {:?} != makespan {:?}",
+            path.sum_s(),
+            tl.makespan_s()
+        );
+        // The chain is causally ordered.
+        for pair in path.segments.windows(2) {
+            assert!(
+                pair[0].node < pair[1].node,
+                "seed {seed}: path not in stream order"
+            );
+        }
+    }
+}
+
+#[test]
+fn identity_what_if_reproduces_makespan_bitwise() {
+    for seed in 0..40 {
+        let (tl, _machine) = random_run(seed);
+        let r = report(&tl, &WhatIf::identity());
+        assert_eq!(
+            r.makespan_s.to_bits(),
+            tl.makespan_s().to_bits(),
+            "seed {seed}"
+        );
+        assert_eq!(r.baseline_s.to_bits(), tl.makespan_s().to_bits());
+    }
+}
+
+#[test]
+fn every_shrinking_edit_is_monotone_non_increasing() {
+    for seed in 0..25 {
+        let (tl, _machine) = random_run(seed);
+        let base = tl.makespan_s();
+        let mut rng = Rng(seed ^ 0xdead_beef);
+        let mut edits = vec![WhatIf {
+            overlap: true,
+            ..WhatIf::identity()
+        }];
+        for kind in KINDS {
+            edits.push(WhatIf {
+                zero_kind: Some(kind.name().to_string()),
+                ..WhatIf::identity()
+            });
+        }
+        for _ in 0..10 {
+            edits.push(WhatIf {
+                alpha_scale: rng.below(101) as f64 / 100.0,
+                beta_scale: rng.below(101) as f64 / 100.0,
+                gamma_scale: rng.below(101) as f64 / 100.0,
+                overlap: rng.below(2) == 1,
+                zero_kind: None,
+            });
+        }
+        for edit in edits {
+            let edited = evaluate(&tl, &edit);
+            assert!(
+                edited <= base,
+                "seed {seed}: edit {} raised makespan {edited:?} > {base:?}",
+                edit.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn timeline_json_round_trips_exactly() {
+    for seed in 0..15 {
+        let (tl, _machine) = random_run(seed);
+        let an = analyze(&tl);
+        let reports = vec![
+            report(&tl, &WhatIf::identity()),
+            report(
+                &tl,
+                &WhatIf {
+                    overlap: true,
+                    ..WhatIf::identity()
+                },
+            ),
+        ];
+        let d = doc(&tl, &an, &reports);
+        let text = to_json(&d);
+        let parsed = parse_timeline(&text).expect("parse timeline.json");
+        assert_eq!(parsed, d, "seed {seed}: round-trip mismatch");
+        // Serialize-again equality makes the bit-exactness visible at
+        // the byte level too.
+        assert_eq!(to_json(&parsed), text, "seed {seed}");
+    }
+}
+
+#[test]
+fn what_if_parse_accepts_the_documented_grammar() {
+    let w = WhatIf::parse("overlap, beta:0.5 ,alpha:0").unwrap();
+    assert!(w.overlap);
+    assert_eq!(w.beta_scale, 0.5);
+    assert_eq!(w.alpha_scale, 0.0);
+    assert_eq!(w.gamma_scale, 1.0);
+    let z = WhatIf::parse("zero:allgather").unwrap();
+    assert_eq!(z.zero_kind.as_deref(), Some("allgather"));
+    assert!(WhatIf::parse("").unwrap().is_identity());
+    assert!(WhatIf::parse("warp:9").is_err());
+    assert!(WhatIf::parse("beta:-1").is_err());
+    assert!(WhatIf::parse("beta:fast").is_err());
+}

@@ -3,50 +3,153 @@
 //! The output opens directly in `chrome://tracing` or Perfetto
 //! (<https://ui.perfetto.dev>, "Open trace file"). Spans become
 //! nested `B`/`E` slices per thread, counters become counter tracks,
-//! and everything else becomes thread-scoped instant events with the
-//! structured payload in `args`.
+//! and everything else becomes instant events with the structured
+//! payload in `args`.
+//!
+//! Rank-attributed events (collectives, compute charges, backoff
+//! waits, rank-targeted faults) are fanned out into **one process
+//! lane per rank** (`pid = rank + 1`, labeled `rank N` via
+//! `process_name` metadata), so the per-rank concurrency structure is
+//! visible instead of being flattened into a single lane. Events with
+//! no rank attribution (spans, counters, autotune decisions, …) stay
+//! on `pid 0` (`stream`), keyed by emitting thread. Faults,
+//! recoveries and shrinks are rendered as **global-scoped** instants
+//! (`"s":"g"`) so recovery gaps draw a line across every lane.
 
 use crate::event::{TraceEvent, TraceRecord};
 use crate::json::{esc, num};
 use std::fmt::Write as _;
 
-fn head(out: &mut String, name: &str, cat: &str, ph: &str, rec: &TraceRecord) {
+/// Lane id for events with no rank attribution.
+const STREAM_PID: u64 = 0;
+
+/// Lane id for a rank's process lane.
+fn rank_pid(rank: usize) -> u64 {
+    rank as u64 + 1
+}
+
+fn head(out: &mut String, name: &str, cat: &str, ph: &str, ts_us: u64, pid: u64, tid: u64) {
     let _ = write!(
         out,
-        "{{\"name\":\"{}\",\"cat\":\"{cat}\",\"ph\":\"{ph}\",\"ts\":{},\"pid\":0,\"tid\":{}",
+        "{{\"name\":\"{}\",\"cat\":\"{cat}\",\"ph\":\"{ph}\",\"ts\":{ts_us},\"pid\":{pid},\"tid\":{tid}",
         esc(name),
-        rec.ts_us,
-        rec.tid
     );
 }
 
-fn one_event(out: &mut String, rec: &TraceRecord) {
+/// Appends one instant event (`ph:"i"`) with the given scope and a
+/// pre-rendered `args` object body (without braces).
+fn instant(
+    events: &mut Vec<String>,
+    name: &str,
+    cat: &str,
+    ts_us: u64,
+    pid: u64,
+    scope: &str,
+    args_body: &str,
+) {
+    let mut out = String::with_capacity(96 + args_body.len());
+    head(&mut out, name, cat, "i", ts_us, pid, 0);
+    let _ = write!(out, ",\"s\":\"{scope}\",\"args\":{{{args_body}}}}}");
+    events.push(out);
+}
+
+fn one_event(events: &mut Vec<String>, rec: &TraceRecord) {
     match &rec.event {
         TraceEvent::SpanBegin { name } => {
-            head(out, name, "span", "B", rec);
+            let mut out = String::new();
+            head(&mut out, name, "span", "B", rec.ts_us, STREAM_PID, rec.tid);
             out.push('}');
+            events.push(out);
         }
         TraceEvent::SpanEnd { name } => {
-            head(out, name, "span", "E", rec);
+            let mut out = String::new();
+            head(&mut out, name, "span", "E", rec.ts_us, STREAM_PID, rec.tid);
             out.push('}');
+            events.push(out);
         }
         TraceEvent::Counter { name, value } => {
-            head(out, name, "counter", "C", rec);
+            let mut out = String::new();
+            head(
+                &mut out, name, "counter", "C", rec.ts_us, STREAM_PID, rec.tid,
+            );
             let _ = write!(out, ",\"args\":{{\"{name}\":{}}}}}", num(*value));
+            events.push(out);
         }
         TraceEvent::Collective {
             kind,
             group,
+            ranks,
+            seq,
             bytes,
             msgs,
             bytes_charged,
             modeled_s,
         } => {
-            head(out, kind, "collective", "i", rec);
-            let _ = write!(
-                out,
-                ",\"s\":\"t\",\"args\":{{\"group\":{group},\"bytes\":{bytes},\"msgs\":{msgs},\"bytes_charged\":{bytes_charged},\"modeled_s\":{}}}}}",
+            let args = format!(
+                "\"group\":{group},\"seq\":{seq},\"bytes\":{bytes},\"msgs\":{msgs},\"bytes_charged\":{bytes_charged},\"modeled_s\":{}",
                 num(*modeled_s)
+            );
+            if ranks.is_empty() {
+                instant(
+                    events,
+                    kind,
+                    "collective",
+                    rec.ts_us,
+                    STREAM_PID,
+                    "t",
+                    &args,
+                );
+            }
+            for &r in ranks {
+                instant(
+                    events,
+                    kind,
+                    "collective",
+                    rec.ts_us,
+                    rank_pid(r),
+                    "t",
+                    &args,
+                );
+            }
+        }
+        TraceEvent::Compute {
+            rank,
+            ops,
+            modeled_s,
+        } => {
+            instant(
+                events,
+                "compute",
+                "compute",
+                rec.ts_us,
+                rank_pid(*rank),
+                "t",
+                &format!("\"ops\":{ops},\"modeled_s\":{}", num(*modeled_s)),
+            );
+        }
+        TraceEvent::Backoff { ranks, seconds } => {
+            let args = format!("\"seconds\":{}", num(*seconds));
+            for &r in ranks {
+                instant(
+                    events,
+                    "backoff",
+                    "backoff",
+                    rec.ts_us,
+                    rank_pid(r),
+                    "t",
+                    &args,
+                );
+            }
+        }
+        TraceEvent::Shrink { failed, p_before } => {
+            instant(
+                events,
+                &format!("shrink -rank{failed}"),
+                "fault",
+                rec.ts_us,
+                STREAM_PID,
+                "g",
+                &format!("\"failed\":{failed},\"p_before\":{p_before}"),
             );
         }
         TraceEvent::Spgemm {
@@ -59,11 +162,17 @@ fn one_event(out: &mut String, rec: &TraceRecord) {
             nnz_c,
             ops,
         } => {
-            head(out, &format!("spgemm {plan}"), "spgemm", "i", rec);
-            let _ = write!(
-                out,
-                ",\"s\":\"t\",\"args\":{{\"plan\":\"{}\",\"m\":{m},\"k\":{k},\"n\":{n},\"nnz_a\":{nnz_a},\"nnz_b\":{nnz_b},\"nnz_c\":{nnz_c},\"ops\":{ops}}}}}",
-                esc(plan)
+            instant(
+                events,
+                &format!("spgemm {plan}"),
+                "spgemm",
+                rec.ts_us,
+                STREAM_PID,
+                "t",
+                &format!(
+                    "\"plan\":\"{}\",\"m\":{m},\"k\":{k},\"n\":{n},\"nnz_a\":{nnz_a},\"nnz_b\":{nnz_b},\"nnz_c\":{nnz_c},\"ops\":{ops}",
+                    esc(plan)
+                ),
             );
         }
         TraceEvent::Redist {
@@ -71,10 +180,14 @@ fn one_event(out: &mut String, rec: &TraceRecord) {
             bytes_moved,
             participants,
         } => {
-            head(out, &format!("redist {what}"), "redist", "i", rec);
-            let _ = write!(
-                out,
-                ",\"s\":\"t\",\"args\":{{\"bytes_moved\":{bytes_moved},\"participants\":{participants}}}}}"
+            instant(
+                events,
+                &format!("redist {what}"),
+                "redist",
+                rec.ts_us,
+                STREAM_PID,
+                "t",
+                &format!("\"bytes_moved\":{bytes_moved},\"participants\":{participants}"),
             );
         }
         TraceEvent::Autotune {
@@ -87,19 +200,17 @@ fn one_event(out: &mut String, rec: &TraceRecord) {
             winner,
             winner_cost_s,
         } => {
-            head(out, &format!("autotune -> {winner}"), "autotune", "i", rec);
-            let _ = write!(
-                out,
-                ",\"s\":\"t\",\"args\":{{\"m\":{m},\"k\":{k},\"n\":{n},\"nnz_a\":{nnz_a},\"nnz_b\":{nnz_b},\"winner\":\"{}\",\"winner_cost_s\":{},\"candidates\":[",
+            let mut args = format!(
+                "\"m\":{m},\"k\":{k},\"n\":{n},\"nnz_a\":{nnz_a},\"nnz_b\":{nnz_b},\"winner\":\"{}\",\"winner_cost_s\":{},\"candidates\":[",
                 esc(winner),
                 num(*winner_cost_s)
             );
             for (i, c) in candidates.iter().enumerate() {
                 if i > 0 {
-                    out.push(',');
+                    args.push(',');
                 }
                 let _ = write!(
-                    out,
+                    args,
                     "{{\"plan\":\"{}\",\"cost_s\":{},\"mem_bytes\":{},\"feasible\":{}}}",
                     esc(&c.plan),
                     num(c.cost_s),
@@ -107,7 +218,16 @@ fn one_event(out: &mut String, rec: &TraceRecord) {
                     c.feasible
                 );
             }
-            out.push_str("]}}");
+            args.push(']');
+            instant(
+                events,
+                &format!("autotune -> {winner}"),
+                "autotune",
+                rec.ts_us,
+                STREAM_PID,
+                "t",
+                &args,
+            );
         }
         TraceEvent::Superstep {
             phase,
@@ -116,10 +236,16 @@ fn one_event(out: &mut String, rec: &TraceRecord) {
             frontier_nnz,
             active_rows,
         } => {
-            head(out, &format!("superstep {phase}"), "superstep", "i", rec);
-            let _ = write!(
-                out,
-                ",\"s\":\"t\",\"args\":{{\"batch\":{batch},\"step\":{step},\"frontier_nnz\":{frontier_nnz},\"active_rows\":{active_rows}}}}}"
+            instant(
+                events,
+                &format!("superstep {phase}"),
+                "superstep",
+                rec.ts_us,
+                STREAM_PID,
+                "t",
+                &format!(
+                    "\"batch\":{batch},\"step\":{step},\"frontier_nnz\":{frontier_nnz},\"active_rows\":{active_rows}"
+                ),
             );
         }
         TraceEvent::Pool {
@@ -129,71 +255,131 @@ fn one_event(out: &mut String, rec: &TraceRecord) {
             busy_us,
             chunk_hist,
         } => {
-            head(out, &format!("pool {kernel}"), "pool", "i", rec);
-            let _ = write!(
-                out,
-                ",\"s\":\"t\",\"args\":{{\"threads\":{threads},\"tasks\":{tasks},\"busy_us\":["
-            );
+            let mut args = format!("\"threads\":{threads},\"tasks\":{tasks},\"busy_us\":[");
             for (i, b) in busy_us.iter().enumerate() {
                 if i > 0 {
-                    out.push(',');
+                    args.push(',');
                 }
-                let _ = write!(out, "{b}");
+                let _ = write!(args, "{b}");
             }
-            out.push_str("],\"chunk_hist\":[");
+            args.push_str("],\"chunk_hist\":[");
             for (i, c) in chunk_hist.iter().enumerate() {
                 if i > 0 {
-                    out.push(',');
+                    args.push(',');
                 }
-                let _ = write!(out, "{c}");
+                let _ = write!(args, "{c}");
             }
-            out.push_str("]}}");
+            args.push(']');
+            instant(
+                events,
+                &format!("pool {kernel}"),
+                "pool",
+                rec.ts_us,
+                STREAM_PID,
+                "t",
+                &args,
+            );
         }
         TraceEvent::Fault { kind, rank, seq } => {
-            head(out, &format!("fault {kind}"), "fault", "i", rec);
-            let _ = write!(out, ",\"s\":\"t\",\"args\":{{\"rank\":");
+            let mut args = String::from("\"rank\":");
             match rank {
                 Some(r) => {
-                    let _ = write!(out, "{r}");
+                    let _ = write!(args, "{r}");
                 }
-                None => out.push_str("null"),
+                None => args.push_str("null"),
             }
-            let _ = write!(out, ",\"seq\":{seq}}}}}");
+            let _ = write!(args, ",\"seq\":{seq}");
+            let pid = rank.map_or(STREAM_PID, rank_pid);
+            instant(
+                events,
+                &format!("fault {kind}"),
+                "fault",
+                rec.ts_us,
+                pid,
+                "g",
+                &args,
+            );
         }
         TraceEvent::Recovery {
             action,
             detail,
             wasted_s,
         } => {
-            head(out, &format!("recovery {action}"), "recovery", "i", rec);
-            let _ = write!(
-                out,
-                ",\"s\":\"t\",\"args\":{{\"detail\":\"{}\",\"wasted_s\":{}}}}}",
-                esc(detail),
-                num(*wasted_s)
+            instant(
+                events,
+                &format!("recovery {action}"),
+                "recovery",
+                rec.ts_us,
+                STREAM_PID,
+                "g",
+                &format!(
+                    "\"detail\":\"{}\",\"wasted_s\":{}",
+                    esc(detail),
+                    num(*wasted_s)
+                ),
             );
         }
         TraceEvent::Log { level, message } => {
-            head(out, message, "log", "i", rec);
-            let _ = write!(
-                out,
-                ",\"s\":\"t\",\"args\":{{\"level\":\"{}\"}}}}",
-                level.name()
+            instant(
+                events,
+                message,
+                "log",
+                rec.ts_us,
+                STREAM_PID,
+                "t",
+                &format!("\"level\":\"{}\"", level.name()),
             );
         }
     }
 }
 
+/// Largest rank id attributed anywhere in the trace, if any.
+fn max_rank(records: &[TraceRecord]) -> Option<usize> {
+    let mut mx: Option<usize> = None;
+    let mut bump = |r: usize| mx = Some(mx.map_or(r, |m: usize| m.max(r)));
+    for rec in records {
+        match &rec.event {
+            TraceEvent::Collective { ranks, .. } | TraceEvent::Backoff { ranks, .. } => {
+                for &r in ranks {
+                    bump(r);
+                }
+            }
+            TraceEvent::Compute { rank, .. } => bump(*rank),
+            TraceEvent::Fault { rank: Some(r), .. } => bump(*r),
+            TraceEvent::Shrink { p_before, .. } if *p_before > 0 => bump(*p_before - 1),
+            _ => {}
+        }
+    }
+    mx
+}
+
 /// Serializes records as a complete Chrome `trace_event` JSON
-/// document.
+/// document with one process lane per rank.
 pub fn to_chrome_trace(records: &[TraceRecord]) -> String {
-    let mut out = String::with_capacity(records.len() * 160 + 64);
+    let mut events: Vec<String> = Vec::with_capacity(records.len() + 8);
+    // Label the lanes first: pid 0 is the un-attributed event stream,
+    // pid r+1 is rank r.
+    events.push(format!(
+        "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{STREAM_PID},\"tid\":0,\"args\":{{\"name\":\"stream\"}}}}"
+    ));
+    if let Some(mx) = max_rank(records) {
+        for r in 0..=mx {
+            events.push(format!(
+                "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{},\"tid\":0,\"args\":{{\"name\":\"rank {r}\"}}}}",
+                rank_pid(r)
+            ));
+        }
+    }
+    for rec in records {
+        one_event(&mut events, rec);
+    }
+    let mut out = String::with_capacity(events.iter().map(|e| e.len() + 2).sum::<usize>() + 64);
     out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
-    for (i, rec) in records.iter().enumerate() {
+    for (i, e) in events.iter().enumerate() {
         if i > 0 {
             out.push_str(",\n");
         }
-        one_event(&mut out, rec);
+        out.push_str(e);
     }
     out.push_str("\n]}\n");
     out
@@ -225,12 +411,14 @@ mod tests {
     }
 
     #[test]
-    fn instants_carry_args() {
+    fn collectives_fan_out_one_lane_per_rank() {
         let text = to_chrome_trace(&[rec(
             3,
             TraceEvent::Collective {
                 kind: "bcast",
                 group: 4,
+                ranks: vec![0, 1, 2, 3],
+                seq: 0,
                 bytes: 64,
                 msgs: 4,
                 bytes_charged: 128,
@@ -239,6 +427,51 @@ mod tests {
         )]);
         assert!(text.contains("\"ph\":\"i\""));
         assert!(text.contains("\"bytes_charged\":128"));
+        // One instant per participating rank, on that rank's pid lane.
+        for r in 0..4u64 {
+            assert!(text.contains(&format!("\"pid\":{}", r + 1)), "lane {r}");
+            assert!(text.contains(&format!("\"args\":{{\"name\":\"rank {r}\"}}")));
+        }
+    }
+
+    #[test]
+    fn compute_lands_on_its_ranks_lane() {
+        let text = to_chrome_trace(&[rec(
+            2,
+            TraceEvent::Compute {
+                rank: 2,
+                ops: 100,
+                modeled_s: 1e-7,
+            },
+        )]);
+        assert!(text.contains("\"name\":\"compute\""));
+        assert!(text.contains("\"pid\":3"));
+        assert!(text.contains("\"ops\":100"));
+    }
+
+    #[test]
+    fn faults_and_recoveries_are_global_instants() {
+        let text = to_chrome_trace(&[
+            rec(
+                1,
+                TraceEvent::Fault {
+                    kind: "crash",
+                    rank: Some(1),
+                    seq: 5,
+                },
+            ),
+            rec(
+                2,
+                TraceEvent::Recovery {
+                    action: "replan",
+                    detail: "p=4->3".into(),
+                    wasted_s: 0.25,
+                },
+            ),
+        ]);
+        assert!(text.contains("\"name\":\"fault crash\""));
+        assert!(text.contains("\"name\":\"recovery replan\""));
+        assert_eq!(text.matches("\"s\":\"g\"").count(), 2);
     }
 
     #[test]

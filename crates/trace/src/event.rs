@@ -47,6 +47,11 @@ pub enum TraceEvent {
         kind: &'static str,
         /// Number of ranks in the participating group.
         group: usize,
+        /// Participating rank ids, in the machine's numbering at the
+        /// time the collective was issued.
+        ranks: Vec<usize>,
+        /// Collective sequence number (the machine's issue order).
+        seq: u64,
         /// Per-rank payload in bytes, as passed to the cost model.
         bytes: u64,
         /// Messages charged on the critical path.
@@ -55,6 +60,31 @@ pub enum TraceEvent {
         bytes_charged: u64,
         /// Modeled time in seconds (α–β closed form).
         modeled_s: f64,
+    },
+    /// Local compute charged to one rank of the machine model.
+    Compute {
+        /// Rank the operations were charged to.
+        rank: usize,
+        /// Multiply–add operations charged.
+        ops: u64,
+        /// Modeled time in seconds (`ops · γ`).
+        modeled_s: f64,
+    },
+    /// A retry backoff wait charged to a group after a transient
+    /// fault (the group synchronizes, then sits out the wait).
+    Backoff {
+        /// Ranks that waited out the backoff.
+        ranks: Vec<usize>,
+        /// Modeled seconds of backoff charged.
+        seconds: f64,
+    },
+    /// The machine shrank by one rank (crash recovery); subsequent
+    /// events use the renumbered `0..p-1` rank ids.
+    Shrink {
+        /// Rank that was removed, in the pre-shrink numbering.
+        failed: usize,
+        /// Rank count before the shrink.
+        p_before: usize,
     },
     /// One distributed SpGEMM kernel invocation.
     Spgemm {
@@ -180,6 +210,9 @@ impl TraceEvent {
     pub fn tag(&self) -> &'static str {
         match self {
             TraceEvent::Collective { .. } => "collective",
+            TraceEvent::Compute { .. } => "compute",
+            TraceEvent::Backoff { .. } => "backoff",
+            TraceEvent::Shrink { .. } => "shrink",
             TraceEvent::Spgemm { .. } => "spgemm",
             TraceEvent::Redist { .. } => "redist",
             TraceEvent::Autotune { .. } => "autotune",

@@ -22,6 +22,8 @@ pub fn record_to_json(rec: &TraceRecord) -> String {
         TraceEvent::Collective {
             kind,
             group,
+            ranks,
+            seq,
             bytes,
             msgs,
             bytes_charged,
@@ -29,9 +31,40 @@ pub fn record_to_json(rec: &TraceRecord) -> String {
         } => {
             let _ = write!(
                 s,
-                ",\"kind\":\"{kind}\",\"group\":{group},\"bytes\":{bytes},\"msgs\":{msgs},\"bytes_charged\":{bytes_charged},\"modeled_s\":{}",
+                ",\"kind\":\"{kind}\",\"group\":{group},\"seq\":{seq},\"bytes\":{bytes},\"msgs\":{msgs},\"bytes_charged\":{bytes_charged},\"modeled_s\":{},\"ranks\":[",
                 num(*modeled_s)
             );
+            for (i, r) in ranks.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                let _ = write!(s, "{r}");
+            }
+            s.push(']');
+        }
+        TraceEvent::Compute {
+            rank,
+            ops,
+            modeled_s,
+        } => {
+            let _ = write!(
+                s,
+                ",\"rank\":{rank},\"ops\":{ops},\"modeled_s\":{}",
+                num(*modeled_s)
+            );
+        }
+        TraceEvent::Backoff { ranks, seconds } => {
+            let _ = write!(s, ",\"seconds\":{},\"ranks\":[", num(*seconds));
+            for (i, r) in ranks.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                let _ = write!(s, "{r}");
+            }
+            s.push(']');
+        }
+        TraceEvent::Shrink { failed, p_before } => {
+            let _ = write!(s, ",\"failed\":{failed},\"p_before\":{p_before}");
         }
         TraceEvent::Spgemm {
             plan,
@@ -198,6 +231,8 @@ mod tests {
         let line = record_to_json(&rec(TraceEvent::Collective {
             kind: "allgather",
             group: 8,
+            ranks: (0..8).collect(),
+            seq: 3,
             bytes: 1024,
             msgs: 3,
             bytes_charged: 1024,
@@ -205,8 +240,33 @@ mod tests {
         }));
         assert!(line.starts_with("{\"ts_us\":7,\"tid\":1,\"type\":\"collective\""));
         assert!(line.contains("\"kind\":\"allgather\""));
+        assert!(line.contains("\"seq\":3"));
         assert!(line.contains("\"modeled_s\":1.5e-6"));
+        assert!(line.contains("\"ranks\":[0,1,2,3,4,5,6,7]"));
         assert!(line.ends_with('}'));
+    }
+
+    #[test]
+    fn compute_backoff_and_shrink_lines() {
+        let line = record_to_json(&rec(TraceEvent::Compute {
+            rank: 2,
+            ops: 1000,
+            modeled_s: 1e-6,
+        }));
+        assert!(line.contains("\"type\":\"compute\""));
+        assert!(line.contains("\"rank\":2,\"ops\":1000"));
+        let line = record_to_json(&rec(TraceEvent::Backoff {
+            ranks: vec![0, 1],
+            seconds: 0.5,
+        }));
+        assert!(line.contains("\"type\":\"backoff\""));
+        assert!(line.contains("\"seconds\":0.5,\"ranks\":[0,1]"));
+        let line = record_to_json(&rec(TraceEvent::Shrink {
+            failed: 3,
+            p_before: 8,
+        }));
+        assert!(line.contains("\"type\":\"shrink\""));
+        assert!(line.contains("\"failed\":3,\"p_before\":8"));
     }
 
     #[test]

@@ -256,6 +256,17 @@ impl Recorder for StderrRecorder {
                 detail,
                 wasted_s,
             } => eprintln!("[trace] recovery {action} {detail} wasted={wasted_s:.3e}s"),
+            TraceEvent::Compute {
+                rank,
+                ops,
+                modeled_s,
+            } => eprintln!("[trace] compute rank={rank} ops={ops} t={modeled_s:.3e}s"),
+            TraceEvent::Backoff { ranks, seconds } => {
+                eprintln!("[trace] backoff p={} wait={seconds:.3e}s", ranks.len())
+            }
+            TraceEvent::Shrink { failed, p_before } => {
+                eprintln!("[trace] shrink -rank{failed} p={p_before}->{}", p_before - 1)
+            }
             TraceEvent::Counter { name, value } => {
                 eprintln!("[trace] counter {name}={value}")
             }

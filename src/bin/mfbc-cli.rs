@@ -12,9 +12,13 @@
 //!                    [--threads T] [--faults SPEC] [--fault-seed S]
 //!                    [--trace-out FILE] [--trace-format chrome|jsonl]
 //!                    [--profile-out FILE] [--profile-html FILE]
+//!                    [--timeline-out FILE]
 //! mfbc-cli bench     [--baseline FILE] [--write FILE] [--band F]
 //!                    [--case NAME] [--profile-out FILE] [--html-out FILE]
-//!                    [--prom-out FILE]
+//!                    [--prom-out FILE] [--timeline-out FILE]
+//!                    [--timeline-html FILE]
+//! mfbc-cli analyze   [--case NAME] [--timeline-out FILE] [--html-out FILE]
+//!                    [--what-if SPEC]... [--compare FILE] [--top K]
 //! mfbc-cli generate  (rmat:S,E | uniform:N,M) [--weighted MAX] [--seed S]
 //! ```
 //!
@@ -28,6 +32,19 @@
 //! `profile.json` (per-rank comm/compute, per-superstep breakdown,
 //! plan mix, memory peaks); it composes with `--trace-out` — the two
 //! sinks share the single recorder slot through a tee.
+//!
+//! `analyze` runs one pinned bench case under the timeline analyzer
+//! (`mfbc-timeline`) and prints the exact critical path — the chain
+//! of segments whose modeled durations sum **bit-for-bit** to the
+//! causal makespan — plus the ranked bottleneck table and
+//! per-superstep straggler attribution. `--what-if` evaluates
+//! counterfactual edits (`overlap`, `zero:<kind>`, `alpha:<s>`,
+//! `beta:<s>`, `gamma:<s>`, comma-separable) as modeled lower bounds;
+//! `--timeline-out` writes the versioned `timeline.json`;
+//! `--html-out` a self-contained Gantt view; `--compare` diffs the
+//! run against a previously written `timeline.json`. `simulate`
+//! always prints its top-3 bottleneck segments on stderr and tees the
+//! same analysis to `--timeline-out`.
 //!
 //! `bench` runs the pinned regression suite
 //! ([`mfbc_bench::regress`]): `--write` seeds or refreshes the
@@ -75,8 +92,9 @@ const USAGE: &str = "usage:
   mfbc-cli sssp --source V [--directed] <edge-list|->
   mfbc-cli components [--directed] <edge-list|->
   mfbc-cli stats [--directed] <edge-list|->
-  mfbc-cli simulate --nodes P [--plan auto|ca:C|combblas] [--batch N] [--graph rmat:S,E|uniform:N,M|FILE] [--directed] [--threads T] [--faults SPEC] [--fault-seed S] [--trace-out FILE] [--trace-format chrome|jsonl] [--profile-out FILE] [--profile-html FILE]
-  mfbc-cli bench [--baseline FILE] [--write FILE] [--band F] [--case NAME] [--profile-out FILE] [--html-out FILE] [--prom-out FILE]
+  mfbc-cli simulate --nodes P [--plan auto|ca:C|combblas] [--batch N] [--graph rmat:S,E|uniform:N,M|FILE] [--directed] [--threads T] [--faults SPEC] [--fault-seed S] [--trace-out FILE] [--trace-format chrome|jsonl] [--profile-out FILE] [--profile-html FILE] [--timeline-out FILE]
+  mfbc-cli bench [--baseline FILE] [--write FILE] [--band F] [--case NAME] [--profile-out FILE] [--html-out FILE] [--prom-out FILE] [--timeline-out FILE] [--timeline-html FILE]
+  mfbc-cli analyze [--case NAME] [--timeline-out FILE] [--html-out FILE] [--what-if SPEC] [--compare FILE] [--top K]
   mfbc-cli generate (rmat:S,E | uniform:N,M) [--weighted MAX] [--seed S]";
 
 /// Minimal flag parser: `--key value` options, `--flag` booleans, one
@@ -119,6 +137,15 @@ impl Opts {
             .and_then(|(_, v)| v.as_deref())
     }
 
+    /// Every value of a repeatable flag, in argument order.
+    fn get_all(&self, name: &str) -> Vec<&str> {
+        self.flags
+            .iter()
+            .filter(|(k, _)| k == name)
+            .filter_map(|(_, v)| v.as_deref())
+            .collect()
+    }
+
     fn get_parsed<T: std::str::FromStr>(&self, name: &str) -> Result<Option<T>, String> {
         match self.get(name) {
             None => Ok(None),
@@ -142,6 +169,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "stats" => cmd_stats(rest),
         "simulate" => cmd_simulate(rest),
         "bench" => cmd_bench(rest),
+        "analyze" => cmd_analyze(rest),
         "generate" => cmd_generate(rest),
         "help" | "--help" | "-h" => {
             outln!("{USAGE}");
@@ -319,6 +347,7 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
             "trace-format",
             "profile-out",
             "profile-html",
+            "timeline-out",
         ],
     )?;
     let p: usize = o.get_parsed("nodes")?.ok_or("simulate needs --nodes P")?;
@@ -358,13 +387,17 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
     if profile_html.is_some() && profile_out.is_none() {
         return Err("--profile-html needs --profile-out (the profiler it renders)".into());
     }
+    let timeline_out = o.get("timeline-out").map(str::to_string);
     let recorder = trace_out
         .as_ref()
         .map(|_| std::sync::Arc::new(mfbc_trace::MemoryRecorder::new()));
     let profiler = profile_out
         .as_ref()
         .map(|_| std::sync::Arc::new(mfbc_profile::Profiler::new()));
-    // Both sinks share the single recorder slot through a tee; a lone
+    // The timeline analyzer always rides along: the top-bottleneck
+    // block below is printed for every run.
+    let builder = std::sync::Arc::new(mfbc_timeline::TimelineBuilder::new(machine.spec().clone()));
+    // All sinks share the single recorder slot through a tee; a lone
     // sink is installed directly (no per-event clone).
     {
         let mut sinks: Vec<std::sync::Arc<dyn mfbc_trace::Recorder>> = Vec::new();
@@ -374,8 +407,8 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
         if let Some(prof) = &profiler {
             sinks.push(prof.clone());
         }
+        sinks.push(builder.clone());
         match sinks.len() {
-            0 => {}
             1 => mfbc_trace::install(sinks.pop().expect("len checked")),
             _ => mfbc_trace::install(std::sync::Arc::new(mfbc_trace::TeeRecorder::over(sinks))),
         }
@@ -437,9 +470,7 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
         )
     };
 
-    if recorder.is_some() || profiler.is_some() {
-        mfbc_trace::uninstall_all();
-    }
+    mfbc_trace::uninstall_all();
     if let (Some(path), Some(rec)) = (&trace_out, &recorder) {
         let records = rec.take();
         let text = match trace_format.as_str() {
@@ -484,6 +515,34 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
             let html = mfbc_profile::html::render(&profile);
             std::fs::write(hpath, html).map_err(|e| format!("{hpath}: {e}"))?;
             eprintln!("profile: report -> {hpath}");
+        }
+    }
+
+    // Causal analysis: the top bottleneck segments of the run's
+    // critical path (always printed; `--timeline-out` persists the
+    // full document).
+    {
+        let tl = builder.finish();
+        let an = mfbc_timeline::analyze(&tl);
+        eprintln!(
+            "timeline: makespan {:?}s across {} segment(s); top-3 bottleneck segments \
+             (critical-path seconds, share of makespan):",
+            tl.makespan_s(),
+            an.path.segments.len()
+        );
+        for b in an.bottlenecks.iter().take(3) {
+            eprintln!(
+                "timeline:   {:<14} {:>12.6}s  {:>5.1}%  ({} segment(s))",
+                b.label,
+                b.seconds,
+                b.share * 100.0,
+                b.count
+            );
+        }
+        if let Some(path) = &timeline_out {
+            let d = mfbc_timeline::doc(&tl, &an, &[]);
+            std::fs::write(path, mfbc_timeline::to_json(&d)).map_err(|e| format!("{path}: {e}"))?;
+            eprintln!("timeline: {} segment(s) -> {path}", tl.nodes.len());
         }
     }
 
@@ -545,6 +604,8 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
             "profile-out",
             "html-out",
             "prom-out",
+            "timeline-out",
+            "timeline-html",
         ],
     )?;
     if let Some(p) = &o.positional {
@@ -599,9 +660,22 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
         eprintln!("bench: report of {} -> {path}", chosen.case.name);
     }
     if let Some(path) = o.get("prom-out") {
+        // Mirror the timeline headline gauges into the case registry
+        // before rendering so the Prometheus text carries them too.
+        mfbc_timeline::register_metrics(&chosen.registry, &chosen.timeline, &chosen.analysis);
         let text = mfbc_profile::prometheus::render(&chosen.registry);
         std::fs::write(path, text).map_err(|e| format!("{path}: {e}"))?;
         eprintln!("bench: metrics of {} -> {path}", chosen.case.name);
+    }
+    if let Some(path) = o.get("timeline-out") {
+        let d = mfbc_timeline::doc(&chosen.timeline, &chosen.analysis, &[]);
+        std::fs::write(path, mfbc_timeline::to_json(&d)).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("bench: timeline of {} -> {path}", chosen.case.name);
+    }
+    if let Some(path) = o.get("timeline-html") {
+        let html = mfbc_timeline::to_html(&chosen.timeline, &chosen.analysis);
+        std::fs::write(path, html).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("bench: timeline gantt of {} -> {path}", chosen.case.name);
     }
 
     if let Some(path) = o.get("write") {
@@ -639,6 +713,152 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
             // skip main()'s usage-printing Err path.
             std::process::exit(1);
         }
+    }
+    Ok(())
+}
+
+/// `mfbc-cli analyze`: run one pinned bench case under the timeline
+/// analyzer and print the exact critical path, the ranked bottleneck
+/// table, per-superstep attribution, and any requested what-if
+/// bounds. The printed chain's durations sum **bit-for-bit** to the
+/// modeled makespan — the command re-checks and says so.
+fn cmd_analyze(args: &[String]) -> Result<(), String> {
+    let o = Opts::parse(
+        args,
+        &[
+            "case",
+            "timeline-out",
+            "html-out",
+            "what-if",
+            "compare",
+            "top",
+        ],
+    )?;
+    if let Some(p) = &o.positional {
+        return Err(format!("analyze takes no positional argument, got {p:?}"));
+    }
+    let top = o.get_parsed::<usize>("top")?.unwrap_or(10).max(1);
+    let mut edits = vec![mfbc_timeline::WhatIf::identity()];
+    for spec in o.get_all("what-if") {
+        edits.push(mfbc_timeline::WhatIf::parse(spec).map_err(|e| format!("--what-if: {e}"))?);
+    }
+
+    let case_name = o.get("case");
+    eprintln!(
+        "analyze: running pinned case {}...",
+        case_name.unwrap_or(mfbc_bench::regress::suite_case_names()[0])
+    );
+    let result = mfbc_bench::regress::run_named_case(
+        case_name,
+        &mfbc_bench::regress::SuiteOptions::default(),
+    )
+    .ok_or_else(|| {
+        format!(
+            "--case {:?} is not in the suite (have: {})",
+            case_name.unwrap_or("?"),
+            mfbc_bench::regress::suite_case_names().join(", ")
+        )
+    })?;
+    let tl = &result.timeline;
+    let an = &result.analysis;
+    let reports: Vec<mfbc_timeline::WhatIfReport> =
+        edits.iter().map(|e| mfbc_timeline::report(tl, e)).collect();
+
+    outln!("case\t{}", result.case.name);
+    outln!("ranks\t{}", tl.p_alive());
+    outln!("makespan_s\t{:?}", tl.makespan_s());
+    outln!("segments\t{}", tl.nodes.len());
+    outln!("critical_segments\t{}", an.path.segments.len());
+    outln!("critical_comm_share\t{:?}", an.comm_share());
+
+    outln!("");
+    outln!("critical path (lane, label, start_s, dt_s, superstep):");
+    for s in &an.path.segments {
+        let step = match s.superstep {
+            Some(i) => {
+                let info = &tl.supersteps[i];
+                format!("{}#{}:{}", info.phase, info.batch, info.step)
+            }
+            None => "setup".to_string(),
+        };
+        outln!(
+            "  r{}\t{:<14}\t{:?}\t{:?}\t{}",
+            s.lane,
+            s.label,
+            s.start_s,
+            s.dt_s,
+            step
+        );
+    }
+    let sum = an.path.sum_s();
+    let exact = sum.to_bits() == tl.makespan_s().to_bits();
+    outln!(
+        "path sum {:?}s {} makespan {:?}s ({})",
+        sum,
+        if exact { "==" } else { "!=" },
+        tl.makespan_s(),
+        if exact { "bit-exact" } else { "MISMATCH" }
+    );
+    if !exact {
+        return Err("critical path does not sum bit-exactly to the makespan".into());
+    }
+
+    outln!("");
+    outln!("top-{top} bottlenecks (label, gating_s, share, count):");
+    for b in an.bottlenecks.iter().take(top) {
+        outln!(
+            "  {:<14}\t{:?}\t{:.1}%\t{}",
+            b.label,
+            b.seconds,
+            b.share * 100.0,
+            b.count
+        );
+    }
+
+    outln!("");
+    outln!("supersteps (phase#batch:step, comm_s, comp_s, critical_s, straggler, imbalance):");
+    for s in an.steps.iter().take(top) {
+        outln!(
+            "  {}#{}:{}\t{:.6}\t{:.6}\t{:.6}\t{}\t{:.2}",
+            s.phase,
+            s.batch,
+            s.step_no,
+            s.comm_s,
+            s.comp_s,
+            s.critical_s,
+            s.straggler.map_or("-".to_string(), |r| format!("r{r}")),
+            s.imbalance
+        );
+    }
+    if an.steps.len() > top {
+        outln!("  ... {} more superstep(s)", an.steps.len() - top);
+    }
+
+    outln!("");
+    outln!("what-if bounds (edit, makespan_s, speedup):");
+    for r in &reports {
+        outln!("  {:<24}\t{:?}\t{:.3}x", r.label, r.makespan_s, r.speedup());
+    }
+
+    if let Some(path) = o.get("timeline-out") {
+        let d = mfbc_timeline::doc(tl, an, &reports);
+        std::fs::write(path, mfbc_timeline::to_json(&d)).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("analyze: timeline -> {path}");
+    }
+    if let Some(path) = o.get("html-out") {
+        std::fs::write(path, mfbc_timeline::to_html(tl, an)).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("analyze: gantt -> {path}");
+    }
+    if let Some(path) = o.get("compare") {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        let before = mfbc_timeline::parse_timeline(&text).map_err(|e| format!("{path}: {e}"))?;
+        let after = mfbc_timeline::doc(tl, an, &reports);
+        outln!("");
+        outln!("diff vs {path}:");
+        outln!(
+            "{}",
+            mfbc_timeline::render_diff(&mfbc_timeline::diff_docs(&before, &after))
+        );
     }
     Ok(())
 }

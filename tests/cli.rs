@@ -8,7 +8,7 @@ fn cli() -> Command {
     Command::new(env!("CARGO_BIN_EXE_mfbc-cli"))
 }
 
-fn run_ok(args: &[&str], stdin: Option<&str>) -> String {
+fn run_ok_capturing(args: &[&str], stdin: Option<&str>) -> (String, String) {
     let mut cmd = cli();
     cmd.args(args)
         .stdin(Stdio::piped())
@@ -31,7 +31,14 @@ fn run_ok(args: &[&str], stdin: Option<&str>) -> String {
         "mfbc-cli {args:?} failed: {}",
         String::from_utf8_lossy(&out.stderr)
     );
-    String::from_utf8(out.stdout).expect("utf8 stdout")
+    (
+        String::from_utf8(out.stdout).expect("utf8 stdout"),
+        String::from_utf8(out.stderr).expect("utf8 stderr"),
+    )
+}
+
+fn run_ok(args: &[&str], stdin: Option<&str>) -> String {
+    run_ok_capturing(args, stdin).0
 }
 
 const PATH_GRAPH: &str = "0 1\n1 2\n2 3\n";
@@ -158,6 +165,85 @@ fn bad_usage_fails_cleanly() {
         .output()
         .unwrap();
     assert!(!out.status.success());
+}
+
+#[test]
+fn simulate_prints_bottlenecks_and_tees_timeline() {
+    let dir = std::env::temp_dir().join(format!("mfbc-cli-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let tpath = dir.join("simulate-timeline.json");
+    let (_, err) = run_ok_capturing(
+        &[
+            "simulate",
+            "--nodes",
+            "4",
+            "--graph",
+            "uniform:64,256",
+            "--batch",
+            "16",
+            "--timeline-out",
+            tpath.to_str().unwrap(),
+        ],
+        None,
+    );
+    assert!(
+        err.contains("top-3 bottleneck segments"),
+        "missing bottleneck block in stderr: {err}"
+    );
+    let text = std::fs::read_to_string(&tpath).unwrap();
+    let doc = mfbc_timeline::parse_timeline(&text).expect("teed timeline.json must parse");
+    assert_eq!(doc.p, 4);
+    assert!(doc.events > 0);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn analyze_reports_bit_exact_path_and_overlap_bound() {
+    let dir = std::env::temp_dir().join(format!("mfbc-cli-analyze-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let tpath = dir.join("timeline.json");
+    let hpath = dir.join("gantt.html");
+    let out = run_ok(
+        &[
+            "analyze",
+            "--what-if",
+            "overlap",
+            "--timeline-out",
+            tpath.to_str().unwrap(),
+            "--html-out",
+            hpath.to_str().unwrap(),
+        ],
+        None,
+    );
+    assert!(out.contains("(bit-exact)"), "no bit-exact line: {out}");
+    assert!(out.contains("what-if bounds"), "no what-if table: {out}");
+    let overlap = out
+        .lines()
+        .find(|l| l.trim_start().starts_with("overlap"))
+        .expect("overlap row in what-if table");
+    assert!(overlap.ends_with('x'), "no speedup column: {overlap}");
+
+    // The exported document carries the same numbers the text report
+    // printed, and --compare against it reports no differences.
+    let doc = mfbc_timeline::parse_timeline(&std::fs::read_to_string(&tpath).unwrap()).unwrap();
+    let printed_makespan = out
+        .lines()
+        .find(|l| l.starts_with("makespan_s"))
+        .and_then(|l| l.split('\t').nth(1))
+        .unwrap()
+        .parse::<f64>()
+        .unwrap();
+    assert_eq!(doc.makespan_s.to_bits(), printed_makespan.to_bits());
+    assert!(std::fs::read_to_string(&hpath)
+        .unwrap()
+        .contains("data-rank"));
+
+    let (again, _) = run_ok_capturing(&["analyze", "--compare", tpath.to_str().unwrap()], None);
+    assert!(
+        again.contains("(identical)"),
+        "re-analysis of the pinned case should diff clean: {again}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]
