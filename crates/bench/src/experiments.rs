@@ -387,6 +387,7 @@ pub fn ablation_batch(quick: bool) -> Table {
             amortize_adjacency: true,
             sources: None,
             threads: None,
+            masked: true,
         };
         match mfbc_core::dist::mfbc_dist(&machine, &g, &cfg) {
             Ok(run) => {
@@ -489,6 +490,7 @@ pub fn ablation_amortization(quick: bool) -> Table {
             amortize_adjacency: amortize,
             sources: None,
             threads: None,
+            masked: true,
         };
         match mfbc_core::dist::mfbc_dist(&machine, &g, &cfg) {
             Ok(run) => {
@@ -547,6 +549,7 @@ pub fn apsp_vs_mfbc(quick: bool) -> Table {
             amortize_adjacency: true,
             sources: None,
             threads: None,
+            masked: true,
         };
         match mfbc_core::dist::mfbc_dist(&machine, &g, &cfg) {
             Ok(run) => {

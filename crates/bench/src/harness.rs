@@ -127,6 +127,7 @@ pub fn measure_mfbc(
         amortize_adjacency: true,
         sources: None,
         threads: None,
+        masked: true,
     };
     match mfbc_dist(&machine, g, &cfg) {
         // The run's own report: after a crash recovery the driver

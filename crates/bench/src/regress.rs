@@ -102,6 +102,7 @@ fn run_case(case: &SuiteCase, opts: &SuiteOptions) -> SuiteCaseResult {
         amortize_adjacency: true,
         sources: None,
         threads: None,
+        masked: true,
     };
     let profiler = Arc::new(Profiler::new());
     let builder = Arc::new(TimelineBuilder::new(machine.spec().clone()));
@@ -238,6 +239,64 @@ mod tests {
             assert_eq!(
                 r.case.critical_comm_share.to_bits(),
                 r.analysis.comm_share().to_bits()
+            );
+        }
+    }
+
+    /// The mask tentpole's headline claim, pinned on the suite's own
+    /// R-MAT case. Masked MFBF (complement-of-`T` forward, structural
+    /// backward) must strictly reduce modeled elementary products and
+    /// never increase communication relative to the unmasked run, and
+    /// the suite's own rmat numbers must land strictly below the
+    /// pre-mask (PR-6) baseline on *both* ops and critical-path bytes
+    /// — the acceptance gate for the masking work. The comm drop
+    /// comes from amortizing the 1D-A column-split B-panel (the one
+    /// right-hand move the pre-mask code re-paid every product);
+    /// masked and unmasked runs move identical bytes here because the
+    /// runs are bit-identical by construction and every column this
+    /// graph's masks fully exclude is structurally empty in the
+    /// adjacency, so there is nothing extra for the mask to strand.
+    #[test]
+    fn masking_strictly_reduces_rmat_ops_and_comm() {
+        /// `rmat-s8-p4-b32` as pinned by the PR-6 `BENCH_mfbc.json`,
+        /// before masked multiplication existed.
+        const PRE_MASK_RMAT_OPS: u64 = 846_283;
+        const PRE_MASK_RMAT_BYTES: u64 = 378_284;
+        let g = rmat(&RmatConfig::paper(8, 8, 42));
+        let measure = |masked: bool| {
+            let machine = Machine::new(MachineSpec::gemini(4));
+            let cfg = MfbcConfig {
+                batch_size: Some(32),
+                plan_mode: PlanMode::Auto,
+                max_batches: Some(2),
+                amortize_adjacency: true,
+                sources: None,
+                threads: None,
+                masked,
+            };
+            let run = mfbc_dist(&machine, &g, &cfg).expect("pinned case must run fault-free");
+            (run.report.total_ops, run.report.critical.bytes, run.scores)
+        };
+        let (mops, mbytes, mscores) = measure(true);
+        let (uops, ubytes, uscores) = measure(false);
+        assert!(mops < uops, "masked ops {mops} !< unmasked {uops}");
+        assert!(
+            mbytes <= ubytes,
+            "masked bytes {mbytes} > unmasked {ubytes}"
+        );
+        assert!(
+            mops < PRE_MASK_RMAT_OPS,
+            "rmat ops {mops} !< pre-mask baseline {PRE_MASK_RMAT_OPS}"
+        );
+        assert!(
+            mbytes < PRE_MASK_RMAT_BYTES,
+            "rmat bytes {mbytes} !< pre-mask baseline {PRE_MASK_RMAT_BYTES}"
+        );
+        for (v, (a, b)) in mscores.lambda.iter().zip(&uscores.lambda).enumerate() {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "λ[{v}]: masking changed a betweenness score"
             );
         }
     }

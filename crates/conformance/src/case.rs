@@ -15,8 +15,17 @@ use mfbc_core::{mfbc_dist, MfbcConfig, PlanMode};
 use mfbc_fault::{FaultKind, FaultPlan, RetryPolicy, ScheduledFault};
 use mfbc_graph::Graph;
 use mfbc_machine::{Machine, MachineSpec};
-use mfbc_sparse::{spgemm_serial, Coo, Csr};
-use mfbc_tensor::{canonical_layout, enumerate_plans, mm_auto, mm_exec, DistMat};
+use mfbc_sparse::{spgemm_masked_serial, spgemm_serial, Coo, Csr, Mask, MaskKind};
+use mfbc_tensor::{
+    canonical_layout, enumerate_plans, mm_auto, mm_auto_masked, mm_exec, mm_exec_masked, DistMat,
+};
+
+/// Whether `MFBC_CONFORMANCE_FORCE_MASK` is set: the nightly CI job
+/// uses it to force the output-mask dimension on in every generated
+/// case (the smoke default draws it for two thirds of them).
+pub fn env_force_mask() -> bool {
+    std::env::var_os("MFBC_CONFORMANCE_FORCE_MASK").is_some()
+}
 
 /// A case the suite runner can check and the shrinker can minimize.
 pub trait CaseSpec: Clone + std::fmt::Debug {
@@ -77,12 +86,35 @@ pub struct MmCase {
     pub a: Vec<(usize, usize, Payload)>,
     /// Right operand triples (weight entries).
     pub b: Vec<(usize, usize, u64)>,
+    /// Optional output mask over the `m × n` result: kind plus pattern
+    /// coordinates (duplicates allowed; `Mask::from_coords` dedups).
+    /// When present, the masked product under every plan must match
+    /// both `spgemm_masked_serial` and the multiply-then-filter oracle
+    /// bit for bit, including the surviving-op count.
+    pub mask: Option<(MaskKind, Vec<(usize, usize)>)>,
 }
 
 impl MmCase {
     /// Generates a case from `seed`, drawing the kernel from
-    /// `kernels` and the rank count from `ps`.
+    /// `kernels` and the rank count from `ps`. The mask dimension is
+    /// drawn for two thirds of cases (always, under
+    /// `MFBC_CONFORMANCE_FORCE_MASK`).
     pub fn generate(seed: u64, kernels: &[MmKernelKind], ps: &[usize]) -> MmCase {
+        MmCase::generate_inner(seed, kernels, ps, env_force_mask())
+    }
+
+    /// Like [`MmCase::generate`], but the output-mask dimension is
+    /// always on — the dedicated masked suite's generator.
+    pub fn generate_masked(seed: u64, kernels: &[MmKernelKind], ps: &[usize]) -> MmCase {
+        MmCase::generate_inner(seed, kernels, ps, true)
+    }
+
+    fn generate_inner(
+        seed: u64,
+        kernels: &[MmKernelKind],
+        ps: &[usize],
+        force_mask: bool,
+    ) -> MmCase {
         let mut rng = SplitMix64::new(seed);
         let kernel = *rng.pick(kernels);
         let p = *rng.pick(ps);
@@ -112,6 +144,18 @@ impl MmCase {
             .into_iter()
             .map(|(i, j)| (i, j, rng.next_u64() % 25))
             .collect();
+        // The mask dimension is drawn last so earlier dimensions
+        // replay identically for seeds recorded before it existed;
+        // every value is drawn unconditionally so the stream does not
+        // depend on `force_mask` either.
+        let mask_draw = rng.below(3);
+        let nnz_mask = rng.below(2 * (m * n).min(3 * (m + n)) + 1);
+        let mask_coords = gen::coords(&mut rng, m, n, nnz_mask);
+        let mask = match mask_draw {
+            0 if !force_mask => None,
+            1 => Some((MaskKind::Structural, mask_coords)),
+            _ => Some((MaskKind::Complement, mask_coords)),
+        };
         MmCase {
             seed,
             kernel,
@@ -123,6 +167,7 @@ impl MmCase {
             beta: spec.beta,
             a,
             b,
+            mask,
         }
     }
 
@@ -184,6 +229,71 @@ impl MmCase {
                 "mm_auto (chose {plan}): diverges from serial: {diff}"
             ));
         }
+        if let Some((kind, coords)) = &self.mask {
+            self.check_masked::<K>(&a, &b, &expected.mat, *kind, coords)?;
+        }
+        Ok(())
+    }
+
+    /// The masked leg of the differential: the masked serial product
+    /// must equal the multiply-then-filter oracle on the unmasked
+    /// result, and every plan (plus the masked autotuner) must
+    /// reproduce it bit for bit — including the count of elementary
+    /// products that survive the mask.
+    fn check_masked<K>(
+        &self,
+        a: &Csr<K::Left>,
+        b: &Csr<K::Right>,
+        unmasked: &Csr<KernelOut<K>>,
+        kind: MaskKind,
+        coords: &[(usize, usize)],
+    ) -> Result<(), String>
+    where
+        K: SpMulKernel,
+        KernelOut<K>: Clone + PartialEq + Send + Sync + std::fmt::Debug,
+    {
+        let mask = Mask::from_coords(kind, self.m, self.n, coords);
+        let expected = spgemm_masked_serial::<K>(a, b, &mask);
+        let filtered = mask.filter_allowed(unmasked);
+        if let Some(diff) = expected.mat.first_difference(&filtered) {
+            return Err(format!(
+                "{kind:?} mask: masked serial diverges from multiply-then-filter: {diff}"
+            ));
+        }
+        let spec = self.spec();
+        for plan in enumerate_plans(self.p) {
+            let machine = Machine::new(spec.clone());
+            let da = DistMat::from_global(canonical_layout(&machine, self.m, self.k), a);
+            let db = DistMat::from_global(canonical_layout(&machine, self.k, self.n), b);
+            let out = mm_exec_masked::<K>(&machine, &plan, &da, &db, Some(&mask))
+                .map_err(|e| format!("{kind:?} mask, plan {plan}: machine error: {e}"))?;
+            out.c
+                .validate()
+                .map_err(|e| format!("{kind:?} mask, plan {plan}: invalid result: {e}"))?;
+            let got = out.c.to_global::<K::Acc>();
+            if let Some(diff) = expected.mat.first_difference(&got) {
+                return Err(format!(
+                    "{kind:?} mask, plan {plan}: diverges from masked serial: {diff}"
+                ));
+            }
+            if out.ops != expected.ops {
+                return Err(format!(
+                    "{kind:?} mask, plan {plan}: ops {} != masked serial ops {}",
+                    out.ops, expected.ops
+                ));
+            }
+        }
+        let machine = Machine::new(spec);
+        let da = DistMat::from_global(canonical_layout(&machine, self.m, self.k), a);
+        let db = DistMat::from_global(canonical_layout(&machine, self.k, self.n), b);
+        let (out, plan) = mm_auto_masked::<K>(&machine, &da, &db, Some(&mask))
+            .map_err(|e| format!("{kind:?} mask, mm_auto_masked: machine error: {e}"))?;
+        let got = out.c.to_global::<K::Acc>();
+        if let Some(diff) = expected.mat.first_difference(&got) {
+            return Err(format!(
+                "{kind:?} mask, mm_auto_masked (chose {plan}): diverges from masked serial: {diff}"
+            ));
+        }
         Ok(())
     }
 }
@@ -220,17 +330,39 @@ impl CaseSpec for MmCase {
     }
 
     fn size(&self) -> usize {
-        self.a.len() + self.b.len() + self.m + self.k + self.n + self.p
+        self.a.len()
+            + self.b.len()
+            + self.m
+            + self.k
+            + self.n
+            + self.p
+            + self.mask.as_ref().map_or(0, |(_, cs)| 1 + cs.len())
     }
 
     fn shrink_candidates(&self) -> Vec<MmCase> {
         let mut out = Vec::new();
-        // Fewer ranks first: a single-rank repro is the easiest to read.
+        // Toward an unmasked repro first: a failure that survives
+        // without the mask is an ordinary plan bug.
+        if self.mask.is_some() {
+            out.push(MmCase {
+                mask: None,
+                ..self.clone()
+            });
+        }
+        // Fewer ranks next: a single-rank repro is the easiest to read.
         for &q in gen::P_ALL.iter().filter(|&&q| q < self.p) {
             out.push(MmCase {
                 p: q,
                 ..self.clone()
             });
+        }
+        // Thin the mask pattern.
+        if let Some((kind, cs)) = &self.mask {
+            for keep in chunk_reductions(cs.len()) {
+                let mut c = self.clone();
+                c.mask = Some((*kind, keep.iter().map(|&i| cs[i]).collect()));
+                out.push(c);
+            }
         }
         for keep in chunk_reductions(self.a.len()) {
             let mut c = self.clone();
@@ -248,6 +380,9 @@ impl CaseSpec for MmCase {
             let mut c = self.clone();
             c.m = m;
             c.a.retain(|&(i, _, _)| i < m);
+            if let Some((_, cs)) = &mut c.mask {
+                cs.retain(|&(i, _)| i < m);
+            }
             out.push(c);
         }
         if self.k > 1 {
@@ -263,6 +398,9 @@ impl CaseSpec for MmCase {
             let mut c = self.clone();
             c.n = n;
             c.b.retain(|&(_, j, _)| j < n);
+            if let Some((_, cs)) = &mut c.mask {
+                cs.retain(|&(_, j)| j < n);
+            }
             out.push(c);
         }
         out
@@ -366,6 +504,12 @@ pub struct DriverCase {
     /// scores stay bit-identical and that the extracted critical path
     /// folds bit-exactly to the timeline's makespan.
     pub analyze: bool,
+    /// Whether the driver runs with complement-of-`T` output masking
+    /// in the forward expansion ([`MfbcConfig::masked`]). When set,
+    /// the check additionally re-runs the case with masking off and
+    /// demands *bit-identical* betweenness scores: skipping products
+    /// into already-discovered vertices must never change a result.
+    pub masked: bool,
 }
 
 impl DriverCase {
@@ -399,9 +543,10 @@ impl DriverCase {
             threads: gen::THREAD_COUNTS[rng.below(gen::THREAD_COUNTS.len())],
             faults: Vec::new(),
             profile: rng.chance(1, 3),
+            analyze: rng.chance(1, 3),
             // Drawn last so earlier dimensions replay identically for
             // seeds generated before this dimension existed.
-            analyze: rng.chance(1, 3),
+            masked: rng.chance(1, 2) || env_force_mask(),
         }
     }
 
@@ -474,6 +619,7 @@ impl DriverCase {
             amortize_adjacency: self.amortize,
             sources: None,
             threads: Some(self.threads),
+            masked: self.masked,
         }
     }
 
@@ -511,6 +657,32 @@ impl CaseSpec for DriverCase {
                 cfg.plan_mode,
                 run.scores.max_abs_diff(&oracle)
             ));
+        }
+        if self.masked {
+            // Masking is an optimization, never a semantic switch: the
+            // same case with masking off must produce bit-identical
+            // scores (on weighted graphs the flag is inert, so this
+            // also pins that inertness).
+            let mut ucfg = cfg.clone();
+            ucfg.masked = false;
+            let umachine = Machine::new(MachineSpec::test(self.p));
+            let urun = mfbc_dist(&umachine, &g, &ucfg).map_err(|e| {
+                format!("unmasked driver ({:?}): machine error: {e}", cfg.plan_mode)
+            })?;
+            for (v, (a, b)) in run
+                .scores
+                .lambda
+                .iter()
+                .zip(&urun.scores.lambda)
+                .enumerate()
+            {
+                if a.to_bits() != b.to_bits() {
+                    return Err(format!(
+                        "masked driver: λ[{v}] = {a:?} differs from unmasked {b:?} \
+                         (the output mask changed a result)"
+                    ));
+                }
+            }
         }
         if self.profile {
             // Observation must not perturb the computation: the same
@@ -649,11 +821,20 @@ impl CaseSpec for DriverCase {
             + self.faults.len()
             + usize::from(self.profile)
             + usize::from(self.analyze)
+            + usize::from(self.masked)
     }
 
     fn shrink_candidates(&self) -> Vec<DriverCase> {
         let mut out = Vec::new();
-        // Toward an unobserved repro first: a failure that survives
+        // Toward an unmasked repro first: a failure that survives with
+        // masked=false is an ordinary driver bug.
+        if self.masked {
+            out.push(DriverCase {
+                masked: false,
+                ..self.clone()
+            });
+        }
+        // Toward an unobserved repro next: a failure that survives
         // with analyze=false / profile=false is an ordinary driver bug.
         if self.analyze {
             out.push(DriverCase {

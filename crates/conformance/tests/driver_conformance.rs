@@ -38,6 +38,22 @@ fn driver_profiled_scores_are_bit_identical() {
     });
 }
 
+/// Every case run with forward-expansion output masking forced on:
+/// the check re-runs each with masking off and demands bit-identical
+/// betweenness scores across every sampled plan mode, rank count,
+/// thread count, and batch size (`DriverCase::generate` draws the
+/// `masked` dimension for half of cases; this suite, like
+/// `MFBC_CONFORMANCE_FORCE_MASK`, forces it on for all of them).
+#[test]
+fn driver_masked_scores_are_bit_identical() {
+    run_suite_or_panic("driver_masked_scores_are_bit_identical", SMOKE, |seed| {
+        DriverCase {
+            masked: true,
+            ..DriverCase::generate(seed, &P_ALL, seed % 2 == 0)
+        }
+    });
+}
+
 /// Every case re-run with a `TimelineBuilder` attached to the trace
 /// stream: the betweenness scores must be bit-identical to the
 /// unobserved run, the replayed timeline must agree with the machine's

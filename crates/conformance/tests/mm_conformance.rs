@@ -37,6 +37,27 @@ fn mm_brandes() {
     });
 }
 
+/// Every case with the output-mask dimension forced on, all kernels
+/// mixed: the masked product under every plan must match both the
+/// masked serial oracle and unmasked-multiply-then-filter bit for bit,
+/// op count included (`MmCase::generate` draws the mask for two thirds
+/// of cases; this suite, like `MFBC_CONFORMANCE_FORCE_MASK`, forces
+/// it for all of them).
+#[test]
+fn mm_masked() {
+    run_suite_or_panic("mm_masked", SMOKE, |seed| {
+        MmCase::generate_masked(
+            seed,
+            &[
+                MmKernelKind::Tropical,
+                MmKernelKind::BellmanFord,
+                MmKernelKind::Brandes,
+            ],
+            &P_ALL,
+        )
+    });
+}
+
 #[test]
 fn mm_degenerate_ranks() {
     // p ∈ {1, 2, 3, 7}: single-rank schedules, grids that cannot be

@@ -18,10 +18,10 @@ use mfbc_algebra::kernel::CountKernel;
 use mfbc_algebra::monoid::SumF64;
 use mfbc_graph::Graph;
 use mfbc_machine::{Machine, MachineError};
-use mfbc_sparse::Coo;
+use mfbc_sparse::{Coo, MaskKind};
 use mfbc_tensor::cache::MmCache;
 use mfbc_tensor::ops::{dmat_column_sums, dmat_combine, dmat_zip_filter, nnz_sync};
-use mfbc_tensor::{canonical_layout, mm_exec_cached, DistMat, MmPlan, Variant1D, Variant2D};
+use mfbc_tensor::{canonical_layout, mm_exec_cached_masked, DistMat, MmPlan, Variant1D, Variant2D};
 
 /// Failure modes of the baseline.
 #[derive(Clone, Debug, PartialEq)]
@@ -191,17 +191,20 @@ fn batch(
             }
             break;
         }
-        let explored = mm_exec_cached::<CountKernel>(machine, plan, cur, da, fwd_cache)?;
+        // Unvisited vertices only: the complement of σ's pattern as
+        // an output mask prunes already-discovered products inside
+        // the multiply instead of filtering them out afterwards.
+        let unvisited = crate::dist::pattern_mask_of(MaskKind::Complement, &sigma);
+        let explored = mm_exec_cached_masked::<CountKernel>(
+            machine,
+            plan,
+            cur,
+            da,
+            Some(&unvisited),
+            fwd_cache,
+        )?;
         run.ops += explored.ops;
-        // Unvisited vertices only.
-        let next =
-            dmat_zip_filter::<SumF64, _, _, f64>(machine, &explored.c, &sigma, |_, _, x, seen| {
-                if seen.is_none() {
-                    Some(*x)
-                } else {
-                    None
-                }
-            });
+        let next = explored.c;
         let sigma_new = dmat_combine::<SumF64, _>(machine, &sigma, &next);
         sigma.release_memory(machine);
         sigma = sigma_new;
@@ -219,9 +222,18 @@ fn batch(
             dmat_zip_filter::<SumF64, _, _, f64>(machine, &fronts[l], &delta, |_, _, s_v, d| {
                 Some((1.0 + d.copied().unwrap_or(0.0)) / *s_v)
             });
-        let contrib = mm_exec_cached::<CountKernel>(machine, plan, &wl, dat, back_cache)?;
+        // Restrict to true predecessors (level l−1) via a structural
+        // output mask on the multiply; the zip then only scales by σ.
+        let preds = crate::dist::pattern_mask_of(MaskKind::Structural, &fronts[l - 1]);
+        let contrib = mm_exec_cached_masked::<CountKernel>(
+            machine,
+            plan,
+            &wl,
+            dat,
+            Some(&preds),
+            back_cache,
+        )?;
         run.ops += contrib.ops;
-        // Restrict to true predecessors (level l−1) and scale by σ.
         let upd = dmat_zip_filter::<SumF64, _, _, f64>(
             machine,
             &contrib.c,

@@ -25,14 +25,14 @@ use mfbc_algebra::monoid::SumF64;
 use mfbc_algebra::{Centpath, CentpathMonoid, Multpath, MultpathMonoid};
 use mfbc_graph::Graph;
 use mfbc_machine::{Machine, MachineError};
-use mfbc_sparse::Coo;
-use mfbc_tensor::autotune::mm_auto_cached;
+use mfbc_sparse::{Coo, Mask, MaskKind};
+use mfbc_tensor::autotune::mm_auto_cached_masked;
 use mfbc_tensor::cache::MmCache;
 use mfbc_tensor::ops::{
     dmat_combine, dmat_combine_anchored, dmat_fold_columns, dmat_map_filter, dmat_zip_filter,
     nnz_sync,
 };
-use mfbc_tensor::{canonical_layout, mm_exec_cached, DistMat, MmPlan, Variant1D, Variant2D};
+use mfbc_tensor::{canonical_layout, mm_exec_cached_masked, DistMat, MmPlan, Variant1D, Variant2D};
 
 /// How multiplication plans are chosen.
 #[derive(Clone, Debug)]
@@ -125,6 +125,14 @@ pub struct MfbcConfig {
     /// env, else available parallelism). Results are bit-identical at
     /// any value.
     pub threads: Option<usize>,
+    /// Whether forward frontier expansion runs under a
+    /// complement-of-`Numsp` output mask (default true), pruning
+    /// elementary products into already-discovered vertices before
+    /// they are formed. Only applied on unit-weighted graphs, where a
+    /// rediscovery can never improve a settled distance, so the
+    /// masked run is score-bit-identical to the unmasked one; on
+    /// weighted graphs the flag is ignored.
+    pub masked: bool,
 }
 
 impl Default for MfbcConfig {
@@ -136,6 +144,7 @@ impl Default for MfbcConfig {
             amortize_adjacency: true,
             sources: None,
             threads: None,
+            masked: true,
         }
     }
 }
@@ -171,6 +180,14 @@ impl MfbcConfig {
     #[must_use]
     pub fn with_threads(mut self, threads: usize) -> MfbcConfig {
         self.threads = Some(threads);
+        self
+    }
+
+    /// Enables or disables the complement-of-`Numsp` output mask on
+    /// forward expansion, returning `self` for chaining.
+    #[must_use]
+    pub fn with_masked(mut self, masked: bool) -> MfbcConfig {
+        self.masked = masked;
         self
     }
 }
@@ -370,7 +387,18 @@ fn mfbc_dist_inner(
             } else {
                 None
             };
-            match batch(&m, g, &da, &dat, chunk, plan.as_ref(), caches, &mut run) {
+            let masked = cfg.masked && g.is_unit_weighted();
+            match batch(
+                &m,
+                g,
+                &da,
+                &dat,
+                chunk,
+                plan.as_ref(),
+                masked,
+                caches,
+                &mut run,
+            ) {
                 Ok(()) => {
                     run.batches += 1;
                     run.sources_processed += chunk.len();
@@ -482,19 +510,53 @@ fn mm_step<K: mfbc_algebra::SpMulKernel>(
     plan: Option<&MmPlan>,
     f: &DistMat<K::Left>,
     a: &DistMat<K::Right>,
+    mask: Option<&Mask>,
     cache: Option<&mut MmCache<K::Right>>,
 ) -> Result<mfbc_tensor::MmOut<mfbc_algebra::kernel::KernelOut<K>>, MachineError> {
     match cache {
         Some(cache) => match plan {
-            Some(p) => mm_exec_cached::<K>(machine, p, f, a, cache),
-            None => mm_auto_cached::<K>(machine, f, a, cache).map(|(out, _)| out),
+            Some(p) => mm_exec_cached_masked::<K>(machine, p, f, a, mask, cache),
+            None => mm_auto_cached_masked::<K>(machine, f, a, mask, cache).map(|(out, _)| out),
         },
         // Un-amortized: every product pays its own preparation.
         None => match plan {
-            Some(p) => mfbc_tensor::mm_exec::<K>(machine, p, f, a),
-            None => mfbc_tensor::mm_auto::<K>(machine, f, a).map(|(out, _)| out),
+            Some(p) => mfbc_tensor::mm_exec_masked::<K>(machine, p, f, a, mask),
+            None => mfbc_tensor::mm_auto_masked::<K>(machine, f, a, mask).map(|(out, _)| out),
         },
     }
+}
+
+/// The complement mask of a distributed matrix's pattern — for the
+/// forward step, `T` (`Numsp`) holds every vertex already discovered
+/// per source, so its complement admits exactly the undiscovered
+/// coordinates. The mask pattern is assembled from the resident
+/// blocks; like canonical output assembly, its movement is not
+/// charged (see DESIGN.md).
+fn complement_mask_of<T: Clone + Send + Sync + PartialEq + std::fmt::Debug>(
+    t: &DistMat<T>,
+) -> Mask {
+    pattern_mask_of(MaskKind::Complement, t)
+}
+
+/// A mask of the given kind over a distributed matrix's pattern. The
+/// pattern is assembled from the resident blocks; like canonical
+/// output assembly, its movement is not charged (see DESIGN.md).
+pub(crate) fn pattern_mask_of<T: Clone + Send + Sync + PartialEq + std::fmt::Debug>(
+    kind: MaskKind,
+    t: &DistMat<T>,
+) -> Mask {
+    let l = t.layout();
+    let mut coords = Vec::with_capacity(t.nnz());
+    for bi in 0..l.br() {
+        let r0 = l.row_range(bi).start;
+        for bj in 0..l.bc() {
+            let c0 = l.col_range(bj).start;
+            for (i, j, _) in t.block(bi, bj).iter() {
+                coords.push((r0 + i, c0 + j));
+            }
+        }
+    }
+    Mask::from_coords(kind, t.nrows(), t.ncols(), &coords)
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -505,6 +567,7 @@ fn batch(
     dat: &DistMat<mfbc_algebra::Dist>,
     chunk: &[usize],
     plan: Option<&MmPlan>,
+    masked: bool,
     mut caches: Option<(
         &mut MmCache<mfbc_algebra::Dist>,
         &mut MmCache<mfbc_algebra::Dist>,
@@ -555,11 +618,19 @@ fn batch(
         step += 1;
         run.forward_iterations += 1;
         run.frontier_nnz += frontier.nnz() as u64;
+        // T holds every (source, vertex) pair already discovered;
+        // expansion only needs the rest. On unit-weighted graphs a
+        // rediscovery always loses the distance combine *and* the
+        // frontier filter, so pruning it at the multiply changes
+        // nothing downstream — it just skips the products (and lets
+        // redistribution skip B columns the mask rules out).
+        let mask = masked.then(|| complement_mask_of(&t));
         let explored = mm_step::<BellmanFordKernel>(
             machine,
             plan,
             &frontier,
             da,
+            mask.as_ref(),
             caches.as_mut().map(|(f, _)| &mut **f),
         )?;
         run.ops += explored.ops;
@@ -577,6 +648,13 @@ fn batch(
     drop(forward_span);
 
     // ---- MFBr (Algorithm 2) ----
+    // Every backward product is consumed anchored on T's pattern:
+    // `counted` through a zip keyed on T, the loop updates through
+    // `combine_anchored` (Z's pattern ⊆ T's, fixed). Contributions at
+    // (source, vertex) pairs outside T are inert garbage the anchors
+    // drop, so a structural mask of T skips those products — and lets
+    // redistribution drop Aᵀ columns of vertices no source discovered.
+    let bmask = masked.then(|| pattern_mask_of(MaskKind::Structural, &t));
     let seeds = dmat_map_filter::<CentpathMonoid, _, _>(machine, &t, |_, _, mp: &Multpath| {
         Some(Centpath::new(mp.w, 0.0, 1))
     });
@@ -585,6 +663,7 @@ fn batch(
         plan,
         &seeds,
         dat,
+        bmask.as_ref(),
         caches.as_mut().map(|(_, b)| &mut **b),
     )?;
     run.ops += counted.ops;
@@ -612,6 +691,7 @@ fn batch(
             plan,
             &bfrontier,
             dat,
+            bmask.as_ref(),
             caches.as_mut().map(|(_, b)| &mut **b),
         )?;
         run.ops += back.ops;
@@ -798,6 +878,57 @@ mod tests {
         let m = Machine::with_faults(MachineSpec::test(p), plan, RetryPolicy::default());
         let faulted = mfbc_dist(&m, &g, &cfg).unwrap();
         (clean, faulted)
+    }
+
+    #[test]
+    fn masked_forward_is_bit_identical_and_cheaper() {
+        let g = ladder();
+        for p in [1usize, 4] {
+            let run_with = |masked: bool| {
+                let m = Machine::new(MachineSpec::test(p));
+                mfbc_dist(&m, &g, &MfbcConfig::default().with_masked(masked)).unwrap()
+            };
+            let unmasked = run_with(false);
+            let masked = run_with(true);
+            let ub: Vec<u64> = unmasked.scores.lambda.iter().map(|v| v.to_bits()).collect();
+            let mb: Vec<u64> = masked.scores.lambda.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(ub, mb, "p={p}: masking changed the scores");
+            assert!(
+                masked.ops < unmasked.ops,
+                "p={p}: masked {} !< unmasked {}",
+                masked.ops,
+                unmasked.ops
+            );
+        }
+    }
+
+    #[test]
+    fn weighted_graphs_ignore_the_mask_flag() {
+        // Weighted: rediscoveries can improve distances, so the
+        // driver must not mask — and scores must match regardless of
+        // the flag.
+        use mfbc_algebra::Dist;
+        let g = Graph::new(
+            5,
+            false,
+            vec![
+                (0, 1, Dist::new(2)),
+                (1, 2, Dist::new(3)),
+                (0, 2, Dist::new(9)),
+                (2, 3, Dist::new(1)),
+                (3, 4, Dist::new(4)),
+            ],
+        );
+        let run_with = |masked: bool| {
+            let m = Machine::new(MachineSpec::test(4));
+            mfbc_dist(&m, &g, &MfbcConfig::default().with_masked(masked)).unwrap()
+        };
+        let a = run_with(true);
+        let b = run_with(false);
+        let ab: Vec<u64> = a.scores.lambda.iter().map(|v| v.to_bits()).collect();
+        let bb: Vec<u64> = b.scores.lambda.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(ab, bb);
+        assert_eq!(a.ops, b.ops, "weighted run must ignore `masked`");
     }
 
     #[test]

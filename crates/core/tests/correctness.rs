@@ -159,6 +159,7 @@ fn fixed_plan_modes_match_oracle() {
                 amortize_adjacency: true,
                 sources: None,
                 threads: None,
+                masked: true,
             },
         )
         .unwrap();

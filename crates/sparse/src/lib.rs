@@ -6,8 +6,10 @@
 //! routines (§6.2): coordinate ([`Coo`]) and compressed-sparse-row
 //! ([`Csr`]) formats, a generalized Gustavson SpGEMM driven by an
 //! [`SpMulKernel`](mfbc_algebra::SpMulKernel) (so the same code path
-//! multiplies tropical, multpath, and centpath matrices), elementwise
-//! monoid combination, `sparsify`-style filtering, transposition, and
+//! multiplies tropical, multpath, and centpath matrices), GraphBLAS
+//! style output [`Mask`]s (structural and complement) that skip
+//! excluded elementary products before they form, elementwise monoid
+//! combination, `sparsify`-style filtering, transposition, and
 //! slicing. Row-parallel variants run on the `mfbc-parallel` thread
 //! pool (sized by `MFBC_THREADS`), standing in for CTF's on-node
 //! threading: rows are split into flops-balanced contiguous ranges,
@@ -29,13 +31,15 @@
 pub mod coo;
 pub mod csr;
 pub mod elementwise;
+pub mod mask;
 pub mod slice;
 pub mod spgemm;
 pub mod transpose;
 
 pub use coo::Coo;
 pub use csr::{Csr, Idx};
-pub use spgemm::{spgemm, spgemm_serial};
+pub use mask::{Mask, MaskKind};
+pub use spgemm::{spgemm, spgemm_masked, spgemm_masked_serial, spgemm_opt, spgemm_serial};
 
 /// Estimated in-memory payload bytes of one stored entry of type `T`
 /// in CSR/COO form: the value plus one column index. Used by the

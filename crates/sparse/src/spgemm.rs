@@ -12,6 +12,7 @@
 //! consume.
 
 use crate::csr::{Csr, Idx};
+use crate::mask::{Mask, MaskKind};
 use mfbc_algebra::kernel::KernelOut;
 use mfbc_algebra::monoid::Monoid;
 use mfbc_algebra::SpMulKernel;
@@ -107,6 +108,80 @@ fn multiply_rows<K: SpMulKernel>(
     (rowlen, colind, vals, ops)
 }
 
+/// Per-row mask marker, the mask-side analogue of [`Spa`]: the
+/// current row's pattern columns are stamped with a row tag, so
+/// allowed-column checks are O(1) per product and per-row setup costs
+/// only the pattern row's length.
+struct MaskStamp {
+    stamp: Vec<u64>,
+    tag: u64,
+}
+
+impl MaskStamp {
+    fn new(ncols: usize) -> MaskStamp {
+        MaskStamp {
+            stamp: vec![0; ncols],
+            tag: 0,
+        }
+    }
+
+    #[inline]
+    fn begin_row(&mut self, pattern_cols: &[Idx]) {
+        self.tag += 1;
+        for &j in pattern_cols {
+            self.stamp[j as usize] = self.tag;
+        }
+    }
+
+    #[inline]
+    fn in_pattern(&self, j: usize) -> bool {
+        self.stamp[j] == self.tag
+    }
+}
+
+/// Masked [`multiply_rows`]: elementary products whose output column
+/// the mask excludes are skipped before `f` is applied — they neither
+/// accumulate nor count toward `ops`. A structural mask with an empty
+/// pattern row skips that output row outright.
+fn multiply_rows_masked<K: SpMulKernel>(
+    a: &Csr<K::Left>,
+    b: &Csr<K::Right>,
+    mask: &Mask,
+    rows: std::ops::Range<usize>,
+    spa: &mut Spa<KernelOut<K>>,
+    ms: &mut MaskStamp,
+) -> (Vec<usize>, Vec<Idx>, Vec<KernelOut<K>>, u64) {
+    let structural = mask.kind() == MaskKind::Structural;
+    let mut rowlen = Vec::with_capacity(rows.len());
+    let mut colind = Vec::new();
+    let mut vals = Vec::new();
+    let mut ops = 0u64;
+    for i in rows {
+        let pattern = mask.row_cols(i);
+        if structural && pattern.is_empty() {
+            rowlen.push(0);
+            continue;
+        }
+        ms.begin_row(pattern);
+        spa.begin_row();
+        for (k, av) in a.row(i) {
+            for (j, bv) in b.row(k) {
+                if ms.in_pattern(j) != structural {
+                    continue;
+                }
+                if let Some(c) = K::mul(av, bv) {
+                    ops += 1;
+                    spa.accumulate::<K::Acc>(j, c);
+                }
+            }
+        }
+        let before = colind.len();
+        spa.drain_into::<K::Acc>(&mut colind, &mut vals);
+        rowlen.push(colind.len() - before);
+    }
+    (rowlen, colind, vals, ops)
+}
+
 fn assemble<K: SpMulKernel>(
     nrows: usize,
     ncols: usize,
@@ -152,6 +227,47 @@ pub fn spgemm_serial<K: SpMulKernel>(
     );
     let mut spa = Spa::new(b.ncols(), <K::Acc as Monoid>::identity());
     let chunk = multiply_rows::<K>(a, b, 0..a.nrows(), &mut spa);
+    assemble::<K>(a.nrows(), b.ncols(), vec![chunk])
+}
+
+/// Checks operand and mask shapes for a masked multiplication.
+fn check_mask_shapes<L, R>(a: &Csr<L>, b: &Csr<R>, mask: &Mask) {
+    assert_eq!(
+        a.ncols(),
+        b.nrows(),
+        "spgemm inner dimension mismatch: {}x{} by {}x{}",
+        a.nrows(),
+        a.ncols(),
+        b.nrows(),
+        b.ncols()
+    );
+    assert_eq!(
+        (mask.nrows(), mask.ncols()),
+        (a.nrows(), b.ncols()),
+        "mask shape {}x{} does not match output shape {}x{}",
+        mask.nrows(),
+        mask.ncols(),
+        a.nrows(),
+        b.ncols()
+    );
+}
+
+/// Sequential masked SpGEMM: like [`spgemm_serial`] but elementary
+/// products whose output coordinate `mask` excludes are skipped
+/// before they are formed (not accumulated, not counted in `ops`).
+///
+/// # Panics
+/// Panics if the inner dimensions disagree or the mask shape differs
+/// from the output shape.
+pub fn spgemm_masked_serial<K: SpMulKernel>(
+    a: &Csr<K::Left>,
+    b: &Csr<K::Right>,
+    mask: &Mask,
+) -> SpGemmOut<KernelOut<K>> {
+    check_mask_shapes(a, b, mask);
+    let mut spa = Spa::new(b.ncols(), <K::Acc as Monoid>::identity());
+    let mut ms = MaskStamp::new(b.ncols());
+    let chunk = multiply_rows_masked::<K>(a, b, mask, 0..a.nrows(), &mut spa, &mut ms);
     assemble::<K>(a.nrows(), b.ncols(), vec![chunk])
 }
 
@@ -220,6 +336,59 @@ pub fn spgemm<K: SpMulKernel>(a: &Csr<K::Left>, b: &Csr<K::Right>) -> SpGemmOut<
         chunk_hist: chunk_histogram(ranges.iter().map(|r| r.len())),
     });
     assemble::<K>(nrows, b.ncols(), chunks)
+}
+
+/// Row-parallel masked SpGEMM. Same determinism contract as
+/// [`spgemm`]: results (entries *and* `ops`) are bit-identical to
+/// [`spgemm_masked_serial`] at any thread count. Row partitioning
+/// reuses the unmasked flops weights — a valid upper bound per row,
+/// and identical partitions keep the trace stream stable whether or
+/// not a mask is present.
+pub fn spgemm_masked<K: SpMulKernel>(
+    a: &Csr<K::Left>,
+    b: &Csr<K::Right>,
+    mask: &Mask,
+) -> SpGemmOut<KernelOut<K>> {
+    check_mask_shapes(a, b, mask);
+    let nrows = a.nrows();
+    let pool = mfbc_parallel::current();
+    if pool.threads() == 1 || nrows < PAR_MIN_ROWS {
+        return spgemm_masked_serial::<K>(a, b, mask);
+    }
+    let weights = flops_weights(a, b);
+    let ranges = balanced_ranges(&weights, pool.threads() * TASKS_PER_THREAD);
+    let (chunks, stats) = pool.par_ranges_scratch(
+        &ranges,
+        || {
+            (
+                Spa::new(b.ncols(), <K::Acc as Monoid>::identity()),
+                MaskStamp::new(b.ncols()),
+            )
+        },
+        |(spa, ms), rows| multiply_rows_masked::<K>(a, b, mask, rows, spa, ms),
+    );
+    mfbc_trace::emit(|| mfbc_trace::TraceEvent::Pool {
+        kernel: "spgemm",
+        threads: stats.threads,
+        tasks: stats.tasks,
+        busy_us: stats.busy.iter().map(|d| d.as_micros() as u64).collect(),
+        chunk_hist: chunk_histogram(ranges.iter().map(|r| r.len())),
+    });
+    assemble::<K>(nrows, b.ncols(), chunks)
+}
+
+/// Dispatches to the masked or unmasked parallel kernel — the form
+/// the distributed multiplication layers call with their per-block
+/// mask windows.
+pub fn spgemm_opt<K: SpMulKernel>(
+    a: &Csr<K::Left>,
+    b: &Csr<K::Right>,
+    mask: Option<&Mask>,
+) -> SpGemmOut<KernelOut<K>> {
+    match mask {
+        Some(m) => spgemm_masked::<K>(a, b, m),
+        None => spgemm::<K>(a, b),
+    }
 }
 
 /// Log2-bucketed size histogram: slot `b` counts chunks whose size
@@ -349,6 +518,71 @@ mod tests {
             let p = mfbc_parallel::with_threads(threads, || spgemm::<TropicalKernel>(&a, &a));
             assert_eq!(reference.mat, p.mat, "entries differ at {threads} threads");
             assert_eq!(reference.ops, p.ops, "ops differ at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn structural_mask_skips_products_and_ops() {
+        use crate::mask::{Mask, MaskKind};
+        // Two 2-hop routes 0->2 plus a route 0->? : mask keeps only
+        // (0,2), so the products into other columns are never formed.
+        let a = dist_mat(
+            4,
+            4,
+            &[(0, 1, 3), (1, 2, 9), (0, 3, 5), (3, 2, 2), (1, 1, 1)],
+        );
+        let unmasked = spgemm_serial::<TropicalKernel>(&a, &a);
+        let mask = Mask::from_coords(MaskKind::Structural, 4, 4, &[(0, 2)]);
+        let masked = spgemm_masked_serial::<TropicalKernel>(&a, &a, &mask);
+        assert_eq!(masked.mat.nnz(), 1);
+        assert_eq!(masked.mat.get(0, 2), Some(&Dist::new(7)));
+        assert!(masked.ops < unmasked.ops, "mask must drop ops");
+        // Kept entries are bit-identical to the unmasked product.
+        assert_eq!(masked.mat.get(0, 2), unmasked.mat.get(0, 2));
+    }
+
+    #[test]
+    fn complement_mask_excludes_pattern_coords() {
+        use crate::mask::Mask;
+        let a = dist_mat(4, 4, &[(0, 1, 3), (1, 2, 9), (0, 3, 5), (3, 2, 2)]);
+        let unmasked = spgemm_serial::<TropicalKernel>(&a, &a);
+        let mask = Mask::complement_of(&unmasked.mat);
+        let masked = spgemm_masked_serial::<TropicalKernel>(&a, &a, &mask);
+        assert_eq!(masked.mat.nnz(), 0);
+        assert_eq!(masked.ops, 0);
+    }
+
+    #[test]
+    fn masked_parallel_bit_identical_to_masked_serial() {
+        use crate::mask::{Mask, MaskKind};
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(11);
+        let n = 150;
+        let mut coo = Coo::new(n, n);
+        for _ in 0..3000 {
+            coo.push(
+                rng.gen_range(0..n),
+                rng.gen_range(0..n),
+                Dist::new(rng.gen_range(1..50)),
+            );
+        }
+        let a = coo.into_csr::<MinDist>();
+        let pattern: Vec<(usize, usize)> = (0..n * 4)
+            .map(|_| (rng.gen_range(0..n), rng.gen_range(0..n)))
+            .collect();
+        for kind in [MaskKind::Structural, MaskKind::Complement] {
+            let mask = Mask::from_coords(kind, n, n, &pattern);
+            let reference = spgemm_masked_serial::<TropicalKernel>(&a, &a, &mask);
+            for threads in [1, 2, 4, 8] {
+                let p = mfbc_parallel::with_threads(threads, || {
+                    spgemm_masked::<TropicalKernel>(&a, &a, &mask)
+                });
+                assert_eq!(
+                    reference.mat, p.mat,
+                    "{kind:?} entries at {threads} threads"
+                );
+                assert_eq!(reference.ops, p.ops, "{kind:?} ops at {threads} threads");
+            }
         }
     }
 

@@ -14,11 +14,11 @@
 use crate::cache::MmCache;
 use crate::costmodel::{memory_per_rank, predict, MmStats};
 use crate::dist::DistMat;
-use crate::mm::{mm_exec, MmOut, MmPlan};
+use crate::mm::{MmOut, MmPlan};
 use mfbc_algebra::kernel::KernelOut;
 use mfbc_algebra::SpMulKernel;
 use mfbc_machine::{Machine, MachineError, MachineSpec};
-use mfbc_sparse::entry_bytes;
+use mfbc_sparse::{entry_bytes, Mask};
 
 /// Every candidate plan for `p` ranks — the tuner's search space is
 /// exactly the enumerable plan space of [`crate::mm::enumerate_plans`]
@@ -88,6 +88,46 @@ pub fn stats_for<K: SpMulKernel>(a: &DistMat<K::Left>, b: &DistMat<K::Right>) ->
     )
 }
 
+/// Builds [`MmStats`] for a masked multiplication: the unmasked stats
+/// thinned by the mask's allowed fraction, with the movable-B
+/// fraction measured exactly — the entries of B that sit in fully
+/// masked-out output columns are the ones an uncached B-panel
+/// redistribution leaves at home, so the model prices precisely what
+/// the executor would ship.
+pub fn stats_for_masked<K: SpMulKernel>(
+    a: &DistMat<K::Left>,
+    b: &DistMat<K::Right>,
+    mask: Option<&Mask>,
+) -> MmStats {
+    let st = stats_for::<K>(a, b);
+    match mask {
+        None => st,
+        Some(mk) => {
+            let excluded = mk.fully_excluded_cols();
+            let mut dropped = 0u64;
+            if excluded.iter().any(|&e| e) {
+                let l = b.layout();
+                for bi in 0..l.br() {
+                    for bj in 0..l.bc() {
+                        let c0 = l.col_range(bj).start;
+                        dropped += b
+                            .block(bi, bj)
+                            .iter()
+                            .filter(|(_, j, _)| excluded[c0 + *j])
+                            .count() as u64;
+                    }
+                }
+            }
+            let kept_frac = if st.nnz_b == 0 {
+                1.0
+            } else {
+                (st.nnz_b - dropped) as f64 / st.nnz_b as f64
+            };
+            st.with_mask(mk.allowed_fraction(), kept_frac)
+        }
+    }
+}
+
 /// Autotuned multiplication: pick the best plan for these operands
 /// and execute it. Returns the chosen plan alongside the product.
 pub fn mm_auto<K: SpMulKernel>(
@@ -95,10 +135,21 @@ pub fn mm_auto<K: SpMulKernel>(
     a: &DistMat<K::Left>,
     b: &DistMat<K::Right>,
 ) -> Result<(MmOut<KernelOut<K>>, MmPlan), MachineError> {
+    mm_auto_masked::<K>(m, a, b, None)
+}
+
+/// [`mm_auto`] with an optional output mask: masked stats steer the
+/// plan choice, and the chosen plan executes masked.
+pub fn mm_auto_masked<K: SpMulKernel>(
+    m: &Machine,
+    a: &DistMat<K::Left>,
+    b: &DistMat<K::Right>,
+    mask: Option<&Mask>,
+) -> Result<(MmOut<KernelOut<K>>, MmPlan), MachineError> {
     let _span = mfbc_trace::span(|| "mm_auto".to_string());
-    let st = stats_for::<K>(a, b);
+    let st = stats_for_masked::<K>(a, b, mask);
     let (plan, _) = best_plan(m.spec(), &st);
-    let out = mm_exec::<K>(m, &plan, a, b)?;
+    let out = crate::mm::mm_exec_masked::<K>(m, &plan, a, b, mask)?;
     Ok((out, plan))
 }
 
@@ -111,10 +162,24 @@ pub fn mm_auto_cached<K: SpMulKernel>(
     b: &DistMat<K::Right>,
     cache: &mut MmCache<K::Right>,
 ) -> Result<(MmOut<KernelOut<K>>, MmPlan), MachineError> {
+    mm_auto_cached_masked::<K>(m, a, b, None, cache)
+}
+
+/// [`mm_auto_cached`] with an optional output mask. Cached right-hand
+/// forms are mask-independent (they key on content, and masking never
+/// alters what a cached form holds), so amortization across masked
+/// and unmasked calls is preserved.
+pub fn mm_auto_cached_masked<K: SpMulKernel>(
+    m: &Machine,
+    a: &DistMat<K::Left>,
+    b: &DistMat<K::Right>,
+    mask: Option<&Mask>,
+    cache: &mut MmCache<K::Right>,
+) -> Result<(MmOut<KernelOut<K>>, MmPlan), MachineError> {
     let _span = mfbc_trace::span(|| "mm_auto".to_string());
-    let st = stats_for::<K>(a, b);
+    let st = stats_for_masked::<K>(a, b, mask);
     let (plan, _) = best_plan(m.spec(), &st);
-    let out = crate::mm::mm_exec_cached::<K>(m, &plan, a, b, cache)?;
+    let out = crate::mm::mm_exec_cached_masked::<K>(m, &plan, a, b, mask, cache)?;
     Ok((out, plan))
 }
 

@@ -24,7 +24,7 @@ use mfbc_algebra::SpMulKernel;
 use mfbc_machine::cost::CollectiveKind;
 use mfbc_machine::{Machine, MachineError};
 use mfbc_sparse::elementwise::combine;
-use mfbc_sparse::{entry_bytes, spgemm, Csr};
+use mfbc_sparse::{entry_bytes, spgemm_opt, Csr, Mask};
 
 /// Runs Cannon's algorithm on a `q × q` grid.
 ///
@@ -38,6 +38,7 @@ pub(crate) fn run_pieces<K: SpMulKernel>(
     grid: &Grid2,
     a: &DistMat<K::Left>,
     b: &DistMat<K::Right>,
+    mask: Option<&Mask>,
     _cache: &mut MmCache<K::Right>,
 ) -> Result<(Vec<Piece<KernelOut<K>>>, u64), MachineError> {
     let q = grid.g1();
@@ -52,7 +53,11 @@ pub(crate) fn run_pieces<K: SpMulKernel>(
     let la = Layout::on_grid(mm, kk, grid);
     let lb = Layout::on_grid(kk, nn, grid);
     let a2 = redistribute::<FirstWins<K::Left>, _>(m, a, &la)?;
-    let b2 = redistribute::<FirstWins<K::Right>, _>(m, b, &lb)?;
+    // B's redistribution is never cached here, so (as in 1D variant
+    // A) a mask can shrink the moved volume: entries in columns the
+    // mask excludes for every output row only feed skipped products.
+    let shrunk = mask.and_then(|mk| crate::mm::shrink_rhs_against_mask(b, mk));
+    let b2 = redistribute::<FirstWins<K::Right>, _>(m, shrunk.as_ref().unwrap_or(b), &lb)?;
 
     // Local block tables indexed by grid position; the skew and the
     // per-step shifts permute them. `a_blocks[i][j]` is the block
@@ -75,6 +80,17 @@ pub(crate) fn run_pieces<K: SpMulKernel>(
                 .collect()
         })
         .collect();
+    // Position (i, j) accumulates the same output rectangle at every
+    // step, so one mask window per position serves the whole run.
+    let windows: Option<Vec<Vec<Mask>>> = mask.map(|mk| {
+        (0..q)
+            .map(|i| {
+                (0..q)
+                    .map(|j| mk.window(la.row_range(i), lb.col_range(j)))
+                    .collect()
+            })
+            .collect()
+    });
     let mut ops = 0u64;
 
     for step in 0..q {
@@ -84,7 +100,8 @@ pub(crate) fn run_pieces<K: SpMulKernel>(
                 if ab.is_empty() || bb.is_empty() {
                     continue;
                 }
-                let out = spgemm::<K>(ab, bb);
+                let w = windows.as_ref().map(|ws| &ws[i][j]);
+                let out = spgemm_opt::<K>(ab, bb, w);
                 m.charge_compute(grid.rank(i, j), out.ops + out.mat.nnz() as u64);
                 ops += out.ops;
                 acc[i][j] = combine::<K::Acc, _>(&acc[i][j], &out.mat);
@@ -149,9 +166,10 @@ pub(crate) fn run<K: SpMulKernel>(
     grid: &Grid2,
     a: &DistMat<K::Left>,
     b: &DistMat<K::Right>,
+    mask: Option<&Mask>,
     cache: &mut MmCache<K::Right>,
 ) -> Result<crate::mm::MmOut<KernelOut<K>>, MachineError> {
-    let (pieces, ops) = run_pieces::<K>(m, grid, a, b, cache)?;
+    let (pieces, ops) = run_pieces::<K>(m, grid, a, b, mask, cache)?;
     let c = assemble_canonical::<K::Acc, _>(m, a.nrows(), b.ncols(), pieces);
     Ok(crate::mm::MmOut { c, ops })
 }
@@ -164,7 +182,10 @@ pub fn predict_cannon(
     st: &crate::costmodel::MmStats,
 ) -> f64 {
     let p = q * q;
-    let (ba, bb) = ((st.nnz_a * st.eb_a) as f64, (st.nnz_b * st.eb_b) as f64);
+    // Cannon's B redistribution and shifts are uncached, so (as in
+    // 1D variant A) a mask shrinks the moved B volume.
+    let ba = (st.nnz_a * st.eb_a) as f64;
+    let bb = (st.nnz_b * st.eb_b) as f64 * st.b_move_frac;
     let comm = if p <= 1 {
         0.0
     } else {
@@ -212,7 +233,7 @@ mod tests {
             let da = DistMat::from_global(crate::canonical_layout(&m, n, n), &a);
             let db = DistMat::from_global(crate::canonical_layout(&m, n, n), &b);
             let mut cache = MmCache::new();
-            let out = run::<TropicalKernel>(&m, &grid, &da, &db, &mut cache).unwrap();
+            let out = run::<TropicalKernel>(&m, &grid, &da, &db, None, &mut cache).unwrap();
             cache.release_all(&m);
             assert_eq!(out.c.to_global::<MinDist>(), want.mat, "q={q}");
             assert_eq!(out.ops, want.ops, "q={q}");
@@ -229,7 +250,7 @@ mod tests {
         let da = DistMat::from_global(crate::canonical_layout(&m, n, n), &a);
         let db = da.clone();
         let mut cache = MmCache::new();
-        let _ = run::<TropicalKernel>(&m, &grid, &da, &db, &mut cache).unwrap();
+        let _ = run::<TropicalKernel>(&m, &grid, &da, &db, None, &mut cache).unwrap();
         cache.release_all(&m);
         // q shift rounds × 2 directions = 2q point-to-point messages
         // per rank on the critical path, plus the redistribution
@@ -246,6 +267,6 @@ mod tests {
         let a = random_mat(5, 12, 40);
         let da = DistMat::from_global(crate::canonical_layout(&m, 12, 12), &a);
         let mut cache = MmCache::new();
-        let _ = run::<TropicalKernel>(&m, &grid, &da, &da.clone(), &mut cache);
+        let _ = run::<TropicalKernel>(&m, &grid, &da, &da.clone(), None, &mut cache);
     }
 }

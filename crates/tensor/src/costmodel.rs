@@ -39,6 +39,13 @@ pub struct MmStats {
     pub eb_b: u64,
     /// Bytes per stored entry of C.
     pub eb_c: u64,
+    /// Fraction of B that must move through a fresh right-hand
+    /// redistribution (1D variant A on a cache miss, Cannon). An
+    /// output mask leaves B entries in fully-excluded columns at
+    /// home, so masked plans set this below 1; cached B forms are
+    /// mask-independent and keep paying the full volume, which is
+    /// what shifts the plan crossovers under masking.
+    pub b_move_frac: f64,
 }
 
 impl MmStats {
@@ -72,7 +79,22 @@ impl MmStats {
             eb_a,
             eb_b,
             eb_c,
+            b_move_frac: 1.0,
         }
+    }
+
+    /// Stats for the same multiplication under an output mask that
+    /// admits `allowed_frac` of the output coordinates and keeps
+    /// `b_kept_frac` of B's entries movable (entries outside fully
+    /// masked-out columns). Under the uniform-sparsity model a mask
+    /// thins elementary products and output entries proportionally.
+    pub fn with_mask(&self, allowed_frac: f64, b_kept_frac: f64) -> MmStats {
+        let f = allowed_frac.clamp(0.0, 1.0);
+        let mut s = *self;
+        s.ops = ((self.ops as f64) * f).ceil() as u64;
+        s.nnz_c = ((self.nnz_c as f64) * f).ceil() as u64;
+        s.b_move_frac = b_kept_frac.clamp(0.0, 1.0);
+        s
     }
 }
 
@@ -132,7 +154,13 @@ fn time_1d(spec: &MachineSpec, p: usize, v: Variant1D, st: &MmStats) -> f64 {
         0.0
     } else {
         match v {
-            Variant1D::A => spec.beta * ba + spec.alpha * lg(p) + redist_time(spec, p, bb),
+            // Variant A's B redistribution is the one 1D right-hand
+            // move that may ship a mask-shrunk operand (the shrunk
+            // form bypasses the cache), so only it sees the masked
+            // shrink factor.
+            Variant1D::A => {
+                spec.beta * ba + spec.alpha * lg(p) + redist_time(spec, p, bb * st.b_move_frac)
+            }
             Variant1D::B => spec.beta * bb + spec.alpha * lg(p) + redist_time(spec, p, ba),
             Variant1D::C => {
                 redist_time(spec, p, ba)
@@ -329,6 +357,54 @@ mod tests {
         );
         assert!(m1 > m2);
         assert!(m1 >= st.nnz_b * st.eb_b);
+    }
+
+    #[test]
+    fn mask_thins_ops_and_output() {
+        let st = stats();
+        let masked = st.with_mask(0.25, 0.5);
+        assert_eq!(masked.ops, st.ops / 4);
+        assert_eq!(masked.nnz_c, st.nnz_c / 4);
+        assert_eq!(masked.b_move_frac, 0.5);
+        // Operand stats are untouched: the mask changes what is
+        // produced and moved, not what exists.
+        assert_eq!(masked.nnz_a, st.nnz_a);
+        assert_eq!(masked.nnz_b, st.nnz_b);
+    }
+
+    #[test]
+    fn b_move_frac_discounts_only_uncached_b_movers() {
+        // Same output thinning, different movable-B fractions: only
+        // variant A's uncached B redistribution (and Cannon) may see
+        // the difference — variant B's cached replica stays
+        // mask-independent, preserving Theorem 5.1's amortization.
+        let spec = MachineSpec::test(16);
+        let st = stats();
+        let loose = st.with_mask(0.5, 1.0);
+        let tight = st.with_mask(0.5, 0.1);
+        let a_loose = predict(&spec, &MmPlan::OneD(Variant1D::A), &loose);
+        let a_tight = predict(&spec, &MmPlan::OneD(Variant1D::A), &tight);
+        assert!(a_tight < a_loose, "A: {a_tight} !< {a_loose}");
+        let b_loose = predict(&spec, &MmPlan::OneD(Variant1D::B), &loose);
+        let b_tight = predict(&spec, &MmPlan::OneD(Variant1D::B), &tight);
+        assert_eq!(b_loose, b_tight);
+        let q = MmPlan::Cannon { q: 4 };
+        assert!(predict(&spec, &q, &tight) < predict(&spec, &q, &loose));
+    }
+
+    #[test]
+    fn aggressive_mask_can_flip_the_plan_choice() {
+        // A marginally denser than B: unmasked, replicating the
+        // lighter B (variant B) edges out replicating A. A mask that
+        // strands most of B at home discounts only variant A's
+        // redistribution term, flipping the tuner's choice.
+        let spec = MachineSpec::test(16);
+        let st = MmStats::estimate(1000, 1000, 1000, 105_000, 100_000, 12, 12, 20);
+        let va = MmPlan::OneD(Variant1D::A);
+        let vb = MmPlan::OneD(Variant1D::B);
+        assert!(predict(&spec, &vb, &st) < predict(&spec, &va, &st));
+        let masked = st.with_mask(0.01, 0.01);
+        assert!(predict(&spec, &va, &masked) < predict(&spec, &vb, &masked));
     }
 
     #[test]

@@ -33,7 +33,7 @@ use mfbc_algebra::kernel::KernelOut;
 use mfbc_algebra::monoid::Monoid;
 use mfbc_algebra::SpMulKernel;
 use mfbc_machine::{Machine, MachineError};
-use mfbc_sparse::Coo;
+use mfbc_sparse::{Coo, Mask};
 
 /// The 1D algorithm variants of §5.2.1, named by the matrix they
 /// replicate (`A`, `B`) or reduce (`C`).
@@ -313,6 +313,39 @@ where
     DistMat::from_blocks(layout, blocks)
 }
 
+/// Drops right-operand entries in output columns the mask excludes
+/// for *every* output row. Such entries can only feed skipped
+/// products, so removing them changes neither the kept entries nor
+/// the `ops` counter — but it shrinks the bytes a fresh (uncached)
+/// B-panel redistribution must move. Returns `None` when the drop is
+/// empty — no column is fully excluded (the common early-iteration
+/// case), or every excluded column is structurally empty in B — so
+/// callers fall back to the cacheable full form.
+pub(crate) fn shrink_rhs_against_mask<T: Clone + Send + Sync>(
+    b: &DistMat<T>,
+    mask: &Mask,
+) -> Option<DistMat<T>> {
+    let excluded = mask.fully_excluded_cols();
+    if !excluded.iter().any(|&e| e) {
+        return None;
+    }
+    let l = b.layout().clone();
+    let mut blocks = Vec::with_capacity(l.nblocks());
+    for bi in 0..l.br() {
+        for bj in 0..l.bc() {
+            let c0 = l.col_range(bj).start;
+            blocks.push(b.block(bi, bj).filter(|_, j, _| !excluded[c0 + j]));
+        }
+    }
+    let out = DistMat::from_blocks(l, blocks);
+    // Excluded columns that hold no B entries shrink nothing; report
+    // "no shrink" so callers can fall back to the cacheable full form.
+    if out.nnz() == b.nnz() {
+        return None;
+    }
+    Some(out)
+}
+
 /// Executes `C = A •⟨⊕,f⟩ B` under `plan`.
 ///
 /// # Errors
@@ -325,8 +358,22 @@ pub fn mm_exec<K: SpMulKernel>(
     a: &DistMat<K::Left>,
     b: &DistMat<K::Right>,
 ) -> Result<MmOut<KernelOut<K>>, MachineError> {
+    mm_exec_masked::<K>(m, plan, a, b, None)
+}
+
+/// [`mm_exec`] with an optional output mask in global coordinates:
+/// each plan windows the mask to its output blocks, so excluded
+/// elementary products are skipped inside every local kernel call and
+/// never counted in `ops`.
+pub fn mm_exec_masked<K: SpMulKernel>(
+    m: &Machine,
+    plan: &MmPlan,
+    a: &DistMat<K::Left>,
+    b: &DistMat<K::Right>,
+    mask: Option<&Mask>,
+) -> Result<MmOut<KernelOut<K>>, MachineError> {
     let mut cache = MmCache::new();
-    let out = mm_exec_cached::<K>(m, plan, a, b, &mut cache);
+    let out = mm_exec_cached_masked::<K>(m, plan, a, b, mask, &mut cache);
     cache.release_all(m);
     out
 }
@@ -342,6 +389,23 @@ pub fn mm_exec_cached<K: SpMulKernel>(
     b: &DistMat<K::Right>,
     cache: &mut MmCache<K::Right>,
 ) -> Result<MmOut<KernelOut<K>>, MachineError> {
+    mm_exec_cached_masked::<K>(m, plan, a, b, None, cache)
+}
+
+/// Masked, cached execution — the full-generality entry point. Cached
+/// right-operand forms are mask-*independent* (they key on the
+/// operand alone), so Theorem 5.1's amortization survives a mask that
+/// changes every iteration; only the uncached fresh-per-product
+/// B-panel paths shrink operand volume against the mask (see
+/// DESIGN.md).
+pub fn mm_exec_cached_masked<K: SpMulKernel>(
+    m: &Machine,
+    plan: &MmPlan,
+    a: &DistMat<K::Left>,
+    b: &DistMat<K::Right>,
+    mask: Option<&Mask>,
+    cache: &mut MmCache<K::Right>,
+) -> Result<MmOut<KernelOut<K>>, MachineError> {
     assert_eq!(
         a.ncols(),
         b.nrows(),
@@ -351,17 +415,28 @@ pub fn mm_exec_cached<K: SpMulKernel>(
         b.nrows(),
         b.ncols()
     );
+    if let Some(mk) = mask {
+        assert_eq!(
+            (mk.nrows(), mk.ncols()),
+            (a.nrows(), b.ncols()),
+            "mask shape {}x{} does not match output shape {}x{}",
+            mk.nrows(),
+            mk.ncols(),
+            a.nrows(),
+            b.ncols()
+        );
+    }
     plan.check(m.p())?;
     let _span = mfbc_trace::span(|| format!("spgemm {plan}"));
     let out = match *plan {
-        MmPlan::OneD(v) => mm1d::run::<K>(m, &m.world(), v, a, b, cache),
+        MmPlan::OneD(v) => mm1d::run::<K>(m, &m.world(), v, a, b, mask, cache),
         MmPlan::TwoD { variant, p2, p3 } => {
             let grid = Grid2::new(m.world(), p2, p3)?;
-            mm2d::run::<K>(m, &grid, variant, a, b, cache)
+            mm2d::run::<K>(m, &grid, variant, a, b, mask, cache)
         }
         MmPlan::Cannon { q } => {
             let grid = Grid2::new(m.world(), q, q)?;
-            crate::cannon::run::<K>(m, &grid, a, b, cache)
+            crate::cannon::run::<K>(m, &grid, a, b, mask, cache)
         }
         MmPlan::ThreeD {
             split,
@@ -371,7 +446,7 @@ pub fn mm_exec_cached<K: SpMulKernel>(
             p3,
         } => {
             let grid = Grid3::new(m.world(), p1, p2, p3)?;
-            mm3d::run::<K>(m, &grid, split, inner, a, b, cache)
+            mm3d::run::<K>(m, &grid, split, inner, a, b, mask, cache)
         }
     };
     let out = match out {

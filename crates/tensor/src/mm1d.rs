@@ -24,7 +24,7 @@ use mfbc_machine::cost::CollectiveKind;
 use mfbc_machine::{Group, Machine, MachineError};
 use mfbc_sparse::elementwise::combine;
 use mfbc_sparse::slice::even_ranges;
-use mfbc_sparse::{entry_bytes, Csr};
+use mfbc_sparse::{entry_bytes, Csr, Mask};
 use std::sync::Arc;
 
 use crate::mm::Variant1D;
@@ -43,9 +43,10 @@ pub(crate) fn run<K: SpMulKernel>(
     variant: Variant1D,
     a: &DistMat<K::Left>,
     b: &DistMat<K::Right>,
+    mask: Option<&Mask>,
     cache: &mut MmCache<K::Right>,
 ) -> Result<MmOut<KernelOut<K>>, MachineError> {
-    let (pieces, ops) = run_pieces::<K>(m, group, variant, a, b, cache)?;
+    let (pieces, ops) = run_pieces::<K>(m, group, variant, a, b, mask, cache)?;
     let c = assemble_canonical::<K::Acc, _>(m, a.nrows(), b.ncols(), pieces);
     Ok(MmOut { c, ops })
 }
@@ -135,6 +136,7 @@ pub(crate) fn run_pieces<K: SpMulKernel>(
     variant: Variant1D,
     a: &DistMat<K::Left>,
     b: &DistMat<K::Right>,
+    mask: Option<&Mask>,
     cache: &mut MmCache<K::Right>,
 ) -> Result<(Vec<Piece<KernelOut<K>>>, u64), MachineError> {
     // Trivial monoid shorthand used for operand redistribution: the
@@ -146,7 +148,32 @@ pub(crate) fn run_pieces<K: SpMulKernel>(
         Variant1D::A => {
             let a_full = replicate::<_, FirstWins<K::Left>>(m, group, a)?;
             let lb = col_split_layout(b.nrows(), b.ncols(), group);
-            let b2 = redistribute::<FirstWins<K::Right>, _>(m, b, &lb)?;
+            // The column-split right-hand form depends only on the
+            // operand and the group, so Theorem 5.1's amortization
+            // applies to it exactly as to the replicated/blocked
+            // forms of the other variants; a cached form serves
+            // masked calls too (compute is mask-windowed either way).
+            // On a miss, a mask whose fully-excluded output columns
+            // strand B entries at home ships the shrunk operand
+            // instead — that form is mask-specific, so it is built
+            // fresh and never cached.
+            let fp = Fingerprint::of(b);
+            let key = format!("1d:A:{}:{}", group.len(), b.content_id());
+            let b2: Arc<DistMat<K::Right>> = if let Some(CachedRhs::Dist(d)) = cache.get(&key, fp) {
+                Arc::clone(d)
+            } else if let Some(s) = mask.and_then(|mk| crate::mm::shrink_rhs_against_mask(b, mk)) {
+                Arc::new(redistribute::<FirstWins<K::Right>, _>(m, &s, &lb)?)
+            } else {
+                let built = Arc::new(redistribute::<FirstWins<K::Right>, _>(m, b, &lb)?);
+                let mut charges = Vec::new();
+                for k in 0..group.len() {
+                    let bytes = (built.block(0, k).nnz() * entry_bytes::<K::Right>()) as u64;
+                    m.charge_alloc(group.rank_at(k), bytes)?;
+                    charges.push((group.rank_at(k), bytes));
+                }
+                cache.insert(key, fp, CachedRhs::Dist(Arc::clone(&built)), charges);
+                built
+            };
             let mut pieces = Vec::with_capacity(group.len());
             let mut ops = 0u64;
             for k in 0..group.len() {
@@ -154,7 +181,8 @@ pub(crate) fn run_pieces<K: SpMulKernel>(
                 if blk.is_empty() || a_full.is_empty() {
                     continue;
                 }
-                let out = mfbc_sparse::spgemm::<K>(&a_full, blk);
+                let w = mask.map(|mk| mk.window(0..a.nrows(), lb.col_range(k)));
+                let out = mfbc_sparse::spgemm_opt::<K>(&a_full, blk, w.as_ref());
                 m.charge_compute(group.rank_at(k), out.ops + out.mat.nnz() as u64);
                 ops += out.ops;
                 pieces.push((0, lb.col_range(k).start, k, out.mat));
@@ -173,7 +201,8 @@ pub(crate) fn run_pieces<K: SpMulKernel>(
                 if blk.is_empty() || b_full.is_empty() {
                     continue;
                 }
-                let out = mfbc_sparse::spgemm::<K>(blk, &b_full);
+                let w = mask.map(|mk| mk.window(la.row_range(k), 0..b.ncols()));
+                let out = mfbc_sparse::spgemm_opt::<K>(blk, &b_full, w.as_ref());
                 m.charge_compute(group.rank_at(k), out.ops + out.mat.nnz() as u64);
                 ops += out.ops;
                 pieces.push((la.row_range(k).start, 0, k, out.mat));
@@ -207,7 +236,8 @@ pub(crate) fn run_pieces<K: SpMulKernel>(
                     partials.push(Csr::zero(a.nrows(), b.ncols()));
                     continue;
                 }
-                let out = mfbc_sparse::spgemm::<K>(ab, bb);
+                // Full-shape partials: each gets the whole mask.
+                let out = mfbc_sparse::spgemm_opt::<K>(ab, bb, mask);
                 m.charge_compute(group.rank_at(k), out.ops + out.mat.nnz() as u64);
                 m.charge_alloc(
                     group.rank_at(k),

@@ -33,7 +33,7 @@ use mfbc_machine::collectives::broadcast;
 use mfbc_machine::{Machine, MachineError};
 use mfbc_sparse::elementwise::combine;
 use mfbc_sparse::slice::even_ranges;
-use mfbc_sparse::{entry_bytes, spgemm, Csr};
+use mfbc_sparse::{entry_bytes, spgemm_opt, Csr, Mask};
 use std::sync::Arc;
 
 /// Runs a 2D variant over `grid`, returning the canonical result.
@@ -43,9 +43,10 @@ pub(crate) fn run<K: SpMulKernel>(
     variant: Variant2D,
     a: &DistMat<K::Left>,
     b: &DistMat<K::Right>,
+    mask: Option<&Mask>,
     cache: &mut MmCache<K::Right>,
 ) -> Result<MmOut<KernelOut<K>>, MachineError> {
-    let (pieces, ops) = run_pieces::<K>(m, grid, variant, a, b, cache)?;
+    let (pieces, ops) = run_pieces::<K>(m, grid, variant, a, b, mask, cache)?;
     let c = assemble_canonical::<K::Acc, _>(m, a.nrows(), b.ncols(), pieces);
     Ok(MmOut { c, ops })
 }
@@ -121,12 +122,13 @@ pub(crate) fn run_pieces<K: SpMulKernel>(
     variant: Variant2D,
     a: &DistMat<K::Left>,
     b: &DistMat<K::Right>,
+    mask: Option<&Mask>,
     cache: &mut MmCache<K::Right>,
 ) -> Result<(Vec<Piece<KernelOut<K>>>, u64), MachineError> {
     match variant {
-        Variant2D::AB => stationary_c::<K>(m, grid, a, b, cache),
-        Variant2D::AC => stationary_b::<K>(m, grid, a, b, cache),
-        Variant2D::BC => stationary_a::<K>(m, grid, a, b, cache),
+        Variant2D::AB => stationary_c::<K>(m, grid, a, b, mask, cache),
+        Variant2D::AC => stationary_b::<K>(m, grid, a, b, mask, cache),
+        Variant2D::BC => stationary_a::<K>(m, grid, a, b, mask, cache),
     }
 }
 
@@ -136,6 +138,7 @@ fn stationary_c<K: SpMulKernel>(
     grid: &Grid2,
     a: &DistMat<K::Left>,
     b: &DistMat<K::Right>,
+    mask: Option<&Mask>,
     cache: &mut MmCache<K::Right>,
 ) -> Result<(Vec<Piece<KernelOut<K>>>, u64), MachineError> {
     let (g1, g2) = (grid.g1(), grid.g2());
@@ -169,6 +172,14 @@ fn stationary_c<K: SpMulKernel>(
         .flat_map(|bi| (0..g2).map(move |bj| (bi, bj)))
         .map(|(bi, bj)| Csr::zero(la.row_range(bi).len(), lb.col_range(bj).len()))
         .collect();
+    // Each grid position (bi, bj) always writes the same output
+    // rectangle, so one mask window per position covers all s steps.
+    let windows: Option<Vec<Mask>> = mask.map(|mk| {
+        (0..g1)
+            .flat_map(|bi| (0..g2).map(move |bj| (bi, bj)))
+            .map(|(bi, bj)| mk.window(la.row_range(bi), lb.col_range(bj)))
+            .collect()
+    });
     let mut ops = 0u64;
 
     for t in 0..s {
@@ -190,7 +201,8 @@ fn stationary_c<K: SpMulKernel>(
                 if ab.is_empty() || bb.is_empty() {
                     continue;
                 }
-                let out = spgemm::<K>(ab, bb);
+                let w = windows.as_ref().map(|ws| &ws[bi * g2 + bj]);
+                let out = spgemm_opt::<K>(ab, bb, w);
                 m.charge_compute(grid.rank(bi, bj), out.ops + out.mat.nnz() as u64);
                 ops += out.ops;
                 let slot = &mut acc[bi * g2 + bj];
@@ -229,6 +241,7 @@ fn stationary_b<K: SpMulKernel>(
     grid: &Grid2,
     a: &DistMat<K::Left>,
     b: &DistMat<K::Right>,
+    mask: Option<&Mask>,
     cache: &mut MmCache<K::Right>,
 ) -> Result<(Vec<Piece<KernelOut<K>>>, u64), MachineError> {
     let (g1, g2) = (grid.g1(), grid.g2());
@@ -265,6 +278,9 @@ fn stationary_b<K: SpMulKernel>(
             a_shared.push((h, bytes));
         }
         for bj in 0..g2 {
+            // All g1 partials of this (t, bj) output rectangle share
+            // one window.
+            let w = mask.map(|mk| mk.window(la.row_range(t), lb.col_range(bj)));
             let mut contribs: Vec<Csr<KernelOut<K>>> = Vec::with_capacity(g1);
             for bk in 0..g1 {
                 let (ab, bb) = (&a_shared[bk].0, b2.block(bk, bj));
@@ -272,7 +288,7 @@ fn stationary_b<K: SpMulKernel>(
                     contribs.push(Csr::zero(chunk_rows, ncols_of(bj)));
                     continue;
                 }
-                let out = spgemm::<K>(ab, bb);
+                let out = spgemm_opt::<K>(ab, bb, w.as_ref());
                 m.charge_compute(grid.rank(bk, bj), out.ops + out.mat.nnz() as u64);
                 ops += out.ops;
                 contribs.push(out.mat);
@@ -302,6 +318,7 @@ fn stationary_a<K: SpMulKernel>(
     grid: &Grid2,
     a: &DistMat<K::Left>,
     b: &DistMat<K::Right>,
+    mask: Option<&Mask>,
     cache: &mut MmCache<K::Right>,
 ) -> Result<(Vec<Piece<KernelOut<K>>>, u64), MachineError> {
     let (g1, g2) = (grid.g1(), grid.g2());
@@ -338,6 +355,9 @@ fn stationary_a<K: SpMulKernel>(
         }
         for bi in 0..g1 {
             let rows = la.row_range(bi).len();
+            // All g2 partials of this (bi, t) output rectangle share
+            // one window.
+            let w = mask.map(|mk| mk.window(la.row_range(bi), lb.col_range(t)));
             let mut contribs: Vec<Csr<KernelOut<K>>> = Vec::with_capacity(g2);
             for bk in 0..g2 {
                 let (ab, bb) = (a2.block(bi, bk), &b_shared[bk].0);
@@ -345,7 +365,7 @@ fn stationary_a<K: SpMulKernel>(
                     contribs.push(Csr::zero(rows, chunk_cols));
                     continue;
                 }
-                let out = spgemm::<K>(ab, bb);
+                let out = spgemm_opt::<K>(ab, bb, w.as_ref());
                 m.charge_compute(grid.rank(bi, bk), out.ops + out.mat.nnz() as u64);
                 ops += out.ops;
                 contribs.push(out.mat);

@@ -30,11 +30,12 @@ use mfbc_machine::cost::CollectiveKind;
 use mfbc_machine::{Machine, MachineError};
 use mfbc_sparse::elementwise::combine;
 use mfbc_sparse::slice::even_ranges;
-use mfbc_sparse::{entry_bytes, Csr};
+use mfbc_sparse::{entry_bytes, Csr, Mask};
 use std::collections::HashMap;
 use std::sync::Arc;
 
 /// Runs a 3D variant over `grid`, returning the canonical result.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn run<K: SpMulKernel>(
     m: &Machine,
     grid: &Grid3,
@@ -42,12 +43,13 @@ pub(crate) fn run<K: SpMulKernel>(
     inner: Variant2D,
     a: &DistMat<K::Left>,
     b: &DistMat<K::Right>,
+    mask: Option<&Mask>,
     cache: &mut MmCache<K::Right>,
 ) -> Result<MmOut<KernelOut<K>>, MachineError> {
     let (pieces, ops) = match split {
-        Variant1D::A => split_a::<K>(m, grid, inner, a, b, cache)?,
-        Variant1D::B => split_b::<K>(m, grid, inner, a, b, cache)?,
-        Variant1D::C => split_c::<K>(m, grid, inner, a, b, cache)?,
+        Variant1D::A => split_a::<K>(m, grid, inner, a, b, mask, cache)?,
+        Variant1D::B => split_b::<K>(m, grid, inner, a, b, mask, cache)?,
+        Variant1D::C => split_c::<K>(m, grid, inner, a, b, mask, cache)?,
     };
     let c = assemble_canonical::<K::Acc, _>(m, a.nrows(), b.ncols(), pieces);
     Ok(MmOut { c, ops })
@@ -183,6 +185,7 @@ fn split_a<K: SpMulKernel>(
     inner: Variant2D,
     a: &DistMat<K::Left>,
     b: &DistMat<K::Right>,
+    mask: Option<&Mask>,
     cache: &mut MmCache<K::Right>,
 ) -> Result<(Vec<Piece<KernelOut<K>>>, u64), MachineError> {
     let p1 = grid.p1();
@@ -211,7 +214,17 @@ fn split_a<K: SpMulKernel>(
         if w.is_empty() {
             continue;
         }
-        let (ps, o) = mm2d::run_pieces::<K>(m, &grid.layer(l), inner, &layer_as[l], bl, cache)?;
+        // Layer l owns output columns `w`: re-base the mask to them.
+        let lw = mask.map(|mk| mk.window(0..a.nrows(), w.clone()));
+        let (ps, o) = mm2d::run_pieces::<K>(
+            m,
+            &grid.layer(l),
+            inner,
+            &layer_as[l],
+            bl,
+            lw.as_ref(),
+            cache,
+        )?;
         ops += o;
         pieces.extend(
             ps.into_iter()
@@ -229,6 +242,7 @@ fn split_b<K: SpMulKernel>(
     inner: Variant2D,
     a: &DistMat<K::Left>,
     b: &DistMat<K::Right>,
+    mask: Option<&Mask>,
     cache: &mut MmCache<K::Right>,
 ) -> Result<(Vec<Piece<KernelOut<K>>>, u64), MachineError> {
     let p1 = grid.p1();
@@ -249,7 +263,17 @@ fn split_b<K: SpMulKernel>(
         if w.is_empty() {
             continue;
         }
-        let (ps, o) = mm2d::run_pieces::<K>(m, &grid.layer(l), inner, &al, &layer_bs[l], cache)?;
+        // Layer l owns output rows `w`: re-base the mask to them.
+        let lw = mask.map(|mk| mk.window(w.clone(), 0..b.ncols()));
+        let (ps, o) = mm2d::run_pieces::<K>(
+            m,
+            &grid.layer(l),
+            inner,
+            &al,
+            &layer_bs[l],
+            lw.as_ref(),
+            cache,
+        )?;
         ops += o;
         pieces.extend(
             ps.into_iter()
@@ -267,6 +291,7 @@ fn split_c<K: SpMulKernel>(
     inner: Variant2D,
     a: &DistMat<K::Left>,
     b: &DistMat<K::Right>,
+    mask: Option<&Mask>,
     cache: &mut MmCache<K::Right>,
 ) -> Result<(Vec<Piece<KernelOut<K>>>, u64), MachineError> {
     let p1 = grid.p1();
@@ -306,7 +331,10 @@ fn split_c<K: SpMulKernel>(
         if w.is_empty() {
             continue;
         }
-        let (ps, o) = mm2d::run_pieces::<K>(m, &grid.layer(l), inner, &al, &b_slices[l], cache)?;
+        // Contraction split: every layer forms full-shape partials,
+        // so each gets the whole output mask.
+        let (ps, o) =
+            mm2d::run_pieces::<K>(m, &grid.layer(l), inner, &al, &b_slices[l], mask, cache)?;
         ops += o;
         for (r0, c0, pos, blk) in ps {
             partials

@@ -11,7 +11,7 @@ use mfbc_algebra::{Dist, Multpath, MultpathMonoid};
 use mfbc_machine::{Machine, MachineSpec};
 use mfbc_sparse::{spgemm_serial, Coo, Csr};
 use mfbc_tensor::autotune::{candidate_plans, mm_auto};
-use mfbc_tensor::{canonical_layout, mm_exec, DistMat};
+use mfbc_tensor::{canonical_layout, mm_exec, mm_exec_masked, DistMat};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
@@ -163,4 +163,76 @@ fn replication_plans_hit_memory_budget() {
     let db = da.clone();
     let err = mm_exec::<TropicalKernel>(&m, &MmPlan::OneD(Variant1D::A), &da, &db);
     assert!(err.is_err(), "replicating 12 kB into 2 kB budget must fail");
+}
+
+#[test]
+fn every_plan_matches_masked_serial() {
+    use mfbc_sparse::{spgemm_masked_serial, Mask, MaskKind};
+    let mut rng = ChaCha8Rng::seed_from_u64(21);
+    let (nb, n) = (6, 39);
+    let f = random_frontier(&mut rng, nb, n, 70);
+    let a = random_dist_mat(&mut rng, n, n, 220);
+    let coords: Vec<(usize, usize)> = (0..80)
+        .map(|_| (rng.gen_range(0..nb), rng.gen_range(0..n)))
+        .collect();
+
+    for kind in [MaskKind::Structural, MaskKind::Complement] {
+        let mask = Mask::from_coords(kind, nb, n, &coords);
+        let expected = spgemm_masked_serial::<BellmanFordKernel>(&f, &a, &mask);
+        // Masked multiply must agree with multiply-then-filter on the
+        // kept entries...
+        let filtered = mask.filter_allowed(&spgemm_serial::<BellmanFordKernel>(&f, &a).mat);
+        assert_eq!(expected.mat, filtered, "{kind:?}: serial vs filter oracle");
+        // ...and every distributed plan must reproduce it exactly,
+        // including the skipped-product count.
+        for p in [1usize, 4, 9] {
+            let m = Machine::new(MachineSpec::test(p));
+            let df = DistMat::from_global(canonical_layout(&m, nb, n), &f);
+            let da = DistMat::from_global(canonical_layout(&m, n, n), &a);
+            for plan in candidate_plans(p) {
+                let out = mm_exec_masked::<BellmanFordKernel>(&m, &plan, &df, &da, Some(&mask))
+                    .unwrap_or_else(|e| panic!("{kind:?} p={p} plan={plan:?}: {e}"));
+                assert_eq!(
+                    out.c.to_global::<MultpathMonoid>(),
+                    expected.mat,
+                    "{kind:?} p={p} plan={plan:?}"
+                );
+                assert_eq!(out.ops, expected.ops, "{kind:?} p={p} plan={plan:?} ops");
+            }
+        }
+    }
+}
+
+#[test]
+fn mask_shrinks_variant_a_communication() {
+    use mfbc_sparse::{Mask, MaskKind};
+    use mfbc_tensor::{MmPlan, Variant1D};
+    let mut rng = ChaCha8Rng::seed_from_u64(33);
+    let (nb, n) = (4, 48);
+    let f = random_frontier(&mut rng, nb, n, 40);
+    let a = random_dist_mat(&mut rng, n, n, 400);
+    // Structural mask confined to the first few columns: most of the
+    // adjacency's columns are fully excluded and need not move.
+    let coords: Vec<(usize, usize)> = (0..nb).flat_map(|i| (0..6).map(move |j| (i, j))).collect();
+    let mask = Mask::from_coords(MaskKind::Structural, nb, n, &coords);
+
+    let run = |mask: Option<&Mask>| {
+        let m = Machine::new(MachineSpec::test(4));
+        let df = DistMat::from_global(canonical_layout(&m, nb, n), &f);
+        let da = DistMat::from_global(canonical_layout(&m, n, n), &a);
+        let out =
+            mm_exec_masked::<BellmanFordKernel>(&m, &MmPlan::OneD(Variant1D::A), &df, &da, mask)
+                .unwrap();
+        (m.report().critical.bytes, out.ops)
+    };
+    let (unmasked_bytes, unmasked_ops) = run(None);
+    let (masked_bytes, masked_ops) = run(Some(&mask));
+    assert!(
+        masked_bytes < unmasked_bytes,
+        "masked {masked_bytes} !< unmasked {unmasked_bytes}"
+    );
+    assert!(
+        masked_ops < unmasked_ops,
+        "masked {masked_ops} !< unmasked {unmasked_ops}"
+    );
 }

@@ -9,10 +9,10 @@
 //! mfbc-cli stats     [--directed] <edge-list|->
 //! mfbc-cli simulate  --nodes P [--plan auto|ca:C|combblas] [--batch N]
 //!                    [--graph rmat:S,E | uniform:N,M | FILE] [--directed]
-//!                    [--threads T] [--faults SPEC] [--fault-seed S]
-//!                    [--trace-out FILE] [--trace-format chrome|jsonl]
-//!                    [--profile-out FILE] [--profile-html FILE]
-//!                    [--timeline-out FILE]
+//!                    [--threads T] [--no-masked] [--faults SPEC]
+//!                    [--fault-seed S] [--trace-out FILE]
+//!                    [--trace-format chrome|jsonl] [--profile-out FILE]
+//!                    [--profile-html FILE] [--timeline-out FILE]
 //! mfbc-cli bench     [--baseline FILE] [--write FILE] [--band F]
 //!                    [--case NAME] [--profile-out FILE] [--html-out FILE]
 //!                    [--prom-out FILE] [--timeline-out FILE]
@@ -92,7 +92,7 @@ const USAGE: &str = "usage:
   mfbc-cli sssp --source V [--directed] <edge-list|->
   mfbc-cli components [--directed] <edge-list|->
   mfbc-cli stats [--directed] <edge-list|->
-  mfbc-cli simulate --nodes P [--plan auto|ca:C|combblas] [--batch N] [--graph rmat:S,E|uniform:N,M|FILE] [--directed] [--threads T] [--faults SPEC] [--fault-seed S] [--trace-out FILE] [--trace-format chrome|jsonl] [--profile-out FILE] [--profile-html FILE] [--timeline-out FILE]
+  mfbc-cli simulate --nodes P [--plan auto|ca:C|combblas] [--batch N] [--graph rmat:S,E|uniform:N,M|FILE] [--directed] [--threads T] [--no-masked] [--faults SPEC] [--fault-seed S] [--trace-out FILE] [--trace-format chrome|jsonl] [--profile-out FILE] [--profile-html FILE] [--timeline-out FILE]
   mfbc-cli bench [--baseline FILE] [--write FILE] [--band F] [--case NAME] [--profile-out FILE] [--html-out FILE] [--prom-out FILE] [--timeline-out FILE] [--timeline-html FILE]
   mfbc-cli analyze [--case NAME] [--timeline-out FILE] [--html-out FILE] [--what-if SPEC] [--compare FILE] [--top K]
   mfbc-cli generate (rmat:S,E | uniform:N,M) [--weighted MAX] [--seed S]";
@@ -455,6 +455,10 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
                 plan_mode: mode,
                 max_batches: Some(1),
                 threads,
+                // Forward-expansion output masking defaults on (it is
+                // a pure optimization on unit-weighted graphs);
+                // `--no-masked` disables it for A/B comparisons.
+                masked: !o.has("no-masked"),
                 ..Default::default()
             },
         )

@@ -47,6 +47,7 @@ fn scores_identical_across_all_execution_paths() {
                     amortize_adjacency: true,
                     sources: None,
                     threads: None,
+                    masked: true,
                 },
             )
             .unwrap();
