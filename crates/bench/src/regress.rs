@@ -13,7 +13,7 @@ use std::time::Instant;
 use mfbc_core::dist::{mfbc_dist, MfbcConfig, PlanMode};
 use mfbc_graph::gen::{rmat, uniform, RmatConfig};
 use mfbc_graph::Graph;
-use mfbc_machine::{Machine, MachineSpec};
+use mfbc_machine::{Machine, MachineSpec, RedistMode};
 use mfbc_profile::{BaselineCase, MetricsRegistry, Profile, Profiler};
 use mfbc_timeline::{analyze, Analysis, Timeline, TimelineBuilder};
 
@@ -24,11 +24,23 @@ pub struct SuiteOptions {
     /// Multiplier on the machine's α (message latency). `1.0` for the
     /// real suite; inflate it to simulate a communication regression.
     pub alpha_scale: f64,
+    /// Overrides the machine's overlapped-accounting flag. `None`
+    /// keeps the preset's default (gemini overlaps); `Some(false)` is
+    /// the serialized ablation behind `--no-overlap`.
+    pub overlap: Option<bool>,
+    /// Overrides the machine's redistribution mode. `None` keeps the
+    /// preset's default (gemini picks per-block between broadcast and
+    /// pairwise sends).
+    pub redist: Option<RedistMode>,
 }
 
 impl Default for SuiteOptions {
     fn default() -> SuiteOptions {
-        SuiteOptions { alpha_scale: 1.0 }
+        SuiteOptions {
+            alpha_scale: 1.0,
+            overlap: None,
+            redist: None,
+        }
     }
 }
 
@@ -93,6 +105,12 @@ pub fn suite_case_names() -> Vec<&'static str> {
 fn run_case(case: &SuiteCase, opts: &SuiteOptions) -> SuiteCaseResult {
     let mut spec = MachineSpec::gemini(case.p);
     spec.alpha *= opts.alpha_scale;
+    if let Some(ovl) = opts.overlap {
+        spec.overlap = ovl;
+    }
+    if let Some(mode) = opts.redist {
+        spec.redist = mode;
+    }
     let machine = Machine::new(spec);
     let g = (case.graph)();
     let cfg = MfbcConfig {
@@ -128,6 +146,7 @@ fn run_case(case: &SuiteCase, opts: &SuiteOptions) -> SuiteCaseResult {
             total_ops: run.report.total_ops,
             max_peak_bytes: run.peak_bytes.iter().copied().max().unwrap_or(0),
             critical_comm_share: analysis.comm_share(),
+            makespan_s: timeline.makespan_s(),
             wall_s,
         },
         profile,
@@ -207,7 +226,10 @@ mod tests {
     fn inflated_alpha_fails_the_gate() {
         let healthy = cases(&run_suite(&SuiteOptions::default()));
         let baseline = Baseline::new(mfbc_profile::DEFAULT_WALL_BAND, healthy);
-        let degraded = cases(&run_suite(&SuiteOptions { alpha_scale: 10.0 }));
+        let degraded = cases(&run_suite(&SuiteOptions {
+            alpha_scale: 10.0,
+            ..SuiteOptions::default()
+        }));
         let findings = baseline.compare(&degraded, Some(100.0));
         assert!(!findings.is_empty(), "degraded run slipped past the gate");
         assert!(
@@ -297,6 +319,73 @@ mod tests {
                 a.to_bits(),
                 b.to_bits(),
                 "λ[{v}]: masking changed a betweenness score"
+            );
+        }
+    }
+
+    /// The overlap tentpole's headline claim, pinned on the suite's
+    /// own R-MAT case. Overlapped accounting (the gemini default) must
+    /// strictly shrink both the modeled makespan and the critical
+    /// path's communication share relative to the serialized ablation
+    /// (`overlap: Some(false)`, the `--no-overlap` path), the
+    /// overlapped share must land strictly below the PR-7 serialized
+    /// pin, and the betweenness scores must be bit-identical — overlap
+    /// only moves clocks, never data.
+    #[test]
+    fn overlap_strictly_shrinks_rmat_makespan_and_comm_share() {
+        /// `rmat-s8-p4-b32` comm share as pinned by the PR-7
+        /// `BENCH_mfbc.json`, before overlapped accounting existed.
+        const SERIALIZED_RMAT_COMM_SHARE: f64 = 0.7325561929245907;
+        let rmat_name = Some("rmat-s8-p4-b32");
+        let ovl = run_named_case(rmat_name, &SuiteOptions::default()).unwrap();
+        let ser = run_named_case(
+            rmat_name,
+            &SuiteOptions {
+                overlap: Some(false),
+                ..SuiteOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(
+            ovl.case.makespan_s < ser.case.makespan_s,
+            "overlapped makespan {} !< serialized {}",
+            ovl.case.makespan_s,
+            ser.case.makespan_s
+        );
+        assert!(
+            ovl.case.critical_comm_share < ser.case.critical_comm_share,
+            "overlapped comm share {} !< serialized {}",
+            ovl.case.critical_comm_share,
+            ser.case.critical_comm_share
+        );
+        assert!(
+            ovl.case.critical_comm_share < SERIALIZED_RMAT_COMM_SHARE,
+            "overlapped comm share {} !< PR-7 serialized pin {SERIALIZED_RMAT_COMM_SHARE}",
+            ovl.case.critical_comm_share
+        );
+        // Scores are untouched by the accounting mode.
+        let g = rmat(&RmatConfig::paper(8, 8, 42));
+        let cfg = MfbcConfig {
+            batch_size: Some(32),
+            plan_mode: PlanMode::Auto,
+            max_batches: Some(2),
+            amortize_adjacency: true,
+            sources: None,
+            threads: None,
+            masked: true,
+        };
+        let score = |spec: MachineSpec| {
+            mfbc_dist(&Machine::new(spec), &g, &cfg)
+                .expect("pinned case must run fault-free")
+                .scores
+        };
+        let s_ovl = score(MachineSpec::gemini(4));
+        let s_ser = score(MachineSpec::gemini(4).with_overlap(false));
+        for (v, (a, b)) in s_ovl.lambda.iter().zip(&s_ser.lambda).enumerate() {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "λ[{v}]: overlap changed a betweenness score"
             );
         }
     }

@@ -14,7 +14,7 @@ use mfbc_core::oracle::{brandes_unweighted, brandes_weighted};
 use mfbc_core::{mfbc_dist, MfbcConfig, PlanMode};
 use mfbc_fault::{FaultKind, FaultPlan, RetryPolicy, ScheduledFault};
 use mfbc_graph::Graph;
-use mfbc_machine::{Machine, MachineSpec};
+use mfbc_machine::{Machine, MachineSpec, RedistMode};
 use mfbc_sparse::{spgemm_masked_serial, spgemm_serial, Coo, Csr, Mask, MaskKind};
 use mfbc_tensor::{
     canonical_layout, enumerate_plans, mm_auto, mm_auto_masked, mm_exec, mm_exec_masked, DistMat,
@@ -25,6 +25,13 @@ use mfbc_tensor::{
 /// case (the smoke default draws it for two thirds of them).
 pub fn env_force_mask() -> bool {
     std::env::var_os("MFBC_CONFORMANCE_FORCE_MASK").is_some()
+}
+
+/// Whether `MFBC_CONFORMANCE_FORCE_OVERLAP` is set: the CI matrix uses
+/// it to force the overlapped-accounting dimension on in every
+/// generated case (the smoke default draws it for a third of them).
+pub fn env_force_overlap() -> bool {
+    std::env::var_os("MFBC_CONFORMANCE_FORCE_OVERLAP").is_some()
 }
 
 /// A case the suite runner can check and the shrinker can minimize.
@@ -92,6 +99,12 @@ pub struct MmCase {
     /// both `spgemm_masked_serial` and the multiply-then-filter oracle
     /// bit for bit, including the surviving-op count.
     pub mask: Option<(MaskKind, Vec<(usize, usize)>)>,
+    /// Whether the machine runs under overlapped accounting with
+    /// sparsity-driven hybrid redistribution. Overlap changes which
+    /// communication code paths the plans take (issue/compute/wait
+    /// pipelines, per-block bcast-vs-p2p decisions) but must never
+    /// change a result: the serial comparison stays bit-exact.
+    pub overlap: bool,
 }
 
 impl MmCase {
@@ -156,6 +169,11 @@ impl MmCase {
             1 => Some((MaskKind::Structural, mask_coords)),
             _ => Some((MaskKind::Complement, mask_coords)),
         };
+        // The overlap dimension is drawn last (after the mask) so
+        // seeds recorded before it existed replay identically; the
+        // draw is unconditional so the stream does not depend on the
+        // force env either.
+        let overlap_draw = rng.chance(1, 3);
         MmCase {
             seed,
             kernel,
@@ -168,6 +186,7 @@ impl MmCase {
             a,
             b,
             mask,
+            overlap: overlap_draw || env_force_overlap(),
         }
     }
 
@@ -178,6 +197,14 @@ impl MmCase {
             beta: self.beta,
             gamma: 1.0,
             mem_bytes: None,
+            overlap: self.overlap,
+            // Overlapped cases also exercise the sparsity-driven
+            // hybrid redistribution decisions.
+            redist: if self.overlap {
+                RedistMode::Auto
+            } else {
+                RedistMode::Alltoall
+            },
         }
     }
 
@@ -337,11 +364,21 @@ impl CaseSpec for MmCase {
             + self.n
             + self.p
             + self.mask.as_ref().map_or(0, |(_, cs)| 1 + cs.len())
+            + usize::from(self.overlap)
     }
 
     fn shrink_candidates(&self) -> Vec<MmCase> {
         let mut out = Vec::new();
-        // Toward an unmasked repro first: a failure that survives
+        // Toward blocking first: a failure that survives with
+        // serialized accounting is an ordinary plan bug rather than an
+        // overlap-pipeline bug.
+        if self.overlap {
+            out.push(MmCase {
+                overlap: false,
+                ..self.clone()
+            });
+        }
+        // Toward an unmasked repro next: a failure that survives
         // without the mask is an ordinary plan bug.
         if self.mask.is_some() {
             out.push(MmCase {
@@ -510,6 +547,12 @@ pub struct DriverCase {
     /// demands *bit-identical* betweenness scores: skipping products
     /// into already-discovered vertices must never change a result.
     pub masked: bool,
+    /// Whether the driver runs under overlapped accounting with
+    /// hybrid redistribution. When set, the check additionally re-runs
+    /// the case with overlap off and demands *bit-identical* λ:
+    /// comm/compute overlap changes modeled clocks and communication
+    /// code paths, never results.
+    pub overlap: bool,
 }
 
 impl DriverCase {
@@ -545,8 +588,10 @@ impl DriverCase {
             profile: rng.chance(1, 3),
             analyze: rng.chance(1, 3),
             // Drawn last so earlier dimensions replay identically for
-            // seeds generated before this dimension existed.
+            // seeds generated before this dimension existed; overlap
+            // is drawn after masked, for the same reason.
             masked: rng.chance(1, 2) || env_force_mask(),
+            overlap: rng.chance(1, 3) || env_force_overlap(),
         }
     }
 
@@ -630,6 +675,18 @@ impl DriverCase {
             self.edges.iter().map(|&(u, v, w)| (u, v, Dist::new(w))),
         )
     }
+
+    /// The machine spec the case runs under: `test(p)` (serialized,
+    /// all-to-all) by default; overlapped accounting with hybrid
+    /// redistribution when the overlap dimension is on.
+    fn spec(&self) -> MachineSpec {
+        let s = MachineSpec::test(self.p);
+        if self.overlap {
+            s.with_overlap(true).with_redist(RedistMode::Auto)
+        } else {
+            s
+        }
+    }
 }
 
 impl CaseSpec for DriverCase {
@@ -640,7 +697,7 @@ impl CaseSpec for DriverCase {
         } else {
             brandes_unweighted(&g)
         };
-        let machine = Machine::new(MachineSpec::test(self.p));
+        let machine = Machine::new(self.spec());
         let cfg = self.config();
         let run = mfbc_dist(&machine, &g, &cfg)
             .map_err(|e| format!("driver ({:?}): machine error: {e}", cfg.plan_mode))?;
@@ -665,7 +722,7 @@ impl CaseSpec for DriverCase {
             // also pins that inertness).
             let mut ucfg = cfg.clone();
             ucfg.masked = false;
-            let umachine = Machine::new(MachineSpec::test(self.p));
+            let umachine = Machine::new(self.spec());
             let urun = mfbc_dist(&umachine, &g, &ucfg).map_err(|e| {
                 format!("unmasked driver ({:?}): machine error: {e}", cfg.plan_mode)
             })?;
@@ -684,12 +741,39 @@ impl CaseSpec for DriverCase {
                 }
             }
         }
+        if self.overlap {
+            // Overlap is a modeled-clock optimization, never a
+            // semantic switch: the same case re-run under serialized
+            // accounting (blocking collectives, all-to-all
+            // redistribution) must produce bit-identical scores.
+            let smachine = Machine::new(MachineSpec::test(self.p));
+            let srun = mfbc_dist(&smachine, &g, &cfg).map_err(|e| {
+                format!(
+                    "serialized driver ({:?}): machine error: {e}",
+                    cfg.plan_mode
+                )
+            })?;
+            for (v, (a, b)) in run
+                .scores
+                .lambda
+                .iter()
+                .zip(&srun.scores.lambda)
+                .enumerate()
+            {
+                if a.to_bits() != b.to_bits() {
+                    return Err(format!(
+                        "overlapped driver: λ[{v}] = {a:?} differs from serialized {b:?} \
+                         (comm/compute overlap changed a result)"
+                    ));
+                }
+            }
+        }
         if self.profile {
             // Observation must not perturb the computation: the same
             // case re-run with a Profiler attached to the trace stream
             // must produce bit-identical betweenness scores.
             let profiler = std::sync::Arc::new(mfbc_profile::Profiler::new());
-            let pmachine = Machine::new(MachineSpec::test(self.p));
+            let pmachine = Machine::new(self.spec());
             let prun = mfbc_trace::scoped(profiler.clone(), || mfbc_dist(&pmachine, &g, &cfg))
                 .map_err(|e| {
                     format!("profiled driver ({:?}): machine error: {e}", cfg.plan_mode)
@@ -717,10 +801,8 @@ impl CaseSpec for DriverCase {
             // trace into a causal timeline must not perturb the
             // computation, and the analysis on top must be coherent —
             // the critical path folds bit-exactly to the makespan.
-            let builder = std::sync::Arc::new(mfbc_timeline::TimelineBuilder::new(
-                MachineSpec::test(self.p),
-            ));
-            let amachine = Machine::new(MachineSpec::test(self.p));
+            let builder = std::sync::Arc::new(mfbc_timeline::TimelineBuilder::new(self.spec()));
+            let amachine = Machine::new(self.spec());
             let arun = mfbc_trace::scoped(builder.clone(), || mfbc_dist(&amachine, &g, &cfg))
                 .map_err(|e| {
                     format!("analyzed driver ({:?}): machine error: {e}", cfg.plan_mode)
@@ -763,11 +845,7 @@ impl CaseSpec for DriverCase {
             let plan = FaultPlan {
                 faults: self.faults.clone(),
             };
-            let faulted = Machine::with_faults(
-                MachineSpec::test(self.p),
-                plan.clone(),
-                RetryPolicy::default(),
-            );
+            let faulted = Machine::with_faults(self.spec(), plan.clone(), RetryPolicy::default());
             let frun = mfbc_dist(&faulted, &g, &cfg)
                 .map_err(|e| format!("faulted driver (faults {plan}): unrecovered: {e}"))?;
             // A crash shrinks the machine, and the remaining batches
@@ -822,11 +900,21 @@ impl CaseSpec for DriverCase {
             + usize::from(self.profile)
             + usize::from(self.analyze)
             + usize::from(self.masked)
+            + usize::from(self.overlap)
     }
 
     fn shrink_candidates(&self) -> Vec<DriverCase> {
         let mut out = Vec::new();
-        // Toward an unmasked repro first: a failure that survives with
+        // Toward blocking first: a failure that survives with
+        // serialized accounting is an ordinary driver bug rather than
+        // an overlap-pipeline bug.
+        if self.overlap {
+            out.push(DriverCase {
+                overlap: false,
+                ..self.clone()
+            });
+        }
+        // Toward an unmasked repro next: a failure that survives with
         // masked=false is an ordinary driver bug.
         if self.masked {
             out.push(DriverCase {

@@ -36,7 +36,9 @@ pub const BETAS: [f64; 3] = [0.25, 1.0, 2.0];
 
 /// A random machine spec over `p` ranks with α–β drawn from the
 /// menus, unit γ and no memory budget (conformance checks correctness,
-/// not OOM behaviour).
+/// not OOM behaviour). Serialized accounting and all-to-all
+/// redistribution: the overlap dimension is drawn separately by the
+/// case generators, last, so older seeds replay identically.
 pub fn machine_spec(rng: &mut SplitMix64, p: usize) -> MachineSpec {
     MachineSpec {
         p,
@@ -44,6 +46,8 @@ pub fn machine_spec(rng: &mut SplitMix64, p: usize) -> MachineSpec {
         beta: *rng.pick(&BETAS),
         gamma: 1.0,
         mem_bytes: None,
+        overlap: false,
+        redist: mfbc_machine::RedistMode::Alltoall,
     }
 }
 

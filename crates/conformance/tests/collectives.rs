@@ -29,6 +29,8 @@ fn spec(p: usize, alpha: f64, beta: f64) -> MachineSpec {
         beta,
         gamma: 1.0,
         mem_bytes: None,
+        overlap: false,
+        redist: mfbc_machine::RedistMode::Alltoall,
     }
 }
 

@@ -169,9 +169,14 @@ impl RankCost {
         }
     }
 
-    /// Modeled wall-clock time of this rank (communication plus
-    /// computation; the simulation is bulk-synchronous so the two
-    /// never overlap, matching the paper's non-overlapping model).
+    /// Modeled time this rank spent busy (communication plus
+    /// computation). Under the paper's serialized accounting
+    /// (`MachineSpec::overlap == false`) busy time and elapsed time
+    /// coincide; under overlapped accounting a collective's bandwidth
+    /// term can hide beneath local compute, so the rank's causal clock
+    /// ([`CostTracker::clock`]) may be *smaller* than this sum. The
+    /// meters themselves are mode-independent: the same run charges
+    /// the same messages, bytes, and busy seconds either way.
     pub fn total_time(&self) -> f64 {
         self.comm_time + self.comp_time
     }
@@ -196,6 +201,13 @@ pub struct CostTracker {
     resident: Vec<u64>,
     peak: Vec<u64>,
     total_ops: u64,
+    /// Per-rank causal clock: when the rank's last segment ended. The
+    /// maximum over ranks is the run's modeled makespan.
+    clock: Vec<f64>,
+    /// Per-rank clock at the rank's last synchronization point — the
+    /// issue base of the next overlapped collective. Invariant:
+    /// `synced[r] <= clock[r]` (compute only advances `clock`).
+    synced: Vec<f64>,
 }
 
 impl CostTracker {
@@ -207,6 +219,8 @@ impl CostTracker {
             resident: vec![0; p],
             peak: vec![0; p],
             total_ops: 0,
+            clock: vec![0.0; p],
+            synced: vec![0.0; p],
         }
     }
 
@@ -215,16 +229,59 @@ impl CostTracker {
         self.ranks.len()
     }
 
+    /// The issue clock an overlapped collective over `group` would
+    /// capture right now: the maximum over participants of the clock
+    /// at their last synchronization point.
+    pub fn issue_time(&self, group: &[usize]) -> f64 {
+        let mut issue = 0.0f64;
+        for &r in group {
+            issue = issue.max(self.synced[r]);
+        }
+        issue
+    }
+
     /// Charges a collective of `kind` over `group` (rank ids) moving
     /// up to `bytes` per rank: synchronizes the group's critical
     /// paths to their maximum, then adds the collective's cost to
-    /// every participant.
+    /// every participant. The causal clocks advance serialized
+    /// (`ready + dt`) or overlapped (`max(ready + α, issue + dt)`)
+    /// per `spec.overlap`, with the issue clock captured here — i.e.
+    /// this is the blocking call; a split issue/wait pair captures the
+    /// issue clock earlier via [`CostTracker::issue_time`] and
+    /// completes through [`CostTracker::complete_collective`].
     pub fn collective(
         &mut self,
         spec: &MachineSpec,
         group: &[usize],
         kind: CollectiveKind,
         bytes: u64,
+    ) {
+        let issue = self.issue_time(group);
+        self.complete_collective(spec, group, kind, bytes, issue);
+    }
+
+    /// Completes a collective whose issue clock was captured earlier
+    /// (at [`CostTracker::issue_time`]). Meters charge exactly like
+    /// the blocking path — raise to group max, then add — so message,
+    /// byte, and busy-second accounting is independent of the overlap
+    /// mode; only the causal clocks differ:
+    ///
+    /// * serialized: `post = ready + dt`;
+    /// * overlapped: `post = max(ready + α, issue + dt)` — the
+    ///   latency term alone gates the already-synchronized group, the
+    ///   full modeled time runs from the issue point.
+    ///
+    /// Both overlapped branches are single IEEE additions on an
+    /// earlier clock, so a critical path folds bit-exactly; and since
+    /// `α <= dt` (for `β, bytes >= 0`) and `issue <= ready`, the
+    /// overlapped completion never exceeds the serialized one.
+    pub fn complete_collective(
+        &mut self,
+        spec: &MachineSpec,
+        group: &[usize],
+        kind: CollectiveKind,
+        bytes: u64,
+        issue: f64,
     ) {
         assert!(!group.is_empty(), "collective over empty group");
         let gsize = group.len();
@@ -243,11 +300,26 @@ impl CostTracker {
             c.msgs += dm;
             c.bytes += db;
         }
+        let mut ready = 0.0f64;
+        for &r in group {
+            ready = ready.max(self.clock[r]);
+        }
+        let post = if spec.overlap {
+            let alpha = kind.time_alpha(spec, gsize);
+            (ready + alpha).max(issue + dt)
+        } else {
+            ready + dt
+        };
+        for &r in group {
+            self.clock[r] = post;
+            self.synced[r] = post;
+        }
     }
 
     /// Charges `seconds` of retry backoff to every rank in `group`:
     /// like a collective, the group synchronizes (raise to max) and
-    /// then waits out the backoff interval together.
+    /// then waits out the backoff interval together. Backoff never
+    /// overlaps — a retry wait is dead time in both modes.
     pub fn backoff(&mut self, group: &[usize], seconds: f64) {
         assert!(!group.is_empty(), "backoff over empty group");
         let mut mx = RankCost::default();
@@ -258,6 +330,15 @@ impl CostTracker {
             let c = &mut self.ranks[r];
             *c = mx;
             c.comm_time += seconds;
+        }
+        let mut ready = 0.0f64;
+        for &r in group {
+            ready = ready.max(self.clock[r]);
+        }
+        let post = ready + seconds;
+        for &r in group {
+            self.clock[r] = post;
+            self.synced[r] = post;
         }
     }
 
@@ -275,6 +356,13 @@ impl CostTracker {
                 .map(|(_, &x)| x)
                 .collect()
         };
+        let keep_f = |v: &[f64]| -> Vec<f64> {
+            v.iter()
+                .enumerate()
+                .filter(|&(r, _)| r != failed)
+                .map(|(_, &x)| x)
+                .collect()
+        };
         CostTracker {
             ranks: self
                 .ranks
@@ -286,6 +374,8 @@ impl CostTracker {
             resident: keep(&self.resident),
             peak: keep(&self.peak),
             total_ops: self.total_ops,
+            clock: keep_f(&self.clock),
+            synced: keep_f(&self.synced),
         }
     }
 
@@ -314,7 +404,9 @@ impl CostTracker {
 
     /// Charges `ops` local operations on `rank`.
     pub fn compute(&mut self, spec: &MachineSpec, rank: usize, ops: u64) {
-        self.ranks[rank].comp_time += ops as f64 * spec.gamma;
+        let dt = ops as f64 * spec.gamma;
+        self.ranks[rank].comp_time += dt;
+        self.clock[rank] += dt;
         self.total_ops += ops;
     }
 
@@ -347,6 +439,16 @@ impl CostTracker {
     /// Per-rank snapshot.
     pub fn rank(&self, r: usize) -> RankCost {
         self.ranks[r]
+    }
+
+    /// Causal clock of `rank` (when its last segment ended).
+    pub fn clock(&self, r: usize) -> f64 {
+        self.clock[r]
+    }
+
+    /// The modeled makespan: maximum causal clock over ranks.
+    pub fn makespan_s(&self) -> f64 {
+        self.clock.iter().copied().fold(0.0, f64::max)
     }
 
     /// Builds the per-metric critical-path report.
@@ -613,6 +715,139 @@ mod tests {
         assert_eq!(u.rank(1).comp_time, 30.0);
         assert_eq!(u.resident(1), 7);
         assert_eq!(u.total_ops, t.total_ops);
+    }
+
+    #[test]
+    fn serialized_clock_is_group_max_plus_dt() {
+        let s = spec(2);
+        let mut t = CostTracker::new(2);
+        t.compute(&s, 0, 3);
+        // Broadcast of 10 B over 2 ranks: dt = 20 + 2 = 22.
+        t.collective(&s, &[0, 1], CollectiveKind::Broadcast, 10);
+        assert_eq!(t.clock(0), 25.0);
+        assert_eq!(t.clock(1), 25.0);
+        t.compute(&s, 1, 5);
+        assert_eq!(t.makespan_s(), 30.0);
+    }
+
+    #[test]
+    fn overlapped_clock_hides_bandwidth_under_compute() {
+        let s = MachineSpec {
+            overlap: true,
+            ..spec(2)
+        };
+        let mut t = CostTracker::new(2);
+        t.compute(&s, 0, 3);
+        // Broadcast of 10 B: dt = 22, α = 2, issue = 0 (no prior
+        // sync), ready = 3 → post = max(3 + 2, 0 + 22) = 22.
+        t.collective(&s, &[0, 1], CollectiveKind::Broadcast, 10);
+        assert_eq!(t.clock(0), 22.0);
+        assert_eq!(t.clock(1), 22.0);
+        // Compute 5 on rank 0 → 27. Allgather of 5 B: dt = 6, α = 1,
+        // issue = 22, ready = 27 → post = max(28, 28) = 28.
+        t.compute(&s, 0, 5);
+        t.collective(&s, &[0, 1], CollectiveKind::Allgather, 5);
+        assert_eq!(t.makespan_s(), 28.0);
+    }
+
+    #[test]
+    fn early_issue_overlaps_two_collectives() {
+        let s = MachineSpec {
+            overlap: true,
+            ..spec(2)
+        };
+        let mut t = CostTracker::new(2);
+        t.compute(&s, 0, 10);
+        // Issue both before completing either: both capture issue = 0.
+        let g = [0usize, 1];
+        let i1 = t.issue_time(&g);
+        let i2 = t.issue_time(&g);
+        assert_eq!(i1, 0.0);
+        // Allgather 8 B: dt = 9, α = 1. First wait: ready = 10 →
+        // max(11, 9) = 11. Second: issue still 0, ready = 11 →
+        // max(12, 9) = 12. Blocking would have given 10+9+9 = 28.
+        t.complete_collective(&s, &g, CollectiveKind::Allgather, 8, i1);
+        t.complete_collective(&s, &g, CollectiveKind::Allgather, 8, i2);
+        assert_eq!(t.makespan_s(), 12.0);
+    }
+
+    #[test]
+    fn meters_are_independent_of_overlap_mode() {
+        let serial = spec(3);
+        let over = MachineSpec {
+            overlap: true,
+            ..spec(3)
+        };
+        let drive = |s: &MachineSpec| {
+            let mut t = CostTracker::new(3);
+            t.compute(s, 0, 40);
+            t.collective(s, &[0, 1], CollectiveKind::Broadcast, 7);
+            t.compute(s, 2, 9);
+            t.collective(s, &[0, 1, 2], CollectiveKind::SparseReduce, 13);
+            t.backoff(&[1, 2], 0.5);
+            t
+        };
+        let a = drive(&serial);
+        let b = drive(&over);
+        for r in 0..3 {
+            assert_eq!(a.rank(r), b.rank(r), "rank {r} meters diverge");
+        }
+        assert_eq!(a.report().total_ops, b.report().total_ops);
+        // Only the clocks differ (overlapped never later).
+        for r in 0..3 {
+            assert!(b.clock(r) <= a.clock(r));
+        }
+    }
+
+    #[test]
+    fn overlapped_makespan_never_exceeds_serialized() {
+        // A pseudo-random op soup replayed under both modes.
+        let serial = spec(4);
+        let over = MachineSpec {
+            overlap: true,
+            ..spec(4)
+        };
+        let mut x = 0x9e3779b97f4a7c15u64;
+        let mut step = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        let kinds = [
+            CollectiveKind::Broadcast,
+            CollectiveKind::Allgather,
+            CollectiveKind::SparseReduce,
+            CollectiveKind::PointToPoint,
+            CollectiveKind::Allreduce,
+        ];
+        let mut ops = Vec::new();
+        for _ in 0..200 {
+            let r = step();
+            if r % 3 == 0 {
+                ops.push((None, (r >> 8) % 500, 1 + ((r >> 24) % 4) as usize));
+            } else {
+                let kind = kinds[(r >> 4) as usize % kinds.len()];
+                let lo = ((r >> 16) % 4) as usize;
+                let hi = lo + 1 + ((r >> 32) % (4 - lo as u64)) as usize;
+                ops.push((Some(kind), (r >> 8) % 300, lo * 8 + hi));
+            }
+        }
+        let run = |s: &MachineSpec| {
+            let mut t = CostTracker::new(4);
+            for &(kind, amount, enc) in &ops {
+                match kind {
+                    None => t.compute(s, enc % 4, amount),
+                    Some(k) => {
+                        let (lo, hi) = (enc / 8, enc % 8);
+                        let group: Vec<usize> = (lo..hi.min(4)).collect();
+                        t.collective(s, &group, k, amount);
+                    }
+                }
+            }
+            t.makespan_s()
+        };
+        assert!(run(&over) <= run(&serial));
     }
 
     #[test]

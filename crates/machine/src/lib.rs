@@ -51,7 +51,7 @@ pub use collectives::Volume;
 pub use comm::Group;
 pub use cost::{CollectiveKind, CostReport, CostTracker, RankCost};
 pub use mfbc_fault::{FaultKind, FaultPlan, FaultStats, RetryPolicy, ScheduledFault};
-pub use topology::MachineSpec;
+pub use topology::{MachineSpec, RedistMode};
 
 use parking_lot::Mutex;
 use std::sync::Arc;
@@ -93,6 +93,14 @@ pub enum MachineError {
         /// What was wrong with the configuration.
         reason: String,
     },
+    /// A nonblocking collective's buffer was consumed while its
+    /// handle was still outstanding (waitall-before-use violation).
+    OutstandingCollective {
+        /// Collective kind name (e.g. `allgather`).
+        kind: &'static str,
+        /// The still-outstanding handle.
+        handle: u64,
+    },
 }
 
 impl MachineError {
@@ -130,6 +138,11 @@ impl std::fmt::Display for MachineError {
             MachineError::InvalidConfig { reason } => {
                 write!(f, "invalid configuration: {reason}")
             }
+            MachineError::OutstandingCollective { kind, handle } => write!(
+                f,
+                "{kind} collective handle #{handle} is still outstanding \
+                 (wait on it before using its buffer)"
+            ),
         }
     }
 }
@@ -223,6 +236,24 @@ impl FaultState {
     }
 }
 
+/// One issued-but-not-yet-waited nonblocking collective.
+#[derive(Clone, Debug)]
+struct PendingOp {
+    handle: u64,
+    kind: CollectiveKind,
+    ranks: Vec<usize>,
+    bytes: u64,
+    /// Issue clock captured when the operation was issued.
+    issue_s: f64,
+}
+
+/// Outstanding nonblocking collectives, in issue order.
+#[derive(Debug, Default)]
+struct PendingTable {
+    next_handle: u64,
+    ops: Vec<PendingOp>,
+}
+
 /// The simulated machine: a spec plus shared cost/memory trackers and
 /// fault-injection state.
 ///
@@ -233,6 +264,7 @@ pub struct Machine {
     spec: MachineSpec,
     tracker: Arc<Mutex<CostTracker>>,
     faults: Arc<Mutex<FaultState>>,
+    pending: Arc<Mutex<PendingTable>>,
 }
 
 impl Machine {
@@ -249,6 +281,7 @@ impl Machine {
             spec,
             tracker: Arc::new(Mutex::new(tracker)),
             faults: Arc::new(Mutex::new(FaultState::fresh(plan, policy))),
+            pending: Arc::new(Mutex::new(PendingTable::default())),
         }
     }
 
@@ -331,6 +364,123 @@ impl Machine {
             modeled_s: kind.time(&self.spec, group.len(), bytes),
         });
         Ok(())
+    }
+
+    /// Issues a nonblocking collective and returns its handle. The
+    /// fault gate fires here (same sequence-number semantics as
+    /// [`Machine::charge_collective`]), and the issue clock — the
+    /// group's last synchronization point — is captured here, but
+    /// nothing is charged to the meters until the matching
+    /// [`Machine::wait_collective`]. Under overlapped accounting the
+    /// collective's transfer window therefore runs concurrently with
+    /// whatever compute is charged between issue and wait.
+    pub fn icharge_collective(
+        &self,
+        group: &Group,
+        kind: CollectiveKind,
+        bytes: u64,
+    ) -> Result<u64, MachineError> {
+        let seq = self.fault_gate(group, kind)?;
+        let issue_s = self.with_tracker(|t| t.issue_time(group.ranks()));
+        let handle = {
+            let mut pt = self.pending.lock();
+            let h = pt.next_handle;
+            pt.next_handle += 1;
+            pt.ops.push(PendingOp {
+                handle: h,
+                kind,
+                ranks: group.ranks().to_vec(),
+                bytes,
+                issue_s,
+            });
+            h
+        };
+        mfbc_trace::emit(|| mfbc_trace::TraceEvent::CollectiveIssue {
+            kind: kind.name(),
+            group: group.len(),
+            ranks: group.ranks().to_vec(),
+            seq,
+            bytes,
+            msgs: kind.msgs(group.len()),
+            bytes_charged: kind.bytes_charged(bytes),
+            modeled_s: kind.time(&self.spec, group.len(), bytes),
+            handle,
+        });
+        Ok(handle)
+    }
+
+    /// Completes a nonblocking collective: charges its meters (raise
+    /// to group max, then add — identical to the blocking path) and
+    /// advances the causal clocks, with the transfer window anchored
+    /// at the captured issue clock when `spec.overlap` is set. Waiting
+    /// on a handle that was never issued (or already waited) is an
+    /// [`MachineError::InvalidConfig`].
+    pub fn wait_collective(&self, handle: u64) -> Result<(), MachineError> {
+        let op = {
+            let mut pt = self.pending.lock();
+            let Some(i) = pt.ops.iter().position(|op| op.handle == handle) else {
+                return Err(MachineError::invalid(format!(
+                    "wait on unknown collective handle #{handle}"
+                )));
+            };
+            pt.ops.remove(i)
+        };
+        self.with_tracker(|t| {
+            t.complete_collective(&self.spec, &op.ranks, op.kind, op.bytes, op.issue_s)
+        });
+        mfbc_trace::emit(|| mfbc_trace::TraceEvent::CollectiveWait { handle });
+        Ok(())
+    }
+
+    /// Waits out every outstanding nonblocking collective, in issue
+    /// order.
+    pub fn waitall(&self) -> Result<(), MachineError> {
+        loop {
+            let next = self.pending.lock().ops.first().map(|op| op.handle);
+            match next {
+                Some(h) => self.wait_collective(h)?,
+                None => return Ok(()),
+            }
+        }
+    }
+
+    /// Number of issued-but-not-waited collectives.
+    pub fn outstanding_collectives(&self) -> usize {
+        self.pending.lock().ops.len()
+    }
+
+    /// Whether `handle` is still outstanding. The typed collectives'
+    /// [`collectives::Pending::take`] uses this to enforce
+    /// waitall-before-use.
+    pub fn is_outstanding(&self, handle: u64) -> bool {
+        self.pending.lock().ops.iter().any(|op| op.handle == handle)
+    }
+
+    /// The kind of the outstanding collective behind `handle`, if any.
+    pub fn outstanding_kind(&self, handle: u64) -> Option<CollectiveKind> {
+        self.pending
+            .lock()
+            .ops
+            .iter()
+            .find(|op| op.handle == handle)
+            .map(|op| op.kind)
+    }
+
+    /// Discards every outstanding nonblocking collective without
+    /// charging it (recovery paths abandon in-flight work; the wasted
+    /// time is accounted separately). Returns how many were dropped.
+    pub fn abort_pending(&self) -> usize {
+        let mut pt = self.pending.lock();
+        let n = pt.ops.len();
+        pt.ops.clear();
+        n
+    }
+
+    /// The modeled makespan so far: the maximum causal clock over
+    /// ranks. Under serialized accounting this equals the single-clock
+    /// BSP replay; under overlapped accounting it is never larger.
+    pub fn makespan_s(&self) -> f64 {
+        self.with_tracker(|t| t.makespan_s())
     }
 
     /// Advances the fault clock and applies any due fault to this
@@ -519,10 +669,13 @@ impl Machine {
             failed,
             p_before: self.spec.p,
         });
+        // In-flight collectives of the dead configuration are
+        // abandoned, not charged.
         Ok(Machine {
             spec,
             tracker: Arc::new(Mutex::new(tracker)),
             faults: Arc::new(Mutex::new(faults)),
+            pending: Arc::new(Mutex::new(PendingTable::default())),
         })
     }
 
@@ -532,9 +685,11 @@ impl Machine {
         self.with_tracker(|t| t.report())
     }
 
-    /// Resets all cost and memory meters (budgets unchanged).
+    /// Resets all cost and memory meters (budgets unchanged), and
+    /// discards any outstanding nonblocking collectives.
     pub fn reset_meters(&self) {
         self.with_tracker(|t| *t = CostTracker::new(self.spec.p));
+        self.pending.lock().ops.clear();
     }
 }
 
@@ -734,6 +889,85 @@ mod tests {
             one.shrink(0),
             Err(MachineError::InvalidConfig { .. })
         ));
+    }
+
+    #[test]
+    fn nonblocking_pair_matches_blocking_when_adjacent() {
+        let m = Machine::new(MachineSpec::test(4));
+        let h = m
+            .icharge_collective(&m.world(), CollectiveKind::Broadcast, 100)
+            .unwrap();
+        assert_eq!(m.outstanding_collectives(), 1);
+        assert!(m.is_outstanding(h));
+        assert_eq!(m.outstanding_kind(h), Some(CollectiveKind::Broadcast));
+        m.wait_collective(h).unwrap();
+        assert_eq!(m.outstanding_collectives(), 0);
+        let b = Machine::new(MachineSpec::test(4));
+        b.charge_collective(&b.world(), CollectiveKind::Broadcast, 100)
+            .unwrap();
+        assert_eq!(m.report().critical, b.report().critical);
+        assert_eq!(m.makespan_s().to_bits(), b.makespan_s().to_bits());
+        // Double-wait is a typed error.
+        assert!(matches!(
+            m.wait_collective(h),
+            Err(MachineError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn overlap_hides_inflight_collective_under_compute() {
+        let m = Machine::new(MachineSpec::test(2).with_overlap(true));
+        // Allgather of 8 B over 2 ranks: dt = 9, α = 1.
+        let h = m
+            .icharge_collective(&m.world(), CollectiveKind::Allgather, 8)
+            .unwrap();
+        m.charge_compute(0, 20);
+        m.wait_collective(h).unwrap();
+        // issue = 0, ready = 20 → max(20 + 1, 0 + 9) = 21; the
+        // serialized schedule would have taken 29.
+        assert_eq!(m.makespan_s(), 21.0);
+        // Meters still carry the full busy time.
+        assert_eq!(m.report().critical.comm_time, 9.0);
+        assert_eq!(m.report().critical.comp_time, 20.0);
+    }
+
+    #[test]
+    fn waitall_drains_in_issue_order_and_abort_discards() {
+        let m = Machine::new(MachineSpec::test(2).with_overlap(true));
+        let g = m.world();
+        m.icharge_collective(&g, CollectiveKind::Allgather, 4)
+            .unwrap();
+        m.icharge_collective(&g, CollectiveKind::Allgather, 4)
+            .unwrap();
+        m.waitall().unwrap();
+        assert_eq!(m.outstanding_collectives(), 0);
+        let before = m.report().critical.comm_time;
+        let h = m
+            .icharge_collective(&g, CollectiveKind::Broadcast, 1000)
+            .unwrap();
+        assert_eq!(m.abort_pending(), 1);
+        assert!(!m.is_outstanding(h));
+        // Aborted work was never charged.
+        assert_eq!(m.report().critical.comm_time.to_bits(), before.to_bits());
+    }
+
+    #[test]
+    fn icharge_advances_the_fault_clock() {
+        let m = Machine::with_faults(
+            MachineSpec::test(4).with_overlap(true),
+            FaultPlan::single(1, FaultKind::Crash { rank: 2 }),
+            RetryPolicy::default(),
+        );
+        let w = m.world();
+        let h = m
+            .icharge_collective(&w, CollectiveKind::Broadcast, 8)
+            .unwrap();
+        // The crash fires at the second issue, not at the wait.
+        assert!(matches!(
+            m.icharge_collective(&w, CollectiveKind::Broadcast, 8),
+            Err(MachineError::RankFailed { rank: 2, .. })
+        ));
+        m.wait_collective(h).unwrap();
     }
 
     #[test]

@@ -1,5 +1,44 @@
 //! Machine descriptions: rank counts and α–β–γ cost constants.
 
+/// How redistribution traffic between block layouts is realized.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RedistMode {
+    /// The paper's accounting: one personalized all-to-all charged by
+    /// the maximum per-sender volume.
+    Alltoall,
+    /// Sparsity-driven hybrid: per source block, pick broadcast or
+    /// targeted point-to-point sends by comparing their modeled costs
+    /// on the block's actual byte volume and destination fan-out.
+    Auto,
+    /// Force a broadcast from each source over its destination set.
+    Bcast,
+    /// Force targeted point-to-point sends for every block.
+    P2p,
+}
+
+impl RedistMode {
+    /// Stable lower-case name (the CLI flag value).
+    pub fn name(self) -> &'static str {
+        match self {
+            RedistMode::Alltoall => "alltoall",
+            RedistMode::Auto => "auto",
+            RedistMode::Bcast => "bcast",
+            RedistMode::P2p => "p2p",
+        }
+    }
+
+    /// Inverse of [`RedistMode::name`] (CLI flag parsing).
+    pub fn from_name(name: &str) -> Option<RedistMode> {
+        Some(match name {
+            "alltoall" => RedistMode::Alltoall,
+            "auto" => RedistMode::Auto,
+            "bcast" => RedistMode::Bcast,
+            "p2p" => RedistMode::P2p,
+            _ => return None,
+        })
+    }
+}
+
 /// Description of a simulated machine in the α–β model of §5.1,
 /// extended with a compute rate γ and an optional per-rank memory
 /// budget `M`.
@@ -21,6 +60,17 @@ pub struct MachineSpec {
     /// Per-rank memory budget `M` in bytes; `None` disables the
     /// out-of-memory simulation.
     pub mem_bytes: Option<u64>,
+    /// Whether collectives overlap with subsequent computation on the
+    /// modeled clocks: an in-flight collective issued at its group's
+    /// last synchronization completes at
+    /// `max(ready + α, issue + dt)` instead of `ready + dt`, hiding
+    /// its bandwidth term under local compute (the latency term stays
+    /// on the critical path). `false` restores the paper's fully
+    /// serialized accounting. Scores never depend on this flag — only
+    /// the modeled clocks do.
+    pub overlap: bool,
+    /// How redistribution traffic is charged (see [`RedistMode`]).
+    pub redist: RedistMode,
 }
 
 impl MachineSpec {
@@ -37,6 +87,8 @@ impl MachineSpec {
             beta: 1.0 / 6.0e9,
             gamma: 1.0e-9,
             mem_bytes: Some(32 * (1 << 30)),
+            overlap: true,
+            redist: RedistMode::Auto,
         }
     }
 
@@ -50,12 +102,16 @@ impl MachineSpec {
             beta: 1.0 / 10.0e9,
             gamma: 8.0e-10,
             mem_bytes: Some(32 * (1 << 30)),
+            overlap: true,
+            redist: RedistMode::Auto,
         }
     }
 
     /// A deliberately tiny, round-number spec for unit tests:
-    /// α = 1, β = 1, γ = 1 (so costs equal message/byte/op counts)
-    /// and no memory budget.
+    /// α = 1, β = 1, γ = 1 (so costs equal message/byte/op counts),
+    /// no memory budget, and the paper's serialized accounting
+    /// (`overlap = false`, all-to-all redistribution) so hand-computed
+    /// expectations stay simple.
     pub fn test(p: usize) -> MachineSpec {
         MachineSpec {
             p,
@@ -63,6 +119,8 @@ impl MachineSpec {
             beta: 1.0,
             gamma: 1.0,
             mem_bytes: None,
+            overlap: false,
+            redist: RedistMode::Alltoall,
         }
     }
 
@@ -70,6 +128,19 @@ impl MachineSpec {
     /// exploring the replication/memory trade-off of Theorem 5.1).
     pub fn with_mem_bytes(mut self, mem: Option<u64>) -> MachineSpec {
         self.mem_bytes = mem;
+        self
+    }
+
+    /// Returns the spec with overlapped accounting switched on/off
+    /// (the `--no-overlap` escape hatch).
+    pub fn with_overlap(mut self, overlap: bool) -> MachineSpec {
+        self.overlap = overlap;
+        self
+    }
+
+    /// Returns the spec with the given redistribution mode.
+    pub fn with_redist(mut self, redist: RedistMode) -> MachineSpec {
+        self.redist = redist;
         self
     }
 }
@@ -93,6 +164,34 @@ mod tests {
         assert_eq!((s.alpha, s.beta, s.gamma), (1.0, 1.0, 1.0));
         assert_eq!(s.mem_bytes, None);
         assert_eq!(s.p, 8);
+        assert!(!s.overlap, "test spec keeps serialized accounting");
+        assert_eq!(s.redist, RedistMode::Alltoall);
+    }
+
+    #[test]
+    fn production_presets_default_to_overlap_and_hybrid() {
+        for spec in [MachineSpec::gemini(4), MachineSpec::aries(4)] {
+            assert!(spec.overlap);
+            assert_eq!(spec.redist, RedistMode::Auto);
+        }
+        let s = MachineSpec::gemini(4)
+            .with_overlap(false)
+            .with_redist(RedistMode::P2p);
+        assert!(!s.overlap);
+        assert_eq!(s.redist, RedistMode::P2p);
+    }
+
+    #[test]
+    fn redist_mode_names_roundtrip() {
+        for m in [
+            RedistMode::Alltoall,
+            RedistMode::Auto,
+            RedistMode::Bcast,
+            RedistMode::P2p,
+        ] {
+            assert_eq!(RedistMode::from_name(m.name()), Some(m));
+        }
+        assert_eq!(RedistMode::from_name("carrier_pigeon"), None);
     }
 
     #[test]

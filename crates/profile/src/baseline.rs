@@ -42,6 +42,11 @@ pub struct BaselineCase {
     /// segments, from the timeline analyzer's critical path.
     /// Deterministic, so compared bit-exact like the modeled seconds.
     pub critical_comm_share: f64,
+    /// Modeled causal makespan in seconds (the timeline's maximum
+    /// lane clock). Deterministic, compared bit-exact. Under
+    /// overlapped accounting this is where comm/compute overlap
+    /// shows up, so the gate pins it directly.
+    pub makespan_s: f64,
     /// Measured wall-clock seconds (noisy; band-compared).
     pub wall_s: f64,
 }
@@ -59,8 +64,10 @@ pub struct Baseline {
 
 /// Schema version written by [`Baseline::to_json`]. Version 2 added
 /// `critical_comm_share` (the timeline analyzer's communication share
-/// of the causal critical path).
-pub const BASELINE_VERSION: u64 = 2;
+/// of the causal critical path). Version 3 added `makespan_s` (the
+/// modeled causal makespan, pinned bit-exact so communication overlap
+/// wins — and regressions — are gated directly).
+pub const BASELINE_VERSION: u64 = 3;
 
 /// How badly a comparison failed.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -124,7 +131,7 @@ impl Baseline {
             out.push_str(&format!(
                 "    {{\"name\": \"{}\", \"modeled_comm_s\": {}, \"modeled_comp_s\": {}, \
                  \"msgs\": {}, \"bytes\": {}, \"total_ops\": {}, \"max_peak_bytes\": {}, \
-                 \"critical_comm_share\": {}, \"wall_s\": {}}}{comma}\n",
+                 \"critical_comm_share\": {}, \"makespan_s\": {}, \"wall_s\": {}}}{comma}\n",
                 esc(&c.name),
                 num(c.modeled_comm_s),
                 num(c.modeled_comp_s),
@@ -133,6 +140,7 @@ impl Baseline {
                 c.total_ops,
                 c.max_peak_bytes,
                 num(c.critical_comm_share),
+                num(c.makespan_s),
                 num(c.wall_s)
             ));
         }
@@ -185,6 +193,7 @@ impl Baseline {
                     total_ops: field_u64("total_ops")?,
                     max_peak_bytes: field_u64("max_peak_bytes")?,
                     critical_comm_share: field_f64("critical_comm_share")?,
+                    makespan_s: field_f64("makespan_s")?,
                     wall_s: field_f64("wall_s")?,
                 })
             })
@@ -254,6 +263,7 @@ fn compare_case(base: &BaselineCase, cur: &BaselineCase, band: f64, out: &mut Ve
         base.critical_comm_share,
         cur.critical_comm_share,
     );
+    exact_f64("makespan_s", base.makespan_s, cur.makespan_s);
 
     let mut exact_u64 = |metric: &'static str, b: u64, c: u64| {
         if b != c {
@@ -300,8 +310,20 @@ mod tests {
             total_ops: 9999,
             max_peak_bytes: 1 << 20,
             critical_comm_share: 0.625,
+            makespan_s: 0.875,
             wall_s: 0.01,
         }
+    }
+
+    #[test]
+    fn makespan_is_compared_bit_exact() {
+        let b = Baseline::new(1.0, vec![case("a")]);
+        let mut cur = case("a");
+        cur.makespan_s = f64::from_bits(cur.makespan_s.to_bits() + 1);
+        let findings = b.compare(&[cur], None);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].metric, "makespan_s");
+        assert_eq!(findings[0].severity, Severity::Regression);
     }
 
     #[test]

@@ -115,8 +115,11 @@ pub struct RankProfile {
 }
 
 impl RankProfile {
-    /// Modeled wall-clock seconds for this rank (comm + compute; the
-    /// model is bulk-synchronous, nothing overlaps).
+    /// Modeled *busy* seconds for this rank (comm + compute). The
+    /// meters behind this are mode-independent: under overlapped
+    /// accounting a rank's causal clock can be smaller than its busy
+    /// time because in-flight collective bandwidth hides under
+    /// compute, but the work charged here is the same either way.
     pub fn total_s(&self) -> f64 {
         self.comm_s + self.comp_s
     }
@@ -563,6 +566,34 @@ impl Recorder for Profiler {
                 reg.counter_add("mfbc_collective_modeled_seconds_total", &l, modeled_s);
                 reg.observe("mfbc_collective_payload_bytes", &[], bytes as f64);
             }
+            // Nonblocking collectives carry their full cost on the
+            // issue event; the superstep attribution happens at issue
+            // so overlapped and blocking runs bucket identically.
+            TraceEvent::CollectiveIssue {
+                kind,
+                bytes,
+                msgs,
+                bytes_charged,
+                modeled_s,
+                ..
+            } => {
+                let agg = st.collectives.entry(kind.to_string()).or_default();
+                agg.count += 1;
+                agg.modeled_s += modeled_s;
+                agg.msgs += msgs;
+                agg.bytes += bytes_charged;
+                match st.supersteps.last_mut() {
+                    Some(step) => {
+                        step.comm_s += modeled_s;
+                        step.collectives += 1;
+                    }
+                    None => st.setup_comm_s += modeled_s,
+                }
+                let l = [("kind", kind)];
+                reg.counter_add("mfbc_collectives_total", &l, 1.0);
+                reg.counter_add("mfbc_collective_modeled_seconds_total", &l, modeled_s);
+                reg.observe("mfbc_collective_payload_bytes", &[], bytes as f64);
+            }
             TraceEvent::Spgemm {
                 plan, ops, nnz_c, ..
             } => {
@@ -654,6 +685,7 @@ impl Recorder for Profiler {
             // timeline analyzer's domain; the profiler's per-rank
             // numbers are sealed from the machine meters in `finish`.
             TraceEvent::Compute { .. }
+            | TraceEvent::CollectiveWait { .. }
             | TraceEvent::Backoff { .. }
             | TraceEvent::Shrink { .. }
             | TraceEvent::SpanBegin { .. }

@@ -71,7 +71,9 @@ pub(crate) fn run_pieces<K: SpMulKernel>(
     // The initial skew itself is communication: each rank sends its
     // block up to q−1 hops (modeled as one point-to-point per rank,
     // as on a torus where the skew is a single permutation route).
-    charge_shift_all(m, grid, &a_blocks, &b_blocks)?;
+    // Under overlapped accounting the charge is issued nonblocking
+    // and completed just before the first multiply.
+    let mut in_flight = charge_shift_all(m, grid, &a_blocks, &b_blocks)?;
 
     let mut acc: Vec<Vec<Csr<KernelOut<K>>>> = (0..q)
         .map(|i| {
@@ -93,7 +95,19 @@ pub(crate) fn run_pieces<K: SpMulKernel>(
     });
     let mut ops = 0u64;
 
+    let overlap = m.spec().overlap;
     for step in 0..q {
+        // The blocks this step multiplies must have arrived.
+        for h in in_flight.drain(..) {
+            m.wait_collective(h)?;
+        }
+        if overlap && step + 1 < q {
+            // Issue the next shift round before this step's compute so
+            // its β time hides under it. Each ring keeps the same set
+            // of blocks across a rotation, so the per-ring max charge
+            // is identical whether taken pre- or post-rotation.
+            in_flight = charge_shift_all(m, grid, &a_blocks, &b_blocks)?;
+        }
         for i in 0..q {
             for j in 0..q {
                 let (ab, bb) = (&a_blocks[i][j], &b_blocks[i][j]);
@@ -114,7 +128,11 @@ pub(crate) fn run_pieces<K: SpMulKernel>(
             }
             let first = b_blocks.remove(0);
             b_blocks.push(first);
-            charge_shift_all(m, grid, &a_blocks, &b_blocks)?;
+            if !overlap {
+                // Blocking mode keeps the legacy schedule: the shift
+                // is charged after the rotation, serialized.
+                charge_shift_all(m, grid, &a_blocks, &b_blocks)?;
+            }
         }
     }
 
@@ -132,32 +150,47 @@ pub(crate) fn run_pieces<K: SpMulKernel>(
 /// Charges one point-to-point round: every rank sends its current A
 /// block along its row ring and its B block along its column ring.
 /// Rings are disjoint per direction, so each ring's message lands on
-/// its members' critical paths independently.
+/// its members' critical paths independently. When the machine's spec
+/// overlaps, the charges are issued nonblocking and their handles
+/// returned (empty otherwise) — the caller completes them before the
+/// shifted blocks are multiplied.
 fn charge_shift_all<L, R>(
     m: &Machine,
     grid: &Grid2,
     a_blocks: &[Vec<Csr<L>>],
     b_blocks: &[Vec<Csr<R>>],
-) -> Result<(), MachineError> {
+) -> Result<Vec<u64>, MachineError> {
     let q = grid.g1();
+    let mut handles = Vec::new();
     if q <= 1 {
-        return Ok(());
+        return Ok(handles);
     }
+    let overlap = m.spec().overlap;
     for i in 0..q {
         let bytes = (0..q)
             .map(|j| (a_blocks[i][j].nnz() * entry_bytes::<L>()) as u64)
             .max()
             .unwrap_or(0);
-        m.charge_collective(&grid.row_group(i), CollectiveKind::PointToPoint, bytes)?;
+        let g = grid.row_group(i);
+        if overlap {
+            handles.push(m.icharge_collective(&g, CollectiveKind::PointToPoint, bytes)?);
+        } else {
+            m.charge_collective(&g, CollectiveKind::PointToPoint, bytes)?;
+        }
     }
     for j in 0..q {
         let bytes = (0..q)
             .map(|i| (b_blocks[i][j].nnz() * entry_bytes::<R>()) as u64)
             .max()
             .unwrap_or(0);
-        m.charge_collective(&grid.col_group(j), CollectiveKind::PointToPoint, bytes)?;
+        let g = grid.col_group(j);
+        if overlap {
+            handles.push(m.icharge_collective(&g, CollectiveKind::PointToPoint, bytes)?);
+        } else {
+            m.charge_collective(&g, CollectiveKind::PointToPoint, bytes)?;
+        }
     }
-    Ok(())
+    Ok(handles)
 }
 
 /// Assembled-run wrapper mirroring the other variants.
@@ -175,7 +208,8 @@ pub(crate) fn run<K: SpMulKernel>(
 }
 
 /// Predicted time of Cannon's algorithm (the §5.2.2 formula):
-/// `α·√p + β·(nnz(A)+nnz(B))/√p` plus compute.
+/// `α·√p + β·(nnz(A)+nnz(B))/√p` plus compute, with the shift
+/// bandwidth overlappable under compute when the spec overlaps.
 pub fn predict_cannon(
     spec: &mfbc_machine::MachineSpec,
     q: usize,
@@ -186,15 +220,19 @@ pub fn predict_cannon(
     // 1D variant A) a mask shrinks the moved B volume.
     let ba = (st.nnz_a * st.eb_a) as f64;
     let bb = (st.nnz_b * st.eb_b) as f64 * st.b_move_frac;
-    let comm = if p <= 1 {
-        0.0
-    } else {
-        // q shift rounds (incl. skew) of one message each direction.
-        2.0 * q as f64 * spec.alpha + spec.beta * (ba + bb) / q as f64
-            // plus the canonical redistribution of both operands
-            + spec.beta * (ba + bb) / p as f64
+    let mut t = crate::costmodel::Terms {
+        comp: spec.gamma * (st.ops + st.nnz_c) as f64 / p as f64,
+        ..Default::default()
     };
-    comm + spec.gamma * (st.ops + st.nnz_c) as f64 / p as f64
+    if p > 1 {
+        // q shift rounds (incl. skew) of one message each direction.
+        t.alpha = 2.0 * q as f64 * spec.alpha;
+        t.beta = spec.beta * (ba + bb) / q as f64;
+        // Plus the canonical redistribution of both operands.
+        t.redist =
+            crate::costmodel::redist_time(spec, p, ba) + crate::costmodel::redist_time(spec, p, bb);
+    }
+    t.combine(spec)
 }
 
 #[cfg(test)]

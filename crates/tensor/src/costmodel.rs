@@ -102,18 +102,70 @@ fn lg(x: usize) -> f64 {
     log2_ceil(x) as f64
 }
 
-/// Predicted wall-clock seconds for one redistribution all-to-all of
-/// a matrix with `bytes` total payload over `p` ranks.
-fn redist_time(spec: &MachineSpec, p: usize, bytes: f64) -> f64 {
+/// Additive components of a plan's predicted time, kept apart so the
+/// spec's execution mode decides how they stack:
+///
+/// * serialized — `redist + α + β + comp`: every term sits on the
+///   critical path, the pre-overlap accounting;
+/// * overlapped — `redist + α + max(β, comp)`: the superstep
+///   pipelines issue the next panel transfer under the current
+///   multiply, so bandwidth hides under compute (and vice versa)
+///   while latency (the blocking issue edge) and the up-front
+///   redistribution stay exposed.
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct Terms {
+    /// Operand redistribution time (mode-aware via [`redist_time`]).
+    pub(crate) redist: f64,
+    /// Superstep latency: α per collective issue, never hidden.
+    pub(crate) alpha: f64,
+    /// Superstep bandwidth: β volume of the pipelined panel moves.
+    pub(crate) beta: f64,
+    /// Per-rank compute: γ per elementary product and output entry.
+    pub(crate) comp: f64,
+}
+
+impl Terms {
+    /// Collapses the components under the spec's execution mode.
+    pub(crate) fn combine(&self, spec: &MachineSpec) -> f64 {
+        if spec.overlap {
+            self.redist + self.alpha + self.beta.max(self.comp)
+        } else {
+            self.redist + self.alpha + self.beta + self.comp
+        }
+    }
+}
+
+/// Predicted wall-clock seconds for one operand redistribution of a
+/// matrix with `bytes` total payload over `p` ranks, under the spec's
+/// redistribution mode:
+///
+/// * `Alltoall` — `β·B/p + α·⌈lg p⌉` (the §6.2 baseline);
+/// * `P2p` — `α·(p−1) + β·B/p`: each sender pays a latency per
+///   destination but ships only what each destination needs;
+/// * `Bcast` — `2β·B/p + 2α·⌈lg p⌉`: the broadcast closed form on the
+///   per-sender volume;
+/// * `Auto` — the cheapest of the two hybrids and the all-to-all
+///   fallback, matching the executor's
+///   per-sender choice under uniform traffic.
+pub(crate) fn redist_time(spec: &MachineSpec, p: usize, bytes: f64) -> f64 {
     if p <= 1 || bytes == 0.0 {
         return 0.0;
     }
-    spec.beta * bytes / p as f64 + spec.alpha * lg(p)
+    let per_sender = bytes / p as f64;
+    let alltoall = spec.beta * per_sender + spec.alpha * lg(p);
+    let p2p = spec.alpha * (p - 1) as f64 + spec.beta * per_sender;
+    let bcast = 2.0 * spec.beta * per_sender + 2.0 * spec.alpha * lg(p);
+    match spec.redist {
+        mfbc_machine::RedistMode::Alltoall => alltoall,
+        mfbc_machine::RedistMode::P2p => p2p,
+        mfbc_machine::RedistMode::Bcast => bcast,
+        mfbc_machine::RedistMode::Auto => p2p.min(bcast).min(alltoall),
+    }
 }
 
-/// Predicted communication+compute time of a 2D variant on a
-/// `g1 × g2` grid with the given (possibly layer-shrunk) stats.
-fn time_2d(spec: &MachineSpec, g1: usize, g2: usize, v: Variant2D, st: &MmStats) -> f64 {
+/// Predicted cost components of a 2D variant on a `g1 × g2` grid with
+/// the given (possibly layer-shrunk) stats.
+fn terms_2d(spec: &MachineSpec, g1: usize, g2: usize, v: Variant2D, st: &MmStats) -> Terms {
     let p = g1 * g2;
     let s = lcm(g1, g2) as f64;
     let (ba, bb, bc) = (
@@ -121,56 +173,65 @@ fn time_2d(spec: &MachineSpec, g1: usize, g2: usize, v: Variant2D, st: &MmStats)
         (st.nnz_b * st.eb_b) as f64,
         (st.nnz_c * st.eb_c) as f64,
     );
-    let mut t = redist_time(spec, p, ba) + redist_time(spec, p, bb);
+    let mut t = Terms {
+        redist: redist_time(spec, p, ba) + redist_time(spec, p, bb),
+        comp: spec.gamma * (st.ops + st.nnz_c) as f64 / p as f64,
+        ..Terms::default()
+    };
     if p > 1 {
-        t += match v {
+        match v {
             Variant2D::AB => {
-                2.0 * spec.beta * (ba / g1 as f64 + bb / g2 as f64)
-                    + s * 2.0 * spec.alpha * (lg(g1) + lg(g2))
+                t.beta = 2.0 * spec.beta * (ba / g1 as f64 + bb / g2 as f64);
+                t.alpha = s * 2.0 * spec.alpha * (lg(g1) + lg(g2));
             }
             Variant2D::AC => {
-                2.0 * spec.beta * ba / g1 as f64
-                    + spec.beta * bc / g2 as f64
-                    + s * spec.alpha * (2.0 * lg(g2) + lg(g1))
+                t.beta = 2.0 * spec.beta * ba / g1 as f64 + spec.beta * bc / g2 as f64;
+                t.alpha = s * spec.alpha * (2.0 * lg(g2) + lg(g1));
             }
             Variant2D::BC => {
-                2.0 * spec.beta * bb / g2 as f64
-                    + spec.beta * bc / g1 as f64
-                    + s * spec.alpha * (2.0 * lg(g1) + lg(g2))
+                t.beta = 2.0 * spec.beta * bb / g2 as f64 + spec.beta * bc / g1 as f64;
+                t.alpha = s * spec.alpha * (2.0 * lg(g1) + lg(g2));
             }
-        };
+        }
     }
-    t + spec.gamma * (st.ops + st.nnz_c) as f64 / p as f64
+    t
 }
 
-/// Predicted time of a 1D variant over `p` ranks.
-fn time_1d(spec: &MachineSpec, p: usize, v: Variant1D, st: &MmStats) -> f64 {
+/// Predicted cost components of a 1D variant over `p` ranks.
+fn terms_1d(spec: &MachineSpec, p: usize, v: Variant1D, st: &MmStats) -> Terms {
     let (ba, bb, bc) = (
         (st.nnz_a * st.eb_a) as f64,
         (st.nnz_b * st.eb_b) as f64,
         (st.nnz_c * st.eb_c) as f64,
     );
-    let comm = if p <= 1 {
-        0.0
-    } else {
+    let mut t = Terms {
+        comp: spec.gamma * (st.ops + st.nnz_c) as f64 / p as f64,
+        ..Terms::default()
+    };
+    if p > 1 {
         match v {
             // Variant A's B redistribution is the one 1D right-hand
             // move that may ship a mask-shrunk operand (the shrunk
             // form bypasses the cache), so only it sees the masked
             // shrink factor.
             Variant1D::A => {
-                spec.beta * ba + spec.alpha * lg(p) + redist_time(spec, p, bb * st.b_move_frac)
+                t.beta = spec.beta * ba;
+                t.alpha = spec.alpha * lg(p);
+                t.redist = redist_time(spec, p, bb * st.b_move_frac);
             }
-            Variant1D::B => spec.beta * bb + spec.alpha * lg(p) + redist_time(spec, p, ba),
+            Variant1D::B => {
+                t.beta = spec.beta * bb;
+                t.alpha = spec.alpha * lg(p);
+                t.redist = redist_time(spec, p, ba);
+            }
             Variant1D::C => {
-                redist_time(spec, p, ba)
-                    + redist_time(spec, p, bb)
-                    + spec.beta * bc
-                    + spec.alpha * lg(p)
+                t.redist = redist_time(spec, p, ba) + redist_time(spec, p, bb);
+                t.beta = spec.beta * bc;
+                t.alpha = spec.alpha * lg(p);
             }
         }
-    };
-    comm + spec.gamma * (st.ops + st.nnz_c) as f64 / p as f64
+    }
+    t
 }
 
 /// Shrinks stats for a layer of a 3D algorithm splitting matrix `X`.
@@ -206,8 +267,8 @@ fn layer_stats(st: &MmStats, split: Variant1D, p1: u64) -> MmStats {
 /// `spec` — `W_MM` specialized to the plan.
 pub fn predict(spec: &MachineSpec, plan: &MmPlan, st: &MmStats) -> f64 {
     match *plan {
-        MmPlan::OneD(v) => time_1d(spec, spec.p, v, st),
-        MmPlan::TwoD { variant, p2, p3 } => time_2d(spec, p2, p3, variant, st),
+        MmPlan::OneD(v) => terms_1d(spec, spec.p, v, st).combine(spec),
+        MmPlan::TwoD { variant, p2, p3 } => terms_2d(spec, p2, p3, variant, st).combine(spec),
         MmPlan::Cannon { q } => crate::cannon::predict_cannon(spec, q, st),
         MmPlan::ThreeD {
             split,
@@ -217,26 +278,28 @@ pub fn predict(spec: &MachineSpec, plan: &MmPlan, st: &MmStats) -> f64 {
             p3,
         } => {
             let ls = layer_stats(st, split, p1 as u64);
-            let inner_t = time_2d(spec, p2, p3, inner, &ls);
-            let fiber = if p1 <= 1 {
-                0.0
-            } else {
+            let mut t = terms_2d(spec, p2, p3, inner, &ls);
+            // Fiber collectives of the 1D dimension: their bandwidth
+            // joins the overlappable pool (the executor issues them
+            // under the slice all-to-all / superstep compute), their
+            // latency stays exposed.
+            if p1 > 1 {
                 match split {
                     Variant1D::A => {
-                        2.0 * spec.beta * (st.nnz_a * st.eb_a) as f64 / (p2 * p3) as f64
-                            + 2.0 * spec.alpha * lg(p1)
+                        t.beta += 2.0 * spec.beta * (st.nnz_a * st.eb_a) as f64 / (p2 * p3) as f64;
+                        t.alpha += 2.0 * spec.alpha * lg(p1);
                     }
                     Variant1D::B => {
-                        2.0 * spec.beta * (st.nnz_b * st.eb_b) as f64 / (p2 * p3) as f64
-                            + 2.0 * spec.alpha * lg(p1)
+                        t.beta += 2.0 * spec.beta * (st.nnz_b * st.eb_b) as f64 / (p2 * p3) as f64;
+                        t.alpha += 2.0 * spec.alpha * lg(p1);
                     }
                     Variant1D::C => {
-                        spec.beta * (st.nnz_c * st.eb_c) as f64 / (p2 * p3) as f64
-                            + spec.alpha * lg(p1)
+                        t.beta += spec.beta * (st.nnz_c * st.eb_c) as f64 / (p2 * p3) as f64;
+                        t.alpha += spec.alpha * lg(p1);
                     }
                 }
-            };
-            inner_t + fiber
+            }
+            t.combine(spec)
         }
     }
 }

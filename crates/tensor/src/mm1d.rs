@@ -20,6 +20,7 @@ use crate::mm::{assemble_canonical, MmOut};
 use mfbc_algebra::kernel::KernelOut;
 use mfbc_algebra::monoid::Monoid;
 use mfbc_algebra::SpMulKernel;
+use mfbc_machine::collectives::Pending;
 use mfbc_machine::cost::CollectiveKind;
 use mfbc_machine::{Group, Machine, MachineError};
 use mfbc_sparse::elementwise::combine;
@@ -51,23 +52,44 @@ pub(crate) fn run<K: SpMulKernel>(
     Ok(MmOut { c, ops })
 }
 
+/// Issues an allgather charge for `bytes` over `group`: nonblocking
+/// (returning the handle) when the machine's spec overlaps, blocking
+/// otherwise. `None` means nothing was charged (singleton group).
+fn charge_allgather(m: &Machine, group: &Group, bytes: u64) -> Result<Option<u64>, MachineError> {
+    if group.len() <= 1 {
+        return Ok(None);
+    }
+    if m.spec().overlap {
+        Ok(Some(m.icharge_collective(
+            group,
+            CollectiveKind::Allgather,
+            bytes,
+        )?))
+    } else {
+        m.charge_collective(group, CollectiveKind::Allgather, bytes)?;
+        Ok(None)
+    }
+}
+
 /// Fetches (or builds, charges, and caches) the fully replicated form
 /// of the right operand — the amortized "replicate B" of Theorem 5.1.
+/// On a cache miss under overlapped accounting the allgather is issued
+/// nonblocking: the caller redistributes the other operand while the
+/// replica is in flight and waits the returned [`Pending`] only when
+/// the replica is first multiplied.
 fn replicated_rhs<K: SpMulKernel>(
     m: &Machine,
     group: &Group,
     b: &DistMat<K::Right>,
     cache: &mut MmCache<K::Right>,
-) -> Result<Arc<Csr<K::Right>>, MachineError> {
+) -> Result<Pending<Arc<Csr<K::Right>>>, MachineError> {
     let fp = Fingerprint::of(b);
     let key = format!("1d:B:{}:{}", group.len(), b.content_id());
     if let Some(CachedRhs::Global(g)) = cache.get(&key, fp) {
-        return Ok(Arc::clone(g));
+        return Ok(Pending::ready(Arc::clone(g)));
     }
     let bytes = (b.nnz() * entry_bytes::<K::Right>()) as u64;
-    if group.len() > 1 {
-        m.charge_collective(group, CollectiveKind::Allgather, bytes)?;
-    }
+    let handle = charge_allgather(m, group, bytes)?;
     let mut charges = Vec::with_capacity(group.len());
     for &r in group.ranks() {
         m.charge_alloc(r, bytes)?;
@@ -75,7 +97,10 @@ fn replicated_rhs<K: SpMulKernel>(
     }
     let global = Arc::new(b.to_global::<FirstWins<K::Right>>());
     cache.insert(key, fp, CachedRhs::Global(Arc::clone(&global)), charges);
-    Ok(global)
+    Ok(match handle {
+        Some(h) => Pending::issued(global, h),
+        None => Pending::ready(global),
+    })
 }
 
 /// Layout splitting columns into `q` parts, part `k` owned by group
@@ -106,20 +131,29 @@ fn row_split_layout(nrows: usize, ncols: usize, group: &Group) -> Layout {
 /// Replicates a distributed matrix to every member of `group`: the
 /// allgather moves every block to every rank (charged at
 /// `β·nnz + α·log p`), and each rank's resident memory grows by the
-/// full matrix size.
-fn replicate<T, M>(machine: &Machine, group: &Group, x: &DistMat<T>) -> Result<Csr<T>, MachineError>
+/// full matrix size. Under overlapped accounting the allgather is
+/// issued nonblocking so the caller can redistribute the other
+/// operand while the replica is in flight; the returned [`Pending`]
+/// must be waited before the replica is multiplied.
+fn replicate<T, M>(
+    machine: &Machine,
+    group: &Group,
+    x: &DistMat<T>,
+) -> Result<Pending<Csr<T>>, MachineError>
 where
     M: Monoid<Elem = T>,
     T: Clone + Send + Sync + PartialEq + std::fmt::Debug,
 {
     let bytes = (x.nnz() * entry_bytes::<T>()) as u64;
-    if group.len() > 1 {
-        machine.charge_collective(group, CollectiveKind::Allgather, bytes)?;
-    }
+    let handle = charge_allgather(machine, group, bytes)?;
     for &r in group.ranks() {
         machine.charge_alloc(r, bytes)?;
     }
-    Ok(x.to_global::<M>())
+    let global = x.to_global::<M>();
+    Ok(match handle {
+        Some(h) => Pending::issued(global, h),
+        None => Pending::ready(global),
+    })
 }
 
 /// Releases the replication charge of [`replicate`].
@@ -146,7 +180,11 @@ pub(crate) fn run_pieces<K: SpMulKernel>(
     // assumed duplicate-free (DistMat guarantees this).
     match variant {
         Variant1D::A => {
-            let a_full = replicate::<_, FirstWins<K::Left>>(m, group, a)?;
+            // Replicate A and redistribute B concurrently: in overlap
+            // mode the allgather is in flight while the alltoall below
+            // is charged, and the wait lands only before the first
+            // multiply that touches the replica.
+            let a_pending = replicate::<_, FirstWins<K::Left>>(m, group, a)?;
             let lb = col_split_layout(b.nrows(), b.ncols(), group);
             // The column-split right-hand form depends only on the
             // operand and the group, so Theorem 5.1's amortization
@@ -174,6 +212,7 @@ pub(crate) fn run_pieces<K: SpMulKernel>(
                 cache.insert(key, fp, CachedRhs::Dist(Arc::clone(&built)), charges);
                 built
             };
+            let a_full = a_pending.wait(m)?;
             let mut pieces = Vec::with_capacity(group.len());
             let mut ops = 0u64;
             for k in 0..group.len() {
@@ -191,9 +230,10 @@ pub(crate) fn run_pieces<K: SpMulKernel>(
             Ok((pieces, ops))
         }
         Variant1D::B => {
-            let b_full = replicated_rhs::<K>(m, group, b, cache)?;
+            let b_pending = replicated_rhs::<K>(m, group, b, cache)?;
             let la = row_split_layout(a.nrows(), a.ncols(), group);
             let a2 = redistribute::<FirstWins<K::Left>, _>(m, a, &la)?;
+            let b_full = b_pending.wait(m)?;
             let mut pieces = Vec::with_capacity(group.len());
             let mut ops = 0u64;
             for k in 0..group.len() {

@@ -29,8 +29,8 @@ use crate::mm1d::{FirstWins, Piece};
 use crate::redist::redistribute;
 use mfbc_algebra::kernel::KernelOut;
 use mfbc_algebra::SpMulKernel;
-use mfbc_machine::collectives::broadcast;
-use mfbc_machine::{Machine, MachineError};
+use mfbc_machine::collectives::{broadcast, isparse_reduce, sparse_reduce, Pending, Volume};
+use mfbc_machine::{CollectiveKind, Machine, MachineError};
 use mfbc_sparse::elementwise::combine;
 use mfbc_sparse::slice::even_ranges;
 use mfbc_sparse::{entry_bytes, spgemm_opt, Csr, Mask};
@@ -87,25 +87,70 @@ fn cached_rhs_layout<K: SpMulKernel>(
     Ok(built)
 }
 
+/// A broadcast staged for one superstep: the shared block, the
+/// per-receiver byte charge (released at step end), and — under
+/// overlapped accounting — the in-flight collective's handle, which
+/// must complete (via [`wait_staged`]) before the block is multiplied.
+type StagedBcast<T> = (Arc<Csr<T>>, u64, Option<u64>);
+
 /// Broadcasts `block` from grid position root within `group`,
-/// charging receivers' memory; returns the shared handle and the
-/// per-receiver byte charge (to release at step end).
+/// charging receivers' memory. When the machine's spec overlaps, the
+/// collective is issued nonblocking so the caller can prefetch the
+/// next superstep's panels under the current one's compute; otherwise
+/// the charge lands immediately (legacy blocking order).
 fn bcast_block<T: Clone + Send + Sync>(
     m: &Machine,
     group: &mfbc_machine::Group,
     root_idx: usize,
     block: &Csr<T>,
-) -> Result<(Arc<Csr<T>>, u64), MachineError> {
+) -> Result<StagedBcast<T>, MachineError> {
     let shared = Arc::new(block.clone());
-    let handles = broadcast(m, group, root_idx, Arc::clone(&shared));
-    drop(handles); // all handles alias `shared` in-process
+    let handle = if m.spec().overlap && group.len() > 1 {
+        Some(m.icharge_collective(group, CollectiveKind::Broadcast, shared.comm_bytes())?)
+    } else {
+        let handles = broadcast(m, group, root_idx, Arc::clone(&shared));
+        drop(handles); // all handles alias `shared` in-process
+        None
+    };
     let bytes = (block.nnz() * entry_bytes::<T>()) as u64;
     for (idx, &r) in group.ranks().iter().enumerate() {
         if idx != root_idx {
             m.charge_alloc(r, bytes)?;
         }
     }
-    Ok((shared, bytes))
+    Ok((shared, bytes, handle))
+}
+
+/// Completes every in-flight broadcast of a staged superstep; a no-op
+/// under blocking accounting (no handles were issued).
+fn wait_staged<T>(m: &Machine, staged: &[StagedBcast<T>]) -> Result<(), MachineError> {
+    for (_, _, h) in staged {
+        if let Some(h) = h {
+            m.wait_collective(*h)?;
+        }
+    }
+    Ok(())
+}
+
+/// Sparse-reduces C-chunk contributions over `group`: nonblocking
+/// under overlapped accounting (the returned [`Pending`] gates the
+/// reduced chunk and is drained after the superstep loop), blocking —
+/// and immediately ready — otherwise.
+pub(crate) fn reduce_chunk<K: SpMulKernel>(
+    m: &Machine,
+    group: &mfbc_machine::Group,
+    contribs: Vec<Csr<KernelOut<K>>>,
+) -> Result<Pending<Csr<KernelOut<K>>>, MachineError> {
+    if m.spec().overlap {
+        isparse_reduce(m, group, contribs, |x, y| combine::<K::Acc, _>(&x, &y))
+    } else {
+        Ok(Pending::ready(sparse_reduce(
+            m,
+            group,
+            contribs,
+            |x, y| combine::<K::Acc, _>(&x, &y),
+        )?))
+    }
 }
 
 fn release_bcast(m: &Machine, group: &mfbc_machine::Group, root_idx: usize, bytes: u64) {
@@ -182,19 +227,50 @@ fn stationary_c<K: SpMulKernel>(
     });
     let mut ops = 0u64;
 
-    for t in 0..s {
+    // Stage (charge) every broadcast of superstep `t`: A chunks along
+    // grid rows, then B chunks along grid columns — the legacy charge
+    // order, so blocking runs are event-for-event identical.
+    let stage = |t: usize| -> Result<
+        (Vec<StagedBcast<K::Left>>, Vec<StagedBcast<K::Right>>),
+        MachineError,
+    > {
         let mut a_shared = Vec::with_capacity(g1);
         for bi in 0..g1 {
-            let g = grid.row_group(bi);
-            let (h, bytes) = bcast_block(m, &g, t % g2, a2.block(bi, t))?;
-            a_shared.push((h, bytes));
+            a_shared.push(bcast_block(
+                m,
+                &grid.row_group(bi),
+                t % g2,
+                a2.block(bi, t),
+            )?);
         }
         let mut b_shared = Vec::with_capacity(g2);
         for bj in 0..g2 {
-            let g = grid.col_group(bj);
-            let (h, bytes) = bcast_block(m, &g, t % g1, b2.block(t, bj))?;
-            b_shared.push((h, bytes));
+            b_shared.push(bcast_block(
+                m,
+                &grid.col_group(bj),
+                t % g1,
+                b2.block(t, bj),
+            )?);
         }
+        Ok((a_shared, b_shared))
+    };
+
+    // Double-buffered pipeline: under overlapped accounting, step
+    // t+1's broadcasts are issued before step t's compute, so their β
+    // time hides under it; blocking mode stages at the top of each
+    // iteration instead, preserving the serialized schedule exactly.
+    let overlap = m.spec().overlap;
+    let mut prefetched = if overlap { Some(stage(0)?) } else { None };
+    for t in 0..s {
+        let (a_shared, b_shared) = match prefetched.take() {
+            Some(staged) => staged,
+            None => stage(t)?,
+        };
+        if overlap && t + 1 < s {
+            prefetched = Some(stage(t + 1)?);
+        }
+        wait_staged(m, &a_shared)?;
+        wait_staged(m, &b_shared)?;
         for bi in 0..g1 {
             for bj in 0..g2 {
                 let (ab, bb) = (&a_shared[bi].0, &b_shared[bj].0);
@@ -209,10 +285,10 @@ fn stationary_c<K: SpMulKernel>(
                 *slot = combine::<K::Acc, _>(slot, &out.mat);
             }
         }
-        for (bi, (_, bytes)) in a_shared.into_iter().enumerate() {
+        for (bi, (_, bytes, _)) in a_shared.into_iter().enumerate() {
             release_bcast(m, &grid.row_group(bi), t % g2, bytes);
         }
-        for (bj, (_, bytes)) in b_shared.into_iter().enumerate() {
+        for (bj, (_, bytes, _)) in b_shared.into_iter().enumerate() {
             release_bcast(m, &grid.col_group(bj), t % g1, bytes);
         }
     }
@@ -269,14 +345,35 @@ fn stationary_b<K: SpMulKernel>(
     let mut pieces = Vec::new();
     let mut ops = 0u64;
 
-    for t in 0..s {
-        let chunk_rows = la.row_range(t).len();
+    let stage = |t: usize| -> Result<Vec<StagedBcast<K::Left>>, MachineError> {
         let mut a_shared = Vec::with_capacity(g1);
         for bk in 0..g1 {
-            let g = grid.row_group(bk);
-            let (h, bytes) = bcast_block(m, &g, t % g2, a2.block(t, bk))?;
-            a_shared.push((h, bytes));
+            a_shared.push(bcast_block(
+                m,
+                &grid.row_group(bk),
+                t % g2,
+                a2.block(t, bk),
+            )?);
         }
+        Ok(a_shared)
+    };
+
+    // Prefetch next step's A panels under this step's compute, and
+    // drain the nonblocking C reductions only after the loop — the
+    // reduced chunks feed nothing inside it.
+    let overlap = m.spec().overlap;
+    let mut reduced: Vec<(usize, usize, usize, Pending<Csr<KernelOut<K>>>)> = Vec::new();
+    let mut prefetched = if overlap { Some(stage(0)?) } else { None };
+    for t in 0..s {
+        let chunk_rows = la.row_range(t).len();
+        let a_shared = match prefetched.take() {
+            Some(staged) => staged,
+            None => stage(t)?,
+        };
+        if overlap && t + 1 < s {
+            prefetched = Some(stage(t + 1)?);
+        }
+        wait_staged(m, &a_shared)?;
         for bj in 0..g2 {
             // All g1 partials of this (t, bj) output rectangle share
             // one window.
@@ -293,19 +390,18 @@ fn stationary_b<K: SpMulKernel>(
                 ops += out.ops;
                 contribs.push(out.mat);
             }
-            let cblk = mfbc_machine::collectives::sparse_reduce(
-                m,
-                &grid.col_group(bj),
-                contribs,
-                |x, y| combine::<K::Acc, _>(&x, &y),
-            )?;
-            if !cblk.is_empty() {
-                let pos = (t % g1) * g2 + bj;
-                pieces.push((la.row_range(t).start, lb.col_range(bj).start, pos, cblk));
-            }
+            let cblk = reduce_chunk::<K>(m, &grid.col_group(bj), contribs)?;
+            let pos = (t % g1) * g2 + bj;
+            reduced.push((la.row_range(t).start, lb.col_range(bj).start, pos, cblk));
         }
-        for (bk, (_, bytes)) in a_shared.into_iter().enumerate() {
+        for (bk, (_, bytes, _)) in a_shared.into_iter().enumerate() {
             release_bcast(m, &grid.row_group(bk), t % g2, bytes);
+        }
+    }
+    for (r0, c0, pos, pending) in reduced {
+        let cblk = pending.wait(m)?;
+        if !cblk.is_empty() {
+            pieces.push((r0, c0, pos, cblk));
         }
     }
     Ok((pieces, ops))
@@ -345,14 +441,34 @@ fn stationary_a<K: SpMulKernel>(
     let mut pieces = Vec::new();
     let mut ops = 0u64;
 
-    for t in 0..s {
-        let chunk_cols = lb.col_range(t).len();
+    let stage = |t: usize| -> Result<Vec<StagedBcast<K::Right>>, MachineError> {
         let mut b_shared = Vec::with_capacity(g2);
         for bk in 0..g2 {
-            let g = grid.col_group(bk);
-            let (h, bytes) = bcast_block(m, &g, t % g1, b2.block(bk, t))?;
-            b_shared.push((h, bytes));
+            b_shared.push(bcast_block(
+                m,
+                &grid.col_group(bk),
+                t % g1,
+                b2.block(bk, t),
+            )?);
         }
+        Ok(b_shared)
+    };
+
+    // Mirror of the AC pipeline: prefetch B panels, drain reductions
+    // after the loop.
+    let overlap = m.spec().overlap;
+    let mut reduced: Vec<(usize, usize, usize, Pending<Csr<KernelOut<K>>>)> = Vec::new();
+    let mut prefetched = if overlap { Some(stage(0)?) } else { None };
+    for t in 0..s {
+        let chunk_cols = lb.col_range(t).len();
+        let b_shared = match prefetched.take() {
+            Some(staged) => staged,
+            None => stage(t)?,
+        };
+        if overlap && t + 1 < s {
+            prefetched = Some(stage(t + 1)?);
+        }
+        wait_staged(m, &b_shared)?;
         for bi in 0..g1 {
             let rows = la.row_range(bi).len();
             // All g2 partials of this (bi, t) output rectangle share
@@ -370,19 +486,18 @@ fn stationary_a<K: SpMulKernel>(
                 ops += out.ops;
                 contribs.push(out.mat);
             }
-            let cblk = mfbc_machine::collectives::sparse_reduce(
-                m,
-                &grid.row_group(bi),
-                contribs,
-                |x, y| combine::<K::Acc, _>(&x, &y),
-            )?;
-            if !cblk.is_empty() {
-                let pos = bi * g2 + (t % g2);
-                pieces.push((la.row_range(bi).start, lb.col_range(t).start, pos, cblk));
-            }
+            let cblk = reduce_chunk::<K>(m, &grid.row_group(bi), contribs)?;
+            let pos = bi * g2 + (t % g2);
+            reduced.push((la.row_range(bi).start, lb.col_range(t).start, pos, cblk));
         }
-        for (bk, (_, bytes)) in b_shared.into_iter().enumerate() {
+        for (bk, (_, bytes, _)) in b_shared.into_iter().enumerate() {
             release_bcast(m, &grid.col_group(bk), t % g1, bytes);
+        }
+    }
+    for (r0, c0, pos, pending) in reduced {
+        let cblk = pending.wait(m)?;
+        if !cblk.is_empty() {
+            pieces.push((r0, c0, pos, cblk));
         }
     }
     Ok((pieces, ops))

@@ -28,7 +28,6 @@ use mfbc_algebra::kernel::KernelOut;
 use mfbc_algebra::SpMulKernel;
 use mfbc_machine::cost::CollectiveKind;
 use mfbc_machine::{Machine, MachineError};
-use mfbc_sparse::elementwise::combine;
 use mfbc_sparse::slice::even_ranges;
 use mfbc_sparse::{entry_bytes, Csr, Mask};
 use std::collections::HashMap;
@@ -88,12 +87,15 @@ fn cached_rhs_slices<K: SpMulKernel>(
 
 /// Fetches (or builds, charges, and caches) the per-layer replicas
 /// of the right operand (split = B).
+/// On a cache miss under overlapped accounting the replication's
+/// fiber broadcasts stay in flight — the returned handles must
+/// complete before the replicas are multiplied (a hit returns none).
 fn cached_rhs_layers<K: SpMulKernel>(
     m: &Machine,
     grid: &Grid3,
     b: &DistMat<K::Right>,
     cache: &mut MmCache<K::Right>,
-) -> Result<Arc<Vec<DistMat<K::Right>>>, MachineError> {
+) -> Result<(Arc<Vec<DistMat<K::Right>>>, Vec<u64>), MachineError> {
     let fp = Fingerprint::of(b);
     let key = format!(
         "3d:B:{}x{}x{}:{}",
@@ -103,9 +105,10 @@ fn cached_rhs_layers<K: SpMulKernel>(
         b.content_id()
     );
     if let Some(CachedRhs::Layers(ls)) = cache.get(&key, fp) {
-        return Ok(Arc::clone(ls));
+        return Ok((Arc::clone(ls), Vec::new()));
     }
-    let (layers, per_rank_bytes) = replicate_over_layers::<_, FirstWins<K::Right>>(m, grid, b)?;
+    let (layers, per_rank_bytes, handles) =
+        replicate_over_layers::<_, FirstWins<K::Right>>(m, grid, b)?;
     let mut charges = Vec::new();
     for l in 1..grid.p1() {
         for i in 0..grid.p2() {
@@ -116,18 +119,22 @@ fn cached_rhs_layers<K: SpMulKernel>(
     }
     let built = Arc::new(layers);
     cache.insert(key, fp, CachedRhs::Layers(Arc::clone(&built)), charges);
-    Ok(built)
+    Ok((built, handles))
 }
 
 /// Replicates `x` (any layout) to every layer of `grid`: first
 /// redistributed to layer 0's natural 2D layout, then each block is
 /// broadcast along its fiber group. Returns one per-layer copy (on
 /// that layer's grid) plus the per-rank byte charge to release.
+/// Under overlapped accounting the fiber broadcasts are issued
+/// nonblocking and their handles returned (empty otherwise): the
+/// caller overlaps them with the other operand's redistribution and
+/// completes them before the replicas are multiplied.
 fn replicate_over_layers<T, M>(
     machine: &Machine,
     grid: &Grid3,
     x: &DistMat<T>,
-) -> Result<(Vec<DistMat<T>>, u64), MachineError>
+) -> Result<(Vec<DistMat<T>>, u64, Vec<u64>), MachineError>
 where
     M: mfbc_algebra::monoid::Monoid<Elem = T>,
     T: Clone + Send + Sync + PartialEq + std::fmt::Debug,
@@ -140,6 +147,8 @@ where
     // Fiber broadcasts: disjoint groups, so each fiber's collective
     // lands on its own critical path.
     let ebytes = entry_bytes::<T>() as u64;
+    let overlap = machine.spec().overlap;
+    let mut handles = Vec::new();
     for i in 0..p2 {
         for j in 0..p3 {
             if p1 == 1 {
@@ -147,7 +156,11 @@ where
             }
             let bytes = x0.block(i, j).nnz() as u64 * ebytes;
             let fg = grid.fiber_group(i, j);
-            machine.charge_collective(&fg, CollectiveKind::Broadcast, bytes)?;
+            if overlap {
+                handles.push(machine.icharge_collective(&fg, CollectiveKind::Broadcast, bytes)?);
+            } else {
+                machine.charge_collective(&fg, CollectiveKind::Broadcast, bytes)?;
+            }
             for l in 1..p1 {
                 machine.charge_alloc(fg.rank_at(l), bytes)?;
             }
@@ -165,7 +178,7 @@ where
         per_layer.push(DistMat::from_blocks(ll, blocks));
     }
     let per_rank_bytes = x0.nnz() as u64 * ebytes / (p2 * p3) as u64;
-    Ok((per_layer, per_rank_bytes))
+    Ok((per_layer, per_rank_bytes, handles))
 }
 
 fn release_layers(machine: &Machine, grid: &Grid3, per_rank_bytes: u64) {
@@ -189,7 +202,10 @@ fn split_a<K: SpMulKernel>(
     cache: &mut MmCache<K::Right>,
 ) -> Result<(Vec<Piece<KernelOut<K>>>, u64), MachineError> {
     let p1 = grid.p1();
-    let (layer_as, rep_bytes) = replicate_over_layers::<_, FirstWins<K::Left>>(m, grid, a)?;
+    // A's fiber broadcasts overlap B's slice all-to-all below; the
+    // handles complete before the replicas feed the layer multiplies.
+    let (layer_as, rep_bytes, rep_handles) =
+        replicate_over_layers::<_, FirstWins<K::Left>>(m, grid, a)?;
     let windows = even_ranges(b.ncols(), p1);
     // All layers' slices of B move in one all-to-all.
     let specs: Vec<_> = (0..p1)
@@ -207,6 +223,9 @@ fn split_a<K: SpMulKernel>(
         b.content_id()
     );
     let slices = cached_rhs_slices::<K>(m, key, b, &specs, cache)?;
+    for h in rep_handles {
+        m.wait_collective(h)?;
+    }
     let mut pieces = Vec::new();
     let mut ops = 0u64;
     for (l, bl) in slices.iter().enumerate() {
@@ -246,7 +265,7 @@ fn split_b<K: SpMulKernel>(
     cache: &mut MmCache<K::Right>,
 ) -> Result<(Vec<Piece<KernelOut<K>>>, u64), MachineError> {
     let p1 = grid.p1();
-    let layer_bs = cached_rhs_layers::<K>(m, grid, b, cache)?;
+    let (layer_bs, rep_handles) = cached_rhs_layers::<K>(m, grid, b, cache)?;
     let windows = even_ranges(a.nrows(), p1);
     let specs: Vec<_> = (0..p1)
         .map(|l| {
@@ -256,6 +275,11 @@ fn split_b<K: SpMulKernel>(
         })
         .collect();
     let slices = extract_windows::<FirstWins<K::Left>, _>(m, a, &specs)?;
+    // B's fiber broadcasts (on a cache miss) overlapped A's slice
+    // all-to-all above; complete them before the multiplies.
+    for h in rep_handles {
+        m.wait_collective(h)?;
+    }
     let mut pieces = Vec::new();
     let mut ops = 0u64;
     for (l, al) in slices.into_iter().enumerate() {
@@ -344,10 +368,12 @@ fn split_c<K: SpMulKernel>(
     }
 
     // Fiber reductions: one sparse reduce per surviving block
-    // position, combining the layers' partial contributions.
+    // position, combining the layers' partial contributions. Under
+    // overlapped accounting every reduce is issued before any is
+    // waited — the fiber groups are disjoint, so the rounds pipeline.
     let mut keys: Vec<Key> = partials.keys().copied().collect();
     keys.sort_unstable();
-    let mut pieces = Vec::with_capacity(keys.len());
+    let mut reduced = Vec::with_capacity(keys.len());
     for key in keys {
         let (r0, c0, pos) = key;
         let layers = partials.remove(&key).expect("key just listed");
@@ -363,9 +389,12 @@ fn split_c<K: SpMulKernel>(
             .collect();
         let (i, j) = (pos / p3, pos % p3);
         let fg = grid.fiber_group(i, j);
-        let total = mfbc_machine::collectives::sparse_reduce(m, &fg, contribs, |x, y| {
-            combine::<K::Acc, _>(&x, &y)
-        })?;
+        let total = mm2d::reduce_chunk::<K>(m, &fg, contribs)?;
+        reduced.push((r0, c0, pos, total));
+    }
+    let mut pieces = Vec::with_capacity(reduced.len());
+    for (r0, c0, pos, pending) in reduced {
+        let total = pending.wait(m)?;
         if !total.is_empty() {
             pieces.push((r0, c0, pos, total));
         }

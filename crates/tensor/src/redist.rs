@@ -11,7 +11,7 @@
 use crate::dist::{DistMat, Layout};
 use mfbc_algebra::monoid::Monoid;
 use mfbc_machine::cost::CollectiveKind;
-use mfbc_machine::{Machine, MachineError};
+use mfbc_machine::{Machine, MachineError, RedistMode};
 use mfbc_sparse::{entry_bytes, Coo};
 
 /// Moves `src` into `dst_layout`, combining duplicate coordinates
@@ -80,11 +80,11 @@ where
         }
     }
 
-    // Charge the all-to-all by the largest per-rank send volume,
-    // over the ranks actually involved (senders and receivers): a
-    // redistribution confined to a subset of ranks — e.g. one layer
-    // of a 3D algorithm — must not synchronize the others.
-    charge_alltoall(
+    // Charge the movement over the ranks actually involved (senders
+    // and receivers): a redistribution confined to a subset of ranks
+    // — e.g. one layer of a 3D algorithm — must not synchronize the
+    // others.
+    charge_redist(
         m,
         &traffic,
         collect_owners(src.layout(), dst_layout),
@@ -128,7 +128,10 @@ where
             )
         })
         .collect();
-    let mut send = vec![0u64; p];
+    // True source→destination traffic: the hybrid redistribution
+    // modes price each sender's fan-out from its per-destination
+    // volumes (for the all-to-all charge only the row sums matter).
+    let mut traffic = vec![vec![0u64; p]; p];
     let ebytes = entry_bytes::<T>() as u64;
 
     let sl = src.layout();
@@ -151,8 +154,9 @@ where
                 let (wi, wj) = (gi - rows.start, gj - cols.start);
                 let dbi = dst_layout.find_row_block(wi);
                 let dbj = dst_layout.find_col_block(wj);
-                if dst_layout.owner(dbi, dbj) != src_rank {
-                    send[src_rank] += ebytes;
+                let dst_rank = dst_layout.owner(dbi, dbj);
+                if dst_rank != src_rank {
+                    traffic[src_rank][dst_rank] += ebytes;
                 }
                 dst_coo[dbi * dst_layout.bc() + dbj].push(
                     wi - dst_layout.row_range(dbi).start,
@@ -162,13 +166,7 @@ where
             }
         }
     }
-    let mut traffic = vec![vec![0u64; p]; p];
-    for (r, &b) in send.iter().enumerate() {
-        // Receiver split is immaterial for the max-send charge; fold
-        // the per-sender volume into one slot.
-        traffic[r][r] = b;
-    }
-    charge_alltoall(
+    charge_redist(
         m,
         &traffic,
         collect_owners(src.layout(), dst_layout),
@@ -194,32 +192,138 @@ fn collect_owners(a: &Layout, b: &Layout) -> Vec<usize> {
     ranks
 }
 
-/// Charges one personalized all-to-all over `participants` with the
-/// largest per-sender volume in `traffic`, and emits a
+/// Charges the movement described by `traffic` (true source→destination
+/// byte counts, diagonal-free) according to the machine's
+/// redistribution mode and emits one
 /// [`mfbc_trace::TraceEvent::Redist`] labeled `what` with the total
 /// bytes that changed owner.
-fn charge_alltoall(
+///
+/// * [`RedistMode::Alltoall`] — the §6.2 baseline: one personalized
+///   all-to-all over `participants`, charged with the largest
+///   per-sender volume.
+/// * [`RedistMode::P2p`] — per sender, one point-to-point message per
+///   destination (`k·α + β·b` for `k` destinations sending `b` bytes
+///   total): cheapest when block sparsity leaves each sender few
+///   destinations.
+/// * [`RedistMode::Bcast`] — per sender, one broadcast over the
+///   sender and its destinations (`2β·b + 2⌈lg(k+1)⌉·α`): fewer
+///   latency hits when a block fans out to many ranks.
+/// * [`RedistMode::Auto`] — per sender, whichever of the two hybrids
+///   is cheaper under the spec's α and β, decided from the actual
+///   per-block nnz the traffic matrix records — *unless* the traffic
+///   is dense enough that the single amortized all-to-all undercuts
+///   the whole hybrid schedule, in which case Auto falls back to it.
+///   The comparison sums the per-sender hybrid costs (senders whose
+///   groups share ranks serialize on the machine, so the sum is the
+///   conservative estimate) against the all-to-all's closed form on
+///   the largest per-sender volume.
+fn charge_redist(
     m: &Machine,
     traffic: &[Vec<u64>],
     participants: Vec<usize>,
     what: &'static str,
 ) -> Result<(), MachineError> {
+    let total: u64 = traffic.iter().map(|row| row.iter().sum::<u64>()).sum();
+    if total == 0 || participants.len() <= 1 {
+        return Ok(());
+    }
+    let nparticipants = participants.len();
+    let spec = m.spec();
     let max_send = traffic
         .iter()
         .map(|row| row.iter().sum::<u64>())
         .max()
         .unwrap_or(0);
-    if max_send > 0 && participants.len() > 1 {
-        let nparticipants = participants.len();
-        let group = mfbc_machine::Group::new(participants)
-            .expect("owner union is non-empty and deduplicated");
-        m.charge_collective(&group, CollectiveKind::AllToAll, max_send)?;
-        mfbc_trace::emit(|| mfbc_trace::TraceEvent::Redist {
-            what,
-            bytes_moved: traffic.iter().map(|row| row.iter().sum::<u64>()).sum(),
-            participants: nparticipants,
-        });
+    let mode = match spec.redist {
+        RedistMode::Auto => {
+            let alltoall_t = CollectiveKind::AllToAll.time(spec, nparticipants, max_send);
+            let hybrid_t: f64 = traffic
+                .iter()
+                .enumerate()
+                .map(|(r, row)| {
+                    let b_r: u64 = row
+                        .iter()
+                        .enumerate()
+                        .filter(|&(d, &b)| d != r && b > 0)
+                        .map(|(_, &b)| b)
+                        .sum();
+                    let k = row
+                        .iter()
+                        .enumerate()
+                        .filter(|&(d, &b)| d != r && b > 0)
+                        .count();
+                    if k == 0 {
+                        return 0.0;
+                    }
+                    let p2p_t = spec.beta * b_r as f64 + k as f64 * spec.alpha;
+                    let bcast_t = CollectiveKind::Broadcast.time(spec, k + 1, b_r);
+                    p2p_t.min(bcast_t)
+                })
+                .sum();
+            if alltoall_t <= hybrid_t {
+                RedistMode::Alltoall
+            } else {
+                RedistMode::Auto
+            }
+        }
+        other => other,
+    };
+    match mode {
+        RedistMode::Alltoall => {
+            let group = mfbc_machine::Group::new(participants)
+                .expect("owner union is non-empty and deduplicated");
+            m.charge_collective(&group, CollectiveKind::AllToAll, max_send)?;
+        }
+        mode => {
+            // Hybrid: price each sender's fan-out from its actual
+            // per-destination volumes; ranks and destinations are
+            // walked in ascending order so the schedule (and hence
+            // the modeled clocks) is deterministic.
+            for (r, row) in traffic.iter().enumerate() {
+                let dests: Vec<(usize, u64)> = row
+                    .iter()
+                    .enumerate()
+                    .filter(|&(d, &b)| d != r && b > 0)
+                    .map(|(d, &b)| (d, b))
+                    .collect();
+                if dests.is_empty() {
+                    continue;
+                }
+                let b_r: u64 = dests.iter().map(|&(_, b)| b).sum();
+                let k = dests.len();
+                let use_bcast = match mode {
+                    RedistMode::Bcast => true,
+                    RedistMode::P2p => false,
+                    RedistMode::Auto | RedistMode::Alltoall => {
+                        let p2p_t = spec.beta * b_r as f64 + k as f64 * spec.alpha;
+                        let bcast_t = CollectiveKind::Broadcast.time(spec, k + 1, b_r);
+                        bcast_t <= p2p_t
+                    }
+                };
+                if use_bcast {
+                    let mut ranks: Vec<usize> = dests.iter().map(|&(d, _)| d).collect();
+                    ranks.push(r);
+                    ranks.sort_unstable();
+                    let group = mfbc_machine::Group::new(ranks)
+                        .expect("sender plus destinations is non-empty");
+                    m.charge_collective(&group, CollectiveKind::Broadcast, b_r)?;
+                } else {
+                    for (d, b) in dests {
+                        let mut pair = vec![r, d];
+                        pair.sort_unstable();
+                        let group = mfbc_machine::Group::new(pair)
+                            .expect("sender–destination pair is non-empty");
+                        m.charge_collective(&group, CollectiveKind::PointToPoint, b)?;
+                    }
+                }
+            }
+        }
     }
+    mfbc_trace::emit(|| mfbc_trace::TraceEvent::Redist {
+        what,
+        bytes_moved: total,
+        participants: nparticipants,
+    });
     Ok(())
 }
 
@@ -292,7 +396,7 @@ where
             }
         }
     }
-    charge_alltoall(m, &traffic, participants, "windows")?;
+    charge_redist(m, &traffic, participants, "windows")?;
     Ok(outputs
         .into_iter()
         .zip(specs)

@@ -4,12 +4,18 @@
 //! The machine model is bulk-synchronous: compute segments chain
 //! within a rank, and a collective synchronizes its group (every
 //! participant's clock is raised to the group maximum before the
-//! collective's modeled time is added). The builder replays exactly
-//! that recurrence on a single causal clock per rank, so the
-//! resulting per-rank end times — and the makespan, their maximum —
-//! are *derived from the trace alone*, bit-for-bit reproducible, and
-//! decomposable into the exact chain of segments that produced them
-//! (see [`crate::critical`]).
+//! collective's modeled time is added). Under overlapped accounting
+//! (`MachineSpec::overlap`) a collective instead completes at
+//! `max(ready + α, issue + dt)`, where `issue` is the group's last
+//! synchronization point when the collective was issued — its
+//! bandwidth term hides under whatever local compute ran in between,
+//! and only the latency α stays on the critical path. The builder
+//! replays exactly the machine's recurrence on a causal clock (and a
+//! last-synchronization clock) per rank, so the resulting per-rank
+//! end times — and the makespan, their maximum — are *derived from
+//! the trace alone*, bit-for-bit reproducible, and decomposable into
+//! the exact chain of additions that produced them (see
+//! [`crate::critical`]).
 //!
 //! Alongside the causal clocks the builder maintains a replica of the
 //! machine's per-rank [`RankCost`] meters (same elementwise-max
@@ -64,11 +70,33 @@ pub struct Node {
     pub start_s: f64,
     /// Modeled duration in seconds.
     pub dt_s: f64,
-    /// `start_s + dt_s`; every participant's clock after the segment.
+    /// Every participant's clock after the segment: `start_s + dt_s`
+    /// for compute and serialized synchronizing segments,
+    /// `max(start_s + α, issue_s + dt_s)` for an overlapped
+    /// collective.
     pub end_s: f64,
     /// The lane whose pre-sync clock attained `start_s` (for compute,
-    /// the lane itself) — the chain predecessor on the critical path.
+    /// the lane itself).
     pub pred_lane: usize,
+    /// The node whose end clock this node's `end_s` chains from:
+    /// `end_s == nodes[pred].end_s + crit_dt_s` **bit-for-bit**
+    /// (`end_s == crit_dt_s` when `None` — the chain starts at 0).
+    pub pred: Option<usize>,
+    /// The single IEEE addend on the critical-path chain: the full
+    /// duration for compute/serialized segments, and for an
+    /// overlapped collective either α (latency-gated) or the full
+    /// duration (transfer-gated), whichever branch of the `max`
+    /// attained `end_s`.
+    pub crit_dt_s: f64,
+    /// Group clock at the last synchronization before the collective
+    /// was issued (the transfer window start under overlapped
+    /// accounting); equals `start_s` for compute/backoff segments.
+    pub issue_s: f64,
+    /// Stream position (node count) at which `issue_s` was captured —
+    /// `Some` for every collective (a blocking collective issues at
+    /// its own position), `None` for compute/backoff. What-if replays
+    /// recompute issue clocks at this anchor under edited durations.
+    pub issue_at: Option<usize>,
     /// Index into [`Timeline::supersteps`] this segment belongs to,
     /// `None` for work before the first superstep marker (setup).
     pub superstep: Option<usize>,
@@ -259,13 +287,39 @@ impl Timeline {
     }
 }
 
+/// A nonblocking collective between its issue and wait events.
+#[derive(Debug)]
+struct PendingColl {
+    kind: String,
+    alpha_s: f64,
+    beta_s: f64,
+    bytes: u64,
+    msgs: u64,
+    bytes_charged: u64,
+    modeled_s: f64,
+    seq: u64,
+    lanes: Vec<usize>,
+    issue_s: f64,
+    issue_pred: Option<usize>,
+    issue_at: usize,
+}
+
 /// Mutable replay state behind the recorder's lock.
 #[derive(Debug)]
 struct BuildState {
+    /// Replica of `MachineSpec::overlap` (which clock recurrence the
+    /// machine ran).
+    overlap: bool,
     nodes: Vec<Node>,
     lanes: Vec<Lane>,
     /// Current machine numbering → lane slot.
     slots: Vec<usize>,
+    /// Per-lane clock at the lane's last synchronization (the issue
+    /// clock of the next collective), and the node that set it.
+    synced: Vec<f64>,
+    synced_node: Vec<Option<usize>>,
+    /// In-flight nonblocking collectives keyed by machine handle.
+    pending: std::collections::BTreeMap<u64, PendingColl>,
     supersteps: Vec<StepInfo>,
     markers: Vec<Marker>,
     current_step: Option<usize>,
@@ -274,8 +328,9 @@ struct BuildState {
 }
 
 impl BuildState {
-    fn new(p: usize) -> BuildState {
+    fn new(p: usize, overlap: bool) -> BuildState {
         BuildState {
+            overlap,
             nodes: Vec::new(),
             lanes: vec![
                 Lane {
@@ -287,12 +342,30 @@ impl BuildState {
                 p
             ],
             slots: (0..p).collect(),
+            synced: vec![0.0; p],
+            synced_node: vec![None; p],
+            pending: std::collections::BTreeMap::new(),
             supersteps: Vec::new(),
             markers: Vec::new(),
             current_step: None,
             dropped: 0,
             total_ops: 0,
         }
+    }
+
+    /// The group's issue clock (max last-synchronization clock over
+    /// `lanes`) and the node that attained it.
+    fn issue_point(&self, lanes: &[usize]) -> (f64, Option<usize>) {
+        let mut issue = 0.0f64;
+        for &l in lanes {
+            issue = issue.max(self.synced[l]);
+        }
+        let pred = lanes
+            .iter()
+            .copied()
+            .find(|&l| self.synced[l].to_bits() == issue.to_bits())
+            .and_then(|l| self.synced_node[l]);
+        (issue, pred)
     }
 
     /// Maps current machine ranks to lane slots; `None` (and a
@@ -311,50 +384,91 @@ impl BuildState {
         Some(lanes)
     }
 
-    /// Appends a synchronizing segment (collective or backoff) over
-    /// `lanes`: replica meters are raised to the group max then
-    /// charged, and the causal clocks are chained exactly like the
-    /// machine's critical-path recurrence.
-    fn sync_segment(&mut self, kind: SegmentKind, lanes: Vec<usize>, dt_s: f64, dm: u64, db: u64) {
-        if lanes.is_empty() {
-            self.dropped += 1;
-            return;
-        }
-        // Replica accounting: elementwise max, then add.
+    /// Charges the replica meters for a synchronizing segment:
+    /// elementwise max over the group, then add. Identical in both
+    /// accounting modes (the meters measure work, not clocks).
+    fn charge_meters(&mut self, lanes: &[usize], dt_s: f64, dm: u64, db: u64) {
         let mut mx_cost = RankCost::default();
-        for &l in &lanes {
+        for &l in lanes {
             mx_cost = mx_cost.max(self.lanes[l].cost);
         }
-        for &l in &lanes {
+        for &l in lanes {
             let c = &mut self.lanes[l].cost;
             *c = mx_cost;
             c.comm_time += dt_s;
             c.msgs += dm;
             c.bytes += db;
         }
-        // Causal clock: group max, then add.
-        let mut start_s = 0.0f64;
+    }
+
+    /// Appends a synchronizing segment over `lanes`, replaying the
+    /// machine's clock recurrence. `coll` carries the α term and
+    /// captured issue point for collectives; backoffs pass `None` and
+    /// are serialized in both modes (matching `Machine::backoff`).
+    #[allow(clippy::too_many_arguments)]
+    fn sync_segment(
+        &mut self,
+        kind: SegmentKind,
+        lanes: Vec<usize>,
+        dt_s: f64,
+        dm: u64,
+        db: u64,
+        coll: Option<(f64, f64, Option<usize>, usize)>,
+    ) {
+        if lanes.is_empty() {
+            self.dropped += 1;
+            return;
+        }
+        self.charge_meters(&lanes, dt_s, dm, db);
+        // Causal clock: group max ("ready"), then the mode recurrence.
+        let mut ready = 0.0f64;
         for &l in &lanes {
-            start_s = start_s.max(self.lanes[l].clock_s);
+            ready = ready.max(self.lanes[l].clock_s);
         }
         let pred_lane = lanes
             .iter()
             .copied()
-            .find(|&l| self.lanes[l].clock_s.to_bits() == start_s.to_bits())
+            .find(|&l| self.lanes[l].clock_s.to_bits() == ready.to_bits())
             .unwrap_or(lanes[0]);
-        let end_s = start_s + dt_s;
+        let ready_pred = self.lanes[pred_lane].node_ids.last().copied();
+        let (issue_s, issue_at, end_s, pred, crit_dt_s) = match coll {
+            Some((alpha_s, issue_s, issue_pred, issue_at)) if self.overlap => {
+                // Overlapped completion: max(ready + α, issue + dt),
+                // each branch one IEEE addition on a predecessor end.
+                let a = ready + alpha_s;
+                let b = issue_s + dt_s;
+                let post = a.max(b);
+                if post.to_bits() == a.to_bits() {
+                    (issue_s, Some(issue_at), post, ready_pred, alpha_s)
+                } else {
+                    (issue_s, Some(issue_at), post, issue_pred, dt_s)
+                }
+            }
+            Some((_, issue_s, _, issue_at)) => {
+                // Serialized mode still records the issue anchor so a
+                // what-if `overlap` edit can replay it faithfully.
+                (issue_s, Some(issue_at), ready + dt_s, ready_pred, dt_s)
+            }
+            None => (ready, None, ready + dt_s, ready_pred, dt_s),
+        };
         let id = self.nodes.len();
         for &l in &lanes {
             self.lanes[l].clock_s = end_s;
+            self.synced[l] = end_s;
+            self.synced_node[l] = Some(id);
             self.lanes[l].node_ids.push(id);
         }
         self.nodes.push(Node {
             kind,
             lanes,
-            start_s,
+            start_s: ready,
             dt_s,
             end_s,
             pred_lane,
+            pred,
+            crit_dt_s,
+            issue_s,
+            issue_at,
             superstep: self.current_step,
         });
     }
@@ -388,24 +502,13 @@ impl BuildState {
                 let Some(lanes) = self.map_ranks(&ranks) else {
                     return;
                 };
-                // Recover the exact α/β split; `time()` is defined as
-                // `time_beta + time_alpha`, so the parts re-add to
-                // `modeled_s` bit-for-bit. If the split cannot be
-                // reproduced (foreign spec, unknown kind), fold
-                // everything into the β term so the identity
-                // `alpha_s + beta_s == modeled_s` still holds.
-                let (alpha_s, beta_s) = match CollectiveKind::from_name(kind) {
-                    Some(ck) => {
-                        let a = ck.time_alpha(spec, group);
-                        let b = ck.time_beta(spec, bytes);
-                        if (b + a).to_bits() == modeled_s.to_bits() {
-                            (a, b)
-                        } else {
-                            (0.0, modeled_s)
-                        }
-                    }
-                    None => (0.0, modeled_s),
-                };
+                let (alpha_s, beta_s) = cost_split(spec, kind, group, bytes, modeled_s);
+                // A blocking collective issues at its own stream
+                // position: its transfer window cannot start earlier
+                // than the call, so nothing hides under prior compute
+                // unless the group had already synchronized.
+                let (issue_s, issue_pred) = self.issue_point(&lanes);
+                let issue_at = self.nodes.len();
                 self.sync_segment(
                     SegmentKind::Collective {
                         kind: kind.to_string(),
@@ -419,6 +522,63 @@ impl BuildState {
                     modeled_s,
                     msgs,
                     bytes_charged,
+                    Some((alpha_s, issue_s, issue_pred, issue_at)),
+                );
+            }
+            TraceEvent::CollectiveIssue {
+                kind,
+                group,
+                ranks,
+                seq,
+                bytes,
+                msgs,
+                bytes_charged,
+                modeled_s,
+                handle,
+            } => {
+                let Some(lanes) = self.map_ranks(&ranks) else {
+                    return;
+                };
+                let (alpha_s, beta_s) = cost_split(spec, kind, group, bytes, modeled_s);
+                let (issue_s, issue_pred) = self.issue_point(&lanes);
+                self.pending.insert(
+                    handle,
+                    PendingColl {
+                        kind: kind.to_string(),
+                        alpha_s,
+                        beta_s,
+                        bytes,
+                        msgs,
+                        bytes_charged,
+                        modeled_s,
+                        seq,
+                        lanes,
+                        issue_s,
+                        issue_pred,
+                        issue_at: self.nodes.len(),
+                    },
+                );
+            }
+            TraceEvent::CollectiveWait { handle } => {
+                let Some(pc) = self.pending.remove(&handle) else {
+                    // A wait with no matching issue: malformed trace.
+                    self.dropped += 1;
+                    return;
+                };
+                self.sync_segment(
+                    SegmentKind::Collective {
+                        kind: pc.kind,
+                        alpha_s: pc.alpha_s,
+                        beta_s: pc.beta_s,
+                        bytes: pc.bytes,
+                        msgs: pc.msgs,
+                        seq: pc.seq,
+                    },
+                    pc.lanes,
+                    pc.modeled_s,
+                    pc.msgs,
+                    pc.bytes_charged,
+                    Some((pc.alpha_s, pc.issue_s, pc.issue_pred, pc.issue_at)),
                 );
             }
             TraceEvent::Compute {
@@ -435,6 +595,7 @@ impl BuildState {
                 let start_s = self.lanes[l].clock_s;
                 let end_s = start_s + modeled_s;
                 let id = self.nodes.len();
+                let pred = self.lanes[l].node_ids.last().copied();
                 self.lanes[l].clock_s = end_s;
                 self.lanes[l].node_ids.push(id);
                 self.nodes.push(Node {
@@ -444,6 +605,10 @@ impl BuildState {
                     dt_s: modeled_s,
                     end_s,
                     pred_lane: l,
+                    pred,
+                    crit_dt_s: modeled_s,
+                    issue_s: start_s,
+                    issue_at: None,
                     superstep: self.current_step,
                 });
             }
@@ -451,7 +616,7 @@ impl BuildState {
                 let Some(lanes) = self.map_ranks(&ranks) else {
                     return;
                 };
-                self.sync_segment(SegmentKind::Backoff, lanes, seconds, 0, 0);
+                self.sync_segment(SegmentKind::Backoff, lanes, seconds, 0, 0, None);
             }
             TraceEvent::Shrink { failed, p_before } => {
                 if self.slots.len() != p_before || failed >= self.slots.len() {
@@ -521,6 +686,33 @@ impl BuildState {
     }
 }
 
+/// Recovers the exact α/β split of a collective's modeled time;
+/// `time()` is defined as `time_beta + time_alpha`, so the parts
+/// re-add to `modeled_s` bit-for-bit. If the split cannot be
+/// reproduced (foreign spec, unknown kind), fold everything into the
+/// β term so the identity `alpha_s + beta_s == modeled_s` still
+/// holds (overlapped replays then degrade to a zero latency term).
+fn cost_split(
+    spec: &MachineSpec,
+    kind: &str,
+    group: usize,
+    bytes: u64,
+    modeled_s: f64,
+) -> (f64, f64) {
+    match CollectiveKind::from_name(kind) {
+        Some(ck) => {
+            let a = ck.time_alpha(spec, group);
+            let b = ck.time_beta(spec, bytes);
+            if (b + a).to_bits() == modeled_s.to_bits() {
+                (a, b)
+            } else {
+                (0.0, modeled_s)
+            }
+        }
+        None => (0.0, modeled_s),
+    }
+}
+
 /// A streaming [`Recorder`] that replays the event stream into a
 /// [`Timeline`]. Install it (scoped or tee'd next to a profiler),
 /// run, then call [`TimelineBuilder::finish`].
@@ -535,9 +727,10 @@ impl TimelineBuilder {
     /// values are used to recover each collective's exact cost split).
     pub fn new(spec: MachineSpec) -> TimelineBuilder {
         let p = spec.p;
+        let overlap = spec.overlap;
         TimelineBuilder {
             spec,
-            state: Mutex::new(BuildState::new(p)),
+            state: Mutex::new(BuildState::new(p, overlap)),
         }
     }
 

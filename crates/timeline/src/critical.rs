@@ -2,12 +2,17 @@
 //!
 //! Dependencies: segments chain within a lane, and a synchronizing
 //! segment (collective, backoff) depends on *every* participant's
-//! previous segment — its start clock is the group maximum. Because
-//! `f64::max` returns one of its operands bit-for-bit and every clock
-//! is a left-to-right chain of `+=` additions, walking backwards from
-//! the lane that attains the makespan — at each synchronization
-//! jumping to the participant whose pre-sync clock attained the
-//! group maximum — yields a chain of segments whose durations, folded
+//! previous segment — its start clock is the group maximum; under
+//! overlapped accounting an in-flight collective additionally chains
+//! from the synchronization point it was issued at. Because
+//! `f64::max` returns one of its operands bit-for-bit and every
+//! completion clock is one IEEE addition on a predecessor's end
+//! clock, the builder records for each node the predecessor whose end
+//! attained it and the single addend (`Node::pred`,
+//! `Node::crit_dt_s`: the full duration for serialized segments; α or
+//! the full duration for an overlapped collective, depending on which
+//! branch of its `max` won). Walking that chain backwards from the
+//! lane attaining the makespan yields segments whose addends, folded
 //! left-to-right from zero, reproduce the makespan **bit-exactly**.
 
 use crate::builder::Timeline;
@@ -23,7 +28,11 @@ pub struct PathSegment {
     pub label: String,
     /// Causal start clock in seconds.
     pub start_s: f64,
-    /// Modeled duration in seconds.
+    /// Gating seconds: the segment's addend on the critical-path
+    /// chain. Equals the modeled duration for compute and serialized
+    /// segments; for an overlapped collective it is α when the
+    /// group's readiness gated completion (the transfer hid under
+    /// compute) or the full duration when the transfer itself gated.
     pub dt_s: f64,
     /// Whether the segment is communication.
     pub comm: bool,
@@ -75,28 +84,19 @@ pub fn critical_path(tl: &Timeline) -> CriticalPath {
     let makespan_s = tl.makespan_s();
     let end_lane = tl.end_lane();
     let mut segments = Vec::new();
-    let mut lane = end_lane;
-    let mut before = usize::MAX;
-    loop {
-        // Last node on `lane` strictly before node index `before`.
-        let ids = &tl.lanes[lane].node_ids;
-        let pos = ids.partition_point(|&id| id < before);
-        if pos == 0 {
-            break; // chain start: the lane's clock was 0 here
-        }
-        let id = ids[pos - 1];
+    let mut cur = tl.lanes[end_lane].node_ids.last().copied();
+    while let Some(id) = cur {
         let node = &tl.nodes[id];
         segments.push(PathSegment {
             node: id,
-            lane,
+            lane: node.pred_lane,
             label: node.label().to_string(),
             start_s: node.start_s,
-            dt_s: node.dt_s,
+            dt_s: node.crit_dt_s,
             comm: node.is_comm(),
             superstep: node.superstep,
         });
-        lane = node.pred_lane;
-        before = id;
+        cur = node.pred;
     }
     segments.reverse();
     CriticalPath {

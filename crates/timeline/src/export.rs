@@ -14,8 +14,11 @@ use mfbc_profile::jsonio::{esc, num, parse, Json};
 use mfbc_profile::{MetricKind, MetricsRegistry};
 use std::fmt::Write as _;
 
-/// Format version of the `timeline.json` document.
-pub const TIMELINE_JSON_VERSION: u64 = 1;
+/// Format version of the `timeline.json` document. Version 2 added
+/// the top-level `overlap` flag (which clock recurrence the run was
+/// modeled under) and issue-anchored collective spans in the Gantt
+/// view.
+pub const TIMELINE_JSON_VERSION: u64 = 2;
 
 /// One rank's row in the document.
 #[derive(Clone, Debug, PartialEq)]
@@ -107,6 +110,9 @@ pub struct TimelineDoc {
     pub version: u64,
     /// Surviving rank count.
     pub p: u64,
+    /// Whether the run was modeled under overlapped accounting
+    /// (in-flight collectives hide their bandwidth under compute).
+    pub overlap: bool,
     /// Modeled makespan in seconds.
     pub makespan_s: f64,
     /// Fraction of the makespan gated by communication.
@@ -133,6 +139,7 @@ pub fn doc(tl: &Timeline, an: &Analysis, what_ifs: &[WhatIfReport]) -> TimelineD
     TimelineDoc {
         version: TIMELINE_JSON_VERSION,
         p: tl.p_alive() as u64,
+        overlap: tl.spec.overlap,
         makespan_s: tl.makespan_s(),
         comm_share: an.comm_share(),
         events: tl.nodes.len() as u64,
@@ -225,6 +232,7 @@ pub fn to_json(d: &TimelineDoc) -> String {
     let _ = writeln!(out, "{{");
     let _ = writeln!(out, "  \"version\": {},", d.version);
     let _ = writeln!(out, "  \"p\": {},", d.p);
+    let _ = writeln!(out, "  \"overlap\": {},", d.overlap);
     let _ = writeln!(out, "  \"makespan_s\": {},", num(d.makespan_s));
     let _ = writeln!(out, "  \"comm_share\": {},", num(d.comm_share));
     let _ = writeln!(out, "  \"events\": {},", d.events);
@@ -420,6 +428,7 @@ pub fn parse_timeline(text: &str) -> Result<TimelineDoc, String> {
     Ok(TimelineDoc {
         version,
         p: want_u64(&root, "p")?,
+        overlap: matches!(want(&root, "overlap")?, Json::Bool(true)),
         makespan_s: want_f64(&root, "makespan_s")?,
         comm_share: want_f64(&root, "comm_share")?,
         events: want_u64(&root, "events")?,
@@ -625,11 +634,18 @@ pub fn to_html(tl: &Timeline, an: &Analysis) -> String {
     let _ = writeln!(out, "<h1>MFBC causal timeline</h1>");
     let _ = writeln!(
         out,
-        "<p class=\"kv\" data-makespan=\"{}\" data-comm-share=\"{}\">ranks={} &middot; makespan {} s \
+        "<p class=\"kv\" data-makespan=\"{}\" data-comm-share=\"{}\" data-overlap=\"{}\">ranks={} &middot; \
+         {} accounting &middot; makespan {} s \
          &middot; critical comm share {:.1}% &middot; {} segments ({} on the critical path)</p>",
         num(makespan),
         num(an.comm_share()),
+        tl.spec.overlap,
         tl.p_alive(),
+        if tl.spec.overlap {
+            "overlapped"
+        } else {
+            "serialized"
+        },
         num(makespan),
         an.comm_share() * 100.0,
         tl.nodes.len(),
@@ -652,8 +668,41 @@ pub fn to_html(tl: &Timeline, an: &Analysis) -> String {
             if makespan <= 0.0 {
                 break;
             }
-            let left = node.start_s / makespan * 100.0;
-            let width = (node.dt_s / makespan * 100.0).max(0.05);
+            // Under overlapped accounting a collective's transfer is
+            // in flight from its issue anchor to its completion, so
+            // the Gantt span covers that whole window (the part before
+            // `start_s` hid under local compute); serialized segments
+            // render their ready-clock window unchanged.
+            let overlapped_coll = tl.spec.overlap
+                && node.issue_at.is_some()
+                && matches!(node.kind, SegmentKind::Collective { .. });
+            let (span_start, span_dt, title) = if overlapped_coll {
+                (
+                    node.issue_s,
+                    node.end_s - node.issue_s,
+                    format!(
+                        "{} {} s in flight {} – {} s (issued @ {} s)",
+                        esc_html(node.label()),
+                        num(node.dt_s),
+                        num(node.issue_s),
+                        num(node.end_s),
+                        num(node.issue_s)
+                    ),
+                )
+            } else {
+                (
+                    node.start_s,
+                    node.dt_s,
+                    format!(
+                        "{} {} s @ {} s",
+                        esc_html(node.label()),
+                        num(node.dt_s),
+                        num(node.start_s)
+                    ),
+                )
+            };
+            let left = span_start / makespan * 100.0;
+            let width = (span_dt / makespan * 100.0).max(0.05);
             let class = match &node.kind {
                 SegmentKind::Collective { kind, .. } => collective_class(kind),
                 SegmentKind::Compute { .. } => "seg-compute".to_string(),
@@ -663,10 +712,7 @@ pub fn to_html(tl: &Timeline, an: &Analysis) -> String {
             let _ = write!(
                 out,
                 "<span class=\"{class}{crit}\" style=\"left:{left:.4}%;width:{width:.4}%\" \
-                 title=\"{} {} s @ {} s\"></span>",
-                esc_html(node.label()),
-                num(node.dt_s),
-                num(node.start_s)
+                 title=\"{title}\"></span>"
             );
         }
         if !lane.alive {

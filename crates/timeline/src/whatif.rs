@@ -10,17 +10,33 @@
 //!   bandwidth term (the α/β split is exact, so scale 1 is the
 //!   identity bit-for-bit);
 //! * `gamma:<s>` — scale local compute;
-//! * `overlap` — perfect communication/computation overlap: a
-//!   collective is issued at its group's last synchronization point
-//!   and runs concurrently with the local compute that follows, so
-//!   the group resumes at `max(ready, issue + dt)` instead of
-//!   `ready + dt`.
+//! * `overlap` — overlapped communication/computation: a collective
+//!   is issued at its recorded issue anchor (its group's last
+//!   synchronization point) and runs concurrently with the local
+//!   compute that follows, so the group resumes at
+//!   `max(ready + α, issue + dt)` instead of `ready + dt` — the
+//!   machine's own overlapped recurrence. On a run that was already
+//!   recorded under overlapped accounting this edit is the identity,
+//!   bit-for-bit.
+//! * `serialize` — the inverse: replay every collective blocking
+//!   (`ready + dt`) even if the run was recorded overlapped. This is
+//!   the one *growing* edit — it prices what overlap is buying — so
+//!   it is excluded from the monotonicity guarantee below. On a run
+//!   recorded serialized it is the identity, bit-for-bit.
+//!
+//! The base replay is mode-aware: a timeline recorded with
+//! `MachineSpec::overlap` set replays the overlapped recurrence
+//! (recomputing issue clocks at each collective's recorded anchor
+//! position, since edited durations move them), so the identity edit
+//! reproduces the recorded makespan bit-for-bit in both modes.
 //!
 //! Every knob is monotone: with scales in `[0, 1]`, and for `zero`
 //! and `overlap` always, the edited makespan never exceeds the
 //! original (IEEE addition, multiplication by a factor in `[0, 1]`,
-//! and `max` are all monotone, and the replay applies them in the
-//! same order as the builder).
+//! and `max` are all monotone; `issue ≤ ready` because a lane's
+//! last-synchronization clock never exceeds its clock, and the
+//! overlapped branch `ready + α` never exceeds `ready + dt` because
+//! the bandwidth term is nonnegative).
 
 use crate::builder::{SegmentKind, Timeline};
 
@@ -35,8 +51,13 @@ pub struct WhatIf {
     pub beta_scale: f64,
     /// Scale on local compute (γ) time.
     pub gamma_scale: f64,
-    /// Perfectly overlap communication with local compute.
+    /// Replay under the machine's overlapped recurrence even if the
+    /// run was recorded serialized (a no-op on overlapped runs).
     pub overlap: bool,
+    /// Replay every collective blocking even if the run was recorded
+    /// overlapped (a no-op on serialized runs). Wins over `overlap`.
+    /// The only growing edit: the result may exceed the baseline.
+    pub serialize: bool,
 }
 
 impl Default for WhatIf {
@@ -47,6 +68,7 @@ impl Default for WhatIf {
             beta_scale: 1.0,
             gamma_scale: 1.0,
             overlap: false,
+            serialize: false,
         }
     }
 }
@@ -65,11 +87,12 @@ impl WhatIf {
             && self.beta_scale == 1.0
             && self.gamma_scale == 1.0
             && !self.overlap
+            && !self.serialize
     }
 
-    /// Parses a comma-separated edit spec: `overlap`, `zero:<kind>`,
-    /// `alpha:<scale>`, `beta:<scale>`, `gamma:<scale>`, e.g.
-    /// `overlap,beta:0.5`.
+    /// Parses a comma-separated edit spec: `overlap`, `serialize`,
+    /// `zero:<kind>`, `alpha:<scale>`, `beta:<scale>`,
+    /// `gamma:<scale>`, e.g. `overlap,beta:0.5`.
     pub fn parse(spec: &str) -> Result<WhatIf, String> {
         let mut w = WhatIf::default();
         for part in spec.split(',').map(str::trim).filter(|p| !p.is_empty()) {
@@ -77,9 +100,13 @@ impl WhatIf {
                 w.overlap = true;
                 continue;
             }
+            if part == "serialize" {
+                w.serialize = true;
+                continue;
+            }
             let Some((key, value)) = part.split_once(':') else {
                 return Err(format!(
-                    "what-if clause `{part}`: expected `overlap`, `zero:<kind>`, or `<alpha|beta|gamma>:<scale>`"
+                    "what-if clause `{part}`: expected `overlap`, `serialize`, `zero:<kind>`, or `<alpha|beta|gamma>:<scale>`"
                 ));
             };
             match key.trim() {
@@ -127,6 +154,9 @@ impl WhatIf {
         if self.overlap {
             parts.push("overlap".to_string());
         }
+        if self.serialize {
+            parts.push("serialize".to_string());
+        }
         parts.join(",")
     }
 }
@@ -138,13 +168,38 @@ impl WhatIf {
 /// identity edit returns [`Timeline::makespan_s`] bit-for-bit.
 pub fn evaluate(tl: &Timeline, edit: &WhatIf) -> f64 {
     let n = tl.lanes.len();
+    let overlapped = (tl.spec.overlap || edit.overlap) && !edit.serialize;
     // `clock[l]`: the lane's causal clock (after its last segment).
-    // `synced[l]`: the clock at the lane's last synchronization, the
-    // issue time of the next collective under perfect overlap.
+    // `synced[l]`: the clock at the lane's last synchronization — the
+    // issue clock of a collective anchored there.
     let mut clock = vec![0.0f64; n];
     let mut synced = vec![0.0f64; n];
-    for node in &tl.nodes {
-        let dt = edited_dt(node_kind(node), node.dt_s, edit);
+    // Issue clocks must be re-captured at each collective's anchor
+    // position, because edited durations move every clock: group the
+    // anchored nodes by capture position up front.
+    let mut capture: Vec<Vec<usize>> = Vec::new();
+    let mut issue_val = Vec::new();
+    if overlapped {
+        capture = vec![Vec::new(); tl.nodes.len() + 1];
+        issue_val = vec![0.0f64; tl.nodes.len()];
+        for (j, node) in tl.nodes.iter().enumerate() {
+            if let Some(a) = node.issue_at {
+                capture[a].push(j);
+            }
+        }
+    }
+    for (i, node) in tl.nodes.iter().enumerate() {
+        if overlapped {
+            for &j in &capture[i] {
+                let mut iss = 0.0f64;
+                for &l in &tl.nodes[j].lanes {
+                    iss = iss.max(synced[l]);
+                }
+                issue_val[j] = iss;
+            }
+        }
+        let class = node_kind(node);
+        let dt = edited_dt(&class, node.dt_s, edit);
         match &node.kind {
             SegmentKind::Compute { .. } => {
                 clock[node.lanes[0]] += dt;
@@ -154,12 +209,12 @@ pub fn evaluate(tl: &Timeline, edit: &WhatIf) -> f64 {
                 for &l in &node.lanes {
                     ready = ready.max(clock[l]);
                 }
-                let post = if edit.overlap {
-                    let mut issue = 0.0f64;
-                    for &l in &node.lanes {
-                        issue = issue.max(synced[l]);
-                    }
-                    ready.max(issue + dt)
+                // Backoffs are serialized in both modes (matching the
+                // machine); a collective overlaps when the replay mode
+                // says so and it carries an issue anchor.
+                let post = if overlapped && node.issue_at.is_some() {
+                    let alpha = edited_alpha(&class, edit);
+                    (ready + alpha).max(issue_val[i] + dt)
                 } else {
                     ready + dt
                 };
@@ -241,8 +296,8 @@ fn node_kind(node: &crate::builder::Node) -> EditClass<'_> {
 
 /// The edited duration of one segment. Scale 1 multiplications are
 /// IEEE identities, so the identity edit reproduces `dt_s` exactly.
-fn edited_dt(class: EditClass<'_>, dt_s: f64, edit: &WhatIf) -> f64 {
-    match class {
+fn edited_dt(class: &EditClass<'_>, dt_s: f64, edit: &WhatIf) -> f64 {
+    match *class {
         EditClass::Collective {
             kind,
             alpha_s,
@@ -274,5 +329,25 @@ fn edited_dt(class: EditClass<'_>, dt_s: f64, edit: &WhatIf) -> f64 {
                 dt_s
             }
         }
+    }
+}
+
+/// The edited latency (α) term of a collective — the part that stays
+/// on the critical path under overlapped accounting. Zeroed kinds
+/// lose their latency too; scale 1 is the bit-exact identity. Always
+/// at most [`edited_dt`] for the same node, because the edited
+/// bandwidth term is nonnegative.
+fn edited_alpha(class: &EditClass<'_>, edit: &WhatIf) -> f64 {
+    match *class {
+        EditClass::Collective { kind, alpha_s, .. } => {
+            if edit.zero_kind.as_deref() == Some(kind) {
+                0.0
+            } else if edit.alpha_scale == 1.0 {
+                alpha_s
+            } else {
+                alpha_s * edit.alpha_scale
+            }
+        }
+        EditClass::Compute | EditClass::Backoff => 0.0,
     }
 }

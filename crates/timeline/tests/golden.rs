@@ -109,15 +109,74 @@ fn golden_identity_what_if_is_bit_exact() {
 #[test]
 fn golden_overlap_bound_is_hand_computable() {
     let (tl, _machine) = golden_run();
-    // Perfect overlap: broadcast issues at t=0 (last sync point) and
-    // runs under rank 0's compute, finishing at max(3, 0+22) = 22;
-    // rank 1 then computes to 27; the allgather issues at 22 and the
-    // group resumes at max(27, 22+5) = 27.
+    // Overlapped accounting: the broadcast issues at t=0 (last sync
+    // point) and its transfer runs under rank 0's compute, but its
+    // latency (2·lg 2·α = 2) stays on the path: completion at
+    // max(3+2, 0+22) = 22; rank 1 then computes to 27; the allgather
+    // issues at 22, latency 1, so the group resumes at
+    // max(27+1, 22+5) = 28.
     let overlap = WhatIf {
         overlap: true,
         ..WhatIf::identity()
     };
-    assert_eq!(evaluate(&tl, &overlap), 27.0);
+    assert_eq!(evaluate(&tl, &overlap), 28.0);
+}
+
+/// Runs the same golden schedule under overlapped accounting
+/// (`with_overlap(true)`): the live machine clocks, the timeline
+/// replay, the critical-path fold, and the `overlap` what-if (now the
+/// identity) must all agree bit-for-bit at the hand-computed 28.
+#[test]
+fn golden_overlapped_run_matches_whatif_and_folds_bit_exactly() {
+    let spec = MachineSpec::test(2).with_overlap(true);
+    let builder = Arc::new(TimelineBuilder::new(spec.clone()));
+    let machine = Machine::new(spec);
+    scoped(builder.clone(), || {
+        machine.charge_compute(0, 3);
+        machine
+            .charge_collective(&machine.world(), CollectiveKind::Broadcast, 10)
+            .unwrap();
+        machine.charge_compute(1, 5);
+        machine
+            .charge_collective(&machine.world(), CollectiveKind::Allgather, 4)
+            .unwrap();
+    });
+    let tl = builder.finish();
+    assert_eq!(tl.makespan_s(), 28.0);
+    assert_eq!(machine.makespan_s().to_bits(), tl.makespan_s().to_bits());
+    // Meters are mode-independent: the replica still validates.
+    assert_eq!(tl.validate_against(&machine), Vec::<String>::new());
+
+    // The broadcast gates on its transfer branch (22 ≥ 3+2) while the
+    // allgather gates on its latency branch (27+1 ≥ 22+5), so the
+    // chain is broadcast (addend 22, chained from t=0 where it was
+    // issued) → compute (5) → allgather (α = 1), folding to 28.
+    let path = critical_path(&tl);
+    assert_eq!(path.sum_s().to_bits(), tl.makespan_s().to_bits());
+    let got: Vec<(&str, f64)> = path
+        .segments
+        .iter()
+        .map(|s| (s.label.as_str(), s.dt_s))
+        .collect();
+    assert_eq!(
+        got,
+        vec![("broadcast", 22.0), ("compute", 5.0), ("allgather", 1.0)]
+    );
+    // Gating comm seconds drop from 27 (serialized) to 23: the
+    // allgather's bandwidth term hid under rank 1's compute.
+    assert_eq!(path.comm_s(), 23.0);
+
+    // The identity edit and the `overlap` edit are both bit-exact on
+    // an already-overlapped run.
+    assert_eq!(
+        evaluate(&tl, &WhatIf::identity()).to_bits(),
+        tl.makespan_s().to_bits()
+    );
+    let overlap = WhatIf {
+        overlap: true,
+        ..WhatIf::identity()
+    };
+    assert_eq!(evaluate(&tl, &overlap).to_bits(), tl.makespan_s().to_bits());
 }
 
 #[test]

@@ -49,16 +49,12 @@ const KINDS: [CollectiveKind; 9] = [
     CollectiveKind::PointToPoint,
 ];
 
-/// Drives a random schedule and returns the sealed timeline plus the
-/// machine it mirrors.
-fn random_run(seed: u64) -> (Timeline, Machine) {
+/// Drives the seed-determined random schedule on `machine` under a
+/// scoped timeline builder (the schedule depends only on `seed` and
+/// `p`, so two machines driven with the same seed see the identical
+/// event stream).
+fn drive(seed: u64, p: usize, spec: MachineSpec) -> (Timeline, Machine) {
     let mut rng = Rng(seed);
-    let p = 2 + rng.below(5) as usize; // 2..=6 ranks
-    let spec = match rng.below(3) {
-        0 => MachineSpec::test(p),
-        1 => MachineSpec::gemini(p),
-        _ => MachineSpec::aries(p),
-    };
     let builder = Arc::new(TimelineBuilder::new(spec.clone()));
     let machine = Machine::new(spec);
     scoped(builder.clone(), || {
@@ -89,6 +85,26 @@ fn random_run(seed: u64) -> (Timeline, Machine) {
         }
     });
     (builder.finish(), machine)
+}
+
+/// Seed-determined spec (mixed overlap modes: `test` is serialized,
+/// `gemini`/`aries` are overlapped by default).
+fn random_spec(seed: u64) -> (usize, MachineSpec) {
+    let mut rng = Rng(seed ^ 0x5eed_5eed);
+    let p = 2 + rng.below(5) as usize; // 2..=6 ranks
+    let spec = match rng.below(3) {
+        0 => MachineSpec::test(p),
+        1 => MachineSpec::gemini(p),
+        _ => MachineSpec::aries(p),
+    };
+    (p, spec)
+}
+
+/// Drives a random schedule and returns the sealed timeline plus the
+/// machine it mirrors.
+fn random_run(seed: u64) -> (Timeline, Machine) {
+    let (p, spec) = random_spec(seed);
+    drive(seed, p, spec)
 }
 
 #[test]
@@ -159,6 +175,9 @@ fn every_shrinking_edit_is_monotone_non_increasing() {
                 gamma_scale: rng.below(101) as f64 / 100.0,
                 overlap: rng.below(2) == 1,
                 zero_kind: None,
+                // `serialize` is the one growing edit — never sampled
+                // here; it has its own bitwise identity test below.
+                serialize: false,
             });
         }
         for edit in edits {
@@ -169,6 +188,92 @@ fn every_shrinking_edit_is_monotone_non_increasing() {
                 edit.label()
             );
         }
+    }
+}
+
+/// The same schedule run twice — once serialized, once overlapped —
+/// must satisfy: overlapped makespan ≤ serialized makespan; the
+/// `overlap` what-if evaluated on the *serialized* run predicts the
+/// real overlapped run **bit-for-bit** (same recurrence, same event
+/// stream, same anchors); and both runs validate against their
+/// machines with identical meters.
+#[test]
+fn overlapped_run_never_slower_and_matches_serialized_what_if_bitwise() {
+    for seed in 0..40 {
+        let (p, spec) = random_spec(seed);
+        let (ser_tl, ser_m) = drive(seed, p, spec.clone().with_overlap(false));
+        let (ovl_tl, ovl_m) = drive(seed, p, spec.with_overlap(true));
+        assert!(ser_tl.validate_against(&ser_m).is_empty(), "seed {seed}");
+        assert!(ovl_tl.validate_against(&ovl_m).is_empty(), "seed {seed}");
+        // Meters are mode-independent: both replicas carry the same
+        // per-rank comm/comp work.
+        assert_eq!(ser_tl.alive_costs(), ovl_tl.alive_costs(), "seed {seed}");
+        assert!(
+            ovl_tl.makespan_s() <= ser_tl.makespan_s(),
+            "seed {seed}: overlapped {:?} > serialized {:?}",
+            ovl_tl.makespan_s(),
+            ser_tl.makespan_s()
+        );
+        let predicted = evaluate(
+            &ser_tl,
+            &WhatIf {
+                overlap: true,
+                ..WhatIf::identity()
+            },
+        );
+        assert_eq!(
+            predicted.to_bits(),
+            ovl_tl.makespan_s().to_bits(),
+            "seed {seed}: overlap what-if {predicted:?} != real overlapped run {:?}",
+            ovl_tl.makespan_s()
+        );
+        // The `serialize` what-if on the *overlapped* run recovers the
+        // real serialized makespan bit-for-bit (inverse of `overlap`),
+        // and on the serialized run it is the identity.
+        let re_serialized = evaluate(
+            &ovl_tl,
+            &WhatIf {
+                serialize: true,
+                ..WhatIf::identity()
+            },
+        );
+        assert_eq!(
+            re_serialized.to_bits(),
+            ser_tl.makespan_s().to_bits(),
+            "seed {seed}: serialize what-if {re_serialized:?} != real serialized run {:?}",
+            ser_tl.makespan_s()
+        );
+        let ser_identity = evaluate(
+            &ser_tl,
+            &WhatIf {
+                serialize: true,
+                ..WhatIf::identity()
+            },
+        );
+        assert_eq!(ser_identity.to_bits(), ser_tl.makespan_s().to_bits());
+        // The `overlap` what-if on the already-overlapped run is the
+        // bit-exact identity.
+        let ovl_identity = evaluate(
+            &ovl_tl,
+            &WhatIf {
+                overlap: true,
+                ..WhatIf::identity()
+            },
+        );
+        assert_eq!(ovl_identity.to_bits(), ovl_tl.makespan_s().to_bits());
+        // The machine's own clocks agree with both replays.
+        assert_eq!(
+            ovl_m.makespan_s().to_bits(),
+            ovl_tl.makespan_s().to_bits(),
+            "seed {seed}"
+        );
+        // The critical path still folds bit-exactly in overlap mode.
+        let path = critical_path(&ovl_tl);
+        assert_eq!(
+            path.sum_s().to_bits(),
+            ovl_tl.makespan_s().to_bits(),
+            "seed {seed}"
+        );
     }
 }
 

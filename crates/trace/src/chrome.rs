@@ -112,6 +112,56 @@ fn one_event(events: &mut Vec<String>, rec: &TraceRecord) {
                 );
             }
         }
+        TraceEvent::CollectiveIssue {
+            kind,
+            group,
+            ranks,
+            seq,
+            bytes,
+            msgs,
+            bytes_charged,
+            modeled_s,
+            handle,
+        } => {
+            let args = format!(
+                "\"group\":{group},\"seq\":{seq},\"bytes\":{bytes},\"msgs\":{msgs},\"bytes_charged\":{bytes_charged},\"modeled_s\":{},\"handle\":{handle}",
+                num(*modeled_s)
+            );
+            let name = format!("{kind} (issue)");
+            if ranks.is_empty() {
+                instant(
+                    events,
+                    &name,
+                    "collective",
+                    rec.ts_us,
+                    STREAM_PID,
+                    "t",
+                    &args,
+                );
+            }
+            for &r in ranks {
+                instant(
+                    events,
+                    &name,
+                    "collective",
+                    rec.ts_us,
+                    rank_pid(r),
+                    "t",
+                    &args,
+                );
+            }
+        }
+        TraceEvent::CollectiveWait { handle } => {
+            instant(
+                events,
+                "wait",
+                "collective",
+                rec.ts_us,
+                STREAM_PID,
+                "t",
+                &format!("\"handle\":{handle}"),
+            );
+        }
         TraceEvent::Compute {
             rank,
             ops,
@@ -339,7 +389,9 @@ fn max_rank(records: &[TraceRecord]) -> Option<usize> {
     let mut bump = |r: usize| mx = Some(mx.map_or(r, |m: usize| m.max(r)));
     for rec in records {
         match &rec.event {
-            TraceEvent::Collective { ranks, .. } | TraceEvent::Backoff { ranks, .. } => {
+            TraceEvent::Collective { ranks, .. }
+            | TraceEvent::CollectiveIssue { ranks, .. }
+            | TraceEvent::Backoff { ranks, .. } => {
                 for &r in ranks {
                     bump(r);
                 }

@@ -61,6 +61,37 @@ pub enum TraceEvent {
         /// Modeled time in seconds (α–β closed form).
         modeled_s: f64,
     },
+    /// A nonblocking collective issued to the machine model; its cost
+    /// lands on the clocks at the matching [`TraceEvent::CollectiveWait`].
+    /// Carries the same cost fields as [`TraceEvent::Collective`] so a
+    /// replayer can price the operation without waiting for the wait.
+    CollectiveIssue {
+        /// Collective kind name (e.g. `allgather`).
+        kind: &'static str,
+        /// Number of ranks in the participating group.
+        group: usize,
+        /// Participating rank ids at issue time.
+        ranks: Vec<usize>,
+        /// Collective sequence number (the machine's issue order).
+        seq: u64,
+        /// Per-rank payload in bytes, as passed to the cost model.
+        bytes: u64,
+        /// Messages charged on the critical path.
+        msgs: u64,
+        /// Bytes charged on the critical path.
+        bytes_charged: u64,
+        /// Modeled time in seconds (α–β closed form).
+        modeled_s: f64,
+        /// Machine-unique handle pairing this issue with its wait.
+        handle: u64,
+    },
+    /// Completion of a nonblocking collective: the handle's modeled
+    /// cost is charged, with the transfer window running from the
+    /// issue point under overlapped accounting.
+    CollectiveWait {
+        /// Handle of the completed [`TraceEvent::CollectiveIssue`].
+        handle: u64,
+    },
     /// Local compute charged to one rank of the machine model.
     Compute {
         /// Rank the operations were charged to.
@@ -210,6 +241,8 @@ impl TraceEvent {
     pub fn tag(&self) -> &'static str {
         match self {
             TraceEvent::Collective { .. } => "collective",
+            TraceEvent::CollectiveIssue { .. } => "collective_issue",
+            TraceEvent::CollectiveWait { .. } => "collective_wait",
             TraceEvent::Compute { .. } => "compute",
             TraceEvent::Backoff { .. } => "backoff",
             TraceEvent::Shrink { .. } => "shrink",

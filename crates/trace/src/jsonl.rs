@@ -42,6 +42,33 @@ pub fn record_to_json(rec: &TraceRecord) -> String {
             }
             s.push(']');
         }
+        TraceEvent::CollectiveIssue {
+            kind,
+            group,
+            ranks,
+            seq,
+            bytes,
+            msgs,
+            bytes_charged,
+            modeled_s,
+            handle,
+        } => {
+            let _ = write!(
+                s,
+                ",\"kind\":\"{kind}\",\"group\":{group},\"seq\":{seq},\"bytes\":{bytes},\"msgs\":{msgs},\"bytes_charged\":{bytes_charged},\"modeled_s\":{},\"handle\":{handle},\"ranks\":[",
+                num(*modeled_s)
+            );
+            for (i, r) in ranks.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                let _ = write!(s, "{r}");
+            }
+            s.push(']');
+        }
+        TraceEvent::CollectiveWait { handle } => {
+            let _ = write!(s, ",\"handle\":{handle}");
+        }
         TraceEvent::Compute {
             rank,
             ops,

@@ -205,6 +205,19 @@ impl Recorder for StderrRecorder {
                 modeled_s,
                 ..
             } => eprintln!("[trace] collective {kind} p={group} bytes={bytes} t={modeled_s:.3e}s"),
+            TraceEvent::CollectiveIssue {
+                kind,
+                group,
+                bytes,
+                modeled_s,
+                handle,
+                ..
+            } => eprintln!(
+                "[trace] icollective {kind} p={group} bytes={bytes} t={modeled_s:.3e}s handle={handle}"
+            ),
+            TraceEvent::CollectiveWait { handle } => {
+                eprintln!("[trace] wait handle={handle}")
+            }
             TraceEvent::Spgemm {
                 plan,
                 m,

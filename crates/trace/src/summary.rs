@@ -22,12 +22,22 @@ pub struct KindTotals {
     pub modeled_s: f64,
 }
 
-/// Aggregates all [`TraceEvent::Collective`] records per kind,
-/// sorted by descending modeled time.
+/// Aggregates all [`TraceEvent::Collective`] and
+/// [`TraceEvent::CollectiveIssue`] records per kind, sorted by
+/// descending modeled time (nonblocking collectives carry their cost
+/// on the issue event, so both shapes count once each).
 pub fn collective_summary(records: &[TraceRecord]) -> Vec<KindTotals> {
     let mut by_kind: BTreeMap<&str, KindTotals> = BTreeMap::new();
     for rec in records {
         if let TraceEvent::Collective {
+            kind,
+            bytes,
+            msgs,
+            bytes_charged,
+            modeled_s,
+            ..
+        }
+        | TraceEvent::CollectiveIssue {
             kind,
             bytes,
             msgs,
@@ -62,7 +72,8 @@ pub fn total_modeled_comm_s(records: &[TraceRecord]) -> f64 {
     records
         .iter()
         .filter_map(|r| match &r.event {
-            TraceEvent::Collective { modeled_s, .. } => Some(*modeled_s),
+            TraceEvent::Collective { modeled_s, .. }
+            | TraceEvent::CollectiveIssue { modeled_s, .. } => Some(*modeled_s),
             _ => None,
         })
         .sum()

@@ -92,8 +92,8 @@ const USAGE: &str = "usage:
   mfbc-cli sssp --source V [--directed] <edge-list|->
   mfbc-cli components [--directed] <edge-list|->
   mfbc-cli stats [--directed] <edge-list|->
-  mfbc-cli simulate --nodes P [--plan auto|ca:C|combblas] [--batch N] [--graph rmat:S,E|uniform:N,M|FILE] [--directed] [--threads T] [--no-masked] [--faults SPEC] [--fault-seed S] [--trace-out FILE] [--trace-format chrome|jsonl] [--profile-out FILE] [--profile-html FILE] [--timeline-out FILE]
-  mfbc-cli bench [--baseline FILE] [--write FILE] [--band F] [--case NAME] [--profile-out FILE] [--html-out FILE] [--prom-out FILE] [--timeline-out FILE] [--timeline-html FILE]
+  mfbc-cli simulate --nodes P [--plan auto|ca:C|combblas] [--batch N] [--graph rmat:S,E|uniform:N,M|FILE] [--directed] [--threads T] [--no-masked] [--no-overlap] [--hybrid-redist auto|bcast|p2p|alltoall] [--faults SPEC] [--fault-seed S] [--trace-out FILE] [--trace-format chrome|jsonl] [--profile-out FILE] [--profile-html FILE] [--timeline-out FILE]
+  mfbc-cli bench [--baseline FILE] [--write FILE] [--band F] [--case NAME] [--no-overlap] [--hybrid-redist auto|bcast|p2p|alltoall] [--profile-out FILE] [--html-out FILE] [--prom-out FILE] [--timeline-out FILE] [--timeline-html FILE]
   mfbc-cli analyze [--case NAME] [--timeline-out FILE] [--html-out FILE] [--what-if SPEC] [--compare FILE] [--top K]
   mfbc-cli generate (rmat:S,E | uniform:N,M) [--weighted MAX] [--seed S]";
 
@@ -245,6 +245,55 @@ fn parse_threads(o: &Opts) -> Result<Option<usize>, String> {
     }
 }
 
+/// Parses `--hybrid-redist MODE` into the machine's redistribution
+/// mode (`auto`, `bcast`, `p2p`, or the legacy `alltoall`).
+fn parse_redist(o: &Opts) -> Result<Option<mfbc_machine::RedistMode>, String> {
+    match o.get("hybrid-redist") {
+        None => Ok(None),
+        Some("auto") => Ok(Some(mfbc_machine::RedistMode::Auto)),
+        Some("bcast") => Ok(Some(mfbc_machine::RedistMode::Bcast)),
+        Some("p2p") => Ok(Some(mfbc_machine::RedistMode::P2p)),
+        Some("alltoall") => Ok(Some(mfbc_machine::RedistMode::Alltoall)),
+        Some(other) => Err(format!(
+            "--hybrid-redist must be auto, bcast, p2p, or alltoall, got {other:?}"
+        )),
+    }
+}
+
+/// Prints the overlapped-vs-serialized makespan comparison for a
+/// sealed timeline: whichever mode the run used, the counterpart is
+/// priced with the corresponding what-if replay (bit-exact on the
+/// recorded side).
+fn eprint_overlap_delta(tl: &mfbc_timeline::Timeline) {
+    let serialize = mfbc_timeline::WhatIf {
+        serialize: true,
+        ..mfbc_timeline::WhatIf::identity()
+    };
+    let overlap = mfbc_timeline::WhatIf {
+        overlap: true,
+        ..mfbc_timeline::WhatIf::identity()
+    };
+    let (ovl_s, ser_s) = if tl.spec.overlap {
+        (tl.makespan_s(), mfbc_timeline::evaluate(tl, &serialize))
+    } else {
+        (mfbc_timeline::evaluate(tl, &overlap), tl.makespan_s())
+    };
+    let saved = ser_s - ovl_s;
+    let pct = if ser_s > 0.0 {
+        saved / ser_s * 100.0
+    } else {
+        0.0
+    };
+    eprintln!(
+        "overlap: serialized {ser_s:.6}s vs overlapped {ovl_s:.6}s — {saved:.6}s ({pct:.1}%) hidden under compute ({})",
+        if tl.spec.overlap {
+            "this run overlapped; serialized bound from the `serialize` what-if"
+        } else {
+            "this run serialized; overlapped bound from the `overlap` what-if"
+        }
+    );
+}
+
 fn cmd_bc(args: &[String]) -> Result<(), String> {
     let o = Opts::parse(args, &["batch", "approx", "top", "seed", "threads"])?;
     let g = load_graph(o.positional.as_deref(), o.has("directed"))?;
@@ -348,6 +397,7 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
             "profile-out",
             "profile-html",
             "timeline-out",
+            "hybrid-redist",
         ],
     )?;
     let p: usize = o.get_parsed("nodes")?.ok_or("simulate needs --nodes P")?;
@@ -367,10 +417,17 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
         fault_plan.faults.extend(FaultPlan::seeded(fseed, p).faults);
     }
     let faults_scheduled = fault_plan.faults.len() as u64;
+    let mut spec = MachineSpec::gemini(p);
+    if o.has("no-overlap") {
+        spec.overlap = false;
+    }
+    if let Some(mode) = parse_redist(&o)? {
+        spec.redist = mode;
+    }
     let machine = if fault_plan.is_empty() {
-        Machine::new(MachineSpec::gemini(p))
+        Machine::new(spec)
     } else {
-        Machine::with_faults(MachineSpec::gemini(p), fault_plan, RetryPolicy::default())
+        Machine::with_faults(spec, fault_plan, RetryPolicy::default())
     };
 
     // Structured tracing: record every collective, SpGEMM, autotune
@@ -543,6 +600,7 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
                 b.count
             );
         }
+        eprint_overlap_delta(&tl);
         if let Some(path) = &timeline_out {
             let d = mfbc_timeline::doc(&tl, &an, &[]);
             std::fs::write(path, mfbc_timeline::to_json(&d)).map_err(|e| format!("{path}: {e}"))?;
@@ -610,6 +668,7 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
             "prom-out",
             "timeline-out",
             "timeline-html",
+            "hybrid-redist",
         ],
     )?;
     if let Some(p) = &o.positional {
@@ -620,15 +679,24 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
         return Err("--band must be a finite fraction >= 0".into());
     }
 
+    let opts = mfbc_bench::regress::SuiteOptions {
+        overlap: if o.has("no-overlap") {
+            Some(false)
+        } else {
+            None
+        },
+        redist: parse_redist(&o)?,
+        ..mfbc_bench::regress::SuiteOptions::default()
+    };
     eprintln!(
         "bench: running {} pinned case(s)...",
         mfbc_bench::regress::suite_case_names().len()
     );
-    let results = mfbc_bench::regress::run_suite(&mfbc_bench::regress::SuiteOptions::default());
+    let results = mfbc_bench::regress::run_suite(&opts);
     let cases: Vec<mfbc_profile::BaselineCase> = results.iter().map(|r| r.case.clone()).collect();
     for c in &cases {
         outln!(
-            "{}\tcomm_s={:?}\tcomp_s={:?}\tmsgs={}\tbytes={}\tops={}\tpeak_bytes={}\twall_s={:.3}",
+            "{}\tcomm_s={:?}\tcomp_s={:?}\tmsgs={}\tbytes={}\tops={}\tpeak_bytes={}\tmakespan_s={:?}\twall_s={:.3}",
             c.name,
             c.modeled_comm_s,
             c.modeled_comp_s,
@@ -636,8 +704,13 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
             c.bytes,
             c.total_ops,
             c.max_peak_bytes,
+            c.makespan_s,
             c.wall_s,
         );
+    }
+    for r in &results {
+        eprint!("bench: {}: ", r.case.name);
+        eprint_overlap_delta(&r.timeline);
     }
 
     // Profile artifacts for one case (CI uploads these).
