@@ -17,6 +17,7 @@ pub mod experiments;
 pub mod harness;
 pub mod regress;
 pub mod report;
+pub mod serveload;
 
 pub use harness::{
     measure_combblas, measure_combblas_best, measure_mfbc, measure_mfbc_best, measure_traced,

@@ -1,0 +1,449 @@
+//! Load test for the `mfbc-serve` engine, gated like the modeled
+//! regression suite.
+//!
+//! A seeded mixed request stream (top-k / vertex / full, deadlines
+//! from zero through infinite) is driven through the engine in
+//! coalesced flush groups — once fault-free and once under a pinned
+//! crash+transient schedule. The harness *asserts* the serving
+//! contract while it measures:
+//!
+//! * every admitted request is answered exactly once (never dropped,
+//!   fault schedule or not);
+//! * every exact-quality response is bit-identical to a one-shot
+//!   `mfbc_dist` run on the same machine configuration;
+//! * degraded responses carry their tags (`approx_k`/`ci`, stale
+//!   version).
+//!
+//! The report's modeled fields (requests served per modeled second,
+//! p99 modeled latency, store version, quality counts) are
+//! deterministic and compared bit-exact against `BENCH_serve.json`;
+//! wall-clock is band-compared one-sidedly, like `BENCH_mfbc.json`.
+
+use mfbc_core::dist::{mfbc_dist, MfbcConfig};
+use mfbc_fault::{FaultPlan, RetryPolicy};
+use mfbc_graph::gen::uniform;
+use mfbc_machine::{Machine, MachineSpec};
+use mfbc_profile::jsonio::{self, Json};
+use mfbc_serve::{Admission, Engine, EngineConfig, Payload, Quality, Query, Request};
+use std::time::Instant;
+
+/// The pinned fault schedule of the faulted case: one crash early,
+/// a transient burst shortly after.
+pub const FAULTED_SCHEDULE: &str = "crash:1@2,transient:2@4";
+
+/// Requests per case (mixed queries, mixed deadlines).
+pub const REQUESTS: usize = 50;
+
+/// Local SplitMix64 so the stream is pinned independently of any
+/// library RNG.
+struct Mix(u64);
+
+impl Mix {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+}
+
+/// Measured (and contract-checked) outcome of one load case.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ServeLoadReport {
+    /// Case name (`fault-free` / `faulted`).
+    pub name: String,
+    /// Requests offered.
+    pub requests: u64,
+    /// Requests past admission.
+    pub admitted: u64,
+    /// Requests shed at admission (bounded queue).
+    pub shed: u64,
+    /// Responses by quality rung.
+    pub exact: u64,
+    /// Sampled-estimator responses.
+    pub approx: u64,
+    /// Stale-store responses.
+    pub stale: u64,
+    /// Engine-level retries spent.
+    pub retries: u64,
+    /// Final committed store version.
+    pub store_version: u64,
+    /// Engine modeled clock at the end of the run.
+    pub modeled_s: f64,
+    /// 99th-percentile modeled response latency.
+    pub p99_latency_modeled_s: f64,
+    /// Responses per modeled second.
+    pub rps_modeled: f64,
+    /// Wall-clock seconds (band-compared only).
+    pub wall_s: f64,
+}
+
+/// Runs one load case. `faults` is a `FaultPlan::parse` schedule or
+/// `None` for the clean case.
+///
+/// # Panics
+/// Panics if the engine violates the serving contract (a dropped or
+/// duplicated response, or an exact response whose bits differ from
+/// the one-shot run) — a contract break must fail the bench loudly,
+/// not skew its numbers.
+pub fn run_load(name: &str, faults: Option<&str>, seed: u64) -> ServeLoadReport {
+    let wall_start = Instant::now();
+    let g = uniform(64, 320, false, None, 3);
+    let cfg = MfbcConfig::default().with_batch_size(8);
+    let spec = MachineSpec::test(8);
+    let plan = faults.map(|s| FaultPlan::parse(s).expect("pinned schedule parses"));
+
+    // The bit-identity oracle: a one-shot run on an identical machine
+    // (same fault schedule — the session replays the same collective
+    // sequence, so crash recovery lands identically).
+    let oracle_machine = match &plan {
+        Some(p) => Machine::with_faults(spec.clone(), p.clone(), RetryPolicy::default()),
+        None => Machine::new(spec.clone()),
+    };
+    let oracle = mfbc_dist(&oracle_machine, &g, &cfg).expect("oracle run completes");
+    let oracle_bits: Vec<u64> = oracle.scores.lambda.iter().map(|x| x.to_bits()).collect();
+
+    let machine = match &plan {
+        Some(p) => Machine::with_faults(spec.clone(), p.clone(), RetryPolicy::default()),
+        None => Machine::new(spec),
+    };
+    // A queue of 4 against flushes every ~4 submissions: long streaks
+    // overflow, so the report exercises load-shedding too.
+    let ecfg = EngineConfig {
+        max_queue: 4,
+        seed,
+        ..EngineConfig::default()
+    };
+    let mut engine = Engine::new(&machine, g, &cfg, ecfg).expect("engine builds");
+    let est_batch = engine.est_batch_modeled_s();
+
+    let mut mix = Mix(seed ^ 0x5e12_7e10_ad00_0001);
+    let mut admitted: u64 = 0;
+    let mut shed: u64 = 0;
+    let mut pending: Vec<u64> = Vec::new();
+    let mut latencies: Vec<f64> = Vec::new();
+    let (mut exact, mut approx, mut stale, mut retries) = (0u64, 0u64, 0u64, 0u64);
+
+    let mut answer = |engine: &mut Engine, pending: &mut Vec<u64>| {
+        for r in engine.drain() {
+            let slot = pending
+                .iter()
+                .position(|&id| id == r.id)
+                .expect("response for an id that was admitted and unanswered");
+            pending.swap_remove(slot);
+            latencies.push(r.latency_modeled_s);
+            retries += r.retries as u64;
+            match r.quality {
+                Quality::Exact => {
+                    exact += 1;
+                    if let Payload::Full(scores) = &r.payload {
+                        let got: Vec<u64> = scores.iter().map(|x| x.to_bits()).collect();
+                        assert_eq!(
+                            got, oracle_bits,
+                            "exact response diverged from the one-shot run"
+                        );
+                    }
+                }
+                Quality::Approx { k, ci } => {
+                    approx += 1;
+                    assert!(k > 0 && ci >= 0.0, "approx response must carry its tags");
+                }
+                Quality::Stale { .. } => stale += 1,
+            }
+        }
+    };
+
+    for i in 0..REQUESTS as u64 {
+        let query = match mix.below(4) {
+            0 => Query::Full,
+            1 => Query::Vertex {
+                v: mix.below(64) as usize,
+            },
+            _ => Query::TopK {
+                k: 1 + mix.below(8) as usize,
+            },
+        };
+        // Deadline mix: a third unbounded (funds exact progress), a
+        // third about a batch's worth, a third zero (stale probes).
+        let deadline_s = match mix.below(3) {
+            0 => None,
+            1 => Some(est_batch * (0.2 + 0.1 * mix.below(8) as f64)),
+            _ => Some(0.0),
+        };
+        match engine.submit(Request {
+            id: i,
+            query,
+            deadline_s,
+        }) {
+            Admission::Admitted => {
+                admitted += 1;
+                pending.push(i);
+            }
+            Admission::Shed(_) => shed += 1,
+        }
+        // Flush boundary every few submissions: the coalescing unit.
+        if mix.below(4) == 0 {
+            answer(&mut engine, &mut pending);
+        }
+    }
+    answer(&mut engine, &mut pending);
+    assert!(
+        pending.is_empty(),
+        "every admitted request must be answered: {pending:?} never were"
+    );
+    assert_eq!(admitted + shed, REQUESTS as u64);
+    assert_eq!(exact + approx + stale, admitted);
+
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    let p99 = latencies
+        .get(((latencies.len() as f64 * 0.99).ceil() as usize).saturating_sub(1))
+        .copied()
+        .unwrap_or(0.0);
+    let modeled_s = engine.modeled_s();
+    ServeLoadReport {
+        name: name.to_string(),
+        requests: REQUESTS as u64,
+        admitted,
+        shed,
+        exact,
+        approx,
+        stale,
+        retries,
+        store_version: engine.store_version(),
+        modeled_s,
+        p99_latency_modeled_s: p99,
+        rps_modeled: if modeled_s > 0.0 {
+            admitted as f64 / modeled_s
+        } else {
+            0.0
+        },
+        wall_s: wall_start.elapsed().as_secs_f64(),
+    }
+}
+
+/// Runs both pinned cases: fault-free, then the crash+transient
+/// schedule.
+pub fn run_suite(seed: u64) -> Vec<ServeLoadReport> {
+    vec![
+        run_load("fault-free", None, seed),
+        run_load("faulted", Some(FAULTED_SCHEDULE), seed),
+    ]
+}
+
+/// Serializes reports as the `BENCH_serve.json` baseline document.
+pub fn to_json(wall_band: f64, reports: &[ServeLoadReport]) -> String {
+    let mut s = format!(
+        "{{\n  \"version\": 1,\n  \"wall_band\": {},\n  \"cases\": [\n",
+        jsonio::num(wall_band)
+    );
+    for (i, r) in reports.iter().enumerate() {
+        if i > 0 {
+            s.push_str(",\n");
+        }
+        s.push_str(&format!(
+            "    {{\"name\": \"{}\", \"requests\": {}, \"admitted\": {}, \"shed\": {}, \
+             \"exact\": {}, \"approx\": {}, \"stale\": {}, \"retries\": {}, \
+             \"store_version\": {}, \"modeled_s\": {}, \"p99_latency_modeled_s\": {}, \
+             \"rps_modeled\": {}, \"wall_s\": {}}}",
+            jsonio::esc(&r.name),
+            r.requests,
+            r.admitted,
+            r.shed,
+            r.exact,
+            r.approx,
+            r.stale,
+            r.retries,
+            r.store_version,
+            jsonio::num(r.modeled_s),
+            jsonio::num(r.p99_latency_modeled_s),
+            jsonio::num(r.rps_modeled),
+            jsonio::num(r.wall_s),
+        ));
+    }
+    s.push_str("\n  ]\n}\n");
+    s
+}
+
+/// Parses a `BENCH_serve.json` baseline.
+///
+/// # Errors
+/// Returns a message naming the malformed field.
+pub fn from_json(text: &str) -> Result<(f64, Vec<ServeLoadReport>), String> {
+    let v = jsonio::parse(text)?;
+    let band = v
+        .get("wall_band")
+        .and_then(Json::as_f64)
+        .ok_or("baseline needs a numeric wall_band")?;
+    let mut out = Vec::new();
+    for c in v
+        .get("cases")
+        .and_then(Json::as_array)
+        .ok_or("baseline needs a cases array")?
+    {
+        let field_u = |k: &str| -> Result<u64, String> {
+            c.get(k)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("case needs numeric {k:?}"))
+        };
+        let field_f = |k: &str| -> Result<f64, String> {
+            c.get(k)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("case needs numeric {k:?}"))
+        };
+        out.push(ServeLoadReport {
+            name: c
+                .get("name")
+                .and_then(Json::as_str)
+                .ok_or("case needs a name")?
+                .to_string(),
+            requests: field_u("requests")?,
+            admitted: field_u("admitted")?,
+            shed: field_u("shed")?,
+            exact: field_u("exact")?,
+            approx: field_u("approx")?,
+            stale: field_u("stale")?,
+            retries: field_u("retries")?,
+            store_version: field_u("store_version")?,
+            modeled_s: field_f("modeled_s")?,
+            p99_latency_modeled_s: field_f("p99_latency_modeled_s")?,
+            rps_modeled: field_f("rps_modeled")?,
+            wall_s: field_f("wall_s")?,
+        });
+    }
+    Ok((band, out))
+}
+
+/// Compares a fresh suite run against the baseline: counts and
+/// modeled seconds bit-exact, wall-clock one-sided within the band.
+/// Returns human-readable findings; empty means the gate passes.
+pub fn compare(
+    baseline_band: f64,
+    baseline: &[ServeLoadReport],
+    current: &[ServeLoadReport],
+    band_override: Option<f64>,
+) -> Vec<String> {
+    let band = band_override.unwrap_or(baseline_band);
+    let mut findings = Vec::new();
+    if baseline.len() != current.len() {
+        findings.push(format!(
+            "case count changed: baseline {} vs current {}",
+            baseline.len(),
+            current.len()
+        ));
+        return findings;
+    }
+    for (b, c) in baseline.iter().zip(current) {
+        if b.name != c.name {
+            findings.push(format!("case renamed: {} vs {}", b.name, c.name));
+            continue;
+        }
+        let counts = [
+            ("requests", b.requests, c.requests),
+            ("admitted", b.admitted, c.admitted),
+            ("shed", b.shed, c.shed),
+            ("exact", b.exact, c.exact),
+            ("approx", b.approx, c.approx),
+            ("stale", b.stale, c.stale),
+            ("retries", b.retries, c.retries),
+            ("store_version", b.store_version, c.store_version),
+        ];
+        for (what, want, got) in counts {
+            if want != got {
+                findings.push(format!("{}: {what} drifted: {want} -> {got}", b.name));
+            }
+        }
+        let modeled = [
+            ("modeled_s", b.modeled_s, c.modeled_s),
+            (
+                "p99_latency_modeled_s",
+                b.p99_latency_modeled_s,
+                c.p99_latency_modeled_s,
+            ),
+            ("rps_modeled", b.rps_modeled, c.rps_modeled),
+        ];
+        for (what, want, got) in modeled {
+            if want.to_bits() != got.to_bits() {
+                findings.push(format!(
+                    "{}: {what} drifted: {want:?} -> {got:?} (modeled values are deterministic)",
+                    b.name
+                ));
+            }
+        }
+        // Wall-clock: one-sided — only slower-than-band is a finding.
+        if c.wall_s > b.wall_s * (1.0 + band) {
+            findings.push(format!(
+                "{}: wall regression: {:.3}s vs baseline {:.3}s (band {:.0}%)",
+                b.name,
+                c.wall_s,
+                b.wall_s,
+                band * 100.0
+            ));
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_round_trips_through_json() {
+        let reports = vec![ServeLoadReport {
+            name: "fault-free".into(),
+            requests: 50,
+            admitted: 48,
+            shed: 2,
+            exact: 30,
+            approx: 10,
+            stale: 8,
+            retries: 3,
+            store_version: 8,
+            modeled_s: 123.456,
+            p99_latency_modeled_s: 0.5,
+            rps_modeled: 0.38,
+            wall_s: 0.9,
+        }];
+        let (band, parsed) = from_json(&to_json(0.5, &reports)).unwrap();
+        assert_eq!(band, 0.5);
+        assert_eq!(parsed, reports);
+        assert!(compare(band, &reports, &parsed, None).is_empty());
+    }
+
+    #[test]
+    fn compare_flags_modeled_drift_and_wall_regressions() {
+        let base = vec![ServeLoadReport {
+            name: "faulted".into(),
+            requests: 50,
+            admitted: 50,
+            shed: 0,
+            exact: 50,
+            approx: 0,
+            stale: 0,
+            retries: 1,
+            store_version: 8,
+            modeled_s: 100.0,
+            p99_latency_modeled_s: 1.0,
+            rps_modeled: 0.5,
+            wall_s: 1.0,
+        }];
+        let mut drifted = base.clone();
+        drifted[0].modeled_s = 100.1;
+        drifted[0].exact = 49;
+        drifted[0].stale = 1;
+        let findings = compare(0.5, &base, &drifted, None);
+        assert_eq!(findings.len(), 3, "{findings:?}");
+        // Faster wall is fine; slower beyond the band is not.
+        let mut faster = base.clone();
+        faster[0].wall_s = 0.1;
+        assert!(compare(0.5, &base, &faster, None).is_empty());
+        let mut slower = base.clone();
+        slower[0].wall_s = 2.0;
+        assert_eq!(compare(0.5, &base, &slower, None).len(), 1);
+    }
+}

@@ -448,7 +448,7 @@ impl CaseSpec for MmCase {
 /// wrap modulo `p`, and crash faults are dropped when fewer than two
 /// ranks remain (a one-rank machine cannot survive a crash, so such a
 /// schedule would fail for the wrong reason).
-fn faults_for_p(faults: &[ScheduledFault], p: usize) -> Vec<ScheduledFault> {
+pub(crate) fn faults_for_p(faults: &[ScheduledFault], p: usize) -> Vec<ScheduledFault> {
     faults
         .iter()
         .filter_map(|sf| {
@@ -470,7 +470,7 @@ fn faults_for_p(faults: &[ScheduledFault], p: usize) -> Vec<ScheduledFault> {
 /// Index subsets to try when reducing an entry list of length `len`:
 /// both halves and the two alternating combs, then (for short lists)
 /// every single-element deletion.
-fn chunk_reductions(len: usize) -> Vec<Vec<usize>> {
+pub(crate) fn chunk_reductions(len: usize) -> Vec<Vec<usize>> {
     let mut out = Vec::new();
     if len == 0 {
         return out;

@@ -14,6 +14,10 @@
 //!   every enumerable plan plus the autotuned one against
 //!   `spgemm_serial`; [`case::DriverCase`] runs the distributed MFBC
 //!   driver against the Brandes oracles;
+//! * [`serve`] — [`serve::ServeCase`]: seeded interleavings of
+//!   queries, flushes, and fault injections through a live serving
+//!   engine, with exact-mode responses checked bit-for-bit against a
+//!   one-shot run;
 //! * [`shrink`] — greedy delta-debugging minimization of a failing
 //!   case (fewer nonzeros, vertices, ranks, smaller dimensions);
 //! * [`suite`] — the runner: fixed-seed smoke streams, the
@@ -39,10 +43,12 @@
 pub mod case;
 pub mod gen;
 pub mod rng;
+pub mod serve;
 pub mod shrink;
 pub mod suite;
 
 pub use case::{CaseSpec, DriverCase, DriverPlan, MmCase, MmKernelKind, Payload};
 pub use rng::SplitMix64;
+pub use serve::{ServeCase, ServeDeadline, ServeOp, ServeQuery};
 pub use shrink::{shrink, Shrunk};
 pub use suite::{run_suite, run_suite_or_panic, Failure};

@@ -1,0 +1,107 @@
+//! Property suite for [`mfbc_fault::RetryPolicy::backoff_for`]: over
+//! seeded random policies, attempts, and seeds, the backoff schedule
+//! must be deterministic, capped, strictly positive, downward-only
+//! relative to the unjittered wait, and monotone (up to the cap) in
+//! the attempt number when jitter is off.
+
+use mfbc_conformance::SplitMix64;
+use mfbc_fault::RetryPolicy;
+
+/// Draws a policy with backoff in (0, 10ms], multiplier in [1, 4),
+/// cap in (0, 1s], and jitter in [0, 1).
+fn policy(rng: &mut SplitMix64) -> RetryPolicy {
+    RetryPolicy {
+        max_attempts: 1 + rng.below(5) as u32,
+        backoff_s: 1e-5 * (1 + rng.below(1000)) as f64,
+        multiplier: 1.0 + rng.below(3000) as f64 / 1000.0,
+        cap_s: 1e-3 * (1 + rng.below(1000)) as f64,
+        jitter: rng.below(1000) as f64 / 1000.0,
+    }
+}
+
+#[test]
+fn backoff_is_deterministic_positive_and_capped() {
+    let mut rng = SplitMix64::new(0x5e7_2e7_124);
+    for _ in 0..500 {
+        let p = policy(&mut rng);
+        let attempt = rng.below(12) as u32;
+        let seed = rng.next_u64();
+        let wait = p.backoff_for(attempt, seed);
+        assert_eq!(
+            wait.to_bits(),
+            p.backoff_for(attempt, seed).to_bits(),
+            "same (attempt, seed) must replay the same wait: {p:?}"
+        );
+        assert!(
+            wait > 0.0 && wait.is_finite(),
+            "wait {wait} not strictly positive/finite for {p:?} attempt {attempt}"
+        );
+        assert!(
+            wait <= p.cap_s,
+            "wait {wait} exceeds cap {} for {p:?} attempt {attempt}",
+            p.cap_s
+        );
+    }
+}
+
+#[test]
+fn jitter_only_moves_the_wait_down_and_stays_in_band() {
+    let mut rng = SplitMix64::new(0xba5e_0ff5);
+    for _ in 0..500 {
+        let p = policy(&mut rng);
+        let bare = RetryPolicy { jitter: 0.0, ..p };
+        let attempt = rng.below(12) as u32;
+        let seed = rng.next_u64();
+        let wait = p.backoff_for(attempt, seed);
+        let ceiling = bare.backoff_for(attempt, seed);
+        assert!(
+            wait <= ceiling,
+            "jittered wait {wait} above unjittered {ceiling} for {p:?}"
+        );
+        // Downward-only band: strictly above wait·(1 − jitter).
+        assert!(
+            wait > ceiling * (1.0 - p.jitter) - f64::EPSILON * ceiling,
+            "wait {wait} fell out of the ({}, {ceiling}] band for {p:?}",
+            ceiling * (1.0 - p.jitter)
+        );
+    }
+}
+
+#[test]
+fn unjittered_schedule_is_monotone_up_to_the_cap() {
+    let mut rng = SplitMix64::new(0x9e37_79b9);
+    for _ in 0..200 {
+        let p = RetryPolicy {
+            jitter: 0.0,
+            ..policy(&mut rng)
+        };
+        let mut prev = 0.0;
+        for attempt in 0..16 {
+            let wait = p.backoff_for(attempt, 7);
+            assert!(
+                wait >= prev,
+                "unjittered schedule decreased at attempt {attempt} for {p:?}"
+            );
+            assert!(wait <= p.cap_s);
+            prev = wait;
+        }
+        // Once at the cap, it stays there.
+        if prev >= p.cap_s {
+            assert_eq!(p.backoff_for(32, 7).to_bits(), p.cap_s.to_bits());
+        }
+    }
+}
+
+#[test]
+fn different_seeds_decorrelate_jittered_waits() {
+    let p = RetryPolicy::default();
+    let mut distinct = std::collections::BTreeSet::new();
+    for seed in 0..32u64 {
+        distinct.insert(p.backoff_for(2, seed).to_bits());
+    }
+    assert!(
+        distinct.len() > 16,
+        "32 seeds produced only {} distinct waits",
+        distinct.len()
+    );
+}

@@ -31,18 +31,44 @@ pub struct ApproxBc {
     pub sources: Vec<usize>,
 }
 
+/// Draws the `k`-source uniform sample every sampled estimator in
+/// this crate uses, from an *explicit* seed — there is no ambient RNG
+/// anywhere in the sampling path, so a `(n, k, seed)` triple names
+/// the sample exactly (the serve engine and the conformance harness
+/// rely on this to replay degraded responses bit for bit).
+///
+/// # Panics
+/// Panics if `k == 0` or `k > n`.
+pub fn sample_sources(n: usize, k: usize, seed: u64) -> Vec<usize> {
+    assert!(k > 0 && k <= n, "sample size {k} out of range for n={n}");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut vertices: Vec<usize> = (0..n).collect();
+    vertices.shuffle(&mut rng);
+    vertices.truncate(k);
+    vertices
+}
+
+/// Relative standard error of the `k`-of-`n` estimator under the
+/// uniform-sampling model, with the finite-population correction:
+/// `sqrt((n − k) / (k · (n − 1)))`. It is `0` exactly when `k = n`
+/// (the sample is a census) and shrinks as `1/√k` — the `ci` tag a
+/// degraded serve response carries so callers can judge the estimate
+/// without knowing the sampling internals.
+pub fn sample_rel_se(n: usize, k: usize) -> f64 {
+    assert!(k > 0 && k <= n, "sample size {k} out of range for n={n}");
+    if n <= 1 {
+        return 0.0;
+    }
+    (((n - k) as f64) / ((k * (n - 1)) as f64)).sqrt()
+}
+
 /// Estimates betweenness centrality from `k` uniformly sampled
 /// sources (shared-memory MFBC).
 ///
 /// # Panics
 /// Panics if `k == 0` or `k > n`.
 pub fn mfbc_approx(g: &Graph, k: usize, seed: u64) -> ApproxBc {
-    let n = g.n();
-    assert!(k > 0 && k <= n, "sample size {k} out of range for n={n}");
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    let mut vertices: Vec<usize> = (0..n).collect();
-    vertices.shuffle(&mut rng);
-    let sources: Vec<usize> = vertices.into_iter().take(k).collect();
+    let sources = sample_sources(g.n(), k, seed);
     let scores = approx_from_sources(g, &sources);
     ApproxBc { scores, sources }
 }
@@ -80,11 +106,7 @@ pub fn mfbc_approx_dist(
     cfg: &crate::dist::MfbcConfig,
 ) -> Result<ApproxBc, mfbc_machine::MachineError> {
     let n = g.n();
-    assert!(k > 0 && k <= n, "sample size {k} out of range for n={n}");
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    let mut vertices: Vec<usize> = (0..n).collect();
-    vertices.shuffle(&mut rng);
-    let sources: Vec<usize> = vertices.into_iter().take(k).collect();
+    let sources = sample_sources(n, k, seed);
 
     let run = crate::dist::mfbc_dist(
         machine,
@@ -183,4 +205,94 @@ mod tests {
         let g = uniform(10, 20, false, None, 1);
         let _ = mfbc_approx(&g, 11, 1);
     }
+
+    #[test]
+    fn sample_sources_is_the_only_sampling_path() {
+        // Both entry points must draw the exact same sample as the
+        // shared helper — no second RNG stream anywhere.
+        use mfbc_machine::{Machine, MachineSpec};
+        let g = uniform(24, 90, false, None, 13);
+        let want = sample_sources(g.n(), 6, 0xfeed);
+        assert_eq!(mfbc_approx(&g, 6, 0xfeed).sources, want);
+        let machine = Machine::new(MachineSpec::test(2));
+        let dist =
+            mfbc_approx_dist(&machine, &g, 6, 0xfeed, &crate::dist::MfbcConfig::default()).unwrap();
+        assert_eq!(dist.sources, want);
+    }
+
+    #[test]
+    fn scale_factor_is_exact_in_f64_for_pinned_sizes() {
+        // The pinned golden below uses n = 8, k = 4: n/k = 2.0 is a
+        // power of two, so the estimator's scale factor is exact in
+        // f64 (no rounding enters the scaled sums beyond the products
+        // themselves). Guard the arithmetic fact explicitly.
+        for (n, k, want) in [(8usize, 4usize, 2.0f64), (8, 2, 4.0), (512, 128, 4.0)] {
+            assert_eq!((n as f64 / k as f64).to_bits(), want.to_bits());
+        }
+    }
+
+    #[test]
+    fn sample_rel_se_shrinks_and_vanishes_at_census() {
+        let n = 64;
+        let mut prev = f64::INFINITY;
+        for k in 1..=n {
+            let se = sample_rel_se(n, k);
+            assert!(se >= 0.0 && se < prev, "k={k}: {se} !< {prev}");
+            prev = se;
+        }
+        assert_eq!(sample_rel_se(n, n), 0.0);
+        assert_eq!(sample_rel_se(1, 1), 0.0);
+    }
+
+    fn golden_graph() -> Graph {
+        // The 8-vertex ladder the fault-recovery tests use: unit
+        // weights, dyadic dependency values.
+        Graph::unweighted(
+            8,
+            false,
+            vec![
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (5, 6),
+                (6, 7),
+                (1, 5),
+                (2, 6),
+            ],
+        )
+    }
+
+    #[test]
+    fn golden_half_sample_is_bit_identical() {
+        // Pinned golden: n = 8, k = 4, seed 0x5eed. The scale factor
+        // n/k = 2.0 is exact in f64 (see
+        // scale_factor_is_exact_in_f64_for_pinned_sizes), so this
+        // estimate is reproducible bit for bit on any platform. A
+        // drift here means the sampling stream or the estimator
+        // arithmetic changed — both are serving-protocol breaks.
+        let approx = mfbc_approx(&golden_graph(), 4, 0x5eed);
+        let got: Vec<u64> = approx.scores.lambda.iter().map(|v| v.to_bits()).collect();
+        let want: Vec<u64> = GOLDEN_HALF_SAMPLE.to_vec();
+        assert_eq!(
+            got, want,
+            "golden drift: sources {:?} scores {:?}",
+            approx.sources, approx.scores.lambda
+        );
+    }
+
+    /// `mfbc_approx(golden_graph(), 4, 0x5eed).scores.lambda` as raw
+    /// f64 bits — the sample is `[3, 7, 6, 5]` and the scaled sums
+    /// are the dyadic values `[0, 9, 16, 0, 4, 8, 17, 0]`.
+    const GOLDEN_HALF_SAMPLE: [u64; 8] = [
+        0,
+        4621256167635550208,
+        4625196817309499392,
+        0,
+        4616189618054758400,
+        4620693217682128896,
+        4625478292286210048,
+        0,
+    ];
 }

@@ -314,179 +314,339 @@ fn mfbc_dist_inner(
     g: &Graph,
     cfg: &MfbcConfig,
 ) -> Result<MfbcRun, MachineError> {
-    let n = g.n();
-    // Mutable: the OOM retreat halves it.
-    let mut nb = cfg.batch_size.unwrap_or_else(|| n.min(512)).max(1);
-    // Mutable: a crash recovery swaps in the shrunk machine.
-    let mut m = machine.clone();
-
-    // Adjacency and its transpose, canonically distributed and
-    // resident for the whole run (rebuilt after a shrink — the
-    // canonical layout depends on p).
-    let mut da = DistMat::from_global(canonical_layout(&m, n, n), g.adjacency());
-    let mut dat = DistMat::from_global(canonical_layout(&m, n, n), &g.adjacency_t());
-    da.charge_memory(&m)?;
-    dat.charge_memory(&m)?;
-
-    let mut plan = cfg.plan_mode.plan_for(&m)?;
-    // Prepared-adjacency caches: the Theorem-5.1 amortization. One
-    // cache per orientation; both released (with their simulated
-    // residency) at end of run.
-    let mut fwd_cache: MmCache<mfbc_algebra::Dist> = MmCache::new();
-    let mut back_cache: MmCache<mfbc_algebra::Dist> = MmCache::new();
-    let mut run = MfbcRun {
-        scores: BcScores::zeros(n),
-        batches: 0,
-        sources_processed: 0,
-        forward_iterations: 0,
-        backward_iterations: 0,
-        frontier_nnz: 0,
-        ops: 0,
-        report: Default::default(),
-        peak_bytes: Vec::new(),
-        recovery: RecoveryStats::default(),
-    };
-    let mut recovery = RecoveryStats::default();
-
-    let sources: Vec<usize> = match &cfg.sources {
-        Some(s) => {
-            for &v in s {
-                assert!(v < n, "source {v} out of range for n={n}");
-            }
-            s.clone()
-        }
-        None => (0..n).collect(),
-    };
-
-    // Batch cursor over `sources`; advances only when a batch
-    // commits, so every recovery resumes exactly where it left off.
-    let mut cursor = 0usize;
-    'batches: while cursor < sources.len() {
-        if let Some(max) = cfg.max_batches {
-            if run.batches >= max {
-                break;
+    let mut session = MfbcSession::new(machine, g, cfg)?;
+    loop {
+        match session.step() {
+            Ok(SessionStep::Done) => break,
+            Ok(SessionStep::Committed { .. }) => {}
+            Err(e) => {
+                // One-shot semantics: any error ends the run, so the
+                // resident state is released before propagating (a
+                // long-lived caller may instead keep the session and
+                // retry the step — see `MfbcSession::step`).
+                session.abort();
+                return Err(e);
             }
         }
-        // ---- checkpoint (batch boundary) ----
-        // Scores + progress are cloned; the memory meter and the set
-        // of cached adjacency forms are snapshotted so a rollback can
-        // discard mid-batch allocations and cache entries without
-        // double-counting.
-        let snapshot = m.memory_snapshot();
-        let fwd_keys = fwd_cache.keys();
-        let back_keys = back_cache.keys();
-        let run_ckpt = run.clone();
-        let mut batch_attempts = 0u32;
-        loop {
-            let end = (cursor + nb).min(sources.len());
-            let chunk = &sources[cursor..end];
-            let started_s = m.report().critical.total_time();
-            let _span = mfbc_trace::span(|| format!("batch {}", run.batches));
-            let caches = if cfg.amortize_adjacency {
-                Some((&mut fwd_cache, &mut back_cache))
-            } else {
-                None
-            };
-            let masked = cfg.masked && g.is_unit_weighted();
-            match batch(
-                &m,
-                g,
-                &da,
-                &dat,
-                chunk,
-                plan.as_ref(),
-                masked,
-                caches,
-                &mut run,
-            ) {
-                Ok(()) => {
-                    run.batches += 1;
-                    run.sources_processed += chunk.len();
-                    cursor = end;
-                    break;
+    }
+    Ok(session.finish())
+}
+
+/// What one [`MfbcSession::step`] call did.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SessionStep {
+    /// One batch committed; `sources` of them were newly processed.
+    Committed {
+        /// Sources processed by the committed batch.
+        sources: usize,
+    },
+    /// Nothing left to do: every requested source is processed, or
+    /// the configured `max_batches` cap is reached.
+    Done,
+}
+
+/// A resumable distributed MFBC computation: the batched driver loop
+/// of [`mfbc_dist`], opened up so a long-lived caller (the
+/// `mfbc-serve` engine) can advance it one committed batch at a time
+/// while keeping the machine, the distributed adjacency, and the
+/// prepared-adjacency caches warm between requests.
+///
+/// Invariants:
+///
+/// * Driving a session to completion with repeated [`step`] calls is
+///   *the same code path* as [`mfbc_dist`] — the scores after `k`
+///   committed batches are bit-identical to a one-shot run's partial
+///   sums after the same `k` batches, and the final [`finish`] run
+///   equals the one-shot [`MfbcRun`] field for field.
+/// * A step that fails with a *retryable* error ([`MachineError::
+///   CollectiveFailed`], or [`MachineError::OutOfMemory`] at the
+///   minimum batch size) rolls back to the batch-boundary checkpoint
+///   and leaves the session coherent: the caller may call [`step`]
+///   again later (after its own backoff) and the retry resumes at the
+///   same cursor. Unrecoverable errors (a crash on the last rank,
+///   invalid configuration) poison the session: its resident state is
+///   released and every later [`step`] fails fast.
+/// * Crash faults are absorbed *inside* [`step`] by the shrink/replan
+///   path, exactly as in the one-shot driver; the caller observes the
+///   new rank count via [`machine`](MfbcSession::machine).
+///
+/// [`step`]: MfbcSession::step
+/// [`finish`]: MfbcSession::finish
+pub struct MfbcSession {
+    g: Graph,
+    cfg: MfbcConfig,
+    /// Current machine; a crash recovery swaps in the shrunk one.
+    m: Machine,
+    /// Current batch size; the OOM retreat halves it.
+    nb: usize,
+    da: DistMat<mfbc_algebra::Dist>,
+    dat: DistMat<mfbc_algebra::Dist>,
+    plan: Option<MmPlan>,
+    fwd_cache: MmCache<mfbc_algebra::Dist>,
+    back_cache: MmCache<mfbc_algebra::Dist>,
+    run: MfbcRun,
+    recovery: RecoveryStats,
+    sources: Vec<usize>,
+    /// Batch cursor over `sources`; advances only when a batch
+    /// commits, so every recovery resumes exactly where it left off.
+    cursor: usize,
+    released: bool,
+    poisoned: bool,
+}
+
+impl MfbcSession {
+    /// Opens a session: distributes the adjacency and its transpose
+    /// on `machine` (resident until [`finish`](MfbcSession::finish)
+    /// or drop) and resolves the plan mode.
+    ///
+    /// # Errors
+    /// Propagates memory-budget failures from charging the adjacency
+    /// and invalid plan configuration.
+    ///
+    /// # Panics
+    /// Panics if an explicit [`MfbcConfig::sources`] entry is out of
+    /// range — same contract as [`mfbc_dist`].
+    pub fn new(
+        machine: &Machine,
+        g: &Graph,
+        cfg: &MfbcConfig,
+    ) -> Result<MfbcSession, MachineError> {
+        let n = g.n();
+        let nb = cfg.batch_size.unwrap_or_else(|| n.min(512)).max(1);
+        let m = machine.clone();
+
+        // Adjacency and its transpose, canonically distributed and
+        // resident for the whole session (rebuilt after a shrink —
+        // the canonical layout depends on p).
+        let da = DistMat::from_global(canonical_layout(&m, n, n), g.adjacency());
+        let dat = DistMat::from_global(canonical_layout(&m, n, n), &g.adjacency_t());
+        da.charge_memory(&m)?;
+        dat.charge_memory(&m)?;
+
+        let plan = cfg.plan_mode.plan_for(&m)?;
+        let sources: Vec<usize> = match &cfg.sources {
+            Some(s) => {
+                for &v in s {
+                    assert!(v < n, "source {v} out of range for n={n}");
                 }
-                Err(e) => {
-                    // Roll back to the checkpoint. Modeled time is
-                    // *not* rolled back: the failed attempt's seconds
-                    // stay on the clock and are reported as waste.
-                    let wasted = m.report().critical.total_time() - started_s;
-                    recovery.wasted_modeled_s += wasted;
-                    recovery.checkpoints_restored += 1;
-                    run = run_ckpt.clone();
-                    m.restore_memory(&snapshot);
-                    fwd_cache.discard_except(&fwd_keys);
-                    back_cache.discard_except(&back_keys);
-                    match e {
-                        MachineError::CollectiveFailed { .. } => {
-                            batch_attempts += 1;
-                            if batch_attempts > MAX_BATCH_RETRIES {
-                                release_run_state(&m, &mut fwd_cache, &mut back_cache, &da, &dat);
-                                return Err(e);
+                s.clone()
+            }
+            None => (0..n).collect(),
+        };
+        Ok(MfbcSession {
+            g: g.clone(),
+            cfg: cfg.clone(),
+            m,
+            nb,
+            da,
+            dat,
+            plan,
+            // Prepared-adjacency caches: the Theorem-5.1
+            // amortization. One cache per orientation; both released
+            // (with their simulated residency) at end of session.
+            fwd_cache: MmCache::new(),
+            back_cache: MmCache::new(),
+            run: MfbcRun {
+                scores: BcScores::zeros(n),
+                batches: 0,
+                sources_processed: 0,
+                forward_iterations: 0,
+                backward_iterations: 0,
+                frontier_nnz: 0,
+                ops: 0,
+                report: Default::default(),
+                peak_bytes: Vec::new(),
+                recovery: RecoveryStats::default(),
+            },
+            recovery: RecoveryStats::default(),
+            sources,
+            cursor: 0,
+            released: false,
+            poisoned: false,
+        })
+    }
+
+    /// Commits the next batch (or reports [`SessionStep::Done`]).
+    ///
+    /// When [`MfbcConfig::threads`] is set the step runs under an
+    /// `mfbc_parallel::with_threads` override (reentrant, so the
+    /// [`mfbc_dist`] wrapper's own override composes).
+    ///
+    /// # Errors
+    /// Retryable errors (`CollectiveFailed` past the per-step retry
+    /// budget, `OutOfMemory` at `nb = 1`) leave the session rolled
+    /// back to the batch boundary, ready for a later retry.
+    /// Unrecoverable errors poison the session (see
+    /// [`poisoned`](MfbcSession::poisoned)).
+    pub fn step(&mut self) -> Result<SessionStep, MachineError> {
+        if self.released {
+            return Err(MachineError::invalid(
+                "MFBC session is poisoned (resident state already released)",
+            ));
+        }
+        if self.cursor >= self.sources.len() {
+            return Ok(SessionStep::Done);
+        }
+        if let Some(max) = self.cfg.max_batches {
+            if self.run.batches >= max {
+                return Ok(SessionStep::Done);
+            }
+        }
+        match self.cfg.threads {
+            Some(t) => mfbc_parallel::with_threads(t, || self.step_inner()),
+            None => self.step_inner(),
+        }
+    }
+
+    fn step_inner(&mut self) -> Result<SessionStep, MachineError> {
+        let n = self.g.n();
+        'batches: loop {
+            // ---- checkpoint (batch boundary) ----
+            // Scores + progress are cloned; the memory meter and the
+            // set of cached adjacency forms are snapshotted so a
+            // rollback can discard mid-batch allocations and cache
+            // entries without double-counting.
+            let snapshot = self.m.memory_snapshot();
+            let fwd_keys = self.fwd_cache.keys();
+            let back_keys = self.back_cache.keys();
+            let run_ckpt = self.run.clone();
+            let mut batch_attempts = 0u32;
+            loop {
+                let end = (self.cursor + self.nb).min(self.sources.len());
+                let chunk = &self.sources[self.cursor..end];
+                let started_s = self.m.report().critical.total_time();
+                let _span = mfbc_trace::span(|| format!("batch {}", self.run.batches));
+                let caches = if self.cfg.amortize_adjacency {
+                    Some((&mut self.fwd_cache, &mut self.back_cache))
+                } else {
+                    None
+                };
+                let masked = self.cfg.masked && self.g.is_unit_weighted();
+                match batch(
+                    &self.m,
+                    &self.g,
+                    &self.da,
+                    &self.dat,
+                    chunk,
+                    self.plan.as_ref(),
+                    masked,
+                    caches,
+                    &mut self.run,
+                ) {
+                    Ok(()) => {
+                        let committed = chunk.len();
+                        self.run.batches += 1;
+                        self.run.sources_processed += committed;
+                        self.cursor = end;
+                        return Ok(SessionStep::Committed { sources: committed });
+                    }
+                    Err(e) => {
+                        // Roll back to the checkpoint. Modeled time is
+                        // *not* rolled back: the failed attempt's seconds
+                        // stay on the clock and are reported as waste.
+                        let wasted = self.m.report().critical.total_time() - started_s;
+                        self.recovery.wasted_modeled_s += wasted;
+                        self.recovery.checkpoints_restored += 1;
+                        self.run = run_ckpt.clone();
+                        self.m.restore_memory(&snapshot);
+                        self.fwd_cache.discard_except(&fwd_keys);
+                        self.back_cache.discard_except(&back_keys);
+                        match e {
+                            MachineError::CollectiveFailed { .. } => {
+                                batch_attempts += 1;
+                                if batch_attempts > MAX_BATCH_RETRIES {
+                                    // Retryable: the checkpoint is
+                                    // restored, state stays resident —
+                                    // a long-lived caller may back off
+                                    // and step again.
+                                    return Err(e);
+                                }
+                                self.recovery.batch_retries += 1;
+                                mfbc_trace::emit(|| mfbc_trace::TraceEvent::Recovery {
+                                    action: "retry-batch",
+                                    detail: format!("attempt {batch_attempts}: {e}"),
+                                    wasted_s: wasted,
+                                });
                             }
-                            recovery.batch_retries += 1;
-                            mfbc_trace::emit(|| mfbc_trace::TraceEvent::Recovery {
-                                action: "retry-batch",
-                                detail: format!("attempt {batch_attempts}: {e}"),
-                                wasted_s: wasted,
-                            });
-                        }
-                        MachineError::RankFailed { rank, .. } => {
-                            // Graceful degradation: release everything
-                            // from the dead configuration, shrink to
-                            // the survivors, rebuild the distributed
-                            // state, and let the autotuner replan for
-                            // the smaller machine.
-                            release_run_state(&m, &mut fwd_cache, &mut back_cache, &da, &dat);
-                            let old_p = m.p();
-                            m = m.shrink(rank)?;
-                            da = DistMat::from_global(canonical_layout(&m, n, n), g.adjacency());
-                            dat =
-                                DistMat::from_global(canonical_layout(&m, n, n), &g.adjacency_t());
-                            da.charge_memory(&m)?;
-                            dat.charge_memory(&m)?;
-                            fwd_cache = MmCache::new();
-                            back_cache = MmCache::new();
-                            plan = None; // degraded mode: autotune on the survivors
-                            recovery.replans += 1;
-                            mfbc_trace::emit(|| mfbc_trace::TraceEvent::Recovery {
-                                action: "replan",
-                                detail: format!("p={old_p}->{} plan=auto", m.p()),
-                                wasted_s: wasted,
-                            });
-                            // The snapshot predates the shrink (wrong
-                            // rank count) — take a fresh checkpoint.
-                            continue 'batches;
-                        }
-                        MachineError::OutOfMemory { .. } if nb > 1 => {
-                            nb /= 2;
-                            recovery.oom_halvings += 1;
-                            mfbc_trace::emit(|| mfbc_trace::TraceEvent::Recovery {
-                                action: "shrink-batch",
-                                detail: format!("nb={nb}"),
-                                wasted_s: wasted,
-                            });
-                            continue 'batches;
-                        }
-                        MachineError::OutOfMemory { .. } => {
-                            // Already at nb = 1: retry in place — an
-                            // injected OOM fault has been consumed and
-                            // will not re-fire; a real capacity limit
-                            // exhausts the budget and propagates.
-                            batch_attempts += 1;
-                            if batch_attempts > MAX_BATCH_RETRIES {
-                                release_run_state(&m, &mut fwd_cache, &mut back_cache, &da, &dat);
-                                return Err(e);
+                            MachineError::RankFailed { rank, .. } => {
+                                // Graceful degradation: release everything
+                                // from the dead configuration, shrink to
+                                // the survivors, rebuild the distributed
+                                // state, and let the autotuner replan for
+                                // the smaller machine.
+                                release_run_state(
+                                    &self.m,
+                                    &mut self.fwd_cache,
+                                    &mut self.back_cache,
+                                    &self.da,
+                                    &self.dat,
+                                );
+                                // Between here and the successful
+                                // rebuild nothing is resident — a
+                                // failure in the window must not
+                                // release again.
+                                self.released = true;
+                                let old_p = self.m.p();
+                                self.m = match self.m.shrink(rank) {
+                                    Ok(m) => m,
+                                    Err(e) => return Err(self.poison(e)),
+                                };
+                                self.da = DistMat::from_global(
+                                    canonical_layout(&self.m, n, n),
+                                    self.g.adjacency(),
+                                );
+                                self.dat = DistMat::from_global(
+                                    canonical_layout(&self.m, n, n),
+                                    &self.g.adjacency_t(),
+                                );
+                                if let Err(e) = self.da.charge_memory(&self.m) {
+                                    return Err(self.poison(e));
+                                }
+                                if let Err(e) = self.dat.charge_memory(&self.m) {
+                                    return Err(self.poison(e));
+                                }
+                                self.fwd_cache = MmCache::new();
+                                self.back_cache = MmCache::new();
+                                self.released = false;
+                                self.plan = None; // degraded mode: autotune on the survivors
+                                self.recovery.replans += 1;
+                                mfbc_trace::emit(|| mfbc_trace::TraceEvent::Recovery {
+                                    action: "replan",
+                                    detail: format!("p={old_p}->{} plan=auto", self.m.p()),
+                                    wasted_s: wasted,
+                                });
+                                // The snapshot predates the shrink (wrong
+                                // rank count) — take a fresh checkpoint.
+                                continue 'batches;
                             }
-                            recovery.batch_retries += 1;
-                            mfbc_trace::emit(|| mfbc_trace::TraceEvent::Recovery {
-                                action: "retry-batch",
-                                detail: format!("attempt {batch_attempts}: {e}"),
-                                wasted_s: wasted,
-                            });
-                        }
-                        other => {
-                            release_run_state(&m, &mut fwd_cache, &mut back_cache, &da, &dat);
-                            return Err(other);
+                            MachineError::OutOfMemory { .. } if self.nb > 1 => {
+                                self.nb /= 2;
+                                self.recovery.oom_halvings += 1;
+                                mfbc_trace::emit(|| mfbc_trace::TraceEvent::Recovery {
+                                    action: "shrink-batch",
+                                    detail: format!("nb={}", self.nb),
+                                    wasted_s: wasted,
+                                });
+                                continue 'batches;
+                            }
+                            MachineError::OutOfMemory { .. } => {
+                                // Already at nb = 1: retry in place — an
+                                // injected OOM fault has been consumed and
+                                // will not re-fire; a real capacity limit
+                                // exhausts the budget and propagates.
+                                batch_attempts += 1;
+                                if batch_attempts > MAX_BATCH_RETRIES {
+                                    // Retryable, like CollectiveFailed.
+                                    return Err(e);
+                                }
+                                self.recovery.batch_retries += 1;
+                                mfbc_trace::emit(|| mfbc_trace::TraceEvent::Recovery {
+                                    action: "retry-batch",
+                                    detail: format!("attempt {batch_attempts}: {e}"),
+                                    wasted_s: wasted,
+                                });
+                            }
+                            other => return Err(self.poison(other)),
                         }
                     }
                 }
@@ -494,15 +654,107 @@ fn mfbc_dist_inner(
         }
     }
 
-    release_run_state(&m, &mut fwd_cache, &mut back_cache, &da, &dat);
-    let stats = m.fault_stats();
-    recovery.faults_injected = stats.faults_injected;
-    recovery.collective_retries = stats.retries;
-    recovery.final_p = m.p();
-    run.report = m.report();
-    run.peak_bytes = m.memory_peaks();
-    run.recovery = recovery;
-    Ok(run)
+    /// Marks the session unusable after an unrecoverable error and
+    /// releases its resident state so the memory meter balances.
+    fn poison(&mut self, e: MachineError) -> MachineError {
+        self.poisoned = true;
+        self.release();
+        e
+    }
+
+    fn release(&mut self) {
+        if !self.released {
+            release_run_state(
+                &self.m,
+                &mut self.fwd_cache,
+                &mut self.back_cache,
+                &self.da,
+                &self.dat,
+            );
+            self.released = true;
+        }
+    }
+
+    /// Releases the session's resident state without producing a run
+    /// (idempotent; also done on drop).
+    pub fn abort(&mut self) {
+        self.release();
+    }
+
+    /// Whether an unrecoverable error has poisoned the session: its
+    /// state is released and every later [`step`](MfbcSession::step)
+    /// fails fast. A long-lived server maps this to "not ready".
+    pub fn poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    /// The machine the session currently runs on — after a crash
+    /// recovery, the shrunk one.
+    pub fn machine(&self) -> &Machine {
+        &self.m
+    }
+
+    /// The partial (or, once [`remaining_sources`](MfbcSession::
+    /// remaining_sources) is 0, exact) accumulated scores: the sums
+    /// `Σ δ(s,·)` over every source committed so far, bit-identical
+    /// to a one-shot run's accumulator at the same batch count.
+    pub fn scores(&self) -> &BcScores {
+        &self.run.scores
+    }
+
+    /// Batches committed so far.
+    pub fn batches(&self) -> usize {
+        self.run.batches
+    }
+
+    /// Sources committed so far.
+    pub fn sources_processed(&self) -> usize {
+        self.run.sources_processed
+    }
+
+    /// Total sources the session will process.
+    pub fn sources_total(&self) -> usize {
+        self.sources.len()
+    }
+
+    /// Sources not yet committed.
+    pub fn remaining_sources(&self) -> usize {
+        self.sources.len() - self.cursor
+    }
+
+    /// The current batch size (after any OOM halvings).
+    pub fn batch_size(&self) -> usize {
+        self.nb
+    }
+
+    /// Driver-level recovery accounting so far (the machine-side
+    /// fields are filled in by [`finish`](MfbcSession::finish)).
+    pub fn recovery(&self) -> &RecoveryStats {
+        &self.recovery
+    }
+
+    /// Releases the resident state and assembles the final
+    /// [`MfbcRun`], exactly as the one-shot driver does on the way
+    /// out. Idempotent in effect; the session is unusable afterwards.
+    pub fn finish(&mut self) -> MfbcRun {
+        self.release();
+        let stats = self.m.fault_stats();
+        let mut recovery = self.recovery.clone();
+        recovery.faults_injected = stats.faults_injected;
+        recovery.collective_retries = stats.retries;
+        recovery.final_p = self.m.p();
+        let mut run = self.run.clone();
+        run.report = self.m.report();
+        run.peak_bytes = self.m.memory_peaks();
+        run.recovery = recovery;
+        run
+    }
+}
+
+impl Drop for MfbcSession {
+    fn drop(&mut self) {
+        self.release();
+    }
 }
 
 fn mm_step<K: mfbc_algebra::SpMulKernel>(
@@ -953,6 +1205,179 @@ mod tests {
         let clean_bits: Vec<u64> = clean.scores.lambda.iter().map(|v| v.to_bits()).collect();
         let fault_bits: Vec<u64> = faulted.scores.lambda.iter().map(|v| v.to_bits()).collect();
         assert_eq!(clean_bits, fault_bits);
+    }
+
+    #[test]
+    fn session_steps_match_one_shot_bit_for_bit() {
+        // Driving a session step by step must be indistinguishable —
+        // scores, counters, modeled costs, memory peaks — from the
+        // one-shot wrapper, which is the property the serve engine's
+        // exact responses rely on.
+        let g = ladder();
+        let cfg = MfbcConfig::default().with_batch_size(2);
+        let one_shot = mfbc_dist(&Machine::new(MachineSpec::test(4)), &g, &cfg).unwrap();
+
+        let m = Machine::new(MachineSpec::test(4));
+        let mut session = MfbcSession::new(&m, &g, &cfg).unwrap();
+        let mut committed = 0;
+        let mut partials: Vec<Vec<u64>> = Vec::new();
+        while let SessionStep::Committed { sources } = session.step().unwrap() {
+            committed += sources;
+            partials.push(
+                session
+                    .scores()
+                    .lambda
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect(),
+            );
+            assert_eq!(session.sources_processed(), committed);
+        }
+        assert_eq!(committed, g.n());
+        assert_eq!(session.remaining_sources(), 0);
+        let run = session.finish();
+
+        let a: Vec<u64> = one_shot.scores.lambda.iter().map(|v| v.to_bits()).collect();
+        let b: Vec<u64> = run.scores.lambda.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(a, b, "incremental scores differ from one-shot");
+        assert_eq!(run.batches, one_shot.batches);
+        assert_eq!(run.ops, one_shot.ops);
+        assert_eq!(run.frontier_nnz, one_shot.frontier_nnz);
+        assert_eq!(
+            run.report.critical.total_time().to_bits(),
+            one_shot.report.critical.total_time().to_bits(),
+            "modeled time diverged"
+        );
+        assert_eq!(run.peak_bytes, one_shot.peak_bytes);
+        // Each committed prefix is a strict accumulation: the last
+        // partial equals the final scores.
+        assert_eq!(partials.last().unwrap(), &b);
+    }
+
+    #[test]
+    fn session_respects_max_batches_and_reports_done() {
+        let g = ladder();
+        let cfg = MfbcConfig {
+            max_batches: Some(2),
+            ..MfbcConfig::default().with_batch_size(2)
+        };
+        let m = Machine::new(MachineSpec::test(2));
+        let mut session = MfbcSession::new(&m, &g, &cfg).unwrap();
+        assert!(matches!(
+            session.step().unwrap(),
+            SessionStep::Committed { sources: 2 }
+        ));
+        assert!(matches!(
+            session.step().unwrap(),
+            SessionStep::Committed { sources: 2 }
+        ));
+        assert_eq!(session.step().unwrap(), SessionStep::Done);
+        assert_eq!(session.batches(), 2);
+        assert!(!session.poisoned());
+    }
+
+    #[test]
+    fn session_survives_crash_mid_stream() {
+        // A crash fault absorbed inside step(): the session shrinks,
+        // keeps going, and its final scores match the fault-free run
+        // (the ladder's dependency values are dyadic).
+        use mfbc_machine::{FaultPlan, RetryPolicy};
+        let g = ladder();
+        let cfg = MfbcConfig::default().with_batch_size(2);
+        let clean = mfbc_dist(&Machine::new(MachineSpec::test(8)), &g, &cfg).unwrap();
+        let m = Machine::with_faults(
+            MachineSpec::test(8),
+            FaultPlan::parse("crash:3@5").unwrap(),
+            RetryPolicy::default(),
+        );
+        let mut session = MfbcSession::new(&m, &g, &cfg).unwrap();
+        while session.step().unwrap() != SessionStep::Done {}
+        assert_eq!(session.machine().p(), 7, "shrink not visible to caller");
+        let run = session.finish();
+        assert_eq!(run.recovery.replans, 1);
+        let a: Vec<u64> = clean.scores.lambda.iter().map(|v| v.to_bits()).collect();
+        let b: Vec<u64> = run.scores.lambda.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn session_retryable_failure_keeps_state_for_a_later_retry() {
+        // A transient recurrence deep enough to outlive the machine's
+        // in-place retries *and* the per-step batch retries makes
+        // step() fail — but the session stays coherent, and a later
+        // step() (the serve engine's backoff path) finishes the job
+        // bit-identically to a fault-free run.
+        use mfbc_machine::{FaultPlan, RetryPolicy};
+        let g = ladder();
+        let cfg = MfbcConfig::default().with_batch_size(4);
+        let clean = mfbc_dist(&Machine::new(MachineSpec::test(4)), &g, &cfg).unwrap();
+        // Machine retries 3 attempts per collective; the driver
+        // retries the batch 8 more times => 27 failed attempts per
+        // step. A recurrence of 40 survives the first step call.
+        let m = Machine::with_faults(
+            MachineSpec::test(4),
+            FaultPlan::parse("transient:40@3").unwrap(),
+            RetryPolicy::default(),
+        );
+        let mut session = MfbcSession::new(&m, &g, &cfg).unwrap();
+        let err = loop {
+            match session.step() {
+                Ok(SessionStep::Done) => panic!("expected the first step to exhaust its budget"),
+                Ok(_) => continue,
+                Err(e) => break e,
+            }
+        };
+        assert!(matches!(err, MachineError::CollectiveFailed { .. }));
+        assert!(!session.poisoned(), "retryable error must not poison");
+        // Second try from the same cursor: the remaining recurrence
+        // budget is consumed and the run completes.
+        while session.step().unwrap() != SessionStep::Done {}
+        let run = session.finish();
+        let a: Vec<u64> = clean.scores.lambda.iter().map(|v| v.to_bits()).collect();
+        let b: Vec<u64> = run.scores.lambda.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(a, b);
+        assert!(run.recovery.batch_retries >= 1);
+    }
+
+    #[test]
+    fn session_poisons_on_unrecoverable_crash() {
+        // A crash on a 2-rank machine under a per-rank memory budget
+        // that fits the halved state but not the whole problem: the
+        // shrink succeeds, but rebuilding the adjacency on the single
+        // survivor overflows the budget — unrecoverable. The session
+        // poisons, later steps fail fast, and dropping it
+        // double-releases nothing. (On a 1-rank machine faults never
+        // fire at all: size-1 groups skip the collective fault gate;
+        // and with a looser budget the batch-halving path would
+        // absorb the pressure — only the fixed adjacency footprint is
+        // immovable, so nb = 1 keeps temporaries out of the picture.)
+        use mfbc_graph::gen::uniform;
+        use mfbc_machine::{FaultPlan, RetryPolicy};
+        let g = uniform(48, 600, false, None, 3);
+        // Probed footprints for this graph at nb = 1: peak 19 160
+        // B/rank at p = 2; adjacency (da + dat) alone is 22 560 B on
+        // one rank — 21 000 B admits the former, rejects the latter.
+        let spec = MachineSpec {
+            mem_bytes: Some(21_000),
+            ..MachineSpec::test(2)
+        };
+        let m = Machine::with_faults(
+            spec,
+            FaultPlan::parse("crash:0@2").unwrap(),
+            RetryPolicy::default(),
+        );
+        let cfg = MfbcConfig::default().with_batch_size(1);
+        let mut session = MfbcSession::new(&m, &g, &cfg).unwrap();
+        let err = loop {
+            match session.step() {
+                Ok(SessionStep::Done) => panic!("rebuild over budget must be unrecoverable"),
+                Ok(_) => continue,
+                Err(e) => break e,
+            }
+        };
+        assert!(matches!(err, MachineError::OutOfMemory { .. }), "{err}");
+        assert!(session.poisoned());
+        assert!(session.step().is_err(), "poisoned session must fail fast");
     }
 
     #[test]

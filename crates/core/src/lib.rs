@@ -36,7 +36,7 @@ pub mod oracle;
 pub mod scores;
 pub mod seq;
 
-pub use approx::{approx_from_sources, mfbc_approx};
-pub use dist::{mfbc_dist, MfbcConfig, MfbcRun, PlanMode};
+pub use approx::{approx_from_sources, mfbc_approx, sample_rel_se, sample_sources};
+pub use dist::{mfbc_dist, MfbcConfig, MfbcRun, MfbcSession, PlanMode, SessionStep};
 pub use scores::BcScores;
 pub use seq::{mfbc_seq, MfbcSeqStats};

@@ -216,16 +216,33 @@ fn parse_num(part: &str, arg: &str) -> Result<u64, String> {
         .map_err(|_| format!("fault {part:?}: bad argument {arg:?}"))
 }
 
-/// Bounded-retry policy for transient collective failures, applied
-/// *inside* the machine: each failed attempt charges `backoff_s`
-/// modeled seconds of communication time to every rank in the group
-/// before retrying, up to `max_attempts` attempts total.
+/// Bounded-retry policy for transient collective failures.
+///
+/// Two layers consume it. *Inside* the machine, each failed
+/// collective attempt charges the flat `backoff_s` modeled seconds of
+/// communication time to every rank in the group before retrying, up
+/// to `max_attempts` attempts total (the flat charge is pinned by the
+/// timeline goldens and stays as-is). *Above* the machine, long-lived
+/// callers (the serve engine) wait [`RetryPolicy::backoff_for`]
+/// seconds between whole-request attempts — bounded exponential
+/// growth from `backoff_s`, capped at `cap_s`, with deterministic
+/// downward jitter so coalesced retries decorrelate without ever
+/// exceeding the cap.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct RetryPolicy {
     /// Total attempts per collective (1 = no retry).
     pub max_attempts: u32,
-    /// Modeled seconds charged per retry (the backoff interval).
+    /// Modeled seconds charged per retry (the backoff interval), and
+    /// the base of the exponential schedule.
     pub backoff_s: f64,
+    /// Exponential growth factor of [`RetryPolicy::backoff_for`].
+    pub multiplier: f64,
+    /// Upper bound on any single backoff wait, jitter included.
+    pub cap_s: f64,
+    /// Jitter fraction in `[0, 1)`: attempt `a` waits uniformly in
+    /// `(wait·(1 − jitter), wait]`. Downward-only, so the cap holds
+    /// and the wait is strictly positive.
+    pub jitter: f64,
 }
 
 impl Default for RetryPolicy {
@@ -233,7 +250,138 @@ impl Default for RetryPolicy {
         RetryPolicy {
             max_attempts: 3,
             backoff_s: 1e-3,
+            multiplier: 2.0,
+            cap_s: 1.0,
+            jitter: 0.5,
         }
+    }
+}
+
+impl RetryPolicy {
+    /// The wait before retry number `attempt` (0-based), in modeled
+    /// seconds: `backoff_s · multiplier^attempt`, capped at `cap_s`,
+    /// then jittered downward by a deterministic function of
+    /// `(attempt, seed)` — the same `(attempt, seed)` pair always
+    /// produces the same wait, the wait never exceeds `cap_s`, and it
+    /// is strictly positive whenever `backoff_s > 0`.
+    pub fn backoff_for(&self, attempt: u32, seed: u64) -> f64 {
+        let mut wait = self.backoff_s;
+        // Multiply iteratively (rather than powf) so the schedule is
+        // bit-reproducible across platforms and saturates cleanly.
+        for _ in 0..attempt {
+            wait *= self.multiplier;
+            if wait >= self.cap_s {
+                break;
+            }
+        }
+        wait = wait.min(self.cap_s);
+        let jitter = self.jitter.clamp(0.0, 0.999_999);
+        if jitter <= 0.0 {
+            return wait;
+        }
+        // One PRNG draw per (attempt, seed): mix the attempt into the
+        // stream so consecutive attempts decorrelate under one seed.
+        let mut rng = SplitMix64::new(seed ^ (((attempt as u64) << 32) | 0x6a17_7e12));
+        // u ∈ [0, 1): 53 uniform mantissa bits.
+        let u = (rng.next() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        // Downward-only: wait · (1 − jitter·u) ∈ (wait·(1−jitter), wait].
+        wait * (1.0 - jitter * u)
+    }
+}
+
+/// Consecutive-failure circuit breaker for the serve engine's batch
+/// loop: after `threshold` consecutive failures the breaker *opens*
+/// (callers stop attempting work and serve stale state), stays open
+/// for `cooldown` ticks, then admits a single probe (*half-open*). A
+/// success while half-open closes it; a failure re-opens it for
+/// another full cooldown.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CircuitBreaker {
+    /// Consecutive failures that trip the breaker open.
+    pub threshold: u32,
+    /// Ticks (calls to [`CircuitBreaker::allows`]) an open breaker
+    /// waits before admitting a half-open probe.
+    pub cooldown: u32,
+    state: BreakerState,
+    consecutive_failures: u32,
+    cooldown_left: u32,
+    trips: u64,
+}
+
+/// Observable state of a [`CircuitBreaker`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Normal operation: work is attempted.
+    Closed,
+    /// Tripped: work is refused until the cooldown elapses.
+    Open,
+    /// Cooldown elapsed: exactly one probe attempt is admitted.
+    HalfOpen,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker that trips after `threshold` consecutive
+    /// failures and cools down for `cooldown` ticks.
+    pub fn new(threshold: u32, cooldown: u32) -> CircuitBreaker {
+        CircuitBreaker {
+            threshold: threshold.max(1),
+            cooldown,
+            state: BreakerState::Closed,
+            consecutive_failures: 0,
+            cooldown_left: 0,
+            trips: 0,
+        }
+    }
+
+    /// Whether an attempt may proceed right now. Each call on an open
+    /// breaker ticks the cooldown; the call on which it reaches zero
+    /// half-opens the breaker and admits the probe.
+    pub fn allows(&mut self) -> bool {
+        match self.state {
+            BreakerState::Closed | BreakerState::HalfOpen => true,
+            BreakerState::Open => {
+                if self.cooldown_left > 0 {
+                    self.cooldown_left -= 1;
+                }
+                if self.cooldown_left == 0 {
+                    self.state = BreakerState::HalfOpen;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Records a successful attempt: closes the breaker and clears
+    /// the failure streak.
+    pub fn record_success(&mut self) {
+        self.state = BreakerState::Closed;
+        self.consecutive_failures = 0;
+    }
+
+    /// Records a failed attempt: a half-open probe failure re-opens
+    /// immediately; otherwise the streak grows and trips the breaker
+    /// at `threshold`.
+    pub fn record_failure(&mut self) {
+        self.consecutive_failures = self.consecutive_failures.saturating_add(1);
+        let trip = self.state == BreakerState::HalfOpen
+            || (self.state == BreakerState::Closed && self.consecutive_failures >= self.threshold);
+        if trip {
+            self.state = BreakerState::Open;
+            self.cooldown_left = self.cooldown;
+            self.trips += 1;
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// How many times the breaker has tripped open.
+    pub fn trips(&self) -> u64 {
+        self.trips
     }
 }
 
@@ -392,5 +540,89 @@ mod tests {
         let p = RetryPolicy::default();
         assert!(p.max_attempts >= 1);
         assert!(p.backoff_s > 0.0);
+        assert!(p.multiplier >= 1.0);
+        assert!(p.cap_s >= p.backoff_s);
+        assert!((0.0..1.0).contains(&p.jitter));
+    }
+
+    #[test]
+    fn backoff_schedule_is_deterministic_positive_and_capped() {
+        let p = RetryPolicy::default();
+        for seed in [0u64, 1, 0x5eed, u64::MAX] {
+            for attempt in 0..64 {
+                let a = p.backoff_for(attempt, seed);
+                let b = p.backoff_for(attempt, seed);
+                assert_eq!(a.to_bits(), b.to_bits(), "nondeterministic wait");
+                assert!(a > 0.0, "attempt {attempt} seed {seed}: wait {a} <= 0");
+                assert!(a <= p.cap_s, "attempt {attempt} seed {seed}: {a} > cap");
+            }
+        }
+    }
+
+    #[test]
+    fn backoff_grows_geometrically_without_jitter() {
+        let p = RetryPolicy {
+            jitter: 0.0,
+            cap_s: f64::INFINITY,
+            ..RetryPolicy::default()
+        };
+        for attempt in 0..10u32 {
+            let want = p.backoff_s * p.multiplier.powi(attempt as i32);
+            let got = p.backoff_for(attempt, 42);
+            assert!((got - want).abs() <= want * 1e-12, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn backoff_jitter_decorrelates_attempts_and_seeds() {
+        let p = RetryPolicy::default();
+        // Same attempt, different seeds → different waits; same seed,
+        // consecutive capped attempts → different waits (the attempt
+        // index is mixed into the stream).
+        assert_ne!(p.backoff_for(3, 1).to_bits(), p.backoff_for(3, 2).to_bits());
+        let late_a = p.backoff_for(40, 7); // both capped pre-jitter
+        let late_b = p.backoff_for(41, 7);
+        assert_ne!(late_a.to_bits(), late_b.to_bits());
+    }
+
+    #[test]
+    fn breaker_trips_after_threshold_and_recovers_via_probe() {
+        let mut b = CircuitBreaker::new(3, 2);
+        assert_eq!(b.state(), BreakerState::Closed);
+        b.record_failure();
+        b.record_failure();
+        assert_eq!(b.state(), BreakerState::Closed);
+        b.record_failure();
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.trips(), 1);
+        // Cooldown: first tick refused, second admits the probe.
+        assert!(!b.allows());
+        assert!(b.allows());
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        b.record_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert!(b.allows());
+    }
+
+    #[test]
+    fn breaker_probe_failure_reopens_immediately() {
+        let mut b = CircuitBreaker::new(2, 1);
+        b.record_failure();
+        b.record_failure();
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(b.allows(), "cooldown 1 admits the probe on the first tick");
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        b.record_failure();
+        assert_eq!(b.state(), BreakerState::Open, "probe failure reopens");
+        assert_eq!(b.trips(), 2);
+    }
+
+    #[test]
+    fn breaker_success_clears_the_failure_streak() {
+        let mut b = CircuitBreaker::new(2, 1);
+        b.record_failure();
+        b.record_success();
+        b.record_failure();
+        assert_eq!(b.state(), BreakerState::Closed, "streak was reset");
     }
 }

@@ -786,6 +786,7 @@ mod tests {
             RetryPolicy {
                 max_attempts: 3,
                 backoff_s: 0.5,
+                ..RetryPolicy::default()
             },
         );
         let before = m.report().critical.comm_time;
@@ -809,6 +810,7 @@ mod tests {
             RetryPolicy {
                 max_attempts: 3,
                 backoff_s: 1e-3,
+                ..RetryPolicy::default()
             },
         );
         let err = m

@@ -1,0 +1,688 @@
+//! The serving engine: warm state, admission, coalescing, the
+//! degradation ladder, and retry/backoff around the resumable
+//! `MfbcSession`.
+
+use mfbc_core::dist::{MfbcConfig, MfbcSession, SessionStep};
+use mfbc_core::{mfbc_approx, sample_rel_se, BcScores};
+use mfbc_fault::{CircuitBreaker, RetryPolicy};
+use mfbc_graph::Graph;
+use mfbc_machine::{Machine, MachineError};
+use mfbc_profile::{MetricKind, MetricsRegistry};
+use mfbc_tensor::autotune::best_plan;
+use mfbc_tensor::costmodel::MmStats;
+use std::collections::VecDeque;
+
+/// What a request asks for.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Query {
+    /// The `k` highest-centrality vertices with their scores.
+    TopK {
+        /// How many vertices to return.
+        k: usize,
+    },
+    /// One vertex's score.
+    Vertex {
+        /// The vertex id.
+        v: usize,
+    },
+    /// The full score vector.
+    Full,
+}
+
+impl Query {
+    /// Label used in metrics.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Query::TopK { .. } => "topk",
+            Query::Vertex { .. } => "vertex",
+            Query::Full => "full",
+        }
+    }
+}
+
+/// A query plus its per-request quality budget.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Request {
+    /// Caller-chosen id, echoed on the response.
+    pub id: u64,
+    /// What to compute.
+    pub query: Query,
+    /// Modeled-seconds budget for this request; `None` uses the
+    /// engine's default. The budget buys *progress*: the engine
+    /// spends it advancing the exact computation, and degrades the
+    /// answer when the budget cannot fit the remainder.
+    pub deadline_s: Option<f64>,
+}
+
+/// Why a submission was refused at admission time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShedReason {
+    /// The bounded queue is full.
+    QueueFull,
+    /// The request is malformed (e.g. vertex id out of range).
+    InvalidRequest,
+}
+
+impl ShedReason {
+    /// Label used in metrics and on the wire.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ShedReason::QueueFull => "queue-full",
+            ShedReason::InvalidRequest => "invalid-request",
+        }
+    }
+}
+
+/// Outcome of [`Engine::submit`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Admission {
+    /// Queued; a later [`Engine::drain`] will answer it.
+    Admitted,
+    /// Refused; no response will be produced.
+    Shed(ShedReason),
+}
+
+/// How trustworthy a response's scores are — the degradation ladder.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Quality {
+    /// Every source has been processed: the scores are the exact BC
+    /// values, bit-identical to a one-shot `mfbc_dist` run.
+    Exact,
+    /// Unbiased sampled estimate from `k` sources.
+    Approx {
+        /// Sources sampled.
+        k: usize,
+        /// Relative standard error of the estimator
+        /// (`mfbc_core::sample_rel_se`).
+        ci: f64,
+    },
+    /// Last committed exact partial sums, possibly behind the full
+    /// computation.
+    Stale {
+        /// Store version served (committed batches so far).
+        version: u64,
+    },
+}
+
+impl Quality {
+    /// Label used in metrics and on the wire.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Quality::Exact => "exact",
+            Quality::Approx { .. } => "approx",
+            Quality::Stale { .. } => "stale",
+        }
+    }
+}
+
+/// The answer payload, shaped by the request's [`Query`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum Payload {
+    /// `(vertex, score)` pairs, highest first.
+    TopK(Vec<(usize, f64)>),
+    /// One vertex's score.
+    Vertex {
+        /// The vertex id.
+        v: usize,
+        /// Its (possibly estimated or stale) score.
+        score: f64,
+    },
+    /// The full score vector.
+    Full(Vec<f64>),
+}
+
+/// A served response.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Response {
+    /// Echo of the request id.
+    pub id: u64,
+    /// Where on the degradation ladder the answer came from.
+    pub quality: Quality,
+    /// The scores asked for.
+    pub payload: Payload,
+    /// Store version at serve time.
+    pub version: u64,
+    /// Modeled seconds between the drain round starting and this
+    /// response being ready (shared by the round's coalesced
+    /// requests), including retry backoff and degraded-estimate
+    /// compute.
+    pub latency_modeled_s: f64,
+    /// Engine-level retries spent during this round.
+    pub retries: u32,
+}
+
+/// Liveness/readiness snapshot.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Health {
+    /// The engine can still make exact progress (not poisoned).
+    pub ready: bool,
+    /// The engine answers queries at all (always true while it
+    /// exists; poisoned engines stay live and serve stale).
+    pub live: bool,
+    /// Requests waiting for the next drain.
+    pub queue_depth: usize,
+    /// Committed batches in the score store.
+    pub store_version: u64,
+    /// Whether the store holds the complete exact scores.
+    pub exact_complete: bool,
+    /// Current machine size (shrinks after crash recovery).
+    pub p: usize,
+    /// Responses served so far.
+    pub served: u64,
+    /// Requests shed at admission so far.
+    pub shed: u64,
+}
+
+/// Engine tuning knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct EngineConfig {
+    /// Bounded queue capacity; submissions beyond it are shed.
+    pub max_queue: usize,
+    /// Engine-level retry/backoff policy for retryable session
+    /// errors (exponential schedule via `RetryPolicy::backoff_for`).
+    pub retry: RetryPolicy,
+    /// Consecutive failed drain-advances that trip the breaker.
+    pub breaker_threshold: u32,
+    /// Drain rounds an open breaker waits before a half-open probe.
+    pub breaker_cooldown: u32,
+    /// Budget for requests that carry no deadline, in modeled
+    /// seconds.
+    pub default_deadline_s: f64,
+    /// Smallest sample the engine will serve as `Approx`; below this
+    /// it serves `Stale`.
+    pub min_approx_k: usize,
+    /// Seed for backoff jitter and degraded-mode sampling. Two
+    /// engines with equal seeds, configs, and request streams produce
+    /// bit-identical response streams.
+    pub seed: u64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> EngineConfig {
+        EngineConfig {
+            max_queue: 64,
+            retry: RetryPolicy::default(),
+            breaker_threshold: 3,
+            breaker_cooldown: 2,
+            default_deadline_s: f64::INFINITY,
+            min_approx_k: 4,
+            seed: 0,
+        }
+    }
+}
+
+/// Versioned snapshot of the last committed scores.
+struct ScoreStore {
+    scores: BcScores,
+    version: u64,
+    exact_complete: bool,
+}
+
+/// The long-lived serving engine. See the crate docs for the design.
+pub struct Engine {
+    g: Graph,
+    ecfg: EngineConfig,
+    /// Live resumable exact computation; `None` once finished.
+    session: Option<MfbcSession>,
+    store: ScoreStore,
+    queue: VecDeque<Request>,
+    breaker: CircuitBreaker,
+    metrics: MetricsRegistry,
+    /// Modeled clock of the finished session (the machine handle is
+    /// gone after `finish`).
+    final_clock_s: f64,
+    /// Modeled seconds spent outside the machine: retry backoff waits
+    /// and degraded-estimate compute.
+    extra_modeled_s: f64,
+    /// Modeled seconds and count of committed batches, for the
+    /// measured per-batch average.
+    committed_modeled_s: f64,
+    committed_batches: u64,
+    batch_nb: usize,
+    poisoned: bool,
+    rounds: u64,
+    served: u64,
+    shed: u64,
+    breaker_trips_seen: u64,
+}
+
+impl Engine {
+    /// Builds a warm engine: distributes the graph on `machine`,
+    /// charges the resident state, and declares the metric families.
+    ///
+    /// # Errors
+    /// Fails if the session cannot be built (bad plan config, memory
+    /// budget exceeded), or if `cfg` sets `max_batches` or an
+    /// explicit source subset — the store must converge to the full
+    /// exact scores, so partial configs are rejected up front.
+    pub fn new(
+        machine: &Machine,
+        g: Graph,
+        cfg: &MfbcConfig,
+        ecfg: EngineConfig,
+    ) -> Result<Engine, MachineError> {
+        if cfg.max_batches.is_some() {
+            return Err(MachineError::invalid(
+                "serve engine requires max_batches = None (the store must reach exact)",
+            ));
+        }
+        if cfg.sources.is_some() {
+            return Err(MachineError::invalid(
+                "serve engine requires the full source set (sources = None)",
+            ));
+        }
+        let session = MfbcSession::new(machine, &g, cfg)?;
+        let n = g.n();
+        let metrics = MetricsRegistry::new();
+        metrics.declare(
+            "serve_requests_total",
+            MetricKind::Counter,
+            "Requests admitted, by query type",
+        );
+        metrics.declare(
+            "serve_responses_total",
+            MetricKind::Counter,
+            "Responses served, by quality",
+        );
+        metrics.declare(
+            "serve_shed_total",
+            MetricKind::Counter,
+            "Requests refused at admission, by reason",
+        );
+        metrics.declare(
+            "serve_retries_total",
+            MetricKind::Counter,
+            "Engine-level retries of retryable session errors",
+        );
+        metrics.declare(
+            "serve_breaker_trips_total",
+            MetricKind::Counter,
+            "Circuit-breaker trips to stale-serving",
+        );
+        metrics.declare(
+            "serve_batches_total",
+            MetricKind::Counter,
+            "Exact batches committed into the score store",
+        );
+        metrics.declare(
+            "serve_queue_depth",
+            MetricKind::Gauge,
+            "Requests waiting for the next drain",
+        );
+        metrics.declare(
+            "serve_store_version",
+            MetricKind::Gauge,
+            "Committed batches in the score store",
+        );
+        metrics.declare(
+            "serve_ready",
+            MetricKind::Gauge,
+            "1 while the engine can make exact progress",
+        );
+        metrics.declare(
+            "serve_latency_modeled_us",
+            MetricKind::Histogram,
+            "Modeled round latency in microseconds",
+        );
+        metrics.declare(
+            "serve_coalesced_requests",
+            MetricKind::Histogram,
+            "Requests coalesced per drain round",
+        );
+        metrics.gauge_set("serve_ready", &[], 1.0);
+        let batch_nb = session.batch_size();
+        Ok(Engine {
+            g,
+            ecfg,
+            session: Some(session),
+            store: ScoreStore {
+                scores: BcScores::zeros(n),
+                version: 0,
+                exact_complete: false,
+            },
+            queue: VecDeque::new(),
+            breaker: CircuitBreaker::new(ecfg.breaker_threshold, ecfg.breaker_cooldown),
+            metrics,
+            final_clock_s: 0.0,
+            extra_modeled_s: 0.0,
+            committed_modeled_s: 0.0,
+            committed_batches: 0,
+            batch_nb,
+            poisoned: false,
+            rounds: 0,
+            served: 0,
+            shed: 0,
+            breaker_trips_seen: 0,
+        })
+    }
+
+    /// Offers a request to the bounded queue.
+    pub fn submit(&mut self, req: Request) -> Admission {
+        let valid = match req.query {
+            Query::Vertex { v } => v < self.g.n(),
+            Query::TopK { k } => k > 0,
+            Query::Full => true,
+        };
+        if !valid {
+            return self.shed(ShedReason::InvalidRequest);
+        }
+        if self.queue.len() >= self.ecfg.max_queue {
+            return self.shed(ShedReason::QueueFull);
+        }
+        self.queue.push_back(req);
+        self.metrics
+            .counter_add("serve_requests_total", &[("query", req.query.name())], 1.0);
+        self.metrics
+            .gauge_set("serve_queue_depth", &[], self.queue.len() as f64);
+        Admission::Admitted
+    }
+
+    fn shed(&mut self, reason: ShedReason) -> Admission {
+        self.shed += 1;
+        self.metrics
+            .counter_add("serve_shed_total", &[("reason", reason.name())], 1.0);
+        Admission::Shed(reason)
+    }
+
+    /// The engine's modeled clock: machine time plus backoff and
+    /// degraded-estimate charges.
+    fn clock_s(&self) -> f64 {
+        let machine_s = match &self.session {
+            Some(s) => s.machine().report().critical.total_time(),
+            None => self.final_clock_s,
+        };
+        machine_s + self.extra_modeled_s
+    }
+
+    /// Expected modeled seconds to commit one more exact batch: the
+    /// measured average once a batch has landed, else the autotuner's
+    /// cost-model prediction for the batch's products times a sweep
+    /// estimate.
+    fn est_batch_s(&self) -> f64 {
+        if self.committed_batches > 0 {
+            return self.committed_modeled_s / self.committed_batches as f64;
+        }
+        let Some(session) = &self.session else {
+            return 0.0;
+        };
+        let n = self.g.n() as u64;
+        let nb = self.batch_nb as u64;
+        let nnz = self.g.adjacency().nnz() as u64;
+        // One frontier product: Aᵀ (n×n, the graph) times the batch
+        // panel (n×nb, about one incident edge set per source).
+        let frontier_nnz = (nb * (nnz / n.max(1)).max(1)).max(1);
+        let stats = MmStats::estimate(n, n, nb, nnz, frontier_nnz, 12, 12, 20);
+        let (_, per_mm) = best_plan(session.machine().spec(), &stats);
+        // Forward plus backward sweeps, roughly log n iterations
+        // each; a deliberate overestimate is safer for admission than
+        // an underestimate. Replaced by the measured average after
+        // the first commit.
+        let sweeps = 2.0 * ((n.max(2) as f64).log2().ceil() + 1.0);
+        per_mm * sweeps
+    }
+
+    /// Answers every queued request in one coalesced round. Admitted
+    /// requests are never dropped: each gets exactly one response at
+    /// the best quality the shared budget and the machine's health
+    /// allow.
+    pub fn drain(&mut self) -> Vec<Response> {
+        if self.queue.is_empty() {
+            return Vec::new();
+        }
+        let round: Vec<Request> = self.queue.drain(..).collect();
+        self.rounds += 1;
+        self.metrics.gauge_set("serve_queue_depth", &[], 0.0);
+        self.metrics
+            .observe("serve_coalesced_requests", &[], round.len() as f64);
+
+        let start_s = self.clock_s();
+        let default_deadline = self.ecfg.default_deadline_s;
+        let deadline = move |r: &Request| r.deadline_s.unwrap_or(default_deadline);
+        // The most patient request funds shared progress; everyone
+        // admitted rides along (coalescing).
+        let round_budget = round.iter().map(deadline).fold(0.0_f64, f64::max);
+
+        let mut retries_this_round = 0u32;
+        // An open breaker pins the round to stale-serving: no exact
+        // advance, no fresh estimates, until the cooldown admits a
+        // probe.
+        let breaker_open = !self.store.exact_complete && !self.poisoned && !self.breaker.allows();
+        if !self.store.exact_complete && !self.poisoned && !breaker_open {
+            self.advance_within(round_budget, start_s, &mut retries_this_round);
+        }
+
+        // Degraded rung: one shared sample sized to the largest
+        // leftover budget among requests that can still afford the
+        // minimum sample.
+        let mut approx: Option<(usize, BcScores)> = None;
+        if !self.store.exact_complete && !self.poisoned && !breaker_open {
+            let elapsed = self.clock_s() - start_s;
+            let est_source_s = (self.est_batch_s() / self.batch_nb.max(1) as f64).max(1e-12);
+            let k_round = round
+                .iter()
+                .map(|r| ((deadline(r) - elapsed) / est_source_s) as i64)
+                .max()
+                .unwrap_or(0)
+                .clamp(0, self.g.n() as i64) as usize;
+            if k_round >= self.ecfg.min_approx_k {
+                // Seeded by (engine seed, store version, round): the
+                // same schedule replays bit for bit.
+                let sample_seed = self.ecfg.seed
+                    ^ self.store.version.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                    ^ self.rounds;
+                let est = mfbc_approx(&self.g, k_round, sample_seed);
+                // The estimator runs shared-memory; charge its
+                // modeled cost so latencies stay honest.
+                self.extra_modeled_s += k_round as f64 * est_source_s;
+                approx = Some((k_round, est.scores));
+            }
+        }
+
+        let elapsed = self.clock_s() - start_s;
+        let version = self.store.version;
+        let n = self.g.n();
+        let mut out = Vec::with_capacity(round.len());
+        for req in round {
+            let (quality, scores) = if self.store.exact_complete {
+                (Quality::Exact, &self.store.scores)
+            } else if let Some((k, est)) = &approx {
+                (
+                    Quality::Approx {
+                        k: *k,
+                        ci: sample_rel_se(n, *k),
+                    },
+                    est,
+                )
+            } else {
+                (Quality::Stale { version }, &self.store.scores)
+            };
+            let payload = match req.query {
+                Query::TopK { k } => Payload::TopK(scores.top_k(k)),
+                Query::Vertex { v } => Payload::Vertex {
+                    v,
+                    score: scores.lambda[v],
+                },
+                Query::Full => Payload::Full(scores.lambda.clone()),
+            };
+            self.metrics
+                .counter_add("serve_responses_total", &[("quality", quality.name())], 1.0);
+            self.metrics
+                .observe("serve_latency_modeled_us", &[], elapsed * 1e6);
+            self.served += 1;
+            out.push(Response {
+                id: req.id,
+                quality,
+                payload,
+                version,
+                latency_modeled_s: elapsed,
+                retries: retries_this_round,
+            });
+        }
+        out
+    }
+
+    /// Advances the exact session while the cost model says the next
+    /// batch fits the budget, retrying retryable failures with
+    /// exponential backoff. Crash recovery happens *inside*
+    /// `MfbcSession::step`; an unrecoverable error poisons the engine
+    /// (it keeps serving stale).
+    fn advance_within(&mut self, budget_s: f64, start_s: f64, retries: &mut u32) {
+        let mut attempt = 0u32;
+        loop {
+            if self.session.is_none() {
+                return;
+            }
+            let spent = self.clock_s() - start_s;
+            if self.est_batch_s() > budget_s - spent {
+                return;
+            }
+            let before_s = self.clock_s();
+            let step = self.session.as_mut().expect("checked above").step();
+            match step {
+                Ok(SessionStep::Committed { .. }) => {
+                    attempt = 0;
+                    self.breaker.record_success();
+                    let session = self.session.as_ref().expect("still live");
+                    self.committed_modeled_s += self.clock_s() - before_s;
+                    self.committed_batches += 1;
+                    self.store.scores = session.scores().clone();
+                    self.store.version += 1;
+                    self.metrics.counter_add("serve_batches_total", &[], 1.0);
+                    self.metrics
+                        .gauge_set("serve_store_version", &[], self.store.version as f64);
+                }
+                Ok(SessionStep::Done) => {
+                    let mut session = self.session.take().expect("still live");
+                    let run = session.finish();
+                    self.final_clock_s = run.report.critical.total_time();
+                    self.store.scores = run.scores;
+                    self.store.exact_complete = true;
+                    return;
+                }
+                Err(_) if self.session.as_ref().is_some_and(|s| s.poisoned()) => {
+                    // Unrecoverable: the session released its state.
+                    // Stop computing; keep serving the stale store.
+                    // Keep the machine clock (the wasted work is real
+                    // modeled time) before dropping the handle.
+                    self.final_clock_s = self
+                        .session
+                        .as_ref()
+                        .map(|s| s.machine().report().critical.total_time())
+                        .unwrap_or(self.final_clock_s);
+                    self.session = None;
+                    self.poisoned = true;
+                    self.metrics.gauge_set("serve_ready", &[], 0.0);
+                    self.breaker.record_failure();
+                    self.note_breaker_trips();
+                    return;
+                }
+                Err(_) => {
+                    // Retryable: state is rolled back and resident.
+                    if attempt + 1 >= self.ecfg.retry.max_attempts {
+                        self.breaker.record_failure();
+                        self.note_breaker_trips();
+                        return;
+                    }
+                    let wait = self
+                        .ecfg
+                        .retry
+                        .backoff_for(attempt, self.ecfg.seed ^ self.rounds);
+                    self.extra_modeled_s += wait;
+                    attempt += 1;
+                    *retries += 1;
+                    self.metrics.counter_add("serve_retries_total", &[], 1.0);
+                }
+            }
+        }
+    }
+
+    fn note_breaker_trips(&mut self) {
+        let trips = self.breaker.trips();
+        if trips > self.breaker_trips_seen {
+            self.metrics.counter_add(
+                "serve_breaker_trips_total",
+                &[],
+                (trips - self.breaker_trips_seen) as f64,
+            );
+            self.breaker_trips_seen = trips;
+        }
+    }
+
+    /// Liveness/readiness snapshot.
+    pub fn health(&self) -> Health {
+        Health {
+            ready: !self.poisoned,
+            live: true,
+            queue_depth: self.queue.len(),
+            store_version: self.store.version,
+            exact_complete: self.store.exact_complete,
+            p: self
+                .session
+                .as_ref()
+                .map(|s| s.machine().p())
+                .unwrap_or_default(),
+            served: self.served,
+            shed: self.shed,
+        }
+    }
+
+    /// The engine's metric registry (scrape with
+    /// `mfbc_profile::prometheus::render`).
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// Whether an unrecoverable error ended exact progress. A
+    /// poisoned engine stays live and serves `Stale`.
+    pub fn poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    /// Whether the store holds the complete exact scores.
+    pub fn exact_complete(&self) -> bool {
+        self.store.exact_complete
+    }
+
+    /// Committed batches in the score store.
+    pub fn store_version(&self) -> u64 {
+        self.store.version
+    }
+
+    /// The engine's modeled clock in seconds (machine time plus
+    /// backoff and degraded-estimate charges).
+    pub fn modeled_s(&self) -> f64 {
+        self.clock_s()
+    }
+
+    /// The cost the admission ladder currently charges one exact
+    /// batch: measured average after the first commit, else the
+    /// autotuner's prediction. Exposed so callers (CLI, load tests)
+    /// can pick meaningful deadlines.
+    pub fn est_batch_modeled_s(&self) -> f64 {
+        self.est_batch_s()
+    }
+
+    /// Drives the exact computation as far as it will go before any
+    /// request arrives (`mfbc-cli serve --warm`): repeated unbounded
+    /// advances until the store is exact, the engine is poisoned, or
+    /// the circuit breaker opens on persistent failures. Returns the
+    /// engine-level retries spent.
+    pub fn warm(&mut self) -> u32 {
+        let mut retries = 0u32;
+        while !self.store.exact_complete && !self.poisoned && self.breaker.allows() {
+            let start_s = self.clock_s();
+            self.advance_within(f64::INFINITY, start_s, &mut retries);
+        }
+        retries
+    }
+
+    /// Current circuit-breaker state.
+    pub fn breaker_state(&self) -> mfbc_fault::BreakerState {
+        self.breaker.state()
+    }
+
+    /// The graph being served.
+    pub fn graph(&self) -> &Graph {
+        &self.g
+    }
+}

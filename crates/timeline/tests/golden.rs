@@ -214,6 +214,7 @@ fn transient_fault_puts_backoff_on_the_path() {
         RetryPolicy {
             max_attempts: 3,
             backoff_s: 7.0,
+            ..RetryPolicy::default()
         },
     );
     scoped(builder.clone(), || {

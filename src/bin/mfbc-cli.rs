@@ -20,6 +20,10 @@
 //! mfbc-cli analyze   [--case NAME] [--timeline-out FILE] [--html-out FILE]
 //!                    [--what-if SPEC]... [--compare FILE] [--top K]
 //! mfbc-cli generate  (rmat:S,E | uniform:N,M) [--weighted MAX] [--seed S]
+//! mfbc-cli serve     --nodes P [--graph SPEC] [--batch N] [--queue N]
+//!                    [--deadline S] [--faults SPEC] [--fault-seed S]
+//!                    [--seed S] [--threads T] [--warm] [--prom-out FILE]
+//!                    [--directed]
 //! ```
 //!
 //! Edge lists are SNAP format (`src dst [weight]`, `#` comments);
@@ -53,6 +57,20 @@
 //! α–β–γ seconds and counts are compared bit-exact (they are
 //! deterministic); wall-clock only one-sidedly, within the baseline's
 //! band (or `--band F`, a fraction, e.g. `1.0` = may be 2× slower).
+//! `--serve-write`/`--serve-baseline` do the same for the serve load
+//! suite ([`mfbc_bench::serveload`], baseline `BENCH_serve.json`).
+//!
+//! `serve` runs the long-lived [`mfbc_serve::Engine`] as a JSON-lines
+//! loop on stdin: one request per line, a blank line flushes the
+//! coalesced round, `{"cmd":"health"}` answers immediately, EOF
+//! drains and exits. `--warm` completes the exact computation before
+//! accepting requests; `--prom-out` writes the engine's Prometheus
+//! metrics at shutdown.
+//!
+//! Exit codes are structured (see the README table): `0` success,
+//! `2` usage/config/parse errors, `3` simulated-machine failures,
+//! `4` bench-gate regressions, `5` serve shutdown with a poisoned
+//! engine.
 
 use mfbc::core::combblas::{combblas_bc, CombBlasConfig};
 use mfbc::prelude::*;
@@ -75,14 +93,68 @@ macro_rules! outln {
     }};
 }
 
+/// Structured CLI failure: the variant picks the process exit code
+/// (documented in the README's exit-code table).
+enum CliError {
+    /// Bad flags, malformed input, unreadable files — exit 2.
+    Usage(String),
+    /// The simulated machine failed with a `MachineError` — exit 3.
+    Machine(String),
+    /// A bench gate found regressions or drift — exit 4.
+    BenchRegression(String),
+    /// `serve` shut down with a poisoned engine — exit 5.
+    ServePoisoned(String),
+}
+
+impl CliError {
+    fn code(&self) -> u8 {
+        match self {
+            CliError::Usage(_) => 2,
+            CliError::Machine(_) => 3,
+            CliError::BenchRegression(_) => 4,
+            CliError::ServePoisoned(_) => 5,
+        }
+    }
+
+    fn message(&self) -> &str {
+        match self {
+            CliError::Usage(m)
+            | CliError::Machine(m)
+            | CliError::BenchRegression(m)
+            | CliError::ServePoisoned(m) => m,
+        }
+    }
+
+    /// Wraps a `MachineError` (or anything displayable as one).
+    fn machine(e: impl std::fmt::Display) -> CliError {
+        CliError::Machine(e.to_string())
+    }
+}
+
+/// Plain-`String` errors from the option parser and the simple
+/// subcommands are all usage/config errors.
+impl From<String> for CliError {
+    fn from(m: String) -> CliError {
+        CliError::Usage(m)
+    }
+}
+
+impl From<&str> for CliError {
+    fn from(m: &str) -> CliError {
+        CliError::Usage(m.to_string())
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("mfbc-cli: {e}");
-            eprintln!("{USAGE}");
-            ExitCode::FAILURE
+            eprintln!("mfbc-cli: {}", e.message());
+            if matches!(e, CliError::Usage(_)) {
+                eprintln!("{USAGE}");
+            }
+            ExitCode::from(e.code())
         }
     }
 }
@@ -93,9 +165,11 @@ const USAGE: &str = "usage:
   mfbc-cli components [--directed] <edge-list|->
   mfbc-cli stats [--directed] <edge-list|->
   mfbc-cli simulate --nodes P [--plan auto|ca:C|combblas] [--batch N] [--graph rmat:S,E|uniform:N,M|FILE] [--directed] [--threads T] [--no-masked] [--no-overlap] [--hybrid-redist auto|bcast|p2p|alltoall] [--faults SPEC] [--fault-seed S] [--trace-out FILE] [--trace-format chrome|jsonl] [--profile-out FILE] [--profile-html FILE] [--timeline-out FILE]
-  mfbc-cli bench [--baseline FILE] [--write FILE] [--band F] [--case NAME] [--no-overlap] [--hybrid-redist auto|bcast|p2p|alltoall] [--profile-out FILE] [--html-out FILE] [--prom-out FILE] [--timeline-out FILE] [--timeline-html FILE]
+  mfbc-cli bench [--baseline FILE] [--write FILE] [--serve-baseline FILE] [--serve-write FILE] [--band F] [--case NAME] [--no-overlap] [--hybrid-redist auto|bcast|p2p|alltoall] [--profile-out FILE] [--html-out FILE] [--prom-out FILE] [--timeline-out FILE] [--timeline-html FILE]
   mfbc-cli analyze [--case NAME] [--timeline-out FILE] [--html-out FILE] [--what-if SPEC] [--compare FILE] [--top K]
-  mfbc-cli generate (rmat:S,E | uniform:N,M) [--weighted MAX] [--seed S]";
+  mfbc-cli generate (rmat:S,E | uniform:N,M) [--weighted MAX] [--seed S]
+  mfbc-cli serve --nodes P [--graph rmat:S,E|uniform:N,M|FILE] [--batch N] [--queue N] [--deadline S] [--faults SPEC] [--fault-seed S] [--seed S] [--threads T] [--warm] [--prom-out FILE] [--mem-bytes B] [--directed]
+exit codes: 0 ok, 2 usage/config, 3 machine error, 4 bench regression, 5 serve poisoned";
 
 /// Minimal flag parser: `--key value` options, `--flag` booleans, one
 /// positional argument.
@@ -157,25 +231,26 @@ impl Opts {
     }
 }
 
-fn run(args: &[String]) -> Result<(), String> {
+fn run(args: &[String]) -> Result<(), CliError> {
     let Some(cmd) = args.first() else {
         return Err("missing command".into());
     };
     let rest = &args[1..];
     match cmd.as_str() {
-        "bc" => cmd_bc(rest),
-        "sssp" => cmd_sssp(rest),
-        "components" => cmd_components(rest),
-        "stats" => cmd_stats(rest),
+        "bc" => cmd_bc(rest).map_err(CliError::from),
+        "sssp" => cmd_sssp(rest).map_err(CliError::from),
+        "components" => cmd_components(rest).map_err(CliError::from),
+        "stats" => cmd_stats(rest).map_err(CliError::from),
         "simulate" => cmd_simulate(rest),
         "bench" => cmd_bench(rest),
-        "analyze" => cmd_analyze(rest),
-        "generate" => cmd_generate(rest),
+        "analyze" => cmd_analyze(rest).map_err(CliError::from),
+        "generate" => cmd_generate(rest).map_err(CliError::from),
+        "serve" => cmd_serve(rest),
         "help" | "--help" | "-h" => {
             outln!("{USAGE}");
             Ok(())
         }
-        other => Err(format!("unknown command {other:?}")),
+        other => Err(format!("unknown command {other:?}").into()),
     }
 }
 
@@ -380,7 +455,7 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_simulate(args: &[String]) -> Result<(), String> {
+fn cmd_simulate(args: &[String]) -> Result<(), CliError> {
     let o = Opts::parse(
         args,
         &[
@@ -435,9 +510,7 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
     let trace_out = o.get("trace-out").map(str::to_string);
     let trace_format = o.get("trace-format").unwrap_or("chrome").to_string();
     if !matches!(trace_format.as_str(), "chrome" | "jsonl") {
-        return Err(format!(
-            "--trace-format must be chrome or jsonl, got {trace_format:?}"
-        ));
+        return Err(format!("--trace-format must be chrome or jsonl, got {trace_format:?}").into());
     }
     let profile_out = o.get("profile-out").map(str::to_string);
     let profile_html = o.get("profile-html").map(str::to_string);
@@ -487,7 +560,7 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
             Some(t) => mfbc_parallel::with_threads(t, combblas),
             None => combblas(),
         }
-        .map_err(|e| e.to_string())?;
+        .map_err(CliError::machine)?;
         (
             "CombBLAS-style".to_string(),
             run.sources_processed,
@@ -502,7 +575,7 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
         } else if plan == "auto" {
             PlanMode::Auto
         } else {
-            return Err(format!("unknown plan {plan:?}"));
+            return Err(format!("unknown plan {plan:?}").into());
         };
         let run = mfbc_dist(
             &machine,
@@ -519,7 +592,7 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
                 ..Default::default()
             },
         )
-        .map_err(|e| e.to_string())?;
+        .map_err(CliError::machine)?;
         // After a crash recovery the run finished on a *shrunk*
         // machine our handle no longer tracks — the run carries the
         // authoritative cost report.
@@ -655,12 +728,14 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
 /// baseline (`--write`), optionally compares against a committed one
 /// (`--baseline`, nonzero exit on any finding), and exports the
 /// profile artifacts of one case (`--case`, default the first).
-fn cmd_bench(args: &[String]) -> Result<(), String> {
+fn cmd_bench(args: &[String]) -> Result<(), CliError> {
     let o = Opts::parse(
         args,
         &[
             "baseline",
             "write",
+            "serve-baseline",
+            "serve-write",
             "band",
             "case",
             "profile-out",
@@ -672,7 +747,7 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
         ],
     )?;
     if let Some(p) = &o.positional {
-        return Err(format!("bench takes no positional argument, got {p:?}"));
+        return Err(format!("bench takes no positional argument, got {p:?}").into());
     }
     let band = o.get_parsed::<f64>("band")?;
     if band.is_some_and(|b| !(b.is_finite() && b >= 0.0)) {
@@ -779,16 +854,72 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
             for f in &findings {
                 eprintln!("bench: {}", f.describe());
             }
-            eprintln!(
-                "bench: FAILED — {} finding(s) against {path} ({} regression(s), {} drift(s); \
+            return Err(CliError::BenchRegression(format!(
+                "FAILED — {} finding(s) against {path} ({} regression(s), {} drift(s); \
                  drifts mean the baseline is stale: refresh with `mfbc-cli bench --write {path}`)",
                 findings.len(),
                 regressions,
                 findings.len() - regressions,
+            )));
+        }
+    }
+
+    // The serve load suite: same write/compare shape, its own
+    // baseline (`BENCH_serve.json`), gated only when asked for.
+    let serve_write = o.get("serve-write");
+    let serve_baseline = o.get("serve-baseline");
+    if serve_write.is_some() || serve_baseline.is_some() {
+        eprintln!("bench: running serve load suite (2 cases, seed 42)...");
+        let reports = mfbc_bench::serveload::run_suite(42);
+        for r in &reports {
+            outln!(
+                "serve/{}\trequests={}\tadmitted={}\tshed={}\texact={}\tapprox={}\tstale={}\tretries={}\tstore_v={}\tmodeled_s={:?}\tp99_s={:?}\trps={:?}\twall_s={:.3}",
+                r.name,
+                r.requests,
+                r.admitted,
+                r.shed,
+                r.exact,
+                r.approx,
+                r.stale,
+                r.retries,
+                r.store_version,
+                r.modeled_s,
+                r.p99_latency_modeled_s,
+                r.rps_modeled,
+                r.wall_s,
             );
-            // Exit directly: a gate failure is not a usage error, so
-            // skip main()'s usage-printing Err path.
-            std::process::exit(1);
+        }
+        if let Some(path) = serve_write {
+            let text = mfbc_bench::serveload::to_json(
+                band.unwrap_or(mfbc_profile::DEFAULT_WALL_BAND),
+                &reports,
+            );
+            std::fs::write(path, text).map_err(|e| format!("{path}: {e}"))?;
+            eprintln!(
+                "bench: wrote serve baseline ({} cases) -> {path}",
+                reports.len()
+            );
+        }
+        if let Some(path) = serve_baseline {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            let (bband, base) =
+                mfbc_bench::serveload::from_json(&text).map_err(|e| format!("{path}: {e}"))?;
+            let findings = mfbc_bench::serveload::compare(bband, &base, &reports, band);
+            if findings.is_empty() {
+                eprintln!(
+                    "bench: OK — serve load ({} cases) within baseline {path}",
+                    reports.len()
+                );
+            } else {
+                for f in &findings {
+                    eprintln!("bench: serve: {f}");
+                }
+                return Err(CliError::BenchRegression(format!(
+                    "FAILED — {} serve finding(s) against {path} (refresh with \
+                     `mfbc-cli bench --serve-write {path}` if the change is intended)",
+                    findings.len(),
+                )));
+            }
         }
     }
     Ok(())
@@ -952,4 +1083,143 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
     }
     let g = load_workload(spec, o.has("directed"), weighted, seed)?;
     io::write_edge_list(&g, std::io::stdout().lock()).map_err(|e| e.to_string())
+}
+
+/// `mfbc-cli serve`: the long-lived serving engine as a JSON-lines
+/// loop on stdin. One request per line; a blank line flushes the
+/// coalesced round; `{"cmd":"health"}` answers immediately;
+/// unparseable lines are refused with a `shed: invalid-request` line
+/// (the loop never dies on bad input). EOF drains the queue, writes
+/// `--prom-out`, prints a summary, and exits — code 5 if an
+/// unrecoverable fault poisoned the engine along the way.
+fn cmd_serve(args: &[String]) -> Result<(), CliError> {
+    use std::io::BufRead as _;
+
+    let o = Opts::parse(
+        args,
+        &[
+            "nodes",
+            "graph",
+            "batch",
+            "queue",
+            "deadline",
+            "faults",
+            "fault-seed",
+            "seed",
+            "threads",
+            "prom-out",
+            "mem-bytes",
+        ],
+    )?;
+    if let Some(p) = &o.positional {
+        return Err(format!("serve takes no positional argument, got {p:?}").into());
+    }
+    let p: usize = o.get_parsed("nodes")?.ok_or("serve needs --nodes P")?;
+    let spec_str = o.get("graph").unwrap_or("rmat:10,8");
+    let seed = o.get_parsed::<u64>("seed")?.unwrap_or(42);
+    let g = load_workload(spec_str, o.has("directed"), None, seed)?;
+    let batch = o.get_parsed::<usize>("batch")?.unwrap_or(8).max(1);
+    let threads = parse_threads(&o)?;
+    let deadline = o.get_parsed::<f64>("deadline")?;
+    if deadline.is_some_and(|d| d.is_nan() || d < 0.0) {
+        return Err("--deadline must be a nonnegative number of modeled seconds".into());
+    }
+
+    let mut fault_plan = match o.get("faults") {
+        Some(spec) => FaultPlan::parse(spec).map_err(|e| format!("--faults: {e}"))?,
+        None => FaultPlan::none(),
+    };
+    if let Some(fseed) = o.get_parsed::<u64>("fault-seed")? {
+        fault_plan.faults.extend(FaultPlan::seeded(fseed, p).faults);
+    }
+    let mut spec = MachineSpec::gemini(p);
+    // Override the modeled per-node memory budget (e.g. to exercise
+    // unrecoverable-crash degradation at laptop scale).
+    if let Some(bytes) = o.get_parsed::<u64>("mem-bytes")? {
+        spec.mem_bytes = Some(bytes);
+    }
+    let machine = if fault_plan.is_empty() {
+        Machine::new(spec)
+    } else {
+        Machine::with_faults(spec, fault_plan, RetryPolicy::default())
+    };
+
+    let cfg = MfbcConfig {
+        batch_size: Some(batch),
+        threads,
+        ..Default::default()
+    };
+    let ecfg = mfbc_serve::EngineConfig {
+        max_queue: o.get_parsed::<usize>("queue")?.unwrap_or(64).max(1),
+        default_deadline_s: deadline.unwrap_or(f64::INFINITY),
+        seed,
+        ..mfbc_serve::EngineConfig::default()
+    };
+    let mut engine = mfbc_serve::Engine::new(&machine, g, &cfg, ecfg).map_err(CliError::machine)?;
+
+    if o.has("warm") {
+        let retries = engine.warm();
+        eprintln!(
+            "serve: warmed store to v{} (exact_complete={}, {} retries)",
+            engine.store_version(),
+            engine.exact_complete(),
+            retries
+        );
+    }
+    eprintln!(
+        "serve: {} vertices on {p} node(s); JSON-lines on stdin, blank line flushes, EOF exits",
+        engine.graph().n()
+    );
+
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        let line = line.map_err(|e| format!("stdin: {e}"))?;
+        let text = line.trim();
+        if text.is_empty() {
+            for r in engine.drain() {
+                outln!("{}", mfbc_serve::wire::render_response(&r));
+            }
+            continue;
+        }
+        match mfbc_serve::wire::parse_line(text) {
+            Ok(mfbc_serve::wire::WireCmd::Health) => {
+                outln!("{}", mfbc_serve::wire::render_health(&engine.health()));
+            }
+            Ok(mfbc_serve::wire::WireCmd::Request(req)) => {
+                let id = req.id;
+                if let mfbc_serve::Admission::Shed(reason) = engine.submit(req) {
+                    outln!("{}", mfbc_serve::wire::render_shed(id, reason));
+                }
+            }
+            Err(detail) => {
+                outln!("{}", mfbc_serve::wire::render_invalid(&detail));
+            }
+        }
+    }
+    // EOF: everything still queued gets its answer before shutdown.
+    for r in engine.drain() {
+        outln!("{}", mfbc_serve::wire::render_response(&r));
+    }
+
+    if let Some(path) = o.get("prom-out") {
+        let text = mfbc_profile::prometheus::render(engine.metrics());
+        std::fs::write(path, text).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("serve: metrics -> {path}");
+    }
+    let h = engine.health();
+    eprintln!(
+        "serve: served {} response(s), shed {}, store v{}{}",
+        h.served,
+        h.shed,
+        h.store_version,
+        if h.exact_complete { " (exact)" } else { "" }
+    );
+    if engine.poisoned() {
+        return Err(CliError::ServePoisoned(
+            "engine poisoned: an unrecoverable fault ended exact progress \
+             (queued requests were still served, stale)"
+                .into(),
+        ));
+    }
+    Ok(())
 }

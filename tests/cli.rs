@@ -252,3 +252,170 @@ fn approximate_bc_runs() {
     let out = run_ok(&["bc", "--approx", "16", "--top", "3", "-"], Some(&graph));
     assert_eq!(out.lines().count(), 3);
 }
+
+/// Runs the CLI with piped stdin and returns (exit code, stdout,
+/// stderr) without asserting success — for the exit-code contract.
+fn run_capturing(args: &[&str], stdin: Option<&str>) -> (i32, String, String) {
+    let mut cmd = cli();
+    cmd.args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped());
+    let mut child = cmd.spawn().expect("spawn mfbc-cli");
+    if let Some(input) = stdin {
+        use std::io::Write;
+        child
+            .stdin
+            .as_mut()
+            .unwrap()
+            .write_all(input.as_bytes())
+            .unwrap();
+    }
+    drop(child.stdin.take());
+    let out = child.wait_with_output().expect("wait");
+    (
+        out.status.code().expect("exit code"),
+        String::from_utf8(out.stdout).expect("utf8 stdout"),
+        String::from_utf8(out.stderr).expect("utf8 stderr"),
+    )
+}
+
+#[test]
+fn exit_code_2_for_usage_and_config_errors() {
+    let (code, _, err) = run_capturing(&["frobnicate"], None);
+    assert_eq!(code, 2, "unknown command: {err}");
+    assert!(err.contains("usage:"), "usage block only for code 2: {err}");
+
+    let (code, _, _) = run_capturing(&["simulate"], None);
+    assert_eq!(code, 2, "missing --nodes is a config error");
+
+    let (code, _, err) = run_capturing(&["serve", "--nodes", "2", "--deadline", "-1"], None);
+    assert_eq!(code, 2, "negative deadline is a config error: {err}");
+}
+
+#[test]
+fn exit_code_3_for_machine_errors() {
+    // A replication factor that does not divide the machine is
+    // rejected by the planning layer, not the flag parser.
+    let (code, _, err) = run_capturing(
+        &[
+            "simulate",
+            "--nodes",
+            "4",
+            "--plan",
+            "ca:3",
+            "--graph",
+            "uniform:32,64",
+        ],
+        None,
+    );
+    assert_eq!(code, 3, "machine error must exit 3: {err}");
+    assert!(!err.contains("usage:"), "no usage block for code 3: {err}");
+}
+
+#[test]
+fn exit_code_4_for_serve_bench_regressions() {
+    // A doctored serve baseline: counts that cannot match (and a huge
+    // wall ceiling so only the count finding fires, debug or release).
+    let dir = std::env::temp_dir().join(format!("mfbc-cli-bench-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("serve-baseline.json");
+    let text = std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_serve.json"))
+        .expect("committed BENCH_serve.json");
+    let doctored = text
+        .replace("\"admitted\": 41", "\"admitted\": 40")
+        .replace("\"wall_band\": 1.0", "\"wall_band\": 10000.0");
+    assert_ne!(doctored, text, "baseline shape changed; update this test");
+    std::fs::write(&path, doctored).unwrap();
+    let (code, _, err) =
+        run_capturing(&["bench", "--serve-baseline", path.to_str().unwrap()], None);
+    assert_eq!(code, 4, "serve count drift must exit 4: {err}");
+    assert!(err.contains("admitted"), "finding names the field: {err}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn exit_code_5_when_serve_poisons_yet_still_answers_stale() {
+    // p=2 under a modeled 21 kB/rank budget: the crash at collective
+    // #2 forces a shrink to p=1 whose resident state no longer fits,
+    // so exact progress ends — the engine must still answer the
+    // queued request (stale) and then exit 5.
+    let (code, out, err) = run_capturing(
+        &[
+            "serve",
+            "--nodes",
+            "2",
+            "--graph",
+            "uniform:48,600",
+            "--batch",
+            "1",
+            "--mem-bytes",
+            "21000",
+            "--faults",
+            "crash:0@2",
+            "--seed",
+            "3",
+        ],
+        Some("{\"id\":1,\"query\":\"full\"}\n\n"),
+    );
+    assert_eq!(code, 5, "poisoned engine must exit 5: {err}");
+    assert!(err.contains("poisoned"), "{err}");
+    assert!(
+        out.contains("\"id\":1") && out.contains("\"quality\":\"stale\""),
+        "the admitted request must still be answered, stale: {out}"
+    );
+}
+
+#[test]
+fn serve_answers_json_lines_and_reports_health() {
+    let (_, err) = run_ok_capturing(
+        &[
+            "serve", "--nodes", "4", "--graph", "uniform:32,64", "--batch", "8",
+            "--seed", "7",
+        ],
+        Some("{\"cmd\":\"health\"}\n{\"id\":1,\"query\":\"topk\",\"k\":2}\n\n{\"id\":2,\"query\":\"vertex\",\"v\":3}\n{\"not\":\"a request\"}\n"),
+    );
+    assert!(err.contains("served 2 response(s)"), "{err}");
+    let (out, _) = run_ok_capturing(
+        &[
+            "serve",
+            "--nodes",
+            "4",
+            "--graph",
+            "uniform:32,64",
+            "--batch",
+            "8",
+            "--seed",
+            "7",
+        ],
+        Some("{\"cmd\":\"health\"}\n{\"id\":1,\"query\":\"topk\",\"k\":2}\n\n"),
+    );
+    let lines: Vec<&str> = out.lines().collect();
+    assert!(
+        lines[0].contains("\"ready\":true") && lines[0].contains("\"p\":4"),
+        "health line first: {out}"
+    );
+    assert!(
+        lines[1].contains("\"id\":1")
+            && lines[1].contains("\"quality\":\"exact\"")
+            && lines[1].contains("\"topk\":["),
+        "exact top-k response: {out}"
+    );
+
+    // Same seed, same schedule: the response stream is bit-identical.
+    let (again, _) = run_ok_capturing(
+        &[
+            "serve",
+            "--nodes",
+            "4",
+            "--graph",
+            "uniform:32,64",
+            "--batch",
+            "8",
+            "--seed",
+            "7",
+        ],
+        Some("{\"cmd\":\"health\"}\n{\"id\":1,\"query\":\"topk\",\"k\":2}\n\n"),
+    );
+    assert_eq!(out, again, "serve output must be deterministic");
+}
