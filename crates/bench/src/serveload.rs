@@ -117,6 +117,10 @@ pub fn run_load(name: &str, faults: Option<&str>, seed: u64) -> ServeLoadReport 
     let ecfg = EngineConfig {
         max_queue: 4,
         seed,
+        // The flight recorder stays on under load: it must never
+        // perturb the modeled numbers the baseline pins, and every
+        // degraded response below is audited against its journey.
+        flight_capacity: 256,
         ..EngineConfig::default()
     };
     let mut engine = Engine::new(&machine, g, &cfg, ecfg).expect("engine builds");
@@ -127,6 +131,7 @@ pub fn run_load(name: &str, faults: Option<&str>, seed: u64) -> ServeLoadReport 
     let mut shed: u64 = 0;
     let mut pending: Vec<u64> = Vec::new();
     let mut latencies: Vec<f64> = Vec::new();
+    let mut qualities: Vec<(u64, &'static str)> = Vec::new();
     let (mut exact, mut approx, mut stale, mut retries) = (0u64, 0u64, 0u64, 0u64);
 
     let mut answer = |engine: &mut Engine, pending: &mut Vec<u64>| {
@@ -137,6 +142,7 @@ pub fn run_load(name: &str, faults: Option<&str>, seed: u64) -> ServeLoadReport 
                 .expect("response for an id that was admitted and unanswered");
             pending.swap_remove(slot);
             latencies.push(r.latency_modeled_s);
+            qualities.push((r.id, r.quality.name()));
             retries += r.retries as u64;
             match r.quality {
                 Quality::Exact => {
@@ -198,6 +204,34 @@ pub fn run_load(name: &str, faults: Option<&str>, seed: u64) -> ServeLoadReport 
     );
     assert_eq!(admitted + shed, REQUESTS as u64);
     assert_eq!(exact + approx + stale, admitted);
+
+    // Every response — and in particular every *degraded* one — must
+    // be explainable from its journey record alone: the rung it was
+    // served from, the round that answered it, and (when the reason
+    // is the budget) the arithmetic that forced the rung.
+    let fr = engine.flight().expect("the load harness records flights");
+    for &(id, quality) in &qualities {
+        let j = fr
+            .journeys()
+            .find(|j| j.id == id)
+            .unwrap_or_else(|| panic!("no journey record for answered id {id}"));
+        assert!(j.complete, "id {id}: journey never completed");
+        assert_eq!(j.rung, quality, "id {id}: journey rung vs response quality");
+        assert!(j.round > 0, "id {id}: no round attribution");
+        if j.rung != "exact" {
+            assert!(!j.reason.is_empty(), "id {id}: degraded without a reason");
+            if j.reason == "budget" {
+                assert!(
+                    j.spent_s + j.est_batch_s > j.budget_s,
+                    "id {id}: budget arithmetic does not explain the degradation \
+                     (spent {} + est batch {} within budget {})",
+                    j.spent_s,
+                    j.est_batch_s,
+                    j.budget_s
+                );
+            }
+        }
+    }
 
     latencies.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
     let p99 = latencies

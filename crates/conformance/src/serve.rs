@@ -92,6 +92,14 @@ pub struct ServeCase {
     pub faults: Vec<ScheduledFault>,
     /// Engine seed (backoff jitter, degraded-mode sampling).
     pub eseed: u64,
+    /// The observability dimension: when set, the schedule is driven a
+    /// second time under an installed trace recorder and an enabled
+    /// flight recorder, and the response stream must stay
+    /// bit-identical (observation must never perturb results). Drawn
+    /// for a third of cases (always under
+    /// `MFBC_CONFORMANCE_FORCE_SERVE_TRACE`), and drawn *last* so
+    /// seeds replay to the same case as before this dimension existed.
+    pub traced: bool,
 }
 
 /// Convergence rounds allowed after the schedule: enough for finite
@@ -135,6 +143,8 @@ impl ServeCase {
             }
         }
         let eseed = rng.next_u64();
+        // Drawn last: earlier fields replay identically for old seeds.
+        let traced = crate::case::env_force_serve_trace() || rng.chance(1, 3);
         ServeCase {
             seed,
             n,
@@ -145,6 +155,7 @@ impl ServeCase {
             schedule,
             faults: Vec::new(),
             eseed,
+            traced,
         }
     }
 
@@ -298,21 +309,18 @@ impl ServeCase {
         }
         Ok(())
     }
-}
 
-impl CaseSpec for ServeCase {
-    fn check(&self) -> Result<(), String> {
-        let g = self.graph();
+    /// Drives the full schedule (plus convergence probes and the
+    /// final warm-store query) through one engine, checking every
+    /// response against `oracle`, and returns the rendered wire lines
+    /// in order. `flight_capacity > 0` additionally enables the
+    /// in-engine flight recorder, whose journey records must then
+    /// cover every answered request.
+    fn drive(&self, oracle: &[f64], flight_capacity: usize) -> Result<Vec<String>, String> {
         let cfg = self.config();
-
-        // The bit-identity oracle: one-shot `mfbc_dist` under the same
-        // machine spec and fault schedule.
-        let one_shot = mfbc_dist(&self.machine(), &g, &cfg)
-            .map_err(|e| format!("one-shot oracle: machine error: {e}"))?;
-        let oracle = &one_shot.scores.lambda;
-
         let ecfg = EngineConfig {
             seed: self.eseed,
+            flight_capacity,
             ..EngineConfig::default()
         };
         let mut engine = Engine::new(&self.machine(), self.graph(), &cfg, ecfg)
@@ -320,6 +328,7 @@ impl CaseSpec for ServeCase {
         let tight_s = engine.est_batch_modeled_s() * 0.5;
 
         let mut pending: Vec<(u64, ServeQuery)> = Vec::new();
+        let mut lines: Vec<String> = Vec::new();
         let mut next_id = 0u64;
         for op in &self.schedule {
             match *op {
@@ -345,6 +354,7 @@ impl CaseSpec for ServeCase {
                 ServeOp::Flush => {
                     for r in engine.drain() {
                         self.check_response(&r, &mut pending, oracle, ecfg.min_approx_k)?;
+                        lines.push(mfbc_serve::wire::render_response(&r));
                     }
                 }
             }
@@ -353,6 +363,7 @@ impl CaseSpec for ServeCase {
         // everything still queued.
         for r in engine.drain() {
             self.check_response(&r, &mut pending, oracle, ecfg.min_approx_k)?;
+            lines.push(mfbc_serve::wire::render_response(&r));
         }
         if !pending.is_empty() {
             return Err(format!(
@@ -385,6 +396,7 @@ impl CaseSpec for ServeCase {
             pending.push((id, ServeQuery::Full));
             for r in engine.drain() {
                 self.check_response(&r, &mut pending, oracle, ecfg.min_approx_k)?;
+                lines.push(mfbc_serve::wire::render_response(&r));
             }
             if !pending.is_empty() {
                 return Err(format!("convergence probe never answered: {pending:?}"));
@@ -409,17 +421,91 @@ impl CaseSpec for ServeCase {
                 r.quality
             ));
         }
+        lines.push(mfbc_serve::wire::render_response(r));
         let mut pending = vec![(u64::MAX, ServeQuery::Full)];
-        self.check_response(r, &mut pending, oracle, ecfg.min_approx_k)
+        self.check_response(r, &mut pending, oracle, ecfg.min_approx_k)?;
+
+        if flight_capacity > 0 {
+            let fr = engine
+                .flight()
+                .ok_or("flight_capacity > 0 but no recorder was enabled")?;
+            let incomplete = fr.journeys().filter(|j| !j.complete).count();
+            if incomplete > 0 {
+                return Err(format!(
+                    "{incomplete} journey record(s) never completed even though \
+                     every admitted request was answered"
+                ));
+            }
+            if fr.journeys().count() != lines.len() {
+                return Err(format!(
+                    "{} journey records for {} responses (capacity {flight_capacity} \
+                     should hold them all)",
+                    fr.journeys().count(),
+                    lines.len()
+                ));
+            }
+        }
+        Ok(lines)
+    }
+}
+
+impl CaseSpec for ServeCase {
+    fn check(&self) -> Result<(), String> {
+        // The bit-identity oracle: one-shot `mfbc_dist` under the same
+        // machine spec and fault schedule.
+        let one_shot = mfbc_dist(&self.machine(), &self.graph(), &self.config())
+            .map_err(|e| format!("one-shot oracle: machine error: {e}"))?;
+        let oracle = &one_shot.scores.lambda;
+
+        let base = self.drive(oracle, 0)?;
+        if self.traced {
+            // The observability dimension: the same schedule under an
+            // installed trace recorder and an enabled flight recorder
+            // must produce the same bytes on the wire.
+            let rec = std::sync::Arc::new(mfbc_trace::MemoryRecorder::new());
+            let observed = mfbc_trace::scoped(rec.clone(), || self.drive(oracle, 64))?;
+            if observed != base {
+                let diverged = base
+                    .iter()
+                    .zip(&observed)
+                    .position(|(a, b)| a != b)
+                    .map_or_else(
+                        || format!("line count {} vs {}", base.len(), observed.len()),
+                        |i| format!("first divergence at line {i}"),
+                    );
+                return Err(format!(
+                    "tracing + flight recording perturbed the response stream ({diverged})"
+                ));
+            }
+            if rec.is_empty() {
+                return Err("observed run recorded no trace events".into());
+            }
+        }
+        Ok(())
     }
 
     fn size(&self) -> usize {
-        self.edges.len() + self.n + self.p + self.threads + self.schedule.len() + self.faults.len()
+        self.edges.len()
+            + self.n
+            + self.p
+            + self.threads
+            + self.schedule.len()
+            + self.faults.len()
+            + usize::from(self.traced)
     }
 
     fn shrink_candidates(&self) -> Vec<ServeCase> {
         let mut out = Vec::new();
-        // Toward fault-free first: a failure that survives without the
+        // Toward untraced first: a failure that survives without the
+        // observability re-run is an ordinary serving bug, and the
+        // repro no longer needs the double drive.
+        if self.traced {
+            out.push(ServeCase {
+                traced: false,
+                ..self.clone()
+            });
+        }
+        // Toward fault-free next: a failure that survives without the
         // schedule is an ordinary serving bug, the easiest to read.
         if !self.faults.is_empty() {
             out.push(ServeCase {
@@ -483,6 +569,7 @@ mod tests {
     #[test]
     fn shrink_moves_toward_fault_free_single_request_first() {
         let mut c = ServeCase::generate(5, &[4]);
+        c.traced = false;
         c.faults = vec![ScheduledFault {
             at: 3,
             kind: FaultKind::Transient { recurrence: 1 },
@@ -498,8 +585,27 @@ mod tests {
     }
 
     #[test]
+    fn shrink_drops_the_observability_dimension_first() {
+        let mut c = ServeCase::generate(5, &[4]);
+        c.traced = true;
+        let cands = c.shrink_candidates();
+        assert!(!cands[0].traced, "first candidate turns tracing off");
+        assert!(
+            cands[0].size() < c.size(),
+            "untraced must be strictly smaller or the shrinker refuses it"
+        );
+    }
+
+    #[test]
     fn small_case_passes() {
         let c = ServeCase::generate(9, &[2]);
+        c.check().unwrap();
+    }
+
+    #[test]
+    fn small_traced_case_passes() {
+        let mut c = ServeCase::generate(9, &[2]);
+        c.traced = true;
         c.check().unwrap();
     }
 }

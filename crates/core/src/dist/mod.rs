@@ -27,7 +27,7 @@ use mfbc_graph::Graph;
 use mfbc_machine::{Machine, MachineError};
 use mfbc_sparse::{Coo, Mask, MaskKind};
 use mfbc_tensor::autotune::mm_auto_cached_masked;
-use mfbc_tensor::cache::MmCache;
+use mfbc_tensor::cache::{CacheStats, MmCache};
 use mfbc_tensor::ops::{
     dmat_combine, dmat_combine_anchored, dmat_fold_columns, dmat_map_filter, dmat_zip_filter,
     nnz_sync,
@@ -384,6 +384,10 @@ pub struct MfbcSession {
     plan: Option<MmPlan>,
     fwd_cache: MmCache<mfbc_algebra::Dist>,
     back_cache: MmCache<mfbc_algebra::Dist>,
+    /// Counts folded in from caches retired by a crash replan, so
+    /// [`cache_stats`](MfbcSession::cache_stats) spans cache
+    /// generations.
+    retired_cache_stats: CacheStats,
     run: MfbcRun,
     recovery: RecoveryStats,
     sources: Vec<usize>,
@@ -446,6 +450,7 @@ impl MfbcSession {
             // (with their simulated residency) at end of session.
             fwd_cache: MmCache::new(),
             back_cache: MmCache::new(),
+            retired_cache_stats: CacheStats::default(),
             run: MfbcRun {
                 scores: BcScores::zeros(n),
                 batches: 0,
@@ -605,6 +610,12 @@ impl MfbcSession {
                                 if let Err(e) = self.dat.charge_memory(&self.m) {
                                     return Err(self.poison(e));
                                 }
+                                // Fold the retired caches' activity in
+                                // before replacing them (release_all
+                                // above already counted their
+                                // evictions).
+                                self.retired_cache_stats.absorb(self.fwd_cache.stats());
+                                self.retired_cache_stats.absorb(self.back_cache.stats());
                                 self.fwd_cache = MmCache::new();
                                 self.back_cache = MmCache::new();
                                 self.released = false;
@@ -705,6 +716,15 @@ impl MfbcSession {
     /// Batches committed so far.
     pub fn batches(&self) -> usize {
         self.run.batches
+    }
+
+    /// Prepared-adjacency cache activity over the whole session,
+    /// spanning cache generations retired by crash replans.
+    pub fn cache_stats(&self) -> CacheStats {
+        let mut total = self.retired_cache_stats;
+        total.absorb(self.fwd_cache.stats());
+        total.absorb(self.back_cache.stats());
+        total
     }
 
     /// Sources committed so far.

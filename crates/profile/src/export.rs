@@ -7,9 +7,14 @@ use std::fmt::Write as _;
 
 use crate::jsonio::{esc, num, parse, Json};
 use crate::profiler::Profile;
+use crate::registry::{Histogram, MetricsRegistry, SampleValue};
 
 /// Schema version stamped into `profile.json`.
 pub const PROFILE_JSON_VERSION: u64 = 1;
+
+/// Schema version stamped into `metrics.json`
+/// ([`registry_to_json`]).
+pub const METRICS_JSON_VERSION: u64 = 1;
 
 fn push_kv(out: &mut String, indent: &str, key: &str, value: &str, last: bool) {
     let comma = if last { "" } else { "," };
@@ -151,6 +156,89 @@ pub fn profile_to_json(p: &Profile) -> String {
             w.tasks,
             w.busy_us
         );
+    }
+    out.push_str("  ]\n");
+    out.push_str("}\n");
+    out
+}
+
+fn labels_obj(labels: &[(String, String)]) -> String {
+    let mut s = String::from("{");
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(s, "\"{}\": \"{}\"", esc(k), esc(v));
+    }
+    s.push('}');
+    s
+}
+
+fn histogram_json(h: &Histogram) -> String {
+    let mut s = String::new();
+    let _ = write!(
+        s,
+        "\"count\": {}, \"sum\": {}, \"overflow\": {}, \"buckets\": [",
+        h.count,
+        num(h.sum),
+        h.overflow
+    );
+    for (i, n) in h.buckets.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(s, "{n}");
+    }
+    s.push(']');
+    s
+}
+
+/// Serializes a [`MetricsRegistry`] snapshot to JSON with the same
+/// exact number formatting as the Prometheus exporter, so the two
+/// documents agree bit-for-bit on every value. Families with no
+/// samples are omitted (matching [`crate::prometheus::render`]);
+/// histogram buckets are the non-cumulative per-bucket counts with
+/// implied bounds `2^i`.
+pub fn registry_to_json(reg: &MetricsRegistry) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    push_kv(
+        &mut out,
+        "  ",
+        "metrics_version",
+        &METRICS_JSON_VERSION.to_string(),
+        false,
+    );
+    out.push_str("  \"families\": [\n");
+    let families: Vec<_> = reg
+        .snapshot()
+        .into_iter()
+        .filter(|f| !f.samples.is_empty())
+        .collect();
+    for (i, fam) in families.iter().enumerate() {
+        let comma = if i + 1 == families.len() { "" } else { "," };
+        let _ = writeln!(
+            out,
+            "    {{\"name\": \"{}\", \"kind\": \"{}\", \"help\": \"{}\", \"samples\": [",
+            esc(&fam.name),
+            fam.kind.name(),
+            esc(&fam.help)
+        );
+        for (j, (labels, value)) in fam.samples.iter().enumerate() {
+            let scomma = if j + 1 == fam.samples.len() { "" } else { "," };
+            let body = match value {
+                SampleValue::Counter(v) | SampleValue::Gauge(v) => {
+                    format!("\"value\": {}", num(*v))
+                }
+                SampleValue::Histogram(h) => histogram_json(h),
+            };
+            let _ = writeln!(
+                out,
+                "      {{\"labels\": {}, {body}}}{scomma}",
+                labels_obj(labels)
+            );
+        }
+        let _ = writeln!(out, "    ]}}{comma}");
     }
     out.push_str("  ]\n");
     out.push_str("}\n");

@@ -479,6 +479,16 @@ fn declare_metrics(r: &MetricsRegistry) {
         "Accumulated TraceEvent::Counter samples by name",
     );
     r.declare(
+        "mfbc_serve_rounds_total",
+        MetricKind::Counter,
+        "Coalesced serve rounds observed in the trace",
+    );
+    r.declare(
+        "mfbc_serve_degrade_total",
+        MetricKind::Counter,
+        "Serve degradation decisions by rung and reason",
+    );
+    r.declare(
         "mfbc_rank_comm_seconds",
         MetricKind::Gauge,
         "Modeled communication seconds by rank",
@@ -681,15 +691,29 @@ impl Recorder for Profiler {
             TraceEvent::Counter { name, value } => {
                 reg.counter_add("mfbc_counter_total", &[("name", name)], value);
             }
+            TraceEvent::RoundStart { .. } => {
+                reg.counter_add("mfbc_serve_rounds_total", &[], 1.0);
+            }
+            TraceEvent::DegradeDecision { rung, reason, .. } => {
+                reg.counter_add(
+                    "mfbc_serve_degrade_total",
+                    &[("rung", rung), ("reason", reason)],
+                    1.0,
+                );
+            }
             // Per-rank compute/backoff/shrink attribution is the
             // timeline analyzer's domain; the profiler's per-rank
             // numbers are sealed from the machine meters in `finish`.
+            // Request/round provenance beyond the counts above is the
+            // serve engine's flight recorder's domain.
             TraceEvent::Compute { .. }
             | TraceEvent::CollectiveWait { .. }
             | TraceEvent::Backoff { .. }
             | TraceEvent::Shrink { .. }
             | TraceEvent::SpanBegin { .. }
             | TraceEvent::SpanEnd { .. }
+            | TraceEvent::RequestAdmitted { .. }
+            | TraceEvent::RoundEnd { .. }
             | TraceEvent::Log { .. } => {}
         }
     }

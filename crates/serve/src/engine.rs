@@ -2,15 +2,32 @@
 //! degradation ladder, and retry/backoff around the resumable
 //! `MfbcSession`.
 
+use crate::flight::{FlightKind, FlightRecorder, Journey};
 use mfbc_core::dist::{MfbcConfig, MfbcSession, SessionStep};
 use mfbc_core::{mfbc_approx, sample_rel_se, BcScores};
-use mfbc_fault::{CircuitBreaker, RetryPolicy};
+use mfbc_fault::{BreakerState, CircuitBreaker, RetryPolicy};
 use mfbc_graph::Graph;
 use mfbc_machine::{Machine, MachineError};
 use mfbc_profile::{MetricKind, MetricsRegistry};
 use mfbc_tensor::autotune::best_plan;
 use mfbc_tensor::costmodel::MmStats;
+use mfbc_tensor::CacheStats;
+use mfbc_trace::TraceEvent;
 use std::collections::VecDeque;
+
+/// Responses kept in the rolling SLO window surfaced by
+/// [`Engine::health`].
+const SLO_WINDOW: usize = 32;
+
+/// Stable label for a breaker state (the fault crate's enum has no
+/// wire names of its own).
+fn breaker_name(s: BreakerState) -> &'static str {
+    match s {
+        BreakerState::Closed => "closed",
+        BreakerState::Open => "open",
+        BreakerState::HalfOpen => "half-open",
+    }
+}
 
 /// What a request asks for.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -152,7 +169,7 @@ pub struct Response {
 }
 
 /// Liveness/readiness snapshot.
-#[derive(Clone, Copy, Debug, PartialEq)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Health {
     /// The engine can still make exact progress (not poisoned).
     pub ready: bool,
@@ -171,6 +188,19 @@ pub struct Health {
     pub served: u64,
     /// Requests shed at admission so far.
     pub shed: u64,
+    /// Circuit-breaker state (`closed`/`open`/`half-open`).
+    pub breaker: &'static str,
+    /// The error that poisoned the engine, if any.
+    pub last_poison: Option<String>,
+    /// Responses in the rolling SLO window (≤ [`SLO_WINDOW`]).
+    pub window_len: usize,
+    /// How many of those met their deadline.
+    pub window_deadline_met: usize,
+    /// Worst modeled latency in the window, in seconds.
+    pub window_max_latency_s: f64,
+    /// Prepared-adjacency cache activity across every request served
+    /// (sticky after the exact session retires).
+    pub mm_cache: CacheStats,
 }
 
 /// Engine tuning knobs.
@@ -195,6 +225,11 @@ pub struct EngineConfig {
     /// engines with equal seeds, configs, and request streams produce
     /// bit-identical response streams.
     pub seed: u64,
+    /// Flight-recorder ring capacity (events and journeys each).
+    /// 0 disables the recorder entirely — no allocation, no
+    /// recording. Recording does not perturb responses: a recorded
+    /// run is bit-identical to an unrecorded one.
+    pub flight_capacity: usize,
 }
 
 impl Default for EngineConfig {
@@ -207,6 +242,7 @@ impl Default for EngineConfig {
             default_deadline_s: f64::INFINITY,
             min_approx_k: 4,
             seed: 0,
+            flight_capacity: 0,
         }
     }
 }
@@ -225,9 +261,24 @@ pub struct Engine {
     /// Live resumable exact computation; `None` once finished.
     session: Option<MfbcSession>,
     store: ScoreStore,
-    queue: VecDeque<Request>,
+    /// Queued requests with the modeled clock at admission (for
+    /// queue-wait attribution).
+    queue: VecDeque<(Request, f64)>,
     breaker: CircuitBreaker,
     metrics: MetricsRegistry,
+    /// Bounded in-engine flight recorder; `None` when disabled.
+    flight: Option<FlightRecorder>,
+    /// Dump captured automatically at the last poison/breaker-trip,
+    /// waiting for [`Engine::take_auto_dump`].
+    auto_dump: Option<String>,
+    /// The error text that poisoned the engine, if any.
+    last_poison: Option<String>,
+    /// Last-known prepared-adjacency cache stats (sticky once the
+    /// session retires).
+    cache_stats: CacheStats,
+    /// Rolling `(latency_s, deadline_met)` window of the most recent
+    /// responses.
+    window: VecDeque<(f64, bool)>,
     /// Modeled clock of the finished session (the machine handle is
     /// gone after `finish`).
     final_clock_s: f64,
@@ -329,6 +380,51 @@ impl Engine {
             MetricKind::Histogram,
             "Requests coalesced per drain round",
         );
+        metrics.declare(
+            "serve_rounds_total",
+            MetricKind::Counter,
+            "Coalesced drain rounds",
+        );
+        metrics.declare(
+            "serve_queue_wait_modeled_us",
+            MetricKind::Histogram,
+            "Modeled microseconds a request waited queued before its round",
+        );
+        metrics.declare(
+            "serve_deadline_total",
+            MetricKind::Counter,
+            "Responses by deadline attainment (result = met|missed)",
+        );
+        metrics.declare(
+            "serve_deadline_margin_modeled_us",
+            MetricKind::Histogram,
+            "Modeled microseconds of slack on met finite deadlines",
+        );
+        metrics.declare(
+            "serve_degrade_total",
+            MetricKind::Counter,
+            "Degraded (non-exact) responses by rung and reason",
+        );
+        metrics.declare(
+            "serve_mm_cache_hits",
+            MetricKind::Gauge,
+            "Prepared-adjacency cache hits across every request served",
+        );
+        metrics.declare(
+            "serve_mm_cache_misses",
+            MetricKind::Gauge,
+            "Prepared-adjacency cache misses across every request served",
+        );
+        metrics.declare(
+            "serve_mm_cache_inserts",
+            MetricKind::Gauge,
+            "Prepared-adjacency cache inserts across every request served",
+        );
+        metrics.declare(
+            "serve_mm_cache_evictions",
+            MetricKind::Gauge,
+            "Prepared-adjacency cache entries dropped by release or rollback",
+        );
         metrics.gauge_set("serve_ready", &[], 1.0);
         let batch_nb = session.batch_size();
         Ok(Engine {
@@ -343,6 +439,11 @@ impl Engine {
             queue: VecDeque::new(),
             breaker: CircuitBreaker::new(ecfg.breaker_threshold, ecfg.breaker_cooldown),
             metrics,
+            flight: (ecfg.flight_capacity > 0).then(|| FlightRecorder::new(ecfg.flight_capacity)),
+            auto_dump: None,
+            last_poison: None,
+            cache_stats: CacheStats::default(),
+            window: VecDeque::new(),
             final_clock_s: 0.0,
             extra_modeled_s: 0.0,
             committed_modeled_s: 0.0,
@@ -364,23 +465,74 @@ impl Engine {
             Query::Full => true,
         };
         if !valid {
-            return self.shed(ShedReason::InvalidRequest);
+            return self.shed(req.id, ShedReason::InvalidRequest);
         }
         if self.queue.len() >= self.ecfg.max_queue {
-            return self.shed(ShedReason::QueueFull);
+            return self.shed(req.id, ShedReason::QueueFull);
         }
-        self.queue.push_back(req);
+        let now_s = self.clock_s();
+        self.queue.push_back((req, now_s));
         self.metrics
             .counter_add("serve_requests_total", &[("query", req.query.name())], 1.0);
         self.metrics
             .gauge_set("serve_queue_depth", &[], self.queue.len() as f64);
+        let deadline_s = req.deadline_s.unwrap_or(self.ecfg.default_deadline_s);
+        let depth = self.queue.len() as u64;
+        mfbc_trace::emit(|| TraceEvent::RequestAdmitted {
+            request_id: req.id,
+            query: req.query.name(),
+            deadline_s,
+            queue_depth: depth,
+        });
+        if let Some(fr) = &mut self.flight {
+            fr.record(
+                now_s,
+                FlightKind::Admitted {
+                    id: req.id,
+                    query: req.query.name(),
+                    deadline_s,
+                    queue_depth: depth,
+                },
+            );
+            fr.admit(Journey {
+                id: req.id,
+                query: req.query.name(),
+                deadline_s,
+                submitted_s: now_s,
+                round: 0,
+                queue_wait_s: 0.0,
+                rung: "",
+                reason: "",
+                approx_k: 0,
+                budget_s: 0.0,
+                spent_s: 0.0,
+                est_batch_s: 0.0,
+                store_version: 0,
+                retries: 0,
+                latency_s: 0.0,
+                deadline_met: false,
+                complete: false,
+            });
+        }
         Admission::Admitted
     }
 
-    fn shed(&mut self, reason: ShedReason) -> Admission {
+    fn shed(&mut self, id: u64, reason: ShedReason) -> Admission {
         self.shed += 1;
         self.metrics
             .counter_add("serve_shed_total", &[("reason", reason.name())], 1.0);
+        if self.flight.is_some() {
+            let now_s = self.clock_s();
+            if let Some(fr) = &mut self.flight {
+                fr.record(
+                    now_s,
+                    FlightKind::Shed {
+                        id,
+                        reason: reason.name(),
+                    },
+                );
+            }
+        }
         Admission::Shed(reason)
     }
 
@@ -429,18 +581,42 @@ impl Engine {
         if self.queue.is_empty() {
             return Vec::new();
         }
-        let round: Vec<Request> = self.queue.drain(..).collect();
+        let round: Vec<(Request, f64)> = self.queue.drain(..).collect();
         self.rounds += 1;
         self.metrics.gauge_set("serve_queue_depth", &[], 0.0);
         self.metrics
             .observe("serve_coalesced_requests", &[], round.len() as f64);
+        self.metrics.counter_add("serve_rounds_total", &[], 1.0);
 
         let start_s = self.clock_s();
         let default_deadline = self.ecfg.default_deadline_s;
         let deadline = move |r: &Request| r.deadline_s.unwrap_or(default_deadline);
         // The most patient request funds shared progress; everyone
         // admitted rides along (coalescing).
-        let round_budget = round.iter().map(deadline).fold(0.0_f64, f64::max);
+        let round_budget = round
+            .iter()
+            .map(|(r, _)| deadline(r))
+            .fold(0.0_f64, f64::max);
+
+        let round_id = self.rounds;
+        let version_at_start = self.store.version;
+        mfbc_trace::emit(|| TraceEvent::RoundStart {
+            round: round_id,
+            requests: round.len() as u64,
+            budget_s: round_budget,
+            store_version: version_at_start,
+        });
+        if let Some(fr) = &mut self.flight {
+            fr.record(
+                start_s,
+                FlightKind::RoundStart {
+                    round: round_id,
+                    requests: round.len() as u64,
+                    budget_s: round_budget,
+                    store_version: version_at_start,
+                },
+            );
+        }
 
         let mut retries_this_round = 0u32;
         // An open breaker pins the round to stale-serving: no exact
@@ -455,12 +631,13 @@ impl Engine {
         // leftover budget among requests that can still afford the
         // minimum sample.
         let mut approx: Option<(usize, BcScores)> = None;
+        let mut min_k_refused = false;
         if !self.store.exact_complete && !self.poisoned && !breaker_open {
             let elapsed = self.clock_s() - start_s;
             let est_source_s = (self.est_batch_s() / self.batch_nb.max(1) as f64).max(1e-12);
             let k_round = round
                 .iter()
-                .map(|r| ((deadline(r) - elapsed) / est_source_s) as i64)
+                .map(|(r, _)| ((deadline(r) - elapsed) / est_source_s) as i64)
                 .max()
                 .unwrap_or(0)
                 .clamp(0, self.g.n() as i64) as usize;
@@ -475,14 +652,60 @@ impl Engine {
                 // modeled cost so latencies stay honest.
                 self.extra_modeled_s += k_round as f64 * est_source_s;
                 approx = Some((k_round, est.scores));
+            } else {
+                min_k_refused = true;
             }
         }
 
+        // The round's degradation decision, with the budget
+        // arithmetic that forced it — the provenance every degraded
+        // response traces back to.
         let elapsed = self.clock_s() - start_s;
+        let est_batch_s = self.est_batch_s();
+        let (rung, reason): (&'static str, &'static str) = if self.store.exact_complete {
+            ("exact", "complete")
+        } else if approx.is_some() {
+            ("approx", "budget")
+        } else if self.poisoned {
+            ("stale", "poisoned")
+        } else if breaker_open {
+            ("stale", "breaker-open")
+        } else if min_k_refused {
+            ("stale", "min-k")
+        } else {
+            ("stale", "budget")
+        };
+        let approx_k = approx.as_ref().map_or(0, |(k, _)| *k as u64);
         let version = self.store.version;
+        mfbc_trace::emit(|| TraceEvent::DegradeDecision {
+            round: round_id,
+            rung,
+            reason,
+            budget_s: round_budget,
+            spent_s: elapsed,
+            est_batch_s,
+            approx_k,
+            store_version: version,
+        });
+        if let Some(fr) = &mut self.flight {
+            fr.record(
+                start_s + elapsed,
+                FlightKind::Degrade {
+                    round: round_id,
+                    rung,
+                    reason,
+                    budget_s: round_budget,
+                    spent_s: elapsed,
+                    est_batch_s,
+                    approx_k,
+                    store_version: version,
+                },
+            );
+        }
+
         let n = self.g.n();
         let mut out = Vec::with_capacity(round.len());
-        for req in round {
+        for (req, submitted_s) in round {
             let (quality, scores) = if self.store.exact_complete {
                 (Quality::Exact, &self.store.scores)
             } else if let Some((k, est)) = &approx {
@@ -508,6 +731,51 @@ impl Engine {
                 .counter_add("serve_responses_total", &[("quality", quality.name())], 1.0);
             self.metrics
                 .observe("serve_latency_modeled_us", &[], elapsed * 1e6);
+            if quality.name() != "exact" {
+                self.metrics.counter_add(
+                    "serve_degrade_total",
+                    &[("rung", rung), ("reason", reason)],
+                    1.0,
+                );
+            }
+            // SLO accounting: queue wait, deadline attainment, margin.
+            let queue_wait_s = (start_s - submitted_s).max(0.0);
+            self.metrics
+                .observe("serve_queue_wait_modeled_us", &[], queue_wait_s * 1e6);
+            let req_deadline = deadline(&req);
+            let met = elapsed <= req_deadline;
+            self.metrics.counter_add(
+                "serve_deadline_total",
+                &[("result", if met { "met" } else { "missed" })],
+                1.0,
+            );
+            if met && req_deadline.is_finite() {
+                self.metrics.observe(
+                    "serve_deadline_margin_modeled_us",
+                    &[],
+                    (req_deadline - elapsed) * 1e6,
+                );
+            }
+            if self.window.len() >= SLO_WINDOW {
+                self.window.pop_front();
+            }
+            self.window.push_back((elapsed, met));
+            if let Some(fr) = &mut self.flight {
+                fr.complete(req.id, |j| {
+                    j.round = round_id;
+                    j.queue_wait_s = queue_wait_s;
+                    j.rung = rung;
+                    j.reason = reason;
+                    j.approx_k = approx_k;
+                    j.budget_s = round_budget;
+                    j.spent_s = elapsed;
+                    j.est_batch_s = est_batch_s;
+                    j.store_version = version;
+                    j.retries = retries_this_round;
+                    j.latency_s = elapsed;
+                    j.deadline_met = met;
+                });
+            }
             self.served += 1;
             out.push(Response {
                 id: req.id,
@@ -518,6 +786,25 @@ impl Engine {
                 retries: retries_this_round,
             });
         }
+
+        let responses = out.len() as u64;
+        mfbc_trace::emit(|| TraceEvent::RoundEnd {
+            round: round_id,
+            responses,
+            elapsed_s: elapsed,
+            store_version: version,
+        });
+        if let Some(fr) = &mut self.flight {
+            fr.record(
+                start_s + elapsed,
+                FlightKind::RoundEnd {
+                    round: round_id,
+                    responses,
+                    elapsed_s: elapsed,
+                },
+            );
+        }
+        self.refresh_cache_stats();
         out
     }
 
@@ -550,20 +837,38 @@ impl Engine {
                     self.metrics.counter_add("serve_batches_total", &[], 1.0);
                     self.metrics
                         .gauge_set("serve_store_version", &[], self.store.version as f64);
+                    if self.flight.is_some() {
+                        let now_s = self.clock_s();
+                        let round = self.rounds;
+                        let store_version = self.store.version;
+                        if let Some(fr) = &mut self.flight {
+                            fr.record(
+                                now_s,
+                                FlightKind::Commit {
+                                    round,
+                                    store_version,
+                                },
+                            );
+                        }
+                    }
                 }
                 Ok(SessionStep::Done) => {
                     let mut session = self.session.take().expect("still live");
+                    self.cache_stats = session.cache_stats();
                     let run = session.finish();
                     self.final_clock_s = run.report.critical.total_time();
                     self.store.scores = run.scores;
                     self.store.exact_complete = true;
                     return;
                 }
-                Err(_) if self.session.as_ref().is_some_and(|s| s.poisoned()) => {
+                Err(e) if self.session.as_ref().is_some_and(|s| s.poisoned()) => {
                     // Unrecoverable: the session released its state.
                     // Stop computing; keep serving the stale store.
                     // Keep the machine clock (the wasted work is real
                     // modeled time) before dropping the handle.
+                    if let Some(s) = &self.session {
+                        self.cache_stats = s.cache_stats();
+                    }
                     self.final_clock_s = self
                         .session
                         .as_ref()
@@ -571,9 +876,19 @@ impl Engine {
                         .unwrap_or(self.final_clock_s);
                     self.session = None;
                     self.poisoned = true;
+                    self.last_poison = Some(e.to_string());
                     self.metrics.gauge_set("serve_ready", &[], 0.0);
                     self.breaker.record_failure();
                     self.note_breaker_trips();
+                    if self.flight.is_some() {
+                        let now_s = self.clock_s();
+                        let round = self.rounds;
+                        let detail = e.to_string();
+                        if let Some(fr) = &mut self.flight {
+                            fr.record(now_s, FlightKind::Poison { round, detail });
+                        }
+                        self.auto_dump = self.flight.as_ref().map(FlightRecorder::dump);
+                    }
                     return;
                 }
                 Err(_) => {
@@ -591,6 +906,22 @@ impl Engine {
                     attempt += 1;
                     *retries += 1;
                     self.metrics.counter_add("serve_retries_total", &[], 1.0);
+                    if self.flight.is_some() {
+                        let now_s = self.clock_s();
+                        let round = self.rounds;
+                        let wait_s = wait;
+                        let a = attempt - 1;
+                        if let Some(fr) = &mut self.flight {
+                            fr.record(
+                                now_s,
+                                FlightKind::Retry {
+                                    round,
+                                    attempt: a,
+                                    wait_s,
+                                },
+                            );
+                        }
+                    }
                 }
             }
         }
@@ -605,11 +936,40 @@ impl Engine {
                 (trips - self.breaker_trips_seen) as f64,
             );
             self.breaker_trips_seen = trips;
+            if self.flight.is_some() {
+                let now_s = self.clock_s();
+                let round = self.rounds;
+                if let Some(fr) = &mut self.flight {
+                    fr.record(now_s, FlightKind::BreakerTrip { round, trips });
+                }
+                self.auto_dump = self.flight.as_ref().map(FlightRecorder::dump);
+            }
         }
+    }
+
+    /// Refreshes the sticky mm-cache stats from the live session (if
+    /// any) and mirrors them into the registry gauges.
+    fn refresh_cache_stats(&mut self) {
+        if let Some(s) = &self.session {
+            self.cache_stats = s.cache_stats();
+        }
+        let c = self.cache_stats;
+        self.metrics
+            .gauge_set("serve_mm_cache_hits", &[], c.hits as f64);
+        self.metrics
+            .gauge_set("serve_mm_cache_misses", &[], c.misses as f64);
+        self.metrics
+            .gauge_set("serve_mm_cache_inserts", &[], c.inserts as f64);
+        self.metrics
+            .gauge_set("serve_mm_cache_evictions", &[], c.evictions as f64);
     }
 
     /// Liveness/readiness snapshot.
     pub fn health(&self) -> Health {
+        let mut cache = self.cache_stats;
+        if let Some(s) = &self.session {
+            cache = s.cache_stats();
+        }
         Health {
             ready: !self.poisoned,
             live: true,
@@ -623,6 +983,12 @@ impl Engine {
                 .unwrap_or_default(),
             served: self.served,
             shed: self.shed,
+            breaker: breaker_name(self.breaker.state()),
+            last_poison: self.last_poison.clone(),
+            window_len: self.window.len(),
+            window_deadline_met: self.window.iter().filter(|(_, met)| *met).count(),
+            window_max_latency_s: self.window.iter().map(|(l, _)| *l).fold(0.0_f64, f64::max),
+            mm_cache: cache,
         }
     }
 
@@ -673,12 +1039,42 @@ impl Engine {
             let start_s = self.clock_s();
             self.advance_within(f64::INFINITY, start_s, &mut retries);
         }
+        self.refresh_cache_stats();
         retries
     }
 
     /// Current circuit-breaker state.
     pub fn breaker_state(&self) -> mfbc_fault::BreakerState {
         self.breaker.state()
+    }
+
+    /// Dumps the flight recorder now, as one JSON line. `None` when
+    /// the recorder is disabled (`flight_capacity = 0`).
+    pub fn flight_dump(&self) -> Option<String> {
+        self.flight.as_ref().map(FlightRecorder::dump)
+    }
+
+    /// The dump captured automatically at the most recent poison or
+    /// breaker trip, if one happened since the last call (taking
+    /// clears it).
+    pub fn take_auto_dump(&mut self) -> Option<String> {
+        self.auto_dump.take()
+    }
+
+    /// Read access to the flight recorder (e.g. for journey
+    /// inspection in tests and load harnesses). `None` when disabled.
+    pub fn flight(&self) -> Option<&FlightRecorder> {
+        self.flight.as_ref()
+    }
+
+    /// Prepared-adjacency cache activity across every request served
+    /// (sticky after the exact session retires).
+    pub fn cache_stats(&self) -> CacheStats {
+        let mut cache = self.cache_stats;
+        if let Some(s) = &self.session {
+            cache = s.cache_stats();
+        }
+        cache
     }
 
     /// The graph being served.

@@ -28,10 +28,20 @@
 //!   the session's shrink/replan recovery without dropping queued
 //!   requests; a [`mfbc_fault::CircuitBreaker`] trips to
 //!   stale-serving after consecutive batch failures.
-//! * **Health** — readiness/liveness plus queue depth, shed /
-//!   degraded / retry counters and modeled-latency histograms in a
+//! * **Health** — readiness/liveness plus queue depth, breaker
+//!   state, last-poison detail, a rolling SLO window, shed /
+//!   degraded / retry counters, deadline-attainment and queue-wait
+//!   histograms, and cross-request mm-cache gauges in a
 //!   `mfbc_profile::MetricsRegistry`, scrapeable through the existing
-//!   Prometheus exporter.
+//!   Prometheus/JSON/HTML exporters.
+//! * **Observability** — request-scoped provenance events
+//!   (`RequestAdmitted`, `RoundStart`/`RoundEnd`, `DegradeDecision`
+//!   with its budget arithmetic) in the `mfbc_trace` stream, and a
+//!   bounded byte-deterministic [`FlightRecorder`] whose per-request
+//!   [`Journey`] records explain every degraded answer; dumped
+//!   automatically on poison/breaker-trip and on demand via the wire
+//!   `{"cmd":"dump"}` command. Recording never perturbs responses
+//!   and capacity 0 disables it with zero allocation.
 //!
 //! The [`wire`] module gives the engine a dependency-free JSON-lines
 //! protocol (requests in, responses out) used by `mfbc-cli serve`.
@@ -40,8 +50,10 @@
 #![deny(unsafe_code)]
 
 pub mod engine;
+pub mod flight;
 pub mod wire;
 
 pub use engine::{
     Admission, Engine, EngineConfig, Health, Payload, Quality, Query, Request, Response, ShedReason,
 };
+pub use flight::{FlightEvent, FlightKind, FlightRecorder, Journey};

@@ -26,6 +26,8 @@ pub enum WireCmd {
     Request(Request),
     /// An immediate health probe (not queued, not coalesced).
     Health,
+    /// An immediate flight-recorder dump (not queued, not coalesced).
+    Dump,
 }
 
 /// Parses one JSON-lines request.
@@ -38,6 +40,7 @@ pub fn parse_line(line: &str) -> Result<WireCmd, String> {
     if let Some(cmd) = v.get("cmd").and_then(Json::as_str) {
         return match cmd {
             "health" => Ok(WireCmd::Health),
+            "dump" => Ok(WireCmd::Dump),
             other => Err(format!("unknown cmd {other:?}")),
         };
     }
@@ -134,12 +137,30 @@ pub fn render_invalid(detail: &str) -> String {
     )
 }
 
-/// Renders a health snapshot as one JSON line.
+/// Renders a health snapshot as one JSON line, including breaker
+/// state, last-poison detail, the rolling SLO window, and mm-cache
+/// activity.
 pub fn render_health(h: &Health) -> String {
-    format!(
-        "{{\"ready\":{},\"live\":{},\"queue_depth\":{},\"version\":{},\"exact_complete\":{},\"p\":{},\"served\":{},\"shed\":{}}}",
+    let mut s = format!(
+        "{{\"ready\":{},\"live\":{},\"queue_depth\":{},\"version\":{},\"exact_complete\":{},\"p\":{},\"served\":{},\"shed\":{}",
         h.ready, h.live, h.queue_depth, h.store_version, h.exact_complete, h.p, h.served, h.shed
-    )
+    );
+    s.push_str(&format!(",\"breaker\":\"{}\"", h.breaker));
+    match &h.last_poison {
+        Some(detail) => s.push_str(&format!(",\"last_poison\":\"{}\"", jsonio::esc(detail))),
+        None => s.push_str(",\"last_poison\":null"),
+    }
+    s.push_str(&format!(
+        ",\"window\":{{\"len\":{},\"deadline_met\":{},\"max_latency_s\":{}}}",
+        h.window_len,
+        h.window_deadline_met,
+        jsonio::num(h.window_max_latency_s)
+    ));
+    s.push_str(&format!(
+        ",\"mm_cache\":{{\"hits\":{},\"misses\":{},\"inserts\":{},\"evictions\":{}}}}}",
+        h.mm_cache.hits, h.mm_cache.misses, h.mm_cache.inserts, h.mm_cache.evictions
+    ));
+    s
 }
 
 #[cfg(test)]
@@ -228,9 +249,46 @@ mod tests {
             p: 4,
             served: 3,
             shed: 0,
+            breaker: "closed",
+            last_poison: None,
+            window_len: 2,
+            window_deadline_met: 1,
+            window_max_latency_s: 0.5,
+            mm_cache: mfbc_tensor::CacheStats {
+                hits: 5,
+                misses: 2,
+                inserts: 2,
+                evictions: 0,
+            },
         };
         let v = jsonio::parse(&render_health(&h)).unwrap();
         assert_eq!(v.get("queue_depth").and_then(Json::as_u64), Some(1));
         assert_eq!(v.get("p").and_then(Json::as_u64), Some(4));
+        assert_eq!(v.get("breaker").and_then(Json::as_str), Some("closed"));
+        assert!(matches!(v.get("last_poison"), Some(Json::Null)));
+        assert_eq!(
+            v.get("window")
+                .and_then(|w| w.get("deadline_met"))
+                .and_then(Json::as_u64),
+            Some(1)
+        );
+        assert_eq!(
+            v.get("mm_cache")
+                .and_then(|c| c.get("hits"))
+                .and_then(Json::as_u64),
+            Some(5)
+        );
+
+        let poisoned = Health {
+            last_poison: Some("rank 0 crashed \"hard\"".to_string()),
+            breaker: "open",
+            ..h
+        };
+        let v = jsonio::parse(&render_health(&poisoned)).unwrap();
+        assert_eq!(
+            v.get("last_poison").and_then(Json::as_str),
+            Some("rank 0 crashed \"hard\"")
+        );
+        assert_eq!(v.get("breaker").and_then(Json::as_str), Some("open"));
     }
 }

@@ -19,6 +19,7 @@
 use crate::dist::DistMat;
 use mfbc_machine::Machine;
 use mfbc_sparse::Csr;
+use std::cell::Cell;
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -64,15 +65,44 @@ struct Entry<T> {
     charges: Vec<(usize, u64)>,
 }
 
+/// Lifetime activity counters for one [`MmCache`] (or, summed via
+/// [`CacheStats::absorb`], for a succession of caches — e.g. across a
+/// crash replan that replaces them). Evictions count entries dropped
+/// by [`MmCache::release_all`] and [`MmCache::discard_except`];
+/// overwritten keys are not separately counted.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found a prepared form.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Forms stored.
+    pub inserts: u64,
+    /// Entries dropped by release or rollback.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Adds `other`'s counts into `self`.
+    pub fn absorb(&mut self, other: CacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.inserts += other.inserts;
+        self.evictions += other.evictions;
+    }
+}
+
 /// Cross-multiplication cache of prepared right-operand forms.
 pub struct MmCache<T> {
     entries: HashMap<String, Entry<T>>,
+    stats: Cell<CacheStats>,
 }
 
 impl<T> Default for MmCache<T> {
     fn default() -> Self {
         MmCache {
             entries: HashMap::new(),
+            stats: Cell::new(CacheStats::default()),
         }
     }
 }
@@ -106,13 +136,22 @@ impl<T> MmCache<T> {
             );
             &e.form
         });
+        let mut stats = self.stats.get();
         let name = if hit.is_some() {
+            stats.hits += 1;
             "mm_cache_hit"
         } else {
+            stats.misses += 1;
             "mm_cache_miss"
         };
+        self.stats.set(stats);
         mfbc_trace::emit(|| mfbc_trace::TraceEvent::Counter { name, value: 1.0 });
         hit
+    }
+
+    /// Lifetime activity counters for this cache.
+    pub fn stats(&self) -> CacheStats {
+        self.stats.get()
     }
 
     /// Stores a prepared form with the simulated residency it
@@ -128,6 +167,9 @@ impl<T> MmCache<T> {
             name: "mm_cache_insert",
             value: 1.0,
         });
+        let mut stats = self.stats.get();
+        stats.inserts += 1;
+        self.stats.set(stats);
         self.entries.insert(
             key,
             Entry {
@@ -141,6 +183,9 @@ impl<T> MmCache<T> {
     /// Releases every cached form's simulated residency and clears
     /// the cache.
     pub fn release_all(&mut self, m: &Machine) {
+        let mut stats = self.stats.get();
+        stats.evictions += self.entries.len() as u64;
+        self.stats.set(stats);
         for (_, e) in self.entries.drain() {
             for (rank, bytes) in e.charges {
                 m.release(rank, bytes);
@@ -160,7 +205,11 @@ impl<T> MmCache<T> {
     /// snapshot that already reflects the kept set (releasing here
     /// too would double-credit the meter).
     pub fn discard_except(&mut self, keep: &[String]) {
+        let before = self.entries.len();
         self.entries.retain(|k, _| keep.iter().any(|s| s == k));
+        let mut stats = self.stats.get();
+        stats.evictions += (before - self.entries.len()) as u64;
+        self.stats.set(stats);
     }
 }
 
@@ -234,6 +283,39 @@ mod tests {
                 ("mm_cache_hit", 1.0),
             ]
         );
+    }
+
+    #[test]
+    fn stats_track_hits_misses_inserts_evictions() {
+        let a = dm(3);
+        let mut cache: MmCache<u64> = MmCache::new();
+        let fp = Fingerprint::of(&a);
+        assert_eq!(cache.stats(), CacheStats::default());
+        assert!(cache.get("k", fp).is_none());
+        cache.insert("k".into(), fp, CachedRhs::Dist(Arc::new(a.clone())), vec![]);
+        cache.insert(
+            "k2".into(),
+            fp,
+            CachedRhs::Dist(Arc::new(a.clone())),
+            vec![],
+        );
+        assert!(cache.get("k", fp).is_some());
+        cache.discard_except(&["k".to_string()]);
+        let m = Machine::new(MachineSpec::test(2));
+        cache.release_all(&m);
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                hits: 1,
+                misses: 1,
+                inserts: 2,
+                evictions: 2,
+            }
+        );
+        let mut total = CacheStats::default();
+        total.absorb(cache.stats());
+        total.absorb(cache.stats());
+        assert_eq!(total.inserts, 4);
     }
 
     #[test]

@@ -41,7 +41,7 @@ pub mod redist;
 pub use autotune::{
     best_plan, mm_auto, mm_auto_cached, mm_auto_cached_masked, mm_auto_masked, stats_for_masked,
 };
-pub use cache::MmCache;
+pub use cache::{CacheStats, MmCache};
 pub use costmodel::MmStats;
 pub use dist::{DistMat, Layout};
 pub use grid::{Grid2, Grid3};

@@ -163,6 +163,38 @@ pub struct Marker {
     pub detail: String,
 }
 
+/// One coalesced serve round, bracketing the DAG nodes its exact
+/// advance produced: every node with index in
+/// `first_node..first_node + nodes` — collectives included — was
+/// emitted between the round's start and end events, attributing the
+/// communication to the round that triggered it.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RoundInfo {
+    /// 1-based round id (the serve engine's drain counter).
+    pub round: u64,
+    /// Requests coalesced into the round.
+    pub requests: u64,
+    /// Shared budget in modeled seconds (`None` = unbounded; infinite
+    /// budgets don't survive JSON).
+    pub budget_s: Option<f64>,
+    /// Chosen degradation rung (`exact`, `approx`, `stale`); empty if
+    /// the round carried no decision event.
+    pub rung: String,
+    /// Why that rung was chosen; empty if undecided.
+    pub reason: String,
+    /// Responses produced by the round.
+    pub responses: u64,
+    /// Max alive-lane causal clock at round start.
+    pub start_s: f64,
+    /// Max alive-lane causal clock at round end (equals `start_s`
+    /// for a round that advanced nothing, or while still open).
+    pub end_s: f64,
+    /// Index of the first DAG node emitted inside the round.
+    pub first_node: usize,
+    /// Number of DAG nodes attributed to the round.
+    pub nodes: usize,
+}
+
 /// A sealed causal timeline: the BSP dependency DAG plus per-lane
 /// clocks and replica cost meters.
 #[derive(Clone, Debug, PartialEq)]
@@ -176,6 +208,8 @@ pub struct Timeline {
     pub lanes: Vec<Lane>,
     /// Superstep markers in stream order.
     pub supersteps: Vec<StepInfo>,
+    /// Serve rounds in stream order (empty for one-shot runs).
+    pub rounds: Vec<RoundInfo>,
     /// Zero-duration annotations in stream order.
     pub markers: Vec<Marker>,
     /// Events referencing an out-of-range rank (a malformed or
@@ -321,8 +355,10 @@ struct BuildState {
     /// In-flight nonblocking collectives keyed by machine handle.
     pending: std::collections::BTreeMap<u64, PendingColl>,
     supersteps: Vec<StepInfo>,
+    rounds: Vec<RoundInfo>,
     markers: Vec<Marker>,
     current_step: Option<usize>,
+    current_round: Option<usize>,
     dropped: u64,
     total_ops: u64,
 }
@@ -346,11 +382,23 @@ impl BuildState {
             synced_node: vec![None; p],
             pending: std::collections::BTreeMap::new(),
             supersteps: Vec::new(),
+            rounds: Vec::new(),
             markers: Vec::new(),
             current_step: None,
+            current_round: None,
             dropped: 0,
             total_ops: 0,
         }
+    }
+
+    /// Max alive-lane causal clock (where a zero-duration annotation
+    /// lands).
+    fn now_s(&self) -> f64 {
+        self.lanes
+            .iter()
+            .filter(|l| l.alive)
+            .map(|l| l.clock_s)
+            .fold(0.0, f64::max)
     }
 
     /// The group's issue clock (max last-synchronization clock over
@@ -474,12 +522,7 @@ impl BuildState {
     }
 
     fn marker(&mut self, label: String, detail: String) {
-        let at_s = self
-            .lanes
-            .iter()
-            .filter(|l| l.alive)
-            .map(|l| l.clock_s)
-            .fold(0.0, f64::max);
+        let at_s = self.now_s();
         self.markers.push(Marker {
             at_s,
             label,
@@ -676,6 +719,72 @@ impl BuildState {
                     format!("bytes={bytes_moved} p={participants}"),
                 );
             }
+            TraceEvent::RequestAdmitted {
+                request_id,
+                query,
+                deadline_s,
+                queue_depth,
+            } => {
+                self.marker(
+                    format!("request {request_id} admitted"),
+                    format!("query={query} deadline_s={deadline_s:?} depth={queue_depth}"),
+                );
+            }
+            TraceEvent::RoundStart {
+                round,
+                requests,
+                budget_s,
+                ..
+            } => {
+                let start_s = self.now_s();
+                self.current_round = Some(self.rounds.len());
+                self.rounds.push(RoundInfo {
+                    round,
+                    requests,
+                    budget_s: budget_s.is_finite().then_some(budget_s),
+                    rung: String::new(),
+                    reason: String::new(),
+                    responses: 0,
+                    start_s,
+                    end_s: start_s,
+                    first_node: self.nodes.len(),
+                    nodes: 0,
+                });
+            }
+            TraceEvent::DegradeDecision {
+                round,
+                rung,
+                reason,
+                ..
+            } => {
+                match self.current_round {
+                    Some(i) if self.rounds[i].round == round => {
+                        self.rounds[i].rung = rung.to_string();
+                        self.rounds[i].reason = reason.to_string();
+                    }
+                    // A decision outside its round: malformed stream.
+                    _ => self.dropped += 1,
+                }
+                self.marker(
+                    format!("degrade -> {rung}"),
+                    format!("round={round} reason={reason}"),
+                );
+            }
+            TraceEvent::RoundEnd {
+                round, responses, ..
+            } => {
+                let end_s = self.now_s();
+                match self.current_round.take() {
+                    Some(i) if self.rounds[i].round == round => {
+                        let nodes = self.nodes.len() - self.rounds[i].first_node;
+                        let r = &mut self.rounds[i];
+                        r.responses = responses;
+                        r.nodes = nodes;
+                        r.end_s = r.start_s.max(end_s);
+                    }
+                    _ => self.dropped += 1,
+                }
+            }
             TraceEvent::Autotune { .. }
             | TraceEvent::Pool { .. }
             | TraceEvent::SpanBegin { .. }
@@ -744,6 +853,7 @@ impl TimelineBuilder {
             nodes: st.nodes.clone(),
             lanes: st.lanes.clone(),
             supersteps: st.supersteps.clone(),
+            rounds: st.rounds.clone(),
             markers: st.markers.clone(),
             dropped: st.dropped,
             total_ops: st.total_ops,

@@ -17,8 +17,9 @@ use std::fmt::Write as _;
 /// Format version of the `timeline.json` document. Version 2 added
 /// the top-level `overlap` flag (which clock recurrence the run was
 /// modeled under) and issue-anchored collective spans in the Gantt
-/// view.
-pub const TIMELINE_JSON_VERSION: u64 = 2;
+/// view. Version 3 added the `rounds` array (serve drain rounds with
+/// degradation decisions and DAG-node attribution).
+pub const TIMELINE_JSON_VERSION: u64 = 3;
 
 /// One rank's row in the document.
 #[derive(Clone, Debug, PartialEq)]
@@ -92,6 +93,32 @@ pub struct StepRow {
     pub plans: Vec<String>,
 }
 
+/// One serve drain-round row (absent for non-serve runs).
+#[derive(Clone, Debug, PartialEq)]
+pub struct RoundRow {
+    /// 1-based round id.
+    pub round: u64,
+    /// Requests coalesced into the round.
+    pub requests: u64,
+    /// Shared budget in modeled seconds (`None` = unbounded).
+    pub budget_s: Option<f64>,
+    /// Chosen degradation rung (`exact`/`approx`/`stale`; empty if
+    /// the round carried no decision event).
+    pub rung: String,
+    /// Why that rung was chosen; empty if undecided.
+    pub reason: String,
+    /// Responses produced by the round.
+    pub responses: u64,
+    /// Causal clock at round start.
+    pub start_s: f64,
+    /// Causal clock at round end.
+    pub end_s: f64,
+    /// Index of the first DAG node emitted inside the round.
+    pub first_node: u64,
+    /// Number of DAG nodes attributed to the round.
+    pub nodes: u64,
+}
+
 /// One evaluated what-if row.
 #[derive(Clone, Debug, PartialEq)]
 pub struct WhatIfRow {
@@ -129,6 +156,8 @@ pub struct TimelineDoc {
     pub bottlenecks: Vec<BottleneckRow>,
     /// Per-superstep attribution.
     pub supersteps: Vec<StepRow>,
+    /// Serve drain rounds (empty for non-serve runs).
+    pub rounds: Vec<RoundRow>,
     /// Evaluated what-if edits.
     pub what_if: Vec<WhatIfRow>,
 }
@@ -196,6 +225,22 @@ pub fn doc(tl: &Timeline, an: &Analysis, what_ifs: &[WhatIfReport]) -> TimelineD
                 plans: s.plans.clone(),
             })
             .collect(),
+        rounds: tl
+            .rounds
+            .iter()
+            .map(|r| RoundRow {
+                round: r.round,
+                requests: r.requests,
+                budget_s: r.budget_s,
+                rung: r.rung.clone(),
+                reason: r.reason.clone(),
+                responses: r.responses,
+                start_s: r.start_s,
+                end_s: r.end_s,
+                first_node: r.first_node as u64,
+                nodes: r.nodes as u64,
+            })
+            .collect(),
         what_if: what_ifs
             .iter()
             .map(|w| WhatIfRow {
@@ -210,6 +255,13 @@ pub fn doc(tl: &Timeline, an: &Analysis, what_ifs: &[WhatIfReport]) -> TimelineD
 fn opt_u64(x: Option<u64>) -> String {
     match x {
         Some(v) => v.to_string(),
+        None => "null".to_string(),
+    }
+}
+
+fn opt_num(x: Option<f64>) -> String {
+    match x {
+        Some(v) => num(v),
         None => "null".to_string(),
     }
 }
@@ -299,6 +351,25 @@ pub fn to_json(d: &TimelineDoc) -> String {
         );
     }
     let _ = writeln!(out, "  ],");
+    let _ = writeln!(out, "  \"rounds\": [");
+    for (i, r) in d.rounds.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    {{\"round\": {}, \"requests\": {}, \"budget_s\": {}, \"rung\": \"{}\", \"reason\": \"{}\", \"responses\": {}, \"start_s\": {}, \"end_s\": {}, \"first_node\": {}, \"nodes\": {}}}{}",
+            r.round,
+            r.requests,
+            opt_num(r.budget_s),
+            esc(&r.rung),
+            esc(&r.reason),
+            r.responses,
+            num(r.start_s),
+            num(r.end_s),
+            r.first_node,
+            r.nodes,
+            if i + 1 < d.rounds.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(out, "  ],");
     let _ = writeln!(out, "  \"what_if\": [");
     for (i, w) in d.what_if.iter().enumerate() {
         let _ = writeln!(
@@ -351,6 +422,16 @@ fn opt_field_u64(v: &Json, key: &str) -> Result<Option<u64>, String> {
             .as_u64()
             .map(Some)
             .ok_or_else(|| format!("field `{key}` is not an integer or null")),
+    }
+}
+
+fn opt_field_f64(v: &Json, key: &str) -> Result<Option<f64>, String> {
+    match want(v, key)? {
+        Json::Null => Ok(None),
+        other => other
+            .as_f64()
+            .map(Some)
+            .ok_or_else(|| format!("field `{key}` is not a number or null")),
     }
 }
 
@@ -417,6 +498,21 @@ pub fn parse_timeline(text: &str) -> Result<TimelineDoc, String> {
             plans,
         });
     }
+    let mut rounds = Vec::new();
+    for r in want_arr(&root, "rounds")? {
+        rounds.push(RoundRow {
+            round: want_u64(r, "round")?,
+            requests: want_u64(r, "requests")?,
+            budget_s: opt_field_f64(r, "budget_s")?,
+            rung: want_str(r, "rung")?,
+            reason: want_str(r, "reason")?,
+            responses: want_u64(r, "responses")?,
+            start_s: want_f64(r, "start_s")?,
+            end_s: want_f64(r, "end_s")?,
+            first_node: want_u64(r, "first_node")?,
+            nodes: want_u64(r, "nodes")?,
+        });
+    }
     let mut what_if = Vec::new();
     for w in want_arr(&root, "what_if")? {
         what_if.push(WhatIfRow {
@@ -437,6 +533,7 @@ pub fn parse_timeline(text: &str) -> Result<TimelineDoc, String> {
         critical_path,
         bottlenecks,
         supersteps,
+        rounds,
         what_if,
     })
 }
@@ -723,6 +820,32 @@ pub fn to_html(tl: &Timeline, an: &Analysis) -> String {
         }
         let _ = writeln!(out, "</div>");
     }
+    // Serve round lane: one span per drain round, shaded by rung,
+    // positioned on the same causal-clock axis as the rank lanes.
+    if !tl.rounds.is_empty() && makespan > 0.0 {
+        let _ = writeln!(out, "<div class=\"kv\">serve rounds</div>");
+        let _ = write!(out, "<div class=\"lane\">");
+        for r in &tl.rounds {
+            let left = r.start_s / makespan * 100.0;
+            let width = ((r.end_s - r.start_s) / makespan * 100.0).max(0.05);
+            let class = match r.rung.as_str() {
+                "exact" => "seg-compute",
+                "approx" => "seg-backoff",
+                _ => "seg-c0",
+            };
+            let _ = write!(
+                out,
+                "<span class=\"{class}\" style=\"left:{left:.4}%;width:{width:.4}%\" \
+                 title=\"round {} {} ({}) {} req → {} resp\"></span>",
+                r.round,
+                esc_html(&r.rung),
+                esc_html(&r.reason),
+                r.requests,
+                r.responses
+            );
+        }
+        let _ = writeln!(out, "</div>");
+    }
     let _ = writeln!(
         out,
         "<p class=\"legend kv\"><span class=\"seg-compute\"></span>compute\
@@ -772,6 +895,38 @@ pub fn to_html(tl: &Timeline, an: &Analysis) -> String {
         );
     }
     let _ = writeln!(out, "</table>");
+
+    // Serve rounds table with exact data-* attributes, if any.
+    if !tl.rounds.is_empty() {
+        let _ = writeln!(
+            out,
+            "<h2>Serve rounds</h2><table><tr><th>round</th><th>requests</th><th class=\"l\">rung</th>\
+             <th class=\"l\">reason</th><th>responses</th><th>budget s</th><th>start s</th><th>end s</th><th>nodes</th></tr>"
+        );
+        for r in &tl.rounds {
+            let _ = writeln!(
+                out,
+                "<tr data-round=\"{}\" data-start=\"{}\" data-end=\"{}\"><td>{}</td><td>{}</td>\
+                 <td class=\"l\">{}</td><td class=\"l\">{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td></tr>",
+                r.round,
+                num(r.start_s),
+                num(r.end_s),
+                r.round,
+                r.requests,
+                esc_html(&r.rung),
+                esc_html(&r.reason),
+                r.responses,
+                match r.budget_s {
+                    Some(b) => num(b),
+                    None => "∞".to_string(),
+                },
+                num(r.start_s),
+                num(r.end_s),
+                r.nodes
+            );
+        }
+        let _ = writeln!(out, "</table>");
+    }
 
     // Markers, if any.
     if !tl.markers.is_empty() {

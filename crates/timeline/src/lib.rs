@@ -37,13 +37,15 @@ pub mod critical;
 pub mod export;
 pub mod whatif;
 
-pub use builder::{Lane, Marker, Node, SegmentKind, StepInfo, Timeline, TimelineBuilder};
+pub use builder::{
+    Lane, Marker, Node, RoundInfo, SegmentKind, StepInfo, Timeline, TimelineBuilder,
+};
 pub use critical::{
     analyze, bottlenecks, critical_path, step_attribution, Analysis, Bottleneck, CriticalPath,
     PathSegment, StepAttribution,
 };
 pub use export::{
     diff_docs, doc, parse_html_rank_rows, parse_timeline, register_metrics, render_diff, to_html,
-    to_json, DiffRow, TimelineDoc, TIMELINE_JSON_VERSION,
+    to_json, DiffRow, RoundRow, TimelineDoc, TIMELINE_JSON_VERSION,
 };
 pub use whatif::{evaluate, report, WhatIf, WhatIfReport};

@@ -107,3 +107,108 @@ fn timeline_and_profile_exporters_agree_bitwise() {
         "critical path must sum bit-exactly to the exported makespan"
     );
 }
+
+#[test]
+fn serve_rounds_round_trip_through_json_and_html() {
+    // Synthesize the serve provenance stream directly (the serve
+    // engine emits exactly these events) so the timeline crate pins
+    // its own round-trip without a dependency on mfbc-serve.
+    let spec = MachineSpec::gemini(2);
+    let builder = Arc::new(TimelineBuilder::new(spec.clone()));
+    let machine = Machine::new(spec);
+    scoped(builder.clone(), || {
+        mfbc_trace::emit(|| mfbc_trace::TraceEvent::RequestAdmitted {
+            request_id: 1,
+            query: "full",
+            deadline_s: 250.0,
+            queue_depth: 1,
+        });
+        mfbc_trace::emit(|| mfbc_trace::TraceEvent::RoundStart {
+            round: 1,
+            requests: 2,
+            budget_s: 250.0,
+            store_version: 0,
+        });
+        machine.charge_compute(0, 1_000_003);
+        machine
+            .charge_collective(&machine.world(), CollectiveKind::Allreduce, 4_096)
+            .unwrap();
+        mfbc_trace::emit(|| mfbc_trace::TraceEvent::DegradeDecision {
+            round: 1,
+            rung: "approx",
+            reason: "budget",
+            budget_s: 250.0,
+            spent_s: 10.0,
+            est_batch_s: 300.0,
+            approx_k: 8,
+            store_version: 0,
+        });
+        mfbc_trace::emit(|| mfbc_trace::TraceEvent::RoundEnd {
+            round: 1,
+            responses: 2,
+            elapsed_s: 10.0,
+            store_version: 1,
+        });
+        // An unbounded round that advances nothing: exercises the
+        // `None` budget and the zero-node attribution.
+        mfbc_trace::emit(|| mfbc_trace::TraceEvent::RoundStart {
+            round: 2,
+            requests: 1,
+            budget_s: f64::INFINITY,
+            store_version: 1,
+        });
+        mfbc_trace::emit(|| mfbc_trace::TraceEvent::DegradeDecision {
+            round: 2,
+            rung: "exact",
+            reason: "complete",
+            budget_s: f64::INFINITY,
+            spent_s: 0.0,
+            est_batch_s: 0.0,
+            approx_k: 0,
+            store_version: 1,
+        });
+        mfbc_trace::emit(|| mfbc_trace::TraceEvent::RoundEnd {
+            round: 2,
+            responses: 1,
+            elapsed_s: 0.0,
+            store_version: 1,
+        });
+    });
+
+    let tl = builder.finish();
+    assert_eq!(tl.validate_against(&machine), Vec::<String>::new());
+    assert_eq!(tl.rounds.len(), 2);
+    assert!(
+        tl.rounds[0].nodes > 0,
+        "machine activity inside round 1 must be attributed to it"
+    );
+    assert_eq!(tl.rounds[0].budget_s, Some(250.0));
+    assert_eq!(tl.rounds[1].budget_s, None, "infinite budget maps to None");
+    assert_eq!(tl.rounds[1].nodes, 0);
+
+    let an = analyze(&tl);
+    let d = doc(&tl, &an, &[]);
+    assert_eq!(d.version, 3, "rounds arrived with format version 3");
+    let json = to_json(&d);
+    let parsed = parse_timeline(&json).expect("parse timeline.json");
+    assert_eq!(
+        parsed.rounds, d.rounds,
+        "rounds array must survive the JSON round trip"
+    );
+    for (a, b) in parsed.rounds.iter().zip(&d.rounds) {
+        assert_eq!(a.start_s.to_bits(), b.start_s.to_bits(), "round start_s");
+        assert_eq!(a.end_s.to_bits(), b.end_s.to_bits(), "round end_s");
+    }
+    assert_eq!(
+        to_json(&parsed),
+        json,
+        "parse -> re-serialize must be byte-identical"
+    );
+
+    let html = to_html(&tl, &an);
+    assert!(html.contains("<div class=\"kv\">serve rounds</div>"));
+    assert!(html.contains("round 1 approx (budget) 2 req → 2 resp"));
+    assert!(html.contains("<h2>Serve rounds</h2>"));
+    assert!(html.contains("data-round=\"1\""));
+    assert!(html.contains("data-round=\"2\""));
+}

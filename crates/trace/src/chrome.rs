@@ -369,6 +369,90 @@ fn one_event(events: &mut Vec<String>, rec: &TraceRecord) {
                 ),
             );
         }
+        TraceEvent::RequestAdmitted {
+            request_id,
+            query,
+            deadline_s,
+            queue_depth,
+        } => {
+            instant(
+                events,
+                &format!("request {request_id} admitted"),
+                "serve",
+                rec.ts_us,
+                STREAM_PID,
+                "t",
+                &format!(
+                    "\"request_id\":{request_id},\"query\":\"{query}\",\"deadline_s\":{},\"queue_depth\":{queue_depth}",
+                    num(*deadline_s)
+                ),
+            );
+        }
+        TraceEvent::RoundStart {
+            round,
+            requests,
+            budget_s,
+            store_version,
+        } => {
+            instant(
+                events,
+                &format!("round {round} start"),
+                "serve",
+                rec.ts_us,
+                STREAM_PID,
+                "t",
+                &format!(
+                    "\"round\":{round},\"requests\":{requests},\"budget_s\":{},\"store_version\":{store_version}",
+                    num(*budget_s)
+                ),
+            );
+        }
+        TraceEvent::DegradeDecision {
+            round,
+            rung,
+            reason,
+            budget_s,
+            spent_s,
+            est_batch_s,
+            approx_k,
+            store_version,
+        } => {
+            // Global-scoped like faults/recoveries: a degradation
+            // decision draws a line across every lane.
+            instant(
+                events,
+                &format!("degrade -> {rung}"),
+                "serve",
+                rec.ts_us,
+                STREAM_PID,
+                "g",
+                &format!(
+                    "\"round\":{round},\"rung\":\"{rung}\",\"reason\":\"{reason}\",\"budget_s\":{},\"spent_s\":{},\"est_batch_s\":{},\"approx_k\":{approx_k},\"store_version\":{store_version}",
+                    num(*budget_s),
+                    num(*spent_s),
+                    num(*est_batch_s)
+                ),
+            );
+        }
+        TraceEvent::RoundEnd {
+            round,
+            responses,
+            elapsed_s,
+            store_version,
+        } => {
+            instant(
+                events,
+                &format!("round {round} end"),
+                "serve",
+                rec.ts_us,
+                STREAM_PID,
+                "t",
+                &format!(
+                    "\"round\":{round},\"responses\":{responses},\"elapsed_s\":{},\"store_version\":{store_version}",
+                    num(*elapsed_s)
+                ),
+            );
+        }
         TraceEvent::Log { level, message } => {
             instant(
                 events,

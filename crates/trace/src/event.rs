@@ -220,6 +220,67 @@ pub enum TraceEvent {
         /// Span name; matches the corresponding `SpanBegin`.
         name: String,
     },
+    /// A request admitted into the serving engine's bounded queue
+    /// (`mfbc-serve`). Carries the request's provenance so downstream
+    /// consumers can attribute later round work to it.
+    RequestAdmitted {
+        /// Caller-chosen request id (echoed on the response).
+        request_id: u64,
+        /// Query kind label (`full`, `topk`, `vertex`).
+        query: &'static str,
+        /// Modeled-seconds budget; `f64::INFINITY` when unbounded.
+        deadline_s: f64,
+        /// Queue depth after admission.
+        queue_depth: u64,
+    },
+    /// A coalesced serve round began: the engine drained its queue
+    /// and is about to spend the round budget. Collectives and
+    /// compute emitted between this and the matching
+    /// [`TraceEvent::RoundEnd`] belong to the round.
+    RoundStart {
+        /// 1-based round id (the engine's drain counter).
+        round: u64,
+        /// Requests coalesced into the round.
+        requests: u64,
+        /// Shared budget in modeled seconds (the most patient
+        /// request's deadline; `f64::INFINITY` when unbounded).
+        budget_s: f64,
+        /// Score-store version entering the round.
+        store_version: u64,
+    },
+    /// The degradation-ladder decision for one serve round, with the
+    /// budget arithmetic that produced it.
+    DegradeDecision {
+        /// Round the decision belongs to.
+        round: u64,
+        /// Chosen rung (`exact`, `approx`, `stale`).
+        rung: &'static str,
+        /// Why that rung (`complete`, `budget`, `min-k`,
+        /// `breaker-open`, `poisoned`).
+        reason: &'static str,
+        /// The round's shared budget in modeled seconds.
+        budget_s: f64,
+        /// Modeled seconds already spent when the decision was made.
+        spent_s: f64,
+        /// Cost the ladder charged one more exact batch.
+        est_batch_s: f64,
+        /// Sample size of the approx rung (0 for other rungs).
+        approx_k: u64,
+        /// Score-store version at decision time.
+        store_version: u64,
+    },
+    /// A coalesced serve round finished; every coalesced request was
+    /// answered.
+    RoundEnd {
+        /// Round id matching the [`TraceEvent::RoundStart`].
+        round: u64,
+        /// Responses produced (equals the round's request count).
+        responses: u64,
+        /// Modeled seconds the round took end to end.
+        elapsed_s: f64,
+        /// Score-store version leaving the round.
+        store_version: u64,
+    },
     /// A sampled numeric value (rendered as a counter track).
     Counter {
         /// Counter name.
@@ -255,6 +316,10 @@ impl TraceEvent {
             TraceEvent::Recovery { .. } => "recovery",
             TraceEvent::SpanBegin { .. } => "span_begin",
             TraceEvent::SpanEnd { .. } => "span_end",
+            TraceEvent::RequestAdmitted { .. } => "request_admitted",
+            TraceEvent::RoundStart { .. } => "round_start",
+            TraceEvent::DegradeDecision { .. } => "degrade_decision",
+            TraceEvent::RoundEnd { .. } => "round_end",
             TraceEvent::Counter { .. } => "counter",
             TraceEvent::Log { .. } => "log",
         }

@@ -213,6 +213,60 @@ pub fn record_to_json(rec: &TraceRecord) -> String {
         TraceEvent::SpanBegin { name } | TraceEvent::SpanEnd { name } => {
             let _ = write!(s, ",\"name\":\"{}\"", esc(name));
         }
+        TraceEvent::RequestAdmitted {
+            request_id,
+            query,
+            deadline_s,
+            queue_depth,
+        } => {
+            let _ = write!(
+                s,
+                ",\"request_id\":{request_id},\"query\":\"{query}\",\"deadline_s\":{},\"queue_depth\":{queue_depth}",
+                num(*deadline_s)
+            );
+        }
+        TraceEvent::RoundStart {
+            round,
+            requests,
+            budget_s,
+            store_version,
+        } => {
+            let _ = write!(
+                s,
+                ",\"round\":{round},\"requests\":{requests},\"budget_s\":{},\"store_version\":{store_version}",
+                num(*budget_s)
+            );
+        }
+        TraceEvent::DegradeDecision {
+            round,
+            rung,
+            reason,
+            budget_s,
+            spent_s,
+            est_batch_s,
+            approx_k,
+            store_version,
+        } => {
+            let _ = write!(
+                s,
+                ",\"round\":{round},\"rung\":\"{rung}\",\"reason\":\"{reason}\",\"budget_s\":{},\"spent_s\":{},\"est_batch_s\":{},\"approx_k\":{approx_k},\"store_version\":{store_version}",
+                num(*budget_s),
+                num(*spent_s),
+                num(*est_batch_s)
+            );
+        }
+        TraceEvent::RoundEnd {
+            round,
+            responses,
+            elapsed_s,
+            store_version,
+        } => {
+            let _ = write!(
+                s,
+                ",\"round\":{round},\"responses\":{responses},\"elapsed_s\":{},\"store_version\":{store_version}",
+                num(*elapsed_s)
+            );
+        }
         TraceEvent::Counter { name, value } => {
             let _ = write!(s, ",\"name\":\"{name}\",\"value\":{}", num(*value));
         }

@@ -31,8 +31,8 @@ pub use recorder::{
 };
 pub use summary::{
     collective_summary, pool_summary, recovery_summary, render_pool_summary,
-    render_recovery_summary, render_summary, total_modeled_comm_s, KindTotals, PoolTotals,
-    RecoveryTotals,
+    render_recovery_summary, render_serve_summary, render_summary, serve_summary,
+    total_modeled_comm_s, KindTotals, PoolTotals, RecoveryTotals, ServeTotals,
 };
 
 use std::cell::RefCell;

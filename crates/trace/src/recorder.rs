@@ -280,6 +280,36 @@ impl Recorder for StderrRecorder {
             TraceEvent::Shrink { failed, p_before } => {
                 eprintln!("[trace] shrink -rank{failed} p={p_before}->{}", p_before - 1)
             }
+            TraceEvent::RequestAdmitted {
+                request_id,
+                query,
+                deadline_s,
+                queue_depth,
+            } => eprintln!(
+                "[trace] admitted id={request_id} query={query} deadline={deadline_s:.3e}s depth={queue_depth}"
+            ),
+            TraceEvent::RoundStart {
+                round,
+                requests,
+                budget_s,
+                ..
+            } => eprintln!("[trace] round {round} start requests={requests} budget={budget_s:.3e}s"),
+            TraceEvent::DegradeDecision {
+                round,
+                rung,
+                reason,
+                budget_s,
+                spent_s,
+                ..
+            } => eprintln!(
+                "[trace] round {round} degrade -> {rung} ({reason}) budget={budget_s:.3e}s spent={spent_s:.3e}s"
+            ),
+            TraceEvent::RoundEnd {
+                round,
+                responses,
+                elapsed_s,
+                ..
+            } => eprintln!("[trace] round {round} end responses={responses} elapsed={elapsed_s:.3e}s"),
             TraceEvent::Counter { name, value } => {
                 eprintln!("[trace] counter {name}={value}")
             }

@@ -277,6 +277,72 @@ pub fn render_recovery_summary(totals: &RecoveryTotals) -> String {
     out
 }
 
+/// Request/round totals of a recorded serve stream.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ServeTotals {
+    /// Requests admitted ([`TraceEvent::RequestAdmitted`]).
+    pub admitted: u64,
+    /// Coalesced rounds started.
+    pub rounds: u64,
+    /// Responses across every finished round.
+    pub responses: u64,
+    /// Summed modeled seconds across finished rounds.
+    pub elapsed_s: f64,
+    /// Degradation decisions: `(rung, reason, count)`, sorted.
+    pub decisions: Vec<(String, String, u64)>,
+}
+
+/// Aggregates the serve-scoped events (request admissions, round
+/// boundaries, degradation decisions) into totals.
+pub fn serve_summary(records: &[TraceRecord]) -> ServeTotals {
+    let mut t = ServeTotals::default();
+    let mut decisions: BTreeMap<(&str, &str), u64> = BTreeMap::new();
+    for rec in records {
+        match &rec.event {
+            TraceEvent::RequestAdmitted { .. } => t.admitted += 1,
+            TraceEvent::RoundStart { .. } => t.rounds += 1,
+            TraceEvent::RoundEnd {
+                responses,
+                elapsed_s,
+                ..
+            } => {
+                t.responses += responses;
+                t.elapsed_s += elapsed_s;
+            }
+            TraceEvent::DegradeDecision { rung, reason, .. } => {
+                *decisions.entry((rung, reason)).or_insert(0) += 1;
+            }
+            _ => {}
+        }
+    }
+    t.decisions = decisions
+        .into_iter()
+        .map(|((rung, reason), c)| (rung.to_string(), reason.to_string(), c))
+        .collect();
+    t
+}
+
+/// Renders the serve totals as an aligned text table; empty output
+/// for a stream with no serve events.
+pub fn render_serve_summary(totals: &ServeTotals) -> String {
+    let mut out = String::new();
+    if totals.admitted == 0 && totals.rounds == 0 {
+        return out;
+    }
+    let _ = writeln!(
+        out,
+        "serve: {} admitted, {} rounds, {} responses, {:.3e}s modeled",
+        totals.admitted, totals.rounds, totals.responses, totals.elapsed_s
+    );
+    if !totals.decisions.is_empty() {
+        let _ = writeln!(out, "{:<10} {:<14} {:>8}", "rung", "reason", "rounds");
+        for (rung, reason, count) in &totals.decisions {
+            let _ = writeln!(out, "{rung:<10} {reason:<14} {count:>8}");
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

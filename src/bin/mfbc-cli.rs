@@ -168,7 +168,7 @@ const USAGE: &str = "usage:
   mfbc-cli bench [--baseline FILE] [--write FILE] [--serve-baseline FILE] [--serve-write FILE] [--band F] [--case NAME] [--no-overlap] [--hybrid-redist auto|bcast|p2p|alltoall] [--profile-out FILE] [--html-out FILE] [--prom-out FILE] [--timeline-out FILE] [--timeline-html FILE]
   mfbc-cli analyze [--case NAME] [--timeline-out FILE] [--html-out FILE] [--what-if SPEC] [--compare FILE] [--top K]
   mfbc-cli generate (rmat:S,E | uniform:N,M) [--weighted MAX] [--seed S]
-  mfbc-cli serve --nodes P [--graph rmat:S,E|uniform:N,M|FILE] [--batch N] [--queue N] [--deadline S] [--faults SPEC] [--fault-seed S] [--seed S] [--threads T] [--warm] [--prom-out FILE] [--mem-bytes B] [--directed]
+  mfbc-cli serve --nodes P [--graph rmat:S,E|uniform:N,M|FILE] [--batch N] [--queue N] [--deadline S] [--faults SPEC] [--fault-seed S] [--seed S] [--threads T] [--warm] [--prom-out FILE] [--flight-out FILE] [--mem-bytes B] [--directed]
 exit codes: 0 ok, 2 usage/config, 3 machine error, 4 bench regression, 5 serve poisoned";
 
 /// Minimal flag parser: `--key value` options, `--flag` booleans, one
@@ -1088,10 +1088,13 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
 /// `mfbc-cli serve`: the long-lived serving engine as a JSON-lines
 /// loop on stdin. One request per line; a blank line flushes the
 /// coalesced round; `{"cmd":"health"}` answers immediately;
+/// `{"cmd":"dump"}` answers with a one-line flight-recorder snapshot;
 /// unparseable lines are refused with a `shed: invalid-request` line
 /// (the loop never dies on bad input). EOF drains the queue, writes
-/// `--prom-out`, prints a summary, and exits — code 5 if an
-/// unrecoverable fault poisoned the engine along the way.
+/// `--prom-out` and `--flight-out` (auto-dumps captured at
+/// poison/breaker-trip, then a final dump), prints a summary, and
+/// exits — code 5 if an unrecoverable fault poisoned the engine
+/// along the way.
 fn cmd_serve(args: &[String]) -> Result<(), CliError> {
     use std::io::BufRead as _;
 
@@ -1108,6 +1111,7 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
             "seed",
             "threads",
             "prom-out",
+            "flight-out",
             "mem-bytes",
         ],
     )?;
@@ -1153,6 +1157,10 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
         max_queue: o.get_parsed::<usize>("queue")?.unwrap_or(64).max(1),
         default_deadline_s: deadline.unwrap_or(f64::INFINITY),
         seed,
+        // Always keep a small flight recorder alive: it is bounded,
+        // never perturbs responses, and `{"cmd":"dump"}` /
+        // `--flight-out` read from it.
+        flight_capacity: 256,
         ..mfbc_serve::EngineConfig::default()
     };
     let mut engine = mfbc_serve::Engine::new(&machine, g, &cfg, ecfg).map_err(CliError::machine)?;
@@ -1171,6 +1179,9 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
         engine.graph().n()
     );
 
+    // Auto-dumps the engine took at poison/breaker-trip, preserved
+    // here in arrival order for `--flight-out`.
+    let mut flight_lines: Vec<String> = Vec::new();
     let stdin = std::io::stdin();
     for line in stdin.lock().lines() {
         let line = line.map_err(|e| format!("stdin: {e}"))?;
@@ -1179,11 +1190,18 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
             for r in engine.drain() {
                 outln!("{}", mfbc_serve::wire::render_response(&r));
             }
+            flight_lines.extend(engine.take_auto_dump());
             continue;
         }
         match mfbc_serve::wire::parse_line(text) {
             Ok(mfbc_serve::wire::WireCmd::Health) => {
                 outln!("{}", mfbc_serve::wire::render_health(&engine.health()));
+            }
+            Ok(mfbc_serve::wire::WireCmd::Dump) => {
+                let dump = engine
+                    .flight_dump()
+                    .unwrap_or_else(|| "{\"flight\":0}".to_string());
+                outln!("{dump}");
             }
             Ok(mfbc_serve::wire::WireCmd::Request(req)) => {
                 let id = req.id;
@@ -1199,6 +1217,17 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
     // EOF: everything still queued gets its answer before shutdown.
     for r in engine.drain() {
         outln!("{}", mfbc_serve::wire::render_response(&r));
+    }
+    flight_lines.extend(engine.take_auto_dump());
+
+    if let Some(path) = o.get("flight-out") {
+        if let Some(final_dump) = engine.flight_dump() {
+            flight_lines.push(final_dump);
+        }
+        let mut text = flight_lines.join("\n");
+        text.push('\n');
+        std::fs::write(path, text).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("serve: flight recorder -> {path}");
     }
 
     if let Some(path) = o.get("prom-out") {

@@ -419,3 +419,88 @@ fn serve_answers_json_lines_and_reports_health() {
     );
     assert_eq!(out, again, "serve output must be deterministic");
 }
+
+#[test]
+fn serve_dump_command_returns_one_flight_line() {
+    let (out, _) = run_ok_capturing(
+        &[
+            "serve",
+            "--nodes",
+            "4",
+            "--graph",
+            "uniform:32,64",
+            "--batch",
+            "8",
+            "--seed",
+            "7",
+        ],
+        Some("{\"id\":1,\"query\":\"topk\",\"k\":2}\n\n{\"cmd\":\"dump\"}\n"),
+    );
+    let dump = out
+        .lines()
+        .find(|l| l.starts_with("{\"flight\":1"))
+        .expect("dump cmd answers with a flight line");
+    assert!(
+        dump.contains("\"kind\":\"admitted\"")
+            && dump.contains("\"kind\":\"round_start\"")
+            && dump.contains("\"kind\":\"round_end\""),
+        "dump covers the round's events: {dump}"
+    );
+    assert!(
+        dump.contains("\"rung\":\"exact\"") && dump.contains("\"complete\":true"),
+        "journey explains the exact answer: {dump}"
+    );
+}
+
+#[test]
+fn flight_out_captures_the_poison_auto_dump_and_a_final_dump() {
+    let dir = std::env::temp_dir().join(format!("mfbc-cli-flight-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("flight.jsonl");
+    // The pinned poison recipe from exit-code-5: the crash at p = 2
+    // under a 21 kB budget ends exact progress mid-round.
+    let (code, _, err) = run_capturing(
+        &[
+            "serve",
+            "--nodes",
+            "2",
+            "--graph",
+            "uniform:48,600",
+            "--batch",
+            "1",
+            "--mem-bytes",
+            "21000",
+            "--faults",
+            "crash:0@2",
+            "--seed",
+            "3",
+            "--flight-out",
+            path.to_str().unwrap(),
+        ],
+        Some("{\"id\":1,\"query\":\"full\"}\n\n"),
+    );
+    assert_eq!(code, 5, "still the poisoned exit: {err}");
+    let text = std::fs::read_to_string(&path).expect("--flight-out written even on exit 5");
+    let lines: Vec<&str> = text.lines().collect();
+    assert!(
+        lines.len() >= 2,
+        "auto-dump at poison time plus a final dump: {} line(s)",
+        lines.len()
+    );
+    for l in &lines {
+        assert!(l.starts_with("{\"flight\":1"), "every line is a dump: {l}");
+    }
+    assert!(
+        lines[0].contains("\"kind\":\"poison\""),
+        "the auto-dump holds the poison event: {}",
+        lines[0]
+    );
+    let last = lines.last().unwrap();
+    assert!(
+        last.contains("\"rung\":\"stale\"")
+            && last.contains("\"reason\":\"poisoned\"")
+            && last.contains("\"complete\":true"),
+        "the final dump's journey explains the stale answer: {last}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
